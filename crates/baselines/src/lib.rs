@@ -1,0 +1,43 @@
+//! Literature baselines the paper compares against (§VI.B).
+//!
+//! Non-sharing (produce an [`o2o_core::Schedule`]):
+//!
+//! * [`NearDispatcher`] — "greedily dispatches the nearest idle taxi to a
+//!   given passenger request" (the *Near* method of Hanna et al. \[3\]),
+//! * [`PairDispatcher`] — "distances between passenger requests and taxis
+//!   are matching costs; returns a minimum cost matching" (*Pair*),
+//! * [`MiniDispatcher`] — "minimizes the maximum cost for a matched pair"
+//!   (*Mini*).
+//!
+//! Sharing (produce an [`o2o_core::SharingSchedule`]):
+//!
+//! * [`RaiiDispatcher`] — RAII \[7\]: minimises total taxi travel distance
+//!   with a spatio-temporal index; here a grid-indexed greedy insertion
+//!   with full route re-optimisation per insertion,
+//! * [`SarpDispatcher`] — SARP \[8\]: TSP-based insertion of each new
+//!   request into an existing route with minimum extra travel distance
+//!   (existing stop order preserved),
+//! * [`LinDispatcher`] — the ILP formulation of \[6\] solved by its greedy
+//!   heuristic: globally cheapest feasible (taxi, group) pairs first.
+//!
+//! All baselines report the *paper's* dissatisfaction metrics (passenger:
+//! `D(t, r^s)` resp. `D_ck(t, r^s) + β·detour`; taxi:
+//! `D(t, r^s) − α·D(r^s, r^d)` resp. `D_ck(t) − (α+1)·ΣD`) so results are
+//! directly comparable with NSTD/STD — that is exactly the comparison the
+//! paper's figures make.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lin;
+mod near;
+mod pair_mini;
+mod raii;
+mod sarp;
+pub mod util;
+
+pub use lin::LinDispatcher;
+pub use near::NearDispatcher;
+pub use pair_mini::{MiniDispatcher, PairDispatcher};
+pub use raii::RaiiDispatcher;
+pub use sarp::SarpDispatcher;

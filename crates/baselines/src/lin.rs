@@ -1,0 +1,264 @@
+//! *Lin* [6]: integer-linear-programming taxi sharing, solved by the
+//! authors' greedy heuristic.
+//!
+//! The ILP of [6] assigns groups of requests to taxis minimising total
+//! travel distance subject to capacity and detour constraints; "a
+//! heuristic algorithm was proposed to achieve a faster execution time".
+//! The heuristic reproduced here scores every feasible (taxi, group) pair
+//! by its total driving distance and accepts the globally cheapest pairs
+//! first — the standard greedy rounding of the ILP's LP relaxation.
+
+use crate::util::{best_compliant_route, fits, group_assignment};
+use o2o_core::{PreferenceParams, SharingConfig, SharingDispatcher, SharingSchedule};
+use o2o_geo::Metric;
+use o2o_trace::{Request, Taxi};
+
+/// The Lin (ILP-heuristic) sharing baseline; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_baselines::LinDispatcher;
+/// use o2o_core::PreferenceParams;
+/// use o2o_geo::{Euclidean, Point};
+/// use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+///
+/// let d = LinDispatcher::new(Euclidean, PreferenceParams::default());
+/// let taxis = vec![Taxi::new(TaxiId(0), Point::new(0.0, 0.0))];
+/// let requests = vec![Request::new(
+///     RequestId(0), 0, Point::new(1.0, 0.0), Point::new(5.0, 0.0),
+/// )];
+/// assert_eq!(d.dispatch(&taxis, &requests).served_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinDispatcher<M> {
+    /// Stage-1 feasibility enumeration is shared with Algorithm 3.
+    helper: SharingDispatcher<M>,
+}
+
+impl<M: Metric> LinDispatcher<M> {
+    /// Creates the dispatcher with the default sharing config (groups of
+    /// up to 3, shareability-pruned triples).
+    #[must_use]
+    pub fn new(metric: M, params: PreferenceParams) -> Self {
+        Self::with_config(metric, params, SharingConfig::default())
+    }
+
+    /// Creates the dispatcher with an explicit sharing config (group
+    /// bound, triple generation).
+    #[must_use]
+    pub fn with_config(metric: M, params: PreferenceParams, config: SharingConfig) -> Self {
+        LinDispatcher {
+            helper: SharingDispatcher::with_config(metric, params, config),
+        }
+    }
+
+    fn metric(&self) -> &M {
+        self.helper.metric()
+    }
+
+    fn params(&self) -> &PreferenceParams {
+        self.helper.params()
+    }
+
+    /// Dispatches the frame: every feasible `(taxi, group)` pair is scored
+    /// by total driving distance, cheapest accepted first.
+    #[must_use]
+    pub fn dispatch(&self, taxis: &[Taxi], requests: &[Request]) -> SharingSchedule {
+        if taxis.is_empty() || requests.is_empty() {
+            return SharingSchedule {
+                assignments: Vec::new(),
+                unserved: requests.iter().map(|r| r.id).collect(),
+            };
+        }
+        // Reuse Algorithm 3's stage-1 feasibility enumeration for the
+        // candidate groups (the ILP's variable set).
+        let mut groups: Vec<Vec<usize>> = self.helper.feasible_groups(requests);
+        groups.extend((0..requests.len()).map(|j| vec![j]));
+
+        // Score all (group, taxi) pairs.
+        struct Candidate {
+            cost: f64,
+            group: usize,
+            taxi: usize,
+        }
+        let mut candidates = Vec::new();
+        for (gi, members) in groups.iter().enumerate() {
+            let group: Vec<Request> = members.iter().map(|&m| requests[m]).collect();
+            for (ti, taxi) in taxis.iter().enumerate() {
+                if !fits(taxi, &group) {
+                    continue;
+                }
+                if let Some(plan) = best_compliant_route(self.metric(), self.params(), taxi, &group)
+                {
+                    candidates.push(Candidate {
+                        // Total distance per served request: the ILP's
+                        // objective normalised so larger groups are not
+                        // penalised for simply driving more.
+                        cost: plan.total_drive(self.metric(), taxi.location) / group.len() as f64,
+                        group: gi,
+                        taxi: ti,
+                    });
+                }
+            }
+        }
+        candidates.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.group.cmp(&b.group))
+                .then(a.taxi.cmp(&b.taxi))
+        });
+
+        let mut request_used = vec![false; requests.len()];
+        let mut taxi_used = vec![false; taxis.len()];
+        let mut assignments = Vec::new();
+        for c in candidates {
+            if taxi_used[c.taxi] || groups[c.group].iter().any(|&m| request_used[m]) {
+                continue;
+            }
+            taxi_used[c.taxi] = true;
+            for &m in &groups[c.group] {
+                request_used[m] = true;
+            }
+            let group: Vec<Request> = groups[c.group].iter().map(|&m| requests[m]).collect();
+            let taxi = &taxis[c.taxi];
+            let plan = best_compliant_route(self.metric(), self.params(), taxi, &group)
+                .expect("candidate was compliant");
+            assignments.push(group_assignment(
+                self.metric(),
+                self.params(),
+                taxi,
+                &group,
+                plan,
+            ));
+        }
+        let unserved = requests
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !request_used[*j])
+            .map(|(_, r)| r.id)
+            .collect();
+        SharingSchedule {
+            assignments,
+            unserved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::{Euclidean, Point};
+    use o2o_trace::{RequestId, TaxiId};
+
+    fn taxi(id: u64, x: f64) -> Taxi {
+        Taxi::new(TaxiId(id), Point::new(x, 0.0))
+    }
+
+    fn req(id: u64, s: f64, d: f64) -> Request {
+        Request::new(RequestId(id), 0, Point::new(s, 0.0), Point::new(d, 0.0))
+    }
+
+    fn dispatcher() -> LinDispatcher<Euclidean> {
+        LinDispatcher::new(
+            Euclidean,
+            PreferenceParams::unbounded().with_detour_threshold(5.0),
+        )
+    }
+
+    #[test]
+    fn cheap_shared_ride_wins() {
+        let taxis = vec![taxi(0, -1.0), taxi(1, -40.0)];
+        let requests = vec![req(0, 0.0, 10.0), req(1, 2.0, 8.0)];
+        let s = dispatcher().dispatch(&taxis, &requests);
+        assert_eq!(s.served_count(), 2);
+        // Shared ride on the near taxi costs 11/2 = 5.5 per request,
+        // beating any single assignment.
+        let g = s.group_of(TaxiId(0)).expect("near taxi used");
+        assert_eq!(g.members.len(), 2);
+    }
+
+    #[test]
+    fn falls_back_to_singletons() {
+        // Trips too divergent to share within θ = 5 and far apart.
+        let taxis = vec![taxi(0, 0.0), taxi(1, 100.0)];
+        let requests = vec![
+            req(0, 0.0, 20.0),
+            Request::new(
+                RequestId(1),
+                0,
+                Point::new(110.0, 8.0),
+                Point::new(110.0, -8.0),
+            ),
+        ];
+        let s = dispatcher().dispatch(&taxis, &requests);
+        assert_eq!(s.served_count(), 2);
+        assert!(s.assignments.iter().all(|a| a.members.len() == 1));
+    }
+
+    #[test]
+    fn taxi_capacity_respected() {
+        let taxis = vec![Taxi::with_seats(TaxiId(0), Point::new(0.0, 0.0), 2)];
+        let requests = vec![
+            Request::with_party(
+                RequestId(0),
+                0,
+                Point::new(1.0, 0.0),
+                Point::new(5.0, 0.0),
+                2,
+            ),
+            Request::with_party(
+                RequestId(1),
+                0,
+                Point::new(2.0, 0.0),
+                Point::new(6.0, 0.0),
+                2,
+            ),
+        ];
+        let s = dispatcher().dispatch(&taxis, &requests);
+        assert_eq!(s.served_count(), 1);
+        assert_eq!(s.unserved.len(), 1);
+    }
+
+    #[test]
+    fn detours_within_budget() {
+        let taxis: Vec<Taxi> = (0..2).map(|i| taxi(i, i as f64 * 10.0)).collect();
+        let requests: Vec<Request> = (0..6)
+            .map(|i| req(i, i as f64 * 2.0, i as f64 * 2.0 + 12.0))
+            .collect();
+        let s = dispatcher().dispatch(&taxis, &requests);
+        for a in &s.assignments {
+            for &d in &a.detours {
+                assert!(d <= 5.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = dispatcher().dispatch(&[], &[]);
+        assert_eq!(s.served_count(), 0);
+        let s = dispatcher().dispatch(&[taxi(0, 0.0)], &[]);
+        assert!(s.assignments.is_empty());
+    }
+
+    #[test]
+    fn coverage_partition() {
+        let taxis: Vec<Taxi> = (0..3).map(|i| taxi(i, i as f64 * 3.0)).collect();
+        let requests: Vec<Request> = (0..9)
+            .map(|i| req(i, (i % 5) as f64, (i % 5) as f64 + 7.0))
+            .collect();
+        let s = dispatcher().dispatch(&taxis, &requests);
+        let mut seen = std::collections::HashSet::new();
+        for a in &s.assignments {
+            for &m in &a.members {
+                assert!(seen.insert(m));
+            }
+        }
+        for &u in &s.unserved {
+            assert!(seen.insert(u));
+        }
+        assert_eq!(seen.len(), 9);
+    }
+}

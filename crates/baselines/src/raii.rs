@@ -1,0 +1,255 @@
+//! *RAII* [7]: total-travel-distance-minimising insertion with a
+//! spatio-temporal index.
+//!
+//! Ma et al.'s T-Share-style dispatcher "minimizes the total travel
+//! distance of taxis by using spatio-temporal indices to encode the
+//! location and time of passenger requests and taxis". Reproduced here as
+//! a grid-indexed greedy: each request (in arrival order) either takes the
+//! idle taxi with the smallest added driving distance or joins an
+//! already-formed group whose re-optimised route grows the least — always
+//! within the detour budget and seat capacity.
+
+use crate::util::{best_compliant_route, fits, group_assignment};
+use o2o_core::shared_route::MAX_GROUP_SIZE;
+use o2o_core::{PreferenceParams, SharingSchedule};
+use o2o_geo::{BBox, GridIndex, Metric};
+use o2o_trace::{Request, Taxi};
+
+/// The RAII sharing baseline; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_baselines::RaiiDispatcher;
+/// use o2o_core::PreferenceParams;
+/// use o2o_geo::{Euclidean, Point};
+/// use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+///
+/// let d = RaiiDispatcher::new(Euclidean, PreferenceParams::default());
+/// let taxis = vec![Taxi::new(TaxiId(0), Point::new(0.0, 0.0))];
+/// let requests = vec![
+///     Request::new(RequestId(0), 0, Point::new(1.0, 0.0), Point::new(9.0, 0.0)),
+///     Request::new(RequestId(1), 0, Point::new(2.0, 0.0), Point::new(8.0, 0.0)),
+/// ];
+/// let s = d.dispatch(&taxis, &requests);
+/// assert_eq!(s.served_count(), 2); // both share the single taxi
+/// ```
+#[derive(Debug, Clone)]
+pub struct RaiiDispatcher<M> {
+    metric: M,
+    params: PreferenceParams,
+    max_group_size: usize,
+}
+
+impl<M: Metric> RaiiDispatcher<M> {
+    /// Creates the dispatcher with the paper's group bound (3).
+    #[must_use]
+    pub fn new(metric: M, params: PreferenceParams) -> Self {
+        Self::with_max_group_size(metric, params, 3)
+    }
+
+    /// Creates the dispatcher with an explicit group bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_group_size` is outside `1..=4`.
+    #[must_use]
+    pub fn with_max_group_size(metric: M, params: PreferenceParams, max_group_size: usize) -> Self {
+        assert!(
+            (1..=MAX_GROUP_SIZE).contains(&max_group_size),
+            "max_group_size {max_group_size} outside supported range"
+        );
+        RaiiDispatcher {
+            metric,
+            params,
+            max_group_size,
+        }
+    }
+
+    /// Dispatches the frame.
+    #[must_use]
+    pub fn dispatch(&self, taxis: &[Taxi], requests: &[Request]) -> SharingSchedule {
+        if taxis.is_empty() || requests.is_empty() {
+            return SharingSchedule {
+                assignments: Vec::new(),
+                unserved: requests.iter().map(|r| r.id).collect(),
+            };
+        }
+        let bbox = BBox::from_points(
+            taxis
+                .iter()
+                .map(|t| t.location)
+                .chain(requests.iter().map(|r| r.pickup)),
+        )
+        .expect("non-empty");
+        let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
+        let mut idle = GridIndex::new(bbox, cell);
+        for (i, t) in taxis.iter().enumerate() {
+            idle.insert(i, t.location);
+        }
+        // groups[g] = (taxi index, member request indices, current drive)
+        let mut groups: Vec<(usize, Vec<usize>, f64)> = Vec::new();
+        let mut unserved = Vec::new();
+        for (j, r) in requests.iter().enumerate() {
+            let mut best: Option<(f64, Option<usize>, usize)> = None; // (Δ, group, taxi)
+                                                                      // Option A: nearest idle taxis, alone.
+            for cand in idle.k_nearest(r.pickup, 8.min(idle.len())) {
+                let t = &taxis[cand.item];
+                if t.seats < r.passengers {
+                    continue;
+                }
+                let delta =
+                    self.metric.distance(t.location, r.pickup) + r.trip_distance(&self.metric);
+                if best.map_or(true, |(b, _, _)| delta < b) {
+                    best = Some((delta, None, cand.item));
+                }
+            }
+            // Option B: join an existing group (route re-optimised).
+            for (gi, (ti, members, drive)) in groups.iter().enumerate() {
+                if members.len() >= self.max_group_size {
+                    continue;
+                }
+                let taxi = &taxis[*ti];
+                let mut group: Vec<Request> = members.iter().map(|&m| requests[m]).collect();
+                group.push(*r);
+                if !fits(taxi, &group) {
+                    continue;
+                }
+                if let Some(plan) = best_compliant_route(&self.metric, &self.params, taxi, &group) {
+                    let new_drive = plan.total_drive(&self.metric, taxi.location);
+                    let delta = new_drive - drive;
+                    if best.map_or(true, |(b, _, _)| delta < b) {
+                        best = Some((delta, Some(gi), *ti));
+                    }
+                }
+            }
+            match best {
+                Some((_, Some(gi), ti)) => {
+                    groups[gi].1.push(j);
+                    let taxi = &taxis[ti];
+                    let group: Vec<Request> = groups[gi].1.iter().map(|&m| requests[m]).collect();
+                    let plan = best_compliant_route(&self.metric, &self.params, taxi, &group)
+                        .expect("was compliant when evaluated");
+                    groups[gi].2 = plan.total_drive(&self.metric, taxi.location);
+                }
+                Some((delta, None, ti)) => {
+                    idle.remove(&ti, taxis[ti].location);
+                    groups.push((ti, vec![j], delta));
+                }
+                None => unserved.push(r.id),
+            }
+        }
+        let assignments = groups
+            .into_iter()
+            .map(|(ti, members, _)| {
+                let taxi = &taxis[ti];
+                let group: Vec<Request> = members.iter().map(|&m| requests[m]).collect();
+                let plan = best_compliant_route(&self.metric, &self.params, taxi, &group)
+                    .expect("final groups are compliant");
+                group_assignment(&self.metric, &self.params, taxi, &group, plan)
+            })
+            .collect();
+        SharingSchedule {
+            assignments,
+            unserved,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::{Euclidean, Point};
+    use o2o_trace::{RequestId, TaxiId};
+
+    fn taxi(id: u64, x: f64) -> Taxi {
+        Taxi::new(TaxiId(id), Point::new(x, 0.0))
+    }
+
+    fn req(id: u64, s: f64, d: f64) -> Request {
+        Request::new(RequestId(id), 0, Point::new(s, 0.0), Point::new(d, 0.0))
+    }
+
+    fn dispatcher() -> RaiiDispatcher<Euclidean> {
+        RaiiDispatcher::new(
+            Euclidean,
+            PreferenceParams::unbounded().with_detour_threshold(5.0),
+        )
+    }
+
+    #[test]
+    fn chains_compatible_requests_onto_one_taxi() {
+        let taxis = vec![taxi(0, -1.0), taxi(1, -50.0)];
+        let requests = vec![req(0, 0.0, 10.0), req(1, 2.0, 8.0)];
+        let s = dispatcher().dispatch(&taxis, &requests);
+        assert_eq!(s.served_count(), 2);
+        let g = s.group_of(TaxiId(0)).expect("near taxi serves the pair");
+        assert_eq!(g.members.len(), 2);
+    }
+
+    #[test]
+    fn group_size_cap_respected() {
+        let taxis = vec![taxi(0, 0.0)];
+        let requests: Vec<Request> = (0..5).map(|i| req(i, i as f64, i as f64 + 10.0)).collect();
+        let d = RaiiDispatcher::with_max_group_size(
+            Euclidean,
+            PreferenceParams::unbounded().with_detour_threshold(50.0),
+            3,
+        );
+        let s = d.dispatch(&taxis, &requests);
+        for a in &s.assignments {
+            assert!(a.members.len() <= 3);
+        }
+        assert_eq!(s.served_count() + s.unserved.len(), 5);
+    }
+
+    #[test]
+    fn detour_budget_respected() {
+        let s = dispatcher().dispatch(
+            &[taxi(0, 0.0)],
+            &[req(0, 0.0, 20.0), req(1, 10.0, 30.0), req(2, 5.0, 25.0)],
+        );
+        for a in &s.assignments {
+            for &d in &a.detours {
+                assert!(d <= 5.0 + 1e-9, "detour {d} over budget");
+            }
+        }
+    }
+
+    #[test]
+    fn prefers_smaller_added_distance() {
+        // A far idle taxi vs joining the near group: joining wins.
+        let taxis = vec![taxi(0, 0.0), taxi(1, 100.0)];
+        let requests = vec![req(0, 1.0, 9.0), req(1, 2.0, 8.0)];
+        let s = dispatcher().dispatch(&taxis, &requests);
+        assert!(s.group_of(TaxiId(1)).is_none(), "far taxi stays idle");
+        assert_eq!(s.group_of(TaxiId(0)).unwrap().members.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = dispatcher().dispatch(&[], &[]);
+        assert_eq!(s.served_count(), 0);
+        let s = dispatcher().dispatch(&[], &[req(0, 0.0, 1.0)]);
+        assert_eq!(s.unserved, vec![RequestId(0)]);
+    }
+
+    #[test]
+    fn every_request_accounted_for() {
+        let taxis: Vec<Taxi> = (0..3).map(|i| taxi(i, i as f64 * 5.0)).collect();
+        let requests: Vec<Request> = (0..10)
+            .map(|i| req(i, (i as f64) * 1.7 - 8.0, (i as f64) * 1.3))
+            .collect();
+        let s = dispatcher().dispatch(&taxis, &requests);
+        let mut seen = std::collections::HashSet::new();
+        for a in &s.assignments {
+            for &m in &a.members {
+                assert!(seen.insert(m));
+            }
+        }
+        for &u in &s.unserved {
+            assert!(seen.insert(u));
+        }
+        assert_eq!(seen.len(), requests.len());
+    }
+}

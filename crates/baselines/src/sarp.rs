@@ -1,0 +1,404 @@
+//! *SARP* [8]: TSP-style insertion of new requests into existing routes.
+//!
+//! Li et al.'s share-a-ride planner "inserts [new requests] into the
+//! passenger route with minimum extra travel distances". The defining
+//! difference from RAII is that the *existing stop order is preserved*:
+//! only the new pick-up and drop-off positions are searched (the classic
+//! cheapest-insertion heuristic), which is faster but can miss better
+//! reorderings.
+
+use crate::util::{fits, group_assignment};
+use o2o_core::shared_route::{RoutePlan, Stop, StopKind, MAX_GROUP_SIZE};
+use o2o_core::{PreferenceParams, SharingSchedule};
+use o2o_geo::{BBox, GridIndex, Metric, Point};
+use o2o_trace::{Request, Taxi};
+
+/// The SARP sharing baseline; see the module docs.
+#[derive(Debug, Clone)]
+pub struct SarpDispatcher<M> {
+    metric: M,
+    params: PreferenceParams,
+    max_group_size: usize,
+}
+
+/// A route under construction: ordered stops, one per pickup/dropoff.
+#[derive(Debug, Clone)]
+struct DraftRoute {
+    taxi: usize,
+    /// `(request index, kind, location)` in visiting order.
+    stops: Vec<(usize, StopKind, Point)>,
+    members: Vec<usize>,
+}
+
+impl<M: Metric> SarpDispatcher<M> {
+    /// Creates the dispatcher with the paper's group bound (3).
+    #[must_use]
+    pub fn new(metric: M, params: PreferenceParams) -> Self {
+        Self::with_max_group_size(metric, params, 3)
+    }
+
+    /// Creates the dispatcher with an explicit group bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_group_size` is outside `1..=4`.
+    #[must_use]
+    pub fn with_max_group_size(metric: M, params: PreferenceParams, max_group_size: usize) -> Self {
+        assert!(
+            (1..=MAX_GROUP_SIZE).contains(&max_group_size),
+            "max_group_size {max_group_size} outside supported range"
+        );
+        SarpDispatcher {
+            metric,
+            params,
+            max_group_size,
+        }
+    }
+
+    fn route_length(&self, start: Point, stops: &[(usize, StopKind, Point)]) -> f64 {
+        let mut len = 0.0;
+        let mut cur = start;
+        for &(_, _, p) in stops {
+            len += self.metric.distance(cur, p);
+            cur = p;
+        }
+        len
+    }
+
+    /// Onboard distance of each member along `stops` (by request index).
+    fn onboard(&self, stops: &[(usize, StopKind, Point)]) -> std::collections::HashMap<usize, f64> {
+        let mut out = std::collections::HashMap::new();
+        let mut at_pickup: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+        let mut along = 0.0;
+        let mut prev: Option<Point> = None;
+        for &(m, kind, p) in stops {
+            if let Some(prev) = prev {
+                along += self.metric.distance(prev, p);
+            }
+            prev = Some(p);
+            match kind {
+                StopKind::Pickup => {
+                    at_pickup.insert(m, along);
+                }
+                StopKind::Dropoff => {
+                    out.insert(m, along - at_pickup[&m]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Best insertion of `r` into `draft` preserving existing stop order.
+    /// Returns `(added length, new stops)` or `None` when no insertion
+    /// keeps every member within the detour budget.
+    fn best_insertion(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        draft: &DraftRoute,
+        j: usize,
+    ) -> Option<(f64, Vec<(usize, StopKind, Point)>)> {
+        let r = &requests[j];
+        let start = taxis[draft.taxi].location;
+        let old_len = self.route_length(start, &draft.stops);
+        let n = draft.stops.len();
+        let mut best: Option<(f64, Vec<(usize, StopKind, Point)>)> = None;
+        for pi in 0..=n {
+            for di in pi..=n {
+                let mut stops = draft.stops.clone();
+                stops.insert(pi, (j, StopKind::Pickup, r.pickup));
+                stops.insert(di + 1, (j, StopKind::Dropoff, r.dropoff));
+                let len = self.route_length(start, &stops);
+                let added = len - old_len;
+                if best.as_ref().map_or(false, |(b, _)| added >= *b) {
+                    continue;
+                }
+                // Genuine sharing: the vehicle may not run empty strictly
+                // between the first pick-up and the last drop-off
+                // (appending a whole trip after the route is a
+                // re-dispatch, not a shared ride).
+                let mut occupancy = 0usize;
+                let mut empty_mid_route = false;
+                for (idx, &(_, kind, _)) in stops.iter().enumerate() {
+                    match kind {
+                        StopKind::Pickup => occupancy += 1,
+                        StopKind::Dropoff => {
+                            occupancy -= 1;
+                            if occupancy == 0 && idx + 1 < stops.len() {
+                                empty_mid_route = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if empty_mid_route {
+                    continue;
+                }
+                // Detour compliance for every member, including the new one.
+                let onboard = self.onboard(&stops);
+                let compliant = draft.members.iter().chain(std::iter::once(&j)).all(|&m| {
+                    let direct = requests[m].trip_distance(&self.metric);
+                    onboard[&m] - direct <= self.params.detour_threshold + 1e-9
+                });
+                if compliant {
+                    best = Some((added, stops));
+                }
+            }
+        }
+        best
+    }
+
+    /// Dispatches the frame.
+    #[must_use]
+    pub fn dispatch(&self, taxis: &[Taxi], requests: &[Request]) -> SharingSchedule {
+        if taxis.is_empty() || requests.is_empty() {
+            return SharingSchedule {
+                assignments: Vec::new(),
+                unserved: requests.iter().map(|r| r.id).collect(),
+            };
+        }
+        let bbox = BBox::from_points(
+            taxis
+                .iter()
+                .map(|t| t.location)
+                .chain(requests.iter().map(|r| r.pickup)),
+        )
+        .expect("non-empty");
+        let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
+        let mut idle = GridIndex::new(bbox, cell);
+        for (i, t) in taxis.iter().enumerate() {
+            idle.insert(i, t.location);
+        }
+        let mut drafts: Vec<DraftRoute> = Vec::new();
+        let mut unserved = Vec::new();
+        for (j, r) in requests.iter().enumerate() {
+            enum Choice {
+                NewRoute(usize),
+                Insert(usize, Vec<(usize, StopKind, Point)>),
+            }
+            let mut best: Option<(f64, Choice)> = None;
+            for cand in idle.k_nearest(r.pickup, 8.min(idle.len())) {
+                let t = &taxis[cand.item];
+                if t.seats < r.passengers {
+                    continue;
+                }
+                let added =
+                    self.metric.distance(t.location, r.pickup) + r.trip_distance(&self.metric);
+                if best.as_ref().map_or(true, |(b, _)| added < *b) {
+                    best = Some((added, Choice::NewRoute(cand.item)));
+                }
+            }
+            for (di, draft) in drafts.iter().enumerate() {
+                if draft.members.len() >= self.max_group_size {
+                    continue;
+                }
+                let mut group: Vec<Request> = draft.members.iter().map(|&m| requests[m]).collect();
+                group.push(*r);
+                if !fits(&taxis[draft.taxi], &group) {
+                    continue;
+                }
+                if let Some((added, stops)) = self.best_insertion(taxis, requests, draft, j) {
+                    if best.as_ref().map_or(true, |(b, _)| added < *b) {
+                        best = Some((added, Choice::Insert(di, stops)));
+                    }
+                }
+            }
+            match best {
+                Some((_, Choice::NewRoute(ti))) => {
+                    idle.remove(&ti, taxis[ti].location);
+                    drafts.push(DraftRoute {
+                        taxi: ti,
+                        stops: vec![
+                            (j, StopKind::Pickup, r.pickup),
+                            (j, StopKind::Dropoff, r.dropoff),
+                        ],
+                        members: vec![j],
+                    });
+                }
+                Some((_, Choice::Insert(di, stops))) => {
+                    drafts[di].stops = stops;
+                    drafts[di].members.push(j);
+                }
+                None => unserved.push(r.id),
+            }
+        }
+        let assignments = drafts
+            .into_iter()
+            .map(|draft| {
+                let taxi = &taxis[draft.taxi];
+                let group: Vec<Request> = draft.members.iter().map(|&m| requests[m]).collect();
+                let plan = self.plan_from_stops(&draft, &group);
+                group_assignment(&self.metric, &self.params, taxi, &group, plan)
+            })
+            .collect();
+        SharingSchedule {
+            assignments,
+            unserved,
+        }
+    }
+
+    /// Converts a draft's stop list into a [`RoutePlan`] with per-member
+    /// accounting (members renumbered to group-local indices).
+    fn plan_from_stops(&self, draft: &DraftRoute, group: &[Request]) -> RoutePlan {
+        let local: std::collections::HashMap<usize, usize> = draft
+            .members
+            .iter()
+            .enumerate()
+            .map(|(li, &m)| (m, li))
+            .collect();
+        let mut stops = Vec::with_capacity(draft.stops.len());
+        let mut pickup_offset = vec![0.0; group.len()];
+        let mut onboard = vec![0.0; group.len()];
+        let mut along = 0.0;
+        let mut prev: Option<Point> = None;
+        for &(m, kind, p) in &draft.stops {
+            if let Some(prev) = prev {
+                along += self.metric.distance(prev, p);
+            }
+            prev = Some(p);
+            let li = local[&m];
+            match kind {
+                StopKind::Pickup => pickup_offset[li] = along,
+                StopKind::Dropoff => onboard[li] = along - pickup_offset[li],
+            }
+            stops.push(Stop {
+                member: li,
+                kind,
+                location: p,
+            });
+        }
+        RoutePlan {
+            stops,
+            internal_length: along,
+            pickup_offset,
+            onboard_distance: onboard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::Euclidean;
+    use o2o_trace::{RequestId, TaxiId};
+
+    fn taxi(id: u64, x: f64) -> Taxi {
+        Taxi::new(TaxiId(id), Point::new(x, 0.0))
+    }
+
+    fn req(id: u64, s: f64, d: f64) -> Request {
+        Request::new(RequestId(id), 0, Point::new(s, 0.0), Point::new(d, 0.0))
+    }
+
+    fn dispatcher() -> SarpDispatcher<Euclidean> {
+        SarpDispatcher::new(
+            Euclidean,
+            PreferenceParams::unbounded().with_detour_threshold(5.0),
+        )
+    }
+
+    #[test]
+    fn inserts_compatible_request_into_route() {
+        let taxis = vec![taxi(0, -1.0)];
+        let requests = vec![req(0, 0.0, 10.0), req(1, 2.0, 8.0)];
+        let s = dispatcher().dispatch(&taxis, &requests);
+        assert_eq!(s.served_count(), 2);
+        let a = s.group_of(TaxiId(0)).unwrap();
+        assert_eq!(a.members.len(), 2);
+        // Optimal insertion yields the chained route of length 11.
+        assert!((a.total_drive - 11.0).abs() < 1e-9);
+        assert_eq!(a.detours, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn existing_order_is_preserved() {
+        // The second trip nests inside the first; SARP may only insert
+        // around the existing stops, never reorder them.
+        let taxis = vec![taxi(0, 0.0)];
+        let requests = vec![req(0, 5.0, 6.0), req(1, 4.5, 5.5)];
+        let s = dispatcher().dispatch(&taxis, &requests);
+        let a = &s.assignments[0];
+        // First request's stops must still appear in their original
+        // relative order.
+        let positions: Vec<usize> = a
+            .route
+            .stops
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| st.member == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(positions.len(), 2);
+        assert!(positions[0] < positions[1]);
+        assert_eq!(s.served_count(), 2);
+    }
+
+    #[test]
+    fn detour_budget_blocks_bad_insertions() {
+        let params = PreferenceParams::unbounded().with_detour_threshold(0.5);
+        let d = SarpDispatcher::new(Euclidean, params);
+        // A cross-town request: any *interleaved* insertion into taxi 0's
+        // route blows the 0.5 km budget, so the only sharing option is
+        // appending it after the first trip — still detour-compliant.
+        let taxis = vec![taxi(0, 0.0), taxi(1, 60.0)];
+        let requests = vec![
+            req(0, 0.0, 20.0),
+            Request::new(
+                RequestId(1),
+                0,
+                Point::new(10.0, 8.0),
+                Point::new(10.0, -8.0),
+            ),
+        ];
+        let s = d.dispatch(&taxis, &requests);
+        assert_eq!(s.served_count(), 2);
+        for a in &s.assignments {
+            for &det in &a.detours {
+                assert!(det <= 0.5 + 1e-9, "detour {det} over budget");
+            }
+        }
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let taxis = vec![taxi(0, 0.0)];
+        let requests = vec![req(0, 1.0, 9.0), req(1, 3.0, 7.0)];
+        let s = dispatcher().dispatch(&taxis, &requests);
+        let a = &s.assignments[0];
+        // Wait = approach + pickup offset; member 0 boards first.
+        assert!((a.wait_distances[0] - 1.0).abs() < 1e-9);
+        let polyline: Vec<Point> = a.route.stops.iter().map(|st| st.location).collect();
+        assert!((Euclidean.path_length(&polyline) - a.route.internal_length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = dispatcher().dispatch(&[], &[]);
+        assert_eq!(s.served_count(), 0);
+        let s = dispatcher().dispatch(&[], &[req(0, 0.0, 1.0)]);
+        assert_eq!(s.unserved, vec![RequestId(0)]);
+    }
+
+    #[test]
+    fn group_cap_and_coverage() {
+        let taxis = vec![taxi(0, 0.0), taxi(1, 4.0)];
+        let requests: Vec<Request> = (0..8).map(|i| req(i, i as f64, i as f64 + 6.0)).collect();
+        let s = SarpDispatcher::with_max_group_size(
+            Euclidean,
+            PreferenceParams::unbounded().with_detour_threshold(20.0),
+            3,
+        )
+        .dispatch(&taxis, &requests);
+        let mut seen = std::collections::HashSet::new();
+        for a in &s.assignments {
+            assert!(a.members.len() <= 3);
+            for &m in &a.members {
+                assert!(seen.insert(m));
+            }
+        }
+        for &u in &s.unserved {
+            assert!(seen.insert(u));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared helpers for baseline dispatchers.
+
+use o2o_core::shared_route::{best_route_within_detour, RoutePlan};
+use o2o_core::{GroupAssignment, PreferenceParams, Schedule};
+use o2o_geo::Metric;
+use o2o_trace::{Request, Taxi};
+
+/// Builds a non-sharing [`Schedule`] from `(request index, taxi index)`
+/// pairs, attaching the paper's dissatisfaction metrics.
+///
+/// # Panics
+///
+/// Panics if a pair index is out of range or the matching is not
+/// one-to-one.
+#[must_use]
+pub fn schedule_from_pairs<M: Metric>(
+    metric: &M,
+    params: &PreferenceParams,
+    taxis: &[Taxi],
+    requests: &[Request],
+    pairs: &[(usize, usize)],
+) -> Schedule {
+    let mut request_to_taxi = vec![None; requests.len()];
+    let mut passenger_cost = vec![None; requests.len()];
+    let mut taxi_cost = vec![None; taxis.len()];
+    for &(rj, ti) in pairs {
+        assert!(request_to_taxi[rj].is_none(), "request matched twice");
+        assert!(taxi_cost[ti].is_none(), "taxi matched twice");
+        let d = metric.distance(taxis[ti].location, requests[rj].pickup);
+        request_to_taxi[rj] = Some(ti);
+        passenger_cost[rj] = Some(d);
+        taxi_cost[ti] = Some(d - params.alpha * requests[rj].trip_distance(metric));
+    }
+    Schedule::from_parts(
+        requests.iter().map(|r| r.id).collect(),
+        taxis.iter().map(|t| t.id).collect(),
+        request_to_taxi,
+        passenger_cost,
+        taxi_cost,
+    )
+}
+
+/// The shortest detour-compliant route for `group` driven by a taxi
+/// starting at `taxi.location`, or `None` when no stop order keeps every
+/// member's detour within θ.
+///
+/// The detour budget is a hard constraint of the search
+/// ([`best_route_within_detour`]), which is what the insertion-style
+/// baselines need: "take the group iff *some* compliant order exists".
+#[must_use]
+pub fn best_compliant_route<M: Metric>(
+    metric: &M,
+    params: &PreferenceParams,
+    taxi: &Taxi,
+    group: &[Request],
+) -> Option<RoutePlan> {
+    best_route_within_detour(metric, Some(taxi.location), group, params.detour_threshold)
+}
+
+/// Builds a [`GroupAssignment`] (with the paper's sharing metrics) for a
+/// taxi serving `group` along `plan`.
+#[must_use]
+pub fn group_assignment<M: Metric>(
+    metric: &M,
+    params: &PreferenceParams,
+    taxi: &Taxi,
+    group: &[Request],
+    plan: RoutePlan,
+) -> GroupAssignment {
+    let approach = metric.distance(taxi.location, plan.first_stop());
+    let wait_distances: Vec<f64> = (0..group.len())
+        .map(|m| approach + plan.pickup_offset[m])
+        .collect();
+    let detours: Vec<f64> = group
+        .iter()
+        .enumerate()
+        .map(|(m, r)| plan.detour(m, r.trip_distance(metric)))
+        .collect();
+    let passenger_costs: Vec<f64> = wait_distances
+        .iter()
+        .zip(&detours)
+        .map(|(w, d)| w + params.beta * d)
+        .collect();
+    let sum_trips: f64 = group.iter().map(|r| r.trip_distance(metric)).sum();
+    let total_drive = approach + plan.internal_length;
+    GroupAssignment {
+        taxi: taxi.id,
+        members: group.iter().map(|r| r.id).collect(),
+        route: plan,
+        wait_distances,
+        detours,
+        passenger_costs,
+        taxi_cost: total_drive - (params.alpha + 1.0) * sum_trips,
+        total_drive,
+    }
+}
+
+/// Whether `group` fits the free seats of `taxi`.
+#[must_use]
+pub fn fits(taxi: &Taxi, group: &[Request]) -> bool {
+    group.iter().map(|r| u16::from(r.passengers)).sum::<u16>() <= u16::from(taxi.seats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::{Euclidean, Point};
+    use o2o_trace::{RequestId, TaxiId};
+
+    fn taxi(id: u64, x: f64) -> Taxi {
+        Taxi::new(TaxiId(id), Point::new(x, 0.0))
+    }
+
+    fn req(id: u64, s: f64, d: f64) -> Request {
+        Request::new(RequestId(id), 0, Point::new(s, 0.0), Point::new(d, 0.0))
+    }
+
+    #[test]
+    fn schedule_from_pairs_attaches_metrics() {
+        let taxis = vec![taxi(0, 0.0), taxi(1, 10.0)];
+        let requests = vec![req(0, 1.0, 5.0)];
+        let s = schedule_from_pairs(
+            &Euclidean,
+            &PreferenceParams::paper(),
+            &taxis,
+            &requests,
+            &[(0, 0)],
+        );
+        assert_eq!(s.passenger_dissatisfaction(RequestId(0)), Some(1.0));
+        assert_eq!(s.taxi_dissatisfaction(TaxiId(0)), Some(1.0 - 4.0));
+        assert_eq!(s.request_of(TaxiId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "taxi matched twice")]
+    fn duplicate_taxi_rejected() {
+        let taxis = vec![taxi(0, 0.0)];
+        let requests = vec![req(0, 1.0, 2.0), req(1, 3.0, 4.0)];
+        let _ = schedule_from_pairs(
+            &Euclidean,
+            &PreferenceParams::paper(),
+            &taxis,
+            &requests,
+            &[(0, 0), (1, 0)],
+        );
+    }
+
+    #[test]
+    fn compliant_route_respects_theta() {
+        let t = taxi(0, 0.0);
+        // Crossing trips force a big detour on any genuinely-shared order.
+        let a = Request::new(RequestId(0), 0, Point::new(0.0, 0.0), Point::new(20.0, 0.0));
+        let b = Request::new(
+            RequestId(1),
+            0,
+            Point::new(10.0, 5.0),
+            Point::new(10.0, -5.0),
+        );
+        let tight = PreferenceParams::paper().with_detour_threshold(1.0);
+        assert!(best_compliant_route(&Euclidean, &tight, &t, &[a, b]).is_none());
+        let loose = PreferenceParams::paper().with_detour_threshold(13.0);
+        let plan = best_compliant_route(&Euclidean, &loose, &t, &[a, b])
+            .expect("13 km budget admits the interleaving");
+        assert!(plan.detour(0, 20.0) <= 13.0 + 1e-9);
+        assert!(plan.detour(1, 10.0) <= 13.0 + 1e-9);
+    }
+
+    #[test]
+    fn group_assignment_metrics_consistent() {
+        let params = PreferenceParams::paper();
+        let t = taxi(0, -1.0);
+        let group = vec![req(0, 0.0, 10.0), req(1, 2.0, 8.0)];
+        let plan = best_compliant_route(&Euclidean, &params, &t, &group).unwrap();
+        let a = group_assignment(&Euclidean, &params, &t, &group, plan);
+        assert_eq!(a.members.len(), 2);
+        assert!((a.total_drive - 11.0).abs() < 1e-9);
+        assert!((a.taxi_cost - (11.0 - 2.0 * 16.0)).abs() < 1e-9);
+        assert_eq!(a.wait_distances.len(), 2);
+    }
+
+    #[test]
+    fn fits_checks_party_sizes() {
+        let t = Taxi::with_seats(TaxiId(0), Point::ORIGIN, 3);
+        let small = vec![req(0, 0.0, 1.0), req(1, 0.0, 1.0)];
+        assert!(fits(&t, &small));
+        let big = vec![
+            Request::with_party(RequestId(0), 0, Point::ORIGIN, Point::ORIGIN, 2),
+            Request::with_party(RequestId(1), 0, Point::ORIGIN, Point::ORIGIN, 2),
+        ];
+        assert!(!fits(&t, &big));
+    }
+}

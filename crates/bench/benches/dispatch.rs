@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the dispatch pipeline: one frame of
+//! NSTD / STD, shared-route search and set packing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use o2o_core::shared_route::{best_route, best_route_within_detour};
+use o2o_core::{NonSharingDispatcher, PreferenceParams, SharingDispatcher};
+use o2o_geo::{Euclidean, Point};
+use o2o_matching::{SetPacking, SetPackingStrategy};
+use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_frame(rng: &mut StdRng, nt: usize, nr: usize) -> (Vec<Taxi>, Vec<Request>) {
+    let taxis = (0..nt)
+        .map(|i| {
+            Taxi::new(
+                TaxiId(i as u64),
+                Point::new(rng.gen_range(-7.0..7.0), rng.gen_range(-7.0..7.0)),
+            )
+        })
+        .collect();
+    let requests = (0..nr)
+        .map(|j| {
+            let s = Point::new(rng.gen_range(-7.0..7.0), rng.gen_range(-7.0..7.0));
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let len = rng.gen_range(0.5..4.0);
+            Request::new(
+                RequestId(j as u64),
+                0,
+                s,
+                Point::new(s.x + len * angle.cos(), s.y + len * angle.sin()),
+            )
+        })
+        .collect();
+    (taxis, requests)
+}
+
+fn bench_nstd_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nstd_p_frame");
+    for &(nt, nr) in &[(50usize, 100usize), (200, 200), (700, 400)] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (taxis, requests) = random_frame(&mut rng, nt, nr);
+        let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::paper());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nt}x{nr}")),
+            &(taxis, requests),
+            |b, (taxis, requests)| b.iter(|| d.passenger_optimal(taxis, requests)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_std_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("std_p_frame");
+    group.sample_size(20);
+    for &(nt, nr) in &[(20usize, 60usize), (50, 150)] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (taxis, requests) = random_frame(&mut rng, nt, nr);
+        let d = SharingDispatcher::new(Euclidean, PreferenceParams::paper());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nt}x{nr}")),
+            &(taxis, requests),
+            |b, (taxis, requests)| b.iter(|| d.dispatch_passenger_optimal(taxis, requests)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_shared_route(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let (_, requests) = random_frame(&mut rng, 1, 4);
+    c.bench_function("shared_route/pair", |b| {
+        b.iter(|| best_route(&Euclidean, &requests[0..2]))
+    });
+    c.bench_function("shared_route/triple", |b| {
+        b.iter(|| best_route(&Euclidean, &requests[0..3]))
+    });
+    c.bench_function("shared_route/triple_constrained", |b| {
+        b.iter(|| best_route_within_detour(&Euclidean, None, &requests[0..3], 5.0))
+    });
+}
+
+fn bench_set_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_packing");
+    let mut rng = StdRng::seed_from_u64(5);
+    let n_items = 120;
+    let sets: Vec<Vec<usize>> = (0..400)
+        .map(|_| {
+            let a = rng.gen_range(0..n_items);
+            let b = (a + rng.gen_range(1..6)) % n_items;
+            if rng.gen_bool(0.3) {
+                let c = (b + rng.gen_range(1..6)) % n_items;
+                if c != a && c != b && a != b {
+                    return vec![a, b, c];
+                }
+            }
+            if a == b {
+                vec![a, (a + 1) % n_items]
+            } else {
+                vec![a, b]
+            }
+        })
+        .collect();
+    let inst = SetPacking::new(n_items, sets).expect("valid sets");
+    for (name, strategy) in [
+        ("greedy", SetPackingStrategy::Greedy),
+        ("local_search", SetPackingStrategy::LocalSearch),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| inst.pack(strategy))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nstd_frame,
+    bench_std_frame,
+    bench_shared_route,
+    bench_set_packing
+);
+criterion_main!(benches);

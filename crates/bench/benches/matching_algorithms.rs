@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks for the matching substrate: deferred
+//! acceptance, Algorithm 2 enumeration, Hungarian, bottleneck and
+//! Hopcroft–Karp.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use o2o_matching::hungarian::CostMatrix;
+use o2o_matching::{
+    bottleneck_assignment, max_bipartite_matching, min_cost_assignment, StableInstance,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn random_instance(rng: &mut StdRng, np: usize, nr: usize, truncate: bool) -> StableInstance {
+    let mut side = |n: usize, m: usize| -> Vec<Vec<usize>> {
+        (0..n)
+            .map(|_| {
+                let mut all: Vec<usize> = (0..m).collect();
+                all.shuffle(rng);
+                if truncate {
+                    let keep = rng.gen_range(m / 2..=m);
+                    all.truncate(keep);
+                }
+                all
+            })
+            .collect()
+    };
+    let p = side(np, nr);
+    let r = side(nr, np);
+    StableInstance::new(p, r).expect("valid random instance")
+}
+
+fn bench_gale_shapley(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gale_shapley_propose");
+    for &n in &[50usize, 100, 200, 400] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let inst = random_instance(&mut rng, n, n, true);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| inst.propose());
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_matchings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_enumerate_all");
+    for &n in &[6usize, 8, 10] {
+        // Complete (untruncated) preferences maximise the lattice size.
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let inst = random_instance(&mut rng, n, n, false);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| inst.enumerate_all(Some(256)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian_min_cost");
+    for &n in &[50usize, 100, 200] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let costs = CostMatrix::from_fn(n, n, |_, _| rng.gen_range(0.0..100.0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &costs, |b, costs| {
+            b.iter(|| min_cost_assignment(costs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bottleneck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bottleneck_assignment");
+    for &n in &[50usize, 100] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let costs = CostMatrix::from_fn(n, n, |_, _| rng.gen_range(0.0..100.0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &costs, |b, costs| {
+            b.iter(|| bottleneck_assignment(costs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    for &n in &[100usize, 400] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|_| {
+                (0..n)
+                    .filter(|_| rng.gen_bool(8.0 / n as f64))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &adj, |b, adj| {
+            b.iter(|| max_bipartite_matching(n, adj));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gale_shapley,
+    bench_all_matchings,
+    bench_hungarian,
+    bench_bottleneck,
+    bench_hopcroft_karp
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark for whole-day simulation throughput per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use o2o_bench::PolicyKind;
+use o2o_core::PreferenceParams;
+use o2o_sim::{SimConfig, Simulator};
+use o2o_trace::boston_september_2012;
+
+fn bench_simulated_day(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_day_boston_2pct");
+    group.sample_size(10);
+    let trace = boston_september_2012(0.02).taxis(4).generate(1);
+    for kind in [
+        PolicyKind::NstdP,
+        PolicyKind::Near,
+        PolicyKind::Pair,
+        PolicyKind::StdP,
+        PolicyKind::Raii,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut policy = kind.build(PreferenceParams::paper());
+                    Simulator::new(SimConfig::default()).run(trace, &mut policy)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulated_day);
+criterion_main!(benches);

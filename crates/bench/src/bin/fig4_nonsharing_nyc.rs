@@ -1,0 +1,45 @@
+//! Figure 4: CDFs of dispatch delay, passenger dissatisfaction and taxi
+//! dissatisfaction for non-sharing dispatch on the New York trace.
+//!
+//! Paper setup: NYC January 2016 trace, 700 taxis, one-minute frames,
+//! 20 km/h, α = 1. Run with `--scale 1.0` for a full trace day (defaults
+//! to 0.1, which preserves the supply/demand ratio by scaling the fleet
+//! too).
+
+use o2o_bench::{print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind};
+use o2o_core::PreferenceParams;
+use o2o_sim::SimConfig;
+use o2o_trace::nyc_january_2016;
+
+fn main() {
+    let opts =
+        ExperimentOpts::from_args_with(0.5, PreferenceParams::paper().with_taxi_threshold(4.0));
+    let trace = nyc_january_2016(opts.scale)
+        .taxis(opts.scaled_taxis(700))
+        .generate(opts.seed);
+    eprintln!(
+        "fig4: trace {} — {} requests, {} taxis (scale {})",
+        trace.name,
+        trace.requests.len(),
+        trace.taxis.len(),
+        opts.scale
+    );
+    let reports = run_policies(
+        &trace,
+        &PolicyKind::NON_SHARING,
+        opts.params,
+        SimConfig::default(),
+    );
+    print_summary(&reports);
+    let delay: Vec<_> = reports.iter().map(|r| r.delay_cdf()).collect();
+    print_cdf_table("Fig 4(a): dispatch delay CDF", "min", &reports, &delay);
+    let pass: Vec<_> = reports.iter().map(|r| r.passenger_cdf()).collect();
+    print_cdf_table(
+        "Fig 4(b): passenger dissatisfaction CDF",
+        "km",
+        &reports,
+        &pass,
+    );
+    let taxi: Vec<_> = reports.iter().map(|r| r.taxi_cdf()).collect();
+    print_cdf_table("Fig 4(c): taxi dissatisfaction CDF", "km", &reports, &taxi);
+}

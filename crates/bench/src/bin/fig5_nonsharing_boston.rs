@@ -1,0 +1,41 @@
+//! Figure 5: the three non-sharing CDFs on the Boston trace
+//! (September 2012, 200 taxis).
+//!
+//! The paper's contrasts with Fig. 4: smaller area ⇒ lower dissatisfaction
+//! magnitudes, and NSTD is *not* outperformed on dispatch delay.
+
+use o2o_bench::{print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind};
+use o2o_sim::SimConfig;
+use o2o_trace::boston_september_2012;
+
+fn main() {
+    let opts = ExperimentOpts::from_args(0.2);
+    let trace = boston_september_2012(opts.scale)
+        .taxis(opts.scaled_taxis(200))
+        .generate(opts.seed);
+    eprintln!(
+        "fig5: trace {} — {} requests, {} taxis (scale {})",
+        trace.name,
+        trace.requests.len(),
+        trace.taxis.len(),
+        opts.scale
+    );
+    let reports = run_policies(
+        &trace,
+        &PolicyKind::NON_SHARING,
+        opts.params,
+        SimConfig::default(),
+    );
+    print_summary(&reports);
+    let delay: Vec<_> = reports.iter().map(|r| r.delay_cdf()).collect();
+    print_cdf_table("Fig 5(a): dispatch delay CDF", "min", &reports, &delay);
+    let pass: Vec<_> = reports.iter().map(|r| r.passenger_cdf()).collect();
+    print_cdf_table(
+        "Fig 5(b): passenger dissatisfaction CDF",
+        "km",
+        &reports,
+        &pass,
+    );
+    let taxi: Vec<_> = reports.iter().map(|r| r.taxi_cdf()).collect();
+    print_cdf_table("Fig 5(c): taxi dissatisfaction CDF", "km", &reports, &taxi);
+}

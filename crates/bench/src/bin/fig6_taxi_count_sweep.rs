@@ -1,0 +1,69 @@
+//! Figure 6: average dispatch delay / passenger dissatisfaction / taxi
+//! dissatisfaction vs the number of taxis, Boston trace, non-sharing.
+//!
+//! Paper shape: delays and passenger dissatisfaction fall as taxis grow;
+//! NSTD's taxi-dissatisfaction advantage is largest when taxis are scarce
+//! (taxis can then *choose* passengers).
+
+use o2o_bench::{run_policies, ExperimentOpts, PolicyKind};
+use o2o_sim::SimConfig;
+use o2o_trace::boston_september_2012;
+
+fn main() {
+    let opts = ExperimentOpts::from_args(0.2);
+    // The paper sweeps the Boston fleet around its default 200.
+    let paper_counts = [100usize, 150, 200, 250, 300, 350];
+    let mut rows = Vec::new();
+    for &count in &paper_counts {
+        let taxis = ((count as f64 * opts.scale).round() as usize).max(1);
+        let trace = boston_september_2012(opts.scale)
+            .taxis(taxis)
+            .generate(opts.seed);
+        eprintln!(
+            "fig6: {count} paper-taxis -> {taxis} scaled, {} requests",
+            trace.requests.len()
+        );
+        let reports = run_policies(
+            &trace,
+            &PolicyKind::NON_SHARING,
+            opts.params,
+            SimConfig::default(),
+        );
+        rows.push((count, reports));
+    }
+
+    let names: Vec<String> = rows[0].1.iter().map(|r| r.policy.clone()).collect();
+    for (title, f) in [
+        (
+            "Fig 6(a): average dispatch delay (min) vs number of taxis",
+            0usize,
+        ),
+        (
+            "Fig 6(b): average passenger dissatisfaction (km) vs number of taxis",
+            1,
+        ),
+        (
+            "Fig 6(c): average taxi dissatisfaction (km) vs number of taxis",
+            2,
+        ),
+    ] {
+        println!("\n=== {title} ===");
+        print!("{:>8}", "taxis");
+        for n in &names {
+            print!("{n:>10}");
+        }
+        println!();
+        for (count, reports) in &rows {
+            print!("{count:>8}");
+            for r in reports {
+                let v = match f {
+                    0 => r.avg_delay_min(),
+                    1 => r.avg_passenger_dissatisfaction(),
+                    _ => r.avg_taxi_dissatisfaction(),
+                };
+                print!("{v:>10.3}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 8: CDFs of the three metrics for **sharing** dispatch on the
+//! New York trace (θ = 5, α = β = 1).
+//!
+//! Paper shape: unlike the non-sharing trade-off, STD-P and STD-T
+//! outperform RAII, SARP and Lin on *all three* metrics.
+
+use o2o_bench::{print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind};
+use o2o_core::PreferenceParams;
+use o2o_sim::SimConfig;
+use o2o_trace::nyc_january_2016;
+
+fn main() {
+    let opts =
+        ExperimentOpts::from_args_with(0.5, PreferenceParams::paper().with_taxi_threshold(2.0));
+    let trace = nyc_january_2016(opts.scale)
+        .taxis(opts.scaled_taxis(700))
+        .generate(opts.seed);
+    eprintln!(
+        "fig8: trace {} — {} requests, {} taxis (scale {})",
+        trace.name,
+        trace.requests.len(),
+        trace.taxis.len(),
+        opts.scale
+    );
+    let reports = run_policies(
+        &trace,
+        &PolicyKind::SHARING,
+        opts.params,
+        SimConfig::default(),
+    );
+    print_summary(&reports);
+    let delay: Vec<_> = reports.iter().map(|r| r.delay_cdf()).collect();
+    print_cdf_table("Fig 8(a): dispatch delay CDF", "min", &reports, &delay);
+    let pass: Vec<_> = reports.iter().map(|r| r.passenger_cdf()).collect();
+    print_cdf_table(
+        "Fig 8(b): passenger dissatisfaction CDF",
+        "km",
+        &reports,
+        &pass,
+    );
+    let taxi: Vec<_> = reports.iter().map(|r| r.taxi_cdf()).collect();
+    print_cdf_table("Fig 8(c): taxi dissatisfaction CDF", "km", &reports, &taxi);
+}

@@ -1,0 +1,40 @@
+//! Figure 9: CDFs of the three metrics for **sharing** dispatch on the
+//! Boston trace (θ = 5, α = β = 1).
+
+use o2o_bench::{print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind};
+use o2o_core::PreferenceParams;
+use o2o_sim::SimConfig;
+use o2o_trace::boston_september_2012;
+
+fn main() {
+    let opts =
+        ExperimentOpts::from_args_with(1.0, PreferenceParams::paper().with_taxi_threshold(1.0));
+    let trace = boston_september_2012(opts.scale)
+        .taxis(opts.scaled_taxis(200))
+        .generate(opts.seed);
+    eprintln!(
+        "fig9: trace {} — {} requests, {} taxis (scale {})",
+        trace.name,
+        trace.requests.len(),
+        trace.taxis.len(),
+        opts.scale
+    );
+    let reports = run_policies(
+        &trace,
+        &PolicyKind::SHARING,
+        opts.params,
+        SimConfig::default(),
+    );
+    print_summary(&reports);
+    let delay: Vec<_> = reports.iter().map(|r| r.delay_cdf()).collect();
+    print_cdf_table("Fig 9(a): dispatch delay CDF", "min", &reports, &delay);
+    let pass: Vec<_> = reports.iter().map(|r| r.passenger_cdf()).collect();
+    print_cdf_table(
+        "Fig 9(b): passenger dissatisfaction CDF",
+        "km",
+        &reports,
+        &pass,
+    );
+    let taxi: Vec<_> = reports.iter().map(|r| r.taxi_cdf()).collect();
+    print_cdf_table("Fig 9(c): taxi dissatisfaction CDF", "km", &reports, &taxi);
+}

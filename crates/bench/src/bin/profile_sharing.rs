@@ -1,0 +1,29 @@
+//! Per-policy wall-clock profiling for the sharing pipeline (maintenance
+//! tool: `cargo run --release -p o2o-bench --bin profile_sharing -- --scale 0.1`).
+
+use o2o_bench::{run_policies, ExperimentOpts, PolicyKind};
+use o2o_sim::SimConfig;
+use o2o_trace::boston_september_2012;
+
+fn main() {
+    let opts = ExperimentOpts::from_args(0.1);
+    let trace = boston_september_2012(opts.scale)
+        .taxis(opts.scaled_taxis(200))
+        .generate(opts.seed);
+    eprintln!(
+        "profile: {} requests, {} taxis",
+        trace.requests.len(),
+        trace.taxis.len()
+    );
+    for kind in PolicyKind::SHARING {
+        let t0 = std::time::Instant::now();
+        let r = run_policies(&trace, &[kind], opts.params, SimConfig::default());
+        eprintln!(
+            "{:>6}: {:>8.2?}  served {} shared {:.2}",
+            r[0].policy,
+            t0.elapsed(),
+            r[0].served,
+            r[0].sharing_rate()
+        );
+    }
+}

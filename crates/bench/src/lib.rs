@@ -1,0 +1,296 @@
+//! Experiment harness regenerating the paper's figures.
+//!
+//! One binary per figure (see `src/bin/`): each builds the figure's trace,
+//! runs every algorithm the figure compares, and prints the same rows or
+//! series the paper plots. Criterion micro-benchmarks live in `benches/`.
+//!
+//! Figures are reproduced at a configurable `--scale`: the request volume
+//! *and* the fleet are multiplied by the factor, preserving the
+//! supply/demand ratio that drives the paper's results (absolute distance
+//! magnitudes grow as density falls — see `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use o2o_core::PreferenceParams;
+use o2o_geo::Euclidean;
+use o2o_sim::{policy, Cdf, DispatchPolicy, SimConfig, SimReport, Simulator};
+use o2o_trace::Trace;
+
+/// Common command-line options of the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentOpts {
+    /// Multiplier applied to both request volume and fleet size.
+    pub scale: f64,
+    /// Seed for the synthetic trace.
+    pub seed: u64,
+    /// Interest-model parameters (α, β, dummy thresholds, θ).
+    pub params: PreferenceParams,
+}
+
+impl ExperimentOpts {
+    /// Parses `--scale <f>`, `--seed <n>`, `--alpha <f>`, `--beta <f>`,
+    /// `--taxi-threshold <f>`, `--passenger-threshold <f>` and
+    /// `--theta <f>` from `std::env::args`; defaults are `default_scale`,
+    /// seed 42 and [`PreferenceParams::paper`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    #[must_use]
+    pub fn from_args(default_scale: f64) -> Self {
+        Self::from_args_with(default_scale, PreferenceParams::paper())
+    }
+
+    /// Like [`ExperimentOpts::from_args`] but with figure-specific default
+    /// parameters (e.g. the NYC figures default to a wider driver
+    /// threshold because NYC pick-up distances are larger — see
+    /// `EXPERIMENTS.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a usage message) on malformed arguments.
+    #[must_use]
+    pub fn from_args_with(default_scale: f64, default_params: PreferenceParams) -> Self {
+        let mut opts = ExperimentOpts {
+            scale: default_scale,
+            seed: 42,
+            params: default_params,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        let take = |i: usize, what: &str| -> f64 {
+            args.get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("usage: {what} <number>"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => opts.scale = take(i, "--scale"),
+                "--seed" => opts.seed = take(i, "--seed") as u64,
+                "--alpha" => opts.params.alpha = take(i, "--alpha"),
+                "--beta" => opts.params.beta = take(i, "--beta"),
+                "--taxi-threshold" => opts.params.taxi_threshold = take(i, "--taxi-threshold"),
+                "--passenger-threshold" => {
+                    opts.params.passenger_threshold = take(i, "--passenger-threshold");
+                }
+                "--theta" => opts.params.detour_threshold = take(i, "--theta"),
+                other => panic!(
+                    "unknown argument {other}; supported: --scale --seed --alpha --beta \
+                     --taxi-threshold --passenger-threshold --theta"
+                ),
+            }
+            i += 2;
+        }
+        opts.params.validate().expect("invalid parameters");
+        opts
+    }
+
+    /// Scales a fleet size, keeping at least one taxi.
+    #[must_use]
+    pub fn scaled_taxis(&self, paper_count: usize) -> usize {
+        ((paper_count as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+/// The algorithms a figure compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Algorithm 1, passenger-optimal stable matching.
+    NstdP,
+    /// Taxi-optimal stable matching (Algorithms 1+2).
+    NstdT,
+    /// Greedy nearest-taxi baseline.
+    Near,
+    /// Minimum-cost bipartite matching baseline.
+    Pair,
+    /// Bottleneck matching baseline.
+    Mini,
+    /// Algorithm 3, passenger-optimal (sharing).
+    StdP,
+    /// Algorithm 3, taxi-optimal (sharing).
+    StdT,
+    /// Spatio-temporal-index insertion baseline (sharing).
+    Raii,
+    /// TSP-insertion baseline (sharing).
+    Sarp,
+    /// ILP-heuristic baseline (sharing).
+    Lin,
+}
+
+impl PolicyKind {
+    /// The paper's non-sharing line-up (Figs. 4–7).
+    pub const NON_SHARING: [PolicyKind; 5] = [
+        PolicyKind::NstdP,
+        PolicyKind::NstdT,
+        PolicyKind::Near,
+        PolicyKind::Pair,
+        PolicyKind::Mini,
+    ];
+
+    /// The paper's sharing line-up (Figs. 8–9).
+    pub const SHARING: [PolicyKind; 5] = [
+        PolicyKind::StdP,
+        PolicyKind::StdT,
+        PolicyKind::Raii,
+        PolicyKind::Sarp,
+        PolicyKind::Lin,
+    ];
+
+    /// Builds the policy over the Euclidean metric.
+    #[must_use]
+    pub fn build(&self, params: PreferenceParams) -> Box<dyn DispatchPolicy + Send> {
+        match self {
+            PolicyKind::NstdP => Box::new(policy::nstd_p(Euclidean, params)),
+            PolicyKind::NstdT => Box::new(policy::nstd_t(Euclidean, params)),
+            PolicyKind::Near => Box::new(policy::near(Euclidean, params)),
+            PolicyKind::Pair => Box::new(policy::pair(Euclidean, params)),
+            PolicyKind::Mini => Box::new(policy::mini(Euclidean, params)),
+            PolicyKind::StdP => Box::new(policy::std_p(Euclidean, params)),
+            PolicyKind::StdT => Box::new(policy::std_t(Euclidean, params)),
+            PolicyKind::Raii => Box::new(policy::raii(Euclidean, params)),
+            PolicyKind::Sarp => Box::new(policy::sarp(Euclidean, params)),
+            PolicyKind::Lin => Box::new(policy::lin(Euclidean, params)),
+        }
+    }
+}
+
+/// Runs every policy over the trace, in parallel (one thread per policy).
+#[must_use]
+pub fn run_policies(
+    trace: &Trace,
+    kinds: &[PolicyKind],
+    params: PreferenceParams,
+    config: SimConfig,
+) -> Vec<SimReport> {
+    let mut out: Vec<Option<SimReport>> = (0..kinds.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, kind) in out.iter_mut().zip(kinds.iter()) {
+            scope.spawn(move |_| {
+                let mut policy = kind.build(params);
+                let sim = Simulator::new(config);
+                *slot = Some(sim.run(trace, &mut policy));
+            });
+        }
+    })
+    .expect("policy thread panicked");
+    out.into_iter().map(|r| r.expect("slot filled")).collect()
+}
+
+/// Prints a CDF comparison table: one row per grid value, one column per
+/// report — the textual form of the paper's CDF figures.
+pub fn print_cdf_table(title: &str, unit: &str, reports: &[SimReport], cdfs: &[Cdf]) {
+    assert_eq!(reports.len(), cdfs.len());
+    println!("\n=== {title} ===");
+    print!("{:>12}", format!("{unit}"));
+    for r in reports {
+        print!("{:>10}", r.policy);
+    }
+    println!();
+    // Shared grid across policies so columns are comparable.
+    let hi = cdfs.iter().map(Cdf::max).fold(0.0f64, f64::max);
+    let grid: Vec<f64> = if hi <= 0.0 {
+        vec![0.0]
+    } else {
+        (0..=12).map(|i| hi * i as f64 / 12.0).collect()
+    };
+    for x in grid {
+        print!("{x:>12.2}");
+        for cdf in cdfs {
+            print!("{:>10.3}", cdf.fraction_at_most(x));
+        }
+        println!();
+    }
+}
+
+/// Prints the three-metric summary block the figure captions describe.
+pub fn print_summary(reports: &[SimReport]) {
+    println!(
+        "\n{:>10} {:>8} {:>9} {:>12} {:>8} {:>12} {:>10} {:>12}",
+        "policy",
+        "served",
+        "unserved",
+        "delay(min)",
+        "<=1min",
+        "pass-dis",
+        "taxi-dis",
+        "share-rate"
+    );
+    for r in reports {
+        println!(
+            "{:>10} {:>8} {:>9} {:>12.3} {:>8.3} {:>12.3} {:>10.3} {:>12.3}",
+            r.policy,
+            r.served,
+            r.unserved_at_end,
+            r.avg_delay_min(),
+            r.delay_cdf().fraction_at_most(1.0),
+            r.avg_passenger_dissatisfaction(),
+            r.avg_taxi_dissatisfaction(),
+            r.sharing_rate(),
+        );
+    }
+}
+
+/// Prints an hour-of-day series table (Fig. 7's shape).
+pub fn print_hourly_table(title: &str, reports: &[SimReport], series: &[[f64; 24]]) {
+    assert_eq!(reports.len(), series.len());
+    println!("\n=== {title} ===");
+    print!("{:>6}", "hour");
+    for r in reports {
+        print!("{:>10}", r.policy);
+    }
+    println!();
+    for h in 0..24 {
+        print!("{h:>6}");
+        for s in series {
+            print!("{:>10.3}", s[h]);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_trace::boston_september_2012;
+
+    #[test]
+    fn scaled_taxis_keeps_minimum() {
+        let o = ExperimentOpts {
+            scale: 0.0001,
+            seed: 1,
+            params: PreferenceParams::paper(),
+        };
+        assert_eq!(o.scaled_taxis(700), 1);
+        let o = ExperimentOpts {
+            scale: 0.5,
+            seed: 1,
+            params: PreferenceParams::paper(),
+        };
+        assert_eq!(o.scaled_taxis(200), 100);
+    }
+
+    #[test]
+    fn run_policies_returns_one_report_per_kind() {
+        let trace = boston_september_2012(0.001).taxis(5).generate(3);
+        let reports = run_policies(
+            &trace,
+            &[PolicyKind::Near, PolicyKind::NstdP],
+            PreferenceParams::default(),
+            SimConfig::default(),
+        );
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].policy, "Near");
+        assert_eq!(reports[1].policy, "NSTD-P");
+        for r in &reports {
+            assert_eq!(r.served + r.unserved_at_end, trace.requests.len());
+        }
+    }
+
+    #[test]
+    fn all_policy_kinds_build() {
+        for k in PolicyKind::NON_SHARING.iter().chain(&PolicyKind::SHARING) {
+            let _ = k.build(PreferenceParams::default());
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The company's interest: fares and schedule selection (§III.B, §IV.D).
+//!
+//! "The company makes money through taking a fixed [fraction] of the fare
+//! of each taxi ride" and "can pick a stable matching from all possible
+//! ones, such that the most money is made". By the rural-hospitals
+//! property the served set — hence revenue — is the same in every stable
+//! matching, so [`CompanyObjective`] also offers welfare tie-breakers.
+
+use crate::Schedule;
+use o2o_geo::Metric;
+use o2o_trace::Request;
+
+/// A distance-based taxi fare: `flag_fall + per_km × trip_km`.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_core::FareModel;
+///
+/// let fare = FareModel::default(); // $2.50 + $1.56/km, 20% commission
+/// assert!((fare.fare(10.0) - 18.1).abs() < 1e-9);
+/// assert!((fare.commission(10.0) - 3.62).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FareModel {
+    /// Fixed component of every ride.
+    pub flag_fall: f64,
+    /// Per-kilometre rate.
+    pub per_km: f64,
+    /// Fraction of each fare the company keeps (e.g. `0.2`).
+    pub commission_rate: f64,
+}
+
+impl FareModel {
+    /// Creates a fare model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component is negative/non-finite or the commission
+    /// rate exceeds 1.
+    #[must_use]
+    pub fn new(flag_fall: f64, per_km: f64, commission_rate: f64) -> Self {
+        assert!(
+            flag_fall.is_finite() && flag_fall >= 0.0,
+            "invalid flag fall {flag_fall}"
+        );
+        assert!(
+            per_km.is_finite() && per_km >= 0.0,
+            "invalid per-km rate {per_km}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&commission_rate),
+            "commission rate must be in [0, 1], got {commission_rate}"
+        );
+        FareModel {
+            flag_fall,
+            per_km,
+            commission_rate,
+        }
+    }
+
+    /// Fare of a trip of `trip_km` kilometres.
+    #[must_use]
+    pub fn fare(&self, trip_km: f64) -> f64 {
+        self.flag_fall + self.per_km * trip_km
+    }
+
+    /// The company's cut of a trip of `trip_km` kilometres.
+    #[must_use]
+    pub fn commission(&self, trip_km: f64) -> f64 {
+        self.fare(trip_km) * self.commission_rate
+    }
+}
+
+impl Default for FareModel {
+    /// NYC-yellow-cab-like rates: $2.50 flag fall, $1.56/km, 20%
+    /// commission.
+    fn default() -> Self {
+        FareModel::new(2.5, 1.56, 0.2)
+    }
+}
+
+/// Company revenue of a schedule: commission summed over served requests.
+#[must_use]
+pub fn fare_revenue<M: Metric>(
+    metric: &M,
+    fare: &FareModel,
+    requests: &[Request],
+    schedule: &Schedule,
+) -> f64 {
+    requests
+        .iter()
+        .filter(|r| schedule.assignment_of(r.id).taxi().is_some())
+        .map(|r| fare.commission(r.trip_distance(metric)))
+        .sum()
+}
+
+/// What the company maximises when picking among stable schedules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CompanyObjective {
+    /// Commission revenue under a fare model. Identical across stable
+    /// schedules (rural hospitals), so ties are broken towards lower total
+    /// pick-up distance (shorter idle driving = faster service).
+    Revenue(FareModel),
+    /// Minimise total pick-up (idle) distance of matched pairs.
+    MinIdleDistance,
+    /// Maximise passenger welfare (minimise total passenger
+    /// dissatisfaction) — recovers NSTD-P.
+    PassengerWelfare,
+    /// Maximise taxi welfare (minimise total taxi dissatisfaction) —
+    /// recovers NSTD-T.
+    TaxiWelfare,
+}
+
+impl CompanyObjective {
+    /// Score of a schedule; **higher is better**.
+    #[must_use]
+    pub fn score<M: Metric>(&self, metric: &M, requests: &[Request], s: &Schedule) -> f64 {
+        match self {
+            CompanyObjective::Revenue(fare) => {
+                let revenue = fare_revenue(metric, fare, requests, s);
+                // Tie-break: prefer lower idle distance with a weight small
+                // enough never to trade away revenue.
+                revenue - 1e-6 * s.total_passenger_dissatisfaction()
+            }
+            CompanyObjective::MinIdleDistance => -s.total_passenger_dissatisfaction(),
+            CompanyObjective::PassengerWelfare => -s.total_passenger_dissatisfaction(),
+            CompanyObjective::TaxiWelfare => -s.total_taxi_dissatisfaction(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::{Euclidean, Point};
+    use o2o_trace::{RequestId, TaxiId};
+
+    #[test]
+    fn fare_components() {
+        let f = FareModel::new(2.0, 1.5, 0.25);
+        assert_eq!(f.fare(4.0), 8.0);
+        assert_eq!(f.commission(4.0), 2.0);
+        assert_eq!(f.fare(0.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "commission rate")]
+    fn commission_rate_validated() {
+        let _ = FareModel::new(1.0, 1.0, 1.5);
+    }
+
+    #[test]
+    fn revenue_counts_only_served() {
+        let requests = vec![
+            Request::new(RequestId(0), 0, Point::new(0.0, 0.0), Point::new(10.0, 0.0)),
+            Request::new(RequestId(1), 0, Point::new(0.0, 0.0), Point::new(20.0, 0.0)),
+        ];
+        let s = Schedule::from_parts(
+            vec![RequestId(0), RequestId(1)],
+            vec![TaxiId(0)],
+            vec![Some(0), None],
+            vec![Some(1.0), None],
+            vec![Some(-9.0)],
+        );
+        let fare = FareModel::new(0.0, 1.0, 0.5);
+        let rev = fare_revenue(&Euclidean, &fare, &requests, &s);
+        assert_eq!(rev, 5.0); // only the 10 km trip, at 50% of $10
+    }
+
+    #[test]
+    fn objectives_rank_schedules() {
+        let requests = vec![Request::new(
+            RequestId(0),
+            0,
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+        )];
+        let near = Schedule::from_parts(
+            vec![RequestId(0)],
+            vec![TaxiId(0)],
+            vec![Some(0)],
+            vec![Some(1.0)],
+            vec![Some(-9.0)],
+        );
+        let far = Schedule::from_parts(
+            vec![RequestId(0)],
+            vec![TaxiId(0)],
+            vec![Some(0)],
+            vec![Some(5.0)],
+            vec![Some(-5.0)],
+        );
+        let m = Euclidean;
+        assert!(
+            CompanyObjective::MinIdleDistance.score(&m, &requests, &near)
+                > CompanyObjective::MinIdleDistance.score(&m, &requests, &far)
+        );
+        assert!(
+            CompanyObjective::TaxiWelfare.score(&m, &requests, &near)
+                > CompanyObjective::TaxiWelfare.score(&m, &requests, &far)
+        );
+        // Same revenue, tie broken towards the near schedule.
+        assert!(
+            CompanyObjective::Revenue(FareModel::default()).score(&m, &requests, &near)
+                > CompanyObjective::Revenue(FareModel::default()).score(&m, &requests, &far)
+        );
+    }
+}

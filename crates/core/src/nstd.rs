@@ -1,0 +1,504 @@
+//! Non-sharing taxi dispatch — the paper's Algorithms 1 and 2.
+
+use crate::company::CompanyObjective;
+use crate::prefs::PreferenceModel;
+use crate::{PreferenceParams, Schedule};
+use o2o_geo::Metric;
+use o2o_matching::Matching;
+use o2o_trace::{Request, Taxi};
+
+/// Non-sharing dispatcher: one request per taxi (§IV).
+///
+/// Wraps a metric and the interest-model parameters; each dispatch call is
+/// a pure function of the current frame's idle taxis and pending requests.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_core::{NonSharingDispatcher, PreferenceParams};
+/// use o2o_geo::{Euclidean, Point};
+/// use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+///
+/// let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::default());
+/// let taxis = vec![Taxi::new(TaxiId(0), Point::new(0.0, 0.0))];
+/// let requests = vec![
+///     Request::new(RequestId(0), 0, Point::new(1.0, 0.0), Point::new(4.0, 0.0)),
+///     Request::new(RequestId(1), 0, Point::new(2.0, 0.0), Point::new(3.0, 0.0)),
+/// ];
+/// let s = d.passenger_optimal(&taxis, &requests);
+/// assert_eq!(s.served_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NonSharingDispatcher<M> {
+    metric: M,
+    params: PreferenceParams,
+}
+
+impl<M: Metric> NonSharingDispatcher<M> {
+    /// Creates a dispatcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PreferenceParams::validate`].
+    #[must_use]
+    pub fn new(metric: M, params: PreferenceParams) -> Self {
+        params.validate().expect("invalid preference parameters");
+        NonSharingDispatcher { metric, params }
+    }
+
+    /// The metric in use.
+    #[must_use]
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// The parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &PreferenceParams {
+        &self.params
+    }
+
+    /// Builds the frame's preference model (exposed for inspection,
+    /// ablations and reuse across the `*_optimal` variants).
+    #[must_use]
+    pub fn preferences(&self, taxis: &[Taxi], requests: &[Request]) -> PreferenceModel {
+        PreferenceModel::build(&self.metric, &self.params, taxis, requests)
+    }
+
+    /// **Algorithm 1 (NSTD-P)**: the passenger-optimal stable schedule.
+    ///
+    /// Among all stable schedules, every request gets its best achievable
+    /// taxi (Property 2); requests unserved here are unserved in every
+    /// stable schedule (Theorem 2). `O(|R|·|T|)` after preference
+    /// construction.
+    #[must_use]
+    pub fn passenger_optimal(&self, taxis: &[Taxi], requests: &[Request]) -> Schedule {
+        let model = self.preferences(taxis, requests);
+        let m = model.instance.propose();
+        self.to_schedule(taxis, requests, &model, &m)
+    }
+
+    /// **NSTD-T**: the taxi-optimal stable schedule.
+    ///
+    /// Computed by role-swapped deferred acceptance (taxis propose), which
+    /// coincides with picking the taxi-best schedule from Algorithm 2's
+    /// enumeration (property-tested in this crate).
+    #[must_use]
+    pub fn taxi_optimal(&self, taxis: &[Taxi], requests: &[Request]) -> Schedule {
+        let model = self.preferences(taxis, requests);
+        let m = model.instance.reviewer_optimal();
+        self.to_schedule(taxis, requests, &model, &m)
+    }
+
+    /// **Algorithm 2**: all stable schedules, passenger-optimal first.
+    ///
+    /// Enumerates via BreakDispatch with Rules 1–3. `limit` caps the count
+    /// (the number of stable matchings can be exponential).
+    #[must_use]
+    pub fn all_schedules(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        limit: Option<usize>,
+    ) -> Vec<Schedule> {
+        let model = self.preferences(taxis, requests);
+        model
+            .instance
+            .enumerate_all(limit)
+            .iter()
+            .map(|m| self.to_schedule(taxis, requests, &model, m))
+            .collect()
+    }
+
+    /// The company's pick among all stable schedules (§IV.D): enumerate
+    /// with Algorithm 2 and keep the schedule optimising `objective`.
+    ///
+    /// Note that by the rural-hospitals property (Theorem 2) the *set* of
+    /// served requests — and hence the fare revenue — is identical across
+    /// stable schedules, so revenue objectives tie and the objective's
+    /// tie-break (e.g. total idle distance) decides.
+    #[must_use]
+    pub fn company_optimal(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        objective: CompanyObjective,
+        limit: Option<usize>,
+    ) -> Schedule {
+        let mut all = self.all_schedules(taxis, requests, limit);
+        let scores: Vec<f64> = all
+            .iter()
+            .map(|s| objective.score(&self.metric, requests, s))
+            .collect();
+        let best = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .expect("enumeration always yields at least one schedule");
+        all.swap_remove(best)
+    }
+
+    /// The **egalitarian** stable schedule: among all stable schedules
+    /// (Algorithm 2), the one minimising the summed preference ranks of
+    /// both sides — the fairest compromise between NSTD-P and NSTD-T.
+    ///
+    /// An extension beyond the paper (its §II cites the fairness-variant
+    /// literature); useful when the company wants neither side to dominate.
+    #[must_use]
+    pub fn egalitarian(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        limit: Option<usize>,
+    ) -> Schedule {
+        let model = self.preferences(taxis, requests);
+        let all = model.instance.enumerate_all(limit);
+        let best = model
+            .instance
+            .egalitarian(&all)
+            .expect("enumeration yields at least one matching");
+        self.to_schedule(taxis, requests, &model, best)
+    }
+
+    /// The **median** stable schedule (Teo–Sethuraman): every request gets
+    /// the median of its partners across all stable schedules, which is
+    /// itself a stable schedule. An extension beyond the paper (its §II
+    /// cites Sethuraman's median stable matchings \[13\]).
+    #[must_use]
+    pub fn median(&self, taxis: &[Taxi], requests: &[Request], limit: Option<usize>) -> Schedule {
+        let model = self.preferences(taxis, requests);
+        let all = model.instance.enumerate_all(limit);
+        let median = model
+            .instance
+            .median_stable_matching(&all)
+            .expect("enumeration yields at least one matching");
+        self.to_schedule(taxis, requests, &model, &median)
+    }
+
+    /// Whether `schedule` is stable for the given frame (Definition 1).
+    ///
+    /// Exposed for tests and for validating externally-produced schedules
+    /// (e.g. the baselines, which are generally *not* stable).
+    #[must_use]
+    pub fn is_stable(&self, taxis: &[Taxi], requests: &[Request], schedule: &Schedule) -> bool {
+        let model = self.preferences(taxis, requests);
+        let mut m = Matching::empty(requests.len(), taxis.len());
+        let taxi_pos: std::collections::HashMap<_, _> =
+            taxis.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        for (j, r) in requests.iter().enumerate() {
+            if let Some(tid) = schedule.assignment_of(r.id).taxi() {
+                m.link(j, taxi_pos[&tid]);
+            }
+        }
+        model.instance.is_stable(&m)
+    }
+
+    fn to_schedule(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        model: &PreferenceModel,
+        m: &Matching,
+    ) -> Schedule {
+        let request_ids = requests.iter().map(|r| r.id).collect();
+        let taxi_ids = taxis.iter().map(|t| t.id).collect();
+        let request_to_taxi: Vec<Option<usize>> =
+            (0..requests.len()).map(|j| m.proposer_partner(j)).collect();
+        let passenger_cost = request_to_taxi
+            .iter()
+            .enumerate()
+            .map(|(j, ti)| ti.map(|i| model.pickup[j][i]))
+            .collect();
+        let taxi_cost = (0..taxis.len())
+            .map(|i| m.reviewer_partner(i).map(|j| model.score[i][j]))
+            .collect();
+        Schedule::from_parts(
+            request_ids,
+            taxi_ids,
+            request_to_taxi,
+            passenger_cost,
+            taxi_cost,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DispatchOutcome;
+    use o2o_geo::{Euclidean, Point};
+    use o2o_matching::StableInstance;
+    use o2o_trace::{RequestId, TaxiId};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn taxi(id: u64, x: f64, y: f64) -> Taxi {
+        Taxi::new(TaxiId(id), Point::new(x, y))
+    }
+
+    fn request(id: u64, sx: f64, sy: f64, dx: f64, dy: f64) -> Request {
+        Request::new(RequestId(id), 0, Point::new(sx, sy), Point::new(dx, dy))
+    }
+
+    /// The paper's Fig. 1: two requests, two taxis, pick-up distances
+    /// D(t1,r1)=2, D(t1,r2)=3, D(t2,r1)=5, D(t2,r2)=10. Schedule S1
+    /// (r1→t1, r2→t2) has total distance 12; S2 (r1→t2, r2→t1) has 8.
+    /// S2 is shorter, but S1 is the stable one: in S2, r1 and t1 prefer
+    /// each other over their partners.
+    #[test]
+    fn fig1_stability_vs_total_distance() {
+        // Place everything on a line to realise the figure's distances.
+        // t1 at 0; r1 pickup at 2 (D=2); r2 pickup at -3 (D=3);
+        // t2 at 7 (D(t2,r1)=5, D(t2,r2)=10).
+        let taxis = vec![taxi(1, 0.0, 0.0), taxi(2, 7.0, 0.0)];
+        // Equal trip lengths so driver preferences follow pick-up distance.
+        let requests = vec![
+            request(1, 2.0, 0.0, 2.0, 4.0),
+            request(2, -3.0, 0.0, -3.0, 4.0),
+        ];
+        let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::unbounded());
+        let s = d.passenger_optimal(&taxis, &requests);
+        // Stable schedule is S1.
+        assert_eq!(
+            s.assignment_of(RequestId(1)),
+            DispatchOutcome::Assigned(TaxiId(1))
+        );
+        assert_eq!(
+            s.assignment_of(RequestId(2)),
+            DispatchOutcome::Assigned(TaxiId(2))
+        );
+        let total: f64 = [RequestId(1), RequestId(2)]
+            .iter()
+            .map(|&r| s.passenger_dissatisfaction(r).unwrap())
+            .sum();
+        assert_eq!(total, 12.0);
+        // S2 (total 8) is cheaper but unstable.
+        let s2 = Schedule::from_parts(
+            vec![RequestId(1), RequestId(2)],
+            vec![TaxiId(1), TaxiId(2)],
+            vec![Some(1), Some(0)],
+            vec![Some(5.0), Some(3.0)],
+            vec![Some(3.0 - 7.0), Some(5.0 - 7.0)],
+        );
+        assert!(!d.is_stable(&taxis, &requests, &s2));
+        assert!(d.is_stable(&taxis, &requests, &s));
+    }
+
+    /// The paper's Fig. 2 walk-through of Algorithm 1, reconstructed as a
+    /// raw preference table: r1: [t1, t2]; r2: [t1]; r3: [t1, …];
+    /// t1: r3 > r1 > r2; t2: accepts r1. Expected outcome: r3→t1, r1→t2
+    /// (after being refused), r2 unserved.
+    #[test]
+    fn fig2_algorithm1_walkthrough() {
+        let inst = StableInstance::new(
+            vec![vec![0, 1], vec![0], vec![0]],
+            vec![vec![2, 0, 1], vec![0]],
+        )
+        .unwrap();
+        let m = inst.propose();
+        assert_eq!(m.proposer_partner(0), Some(1)); // r1 → t2
+        assert_eq!(m.proposer_partner(1), None); // r2 unserved
+        assert_eq!(m.proposer_partner(2), Some(0)); // r3 → t1
+        assert!(inst.is_stable(&m));
+    }
+
+    /// The paper's Fig. 3 walk-through of Algorithm 2: passenger-optimal
+    /// S* = {r1→t1, r2→t2, r3 unserved}. BreakDispatch(S*, r1) succeeds
+    /// (r1→t2, r2→t1); BreakDispatch(S*, r2) violates Rule 2;
+    /// BreakDispatch(S*, r3) violates Rule 3. Exactly two stable
+    /// matchings exist.
+    #[test]
+    fn fig3_algorithm2_walkthrough() {
+        let inst = StableInstance::new(
+            // r1: t1 > t2; r2: t2 > t1; r3: proposes but never accepted.
+            vec![vec![0, 1], vec![1, 0], vec![0, 1]],
+            // t1: r2 > r1 (r3 unacceptable); t2: r1 > r2.
+            vec![vec![1, 0], vec![0, 1]],
+        )
+        .unwrap();
+        let s0 = inst.propose();
+        assert_eq!(s0.proposer_partner(0), Some(0));
+        assert_eq!(s0.proposer_partner(1), Some(1));
+        assert_eq!(s0.proposer_partner(2), None);
+
+        // BreakDispatch on r1 succeeds.
+        let s1 = inst.break_dispatch(&s0, 0).expect("fig3 break succeeds");
+        assert_eq!(s1.proposer_partner(0), Some(1));
+        assert_eq!(s1.proposer_partner(1), Some(0));
+        // On r2: Rule 2 (would displace r1 < r2).
+        assert!(inst.break_dispatch(&s0, 1).is_none());
+        // On r3: Rule 3 (unserved).
+        assert!(inst.break_dispatch(&s0, 2).is_none());
+
+        let all = inst.enumerate_all(None);
+        assert_eq!(all.len(), 2);
+        // The second one is the taxi-optimal matching.
+        assert_eq!(inst.reviewer_optimal(), s1);
+    }
+
+    #[test]
+    fn property1_taxi_preferring_dummy_stays_idle() {
+        // The only request has a terrible pay-off: score exceeds θ_t.
+        let taxis = vec![taxi(0, 0.0, 0.0)];
+        let requests = vec![request(0, 10.0, 0.0, 10.5, 0.0)]; // score 10 − 0.5
+        let params = PreferenceParams::unbounded()
+            .with_taxi_threshold(5.0)
+            .with_passenger_threshold(f64::INFINITY);
+        let d = NonSharingDispatcher::new(Euclidean, params);
+        let s = d.passenger_optimal(&taxis, &requests);
+        assert_eq!(s.request_of(TaxiId(0)), None);
+        assert_eq!(s.assignment_of(RequestId(0)), DispatchOutcome::Unserved);
+    }
+
+    #[test]
+    fn property1_passenger_preferring_dummy_stays_unserved() {
+        let taxis = vec![taxi(0, 50.0, 0.0)];
+        let requests = vec![request(0, 0.0, 0.0, 5.0, 0.0)];
+        let params = PreferenceParams::unbounded().with_passenger_threshold(15.0);
+        let d = NonSharingDispatcher::new(Euclidean, params);
+        let s = d.passenger_optimal(&taxis, &requests);
+        assert_eq!(s.served_count(), 0);
+    }
+
+    #[test]
+    fn unequal_sides_are_handled() {
+        let taxis = vec![taxi(0, 0.0, 0.0)];
+        let requests = vec![
+            request(0, 1.0, 0.0, 5.0, 0.0),
+            request(1, 2.0, 0.0, 6.0, 0.0),
+            request(2, 3.0, 0.0, 7.0, 0.0),
+        ];
+        let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::unbounded());
+        let s = d.passenger_optimal(&taxis, &requests);
+        assert_eq!(s.served_count(), 1);
+        assert_eq!(s.unserved().len(), 2);
+    }
+
+    fn random_frame(rng: &mut StdRng, nt: usize, nr: usize) -> (Vec<Taxi>, Vec<Request>) {
+        let taxis = (0..nt)
+            .map(|i| taxi(i as u64, rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+            .collect();
+        let requests = (0..nr)
+            .map(|j| {
+                request(
+                    j as u64,
+                    rng.gen_range(-5.0..5.0),
+                    rng.gen_range(-5.0..5.0),
+                    rng.gen_range(-5.0..5.0),
+                    rng.gen_range(-5.0..5.0),
+                )
+            })
+            .collect();
+        (taxis, requests)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// NSTD-P and NSTD-T are both stable, and NSTD-T matches the
+        /// taxi-best schedule among Algorithm 2's enumeration.
+        #[test]
+        fn taxi_optimal_agrees_with_enumeration(
+            seed in any::<u64>(), nt in 1usize..6, nr in 1usize..6,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (taxis, requests) = random_frame(&mut rng, nt, nr);
+            let params = PreferenceParams::paper().with_passenger_threshold(8.0);
+            let d = NonSharingDispatcher::new(Euclidean, params);
+            let p_opt = d.passenger_optimal(&taxis, &requests);
+            let t_opt = d.taxi_optimal(&taxis, &requests);
+            prop_assert!(d.is_stable(&taxis, &requests, &p_opt));
+            prop_assert!(d.is_stable(&taxis, &requests, &t_opt));
+            let all = d.all_schedules(&taxis, &requests, None);
+            // Taxi-optimal minimises total taxi dissatisfaction… and is in
+            // the enumerated set.
+            let best_total = all.iter()
+                .map(Schedule::total_taxi_dissatisfaction)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(t_opt.total_taxi_dissatisfaction() <= best_total + 1e-9);
+            prop_assert!(all.contains(&t_opt));
+            prop_assert_eq!(&all[0], &p_opt);
+        }
+
+        /// Rural hospitals at the dispatcher level: the served set (and
+        /// count) is invariant across all stable schedules.
+        #[test]
+        fn served_set_is_invariant(seed in any::<u64>(), nt in 1usize..5, nr in 1usize..5) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (taxis, requests) = random_frame(&mut rng, nt, nr);
+            let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::paper());
+            let all = d.all_schedules(&taxis, &requests, None);
+            let served0 = all[0].unserved();
+            for s in &all {
+                prop_assert_eq!(s.unserved(), served0.clone());
+            }
+        }
+
+        /// Passenger dissatisfaction under NSTD-P lower-bounds every other
+        /// stable schedule per request (passenger-optimality).
+        #[test]
+        fn passenger_optimality(seed in any::<u64>(), nt in 1usize..5, nr in 1usize..5) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (taxis, requests) = random_frame(&mut rng, nt, nr);
+            let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::paper());
+            let all = d.all_schedules(&taxis, &requests, None);
+            let p_opt = &all[0];
+            for s in &all {
+                for r in &requests {
+                    if let (Some(a), Some(b)) = (
+                        p_opt.passenger_dissatisfaction(r.id),
+                        s.passenger_dissatisfaction(r.id),
+                    ) {
+                        prop_assert!(a <= b + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn egalitarian_and_median_are_stable_compromises() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..30 {
+            let (taxis, requests) = random_frame(&mut rng, 4, 4);
+            let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::unbounded());
+            let egal = d.egalitarian(&taxis, &requests, None);
+            let median = d.median(&taxis, &requests, None);
+            assert!(d.is_stable(&taxis, &requests, &egal));
+            assert!(d.is_stable(&taxis, &requests, &median));
+            // Compromises sit between the two extremes on each side's
+            // aggregate dissatisfaction.
+            let p_opt = d.passenger_optimal(&taxis, &requests);
+            let t_opt = d.taxi_optimal(&taxis, &requests);
+            for s in [&egal, &median] {
+                assert!(
+                    s.total_passenger_dissatisfaction()
+                        >= p_opt.total_passenger_dissatisfaction() - 1e-9
+                );
+                assert!(
+                    s.total_taxi_dissatisfaction() >= t_opt.total_taxi_dissatisfaction() - 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn company_optimal_prefers_objective() {
+        // Two stable matchings exist (fig3-style geometry); the company
+        // picks by taxi welfare vs passenger welfare accordingly.
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..40 {
+            let (taxis, requests) = random_frame(&mut rng, 3, 3);
+            let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::paper());
+            let all = d.all_schedules(&taxis, &requests, None);
+            let pick = d.company_optimal(&taxis, &requests, CompanyObjective::TaxiWelfare, None);
+            let best = all
+                .iter()
+                .map(Schedule::total_taxi_dissatisfaction)
+                .fold(f64::INFINITY, f64::min);
+            assert!(pick.total_taxi_dissatisfaction() <= best + 1e-9);
+        }
+    }
+}

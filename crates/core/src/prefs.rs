@@ -1,0 +1,237 @@
+//! Preference-order construction — the paper's §IV.A interest models.
+//!
+//! * A **passenger** `r_j` "mainly cares about the taxi wait time", so it
+//!   ranks taxis by `D(t_i, r_j^s)` ascending; taxis beyond the wait
+//!   threshold, and taxis without enough seats, fall below the dummy entry
+//!   (the passenger would rather stay unserved).
+//! * A **driver** `t_i` weighs "(i) the idle taxi driving distance … and
+//!   (ii) the taxi traveling distance" and ranks requests by
+//!   `D(t_i, r_j^s) − α·D(r_j^s, r_j^d)` ascending; requests whose score
+//!   exceeds the driver threshold, and parties that do not fit, fall below
+//!   the dummy.
+//!
+//! The result is a [`StableInstance`] (requests propose, taxis review) plus
+//! the raw cost matrices needed to report dissatisfaction afterwards.
+
+use crate::PreferenceParams;
+use o2o_geo::Metric;
+use o2o_matching::StableInstance;
+use o2o_trace::{Request, Taxi};
+
+/// Preference orders of one dispatch frame, ready for matching.
+///
+/// Requests are proposers (index = position in the input slice), taxis are
+/// reviewers.
+#[derive(Debug, Clone)]
+pub struct PreferenceModel {
+    /// The stable-marriage instance (requests propose).
+    pub instance: StableInstance,
+    /// `pickup[j][i]` = `D(t_i, r_j^s)` — passenger `j`'s cost of taxi `i`.
+    pub pickup: Vec<Vec<f64>>,
+    /// `score[i][j]` = `D(t_i, r_j^s) − α·D(r_j^s, r_j^d)` — driver `i`'s
+    /// cost of request `j`.
+    pub score: Vec<Vec<f64>>,
+}
+
+impl PreferenceModel {
+    /// Builds the paper's non-sharing preference orders.
+    ///
+    /// Complexity `O(|R|·|T|·(cost of the metric) + |R|·|T|·log|T|)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PreferenceParams::validate`].
+    #[must_use]
+    pub fn build<M: Metric>(
+        metric: &M,
+        params: &PreferenceParams,
+        taxis: &[Taxi],
+        requests: &[Request],
+    ) -> Self {
+        params.validate().expect("invalid preference parameters");
+        let n_r = requests.len();
+        let n_t = taxis.len();
+        let mut pickup = vec![vec![0.0; n_t]; n_r];
+        let mut score = vec![vec![0.0; n_t]; n_r]; // transposed below
+        let trip: Vec<f64> = requests.iter().map(|r| r.trip_distance(metric)).collect();
+        for (j, r) in requests.iter().enumerate() {
+            for (i, t) in taxis.iter().enumerate() {
+                let d = metric.distance(t.location, r.pickup);
+                pickup[j][i] = d;
+                score[j][i] = d - params.alpha * trip[j];
+            }
+        }
+
+        // Passenger lists: taxis with enough seats within the wait
+        // threshold, nearest first (ties by taxi index for determinism).
+        let request_lists: Vec<Vec<usize>> = requests
+            .iter()
+            .enumerate()
+            .map(|(j, r)| {
+                let mut list: Vec<usize> = (0..n_t)
+                    .filter(|&i| {
+                        taxis[i].seats >= r.passengers && pickup[j][i] <= params.passenger_threshold
+                    })
+                    .collect();
+                list.sort_by(|&a, &b| {
+                    pickup[j][a]
+                        .partial_cmp(&pickup[j][b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                list
+            })
+            .collect();
+
+        // Driver lists: fitting parties whose score clears the threshold,
+        // lowest score first.
+        let taxi_lists: Vec<Vec<usize>> = taxis
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mut list: Vec<usize> = (0..n_r)
+                    .filter(|&j| {
+                        t.seats >= requests[j].passengers && score[j][i] <= params.taxi_threshold
+                    })
+                    .collect();
+                list.sort_by(|&a, &b| {
+                    score[a][i]
+                        .partial_cmp(&score[b][i])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                list
+            })
+            .collect();
+
+        let instance = StableInstance::new(request_lists, taxi_lists)
+            .expect("generated lists are in range and duplicate-free");
+        // Keep `score` in taxi-major orientation for reporting.
+        let score_t: Vec<Vec<f64>> = (0..n_t)
+            .map(|i| (0..n_r).map(|j| score[j][i]).collect())
+            .collect();
+        PreferenceModel {
+            instance,
+            pickup,
+            score: score_t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::{Euclidean, Point};
+    use o2o_trace::{RequestId, TaxiId};
+
+    fn taxi(id: u64, x: f64, y: f64) -> Taxi {
+        Taxi::new(TaxiId(id), Point::new(x, y))
+    }
+
+    fn request(id: u64, sx: f64, sy: f64, dx: f64, dy: f64) -> Request {
+        Request::new(RequestId(id), 0, Point::new(sx, sy), Point::new(dx, dy))
+    }
+
+    #[test]
+    fn passenger_prefers_nearest_taxi() {
+        let taxis = vec![taxi(0, 5.0, 0.0), taxi(1, 1.0, 0.0), taxi(2, 3.0, 0.0)];
+        let requests = vec![request(0, 0.0, 0.0, 0.0, 10.0)];
+        let m = PreferenceModel::build(
+            &Euclidean,
+            &PreferenceParams::unbounded(),
+            &taxis,
+            &requests,
+        );
+        assert_eq!(m.instance.proposer_list(0), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn driver_prefers_high_payoff() {
+        // Two requests at the same pickup distance; the longer trip wins
+        // (lower score = D − α·trip).
+        let taxis = vec![taxi(0, 0.0, 0.0)];
+        let requests = vec![
+            request(0, 1.0, 0.0, 2.0, 0.0), // trip 1 km
+            request(1, 0.0, 1.0, 0.0, 9.0), // trip 8 km
+        ];
+        let m = PreferenceModel::build(
+            &Euclidean,
+            &PreferenceParams::unbounded(),
+            &taxis,
+            &requests,
+        );
+        assert_eq!(m.instance.reviewer_list(0), &[1, 0]);
+        assert_eq!(m.score[0][1], 1.0 - 8.0);
+    }
+
+    #[test]
+    fn alpha_zero_makes_driver_rank_by_distance() {
+        let taxis = vec![taxi(0, 0.0, 0.0)];
+        let requests = vec![
+            request(0, 2.0, 0.0, 2.0, 50.0), // nearer pickup, huge trip
+            request(1, 1.0, 0.0, 1.0, 2.0),
+        ];
+        let params = PreferenceParams::unbounded().with_alpha(0.0);
+        let m = PreferenceModel::build(&Euclidean, &params, &taxis, &requests);
+        assert_eq!(m.instance.reviewer_list(0), &[1, 0]);
+    }
+
+    #[test]
+    fn wait_threshold_truncates_passenger_list() {
+        let taxis = vec![taxi(0, 1.0, 0.0), taxi(1, 20.0, 0.0)];
+        let requests = vec![request(0, 0.0, 0.0, 5.0, 0.0)];
+        let params = PreferenceParams::unbounded().with_passenger_threshold(10.0);
+        let m = PreferenceModel::build(&Euclidean, &params, &taxis, &requests);
+        assert_eq!(m.instance.proposer_list(0), &[0]);
+    }
+
+    #[test]
+    fn taxi_threshold_truncates_driver_list() {
+        let taxis = vec![taxi(0, 0.0, 0.0)];
+        let requests = vec![
+            request(0, 1.0, 0.0, 11.0, 0.0), // score 1 − 10 = −9
+            request(1, 9.0, 0.0, 10.0, 0.0), // score 9 − 1 = 8
+        ];
+        let params = PreferenceParams::unbounded().with_taxi_threshold(0.0);
+        let m = PreferenceModel::build(&Euclidean, &params, &taxis, &requests);
+        assert_eq!(m.instance.reviewer_list(0), &[0]);
+    }
+
+    #[test]
+    fn seat_constraint_excludes_both_sides() {
+        let taxis = vec![Taxi::with_seats(TaxiId(0), Point::ORIGIN, 2)];
+        let requests = vec![Request::with_party(
+            RequestId(0),
+            0,
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            4,
+        )];
+        let m = PreferenceModel::build(
+            &Euclidean,
+            &PreferenceParams::unbounded(),
+            &taxis,
+            &requests,
+        );
+        assert!(m.instance.proposer_list(0).is_empty());
+        assert!(m.instance.reviewer_list(0).is_empty());
+    }
+
+    #[test]
+    fn empty_inputs_build() {
+        let m = PreferenceModel::build(&Euclidean, &PreferenceParams::default(), &[], &[]);
+        assert_eq!(m.instance.proposers(), 0);
+        assert_eq!(m.instance.reviewers(), 0);
+    }
+
+    #[test]
+    fn matrices_have_expected_shapes() {
+        let taxis = vec![taxi(0, 0.0, 0.0), taxi(1, 1.0, 1.0)];
+        let requests = vec![request(0, 0.0, 1.0, 1.0, 1.0)];
+        let m = PreferenceModel::build(&Euclidean, &PreferenceParams::default(), &taxis, &requests);
+        assert_eq!(m.pickup.len(), 1);
+        assert_eq!(m.pickup[0].len(), 2);
+        assert_eq!(m.score.len(), 2);
+        assert_eq!(m.score[0].len(), 1);
+    }
+}

@@ -1,0 +1,1015 @@
+//! Sharing taxi dispatch — the paper's Algorithm 3 (STD-P / STD-T).
+//!
+//! Three stages:
+//!
+//! 1. **Feasible subsets** (`line 1`): exhaustively enumerate groups
+//!    `c_k` of at most `max_group_size` requests whose canonical shared
+//!    route keeps every member's detour within θ
+//!    (`D_ck(r^s, r^d) − D(r^s, r^d) ≤ θ`).
+//! 2. **Maximum set packing** (`line 2`, Eqs. 1–3): pack as many disjoint
+//!    groups as possible with the configured
+//!    [`SetPackingStrategy`].
+//! 3. **Stable matching** (`line 3`): treat each packed group (and each
+//!    leftover request) as a single meta-request and run Algorithm 1 with
+//!    the sharing interest models — passenger key
+//!    `D_ck(t, r^s) + β·[D_ck(r^s, r^d) − D(r^s, r^d)]` averaged over the
+//!    group, driver key `D_ck(t) − (α+1)·Σ_j D(r_j^s, r_j^d)`.
+
+use crate::shared_route::{routes_by_first_pickup, RoutePlan};
+use crate::{PreferenceParams, Schedule};
+use o2o_geo::Metric;
+use o2o_matching::{Matching, SetPacking, SetPackingStrategy, StableInstance};
+use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+
+/// What stage 2's packing maximises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PackingObjective {
+    /// The paper's Eq. 1: maximise the number of packed subsets.
+    #[default]
+    GroupCount,
+    /// Maximise the number of *requests covered* by packed subsets
+    /// (weights each group by its size) — an extension; see the
+    /// count-vs-coverage ablation.
+    CoveredRequests,
+}
+
+/// How stage 1 generates candidate triples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TripleCandidates {
+    /// Only triples whose three sub-pairs are all feasible are routed —
+    /// the shareability-network pruning (Santi et al.); cubically fewer
+    /// route searches with negligible loss in practice.
+    #[default]
+    FromFeasiblePairs,
+    /// Route every triple, exactly as the paper's `O(|R|³)` line 1.
+    Exhaustive,
+}
+
+/// Configuration of the sharing dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingConfig {
+    /// Set-packing solver for stage 2 (paper: the approximation of \[21\],
+    /// here [`SetPackingStrategy::LocalSearch`]).
+    pub packing: SetPackingStrategy,
+    /// Candidate-triple generation policy.
+    pub triples: TripleCandidates,
+    /// Largest group size (paper: 3; `1` disables sharing entirely and
+    /// recovers non-sharing dispatch).
+    pub max_group_size: usize,
+    /// Stage-2 objective (paper: group count).
+    pub objective: PackingObjective,
+    /// Keep only each request's `k` most compatible partners (smallest
+    /// canonical shared-route length) when generating candidate groups —
+    /// the standard k-nearest-neighbour shareability construction. Dense
+    /// commuter demand makes *most* pairs detour-feasible, so the
+    /// unbounded candidate set is `Θ(|R|²)` pairs and worse for triples;
+    /// the cap keeps stage 1 linear in `|R|` with negligible packing
+    /// loss. `None` enumerates every feasible group (the paper's literal
+    /// `O(|R|³)` — use only for small frames).
+    pub max_partners_per_request: Option<usize>,
+}
+
+impl Default for SharingConfig {
+    fn default() -> Self {
+        SharingConfig {
+            packing: SetPackingStrategy::LocalSearch,
+            triples: TripleCandidates::FromFeasiblePairs,
+            objective: PackingObjective::GroupCount,
+            max_group_size: 3,
+            max_partners_per_request: Some(6),
+        }
+    }
+}
+
+/// One taxi serving a (possibly singleton) group of requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAssignment {
+    /// The dispatched taxi.
+    pub taxi: TaxiId,
+    /// Members of the group.
+    pub members: Vec<RequestId>,
+    /// The route the taxi drives (chosen to minimise total driving from
+    /// the taxi's location).
+    pub route: RoutePlan,
+    /// Per-member wait distance `D_ck(t, r^s)`.
+    pub wait_distances: Vec<f64>,
+    /// Per-member detour `D_ck(r^s, r^d) − D(r^s, r^d)`.
+    pub detours: Vec<f64>,
+    /// Per-member passenger dissatisfaction `wait + β·detour`.
+    pub passenger_costs: Vec<f64>,
+    /// Taxi dissatisfaction `D_ck(t) − (α+1)·Σ_j D(r_j^s, r_j^d)`.
+    pub taxi_cost: f64,
+    /// Total taxi driving distance `D_ck(t)`.
+    pub total_drive: f64,
+}
+
+/// The outcome of one sharing dispatch frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SharingSchedule {
+    /// Dispatched groups.
+    pub assignments: Vec<GroupAssignment>,
+    /// Requests left without a taxi this frame.
+    pub unserved: Vec<RequestId>,
+}
+
+impl SharingSchedule {
+    /// Number of served requests (across all groups).
+    #[must_use]
+    pub fn served_count(&self) -> usize {
+        self.assignments.iter().map(|a| a.members.len()).sum()
+    }
+
+    /// Fraction of served requests riding in a group of two or more.
+    ///
+    /// Returns 0 when nothing is served.
+    #[must_use]
+    pub fn sharing_rate(&self) -> f64 {
+        let served = self.served_count();
+        if served == 0 {
+            return 0.0;
+        }
+        let shared: usize = self
+            .assignments
+            .iter()
+            .filter(|a| a.members.len() >= 2)
+            .map(|a| a.members.len())
+            .sum();
+        shared as f64 / served as f64
+    }
+
+    /// Passenger dissatisfaction of `r`, if served.
+    #[must_use]
+    pub fn passenger_dissatisfaction(&self, r: RequestId) -> Option<f64> {
+        self.assignments.iter().find_map(|a| {
+            a.members
+                .iter()
+                .position(|&m| m == r)
+                .map(|i| a.passenger_costs[i])
+        })
+    }
+
+    /// Taxi dissatisfaction of `t`, if dispatched.
+    #[must_use]
+    pub fn taxi_dissatisfaction(&self, t: TaxiId) -> Option<f64> {
+        self.assignments
+            .iter()
+            .find(|a| a.taxi == t)
+            .map(|a| a.taxi_cost)
+    }
+
+    /// The group served by taxi `t`, if any.
+    #[must_use]
+    pub fn group_of(&self, t: TaxiId) -> Option<&GroupAssignment> {
+        self.assignments.iter().find(|a| a.taxi == t)
+    }
+}
+
+/// Sharing dispatcher (Algorithm 3); see the module docs for the stages.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_core::{PreferenceParams, SharingDispatcher};
+/// use o2o_geo::{Euclidean, Point};
+/// use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+///
+/// let d = SharingDispatcher::new(Euclidean, PreferenceParams::default());
+/// let taxis = vec![Taxi::new(TaxiId(0), Point::new(0.0, 0.0))];
+/// let requests = vec![
+///     Request::new(RequestId(0), 0, Point::new(1.0, 0.0), Point::new(9.0, 0.0)),
+///     Request::new(RequestId(1), 0, Point::new(2.0, 0.0), Point::new(8.0, 0.0)),
+/// ];
+/// let s = d.dispatch_passenger_optimal(&taxis, &requests);
+/// // Both requests chain perfectly, so one taxi serves both.
+/// assert_eq!(s.served_count(), 2);
+/// assert_eq!(s.assignments[0].members.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharingDispatcher<M> {
+    metric: M,
+    params: PreferenceParams,
+    config: SharingConfig,
+}
+
+struct GroupData {
+    members: Vec<usize>,
+    plans: Vec<RoutePlan>,
+    directs: Vec<f64>,
+    sum_trips: f64,
+    total_passengers: u16,
+}
+
+struct Eval {
+    plan_idx: usize,
+    passenger_cost: f64,
+    taxi_cost: f64,
+}
+
+impl<M: Metric> SharingDispatcher<M> {
+    /// Creates a dispatcher with the default [`SharingConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PreferenceParams::validate`].
+    #[must_use]
+    pub fn new(metric: M, params: PreferenceParams) -> Self {
+        Self::with_config(metric, params, SharingConfig::default())
+    }
+
+    /// Creates a dispatcher with an explicit config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` are invalid or `max_group_size` is outside
+    /// `1..=`[`crate::shared_route::MAX_GROUP_SIZE`].
+    #[must_use]
+    pub fn with_config(metric: M, params: PreferenceParams, config: SharingConfig) -> Self {
+        params.validate().expect("invalid preference parameters");
+        assert!(
+            (1..=crate::shared_route::MAX_GROUP_SIZE).contains(&config.max_group_size),
+            "max_group_size {} outside supported range",
+            config.max_group_size
+        );
+        SharingDispatcher {
+            metric,
+            params,
+            config,
+        }
+    }
+
+    /// The config in use.
+    #[must_use]
+    pub fn config(&self) -> &SharingConfig {
+        &self.config
+    }
+
+    /// The metric in use.
+    #[must_use]
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// The parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &PreferenceParams {
+        &self.params
+    }
+
+    /// Whether the subset of `requests` at `members` can share a taxi:
+    /// every member's detour on the group's canonical best route is within
+    /// θ (`detour_threshold`).
+    #[must_use]
+    pub fn is_group_feasible(&self, requests: &[Request], members: &[usize]) -> bool {
+        let mut group = [requests[members[0]]; crate::shared_route::MAX_GROUP_SIZE];
+        for (slot, &i) in group.iter_mut().zip(members) {
+            *slot = requests[i];
+        }
+        crate::shared_route::min_route_within_detour(
+            &self.metric,
+            &group[..members.len()],
+            self.params.detour_threshold,
+        )
+    }
+
+    /// Stage 1: all feasible sharing groups (size ≥ 2), as index sets into
+    /// `requests`.
+    ///
+    /// Candidate pairs are pruned spatially before routing: if the
+    /// length-minimal genuinely-shared route starts at `r_a`'s pick-up, it
+    /// visits the other pick-up while `r_a` is on board, so
+    /// `D(r_a^s, r_b^s) ≤ D(r_a^s, r_a^d) + θ` must hold from one side —
+    /// a grid-index radius query per request replaces the all-pairs scan
+    /// without losing any feasible pair.
+    #[must_use]
+    pub fn feasible_groups(&self, requests: &[Request]) -> Vec<Vec<usize>> {
+        let n = requests.len();
+        let mut out = Vec::new();
+        if self.config.max_group_size < 2 || n < 2 {
+            return out;
+        }
+        // Pickup index for the necessary-condition radius query.
+        let bbox =
+            o2o_geo::BBox::from_points(requests.iter().map(|r| r.pickup)).expect("non-empty");
+        let cell = (bbox.width().max(bbox.height()) / 48.0).max(0.1);
+        let mut index = o2o_geo::GridIndex::new(bbox, cell);
+        for (i, r) in requests.iter().enumerate() {
+            index.insert(i, r.pickup);
+        }
+        let theta = self.params.detour_threshold;
+        // Score every feasible pair once (score = canonical route length).
+        let mut pair_score: std::collections::HashMap<(usize, usize), f64> =
+            std::collections::HashMap::new();
+        let check_pair =
+            |a: usize,
+             b: usize,
+             pair_score: &mut std::collections::HashMap<(usize, usize), f64>| {
+                let key = (a.min(b), a.max(b));
+                if key.0 == key.1 || pair_score.contains_key(&key) {
+                    return;
+                }
+                if let Some(len) = crate::shared_route::min_route_length_if_within_detour(
+                    &self.metric,
+                    &[requests[key.0], requests[key.1]],
+                    theta,
+                ) {
+                    pair_score.insert(key, len);
+                }
+            };
+        for a in 0..n {
+            let radius = requests[a].trip_distance(&self.metric) + theta;
+            if !radius.is_finite() {
+                for b in (a + 1)..n {
+                    check_pair(a, b, &mut pair_score);
+                }
+            } else {
+                for cand in index.within(requests[a].pickup, radius) {
+                    check_pair(a, cand.item, &mut pair_score);
+                }
+            }
+        }
+        // Bounded candidate generation: keep each request's best partners.
+        let kept: std::collections::HashSet<(usize, usize)> =
+            match self.config.max_partners_per_request {
+                None => pair_score.keys().copied().collect(),
+                Some(cap) => {
+                    let mut per_request: Vec<Vec<(f64, usize)>> = vec![Vec::new(); n];
+                    for (&(a, b), &len) in &pair_score {
+                        per_request[a].push((len, b));
+                        per_request[b].push((len, a));
+                    }
+                    let mut kept = std::collections::HashSet::new();
+                    for (a, list) in per_request.iter_mut().enumerate() {
+                        list.sort_by(|x, y| {
+                            x.0.partial_cmp(&y.0)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(x.1.cmp(&y.1))
+                        });
+                        for &(_, b) in list.iter().take(cap) {
+                            kept.insert((a.min(b), a.max(b)));
+                        }
+                    }
+                    kept
+                }
+            };
+        let mut pair_ok = vec![Vec::new(); n];
+        for &(a, b) in &kept {
+            pair_ok[a].push(b);
+            out.push(vec![a, b]);
+        }
+        for list in &mut pair_ok {
+            list.sort_unstable();
+        }
+        out.sort();
+        if self.config.max_group_size >= 3 {
+            match self.config.triples {
+                TripleCandidates::FromFeasiblePairs => {
+                    for a in 0..n {
+                        for bi in 0..pair_ok[a].len() {
+                            let b = pair_ok[a][bi];
+                            for &c in &pair_ok[a][bi + 1..] {
+                                if pair_ok[b].binary_search(&c).is_ok()
+                                    && self.is_group_feasible(requests, &[a, b, c])
+                                {
+                                    out.push(vec![a, b, c]);
+                                }
+                            }
+                        }
+                    }
+                }
+                TripleCandidates::Exhaustive => {
+                    for a in 0..n {
+                        for b in (a + 1)..n {
+                            for c in (b + 1)..n {
+                                if self.is_group_feasible(requests, &[a, b, c]) {
+                                    out.push(vec![a, b, c]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Stages 1–2: the packed partition of the frame — disjoint sharing
+    /// groups plus leftover singletons, covering every request exactly
+    /// once.
+    #[must_use]
+    pub fn pack(&self, requests: &[Request]) -> Vec<Vec<usize>> {
+        let mut candidates = self.feasible_groups(requests);
+        // Quality-aware ordering: the greedy packer (and the local search
+        // seeded from it) prefers smaller sets first and breaks ties by
+        // position, so sorting by canonical route length per member makes
+        // equal-cardinality packings favour compatible groups.
+        let mut scored: Vec<(usize, f64)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(k, members)| {
+                let group: Vec<Request> = members.iter().map(|&i| requests[i]).collect();
+                let len = crate::shared_route::min_route_length_if_within_detour(
+                    &self.metric,
+                    &group,
+                    self.params.detour_threshold,
+                )
+                .unwrap_or(f64::INFINITY);
+                (k, len / members.len() as f64)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            (candidates[a.0].len(), a.1)
+                .partial_cmp(&(candidates[b.0].len(), b.1))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        candidates = scored
+            .into_iter()
+            .map(|(k, _)| std::mem::take(&mut candidates[k]))
+            .collect();
+        let packing = SetPacking::new(requests.len(), candidates.clone())
+            .expect("feasible groups are valid sets");
+        let chosen = match self.config.objective {
+            PackingObjective::GroupCount => packing.pack(self.config.packing),
+            PackingObjective::CoveredRequests => {
+                let sizes: Vec<f64> = candidates.iter().map(|g| g.len() as f64).collect();
+                packing.pack_weighted(self.config.packing, &sizes)
+            }
+        };
+        let mut covered = vec![false; requests.len()];
+        let mut metas: Vec<Vec<usize>> = chosen
+            .into_iter()
+            .map(|k| {
+                for &i in &candidates[k] {
+                    covered[i] = true;
+                }
+                candidates[k].clone()
+            })
+            .collect();
+        for (i, covered) in covered.iter().enumerate() {
+            if !covered {
+                metas.push(vec![i]);
+            }
+        }
+        metas.sort();
+        metas
+    }
+
+    /// **STD-P**: sharing dispatch with the passenger-optimal stable
+    /// matching in stage 3.
+    #[must_use]
+    pub fn dispatch_passenger_optimal(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+    ) -> SharingSchedule {
+        self.dispatch(taxis, requests, false)
+    }
+
+    /// **STD-T**: sharing dispatch with the taxi-optimal stable matching
+    /// in stage 3.
+    #[must_use]
+    pub fn dispatch_taxi_optimal(&self, taxis: &[Taxi], requests: &[Request]) -> SharingSchedule {
+        self.dispatch(taxis, requests, true)
+    }
+
+    fn group_data(&self, requests: &[Request], members: Vec<usize>) -> GroupData {
+        let group: Vec<Request> = members.iter().map(|&i| requests[i]).collect();
+        let plans = routes_by_first_pickup(&self.metric, &group);
+        let directs: Vec<f64> = group
+            .iter()
+            .map(|r| r.trip_distance(&self.metric))
+            .collect();
+        let sum_trips = directs.iter().sum();
+        let total_passengers = group.iter().map(|r| u16::from(r.passengers)).sum();
+        GroupData {
+            members,
+            plans,
+            directs,
+            sum_trips,
+            total_passengers,
+        }
+    }
+
+    /// Whether every member's detour on `plan` is within θ.
+    fn plan_within_detour(&self, g: &GroupData, plan: &RoutePlan) -> bool {
+        (0..g.members.len())
+            .all(|m| plan.detour(m, g.directs[m]) <= self.params.detour_threshold + 1e-9)
+    }
+
+    fn evaluate(&self, g: &GroupData, taxi: &Taxi) -> Eval {
+        // The taxi drives the length-minimal route among the orders that
+        // keep every member's detour within θ (the canonical feasible
+        // route is always among them, so the choice is never empty). Only
+        // the approach leg depends on the taxi, so pick among the
+        // per-first-pickup plans.
+        let (plan_idx, plan, approach) = g
+            .plans
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| g.members.len() == 1 || self.plan_within_detour(g, p))
+            .map(|(i, p)| (i, p, self.metric.distance(taxi.location, p.first_stop())))
+            .min_by(|a, b| {
+                (a.2 + a.1.internal_length)
+                    .partial_cmp(&(b.2 + b.1.internal_length))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("groups are non-empty");
+        let total_drive = approach + plan.internal_length;
+        let k = g.members.len() as f64;
+        let passenger_cost = (0..g.members.len())
+            .map(|m| {
+                let wait = approach + plan.pickup_offset[m];
+                let detour = plan.detour(m, g.directs[m]);
+                wait + self.params.beta * detour
+            })
+            .sum::<f64>()
+            / k;
+        let taxi_cost = total_drive - (self.params.alpha + 1.0) * g.sum_trips;
+        Eval {
+            plan_idx,
+            passenger_cost,
+            taxi_cost,
+        }
+    }
+
+    fn dispatch(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        taxi_optimal: bool,
+    ) -> SharingSchedule {
+        if requests.is_empty() || taxis.is_empty() {
+            return SharingSchedule {
+                assignments: Vec::new(),
+                unserved: requests.iter().map(|r| r.id).collect(),
+            };
+        }
+        let groups: Vec<GroupData> = self
+            .pack(requests)
+            .into_iter()
+            .map(|members| self.group_data(requests, members))
+            .collect();
+        // Evaluate every (group, taxi) pair.
+        let evals: Vec<Vec<Eval>> = groups
+            .iter()
+            .map(|g| taxis.iter().map(|t| self.evaluate(g, t)).collect())
+            .collect();
+        let fits = |g: &GroupData, t: &Taxi| g.total_passengers <= u16::from(t.seats);
+
+        let group_lists: Vec<Vec<usize>> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| {
+                let mut list: Vec<usize> = (0..taxis.len())
+                    .filter(|&ti| {
+                        fits(g, &taxis[ti])
+                            && evals[gi][ti].passenger_cost <= self.params.passenger_threshold
+                    })
+                    .collect();
+                list.sort_by(|&a, &b| {
+                    evals[gi][a]
+                        .passenger_cost
+                        .partial_cmp(&evals[gi][b].passenger_cost)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                list
+            })
+            .collect();
+        let taxi_lists: Vec<Vec<usize>> = taxis
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| {
+                let mut list: Vec<usize> = (0..groups.len())
+                    .filter(|&gi| {
+                        fits(&groups[gi], t)
+                            && evals[gi][ti].taxi_cost <= self.params.taxi_threshold
+                    })
+                    .collect();
+                list.sort_by(|&a, &b| {
+                    evals[a][ti]
+                        .taxi_cost
+                        .partial_cmp(&evals[b][ti].taxi_cost)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                list
+            })
+            .collect();
+        let instance = StableInstance::new(group_lists, taxi_lists)
+            .expect("generated lists are in range and duplicate-free");
+        let matching: Matching = if taxi_optimal {
+            instance.reviewer_optimal()
+        } else {
+            instance.propose()
+        };
+
+        let mut assignments = Vec::new();
+        let mut unserved = Vec::new();
+        for (gi, g) in groups.iter().enumerate() {
+            match matching.proposer_partner(gi) {
+                Some(ti) => {
+                    let taxi = &taxis[ti];
+                    let eval = &evals[gi][ti];
+                    let plan = g.plans[eval.plan_idx].clone();
+                    let approach = self.metric.distance(taxi.location, plan.first_stop());
+                    let wait_distances: Vec<f64> = (0..g.members.len())
+                        .map(|m| approach + plan.pickup_offset[m])
+                        .collect();
+                    let detours: Vec<f64> = (0..g.members.len())
+                        .map(|m| plan.detour(m, g.directs[m]))
+                        .collect();
+                    let passenger_costs: Vec<f64> = wait_distances
+                        .iter()
+                        .zip(&detours)
+                        .map(|(w, d)| w + self.params.beta * d)
+                        .collect();
+                    let total_drive = approach + plan.internal_length;
+                    assignments.push(GroupAssignment {
+                        taxi: taxi.id,
+                        members: g.members.iter().map(|&i| requests[i].id).collect(),
+                        route: plan,
+                        wait_distances,
+                        detours,
+                        passenger_costs,
+                        taxi_cost: eval.taxi_cost,
+                        total_drive,
+                    });
+                }
+                None => {
+                    unserved.extend(g.members.iter().map(|&i| requests[i].id));
+                }
+            }
+        }
+        unserved.sort_unstable_by_key(|r| r.0);
+        SharingSchedule {
+            assignments,
+            unserved,
+        }
+    }
+
+    /// With `max_group_size = 1`, sharing dispatch degenerates to the
+    /// non-sharing Algorithm 1; this helper converts the result into a
+    /// [`Schedule`] for direct comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment actually contains more than one member.
+    #[must_use]
+    pub fn as_non_sharing_schedule(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        s: &SharingSchedule,
+    ) -> Schedule {
+        let request_ids: Vec<RequestId> = requests.iter().map(|r| r.id).collect();
+        let taxi_ids: Vec<TaxiId> = taxis.iter().map(|t| t.id).collect();
+        let taxi_pos: std::collections::HashMap<TaxiId, usize> =
+            taxi_ids.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        let mut request_to_taxi = vec![None; requests.len()];
+        let mut passenger_cost = vec![None; requests.len()];
+        let mut taxi_cost = vec![None; taxis.len()];
+        for a in &s.assignments {
+            assert_eq!(a.members.len(), 1, "schedule contains a shared group");
+            let rj = request_ids
+                .iter()
+                .position(|&r| r == a.members[0])
+                .expect("member is from this batch");
+            let ti = taxi_pos[&a.taxi];
+            request_to_taxi[rj] = Some(ti);
+            passenger_cost[rj] = Some(a.passenger_costs[0]);
+            taxi_cost[ti] = Some(a.taxi_cost);
+        }
+        Schedule::from_parts(
+            request_ids,
+            taxi_ids,
+            request_to_taxi,
+            passenger_cost,
+            taxi_cost,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NonSharingDispatcher;
+    use o2o_geo::{Euclidean, Point};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn taxi(id: u64, x: f64, y: f64) -> Taxi {
+        Taxi::new(TaxiId(id), Point::new(x, y))
+    }
+
+    fn req(id: u64, sx: f64, sy: f64, dx: f64, dy: f64) -> Request {
+        Request::new(RequestId(id), 0, Point::new(sx, sy), Point::new(dx, dy))
+    }
+
+    fn dispatcher() -> SharingDispatcher<Euclidean> {
+        SharingDispatcher::new(
+            Euclidean,
+            PreferenceParams::unbounded().with_detour_threshold(5.0),
+        )
+    }
+
+    #[test]
+    fn collinear_pair_is_feasible_and_packed() {
+        let requests = vec![req(0, 0.0, 0.0, 10.0, 0.0), req(1, 2.0, 0.0, 8.0, 0.0)];
+        let d = dispatcher();
+        assert!(d.is_group_feasible(&requests, &[0, 1]));
+        let metas = d.pack(&requests);
+        assert_eq!(metas, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn back_to_back_trips_are_not_sharing() {
+        // Opposite directions: serving the trips sequentially would give
+        // zero detour, but that is a re-dispatch, not a shared ride — the
+        // route search excludes vehicle-empty orders, and every genuine
+        // interleaving forces a huge detour, so the pair is infeasible.
+        let requests = vec![req(0, 0.0, 0.0, 30.0, 0.0), req(1, 30.0, 10.0, 0.0, 10.0)];
+        let d = dispatcher();
+        assert!(!d.is_group_feasible(&requests, &[0, 1]));
+        assert_eq!(d.pack(&requests).len(), 2);
+    }
+
+    #[test]
+    fn crossing_trips_are_infeasible() {
+        // r0 goes east 20 km; r1 cuts straight across r0's path. The
+        // length-minimal route interleaves the trips and forces r0 into a
+        // >5 km detour, so the group is infeasible under θ = 5.
+        let requests = vec![req(0, 0.0, 0.0, 20.0, 0.0), req(1, 10.0, 5.0, 10.0, -5.0)];
+        let d = dispatcher();
+        assert!(!d.is_group_feasible(&requests, &[0, 1]));
+        let metas = d.pack(&requests);
+        assert_eq!(metas.len(), 2);
+    }
+
+    #[test]
+    fn coverage_objective_packs_at_least_as_many_requests() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let requests: Vec<Request> = (0..14)
+                .map(|i| {
+                    req(
+                        i,
+                        rng.gen_range(-3.0..3.0),
+                        rng.gen_range(-3.0..3.0),
+                        rng.gen_range(-3.0..3.0),
+                        rng.gen_range(-3.0..3.0),
+                    )
+                })
+                .collect();
+            let params = PreferenceParams::unbounded().with_detour_threshold(4.0);
+            let covered = |cfg: SharingConfig| -> usize {
+                SharingDispatcher::with_config(Euclidean, params, cfg)
+                    .pack(&requests)
+                    .iter()
+                    .filter(|g| g.len() >= 2)
+                    .map(Vec::len)
+                    .sum()
+            };
+            let count_obj = covered(SharingConfig::default());
+            let coverage_obj = covered(SharingConfig {
+                objective: PackingObjective::CoveredRequests,
+                ..SharingConfig::default()
+            });
+            assert!(
+                coverage_obj + 1 >= count_obj,
+                "coverage {coverage_obj} should not trail count {count_obj} by more than                  local-search noise"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_covers_every_request_once() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let requests: Vec<Request> = (0..12)
+            .map(|i| {
+                req(
+                    i,
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(-3.0..3.0),
+                )
+            })
+            .collect();
+        let metas = dispatcher().pack(&requests);
+        let mut seen = vec![false; requests.len()];
+        for g in &metas {
+            for &i in g {
+                assert!(!seen[i], "request {i} in two groups");
+                seen[i] = true;
+            }
+            assert!(g.len() <= 3);
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn shared_assignment_reports_consistent_metrics() {
+        let taxis = vec![taxi(0, -1.0, 0.0)];
+        let requests = vec![req(0, 0.0, 0.0, 10.0, 0.0), req(1, 2.0, 0.0, 8.0, 0.0)];
+        let s = dispatcher().dispatch_passenger_optimal(&taxis, &requests);
+        assert_eq!(s.served_count(), 2);
+        assert_eq!(s.sharing_rate(), 1.0);
+        let a = &s.assignments[0];
+        // Route: taxi(-1,0) → 0 → 2 → 8 → 10; total drive 11.
+        assert!((a.total_drive - 11.0).abs() < 1e-9);
+        assert!((a.wait_distances[0] - 1.0).abs() < 1e-9);
+        assert!((a.wait_distances[1] - 3.0).abs() < 1e-9);
+        assert_eq!(a.detours, vec![0.0, 0.0]);
+        // Taxi cost = 11 − 2·(10+6) = −21 with α = 1.
+        assert!((a.taxi_cost - (11.0 - 2.0 * 16.0)).abs() < 1e-9);
+        assert_eq!(
+            s.passenger_dissatisfaction(RequestId(1)),
+            Some(a.passenger_costs[1])
+        );
+        assert_eq!(s.taxi_dissatisfaction(TaxiId(0)), Some(a.taxi_cost));
+        assert!(s.group_of(TaxiId(0)).is_some());
+    }
+
+    #[test]
+    fn seat_constraint_blocks_large_groups() {
+        let mut taxis = vec![Taxi::with_seats(TaxiId(0), Point::new(0.0, 0.0), 2)];
+        let requests = vec![
+            Request::with_party(
+                RequestId(0),
+                0,
+                Point::new(0.0, 0.0),
+                Point::new(5.0, 0.0),
+                2,
+            ),
+            Request::with_party(
+                RequestId(1),
+                0,
+                Point::new(1.0, 0.0),
+                Point::new(4.0, 0.0),
+                2,
+            ),
+        ];
+        let d = dispatcher();
+        let s = d.dispatch_passenger_optimal(&taxis, &requests);
+        // Group of 4 passengers cannot fit a 2-seat taxi; only a singleton
+        // can be served.
+        assert!(s.assignments.iter().all(|a| a.members.len() == 1));
+        // A 4-seat taxi can take the group.
+        taxis[0] = Taxi::with_seats(TaxiId(0), Point::new(0.0, 0.0), 4);
+        let s = d.dispatch_passenger_optimal(&taxis, &requests);
+        assert_eq!(s.served_count(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let d = dispatcher();
+        let s = d.dispatch_passenger_optimal(&[], &[]);
+        assert_eq!(s.served_count(), 0);
+        let s = d.dispatch_passenger_optimal(&[], &[req(0, 0.0, 0.0, 1.0, 0.0)]);
+        assert_eq!(s.unserved, vec![RequestId(0)]);
+        let s = d.dispatch_passenger_optimal(&[taxi(0, 0.0, 0.0)], &[]);
+        assert!(s.assignments.is_empty());
+    }
+
+    #[test]
+    fn group_size_one_matches_non_sharing_dispatch() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..25 {
+            let taxis: Vec<Taxi> = (0..4)
+                .map(|i| taxi(i, rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+                .collect();
+            let requests: Vec<Request> = (0..5)
+                .map(|j| {
+                    req(
+                        j,
+                        rng.gen_range(-5.0..5.0),
+                        rng.gen_range(-5.0..5.0),
+                        rng.gen_range(-5.0..5.0),
+                        rng.gen_range(-5.0..5.0),
+                    )
+                })
+                .collect();
+            let params = PreferenceParams::paper();
+            let sharing = SharingDispatcher::with_config(
+                Euclidean,
+                params,
+                SharingConfig {
+                    max_group_size: 1,
+                    ..SharingConfig::default()
+                },
+            );
+            let non_sharing = NonSharingDispatcher::new(Euclidean, params);
+            // Costs can differ by float rounding (different association
+            // order), so compare matchings exactly and costs approximately.
+            let assert_equivalent = |a: &Schedule, b: &Schedule| {
+                for r in &requests {
+                    assert_eq!(a.assignment_of(r.id), b.assignment_of(r.id));
+                    match (
+                        a.passenger_dissatisfaction(r.id),
+                        b.passenger_dissatisfaction(r.id),
+                    ) {
+                        (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                        (x, y) => assert_eq!(x, y),
+                    }
+                }
+                for t in &taxis {
+                    match (a.taxi_dissatisfaction(t.id), b.taxi_dissatisfaction(t.id)) {
+                        (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                        (x, y) => assert_eq!(x, y),
+                    }
+                }
+            };
+            let a = sharing.dispatch_passenger_optimal(&taxis, &requests);
+            let a = sharing.as_non_sharing_schedule(&taxis, &requests, &a);
+            let b = non_sharing.passenger_optimal(&taxis, &requests);
+            assert_equivalent(&a, &b);
+            let at = sharing.dispatch_taxi_optimal(&taxis, &requests);
+            let at = sharing.as_non_sharing_schedule(&taxis, &requests, &at);
+            let bt = non_sharing.taxi_optimal(&taxis, &requests);
+            assert_equivalent(&at, &bt);
+        }
+    }
+
+    #[test]
+    fn exhaustive_triples_superset_of_pruned() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let requests: Vec<Request> = (0..8)
+            .map(|i| {
+                req(
+                    i,
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(-2.0..2.0),
+                    rng.gen_range(-2.0..2.0),
+                )
+            })
+            .collect();
+        let params = PreferenceParams::unbounded().with_detour_threshold(3.0);
+        let pruned = SharingDispatcher::with_config(
+            Euclidean,
+            params,
+            SharingConfig {
+                triples: TripleCandidates::FromFeasiblePairs,
+                ..SharingConfig::default()
+            },
+        );
+        let exhaustive = SharingDispatcher::with_config(
+            Euclidean,
+            params,
+            SharingConfig {
+                triples: TripleCandidates::Exhaustive,
+                ..SharingConfig::default()
+            },
+        );
+        let a = pruned.feasible_groups(&requests);
+        let b = exhaustive.feasible_groups(&requests);
+        for g in &a {
+            assert!(b.contains(g), "pruned found a group exhaustive missed");
+        }
+        assert!(a.len() <= b.len());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Dispatch invariants on random frames: disjoint service, detours
+        /// within θ, each taxi used at most once, metrics finite.
+        #[test]
+        fn dispatch_invariants(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let taxis: Vec<Taxi> = (0..4)
+                .map(|i| taxi(i, rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0)))
+                .collect();
+            let requests: Vec<Request> = (0..7)
+                .map(|j| req(
+                    j,
+                    rng.gen_range(-4.0..4.0),
+                    rng.gen_range(-4.0..4.0),
+                    rng.gen_range(-4.0..4.0),
+                    rng.gen_range(-4.0..4.0),
+                ))
+                .collect();
+            let d = SharingDispatcher::new(
+                Euclidean,
+                PreferenceParams::unbounded().with_detour_threshold(2.0),
+            );
+            let s = d.dispatch_passenger_optimal(&taxis, &requests);
+            let mut seen_requests = std::collections::HashSet::new();
+            let mut seen_taxis = std::collections::HashSet::new();
+            for a in &s.assignments {
+                prop_assert!(seen_taxis.insert(a.taxi), "taxi reused");
+                for (&m, &detour) in a.members.iter().zip(&a.detours) {
+                    prop_assert!(seen_requests.insert(m), "request served twice");
+                    prop_assert!(detour <= 2.0 + 1e-9, "detour {detour} over budget");
+                }
+                prop_assert!(a.taxi_cost.is_finite());
+                prop_assert!(a.passenger_costs.iter().all(|c| c.is_finite()));
+            }
+            for u in &s.unserved {
+                prop_assert!(seen_requests.insert(*u), "unserved request also served");
+            }
+            prop_assert_eq!(seen_requests.len(), requests.len());
+        }
+    }
+}

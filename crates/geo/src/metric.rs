@@ -1,0 +1,215 @@
+//! Pluggable distance functions — the paper's `D(·,·)`.
+
+use crate::Point;
+use std::fmt::Debug;
+
+/// A distance function over city locations — the `D(·,·)` of the paper.
+///
+/// Every dispatch algorithm in this workspace is generic over the metric, so
+/// the paper's Euclidean model, a rectilinear street grid, or a full
+/// [`RoadNetwork`](crate::RoadNetwork) shortest-path metric can be swapped in
+/// without touching the algorithms.
+///
+/// Implementations must be symmetric (`d(a, b) == d(b, a)`), non-negative,
+/// and satisfy `d(a, a) == 0`. The triangle inequality is assumed by the
+/// routing code (shared-route search prunes with it) but small violations
+/// only cost optimality, never correctness.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_geo::{Manhattan, Metric, Point};
+///
+/// let d = Manhattan.distance(Point::new(0.0, 0.0), Point::new(2.0, 3.0));
+/// assert_eq!(d, 5.0);
+/// ```
+pub trait Metric: Debug + Send + Sync {
+    /// Shortest-path distance between `a` and `b`, in kilometres.
+    fn distance(&self, a: Point, b: Point) -> f64;
+
+    /// Total length of a polyline through `stops`, in kilometres.
+    ///
+    /// Returns `0.0` for zero or one stop.
+    fn path_length(&self, stops: &[Point]) -> f64 {
+        stops.windows(2).map(|w| self.distance(w[0], w[1])).sum()
+    }
+}
+
+/// Straight-line distance — the paper's default city model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Euclidean;
+
+impl Metric for Euclidean {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        a.euclidean(b)
+    }
+}
+
+/// Rectilinear (L1) distance — an approximation of a gridded street plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        a.manhattan(b)
+    }
+}
+
+/// Wraps a metric, multiplying every distance by a constant factor.
+///
+/// Useful for modelling a detour ratio (road distance ≈ 1.3 × straight-line
+/// distance is a common urban rule of thumb) without building a road graph.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_geo::{Euclidean, Metric, Point, ScaledMetric};
+///
+/// let road_ish = ScaledMetric::new(Euclidean, 1.3);
+/// let d = road_ish.distance(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+/// assert!((d - 6.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaledMetric<M> {
+    inner: M,
+    factor: f64,
+}
+
+impl<M: Metric> ScaledMetric<M> {
+    /// Wraps `inner`, scaling all its distances by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn new(inner: M, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        ScaledMetric { inner, factor }
+    }
+
+    /// The wrapped metric.
+    #[must_use]
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The scale factor.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+impl<M: Metric> Metric for ScaledMetric<M> {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        self.inner.distance(a, b) * self.factor
+    }
+}
+
+impl<M: Metric + ?Sized> Metric for &M {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        (**self).distance(a, b)
+    }
+}
+
+impl<M: Metric + ?Sized> Metric for Box<M> {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        (**self).distance(a, b)
+    }
+}
+
+impl<M: Metric + ?Sized> Metric for std::sync::Arc<M> {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        (**self).distance(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn euclidean_matches_point_method() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(Euclidean.distance(a, b), a.euclidean(b));
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        let stops = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 4.0),
+        ];
+        assert_eq!(Euclidean.path_length(&stops), 7.0);
+        assert_eq!(Manhattan.path_length(&stops), 7.0);
+    }
+
+    #[test]
+    fn path_length_degenerate_cases() {
+        assert_eq!(Euclidean.path_length(&[]), 0.0);
+        assert_eq!(Euclidean.path_length(&[Point::new(9.0, 9.0)]), 0.0);
+    }
+
+    #[test]
+    fn scaled_metric_scales() {
+        let m = ScaledMetric::new(Manhattan, 2.0);
+        assert_eq!(m.distance(Point::ORIGIN, Point::new(1.0, 1.0)), 4.0);
+        assert_eq!(m.factor(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn scaled_metric_rejects_negative() {
+        let _ = ScaledMetric::new(Euclidean, -1.0);
+    }
+
+    #[test]
+    fn metric_usable_through_references() {
+        fn takes_metric<M: Metric>(m: M) -> f64 {
+            m.distance(Point::ORIGIN, Point::new(1.0, 0.0))
+        }
+        assert_eq!(takes_metric(&Euclidean), 1.0);
+        assert_eq!(takes_metric(Box::new(Euclidean) as Box<dyn Metric>), 1.0);
+        assert_eq!(
+            takes_metric(std::sync::Arc::new(Euclidean) as std::sync::Arc<dyn Metric>),
+            1.0
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn euclidean_metric_axioms(ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+                                   bx in -50.0..50.0f64, by in -50.0..50.0f64,
+                                   cx in -50.0..50.0f64, cy in -50.0..50.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            let m = Euclidean;
+            prop_assert!(m.distance(a, b) >= 0.0);
+            prop_assert!((m.distance(a, b) - m.distance(b, a)).abs() < 1e-9);
+            prop_assert!(m.distance(a, a) == 0.0);
+            // Triangle inequality with an epsilon for rounding.
+            prop_assert!(m.distance(a, c) <= m.distance(a, b) + m.distance(b, c) + 1e-9);
+        }
+
+        #[test]
+        fn manhattan_metric_axioms(ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+                                   bx in -50.0..50.0f64, by in -50.0..50.0f64,
+                                   cx in -50.0..50.0f64, cy in -50.0..50.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            let m = Manhattan;
+            prop_assert!((m.distance(a, b) - m.distance(b, a)).abs() < 1e-9);
+            prop_assert!(m.distance(a, c) <= m.distance(a, b) + m.distance(b, c) + 1e-9);
+            // L1 dominates L2.
+            prop_assert!(m.distance(a, b) + 1e-9 >= Euclidean.distance(a, b));
+        }
+    }
+}

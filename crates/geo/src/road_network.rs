@@ -1,0 +1,680 @@
+//! A road network as a weighted graph with shortest-path queries.
+//!
+//! The paper defines `D(·,·)` as "the shortest path distance between
+//! different locations". The default experiments use the Euclidean plane,
+//! but this module provides a real graph metric so that every algorithm can
+//! also be exercised on a street-like topology: queries snap their endpoints
+//! to the nearest road node and run A* (with the Euclidean lower bound as
+//! heuristic) over the graph.
+
+use crate::{BBox, Metric, Point};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Identifier of a node (intersection) in a [`RoadNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifier of an edge (road segment) in a [`RoadNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+/// Errors from building or querying a [`RoadNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoadNetworkError {
+    /// An edge referenced a node index that does not exist.
+    UnknownNode(usize),
+    /// An edge was given a negative or non-finite length.
+    BadEdgeLength {
+        /// Index of the offending edge in insertion order.
+        edge: usize,
+    },
+    /// The network has no nodes, so no query can be answered.
+    Empty,
+}
+
+impl fmt::Display for RoadNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetworkError::UnknownNode(n) => write!(f, "edge references unknown node {n}"),
+            RoadNetworkError::BadEdgeLength { edge } => {
+                write!(f, "edge {edge} has a negative or non-finite length")
+            }
+            RoadNetworkError::Empty => write!(f, "road network has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for RoadNetworkError {}
+
+#[derive(Debug, Clone, Copy)]
+struct HalfEdge {
+    to: usize,
+    length: f64,
+}
+
+/// A weighted undirected road graph with shortest-path distance queries.
+///
+/// Build one with [`RoadNetworkBuilder`] or generate a synthetic street grid
+/// with [`RoadNetwork::grid`]. The network implements [`Metric`]: arbitrary
+/// [`Point`]s are snapped to their nearest node and the distance is the
+/// graph shortest path between the snapped nodes (a reasonable model when
+/// node spacing is small relative to trip lengths).
+///
+/// # Examples
+///
+/// ```
+/// use o2o_geo::{Metric, Point, RoadNetwork};
+///
+/// // A 4×4 street grid over a 3 km square: rectilinear routes only.
+/// let net = RoadNetwork::grid(4, 4, 1.0);
+/// let d = net.distance(Point::new(0.0, 0.0), Point::new(3.0, 3.0));
+/// assert!((d - 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct RoadNetwork {
+    positions: Vec<Point>,
+    adjacency: Vec<Vec<HalfEdge>>,
+    edge_count: usize,
+    bbox: BBox,
+    // Snap-acceleration grid: cell -> node indices.
+    snap_cells: Vec<Vec<usize>>,
+    snap_cols: usize,
+    snap_rows: usize,
+    snap_cell_size: f64,
+    // Small shortest-path cache keyed by snapped node pair.
+    cache: Mutex<std::collections::HashMap<(usize, usize), f64>>,
+}
+
+impl RoadNetwork {
+    /// Generates a rectangular street grid with `cols × rows` intersections
+    /// spaced `spacing` kilometres apart, with the south-west corner at the
+    /// origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero or `spacing` is not positive.
+    #[must_use]
+    pub fn grid(cols: usize, rows: usize, spacing: f64) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one node");
+        assert!(
+            spacing > 0.0 && spacing.is_finite(),
+            "spacing must be positive and finite"
+        );
+        let mut b = RoadNetworkBuilder::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                b.add_node(Point::new(c as f64 * spacing, r as f64 * spacing));
+            }
+        }
+        let idx = |c: usize, r: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    b.add_edge(idx(c, r), idx(c + 1, r), spacing);
+                }
+                if r + 1 < rows {
+                    b.add_edge(idx(c, r), idx(c, r + 1), spacing);
+                }
+            }
+        }
+        b.build().expect("grid construction is always valid")
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Position of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn position(&self, id: NodeId) -> Point {
+        self.positions[id.0]
+    }
+
+    /// Bounding box of all node positions.
+    #[must_use]
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// The node nearest to `p` in Euclidean distance.
+    #[must_use]
+    pub fn snap(&self, p: Point) -> NodeId {
+        debug_assert!(!self.positions.is_empty());
+        let p = self.bbox.clamp(p);
+        let col = (((p.x - self.bbox.min().x) / self.snap_cell_size) as usize)
+            .min(self.snap_cols.saturating_sub(1));
+        let row = (((p.y - self.bbox.min().y) / self.snap_cell_size) as usize)
+            .min(self.snap_rows.saturating_sub(1));
+        // Search outward ring by ring until a candidate is found, then one
+        // more ring to guarantee correctness.
+        let mut best: Option<(f64, usize)> = None;
+        let max_ring = self.snap_cols.max(self.snap_rows);
+        let mut found_ring = None;
+        for ring in 0..=max_ring {
+            if let Some(fr) = found_ring {
+                if ring > fr + 1 {
+                    break;
+                }
+            }
+            let mut any_cell = false;
+            for (c, r) in ring_cells(col, row, ring, self.snap_cols, self.snap_rows) {
+                any_cell = true;
+                for &n in &self.snap_cells[r * self.snap_cols + c] {
+                    let d = self.positions[n].euclidean_sq(p);
+                    if best.map_or(true, |(bd, _)| d < bd) {
+                        best = Some((d, n));
+                    }
+                }
+            }
+            if best.is_some() && found_ring.is_none() {
+                found_ring = Some(ring);
+            }
+            if !any_cell && ring > 0 {
+                break;
+            }
+        }
+        NodeId(best.expect("non-empty network always snaps").1)
+    }
+
+    /// Graph shortest-path distance between two nodes, in kilometres.
+    ///
+    /// Runs A* with the straight-line lower bound. Returns `f64::INFINITY`
+    /// when the nodes are disconnected.
+    #[must_use]
+    pub fn node_distance(&self, from: NodeId, to: NodeId) -> f64 {
+        if from == to {
+            return 0.0;
+        }
+        let key = (from.0.min(to.0), from.0.max(to.0));
+        if let Some(&d) = self.cache.lock().expect("cache poisoned").get(&key) {
+            return d;
+        }
+        let d = self.astar(from.0, to.0);
+        let mut cache = self.cache.lock().expect("cache poisoned");
+        if cache.len() > 1_000_000 {
+            cache.clear();
+        }
+        cache.insert(key, d);
+        d
+    }
+
+    /// The shortest path between two nodes as a node sequence plus its
+    /// length, or `None` when they are disconnected.
+    ///
+    /// Runs Dijkstra with parent tracking; for distance-only queries
+    /// prefer [`RoadNetwork::node_distance`] (A*, cached).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use o2o_geo::{NodeId, RoadNetwork};
+    ///
+    /// let net = RoadNetwork::grid(3, 3, 1.0);
+    /// let (path, len) = net.shortest_path(NodeId(0), NodeId(8)).unwrap();
+    /// assert_eq!(len, 4.0);
+    /// assert_eq!(path.first(), Some(&NodeId(0)));
+    /// assert_eq!(path.last(), Some(&NodeId(8)));
+    /// assert_eq!(path.len(), 5); // four 1 km legs
+    /// ```
+    #[must_use]
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<(Vec<NodeId>, f64)> {
+        let n = self.positions.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent = vec![usize::MAX; n];
+        dist[from.0] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            cost: 0.0,
+            node: from.0,
+        });
+        while let Some(HeapEntry { cost, node }) = heap.pop() {
+            if node == to.0 {
+                break;
+            }
+            if cost > dist[node] {
+                continue;
+            }
+            for he in &self.adjacency[node] {
+                let nd = cost + he.length;
+                if nd < dist[he.to] {
+                    dist[he.to] = nd;
+                    parent[he.to] = node;
+                    heap.push(HeapEntry {
+                        cost: nd,
+                        node: he.to,
+                    });
+                }
+            }
+        }
+        if dist[to.0].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to.0;
+        while cur != from.0 {
+            cur = parent[cur];
+            path.push(NodeId(cur));
+        }
+        path.reverse();
+        Some((path, dist[to.0]))
+    }
+
+    /// Shortest-path distances from `from` to every node (Dijkstra).
+    ///
+    /// Disconnected nodes get `f64::INFINITY`.
+    #[must_use]
+    pub fn distances_from(&self, from: NodeId) -> Vec<f64> {
+        let n = self.positions.len();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[from.0] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            cost: 0.0,
+            node: from.0,
+        });
+        while let Some(HeapEntry { cost, node }) = heap.pop() {
+            if cost > dist[node] {
+                continue;
+            }
+            for he in &self.adjacency[node] {
+                let nd = cost + he.length;
+                if nd < dist[he.to] {
+                    dist[he.to] = nd;
+                    heap.push(HeapEntry {
+                        cost: nd,
+                        node: he.to,
+                    });
+                }
+            }
+        }
+        dist
+    }
+
+    fn astar(&self, from: usize, to: usize) -> f64 {
+        let n = self.positions.len();
+        let goal = self.positions[to];
+        let mut dist = vec![f64::INFINITY; n];
+        dist[from] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(HeapEntry {
+            cost: self.positions[from].euclidean(goal),
+            node: from,
+        });
+        while let Some(HeapEntry { cost: _, node }) = heap.pop() {
+            if node == to {
+                return dist[to];
+            }
+            let g = dist[node];
+            for he in &self.adjacency[node] {
+                let nd = g + he.length;
+                if nd < dist[he.to] {
+                    dist[he.to] = nd;
+                    heap.push(HeapEntry {
+                        cost: nd + self.positions[he.to].euclidean(goal),
+                        node: he.to,
+                    });
+                }
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Cells on the boundary of the square ring at Chebyshev radius `ring`.
+fn ring_cells(
+    col: usize,
+    row: usize,
+    ring: usize,
+    cols: usize,
+    rows: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let c0 = col as isize - ring as isize;
+    let c1 = col as isize + ring as isize;
+    let r0 = row as isize - ring as isize;
+    let r1 = row as isize + ring as isize;
+    let mut cells = Vec::new();
+    for c in c0..=c1 {
+        for r in [r0, r1] {
+            if c >= 0 && r >= 0 && (c as usize) < cols && (r as usize) < rows {
+                cells.push((c as usize, r as usize));
+            }
+        }
+    }
+    if ring > 0 {
+        for r in (r0 + 1)..r1 {
+            for c in [c0, c1] {
+                if c >= 0 && r >= 0 && (c as usize) < cols && (r as usize) < rows {
+                    cells.push((c as usize, r as usize));
+                }
+            }
+        }
+    }
+    cells.into_iter()
+}
+
+impl Metric for RoadNetwork {
+    fn distance(&self, a: Point, b: Point) -> f64 {
+        self.node_distance(self.snap(a), self.snap(b))
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Incremental builder for [`RoadNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use o2o_geo::{Point, RoadNetworkBuilder};
+///
+/// let mut b = RoadNetworkBuilder::new();
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(1.0, 0.0));
+/// b.add_edge(a.0, c.0, 1.0);
+/// let net = b.build()?;
+/// assert_eq!(net.node_count(), 2);
+/// # Ok::<(), o2o_geo::RoadNetworkError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct RoadNetworkBuilder {
+    positions: Vec<Point>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an intersection at `p`, returning its id.
+    pub fn add_node(&mut self, p: Point) -> NodeId {
+        self.positions.push(p);
+        NodeId(self.positions.len() - 1)
+    }
+
+    /// Adds an undirected road of the given `length` (km) between node
+    /// indices `a` and `b`. Validation happens in [`Self::build`].
+    pub fn add_edge(&mut self, a: usize, b: usize, length: f64) -> &mut Self {
+        self.edges.push((a, b, length));
+        self
+    }
+
+    /// Adds an undirected road whose length is the straight-line distance
+    /// between the two endpoints.
+    pub fn add_straight_edge(&mut self, a: NodeId, b: NodeId) -> &mut Self {
+        let len = self.positions[a.0].euclidean(self.positions[b.0]);
+        self.edges.push((a.0, b.0, len));
+        self
+    }
+
+    /// Validates and builds the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadNetworkError::Empty`] if no nodes were added,
+    /// [`RoadNetworkError::UnknownNode`] for edges referencing missing
+    /// nodes, and [`RoadNetworkError::BadEdgeLength`] for negative or
+    /// non-finite lengths.
+    pub fn build(&self) -> Result<RoadNetwork, RoadNetworkError> {
+        if self.positions.is_empty() {
+            return Err(RoadNetworkError::Empty);
+        }
+        let n = self.positions.len();
+        let mut adjacency = vec![Vec::new(); n];
+        for (i, &(a, b, len)) in self.edges.iter().enumerate() {
+            if a >= n {
+                return Err(RoadNetworkError::UnknownNode(a));
+            }
+            if b >= n {
+                return Err(RoadNetworkError::UnknownNode(b));
+            }
+            if !(len.is_finite() && len >= 0.0) {
+                return Err(RoadNetworkError::BadEdgeLength { edge: i });
+            }
+            adjacency[a].push(HalfEdge { to: b, length: len });
+            adjacency[b].push(HalfEdge { to: a, length: len });
+        }
+        let bbox = BBox::from_points(self.positions.iter().copied()).expect("non-empty");
+        // Aim for ~1 node per cell on average, clamped to a sane range.
+        let target_cells = (n as f64).sqrt().ceil().max(1.0);
+        let cell_size = (bbox.width().max(bbox.height()) / target_cells).max(1e-9);
+        let cols = ((bbox.width() / cell_size).ceil() as usize).max(1);
+        let rows = ((bbox.height() / cell_size).ceil() as usize).max(1);
+        let mut snap_cells = vec![Vec::new(); cols * rows];
+        for (i, p) in self.positions.iter().enumerate() {
+            let c = (((p.x - bbox.min().x) / cell_size) as usize).min(cols - 1);
+            let r = (((p.y - bbox.min().y) / cell_size) as usize).min(rows - 1);
+            snap_cells[r * cols + c].push(i);
+        }
+        Ok(RoadNetwork {
+            positions: self.positions.clone(),
+            adjacency,
+            edge_count: self.edges.len(),
+            bbox,
+            snap_cells,
+            snap_cols: cols,
+            snap_rows: rows,
+            snap_cell_size: cell_size,
+            cache: Mutex::new(std::collections::HashMap::new()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn grid_distance_is_rectilinear() {
+        let net = RoadNetwork::grid(5, 5, 1.0);
+        assert_eq!(net.node_count(), 25);
+        assert_eq!(net.edge_count(), 40);
+        let d = net.distance(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        assert!((d - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snap_finds_nearest_node() {
+        let net = RoadNetwork::grid(3, 3, 1.0);
+        let id = net.snap(Point::new(1.1, 1.9));
+        assert_eq!(net.position(id), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn snap_far_outside_bbox() {
+        let net = RoadNetwork::grid(3, 3, 1.0);
+        let id = net.snap(Point::new(100.0, -100.0));
+        assert_eq!(net.position(id), Point::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn node_distance_zero_on_same_node() {
+        let net = RoadNetwork::grid(2, 2, 1.0);
+        assert_eq!(net.node_distance(NodeId(0), NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn disconnected_components_are_infinite() {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::new(0.0, 0.0));
+        b.add_node(Point::new(10.0, 0.0));
+        let net = b.build().unwrap();
+        assert!(net.node_distance(NodeId(0), NodeId(1)).is_infinite());
+    }
+
+    #[test]
+    fn builder_rejects_unknown_node() {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::ORIGIN);
+        b.add_edge(0, 7, 1.0);
+        assert_eq!(b.build().unwrap_err(), RoadNetworkError::UnknownNode(7));
+    }
+
+    #[test]
+    fn builder_rejects_bad_length() {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::ORIGIN);
+        b.add_node(Point::new(1.0, 0.0));
+        b.add_edge(0, 1, f64::NAN);
+        assert_eq!(
+            b.build().unwrap_err(),
+            RoadNetworkError::BadEdgeLength { edge: 0 }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert_eq!(
+            RoadNetworkBuilder::new().build().unwrap_err(),
+            RoadNetworkError::Empty
+        );
+    }
+
+    #[test]
+    fn straight_edge_uses_euclidean_length() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(Point::new(0.0, 0.0));
+        let c = b.add_node(Point::new(3.0, 4.0));
+        b.add_straight_edge(a, c);
+        let net = b.build().unwrap();
+        assert!((net.node_distance(a, c) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_from_matches_pairwise() {
+        let net = RoadNetwork::grid(4, 3, 0.5);
+        let all = net.distances_from(NodeId(0));
+        for i in 0..net.node_count() {
+            let d = net.node_distance(NodeId(0), NodeId(i));
+            assert!((all[i] - d).abs() < 1e-9, "node {i}: {} vs {d}", all[i]);
+        }
+    }
+
+    #[test]
+    fn astar_takes_shortcut_when_available() {
+        // Square with a diagonal: 0-1-2-3 around plus 0-2 diagonal.
+        let mut b = RoadNetworkBuilder::new();
+        let n0 = b.add_node(Point::new(0.0, 0.0));
+        let n1 = b.add_node(Point::new(1.0, 0.0));
+        let n2 = b.add_node(Point::new(1.0, 1.0));
+        let n3 = b.add_node(Point::new(0.0, 1.0));
+        b.add_straight_edge(n0, n1);
+        b.add_straight_edge(n1, n2);
+        b.add_straight_edge(n2, n3);
+        b.add_straight_edge(n3, n0);
+        b.add_straight_edge(n0, n2);
+        let net = b.build().unwrap();
+        assert!((net.node_distance(n0, n2) - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortest_path_walks_edges() {
+        let net = RoadNetwork::grid(4, 4, 0.5);
+        let (path, len) = net.shortest_path(NodeId(0), NodeId(15)).unwrap();
+        assert!((len - 3.0).abs() < 1e-12);
+        assert_eq!(path.len(), 7);
+        // Every consecutive pair must be an edge; lengths must sum up.
+        let mut total = 0.0;
+        for w in path.windows(2) {
+            let d = net.node_distance(w[0], w[1]);
+            assert!((d - 0.5).abs() < 1e-12, "non-adjacent hop");
+            total += d;
+        }
+        assert!((total - len).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_disconnected() {
+        let net = RoadNetwork::grid(2, 2, 1.0);
+        let (path, len) = net.shortest_path(NodeId(0), NodeId(0)).unwrap();
+        assert_eq!(path, vec![NodeId(0)]);
+        assert_eq!(len, 0.0);
+        let mut b = RoadNetworkBuilder::new();
+        b.add_node(Point::ORIGIN);
+        b.add_node(Point::new(5.0, 0.0));
+        let net = b.build().unwrap();
+        assert!(net.shortest_path(NodeId(0), NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(RoadNetworkError::UnknownNode(3).to_string().contains('3'));
+        assert!(RoadNetworkError::Empty.to_string().contains("no nodes"));
+        assert!(RoadNetworkError::BadEdgeLength { edge: 1 }
+            .to_string()
+            .contains("edge 1"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Grid metric equals the Manhattan distance between snapped nodes.
+        #[test]
+        fn grid_metric_is_manhattan_on_nodes(
+            ax in 0usize..6, ay in 0usize..6, bx in 0usize..6, by in 0usize..6,
+        ) {
+            let net = RoadNetwork::grid(6, 6, 1.0);
+            let a = Point::new(ax as f64, ay as f64);
+            let b = Point::new(bx as f64, by as f64);
+            let expect = a.manhattan(b);
+            prop_assert!((net.distance(a, b) - expect).abs() < 1e-9);
+        }
+
+        /// Graph metric axioms hold on arbitrary snapped pairs.
+        #[test]
+        fn road_metric_axioms(
+            ax in 0.0..5.0f64, ay in 0.0..5.0f64,
+            bx in 0.0..5.0f64, by in 0.0..5.0f64,
+            cx in 0.0..5.0f64, cy in 0.0..5.0f64,
+        ) {
+            let net = RoadNetwork::grid(6, 6, 1.0);
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            let dab = net.distance(a, b);
+            let dba = net.distance(b, a);
+            prop_assert!((dab - dba).abs() < 1e-9);
+            prop_assert!(net.distance(a, c) <= dab + net.distance(b, c) + 1e-9);
+        }
+    }
+}

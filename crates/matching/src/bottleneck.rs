@@ -1,0 +1,182 @@
+//! Bottleneck bipartite assignment: minimise the maximum matched cost.
+//!
+//! Engine for the *Mini* baseline ("a bipartite matching method that
+//! minimizes the maximal cost of a matched request-taxi pair", Hanna et
+//! al.). The solver binary-searches the sorted distinct costs, using
+//! Hopcroft–Karp to check whether the threshold graph still admits a
+//! matching of size `min(rows, cols)`.
+
+use crate::hopcroft_karp::max_bipartite_matching;
+use crate::hungarian::CostMatrix;
+
+/// Result of a bottleneck assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckResult {
+    /// Matched `(row, col)` pairs; always `min(rows, cols)` of them (for a
+    /// non-empty matrix).
+    pub pairs: Vec<(usize, usize)>,
+    /// The smallest achievable maximum matched cost (`0.0` for an empty
+    /// matrix).
+    pub bottleneck: f64,
+}
+
+/// Computes a full-size matching minimising the maximum matched cost.
+///
+/// All `min(rows, cols)` pairs are matched; among all such matchings the
+/// returned one minimises `max` cost. Runs in `O(E·√V · log E)`.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_matching::bottleneck_assignment;
+/// use o2o_matching::hungarian::CostMatrix;
+///
+/// let costs = CostMatrix::from_rows(vec![
+///     vec![1.0, 9.0],
+///     vec![2.0, 3.0],
+/// ])?;
+/// let r = bottleneck_assignment(&costs);
+/// // Matching (0→0, 1→1) has max cost 3; the alternative has max 9.
+/// assert_eq!(r.bottleneck, 3.0);
+/// # Ok::<(), o2o_matching::hungarian::CostMatrixError>(())
+/// ```
+#[must_use]
+pub fn bottleneck_assignment(costs: &CostMatrix) -> BottleneckResult {
+    let n = costs.rows();
+    let m = costs.cols();
+    let target = n.min(m);
+    if target == 0 {
+        return BottleneckResult {
+            pairs: Vec::new(),
+            bottleneck: 0.0,
+        };
+    }
+    let mut distinct: Vec<f64> = (0..n)
+        .flat_map(|i| (0..m).map(move |j| (i, j)))
+        .map(|(i, j)| costs.get(i, j))
+        .collect();
+    distinct.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
+    distinct.dedup();
+
+    let matching_at = |threshold: f64| {
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..m).filter(|&j| costs.get(i, j) <= threshold).collect())
+            .collect();
+        max_bipartite_matching(m, &adj)
+    };
+
+    // Binary search the smallest threshold admitting a full matching.
+    let mut lo = 0usize;
+    let mut hi = distinct.len() - 1; // the full graph always works
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if matching_at(distinct[mid]).size() >= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let bottleneck = distinct[lo];
+    let matching = matching_at(bottleneck);
+    debug_assert_eq!(matching.size(), target);
+    let pairs = matching
+        .left_to_right
+        .iter()
+        .enumerate()
+        .filter_map(|(i, j)| j.map(|j| (i, j)))
+        .collect();
+    BottleneckResult { pairs, bottleneck }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn picks_min_max_over_min_total() {
+        // Min-total matching is (0→0, 1→1): total 1+10=11, max 10.
+        // Bottleneck matching is (0→1, 1→0): total 4+4=8? max 4.
+        let costs = CostMatrix::from_rows(vec![vec![1.0, 4.0], vec![4.0, 10.0]]).unwrap();
+        let r = bottleneck_assignment(&costs);
+        assert_eq!(r.bottleneck, 4.0);
+        assert_eq!(r.pairs.len(), 2);
+    }
+
+    #[test]
+    fn rectangular_matches_min_side() {
+        let costs = CostMatrix::from_rows(vec![vec![5.0, 1.0, 7.0], vec![2.0, 8.0, 3.0]]).unwrap();
+        let r = bottleneck_assignment(&costs);
+        assert_eq!(r.pairs.len(), 2);
+        assert_eq!(r.bottleneck, 2.0); // 0→1 (1), 1→0 (2)
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let r = bottleneck_assignment(&CostMatrix::from_rows(vec![]).unwrap());
+        assert!(r.pairs.is_empty());
+        assert_eq!(r.bottleneck, 0.0);
+    }
+
+    #[test]
+    fn single_cell() {
+        let r = bottleneck_assignment(&CostMatrix::from_rows(vec![vec![42.0]]).unwrap());
+        assert_eq!(r.pairs, vec![(0, 0)]);
+        assert_eq!(r.bottleneck, 42.0);
+    }
+
+    fn brute_force_bottleneck(costs: &CostMatrix) -> f64 {
+        fn rec(costs: &CostMatrix, row: usize, used: &mut Vec<bool>, matched: usize) -> f64 {
+            let target = costs.rows().min(costs.cols());
+            if matched == target {
+                return f64::NEG_INFINITY; // no more cost contributions
+            }
+            if row == costs.rows() {
+                return f64::INFINITY; // failed to match enough
+            }
+            let mut best = f64::INFINITY;
+            // Option: skip this row (only useful when rows > cols).
+            if costs.rows() - row - 1 >= target - matched {
+                best = rec(costs, row + 1, used, matched);
+            }
+            for c in 0..costs.cols() {
+                if !used[c] {
+                    used[c] = true;
+                    let rest = rec(costs, row + 1, used, matched + 1);
+                    used[c] = false;
+                    best = best.min(costs.get(row, c).max(rest));
+                }
+            }
+            best
+        }
+        let r = rec(costs, 0, &mut vec![false; costs.cols()], 0);
+        if r == f64::NEG_INFINITY {
+            0.0
+        } else {
+            r
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Bottleneck value matches brute force, and the returned pairs
+        /// realise it.
+        #[test]
+        fn matches_brute_force(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0..50.0f64, 3), 1..5),
+        ) {
+            let costs = CostMatrix::from_rows(rows).unwrap();
+            let fast = bottleneck_assignment(&costs);
+            let brute = brute_force_bottleneck(&costs);
+            prop_assert!((fast.bottleneck - brute).abs() < 1e-9,
+                "fast {} vs brute {}", fast.bottleneck, brute);
+            prop_assert_eq!(fast.pairs.len(), costs.rows().min(costs.cols()));
+            let realised = fast.pairs.iter()
+                .map(|&(i, j)| costs.get(i, j))
+                .fold(0.0f64, f64::max);
+            prop_assert!(realised <= fast.bottleneck + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Maximum-cardinality bipartite matching (Hopcroft–Karp).
+//!
+//! Used by the bottleneck assignment (the *Mini* baseline) to test whether
+//! a cost threshold admits a full matching, and directly useful wherever a
+//! maximum matching over an unweighted bipartite graph is needed. Runs in
+//! `O(E·√V)`.
+
+/// A maximum bipartite matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BipartiteMatching {
+    /// `left_to_right[u]` = right vertex matched to left vertex `u`.
+    pub left_to_right: Vec<Option<usize>>,
+    /// `right_to_left[v]` = left vertex matched to right vertex `v`.
+    pub right_to_left: Vec<Option<usize>>,
+}
+
+impl BipartiteMatching {
+    /// Number of matched pairs.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.left_to_right.iter().flatten().count()
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// Computes a maximum-cardinality matching of the bipartite graph with
+/// `n_right` right vertices and adjacency lists `adj[u]` (right-vertex
+/// indices) for each left vertex `u`.
+///
+/// # Panics
+///
+/// Panics if an adjacency entry is `>= n_right`.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_matching::max_bipartite_matching;
+///
+/// // Left 0 can take right 0 or 1; left 1 only right 0.
+/// let m = max_bipartite_matching(2, &[vec![0, 1], vec![0]]);
+/// assert_eq!(m.size(), 2);
+/// assert_eq!(m.left_to_right[1], Some(0));
+/// ```
+#[must_use]
+pub fn max_bipartite_matching(n_right: usize, adj: &[Vec<usize>]) -> BipartiteMatching {
+    let n_left = adj.len();
+    for (u, list) in adj.iter().enumerate() {
+        for &v in list {
+            assert!(v < n_right, "left {u} lists out-of-range right vertex {v}");
+        }
+    }
+    let mut match_l = vec![NIL; n_left];
+    let mut match_r = vec![NIL; n_right];
+    let mut dist = vec![0usize; n_left];
+
+    // BFS from all free left vertices, layering the graph.
+    let bfs = |match_l: &[usize], match_r: &[usize], dist: &mut [usize]| -> bool {
+        let mut queue = std::collections::VecDeque::new();
+        for u in 0..n_left {
+            if match_l[u] == NIL {
+                dist[u] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u] = usize::MAX;
+            }
+        }
+        let mut found = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                let w = match_r[v];
+                if w == NIL {
+                    found = true;
+                } else if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        found
+    };
+
+    fn dfs(
+        u: usize,
+        adj: &[Vec<usize>],
+        match_l: &mut [usize],
+        match_r: &mut [usize],
+        dist: &mut [usize],
+    ) -> bool {
+        for idx in 0..adj[u].len() {
+            let v = adj[u][idx];
+            let w = match_r[v];
+            if w == NIL || (dist[w] == dist[u] + 1 && dfs(w, adj, match_l, match_r, dist)) {
+                match_l[u] = v;
+                match_r[v] = u;
+                return true;
+            }
+        }
+        dist[u] = usize::MAX;
+        false
+    }
+
+    while bfs(&match_l, &match_r, &mut dist) {
+        for u in 0..n_left {
+            if match_l[u] == NIL {
+                dfs(u, adj, &mut match_l, &mut match_r, &mut dist);
+            }
+        }
+    }
+
+    BipartiteMatching {
+        left_to_right: match_l
+            .into_iter()
+            .map(|v| (v != NIL).then_some(v))
+            .collect(),
+        right_to_left: match_r
+            .into_iter()
+            .map(|u| (u != NIL).then_some(u))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_matching_on_complete_graph() {
+        let adj: Vec<Vec<usize>> = (0..4).map(|_| (0..4).collect()).collect();
+        let m = max_bipartite_matching(4, &adj);
+        assert_eq!(m.size(), 4);
+    }
+
+    #[test]
+    fn forced_alternation() {
+        // 0-{0,1}, 1-{0}: greedy giving 0→0 must be undone.
+        let m = max_bipartite_matching(2, &[vec![0, 1], vec![0]]);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.left_to_right, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let m = max_bipartite_matching(0, &[]);
+        assert_eq!(m.size(), 0);
+        let m = max_bipartite_matching(3, &[vec![], vec![]]);
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    fn consistency_of_both_directions() {
+        let m = max_bipartite_matching(3, &[vec![0, 2], vec![1], vec![1, 2]]);
+        for (u, v) in m.left_to_right.iter().enumerate() {
+            if let Some(v) = v {
+                assert_eq!(m.right_to_left[*v], Some(u));
+            }
+        }
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_adjacency_panics() {
+        let _ = max_bipartite_matching(1, &[vec![3]]);
+    }
+
+    /// Exponential-time maximum matching for verification.
+    fn brute_force_max(n_right: usize, adj: &[Vec<usize>]) -> usize {
+        fn rec(u: usize, adj: &[Vec<usize>], used: &mut Vec<bool>) -> usize {
+            if u == adj.len() {
+                return 0;
+            }
+            let mut best = rec(u + 1, adj, used); // skip u
+            for &v in &adj[u] {
+                if !used[v] {
+                    used[v] = true;
+                    best = best.max(1 + rec(u + 1, adj, used));
+                    used[v] = false;
+                }
+            }
+            best
+        }
+        rec(0, adj, &mut vec![false; n_right])
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Hopcroft–Karp cardinality equals brute force on random graphs.
+        #[test]
+        fn matches_brute_force(
+            edges in proptest::collection::vec((0usize..6, 0usize..6), 0..18),
+        ) {
+            let mut adj = vec![Vec::new(); 6];
+            for (u, v) in edges {
+                if !adj[u].contains(&v) {
+                    adj[u].push(v);
+                }
+            }
+            let fast = max_bipartite_matching(6, &adj);
+            prop_assert_eq!(fast.size(), brute_force_max(6, &adj));
+            // Matched edges must exist in the graph.
+            for (u, v) in fast.left_to_right.iter().enumerate() {
+                if let Some(v) = v {
+                    prop_assert!(adj[u].contains(v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! Minimum-cost bipartite assignment (Hungarian / Jonker–Volgenant style).
+//!
+//! Engine for the *Pair* baseline: "the distances between passenger
+//! requests and taxis are matching costs; it returns a minimum cost
+//! matching". Runs in `O(n²·m)` for `n = min(rows, cols)`.
+
+use std::fmt;
+
+/// A dense, row-major cost matrix with finite entries.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_matching::hungarian::CostMatrix;
+///
+/// let m = CostMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 0.5]])?;
+/// assert_eq!(m.get(1, 1), 0.5);
+/// # Ok::<(), o2o_matching::hungarian::CostMatrixError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors from constructing a [`CostMatrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CostMatrixError {
+    /// The rows have inconsistent lengths.
+    RaggedRows {
+        /// Index of the first row with a deviating length.
+        row: usize,
+    },
+    /// An entry is NaN or infinite.
+    NonFiniteEntry {
+        /// Row of the bad entry.
+        row: usize,
+        /// Column of the bad entry.
+        col: usize,
+    },
+}
+
+impl fmt::Display for CostMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostMatrixError::RaggedRows { row } => {
+                write!(f, "row {row} has a different length from row 0")
+            }
+            CostMatrixError::NonFiniteEntry { row, col } => {
+                write!(f, "entry ({row}, {col}) is NaN or infinite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostMatrixError {}
+
+impl CostMatrix {
+    /// Builds a matrix from nested rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostMatrixError::RaggedRows`] for inconsistent row lengths
+    /// and [`CostMatrixError::NonFiniteEntry`] for NaN/infinite costs.
+    /// Model a forbidden pair with a large finite cost instead of
+    /// infinity.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, CostMatrixError> {
+        let n = rows.len();
+        let m = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * m);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != m {
+                return Err(CostMatrixError::RaggedRows { row: i });
+            }
+            for (j, &c) in row.iter().enumerate() {
+                if !c.is_finite() {
+                    return Err(CostMatrixError::NonFiniteEntry { row: i, col: j });
+                }
+                data.push(c);
+            }
+        }
+        Ok(CostMatrix {
+            rows: n,
+            cols: m,
+            data,
+        })
+    }
+
+    /// Builds an `rows × cols` matrix from a cost function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function returns a non-finite cost.
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let c = f(i, j);
+                assert!(c.is_finite(), "cost ({i}, {j}) is not finite: {c}");
+                data.push(c);
+            }
+        }
+        CostMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The cost at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.data[row * self.cols + col]
+    }
+
+    /// The transposed matrix.
+    #[must_use]
+    pub fn transposed(&self) -> CostMatrix {
+        CostMatrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+}
+
+/// Result of a minimum-cost assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `row_to_col[i]` = column assigned to row `i` (`None` only when the
+    /// matrix has more rows than columns).
+    pub row_to_col: Vec<Option<usize>>,
+    /// Sum of the matched costs.
+    pub total_cost: f64,
+}
+
+impl Assignment {
+    /// Matched `(row, col)` pairs in row order.
+    #[must_use]
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.row_to_col
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (i, c)))
+            .collect()
+    }
+}
+
+/// Minimum-cost assignment matching `min(rows, cols)` pairs.
+///
+/// When `rows ≤ cols` every row is matched; otherwise every column is. The
+/// solution minimises the total matched cost; runs in
+/// `O(min(r,c)² · max(r,c))`.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_matching::hungarian::CostMatrix;
+/// use o2o_matching::min_cost_assignment;
+///
+/// let costs = CostMatrix::from_rows(vec![
+///     vec![4.0, 1.0, 3.0],
+///     vec![2.0, 0.0, 5.0],
+///     vec![3.0, 2.0, 2.0],
+/// ])?;
+/// let a = min_cost_assignment(&costs);
+/// assert_eq!(a.total_cost, 5.0);
+/// # Ok::<(), o2o_matching::hungarian::CostMatrixError>(())
+/// ```
+#[must_use]
+pub fn min_cost_assignment(costs: &CostMatrix) -> Assignment {
+    if costs.rows == 0 || costs.cols == 0 {
+        return Assignment {
+            row_to_col: vec![None; costs.rows],
+            total_cost: 0.0,
+        };
+    }
+    if costs.rows > costs.cols {
+        // Solve the transpose and invert the mapping.
+        let t = min_cost_assignment(&costs.transposed());
+        let mut row_to_col = vec![None; costs.rows];
+        for (col, row) in t.row_to_col.iter().enumerate() {
+            if let Some(row) = row {
+                row_to_col[*row] = Some(col);
+            }
+        }
+        return Assignment {
+            row_to_col,
+            total_cost: t.total_cost,
+        };
+    }
+    let n = costs.rows; // n <= m
+    let m = costs.cols;
+    // Classic potentials formulation, 1-based on both axes.
+    let a = |i: usize, j: usize| costs.get(i - 1, j - 1);
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = a(i0, j) - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Walk the augmenting path back.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut row_to_col = vec![None; n];
+    let mut total = 0.0;
+    for j in 1..=m {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = Some(j - 1);
+            total += a(p[j], j);
+        }
+    }
+    Assignment {
+        row_to_col,
+        total_cost: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn brute_force_min(costs: &CostMatrix) -> f64 {
+        // Try all injective row→col maps (rows ≤ cols assumed by caller).
+        fn rec(costs: &CostMatrix, row: usize, used: &mut Vec<bool>) -> f64 {
+            if row == costs.rows() {
+                return 0.0;
+            }
+            let mut best = f64::INFINITY;
+            for c in 0..costs.cols() {
+                if !used[c] {
+                    used[c] = true;
+                    let v = costs.get(row, c) + rec(costs, row + 1, used);
+                    used[c] = false;
+                    best = best.min(v);
+                }
+            }
+            best
+        }
+        rec(costs, 0, &mut vec![false; costs.cols()])
+    }
+
+    #[test]
+    fn small_square_case() {
+        let costs = CostMatrix::from_rows(vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ])
+        .unwrap();
+        let a = min_cost_assignment(&costs);
+        assert_eq!(a.total_cost, 5.0);
+        assert_eq!(a.pairs().len(), 3);
+    }
+
+    #[test]
+    fn rectangular_wide() {
+        let costs =
+            CostMatrix::from_rows(vec![vec![10.0, 1.0, 10.0], vec![2.0, 10.0, 10.0]]).unwrap();
+        let a = min_cost_assignment(&costs);
+        assert_eq!(a.total_cost, 3.0);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_tall_matches_columns() {
+        let costs = CostMatrix::from_rows(vec![vec![5.0], vec![1.0], vec![3.0]]).unwrap();
+        let a = min_cost_assignment(&costs);
+        assert_eq!(a.total_cost, 1.0);
+        assert_eq!(a.row_to_col, vec![None, Some(0), None]);
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let a = min_cost_assignment(&CostMatrix::from_rows(vec![]).unwrap());
+        assert_eq!(a.total_cost, 0.0);
+        assert!(a.row_to_col.is_empty());
+        let b = min_cost_assignment(&CostMatrix::from_fn(2, 0, |_, _| 0.0));
+        assert_eq!(b.row_to_col, vec![None, None]);
+    }
+
+    #[test]
+    fn negative_costs_are_fine() {
+        let costs = CostMatrix::from_rows(vec![vec![-5.0, 0.0], vec![0.0, -5.0]]).unwrap();
+        let a = min_cost_assignment(&costs);
+        assert_eq!(a.total_cost, -10.0);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = CostMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert_eq!(err, CostMatrixError::RaggedRows { row: 1 });
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let err = CostMatrix::from_rows(vec![vec![f64::INFINITY]]).unwrap_err();
+        assert_eq!(err, CostMatrixError::NonFiniteEntry { row: 0, col: 0 });
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = CostMatrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transposed(), m);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The Hungarian result equals brute force on small matrices.
+        #[test]
+        fn matches_brute_force(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0..100.0f64, 4), 1..5),
+        ) {
+            let costs = CostMatrix::from_rows(rows).unwrap();
+            let fast = min_cost_assignment(&costs);
+            let brute = brute_force_min(&costs);
+            prop_assert!((fast.total_cost - brute).abs() < 1e-6,
+                "fast {} vs brute {}", fast.total_cost, brute);
+            // Assignment is injective and complete on rows.
+            let pairs = fast.pairs();
+            prop_assert_eq!(pairs.len(), costs.rows());
+            let mut cols: Vec<usize> = pairs.iter().map(|&(_, c)| c).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            prop_assert_eq!(cols.len(), pairs.len());
+        }
+
+        /// Tall matrices agree with solving the transpose.
+        #[test]
+        fn tall_equals_transposed(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(0.0..100.0f64, 2), 3..6),
+        ) {
+            let costs = CostMatrix::from_rows(rows).unwrap();
+            let tall = min_cost_assignment(&costs);
+            let wide = min_cost_assignment(&costs.transposed());
+            prop_assert!((tall.total_cost - wide.total_cost).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,752 @@
+//! Maximum set packing — the first stage of the paper's Algorithm 3.
+//!
+//! Given feasible sharing groups `C = {c_k}` over the requests, Algorithm 3
+//! "maximally packs passenger requests to feasible subsets": choose as many
+//! pairwise-disjoint `c_k` as possible (Eqs. 1–3, the Maximum Set Packing
+//! Problem). The paper uses an approximation with ratio `(max_k |c_k|+2)/3`
+//! \[21\]; with the practical bound `|c_k| ≤ 3` that is 5/3.
+//!
+//! This module provides three interchangeable solvers:
+//!
+//! * [`SetPackingStrategy::Greedy`] — maximal greedy packing (smallest sets
+//!   first),
+//! * [`SetPackingStrategy::LocalSearch`] — greedy followed by
+//!   Hurkens–Schrijver-style `(1 → 2)` swap improvements until a local
+//!   optimum, attaining the paper's quality target in practice,
+//! * [`SetPackingStrategy::Exact`] — branch-and-bound, exponential, for
+//!   small instances, tests and the packing-quality ablation.
+
+use std::fmt;
+
+/// Which algorithm [`SetPacking::pack`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetPackingStrategy {
+    /// Maximal greedy packing, smallest sets first. `O(Σ|c_k| log)`.
+    Greedy,
+    /// Greedy plus `(1 → 2)` local-search swaps — the paper's choice.
+    #[default]
+    LocalSearch,
+    /// Exact branch-and-bound (exponential; use only for small instances).
+    Exact,
+}
+
+/// Errors from constructing a [`SetPacking`] instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetPackingError {
+    /// A set referenced an item `>= n_items`.
+    ItemOutOfRange {
+        /// Index of the offending set.
+        set: usize,
+        /// The out-of-range item.
+        item: usize,
+    },
+    /// A set contained the same item twice.
+    DuplicateItem {
+        /// Index of the offending set.
+        set: usize,
+        /// The repeated item.
+        item: usize,
+    },
+    /// A set was empty (an empty set packs trivially and is almost always
+    /// a caller bug).
+    EmptySet {
+        /// Index of the offending set.
+        set: usize,
+    },
+}
+
+impl fmt::Display for SetPackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetPackingError::ItemOutOfRange { set, item } => {
+                write!(f, "set {set} contains out-of-range item {item}")
+            }
+            SetPackingError::DuplicateItem { set, item } => {
+                write!(f, "set {set} contains item {item} twice")
+            }
+            SetPackingError::EmptySet { set } => write!(f, "set {set} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SetPackingError {}
+
+/// A maximum-set-packing instance over items `0..n_items`.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_matching::{SetPacking, SetPackingStrategy};
+///
+/// // Items 0..4; sets {0,1}, {1,2}, {2,3}.
+/// let inst = SetPacking::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]])?;
+/// let chosen = inst.pack(SetPackingStrategy::Exact);
+/// assert_eq!(chosen.len(), 2); // {0,1} and {2,3}
+/// # Ok::<(), o2o_matching::set_packing::SetPackingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetPacking {
+    n_items: usize,
+    sets: Vec<Vec<usize>>,
+    /// `conflicts[k]` = indices of sets sharing an item with set `k`.
+    conflicts: Vec<Vec<usize>>,
+}
+
+impl SetPacking {
+    /// Builds an instance, validating the sets and precomputing the
+    /// pairwise conflict graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SetPackingError`] for out-of-range items, duplicate items
+    /// within a set, or empty sets.
+    pub fn new(n_items: usize, sets: Vec<Vec<usize>>) -> Result<Self, SetPackingError> {
+        for (k, set) in sets.iter().enumerate() {
+            if set.is_empty() {
+                return Err(SetPackingError::EmptySet { set: k });
+            }
+            let mut seen = vec![false; n_items];
+            for &item in set {
+                if item >= n_items {
+                    return Err(SetPackingError::ItemOutOfRange { set: k, item });
+                }
+                if seen[item] {
+                    return Err(SetPackingError::DuplicateItem { set: k, item });
+                }
+                seen[item] = true;
+            }
+        }
+        // item -> sets containing it
+        let mut by_item: Vec<Vec<usize>> = vec![Vec::new(); n_items];
+        for (k, set) in sets.iter().enumerate() {
+            for &item in set {
+                by_item[item].push(k);
+            }
+        }
+        let mut conflicts: Vec<Vec<usize>> = vec![Vec::new(); sets.len()];
+        for (k, set) in sets.iter().enumerate() {
+            let mut cs: Vec<usize> = set
+                .iter()
+                .flat_map(|&item| by_item[item].iter().copied())
+                .filter(|&other| other != k)
+                .collect();
+            cs.sort_unstable();
+            cs.dedup();
+            conflicts[k] = cs;
+        }
+        Ok(SetPacking {
+            n_items,
+            sets,
+            conflicts,
+        })
+    }
+
+    /// Number of items in the universe.
+    #[must_use]
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of candidate sets.
+    #[must_use]
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The items of set `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[must_use]
+    pub fn set(&self, k: usize) -> &[usize] {
+        &self.sets[k]
+    }
+
+    /// Packs disjoint sets with the requested strategy, returning the
+    /// chosen set indices in ascending order.
+    ///
+    /// The result is always a valid packing (pairwise disjoint) and always
+    /// *maximal* (no further set can be added).
+    #[must_use]
+    pub fn pack(&self, strategy: SetPackingStrategy) -> Vec<usize> {
+        match strategy {
+            SetPackingStrategy::Greedy => self.greedy(),
+            SetPackingStrategy::LocalSearch => self.local_search(self.greedy()),
+            SetPackingStrategy::Exact => self.exact(),
+        }
+    }
+
+    /// Checks that `chosen` is a valid packing (indices in range, pairwise
+    /// disjoint).
+    #[must_use]
+    pub fn is_valid_packing(&self, chosen: &[usize]) -> bool {
+        let mut used = vec![false; self.n_items];
+        for &k in chosen {
+            if k >= self.sets.len() {
+                return false;
+            }
+            for &item in &self.sets[k] {
+                if used[item] {
+                    return false;
+                }
+                used[item] = true;
+            }
+        }
+        true
+    }
+
+    /// Packs disjoint sets maximising **total weight** instead of count,
+    /// with the same greedy + `(1 → 2)` local-search machinery. Weights
+    /// must be non-negative; `weights.len()` must equal
+    /// [`SetPacking::n_sets`].
+    ///
+    /// Algorithm 3's default objective (the paper's Eq. 1) is the
+    /// unweighted count; weighting each group by its size switches the
+    /// objective to *covered requests* — the count-vs-coverage ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` has the wrong length or contains a negative or
+    /// non-finite weight.
+    #[must_use]
+    pub fn pack_weighted(&self, strategy: SetPackingStrategy, weights: &[f64]) -> Vec<usize> {
+        assert_eq!(weights.len(), self.sets.len(), "one weight per set");
+        for (k, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "set {k} has invalid weight {w}");
+        }
+        match strategy {
+            SetPackingStrategy::Greedy => self.greedy_weighted(weights),
+            SetPackingStrategy::LocalSearch => {
+                self.local_search_weighted(self.greedy_weighted(weights), weights)
+            }
+            SetPackingStrategy::Exact => self.exact_weighted(weights),
+        }
+    }
+
+    /// Total weight of a packing under `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `weights` has the wrong
+    /// length.
+    #[must_use]
+    pub fn packing_weight(&self, chosen: &[usize], weights: &[f64]) -> f64 {
+        assert_eq!(weights.len(), self.sets.len(), "one weight per set");
+        chosen.iter().map(|&k| weights[k]).sum()
+    }
+
+    fn greedy_weighted(&self, weights: &[f64]) -> Vec<usize> {
+        // Highest weight per blocked item first — the natural greedy for
+        // weighted packing.
+        let mut order: Vec<usize> = (0..self.sets.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = weights[a] / self.sets[a].len() as f64;
+            let db = weights[b] / self.sets[b].len() as f64;
+            db.partial_cmp(&da)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut used = vec![false; self.n_items];
+        let mut chosen = Vec::new();
+        for k in order {
+            if self.sets[k].iter().all(|&item| !used[item]) {
+                for &item in &self.sets[k] {
+                    used[item] = true;
+                }
+                chosen.push(k);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
+    fn local_search_weighted(&self, start: Vec<usize>, weights: &[f64]) -> Vec<usize> {
+        let mut in_pack = vec![false; self.sets.len()];
+        for &k in &start {
+            in_pack[k] = true;
+        }
+        let mut item_owner: Vec<Option<usize>> = vec![None; self.n_items];
+        for &k in &start {
+            for &item in &self.sets[k] {
+                item_owner[item] = Some(k);
+            }
+        }
+        loop {
+            let mut improved = false;
+            // (0 → 1): add any conflict-free set with positive weight.
+            for k in 0..self.sets.len() {
+                if !in_pack[k]
+                    && weights[k] > 0.0
+                    && self.sets[k].iter().all(|&i| item_owner[i].is_none())
+                {
+                    in_pack[k] = true;
+                    for &i in &self.sets[k] {
+                        item_owner[i] = Some(k);
+                    }
+                    improved = true;
+                }
+            }
+            // (1 → 1) and (1 → 2): replace one chosen set when the
+            // replacement weighs more.
+            'outer: for a in 0..self.sets.len() {
+                if in_pack[a] {
+                    continue;
+                }
+                let blockers_a = self.blockers(a, &item_owner);
+                let w = match blockers_a.as_slice() {
+                    [w] => *w,
+                    _ => continue,
+                };
+                // (1 → 1)
+                if weights[a] > weights[w] + 1e-12 {
+                    in_pack[w] = false;
+                    for &i in &self.sets[w] {
+                        item_owner[i] = None;
+                    }
+                    in_pack[a] = true;
+                    for &i in &self.sets[a] {
+                        item_owner[i] = Some(a);
+                    }
+                    improved = true;
+                    break 'outer;
+                }
+                // (1 → 2)
+                for b in 0..self.sets.len() {
+                    if in_pack[b] || b == a || self.sets_conflict(a, b) {
+                        continue;
+                    }
+                    let blockers_b = self.blockers(b, &item_owner);
+                    if blockers_b.iter().all(|&x| x == w)
+                        && weights[a] + weights[b] > weights[w] + 1e-12
+                    {
+                        in_pack[w] = false;
+                        for &i in &self.sets[w] {
+                            item_owner[i] = None;
+                        }
+                        for s in [a, b] {
+                            in_pack[s] = true;
+                            for &i in &self.sets[s] {
+                                item_owner[i] = Some(s);
+                            }
+                        }
+                        improved = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let mut chosen: Vec<usize> = (0..self.sets.len()).filter(|&k| in_pack[k]).collect();
+        chosen.sort_unstable();
+        chosen
+    }
+
+    fn exact_weighted(&self, weights: &[f64]) -> Vec<usize> {
+        fn rec(
+            inst: &SetPacking,
+            weights: &[f64],
+            k: usize,
+            current: &mut Vec<usize>,
+            current_w: f64,
+            used: &mut Vec<bool>,
+            best: &mut (Vec<usize>, f64),
+        ) {
+            // Upper bound: everything remaining is takeable.
+            let remaining: f64 = (k..inst.sets.len()).map(|i| weights[i]).sum();
+            if current_w + remaining <= best.1 {
+                return;
+            }
+            if k == inst.sets.len() {
+                if current_w > best.1 {
+                    *best = (current.clone(), current_w);
+                }
+                return;
+            }
+            if inst.sets[k].iter().all(|&i| !used[i]) {
+                for &i in &inst.sets[k] {
+                    used[i] = true;
+                }
+                current.push(k);
+                rec(
+                    inst,
+                    weights,
+                    k + 1,
+                    current,
+                    current_w + weights[k],
+                    used,
+                    best,
+                );
+                current.pop();
+                for &i in &inst.sets[k] {
+                    used[i] = false;
+                }
+            }
+            rec(inst, weights, k + 1, current, current_w, used, best);
+        }
+        let mut best = (Vec::new(), 0.0);
+        let mut current = Vec::new();
+        let mut used = vec![false; self.n_items];
+        rec(self, weights, 0, &mut current, 0.0, &mut used, &mut best);
+        let mut out = best.0;
+        out.sort_unstable();
+        out
+    }
+
+    fn greedy(&self) -> Vec<usize> {
+        // Smallest sets first: each chosen set blocks the fewest items.
+        let mut order: Vec<usize> = (0..self.sets.len()).collect();
+        order.sort_by_key(|&k| (self.sets[k].len(), k));
+        let mut used = vec![false; self.n_items];
+        let mut chosen = Vec::new();
+        for k in order {
+            if self.sets[k].iter().all(|&item| !used[item]) {
+                for &item in &self.sets[k] {
+                    used[item] = true;
+                }
+                chosen.push(k);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
+    fn local_search(&self, start: Vec<usize>) -> Vec<usize> {
+        let mut in_pack = vec![false; self.sets.len()];
+        for &k in &start {
+            in_pack[k] = true;
+        }
+        let mut item_owner: Vec<Option<usize>> = vec![None; self.n_items];
+        for &k in &start {
+            for &item in &self.sets[k] {
+                item_owner[item] = Some(k);
+            }
+        }
+        // Repeat until no improving move. Moves:
+        //  (0 → 1) add any conflict-free set (keeps the packing maximal);
+        //  (1 → 2) remove one chosen set to admit two new disjoint sets.
+        loop {
+            let mut improved = false;
+            // (0 → 1)
+            for k in 0..self.sets.len() {
+                if !in_pack[k] && self.sets[k].iter().all(|&i| item_owner[i].is_none()) {
+                    in_pack[k] = true;
+                    for &i in &self.sets[k] {
+                        item_owner[i] = Some(k);
+                    }
+                    improved = true;
+                }
+            }
+            // (1 → 2): for every unchosen set a blocked by exactly one
+            // chosen set w, look for an unchosen set b disjoint from a that
+            // is blocked only by w (or nothing).
+            'outer: for a in 0..self.sets.len() {
+                if in_pack[a] {
+                    continue;
+                }
+                let blockers_a = self.blockers(a, &item_owner);
+                let w = match blockers_a.as_slice() {
+                    [w] => *w,
+                    _ => continue,
+                };
+                for &b in &self.conflicts_complement_candidates(a) {
+                    if in_pack[b] || b == a || self.sets_conflict(a, b) {
+                        continue;
+                    }
+                    let blockers_b = self.blockers(b, &item_owner);
+                    if blockers_b.iter().all(|&x| x == w) {
+                        // Swap: remove w, add a and b.
+                        in_pack[w] = false;
+                        for &i in &self.sets[w] {
+                            item_owner[i] = None;
+                        }
+                        for (s, owner) in [(a, Some(a)), (b, Some(b))] {
+                            in_pack[s] = true;
+                            for &i in &self.sets[s] {
+                                item_owner[i] = owner;
+                            }
+                        }
+                        improved = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let mut chosen: Vec<usize> = (0..self.sets.len()).filter(|&k| in_pack[k]).collect();
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Chosen sets currently blocking set `k`, deduplicated.
+    fn blockers(&self, k: usize, item_owner: &[Option<usize>]) -> Vec<usize> {
+        let mut out: Vec<usize> = self.sets[k].iter().filter_map(|&i| item_owner[i]).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Candidate partners for a `(1 → 2)` swap with `a`: all sets. (The
+    /// conflict graph keeps this tractable at the scale Algorithm 3
+    /// produces; returning the full index range keeps correctness simple.)
+    fn conflicts_complement_candidates(&self, _a: usize) -> Vec<usize> {
+        (0..self.sets.len()).collect()
+    }
+
+    fn sets_conflict(&self, a: usize, b: usize) -> bool {
+        self.conflicts[a].binary_search(&b).is_ok()
+    }
+
+    fn exact(&self) -> Vec<usize> {
+        let mut best = Vec::new();
+        let mut current = Vec::new();
+        let mut used = vec![false; self.n_items];
+        self.exact_rec(0, &mut current, &mut used, &mut best);
+        best.sort_unstable();
+        best
+    }
+
+    fn exact_rec(
+        &self,
+        k: usize,
+        current: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        best: &mut Vec<usize>,
+    ) {
+        if current.len() + (self.sets.len() - k) <= best.len() {
+            return; // even taking every remaining set cannot win
+        }
+        if k == self.sets.len() {
+            if current.len() > best.len() {
+                *best = current.clone();
+            }
+            return;
+        }
+        // Branch 1: take set k if disjoint.
+        if self.sets[k].iter().all(|&i| !used[i]) {
+            for &i in &self.sets[k] {
+                used[i] = true;
+            }
+            current.push(k);
+            self.exact_rec(k + 1, current, used, best);
+            current.pop();
+            for &i in &self.sets[k] {
+                used[i] = false;
+            }
+        }
+        // Branch 2: skip set k.
+        self.exact_rec(k + 1, current, used, best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chain_instance_exact() {
+        let inst = SetPacking::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]).unwrap();
+        let exact = inst.pack(SetPackingStrategy::Exact);
+        assert_eq!(exact, vec![0, 2]);
+        assert!(inst.is_valid_packing(&exact));
+    }
+
+    #[test]
+    fn greedy_is_maximal() {
+        let inst = SetPacking::new(
+            6,
+            vec![vec![0, 1, 2], vec![3, 4, 5], vec![2, 3], vec![0, 5]],
+        )
+        .unwrap();
+        let g = inst.pack(SetPackingStrategy::Greedy);
+        assert!(inst.is_valid_packing(&g));
+        // Maximality: no unchosen set is disjoint from the packing.
+        let mut used = vec![false; 6];
+        for &k in &g {
+            for &i in inst.set(k) {
+                used[i] = true;
+            }
+        }
+        for k in 0..inst.n_sets() {
+            if !g.contains(&k) {
+                assert!(inst.set(k).iter().any(|&i| used[i]), "set {k} addable");
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_beats_bad_greedy() {
+        // Greedy (smallest-first, then index) takes {1,2} first and blocks
+        // both {0,1} and {2,3}; local search should recover the 2-packing.
+        let inst = SetPacking::new(4, vec![vec![1, 2], vec![0, 1], vec![2, 3]]).unwrap();
+        let greedy = inst.pack(SetPackingStrategy::Greedy);
+        assert_eq!(greedy.len(), 1);
+        let ls = inst.pack(SetPackingStrategy::LocalSearch);
+        assert_eq!(ls.len(), 2);
+        assert!(inst.is_valid_packing(&ls));
+    }
+
+    #[test]
+    fn empty_universe_and_no_sets() {
+        let inst = SetPacking::new(0, vec![]).unwrap();
+        assert!(inst.pack(SetPackingStrategy::LocalSearch).is_empty());
+        assert!(inst.pack(SetPackingStrategy::Exact).is_empty());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = SetPacking::new(2, vec![vec![0, 2]]).unwrap_err();
+        assert_eq!(err, SetPackingError::ItemOutOfRange { set: 0, item: 2 });
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = SetPacking::new(2, vec![vec![1, 1]]).unwrap_err();
+        assert_eq!(err, SetPackingError::DuplicateItem { set: 0, item: 1 });
+    }
+
+    #[test]
+    fn rejects_empty_set() {
+        let err = SetPacking::new(2, vec![vec![]]).unwrap_err();
+        assert_eq!(err, SetPackingError::EmptySet { set: 0 });
+    }
+
+    #[test]
+    fn is_valid_packing_rejects_overlap() {
+        let inst = SetPacking::new(3, vec![vec![0, 1], vec![1, 2]]).unwrap();
+        assert!(!inst.is_valid_packing(&[0, 1]));
+        assert!(inst.is_valid_packing(&[0]));
+        assert!(!inst.is_valid_packing(&[9]));
+    }
+
+    fn random_instance(rng: &mut StdRng, n_items: usize, n_sets: usize) -> SetPacking {
+        let sets: Vec<Vec<usize>> = (0..n_sets)
+            .map(|_| {
+                let size = rng.gen_range(2..=3.min(n_items));
+                let mut items: Vec<usize> = (0..n_items).collect();
+                for i in (1..items.len()).rev() {
+                    items.swap(i, rng.gen_range(0..=i));
+                }
+                items.truncate(size);
+                items
+            })
+            .collect();
+        SetPacking::new(n_items, sets).unwrap()
+    }
+
+    #[test]
+    fn weighted_packing_prefers_heavy_sets() {
+        // Count-optimal picks the two light pairs; weight-optimal picks
+        // the single heavy triple.
+        let inst = SetPacking::new(4, vec![vec![0, 1], vec![2, 3], vec![0, 1, 2]]).unwrap();
+        let count = inst.pack(SetPackingStrategy::Exact);
+        assert_eq!(count.len(), 2);
+        let weights = [1.0, 1.0, 5.0];
+        let heavy = inst.pack_weighted(SetPackingStrategy::Exact, &weights);
+        assert_eq!(heavy, vec![2]);
+        assert_eq!(inst.packing_weight(&heavy, &weights), 5.0);
+    }
+
+    #[test]
+    fn size_weights_maximise_coverage() {
+        // Items 0..=4: pairs {0,1} and a triple {1,2,3}. Count ties (one
+        // set either way once {0,1} blocks the triple)… make coverage
+        // differ: {0,1} vs {1,2,3} overlap at 1, so exactly one can be
+        // chosen; coverage picks the triple.
+        let inst = SetPacking::new(4, vec![vec![0, 1], vec![1, 2, 3]]).unwrap();
+        let sizes: Vec<f64> = (0..inst.n_sets())
+            .map(|k| inst.set(k).len() as f64)
+            .collect();
+        let cover = inst.pack_weighted(SetPackingStrategy::Exact, &sizes);
+        assert_eq!(cover, vec![1]);
+    }
+
+    #[test]
+    fn weighted_strategies_are_valid_and_ordered() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for _ in 0..120 {
+            let n_items = rng.gen_range(4..9);
+            let n_sets = rng.gen_range(0..10);
+            let inst = random_instance(&mut rng, n_items, n_sets);
+            let weights: Vec<f64> = (0..inst.n_sets())
+                .map(|_| rng.gen_range(0.0..5.0))
+                .collect();
+            let g = inst.pack_weighted(SetPackingStrategy::Greedy, &weights);
+            let ls = inst.pack_weighted(SetPackingStrategy::LocalSearch, &weights);
+            let ex = inst.pack_weighted(SetPackingStrategy::Exact, &weights);
+            assert!(inst.is_valid_packing(&g));
+            assert!(inst.is_valid_packing(&ls));
+            assert!(inst.is_valid_packing(&ex));
+            let w = |c: &[usize]| inst.packing_weight(c, &weights);
+            assert!(w(&g) <= w(&ls) + 1e-9);
+            assert!(w(&ls) <= w(&ex) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn unit_weights_recover_unweighted_count() {
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        for _ in 0..80 {
+            let n_items = rng.gen_range(4..8);
+            let n_sets = rng.gen_range(0..9);
+            let inst = random_instance(&mut rng, n_items, n_sets);
+            let ones = vec![1.0; inst.n_sets()];
+            let a = inst.pack(SetPackingStrategy::Exact).len();
+            let b = inst.pack_weighted(SetPackingStrategy::Exact, &ones).len();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per set")]
+    fn weighted_rejects_wrong_length() {
+        let inst = SetPacking::new(2, vec![vec![0, 1]]).unwrap();
+        let _ = inst.pack_weighted(SetPackingStrategy::Greedy, &[]);
+    }
+
+    #[test]
+    fn local_search_within_paper_ratio_on_random_instances() {
+        // With |c_k| ≤ 3 the paper's ratio is (3+2)/3 = 5/3.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let n_items = rng.gen_range(4..10);
+            let n_sets = rng.gen_range(1..12);
+            let inst = random_instance(&mut rng, n_items, n_sets);
+            let exact = inst.pack(SetPackingStrategy::Exact).len() as f64;
+            let ls = inst.pack(SetPackingStrategy::LocalSearch).len() as f64;
+            assert!(
+                exact <= ls * 5.0 / 3.0 + 1e-9,
+                "ratio violated: exact {exact}, local search {ls}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// All strategies produce valid, maximal packings, ordered
+        /// greedy ≤ local-search ≤ exact in cardinality.
+        #[test]
+        fn strategies_are_valid_and_ordered(seed in any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n_items = rng.gen_range(4..9);
+            let n_sets = rng.gen_range(0..10);
+            let inst = random_instance(&mut rng, n_items, n_sets);
+            let g = inst.pack(SetPackingStrategy::Greedy);
+            let ls = inst.pack(SetPackingStrategy::LocalSearch);
+            let ex = inst.pack(SetPackingStrategy::Exact);
+            prop_assert!(inst.is_valid_packing(&g));
+            prop_assert!(inst.is_valid_packing(&ls));
+            prop_assert!(inst.is_valid_packing(&ex));
+            prop_assert!(g.len() <= ls.len());
+            prop_assert!(ls.len() <= ex.len());
+        }
+    }
+}

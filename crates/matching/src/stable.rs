@@ -1,0 +1,924 @@
+//! Stable marriage with incomplete preference lists (dummy entries) and
+//! enumeration of all stable matchings.
+//!
+//! This is the engine behind the paper's Algorithms 1 and 2. The paper's
+//! *dummy entry* ("no dispatch" / "no service") is modelled by *truncating*
+//! each agent's preference list: everything an agent ranks below its dummy
+//! is simply not in its list, so the agent would rather stay unmatched than
+//! take it. Theorem 1 of the paper (a stable matching always exists, even
+//! with `|R| ≠ |T|`) is the classical existence result for this model.
+//!
+//! Terminology: the proposing side ("passenger requests" in the paper) are
+//! **proposers**; the reviewing side ("taxis") are **reviewers**.
+//!
+//! # Examples
+//!
+//! ```
+//! use o2o_matching::StableInstance;
+//!
+//! // Two proposers, two reviewers; everyone accepts everyone.
+//! let inst = StableInstance::new(
+//!     vec![vec![0, 1], vec![0, 1]], // proposers' lists over reviewers
+//!     vec![vec![1, 0], vec![0, 1]], // reviewers' lists over proposers
+//! )?;
+//! let m = inst.propose();
+//! assert_eq!(m.proposer_partner(0), Some(1));
+//! assert_eq!(m.proposer_partner(1), Some(0));
+//! assert!(inst.is_stable(&m));
+//! # Ok::<(), o2o_matching::PreferenceError>(())
+//! ```
+
+use std::fmt;
+
+/// Errors from constructing a [`StableInstance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreferenceError {
+    /// A preference list referenced a partner index out of range.
+    IndexOutOfRange {
+        /// `"proposer"` or `"reviewer"`.
+        side: &'static str,
+        /// The agent whose list is invalid.
+        agent: usize,
+        /// The out-of-range entry.
+        entry: usize,
+    },
+    /// A preference list contained the same partner twice.
+    DuplicateEntry {
+        /// `"proposer"` or `"reviewer"`.
+        side: &'static str,
+        /// The agent whose list is invalid.
+        agent: usize,
+        /// The repeated entry.
+        entry: usize,
+    },
+}
+
+impl fmt::Display for PreferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreferenceError::IndexOutOfRange { side, agent, entry } => {
+                write!(f, "{side} {agent} ranks out-of-range partner {entry}")
+            }
+            PreferenceError::DuplicateEntry { side, agent, entry } => {
+                write!(f, "{side} {agent} ranks partner {entry} twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PreferenceError {}
+
+/// A (possibly partial) matching between proposers and reviewers.
+///
+/// `None` means matched to the dummy (unserved request / undispatched
+/// taxi).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Matching {
+    proposer_to_reviewer: Vec<Option<usize>>,
+    reviewer_to_proposer: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// An empty matching for the given side sizes.
+    #[must_use]
+    pub fn empty(proposers: usize, reviewers: usize) -> Self {
+        Matching {
+            proposer_to_reviewer: vec![None; proposers],
+            reviewer_to_proposer: vec![None; reviewers],
+        }
+    }
+
+    /// The reviewer matched to proposer `p`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn proposer_partner(&self, p: usize) -> Option<usize> {
+        self.proposer_to_reviewer[p]
+    }
+
+    /// The proposer matched to reviewer `r`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[must_use]
+    pub fn reviewer_partner(&self, r: usize) -> Option<usize> {
+        self.reviewer_to_proposer[r]
+    }
+
+    /// Number of matched pairs.
+    #[must_use]
+    pub fn matched_pairs(&self) -> usize {
+        self.proposer_to_reviewer.iter().flatten().count()
+    }
+
+    /// Iterates over matched `(proposer, reviewer)` pairs in proposer
+    /// order.
+    pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.proposer_to_reviewer
+            .iter()
+            .enumerate()
+            .filter_map(|(p, r)| r.map(|r| (p, r)))
+    }
+
+    /// Links proposer `p` with reviewer `r`, unlinking any previous
+    /// partners of both.
+    pub fn link(&mut self, p: usize, r: usize) {
+        if let Some(old_r) = self.proposer_to_reviewer[p] {
+            self.reviewer_to_proposer[old_r] = None;
+        }
+        if let Some(old_p) = self.reviewer_to_proposer[r] {
+            self.proposer_to_reviewer[old_p] = None;
+        }
+        self.proposer_to_reviewer[p] = Some(r);
+        self.reviewer_to_proposer[r] = Some(p);
+    }
+
+    /// Unlinks proposer `p` from its partner, if any.
+    pub fn unlink_proposer(&mut self, p: usize) {
+        if let Some(r) = self.proposer_to_reviewer[p].take() {
+            self.reviewer_to_proposer[r] = None;
+        }
+    }
+}
+
+/// Ranks: `rank[a][b] = position of b in a's list`, or `NOT_RANKED`.
+const NOT_RANKED: u32 = u32::MAX;
+
+fn build_ranks(lists: &[Vec<usize>], other_side: usize) -> Vec<Vec<u32>> {
+    lists
+        .iter()
+        .map(|list| {
+            let mut ranks = vec![NOT_RANKED; other_side];
+            for (pos, &b) in list.iter().enumerate() {
+                ranks[b] = pos as u32;
+            }
+            ranks
+        })
+        .collect()
+}
+
+fn validate(
+    lists: &[Vec<usize>],
+    other_side: usize,
+    side: &'static str,
+) -> Result<(), PreferenceError> {
+    for (agent, list) in lists.iter().enumerate() {
+        let mut seen = vec![false; other_side];
+        for &entry in list {
+            if entry >= other_side {
+                return Err(PreferenceError::IndexOutOfRange { side, agent, entry });
+            }
+            if seen[entry] {
+                return Err(PreferenceError::DuplicateEntry { side, agent, entry });
+            }
+            seen[entry] = true;
+        }
+    }
+    Ok(())
+}
+
+/// A stable-marriage instance with incomplete (dummy-truncated) lists.
+///
+/// Each proposer's list ranks the reviewers it would accept, most preferred
+/// first; everything below the dummy is omitted. Reviewers' lists likewise.
+/// A pair can match only if each appears in the other's list.
+#[derive(Debug, Clone)]
+pub struct StableInstance {
+    proposer_lists: Vec<Vec<usize>>,
+    reviewer_lists: Vec<Vec<usize>>,
+    /// `proposer_rank[p][r]` = rank of reviewer `r` for proposer `p`.
+    proposer_rank: Vec<Vec<u32>>,
+    /// `reviewer_rank[r][p]` = rank of proposer `p` for reviewer `r`.
+    reviewer_rank: Vec<Vec<u32>>,
+}
+
+impl StableInstance {
+    /// Builds an instance from truncated preference lists.
+    ///
+    /// `proposer_lists[p]` ranks reviewer indices; `reviewer_lists[r]`
+    /// ranks proposer indices. The side sizes are inferred from the outer
+    /// vector lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreferenceError`] when a list contains an out-of-range or
+    /// duplicate index.
+    pub fn new(
+        proposer_lists: Vec<Vec<usize>>,
+        reviewer_lists: Vec<Vec<usize>>,
+    ) -> Result<Self, PreferenceError> {
+        let n_reviewers = reviewer_lists.len();
+        let n_proposers = proposer_lists.len();
+        validate(&proposer_lists, n_reviewers, "proposer")?;
+        validate(&reviewer_lists, n_proposers, "reviewer")?;
+        let proposer_rank = build_ranks(&proposer_lists, n_reviewers);
+        let reviewer_rank = build_ranks(&reviewer_lists, n_proposers);
+        Ok(StableInstance {
+            proposer_lists,
+            reviewer_lists,
+            proposer_rank,
+            reviewer_rank,
+        })
+    }
+
+    /// Number of proposers.
+    #[must_use]
+    pub fn proposers(&self) -> usize {
+        self.proposer_lists.len()
+    }
+
+    /// Number of reviewers.
+    #[must_use]
+    pub fn reviewers(&self) -> usize {
+        self.reviewer_lists.len()
+    }
+
+    /// Proposer `p`'s truncated preference list.
+    #[must_use]
+    pub fn proposer_list(&self, p: usize) -> &[usize] {
+        &self.proposer_lists[p]
+    }
+
+    /// Reviewer `r`'s truncated preference list.
+    #[must_use]
+    pub fn reviewer_list(&self, r: usize) -> &[usize] {
+        &self.reviewer_lists[r]
+    }
+
+    /// The role-swapped instance (reviewers become proposers).
+    ///
+    /// Running [`StableInstance::propose`] on the swap yields the
+    /// *reviewer-optimal* stable matching of `self` — the engine behind the
+    /// taxi-optimal schedule NSTD-T.
+    #[must_use]
+    pub fn swapped(&self) -> StableInstance {
+        StableInstance {
+            proposer_lists: self.reviewer_lists.clone(),
+            reviewer_lists: self.proposer_lists.clone(),
+            proposer_rank: self.reviewer_rank.clone(),
+            reviewer_rank: self.proposer_rank.clone(),
+        }
+    }
+
+    /// Whether proposer `p` finds reviewer `r` acceptable (above dummy).
+    #[must_use]
+    pub fn proposer_accepts(&self, p: usize, r: usize) -> bool {
+        self.proposer_rank[p][r] != NOT_RANKED
+    }
+
+    /// Whether reviewer `r` finds proposer `p` acceptable (above dummy).
+    #[must_use]
+    pub fn reviewer_accepts(&self, r: usize, p: usize) -> bool {
+        self.reviewer_rank[r][p] != NOT_RANKED
+    }
+
+    /// The proposer-optimal stable matching — the paper's **Algorithm 1**.
+    ///
+    /// Deferred acceptance: each proposer proposes down its list; a
+    /// reviewer holds its best acceptable proposal so far. Handles unequal
+    /// side sizes and truncated lists; unmatched agents correspond to dummy
+    /// partners (Theorem 1). Runs in `O(|R|·|T|)`.
+    #[must_use]
+    pub fn propose(&self) -> Matching {
+        let mut m = Matching::empty(self.proposers(), self.reviewers());
+        let mut next = vec![0usize; self.proposers()];
+        // Stack of proposers that still need to propose.
+        let mut free: Vec<usize> = (0..self.proposers()).rev().collect();
+        while let Some(p) = free.pop() {
+            // Propose down p's list from its cursor.
+            loop {
+                let Some(&r) = self.proposer_lists[p].get(next[p]) else {
+                    break; // exhausted: p matches its dummy (unserved)
+                };
+                next[p] += 1;
+                let my_rank = self.reviewer_rank[r][p];
+                if my_rank == NOT_RANKED {
+                    continue; // r would rather stay undispatched
+                }
+                match m.reviewer_to_proposer[r] {
+                    None => {
+                        m.link(p, r);
+                        break;
+                    }
+                    Some(held) => {
+                        if my_rank < self.reviewer_rank[r][held] {
+                            m.link(p, r); // unlinks `held`
+                            free.push(held);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// The reviewer-optimal stable matching (role-swapped proposals).
+    #[must_use]
+    pub fn reviewer_optimal(&self) -> Matching {
+        let m = self.swapped().propose();
+        Matching {
+            proposer_to_reviewer: m.reviewer_to_proposer,
+            reviewer_to_proposer: m.proposer_to_reviewer,
+        }
+    }
+
+    /// All blocking pairs of `m` under the paper's Definition 1.
+    ///
+    /// `(p, r)` blocks when each finds the other acceptable and each
+    /// prefers the other over its current partner (an unmatched agent —
+    /// one holding its dummy — prefers every acceptable partner, since
+    /// "dummies always prefer non-dummies").
+    #[must_use]
+    pub fn blocking_pairs(&self, m: &Matching) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for p in 0..self.proposers() {
+            let p_current_rank = m.proposer_to_reviewer[p].map(|r| self.proposer_rank[p][r]);
+            for &r in &self.proposer_lists[p] {
+                let pr = self.proposer_rank[p][r];
+                let p_prefers = p_current_rank.map_or(true, |cur| pr < cur);
+                if !p_prefers {
+                    continue;
+                }
+                let rp = self.reviewer_rank[r][p];
+                if rp == NOT_RANKED {
+                    continue;
+                }
+                let r_prefers = match m.reviewer_to_proposer[r] {
+                    None => true,
+                    Some(held) => rp < self.reviewer_rank[r][held],
+                };
+                if r_prefers {
+                    out.push((p, r));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `m` is stable (no blocking pair) and consistent with the
+    /// acceptability constraints (no one matched below their dummy).
+    #[must_use]
+    pub fn is_stable(&self, m: &Matching) -> bool {
+        for (p, r) in m.pairs() {
+            if !self.proposer_accepts(p, r) || !self.reviewer_accepts(r, p) {
+                return false;
+            }
+        }
+        self.blocking_pairs(m).is_empty()
+    }
+
+    /// The paper's **BreakDispatch** (Algorithm 2, Rules 1–3): break
+    /// proposer `j`'s current match in `s` and chase the proposal chain to
+    /// the *next* stable matching below `s` in the lattice.
+    ///
+    /// Returns `None` when BreakDispatch is unsuccessful:
+    ///
+    /// * Rule 3 — `j` is unserved in `s` (then it is unserved everywhere,
+    ///   Theorem 2),
+    /// * Rule 2 — the chain would involve a proposer with index `< j`,
+    /// * Rule 1 fails — the chain ends without `j`'s old reviewer getting
+    ///   a proposer it prefers over `j` (including any proposer falling to
+    ///   its dummy).
+    ///
+    /// `s` must be a stable matching of this instance.
+    #[must_use]
+    pub fn break_dispatch(&self, s: &Matching, j: usize) -> Option<Matching> {
+        let t = s.proposer_to_reviewer[j]?; // Rule 3
+        let ghost_rank = self.reviewer_rank[t][j];
+        let mut m = s.clone();
+        m.unlink_proposer(j);
+        let mut cur = j;
+        // Resume proposing just below the broken partner.
+        let mut pos = self.proposer_rank[j][t] as usize + 1;
+        loop {
+            let mut displaced: Option<usize> = None;
+            while pos < self.proposer_lists[cur].len() {
+                let r = self.proposer_lists[cur][pos];
+                pos += 1;
+                let my_rank = self.reviewer_rank[r][cur];
+                if my_rank == NOT_RANKED {
+                    continue;
+                }
+                if r == t && m.reviewer_to_proposer[t].is_none() {
+                    // The broken reviewer holds j's ghost: it only accepts
+                    // a strictly better proposer (Rule 1); on acceptance
+                    // the chain terminates successfully.
+                    if my_rank < ghost_rank {
+                        m.link(cur, r);
+                        debug_assert!(self.is_stable(&m));
+                        return Some(m);
+                    }
+                    continue;
+                }
+                match m.reviewer_to_proposer[r] {
+                    None => {
+                        // An ordinarily-unmatched reviewer accepted: the
+                        // chain ends but Rule 1 is unsatisfied (the broken
+                        // reviewer t is left blocking with j).
+                        return None;
+                    }
+                    Some(held) => {
+                        if my_rank < self.reviewer_rank[r][held] {
+                            if held < j {
+                                return None; // Rule 2
+                            }
+                            m.link(cur, r);
+                            displaced = Some(held);
+                            break;
+                        }
+                    }
+                }
+            }
+            match displaced {
+                Some(k) => {
+                    // The displaced proposer resumes below its lost partner.
+                    let lost = m.proposer_to_reviewer[cur].expect("just linked");
+                    pos = self.proposer_rank[k][lost] as usize + 1;
+                    cur = k;
+                }
+                // `cur` exhausted its list: it fell to its dummy, so the
+                // chain cannot yield a stable matching (Theorem 3, case i).
+                None => return None,
+            }
+        }
+    }
+
+    /// Enumerates **all** stable matchings — the paper's **Algorithm 2**.
+    ///
+    /// Starts from the proposer-optimal matching and recursively applies
+    /// [`StableInstance::break_dispatch`] with non-decreasing proposer
+    /// indices; by the paper's Theorem 4 every stable matching is produced
+    /// exactly once. The first element is always the proposer-optimal
+    /// matching.
+    ///
+    /// The number of stable matchings can be exponential in adversarial
+    /// instances; `limit` caps how many are collected (`None` = no cap).
+    #[must_use]
+    pub fn enumerate_all(&self, limit: Option<usize>) -> Vec<Matching> {
+        let cap = limit.unwrap_or(usize::MAX).max(1);
+        let s0 = self.propose();
+        let mut out = Vec::new();
+        out.push(s0.clone());
+        self.enumerate_rec(&s0, 0, cap, &mut out);
+        out
+    }
+
+    fn enumerate_rec(&self, s: &Matching, j_min: usize, cap: usize, out: &mut Vec<Matching>) {
+        for j in j_min..self.proposers() {
+            if out.len() >= cap {
+                return;
+            }
+            if let Some(next) = self.break_dispatch(s, j) {
+                out.push(next.clone());
+                self.enumerate_rec(&next, j, cap, out);
+            }
+        }
+    }
+
+    /// Rank (0 = favourite) of reviewer `r` in proposer `p`'s list, or
+    /// `None` when `r` is below `p`'s dummy.
+    #[must_use]
+    pub fn proposer_rank_of(&self, p: usize, r: usize) -> Option<u32> {
+        let rank = self.proposer_rank[p][r];
+        (rank != NOT_RANKED).then_some(rank)
+    }
+
+    /// Rank (0 = favourite) of proposer `p` in reviewer `r`'s list, or
+    /// `None` when `p` is below `r`'s dummy.
+    #[must_use]
+    pub fn reviewer_rank_of(&self, r: usize, p: usize) -> Option<u32> {
+        let rank = self.reviewer_rank[r][p];
+        (rank != NOT_RANKED).then_some(rank)
+    }
+
+    /// Egalitarian cost of a matching: the sum over matched pairs of both
+    /// sides' ranks (0 = everyone got their favourite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` matches a pair outside the acceptability lists.
+    #[must_use]
+    pub fn egalitarian_cost(&self, m: &Matching) -> u64 {
+        m.pairs()
+            .map(|(p, r)| {
+                let pr = self.proposer_rank_of(p, r).expect("acceptable pair") as u64;
+                let rr = self.reviewer_rank_of(r, p).expect("acceptable pair") as u64;
+                pr + rr
+            })
+            .sum()
+    }
+
+    /// The egalitarian stable matching: among `all` (e.g. from
+    /// [`StableInstance::enumerate_all`]), the one minimising
+    /// [`StableInstance::egalitarian_cost`] — the fairest compromise
+    /// between the passenger-optimal and taxi-optimal extremes.
+    ///
+    /// Returns `None` when `all` is empty.
+    #[must_use]
+    pub fn egalitarian<'a>(&self, all: &'a [Matching]) -> Option<&'a Matching> {
+        all.iter().min_by_key(|m| self.egalitarian_cost(m))
+    }
+
+    /// The (lower) median stable matching assembled from `all` stable
+    /// matchings: every proposer is assigned the median of its partners
+    /// across the set (Teo–Sethuraman: this selection is itself a stable
+    /// matching). With dummy entries the matched set is constant across
+    /// `all` (rural hospitals), so the median is well defined per agent.
+    ///
+    /// Returns `None` when `all` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matchings in `all` are not all stable matchings of
+    /// this instance (their matched sets must agree).
+    #[must_use]
+    pub fn median_stable_matching(&self, all: &[Matching]) -> Option<Matching> {
+        let first = all.first()?;
+        let mut out = Matching::empty(self.proposers(), self.reviewers());
+        for p in 0..self.proposers() {
+            if first.proposer_partner(p).is_none() {
+                continue;
+            }
+            let mut partners: Vec<usize> = all
+                .iter()
+                .map(|m| {
+                    m.proposer_partner(p)
+                        .expect("matched set is invariant across stable matchings")
+                })
+                .collect();
+            partners.sort_by_key(|&r| self.proposer_rank[p][r]);
+            let median = partners[(partners.len() - 1) / 2];
+            out.link(p, median);
+        }
+        debug_assert!(self.is_stable(&out));
+        Some(out)
+    }
+
+    /// Exhaustive stable-matching enumeration by brute force.
+    ///
+    /// Exponential — intended for validating [`StableInstance::enumerate_all`]
+    /// on small instances (tests, ablations). Results are in an unspecified
+    /// order.
+    #[must_use]
+    pub fn enumerate_brute_force(&self) -> Vec<Matching> {
+        let mut out = Vec::new();
+        let mut m = Matching::empty(self.proposers(), self.reviewers());
+        self.brute_rec(0, &mut m, &mut out);
+        out
+    }
+
+    fn brute_rec(&self, p: usize, m: &mut Matching, out: &mut Vec<Matching>) {
+        if p == self.proposers() {
+            if self.is_stable(m) {
+                out.push(m.clone());
+            }
+            return;
+        }
+        // p stays unmatched…
+        self.brute_rec(p + 1, m, out);
+        // …or takes any mutually-acceptable free reviewer.
+        for &r in &self.proposer_lists[p] {
+            if m.reviewer_to_proposer[r].is_none() && self.reviewer_accepts(r, p) {
+                m.link(p, r);
+                self.brute_rec(p + 1, m, out);
+                m.unlink_proposer(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    fn classic_3x3() -> StableInstance {
+        // A classic instance with multiple stable matchings.
+        StableInstance::new(
+            vec![vec![0, 1, 2], vec![1, 2, 0], vec![2, 0, 1]],
+            vec![vec![1, 2, 0], vec![2, 0, 1], vec![0, 1, 2]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn propose_is_stable_on_classic() {
+        let inst = classic_3x3();
+        let m = inst.propose();
+        assert!(inst.is_stable(&m));
+        // Everyone gets their first choice (proposer-optimal).
+        assert_eq!(m.proposer_partner(0), Some(0));
+        assert_eq!(m.proposer_partner(1), Some(1));
+        assert_eq!(m.proposer_partner(2), Some(2));
+    }
+
+    #[test]
+    fn reviewer_optimal_differs_on_classic() {
+        let inst = classic_3x3();
+        let m = inst.reviewer_optimal();
+        assert!(inst.is_stable(&m));
+        // Each reviewer gets its first choice.
+        assert_eq!(m.reviewer_partner(0), Some(1));
+        assert_eq!(m.reviewer_partner(1), Some(2));
+        assert_eq!(m.reviewer_partner(2), Some(0));
+    }
+
+    #[test]
+    fn classic_has_three_stable_matchings() {
+        let inst = classic_3x3();
+        let all = inst.enumerate_all(None);
+        assert_eq!(all.len(), 3);
+        let brute = inst.enumerate_brute_force();
+        assert_eq!(brute.len(), 3);
+        let set_a: HashSet<_> = all.into_iter().collect();
+        let set_b: HashSet<_> = brute.into_iter().collect();
+        assert_eq!(set_a, set_b);
+    }
+
+    #[test]
+    fn unequal_sides_leave_someone_unmatched() {
+        // 3 proposers, 1 reviewer.
+        let inst =
+            StableInstance::new(vec![vec![0], vec![0], vec![0]], vec![vec![2, 0, 1]]).unwrap();
+        let m = inst.propose();
+        assert_eq!(m.matched_pairs(), 1);
+        assert_eq!(m.reviewer_partner(0), Some(2));
+        assert!(inst.is_stable(&m));
+    }
+
+    #[test]
+    fn truncated_lists_respect_dummies() {
+        // Proposer 0 would rather stay alone than take reviewer 1.
+        // Reviewer 0 would rather stay alone than take proposer 0.
+        let inst = StableInstance::new(vec![vec![0]], vec![vec![]]).unwrap();
+        let m = inst.propose();
+        assert_eq!(m.matched_pairs(), 0);
+        assert!(inst.is_stable(&m));
+    }
+
+    #[test]
+    fn empty_instance_is_fine() {
+        let inst = StableInstance::new(vec![], vec![]).unwrap();
+        let m = inst.propose();
+        assert_eq!(m.matched_pairs(), 0);
+        assert!(inst.is_stable(&m));
+        assert_eq!(inst.enumerate_all(None).len(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = StableInstance::new(vec![vec![5]], vec![vec![0]]).unwrap_err();
+        assert_eq!(
+            err,
+            PreferenceError::IndexOutOfRange {
+                side: "proposer",
+                agent: 0,
+                entry: 5
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = StableInstance::new(vec![vec![0]], vec![vec![0, 0]]).unwrap_err();
+        assert_eq!(
+            err,
+            PreferenceError::DuplicateEntry {
+                side: "reviewer",
+                agent: 0,
+                entry: 0
+            }
+        );
+    }
+
+    #[test]
+    fn blocking_pairs_detects_instability() {
+        let inst = classic_3x3();
+        let mut m = Matching::empty(3, 3);
+        // (0, 1) blocks: proposer 0 prefers reviewer 1 over 2, and
+        // reviewer 1 prefers proposer 0 over its partner 1.
+        m.link(0, 2);
+        m.link(1, 1);
+        m.link(2, 0);
+        assert!(!inst.is_stable(&m));
+        assert!(inst.blocking_pairs(&m).contains(&(0, 1)));
+    }
+
+    #[test]
+    fn one_sided_acceptance_cannot_match() {
+        // Proposer 0 accepts reviewer 0, but reviewer 0 accepts nobody.
+        let inst = StableInstance::new(vec![vec![0]], vec![vec![]]).unwrap();
+        let m = inst.propose();
+        assert_eq!(m.proposer_partner(0), None);
+        // And a forced link is flagged as not stable.
+        let mut bad = Matching::empty(1, 1);
+        bad.link(0, 0);
+        assert!(!inst.is_stable(&bad));
+    }
+
+    #[test]
+    fn break_dispatch_on_unserved_is_rule3_none() {
+        let inst = StableInstance::new(vec![vec![0], vec![0]], vec![vec![0, 1]]).unwrap();
+        let s = inst.propose();
+        assert_eq!(s.proposer_partner(1), None);
+        assert!(inst.break_dispatch(&s, 1).is_none());
+    }
+
+    #[test]
+    fn matching_link_unlinks_previous() {
+        let mut m = Matching::empty(2, 2);
+        m.link(0, 0);
+        m.link(1, 0); // steals reviewer 0
+        assert_eq!(m.proposer_partner(0), None);
+        assert_eq!(m.reviewer_partner(0), Some(1));
+        m.link(1, 1); // moves proposer 1
+        assert_eq!(m.reviewer_partner(0), None);
+        assert_eq!(m.matched_pairs(), 1);
+    }
+
+    #[test]
+    fn egalitarian_cost_and_selection() {
+        let inst = classic_3x3();
+        let all = inst.enumerate_all(None);
+        assert_eq!(all.len(), 3);
+        // Proposer-optimal: everyone rank 0 for proposers, rank 2 for
+        // reviewers → cost 6. Reviewer-optimal symmetric. The middle
+        // (cyclic) matching has rank 1 everywhere → cost 6 as well.
+        let costs: Vec<u64> = all.iter().map(|m| inst.egalitarian_cost(m)).collect();
+        assert!(costs.iter().all(|&c| c == 6));
+        assert!(inst.egalitarian(&all).is_some());
+        assert!(inst.egalitarian(&[]).is_none());
+    }
+
+    #[test]
+    fn median_of_classic_is_the_middle_matching() {
+        let inst = classic_3x3();
+        let all = inst.enumerate_all(None);
+        let median = inst.median_stable_matching(&all).unwrap();
+        assert!(inst.is_stable(&median));
+        // Each proposer's median partner is its 2nd choice.
+        for p in 0..3 {
+            let r = median.proposer_partner(p).unwrap();
+            assert_eq!(inst.proposer_rank_of(p, r), Some(1));
+        }
+    }
+
+    #[test]
+    fn median_is_stable_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(0x5E7A);
+        for _ in 0..200 {
+            let np = rng.gen_range(1..=6);
+            let nr = rng.gen_range(1..=6);
+            let inst = random_instance(&mut rng, np, nr);
+            let all = inst.enumerate_all(None);
+            let median = inst.median_stable_matching(&all).unwrap();
+            assert!(inst.is_stable(&median), "median must be stable");
+            // The egalitarian matching is also stable and its cost is
+            // minimal over the set.
+            let egal = inst.egalitarian(&all).unwrap();
+            let best = all.iter().map(|m| inst.egalitarian_cost(m)).min().unwrap();
+            assert_eq!(inst.egalitarian_cost(egal), best);
+        }
+    }
+
+    #[test]
+    fn rank_accessors() {
+        let inst = classic_3x3();
+        assert_eq!(inst.proposer_rank_of(0, 0), Some(0));
+        assert_eq!(inst.proposer_rank_of(0, 2), Some(2));
+        assert_eq!(inst.reviewer_rank_of(0, 1), Some(0));
+        let truncated = StableInstance::new(vec![vec![0]], vec![vec![]]).unwrap();
+        assert_eq!(truncated.reviewer_rank_of(0, 0), None);
+    }
+
+    /// Random instance with truncated lists on both sides.
+    fn random_instance(rng: &mut StdRng, np: usize, nr: usize) -> StableInstance {
+        let mut gen_side = |n: usize, m: usize| -> Vec<Vec<usize>> {
+            (0..n)
+                .map(|_| {
+                    let mut all: Vec<usize> = (0..m).collect();
+                    all.shuffle(rng);
+                    let keep = rng.gen_range(0..=m);
+                    all.truncate(keep);
+                    all
+                })
+                .collect()
+        };
+        let p = gen_side(np, nr);
+        let r = gen_side(nr, np);
+        StableInstance::new(p, r).unwrap()
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_on_many_random_instances() {
+        let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+        for case in 0..300 {
+            let np = rng.gen_range(0..=5);
+            let nr = rng.gen_range(0..=5);
+            let inst = random_instance(&mut rng, np, nr);
+            let fast: Vec<_> = inst.enumerate_all(None);
+            let fast_set: HashSet<_> = fast.iter().cloned().collect();
+            assert_eq!(
+                fast.len(),
+                fast_set.len(),
+                "case {case}: duplicates in enumeration"
+            );
+            let brute: HashSet<_> = inst.enumerate_brute_force().into_iter().collect();
+            assert_eq!(fast_set, brute, "case {case}: sets differ");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Deferred acceptance always yields a stable matching.
+        #[test]
+        fn propose_always_stable(seed in any::<u64>(), np in 0usize..8, nr in 0usize..8) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = random_instance(&mut rng, np, nr);
+            let m = inst.propose();
+            prop_assert!(inst.is_stable(&m));
+        }
+
+        /// Proposer-optimality: in every stable matching, each proposer does
+        /// no better than under `propose()`.
+        #[test]
+        fn propose_is_proposer_optimal(seed in any::<u64>(), np in 0usize..6, nr in 0usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = random_instance(&mut rng, np, nr);
+            let best = inst.propose();
+            for other in inst.enumerate_brute_force() {
+                for p in 0..np {
+                    let best_rank = best.proposer_partner(p)
+                        .map(|r| inst.proposer_rank[p][r]);
+                    let other_rank = other.proposer_partner(p)
+                        .map(|r| inst.proposer_rank[p][r]);
+                    match (best_rank, other_rank) {
+                        (Some(b), Some(o)) => prop_assert!(b <= o),
+                        // Theorem 2 / rural hospitals: matched status agrees.
+                        (None, Some(_)) | (Some(_), None) => prop_assert!(
+                            false, "matched sets differ across stable matchings"
+                        ),
+                        (None, None) => {}
+                    }
+                }
+            }
+        }
+
+        /// Rural hospitals (paper's Theorem 2): every stable matching
+        /// matches the same set of proposers and reviewers.
+        #[test]
+        fn rural_hospitals(seed in any::<u64>(), np in 0usize..6, nr in 0usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = random_instance(&mut rng, np, nr);
+            let all = inst.enumerate_brute_force();
+            prop_assert!(!all.is_empty());
+            let matched_p: HashSet<usize> = all[0].pairs().map(|(p, _)| p).collect();
+            let matched_r: HashSet<usize> = all[0].pairs().map(|(_, r)| r).collect();
+            for m in &all {
+                prop_assert_eq!(
+                    m.pairs().map(|(p, _)| p).collect::<HashSet<_>>(), matched_p.clone());
+                prop_assert_eq!(
+                    m.pairs().map(|(_, r)| r).collect::<HashSet<_>>(), matched_r.clone());
+            }
+        }
+
+        /// Reviewer-optimal matching is the reviewer-best among all stable
+        /// matchings.
+        #[test]
+        fn reviewer_optimal_is_best_for_reviewers(
+            seed in any::<u64>(), np in 0usize..6, nr in 0usize..6,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = random_instance(&mut rng, np, nr);
+            let ro = inst.reviewer_optimal();
+            prop_assert!(inst.is_stable(&ro));
+            for other in inst.enumerate_brute_force() {
+                for r in 0..nr {
+                    if let (Some(b), Some(o)) = (ro.reviewer_partner(r), other.reviewer_partner(r)) {
+                        prop_assert!(inst.reviewer_rank[r][b] <= inst.reviewer_rank[r][o]);
+                    }
+                }
+            }
+        }
+
+        /// `enumerate_all` respects its cap and always includes the
+        /// proposer-optimal matching first.
+        #[test]
+        fn enumerate_cap(seed in any::<u64>(), np in 0usize..6, nr in 0usize..6) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = random_instance(&mut rng, np, nr);
+            let capped = inst.enumerate_all(Some(2));
+            prop_assert!(capped.len() <= 2);
+            prop_assert_eq!(&capped[0], &inst.propose());
+        }
+    }
+}

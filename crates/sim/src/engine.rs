@@ -1,0 +1,452 @@
+//! The discrete-frame simulation engine.
+
+use crate::metrics::HourBucket;
+use crate::policy::{DispatchPolicy, FrameContext};
+use crate::report::SimReport;
+use o2o_geo::{Euclidean, Metric, Point};
+use o2o_trace::{Request, Taxi, TaxiId, Trace};
+use std::collections::{HashMap, VecDeque};
+
+/// Engine parameters; defaults reproduce the paper's setup (one-minute
+/// frames, 20 km/h).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Length of one dispatch frame in seconds (paper: 60).
+    pub frame_seconds: u64,
+    /// Taxi cruising speed in km/h (paper: 20, from its ref. \[24\]).
+    pub taxi_speed_kmh: f64,
+    /// How many frames past the last request arrival the engine keeps
+    /// draining the pending queue before giving up (prevents an infinite
+    /// run when demand permanently exceeds supply).
+    pub drain_frames: u64,
+    /// Drop a request after waiting this many frames (`None` = passengers
+    /// wait indefinitely, as in the paper).
+    pub max_pending_frames: Option<u64>,
+    /// Cap the batch handed to the policy at this many pending requests
+    /// *per idle taxi* (oldest first). A frame can serve at most
+    /// `max_group_size × idle` requests, so a generous multiple preserves
+    /// choice while bounding the quadratic/cubic sharing stages during
+    /// backlogs. `None` passes the whole queue.
+    pub max_batch_per_idle: Option<usize>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            frame_seconds: 60,
+            taxi_speed_kmh: 20.0,
+            drain_frames: 720,
+            max_pending_frames: None,
+            max_batch_per_idle: Some(8),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.frame_seconds == 0 {
+            return Err("frame_seconds must be positive".into());
+        }
+        if !(self.taxi_speed_kmh.is_finite() && self.taxi_speed_kmh > 0.0) {
+            return Err(format!(
+                "taxi_speed_kmh must be positive, got {}",
+                self.taxi_speed_kmh
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TaxiState {
+    template: Taxi,
+    location: Point,
+    free_at: u64,
+}
+
+/// The discrete-frame simulator; see the [crate docs](crate) for the
+/// model.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails [`SimConfig::validate`].
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        config.validate().expect("invalid simulator configuration");
+        Simulator { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs `policy` over `trace` with straight-line driving distances.
+    #[must_use]
+    pub fn run<P: DispatchPolicy>(&self, trace: &Trace, policy: &mut P) -> SimReport {
+        self.run_with_metric(&Euclidean, trace, policy)
+    }
+
+    /// Runs `policy` over `trace`, measuring driven distances with
+    /// `metric` (use the same metric the policy dispatches with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy returns an invalid assignment (a non-idle or
+    /// repeated taxi, an unknown or repeated request, or empty stops) —
+    /// these are policy bugs, not recoverable conditions.
+    #[must_use]
+    pub fn run_with_metric<M: Metric, P: DispatchPolicy>(
+        &self,
+        metric: &M,
+        trace: &Trace,
+        policy: &mut P,
+    ) -> SimReport {
+        let frame_s = self.config.frame_seconds;
+        let speed_km_per_s = self.config.taxi_speed_kmh / 3600.0;
+
+        let mut taxis: Vec<TaxiState> = trace
+            .taxis
+            .iter()
+            .map(|t| TaxiState {
+                template: *t,
+                location: t.location,
+                free_at: 0,
+            })
+            .collect();
+        let taxi_index: HashMap<TaxiId, usize> = trace
+            .taxis
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.id, i))
+            .collect();
+
+        // (request, admission frame)
+        let mut pending: VecDeque<(Request, u64)> = VecDeque::new();
+        let mut next_request = 0usize;
+        let last_arrival_frame = trace.requests.last().map_or(0, |r| r.time / frame_s);
+
+        let mut report = SimReport {
+            policy: policy.name().to_string(),
+            trace: trace.name.clone(),
+            served: 0,
+            unserved_at_end: 0,
+            frames: 0,
+            delays_min: Vec::new(),
+            passenger_dissatisfaction: Vec::new(),
+            taxi_dissatisfaction: Vec::new(),
+            shared_requests: 0,
+            total_drive_km: 0.0,
+            queue_by_frame: Vec::new(),
+            idle_by_frame: Vec::new(),
+            delay_by_hour: [HourBucket::default(); 24],
+            passenger_by_hour: [HourBucket::default(); 24],
+            taxi_by_hour: [HourBucket::default(); 24],
+        };
+
+        let mut frame = 0u64;
+        loop {
+            let time_end = (frame + 1) * frame_s;
+            // Admit arrivals.
+            while next_request < trace.requests.len()
+                && trace.requests[next_request].time < time_end
+            {
+                pending.push_back((trace.requests[next_request], frame));
+                next_request += 1;
+            }
+            // Expire over-waited requests, if configured.
+            if let Some(cap) = self.config.max_pending_frames {
+                let before = pending.len();
+                pending.retain(|&(_, admitted)| frame - admitted <= cap);
+                report.unserved_at_end += before - pending.len();
+            }
+
+            // Collect the idle fleet.
+            let idle: Vec<Taxi> = taxis
+                .iter()
+                .filter(|t| t.free_at <= time_end)
+                .map(|t| Taxi {
+                    id: t.template.id,
+                    location: t.location,
+                    seats: t.template.seats,
+                })
+                .collect();
+
+            if !idle.is_empty() && !pending.is_empty() {
+                let batch_cap = self
+                    .config
+                    .max_batch_per_idle
+                    .map_or(usize::MAX, |m| m.saturating_mul(idle.len()));
+                let pending_vec: Vec<Request> =
+                    pending.iter().take(batch_cap).map(|&(r, _)| r).collect();
+                let ctx = FrameContext {
+                    frame,
+                    time: time_end,
+                    idle_taxis: &idle,
+                    pending: &pending_vec,
+                };
+                let assignments = policy.dispatch(&ctx);
+
+                let mut used_taxis = std::collections::HashSet::new();
+                let mut served_ids = std::collections::HashSet::new();
+                for a in &assignments {
+                    assert!(
+                        used_taxis.insert(a.taxi),
+                        "policy {} assigned taxi {} twice in frame {frame}",
+                        policy.name(),
+                        a.taxi
+                    );
+                    assert!(!a.stops.is_empty(), "assignment with no stops");
+                    assert_eq!(
+                        a.members.len(),
+                        a.passenger_costs.len(),
+                        "passenger cost per member required"
+                    );
+                    let ti = *taxi_index
+                        .get(&a.taxi)
+                        .unwrap_or_else(|| panic!("unknown taxi {}", a.taxi));
+                    assert!(
+                        taxis[ti].free_at <= time_end,
+                        "policy {} dispatched busy taxi {}",
+                        policy.name(),
+                        a.taxi
+                    );
+                    for &m in &a.members {
+                        assert!(
+                            served_ids.insert(m),
+                            "request {m} assigned twice in frame {frame}"
+                        );
+                    }
+
+                    // Drive: approach leg + the route through all stops.
+                    let mut length = metric.distance(taxis[ti].location, a.stops[0]);
+                    length += metric.path_length(&a.stops);
+                    let travel_s = (length / speed_km_per_s).ceil() as u64;
+                    taxis[ti].free_at = time_end + travel_s;
+                    taxis[ti].location = *a.stops.last().expect("non-empty stops");
+                    report.total_drive_km += length;
+
+                    // Metrics.
+                    let dispatch_hour = ((time_end / 3600) % 24) as usize;
+                    report.taxi_dissatisfaction.push(a.taxi_cost);
+                    report.taxi_by_hour[dispatch_hour].push(a.taxi_cost);
+                    let shared = a.members.len() >= 2;
+                    for (&m, &cost) in a.members.iter().zip(&a.passenger_costs) {
+                        let (req, _) = pending
+                            .iter()
+                            .find(|&&(r, _)| r.id == m)
+                            .copied()
+                            .unwrap_or_else(|| panic!("request {m} not pending"));
+                        let delay_min = (time_end.saturating_sub(req.time)) as f64 / 60.0;
+                        let hour = req.hour_of_day() as usize;
+                        report.delays_min.push(delay_min);
+                        report.delay_by_hour[hour].push(delay_min);
+                        report.passenger_dissatisfaction.push(cost);
+                        report.passenger_by_hour[hour].push(cost);
+                        report.served += 1;
+                        if shared {
+                            report.shared_requests += 1;
+                        }
+                    }
+                }
+                pending.retain(|&(r, _)| !served_ids.contains(&r.id));
+            }
+
+            report.queue_by_frame.push(pending.len() as u32);
+            report
+                .idle_by_frame
+                .push(taxis.iter().filter(|t| t.free_at <= time_end).count() as u32);
+
+            frame += 1;
+            let arrivals_done = next_request >= trace.requests.len();
+            if arrivals_done
+                && (pending.is_empty() || frame > last_arrival_frame + self.config.drain_frames)
+            {
+                break;
+            }
+        }
+        report.frames = frame;
+        report.unserved_at_end += pending.len();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy;
+    use o2o_core::PreferenceParams;
+    use o2o_geo::BBox;
+    use o2o_trace::{boston_september_2012, RequestId};
+
+    fn tiny_trace(requests: Vec<Request>, taxis: Vec<Taxi>) -> Trace {
+        Trace {
+            name: "tiny".into(),
+            bbox: BBox::square(Point::ORIGIN, 100.0),
+            requests,
+            taxis,
+        }
+    }
+
+    fn req(id: u64, time: u64, s: f64, d: f64) -> Request {
+        Request::new(RequestId(id), time, Point::new(s, 0.0), Point::new(d, 0.0))
+    }
+
+    #[test]
+    fn single_request_served_with_subminute_delay() {
+        let trace = tiny_trace(
+            vec![req(0, 30, 1.0, 2.0)],
+            vec![Taxi::new(TaxiId(0), Point::ORIGIN)],
+        );
+        let mut p = policy::near(Euclidean, PreferenceParams::default());
+        let report = Simulator::new(SimConfig::default()).run(&trace, &mut p);
+        assert_eq!(report.served, 1);
+        assert_eq!(report.unserved_at_end, 0);
+        // Arrived at t=30, dispatched at the end of frame 0 (t=60).
+        assert!((report.delays_min[0] - 0.5).abs() < 1e-9);
+        assert!((report.passenger_dissatisfaction[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_taxi_delays_second_request() {
+        // One taxi; trip takes 2 km + 1 km pickup at 20 km/h = 9 min.
+        // Second request arrives at t=120 and must wait for the taxi.
+        let trace = tiny_trace(
+            vec![req(0, 0, 1.0, 3.0), req(1, 120, 3.5, 5.0)],
+            vec![Taxi::new(TaxiId(0), Point::ORIGIN)],
+        );
+        let mut p = policy::near(Euclidean, PreferenceParams::default());
+        let report = Simulator::new(SimConfig::default()).run(&trace, &mut p);
+        assert_eq!(report.served, 2);
+        // First: dispatched at t=60. Busy for (1+2) km / 20 km/h = 540 s;
+        // free at 600 s → request 1 dispatched at t=600 (end of frame 9).
+        // Delay = (600 − 120)/60 = 8 min.
+        let d1 = report.delays_min[1];
+        assert!((d1 - 8.0).abs() < 1e-9, "delay {d1}");
+        // Taxi served request 1 from the previous drop-off at x=3.
+        assert!((report.passenger_dissatisfaction[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_taxis_terminates_with_unserved() {
+        let trace = tiny_trace(vec![req(0, 0, 1.0, 2.0)], vec![]);
+        let mut p = policy::near(Euclidean, PreferenceParams::default());
+        let cfg = SimConfig {
+            drain_frames: 5,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(cfg).run(&trace, &mut p);
+        assert_eq!(report.served, 0);
+        assert_eq!(report.unserved_at_end, 1);
+        assert!(report.frames <= 7);
+    }
+
+    #[test]
+    fn max_pending_frames_drops_requests() {
+        // A taxi too far to ever be acceptable under the dummy threshold.
+        let trace = tiny_trace(
+            vec![req(0, 0, 0.0, 1.0)],
+            vec![Taxi::new(TaxiId(0), Point::new(49.0, 0.0))],
+        );
+        let params = PreferenceParams::default().with_passenger_threshold(10.0);
+        let mut p = policy::nstd_p(Euclidean, params);
+        let cfg = SimConfig {
+            max_pending_frames: Some(3),
+            drain_frames: 100,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(cfg).run(&trace, &mut p);
+        assert_eq!(report.served, 0);
+        assert_eq!(report.unserved_at_end, 1);
+        assert!(report.frames < 20, "dropped request must end the run");
+    }
+
+    #[test]
+    fn faster_taxis_reduce_delays() {
+        let requests: Vec<Request> = (0..6)
+            .map(|i| req(i, i * 60, (i % 3) as f64, (i % 3) as f64 + 4.0))
+            .collect();
+        let taxis = vec![Taxi::new(TaxiId(0), Point::ORIGIN)];
+        let slow_cfg = SimConfig {
+            taxi_speed_kmh: 10.0,
+            ..SimConfig::default()
+        };
+        let fast_cfg = SimConfig {
+            taxi_speed_kmh: 60.0,
+            ..SimConfig::default()
+        };
+        let trace = tiny_trace(requests, taxis);
+        let params = PreferenceParams::default();
+        let mut p1 = policy::near(Euclidean, params);
+        let mut p2 = policy::near(Euclidean, params);
+        let slow = Simulator::new(slow_cfg).run(&trace, &mut p1);
+        let fast = Simulator::new(fast_cfg).run(&trace, &mut p2);
+        assert!(fast.avg_delay_min() <= slow.avg_delay_min());
+    }
+
+    #[test]
+    fn sharing_policy_runs_end_to_end() {
+        let trace = boston_september_2012(0.002).generate(3);
+        let mut p = policy::std_p(Euclidean, PreferenceParams::default());
+        let report = Simulator::new(SimConfig::default()).run(&trace, &mut p);
+        assert_eq!(report.served + report.unserved_at_end, trace.requests.len());
+        assert_eq!(report.policy, "STD-P");
+        assert!(report.total_drive_km > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seeded_trace() {
+        let trace = boston_september_2012(0.002).generate(11);
+        let params = PreferenceParams::default();
+        let mut p1 = policy::nstd_p(Euclidean, params);
+        let mut p2 = policy::nstd_p(Euclidean, params);
+        let a = Simulator::new(SimConfig::default()).run(&trace, &mut p1);
+        let b = Simulator::new(SimConfig::default()).run(&trace, &mut p2);
+        assert_eq!(a.delays_min, b.delays_min);
+        assert_eq!(a.taxi_dissatisfaction, b.taxi_dissatisfaction);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame_seconds")]
+    fn zero_frame_rejected() {
+        let _ = Simulator::new(SimConfig {
+            frame_seconds: 0,
+            ..SimConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned taxi")]
+    fn double_taxi_assignment_is_caught() {
+        let trace = tiny_trace(
+            vec![req(0, 0, 1.0, 2.0), req(1, 0, 2.0, 3.0)],
+            vec![Taxi::new(TaxiId(0), Point::ORIGIN)],
+        );
+        let mut evil = policy::from_fn("evil", |ctx: &FrameContext<'_>| {
+            ctx.pending
+                .iter()
+                .map(|r| crate::FrameAssignment {
+                    taxi: ctx.idle_taxis[0].id,
+                    members: vec![r.id],
+                    stops: vec![r.pickup, r.dropoff],
+                    passenger_costs: vec![0.0],
+                    taxi_cost: 0.0,
+                })
+                .collect()
+        });
+        let _ = Simulator::new(SimConfig::default()).run(&trace, &mut evil);
+    }
+}

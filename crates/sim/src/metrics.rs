@@ -1,0 +1,174 @@
+//! Metric aggregation: empirical CDFs and hourly buckets.
+
+/// An empirical cumulative distribution function over `f64` samples.
+///
+/// Backs the paper's CDF figures (Figs. 4, 5, 8, 9).
+///
+/// # Examples
+///
+/// ```
+/// use o2o_sim::Cdf;
+///
+/// let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_most(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.75), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF; NaN samples are dropped.
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs left"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when there are no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `≤ x` (0 for an empty CDF).
+    #[must_use]
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest sample `v` with `fraction_at_most(v) ≥ q`
+    /// (`q` clamped to `(0, 1]`; 0 for an empty CDF).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len()) - 1;
+        self.sorted[idx]
+    }
+
+    /// Arithmetic mean (0 for an empty CDF).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Largest sample (0 for an empty CDF).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Evaluates the CDF at `points`, returning `(x, F(x))` pairs —
+    /// directly plottable as the paper's CDF curves.
+    #[must_use]
+    pub fn curve(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_at_most(x)))
+            .collect()
+    }
+
+    /// `n + 1` evenly spaced evaluation points covering `[0, max]`.
+    #[must_use]
+    pub fn even_grid(&self, n: usize) -> Vec<f64> {
+        let hi = self.max();
+        if n == 0 || hi <= 0.0 {
+            return vec![0.0];
+        }
+        (0..=n).map(|i| hi * i as f64 / n as f64).collect()
+    }
+}
+
+/// Mean accumulator for hour-of-day bucketing (the Fig. 7 series).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct HourBucket {
+    pub sum: f64,
+    pub count: usize,
+}
+
+impl HourBucket {
+    pub(crate) fn push(&mut self, x: f64) {
+        self.sum += x;
+        self.count += 1;
+    }
+
+    pub(crate) fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf_is_safe() {
+        let c = Cdf::from_samples(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at_most(10.0), 0.0);
+        assert_eq!(c.quantile(0.5), 0.0);
+        assert_eq!(c.mean(), 0.0);
+        assert_eq!(c.max(), 0.0);
+        assert_eq!(c.even_grid(4), vec![0.0]);
+    }
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let c = Cdf::from_samples(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(c.fraction_at_most(0.5), 0.0);
+        assert_eq!(c.fraction_at_most(1.0), 0.25);
+        assert_eq!(c.fraction_at_most(2.5), 0.5);
+        assert_eq!(c.fraction_at_most(100.0), 1.0);
+        assert_eq!(c.quantile(0.25), 1.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+        assert_eq!(c.mean(), 2.5);
+    }
+
+    #[test]
+    fn nan_samples_are_dropped() {
+        let c = Cdf::from_samples(vec![1.0, f64::NAN, 2.0]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let c = Cdf::from_samples((0..50).map(|i| (i as f64 * 37.0) % 11.0).collect());
+        let curve = c.curve(&c.even_grid(10));
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn hour_bucket_mean() {
+        let mut b = HourBucket::default();
+        assert_eq!(b.mean(), 0.0);
+        b.push(2.0);
+        b.push(4.0);
+        assert_eq!(b.mean(), 3.0);
+    }
+}

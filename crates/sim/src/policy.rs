@@ -1,0 +1,490 @@
+//! The policy interface and adapters for every dispatcher in the
+//! workspace.
+//!
+//! A policy sees one frame at a time — the idle fleet and the pending
+//! queue — and returns taxi-to-group assignments. Adapters are provided
+//! for the paper's algorithms (NSTD-P/T, STD-P/T) and all six baselines,
+//! so experiment code can treat them uniformly:
+//!
+//! ```
+//! use o2o_core::PreferenceParams;
+//! use o2o_geo::Euclidean;
+//! use o2o_sim::{policy, DispatchPolicy};
+//!
+//! let params = PreferenceParams::default();
+//! let policies: Vec<Box<dyn DispatchPolicy>> = vec![
+//!     Box::new(policy::nstd_p(Euclidean, params)),
+//!     Box::new(policy::near(Euclidean, params)),
+//! ];
+//! assert_eq!(policies[0].name(), "NSTD-P");
+//! ```
+
+use o2o_baselines::{
+    LinDispatcher, MiniDispatcher, NearDispatcher, PairDispatcher, RaiiDispatcher, SarpDispatcher,
+};
+use o2o_core::{
+    NonSharingDispatcher, PreferenceParams, Schedule, SharingDispatcher, SharingSchedule,
+};
+use o2o_geo::{Metric, Point};
+use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+
+/// One frame's input to a policy.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameContext<'a> {
+    /// Index of the frame (0-based).
+    pub frame: u64,
+    /// Dispatch timestamp: the end of the frame, in seconds.
+    pub time: u64,
+    /// Taxis idle at dispatch time, with current locations.
+    pub idle_taxis: &'a [Taxi],
+    /// Requests waiting for a taxi (arrival order).
+    pub pending: &'a [Request],
+}
+
+/// One taxi's assignment for the frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameAssignment {
+    /// The dispatched taxi (must be idle this frame).
+    pub taxi: TaxiId,
+    /// The requests it serves (1 for non-sharing policies).
+    pub members: Vec<RequestId>,
+    /// Stop locations in driving order (pickups and drop-offs).
+    pub stops: Vec<Point>,
+    /// Per-member passenger dissatisfaction (the paper's metric).
+    pub passenger_costs: Vec<f64>,
+    /// Taxi dissatisfaction (the paper's metric).
+    pub taxi_cost: f64,
+}
+
+/// A dispatch policy driven frame-by-frame by the [`Simulator`].
+///
+/// [`Simulator`]: crate::Simulator
+pub trait DispatchPolicy {
+    /// Short display name (used in reports, e.g. `"NSTD-P"`).
+    fn name(&self) -> &str;
+
+    /// Decides the frame's assignments. Every returned taxi must be one
+    /// of `ctx.idle_taxis` (each at most once) and every member one of
+    /// `ctx.pending` (each at most once); unassigned requests stay
+    /// pending.
+    fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment>;
+}
+
+impl<P: DispatchPolicy + ?Sized> DispatchPolicy for &mut P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
+        (**self).dispatch(ctx)
+    }
+}
+
+impl<P: DispatchPolicy + ?Sized> DispatchPolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
+        (**self).dispatch(ctx)
+    }
+}
+
+fn from_schedule(requests: &[Request], s: &Schedule) -> Vec<FrameAssignment> {
+    requests
+        .iter()
+        .filter_map(|r| {
+            s.assignment_of(r.id).taxi().map(|taxi| FrameAssignment {
+                taxi,
+                members: vec![r.id],
+                stops: vec![r.pickup, r.dropoff],
+                passenger_costs: vec![s
+                    .passenger_dissatisfaction(r.id)
+                    .expect("assigned request has a cost")],
+                taxi_cost: s.taxi_dissatisfaction(taxi).expect("dispatched taxi"),
+            })
+        })
+        .collect()
+}
+
+fn from_sharing_schedule(s: &SharingSchedule) -> Vec<FrameAssignment> {
+    s.assignments
+        .iter()
+        .map(|a| FrameAssignment {
+            taxi: a.taxi,
+            members: a.members.clone(),
+            stops: a.route.stops.iter().map(|st| st.location).collect(),
+            passenger_costs: a.passenger_costs.clone(),
+            taxi_cost: a.taxi_cost,
+        })
+        .collect()
+}
+
+/// A policy built from a closure over the frame context.
+pub struct FnPolicy<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> DispatchPolicy for FnPolicy<F>
+where
+    F: FnMut(&FrameContext<'_>) -> Vec<FrameAssignment>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
+        (self.f)(ctx)
+    }
+}
+
+/// Wraps a closure as a [`DispatchPolicy`] (useful in tests and custom
+/// experiments).
+pub fn from_fn<F>(name: impl Into<String>, f: F) -> FnPolicy<F>
+where
+    F: FnMut(&FrameContext<'_>) -> Vec<FrameAssignment>,
+{
+    FnPolicy {
+        name: name.into(),
+        f,
+    }
+}
+
+macro_rules! dispatcher_policy {
+    ($struct_name:ident, $doc:literal, $inner:ty, $label:literal, $call:expr) => {
+        #[doc = $doc]
+        pub struct $struct_name<M> {
+            inner: $inner,
+        }
+
+        impl<M: Metric> DispatchPolicy for $struct_name<M> {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
+                #[allow(clippy::redundant_closure_call)]
+                ($call)(&self.inner, ctx)
+            }
+        }
+    };
+}
+
+dispatcher_policy!(
+    NstdPPolicy,
+    "Algorithm 1 (NSTD-P) as a frame policy.",
+    NonSharingDispatcher<M>,
+    "NSTD-P",
+    |inner: &NonSharingDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_schedule(
+            ctx.pending,
+            &inner.passenger_optimal(ctx.idle_taxis, ctx.pending),
+        )
+    }
+);
+
+dispatcher_policy!(
+    NstdTPolicy,
+    "NSTD-T (taxi-optimal stable matching) as a frame policy.",
+    NonSharingDispatcher<M>,
+    "NSTD-T",
+    |inner: &NonSharingDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_schedule(
+            ctx.pending,
+            &inner.taxi_optimal(ctx.idle_taxis, ctx.pending),
+        )
+    }
+);
+
+dispatcher_policy!(
+    NearPolicy,
+    "The *Near* greedy baseline as a frame policy.",
+    NearDispatcher<M>,
+    "Near",
+    |inner: &NearDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_schedule(ctx.pending, &inner.dispatch(ctx.idle_taxis, ctx.pending))
+    }
+);
+
+dispatcher_policy!(
+    PairPolicy,
+    "The *Pair* min-cost-matching baseline as a frame policy.",
+    PairDispatcher<M>,
+    "Pair",
+    |inner: &PairDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_schedule(ctx.pending, &inner.dispatch(ctx.idle_taxis, ctx.pending))
+    }
+);
+
+dispatcher_policy!(
+    MiniPolicy,
+    "The *Mini* bottleneck-matching baseline as a frame policy.",
+    MiniDispatcher<M>,
+    "Mini",
+    |inner: &MiniDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_schedule(ctx.pending, &inner.dispatch(ctx.idle_taxis, ctx.pending))
+    }
+);
+
+dispatcher_policy!(
+    StdPPolicy,
+    "Algorithm 3 with passenger-optimal matching (STD-P) as a frame policy.",
+    SharingDispatcher<M>,
+    "STD-P",
+    |inner: &SharingDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_sharing_schedule(&inner.dispatch_passenger_optimal(ctx.idle_taxis, ctx.pending))
+    }
+);
+
+dispatcher_policy!(
+    StdTPolicy,
+    "Algorithm 3 with taxi-optimal matching (STD-T) as a frame policy.",
+    SharingDispatcher<M>,
+    "STD-T",
+    |inner: &SharingDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_sharing_schedule(&inner.dispatch_taxi_optimal(ctx.idle_taxis, ctx.pending))
+    }
+);
+
+dispatcher_policy!(
+    RaiiPolicy,
+    "The *RAII* sharing baseline as a frame policy.",
+    RaiiDispatcher<M>,
+    "RAII",
+    |inner: &RaiiDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_sharing_schedule(&inner.dispatch(ctx.idle_taxis, ctx.pending))
+    }
+);
+
+dispatcher_policy!(
+    SarpPolicy,
+    "The *SARP* insertion baseline as a frame policy.",
+    SarpDispatcher<M>,
+    "SARP",
+    |inner: &SarpDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_sharing_schedule(&inner.dispatch(ctx.idle_taxis, ctx.pending))
+    }
+);
+
+dispatcher_policy!(
+    LinPolicy,
+    "The *Lin* ILP-heuristic baseline as a frame policy.",
+    LinDispatcher<M>,
+    "Lin",
+    |inner: &LinDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_sharing_schedule(&inner.dispatch(ctx.idle_taxis, ctx.pending))
+    }
+);
+
+dispatcher_policy!(
+    NstdEPolicy,
+    "The egalitarian stable schedule (extension: fairest compromise \
+     between NSTD-P and NSTD-T) as a frame policy.",
+    NonSharingDispatcher<M>,
+    "NSTD-E",
+    |inner: &NonSharingDispatcher<M>, ctx: &FrameContext<'_>| {
+        from_schedule(
+            ctx.pending,
+            // Cap the enumeration: frames with astronomically many stable
+            // schedules are theoretical corner cases, and the egalitarian
+            // pick over a large prefix is already representative.
+            &inner.egalitarian(ctx.idle_taxis, ctx.pending, Some(64)),
+        )
+    }
+);
+
+/// NSTD-P (Algorithm 1) policy.
+pub fn nstd_p<M: Metric>(metric: M, params: PreferenceParams) -> NstdPPolicy<M> {
+    NstdPPolicy {
+        inner: NonSharingDispatcher::new(metric, params),
+    }
+}
+
+/// NSTD-T (taxi-optimal) policy.
+pub fn nstd_t<M: Metric>(metric: M, params: PreferenceParams) -> NstdTPolicy<M> {
+    NstdTPolicy {
+        inner: NonSharingDispatcher::new(metric, params),
+    }
+}
+
+/// Egalitarian stable-schedule policy (extension beyond the paper).
+pub fn nstd_e<M: Metric>(metric: M, params: PreferenceParams) -> NstdEPolicy<M> {
+    NstdEPolicy {
+        inner: NonSharingDispatcher::new(metric, params),
+    }
+}
+
+/// *Near* baseline policy.
+pub fn near<M: Metric>(metric: M, params: PreferenceParams) -> NearPolicy<M> {
+    NearPolicy {
+        inner: NearDispatcher::new(metric, params),
+    }
+}
+
+/// *Pair* baseline policy.
+pub fn pair<M: Metric>(metric: M, params: PreferenceParams) -> PairPolicy<M> {
+    PairPolicy {
+        inner: PairDispatcher::new(metric, params),
+    }
+}
+
+/// *Mini* baseline policy.
+pub fn mini<M: Metric>(metric: M, params: PreferenceParams) -> MiniPolicy<M> {
+    MiniPolicy {
+        inner: MiniDispatcher::new(metric, params),
+    }
+}
+
+/// STD-P (Algorithm 3, passenger-optimal) policy.
+pub fn std_p<M: Metric>(metric: M, params: PreferenceParams) -> StdPPolicy<M> {
+    StdPPolicy {
+        inner: SharingDispatcher::new(metric, params),
+    }
+}
+
+/// STD-T (Algorithm 3, taxi-optimal) policy.
+pub fn std_t<M: Metric>(metric: M, params: PreferenceParams) -> StdTPolicy<M> {
+    StdTPolicy {
+        inner: SharingDispatcher::new(metric, params),
+    }
+}
+
+/// *RAII* sharing baseline policy.
+pub fn raii<M: Metric>(metric: M, params: PreferenceParams) -> RaiiPolicy<M> {
+    RaiiPolicy {
+        inner: RaiiDispatcher::new(metric, params),
+    }
+}
+
+/// *SARP* sharing baseline policy.
+pub fn sarp<M: Metric>(metric: M, params: PreferenceParams) -> SarpPolicy<M> {
+    SarpPolicy {
+        inner: SarpDispatcher::new(metric, params),
+    }
+}
+
+/// *Lin* sharing baseline policy.
+pub fn lin<M: Metric + Clone>(metric: M, params: PreferenceParams) -> LinPolicy<M> {
+    LinPolicy {
+        inner: LinDispatcher::new(metric, params),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::Euclidean;
+
+    fn ctx_fixture() -> (Vec<Taxi>, Vec<Request>) {
+        let taxis = vec![Taxi::new(TaxiId(0), Point::new(0.0, 0.0))];
+        let requests = vec![Request::new(
+            RequestId(0),
+            0,
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 0.0),
+        )];
+        (taxis, requests)
+    }
+
+    #[test]
+    fn all_policies_have_paper_names() {
+        let p = PreferenceParams::default();
+        let names: Vec<String> = vec![
+            nstd_p(Euclidean, p).name().into(),
+            nstd_t(Euclidean, p).name().into(),
+            near(Euclidean, p).name().into(),
+            pair(Euclidean, p).name().into(),
+            mini(Euclidean, p).name().into(),
+            std_p(Euclidean, p).name().into(),
+            std_t(Euclidean, p).name().into(),
+            raii(Euclidean, p).name().into(),
+            sarp(Euclidean, p).name().into(),
+            lin(Euclidean, p).name().into(),
+        ];
+        assert_eq!(
+            names,
+            vec![
+                "NSTD-P", "NSTD-T", "Near", "Pair", "Mini", "STD-P", "STD-T", "RAII", "SARP", "Lin"
+            ]
+        );
+    }
+
+    #[test]
+    fn non_sharing_policies_assign_single_members() {
+        let (taxis, requests) = ctx_fixture();
+        let ctx = FrameContext {
+            frame: 0,
+            time: 60,
+            idle_taxis: &taxis,
+            pending: &requests,
+        };
+        let p = PreferenceParams::default();
+        for mut policy in [
+            Box::new(nstd_p(Euclidean, p)) as Box<dyn DispatchPolicy>,
+            Box::new(near(Euclidean, p)),
+            Box::new(pair(Euclidean, p)),
+            Box::new(mini(Euclidean, p)),
+        ] {
+            let out = policy.dispatch(&ctx);
+            assert_eq!(out.len(), 1, "{}", policy.name());
+            assert_eq!(out[0].members, vec![RequestId(0)]);
+            assert_eq!(out[0].stops.len(), 2);
+            assert!((out[0].passenger_costs[0] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sharing_policies_assign_routes() {
+        let (taxis, requests) = ctx_fixture();
+        let ctx = FrameContext {
+            frame: 0,
+            time: 60,
+            idle_taxis: &taxis,
+            pending: &requests,
+        };
+        let p = PreferenceParams::default();
+        for mut policy in [
+            Box::new(std_p(Euclidean, p)) as Box<dyn DispatchPolicy>,
+            Box::new(std_t(Euclidean, p)),
+            Box::new(raii(Euclidean, p)),
+            Box::new(sarp(Euclidean, p)),
+            Box::new(lin(Euclidean, p)),
+        ] {
+            let out = policy.dispatch(&ctx);
+            assert_eq!(out.len(), 1, "{}", policy.name());
+            assert_eq!(out[0].stops.len(), 2);
+            assert_eq!(out[0].taxi, TaxiId(0));
+        }
+    }
+
+    #[test]
+    fn egalitarian_policy_serves_frames() {
+        let (taxis, requests) = ctx_fixture();
+        let ctx = FrameContext {
+            frame: 0,
+            time: 60,
+            idle_taxis: &taxis,
+            pending: &requests,
+        };
+        let mut p = nstd_e(Euclidean, PreferenceParams::default());
+        assert_eq!(p.name(), "NSTD-E");
+        let out = p.dispatch(&ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].members, vec![RequestId(0)]);
+    }
+
+    #[test]
+    fn fn_policy_wraps_closure() {
+        let mut p = from_fn("noop", |_ctx: &FrameContext<'_>| Vec::new());
+        assert_eq!(p.name(), "noop");
+        let (taxis, requests) = ctx_fixture();
+        let ctx = FrameContext {
+            frame: 0,
+            time: 0,
+            idle_taxis: &taxis,
+            pending: &requests,
+        };
+        assert!(p.dispatch(&ctx).is_empty());
+    }
+}

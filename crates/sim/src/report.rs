@@ -1,0 +1,243 @@
+//! Simulation results in the shapes the paper's figures use.
+
+use crate::metrics::{Cdf, HourBucket};
+use serde::Serialize;
+
+/// A 24-value hour-of-day series of averages (the Fig. 7 x-axis).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HourlySeries {
+    /// `values[h]` = average over requests issued in hour `h`.
+    pub values: [f64; 24],
+}
+
+impl HourlySeries {
+    pub(crate) fn from_buckets(buckets: &[HourBucket; 24]) -> Self {
+        let mut values = [0.0; 24];
+        for (v, b) in values.iter_mut().zip(buckets.iter()) {
+            *v = b.mean();
+        }
+        HourlySeries { values }
+    }
+
+    /// The hour with the largest value.
+    #[must_use]
+    pub fn peak_hour(&self) -> usize {
+        self.values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(h, _)| h)
+            .unwrap_or(0)
+    }
+}
+
+/// Everything a simulation run measured, named after the paper's metrics.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Display name of the policy that produced the run.
+    pub policy: String,
+    /// Name of the trace.
+    pub trace: String,
+    /// Number of requests that were eventually served.
+    pub served: usize,
+    /// Requests still waiting when the simulation ended.
+    pub unserved_at_end: usize,
+    /// Frames simulated.
+    pub frames: u64,
+    /// Per-served-request dispatch delay, minutes.
+    pub delays_min: Vec<f64>,
+    /// Per-served-request passenger dissatisfaction, km.
+    pub passenger_dissatisfaction: Vec<f64>,
+    /// Per-dispatch taxi dissatisfaction, km.
+    pub taxi_dissatisfaction: Vec<f64>,
+    /// Requests served in a shared ride (≥ 2 members).
+    pub shared_requests: usize,
+    /// Total distance driven by the fleet, km.
+    pub total_drive_km: f64,
+    /// Pending-queue length after each frame's dispatch (congestion
+    /// diagnostic; index = frame).
+    pub queue_by_frame: Vec<u32>,
+    /// Idle-taxi count at each frame's dispatch (supply diagnostic).
+    pub idle_by_frame: Vec<u32>,
+    pub(crate) delay_by_hour: [HourBucket; 24],
+    pub(crate) passenger_by_hour: [HourBucket; 24],
+    pub(crate) taxi_by_hour: [HourBucket; 24],
+}
+
+impl SimReport {
+    /// CDF of dispatch delays (Figs. 4(a), 5(a), 8(a), 9(a)).
+    #[must_use]
+    pub fn delay_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.delays_min.clone())
+    }
+
+    /// CDF of passenger dissatisfaction (Figs. 4(b), 5(b), 8(b), 9(b)).
+    #[must_use]
+    pub fn passenger_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.passenger_dissatisfaction.clone())
+    }
+
+    /// CDF of taxi dissatisfaction (Figs. 4(c), 5(c), 8(c), 9(c)).
+    #[must_use]
+    pub fn taxi_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.taxi_dissatisfaction.clone())
+    }
+
+    /// Average dispatch delay in minutes (Fig. 6(a)).
+    #[must_use]
+    pub fn avg_delay_min(&self) -> f64 {
+        mean(&self.delays_min)
+    }
+
+    /// Average passenger dissatisfaction (Fig. 6(b)).
+    #[must_use]
+    pub fn avg_passenger_dissatisfaction(&self) -> f64 {
+        mean(&self.passenger_dissatisfaction)
+    }
+
+    /// Average taxi dissatisfaction (Fig. 6(c)).
+    #[must_use]
+    pub fn avg_taxi_dissatisfaction(&self) -> f64 {
+        mean(&self.taxi_dissatisfaction)
+    }
+
+    /// Hour-of-day series of average dispatch delay (Fig. 7(a)).
+    #[must_use]
+    pub fn hourly_delay(&self) -> HourlySeries {
+        HourlySeries::from_buckets(&self.delay_by_hour)
+    }
+
+    /// Hour-of-day series of average passenger dissatisfaction
+    /// (Fig. 7(b)).
+    #[must_use]
+    pub fn hourly_passenger_dissatisfaction(&self) -> HourlySeries {
+        HourlySeries::from_buckets(&self.passenger_by_hour)
+    }
+
+    /// Hour-of-day series of average taxi dissatisfaction (Fig. 7(c)).
+    #[must_use]
+    pub fn hourly_taxi_dissatisfaction(&self) -> HourlySeries {
+        HourlySeries::from_buckets(&self.taxi_by_hour)
+    }
+
+    /// The largest pending-queue length observed (0 for an empty run) —
+    /// the congestion headline of a run.
+    #[must_use]
+    pub fn peak_queue(&self) -> u32 {
+        self.queue_by_frame.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean idle-taxi count across frames (0 for an empty run).
+    #[must_use]
+    pub fn avg_idle_taxis(&self) -> f64 {
+        if self.idle_by_frame.is_empty() {
+            0.0
+        } else {
+            self.idle_by_frame.iter().map(|&x| x as f64).sum::<f64>()
+                / self.idle_by_frame.len() as f64
+        }
+    }
+
+    /// Fraction of served requests that shared a taxi.
+    #[must_use]
+    pub fn sharing_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.shared_requests as f64 / self.served as f64
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        let mut delay_by_hour = [HourBucket::default(); 24];
+        delay_by_hour[9].push(4.0);
+        delay_by_hour[3].push(1.0);
+        SimReport {
+            policy: "TEST".into(),
+            trace: "toy".into(),
+            served: 2,
+            unserved_at_end: 1,
+            frames: 10,
+            delays_min: vec![1.0, 3.0],
+            passenger_dissatisfaction: vec![2.0, 4.0],
+            taxi_dissatisfaction: vec![-1.0, 1.0],
+            shared_requests: 2,
+            total_drive_km: 12.0,
+            queue_by_frame: vec![3, 1, 0],
+            idle_by_frame: vec![1, 2, 2],
+            delay_by_hour,
+            passenger_by_hour: [HourBucket::default(); 24],
+            taxi_by_hour: [HourBucket::default(); 24],
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let r = report();
+        assert_eq!(r.avg_delay_min(), 2.0);
+        assert_eq!(r.avg_passenger_dissatisfaction(), 3.0);
+        assert_eq!(r.avg_taxi_dissatisfaction(), 0.0);
+        assert_eq!(r.sharing_rate(), 1.0);
+    }
+
+    #[test]
+    fn cdfs_are_built_from_samples() {
+        let r = report();
+        assert_eq!(r.delay_cdf().len(), 2);
+        assert_eq!(r.passenger_cdf().fraction_at_most(2.0), 0.5);
+        assert_eq!(r.taxi_cdf().quantile(1.0), 1.0);
+    }
+
+    #[test]
+    fn hourly_series_and_peak() {
+        let r = report();
+        let h = r.hourly_delay();
+        assert_eq!(h.values[9], 4.0);
+        assert_eq!(h.values[3], 1.0);
+        assert_eq!(h.values[0], 0.0);
+        assert_eq!(h.peak_hour(), 9);
+    }
+
+    #[test]
+    fn congestion_diagnostics() {
+        let r = report();
+        assert_eq!(r.peak_queue(), 3);
+        assert!((r.avg_idle_taxis() - 5.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SimReport {
+            policy: "E".into(),
+            trace: "e".into(),
+            served: 0,
+            unserved_at_end: 0,
+            frames: 0,
+            delays_min: vec![],
+            passenger_dissatisfaction: vec![],
+            taxi_dissatisfaction: vec![],
+            shared_requests: 0,
+            total_drive_km: 0.0,
+            queue_by_frame: vec![],
+            idle_by_frame: vec![],
+            delay_by_hour: [HourBucket::default(); 24],
+            passenger_by_hour: [HourBucket::default(); 24],
+            taxi_by_hour: [HourBucket::default(); 24],
+        };
+        assert_eq!(r.avg_delay_min(), 0.0);
+        assert_eq!(r.sharing_rate(), 0.0);
+    }
+}

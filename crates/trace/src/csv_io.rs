@@ -1,0 +1,227 @@
+//! CSV serialization so real trace files can replace the synthetic ones.
+//!
+//! The format is a minimal common denominator of the NYC TLC and Boston
+//! exports after coordinate projection:
+//!
+//! ```csv
+//! id,time,pickup_x,pickup_y,dropoff_x,dropoff_y,passengers
+//! 0,34980,0.52,-1.25,3.80,0.75,1
+//! ```
+//!
+//! `time` is in seconds since the trace epoch and coordinates are in
+//! kilometres (project lon/lat with any equirectangular approximation
+//! before import — dispatching only consumes relative distances).
+
+use crate::{Request, RequestId};
+use o2o_geo::Point;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from reading a trace CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+const HEADER: &str = "id,time,pickup_x,pickup_y,dropoff_x,dropoff_y,passengers";
+
+/// Writes `requests` in the trace CSV format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_requests<W: Write>(mut w: W, requests: &[Request]) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for r in requests {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{}",
+            r.id.0, r.time, r.pickup.x, r.pickup.y, r.dropoff.x, r.dropoff.y, r.passengers
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads requests from the trace CSV format. A header line is optional.
+///
+/// Rows need not be time-sorted in the file; the result is sorted by
+/// `(time, id)`.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] on a malformed row and [`CsvError::Io`] on
+/// read failure.
+pub fn read_requests<R: Read>(r: R) -> Result<Vec<Request>, CsvError> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (idx == 0 && trimmed.starts_with("id,")) {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 7 {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("expected 7 fields, got {}", fields.len()),
+            });
+        }
+        let parse_f = |s: &str, name: &str| -> Result<f64, CsvError> {
+            s.trim().parse::<f64>().map_err(|e| CsvError::Parse {
+                line: line_no,
+                message: format!("bad {name} {s:?}: {e}"),
+            })
+        };
+        let id = fields[0]
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| CsvError::Parse {
+                line: line_no,
+                message: format!("bad id {:?}: {e}", fields[0]),
+            })?;
+        let time = fields[1]
+            .trim()
+            .parse::<u64>()
+            .map_err(|e| CsvError::Parse {
+                line: line_no,
+                message: format!("bad time {:?}: {e}", fields[1]),
+            })?;
+        let px = parse_f(fields[2], "pickup_x")?;
+        let py = parse_f(fields[3], "pickup_y")?;
+        let dx = parse_f(fields[4], "dropoff_x")?;
+        let dy = parse_f(fields[5], "dropoff_y")?;
+        let passengers = fields[6]
+            .trim()
+            .parse::<u8>()
+            .map_err(|e| CsvError::Parse {
+                line: line_no,
+                message: format!("bad passengers {:?}: {e}", fields[6]),
+            })?;
+        if passengers == 0 {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: "passengers must be at least 1".into(),
+            });
+        }
+        if !(px.is_finite() && py.is_finite() && dx.is_finite() && dy.is_finite()) {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: "non-finite coordinate".into(),
+            });
+        }
+        out.push(Request {
+            id: RequestId(id),
+            time,
+            pickup: Point::new(px, py),
+            dropoff: Point::new(dx, dy),
+            passengers,
+        });
+    }
+    out.sort_by_key(|r| (r.time, r.id));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::boston_september_2012;
+
+    #[test]
+    fn round_trip_preserves_requests() {
+        let trace = boston_september_2012(0.005).generate(21);
+        let mut buf = Vec::new();
+        write_requests(&mut buf, &trace.requests).unwrap();
+        let back = read_requests(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), trace.requests.len());
+        for (a, b) in back.iter().zip(trace.requests.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.passengers, b.passengers);
+            assert!((a.pickup.x - b.pickup.x).abs() < 1e-9);
+            assert!((a.dropoff.y - b.dropoff.y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let csv = "5,100,0.0,0.0,1.0,1.0,2\n";
+        let reqs = read_requests(csv.as_bytes()).unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].id, RequestId(5));
+        assert_eq!(reqs[0].passengers, 2);
+    }
+
+    #[test]
+    fn unsorted_rows_are_sorted() {
+        let csv = "1,200,0,0,1,1,1\n0,100,0,0,1,1,1\n";
+        let reqs = read_requests(csv.as_bytes()).unwrap();
+        assert_eq!(reqs[0].id, RequestId(0));
+        assert_eq!(reqs[1].id, RequestId(1));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let csv = format!("{HEADER}\n\n0,1,0,0,1,1,1\n\n");
+        assert_eq!(read_requests(csv.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn wrong_field_count_errors() {
+        let err = read_requests("0,1,2,3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 7 fields"));
+    }
+
+    #[test]
+    fn bad_number_errors_with_line() {
+        let err = read_requests("0,1,zzz,0,1,1,1\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("pickup_x"), "{msg}");
+    }
+
+    #[test]
+    fn zero_passengers_rejected() {
+        let err = read_requests("0,1,0,0,1,1,0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let err = read_requests("0,1,inf,0,1,1,1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"));
+    }
+}

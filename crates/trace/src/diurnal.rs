@@ -1,0 +1,183 @@
+//! Diurnal (time-of-day) demand profiles.
+//!
+//! The paper's Fig. 7 shows pronounced demand peaks at 9am and 6pm ("when
+//! people travel between home and work place"). This module models the
+//! hourly arrival-rate shape as a 24-bin histogram from which request times
+//! are sampled by inverse-CDF.
+
+use rand::Rng;
+
+/// A 24-hour arrival-rate profile.
+///
+/// The profile stores a relative weight per hour; sampling draws a uniform
+/// variate and inverts the cumulative distribution, then places the request
+/// uniformly inside the chosen hour, so any number of requests reproduces
+/// the same hourly shape.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_trace::DiurnalProfile;
+/// use rand::SeedableRng;
+///
+/// let profile = DiurnalProfile::commuter();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let t = profile.sample_second(&mut rng);
+/// assert!(t < 86_400);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalProfile {
+    weights: [f64; 24],
+    cumulative: [f64; 24],
+}
+
+impl DiurnalProfile {
+    /// Builds a profile from 24 non-negative hourly weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative/non-finite or all weights are zero.
+    #[must_use]
+    pub fn new(weights: [f64; 24]) -> Self {
+        let mut cumulative = [0.0; 24];
+        let mut acc = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            assert!(w.is_finite() && w >= 0.0, "hour {i} has invalid weight {w}");
+            acc += w;
+            cumulative[i] = acc;
+        }
+        assert!(acc > 0.0, "at least one hour must have positive weight");
+        for c in &mut cumulative {
+            *c /= acc;
+        }
+        DiurnalProfile {
+            weights,
+            cumulative,
+        }
+    }
+
+    /// Flat demand: every hour equally likely.
+    #[must_use]
+    pub fn uniform() -> Self {
+        DiurnalProfile::new([1.0; 24])
+    }
+
+    /// Commuter-city demand with 9am and 6pm rush-hour peaks, a lunchtime
+    /// shoulder, an evening tail and a deep overnight trough — the shape of
+    /// the paper's Fig. 7 workload.
+    #[must_use]
+    pub fn commuter() -> Self {
+        DiurnalProfile::new([
+            0.55, 0.35, 0.25, 0.20, 0.25, 0.45, // 00–05: overnight trough
+            0.90, 1.60, 2.60, 3.00, 2.10, 1.60, // 06–11: morning ramp, 9am peak
+            1.70, 1.60, 1.50, 1.60, 1.90, 2.50, // 12–17: midday shoulder, build-up
+            3.10, 2.50, 1.90, 1.60, 1.30, 0.90, // 18–23: 6pm peak, evening tail
+        ])
+    }
+
+    /// Relative weight of hour `h` (0–23), normalised so the weights sum
+    /// to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h >= 24`.
+    #[must_use]
+    pub fn weight(&self, h: usize) -> f64 {
+        assert!(h < 24, "hour out of range: {h}");
+        let total: f64 = self.weights.iter().sum();
+        self.weights[h] / total
+    }
+
+    /// The hour (0–23) with the largest weight; ties break to the earliest.
+    #[must_use]
+    pub fn peak_hour(&self) -> usize {
+        self.weights
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Samples a second-of-day in `[0, 86_400)` following the profile.
+    pub fn sample_second<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let hour = self.cumulative.partition_point(|&c| c < u).min(23);
+        let within: u64 = rng.gen_range(0..3600);
+        hour as u64 * 3600 + within
+    }
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        DiurnalProfile::commuter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn commuter_peaks_morning_and_evening() {
+        let p = DiurnalProfile::commuter();
+        assert_eq!(p.peak_hour(), 18); // 6pm is the global peak
+                                       // 9am is the morning peak
+        assert!(p.weight(9) > p.weight(7));
+        assert!(p.weight(9) > p.weight(11));
+        // overnight trough
+        assert!(p.weight(3) < p.weight(9) / 5.0);
+    }
+
+    #[test]
+    fn weights_normalise() {
+        let p = DiurnalProfile::commuter();
+        let total: f64 = (0..24).map(|h| p.weight(h)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_reproduces_shape() {
+        let p = DiurnalProfile::commuter();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 24];
+        let n = 200_000;
+        for _ in 0..n {
+            let s = p.sample_second(&mut rng);
+            assert!(s < 86_400);
+            counts[(s / 3600) as usize] += 1;
+        }
+        for h in 0..24 {
+            let expected = p.weight(h);
+            let got = counts[h] as f64 / n as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "hour {h}: got {got:.4}, expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let p = DiurnalProfile::uniform();
+        for h in 0..24 {
+            assert!((p.weight(h) - 1.0 / 24.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_panics() {
+        let mut w = [1.0; 24];
+        w[5] = -1.0;
+        let _ = DiurnalProfile::new(w);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn all_zero_panics() {
+        let _ = DiurnalProfile::new([0.0; 24]);
+    }
+}

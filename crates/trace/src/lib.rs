@@ -1,0 +1,179 @@
+//! Trace substrate for the O2O taxi-dispatch reproduction.
+//!
+//! The paper evaluates on two real traces: New York (January 2016,
+//! 1,445,285 requests, 700 simulated taxis) and Boston (September 2012,
+//! 406,247 requests, 200 simulated taxis). Those files are not
+//! redistributable, so this crate provides:
+//!
+//! * the data model ([`Request`], [`Taxi`], [`Trace`]),
+//! * [`synthetic`] generators that reproduce each trace's documented
+//!   aggregates — service area, fleet size, per-day arrival volume, morning
+//!   (9am) and evening (6pm) rush-hour peaks, hotspot-concentrated pick-ups
+//!   and log-normally distributed trip lengths,
+//! * [`csv_io`] so the real trace files can be dropped in unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use o2o_trace::synthetic::boston_september_2012;
+//!
+//! // A 1%-scale Boston day: ~135 requests, 200 taxis.
+//! let trace = boston_september_2012(0.01).generate(42);
+//! assert_eq!(trace.taxis.len(), 200);
+//! assert!(!trace.requests.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv_io;
+mod diurnal;
+mod request;
+mod stats;
+pub mod synthetic;
+mod taxi;
+
+pub use diurnal::DiurnalProfile;
+pub use request::{Request, RequestId};
+pub use stats::TraceStats;
+pub use synthetic::{boston_september_2012, nyc_january_2016, CityModel, Hotspot, TraceConfig};
+pub use taxi::{Taxi, TaxiId};
+
+use o2o_geo::BBox;
+
+/// A complete dispatch workload: a fleet and a time-ordered request stream.
+///
+/// Produced by [`synthetic::TraceConfig::generate`] or loaded from CSV via
+/// [`csv_io::read_requests`].
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Human-readable trace name (e.g. `"new-york-2016-01"`).
+    pub name: String,
+    /// Service area the trace covers.
+    pub bbox: BBox,
+    /// Requests sorted by non-decreasing [`Request::time`].
+    pub requests: Vec<Request>,
+    /// Initial fleet (positions at time zero).
+    pub taxis: Vec<Taxi>,
+}
+
+impl Trace {
+    /// Total covered timespan in seconds (0 when there are no requests).
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        match (self.requests.first(), self.requests.last()) {
+            (Some(first), Some(last)) => last.time - first.time,
+            _ => 0,
+        }
+    }
+
+    /// Requests whose [`Request::time`] lies in `[start, end)` seconds.
+    #[must_use]
+    pub fn requests_between(&self, start: u64, end: u64) -> &[Request] {
+        let lo = self.requests.partition_point(|r| r.time < start);
+        let hi = self.requests.partition_point(|r| r.time < end);
+        &self.requests[lo..hi]
+    }
+
+    /// Validates trace invariants: requests sorted by time, all locations
+    /// finite, and ids unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a human-readable description of the first
+    /// violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.requests.windows(2) {
+            if w[1].time < w[0].time {
+                return Err(format!(
+                    "requests out of order: {:?} after {:?}",
+                    w[1].id, w[0].id
+                ));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for r in &self.requests {
+            if !r.pickup.is_finite() || !r.dropoff.is_finite() {
+                return Err(format!("request {:?} has non-finite location", r.id));
+            }
+            if !seen.insert(r.id) {
+                return Err(format!("duplicate request id {:?}", r.id));
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.taxis {
+            if !t.location.is_finite() {
+                return Err(format!("taxi {:?} has non-finite location", t.id));
+            }
+            if !seen.insert(t.id) {
+                return Err(format!("duplicate taxi id {:?}", t.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::Point;
+
+    fn tiny_trace() -> Trace {
+        Trace {
+            name: "tiny".into(),
+            bbox: BBox::square(Point::ORIGIN, 10.0),
+            requests: vec![
+                Request::new(RequestId(0), 10, Point::new(0.0, 0.0), Point::new(1.0, 0.0)),
+                Request::new(RequestId(1), 70, Point::new(2.0, 0.0), Point::new(3.0, 0.0)),
+                Request::new(RequestId(2), 70, Point::new(4.0, 0.0), Point::new(5.0, 0.0)),
+            ],
+            taxis: vec![Taxi::new(TaxiId(0), Point::ORIGIN)],
+        }
+    }
+
+    #[test]
+    fn duration_spans_requests() {
+        assert_eq!(tiny_trace().duration(), 60);
+    }
+
+    #[test]
+    fn duration_empty_is_zero() {
+        let mut t = tiny_trace();
+        t.requests.clear();
+        assert_eq!(t.duration(), 0);
+    }
+
+    #[test]
+    fn requests_between_is_half_open() {
+        let t = tiny_trace();
+        assert_eq!(t.requests_between(0, 60).len(), 1);
+        assert_eq!(t.requests_between(60, 120).len(), 2);
+        assert_eq!(t.requests_between(70, 70).len(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_good_trace() {
+        assert!(tiny_trace().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unsorted() {
+        let mut t = tiny_trace();
+        t.requests[0].time = 1000;
+        assert!(t.validate().unwrap_err().contains("out of order"));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_ids() {
+        let mut t = tiny_trace();
+        t.requests[1].id = t.requests[2].id;
+        assert!(t.validate().unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn validate_rejects_nan_location() {
+        let mut t = tiny_trace();
+        t.taxis[0].location = Point::new(f64::NAN, 0.0);
+        assert!(t.validate().unwrap_err().contains("non-finite"));
+    }
+}

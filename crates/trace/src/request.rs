@@ -1,0 +1,153 @@
+//! Passenger requests — the paper's `r_j = (r_j^s, r_j^d)`.
+
+use o2o_geo::{Metric, Point};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a passenger request.
+///
+/// Request ids double as the paper's *request order*: Algorithm 2's Rule 2
+/// ("only requests with index ≥ j may move during a BreakDispatch") is
+/// defined on this ordering, so ids should be assigned in a stable order —
+/// the generators use arrival order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A passenger request: pick-up and drop-off locations plus metadata.
+///
+/// Matches the paper's `r_j = (r_j^s, r_j^d)` with the additional fields
+/// needed by the experiments: the request time (traces are replayed through
+/// a discrete-frame simulator) and the party size (the paper's seat
+/// constraint: a taxi without enough seats goes to the end of the
+/// preference order).
+///
+/// # Examples
+///
+/// ```
+/// use o2o_geo::{Euclidean, Point};
+/// use o2o_trace::{Request, RequestId};
+///
+/// let r = Request::new(
+///     RequestId(7),
+///     3_600,                    // requested at 01:00:00
+///     Point::new(0.0, 0.0),     // r^s
+///     Point::new(3.0, 4.0),     // r^d
+/// );
+/// assert_eq!(r.trip_distance(&Euclidean), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id; also the Rule-2 ordering (see [`RequestId`]).
+    pub id: RequestId,
+    /// Request time in seconds since the trace epoch (midnight of day 0).
+    pub time: u64,
+    /// Pick-up location `r^s`.
+    pub pickup: Point,
+    /// Drop-off location `r^d`.
+    pub dropoff: Point,
+    /// Party size; a taxi must have at least this many free seats.
+    pub passengers: u8,
+}
+
+impl Request {
+    /// Creates a single-passenger request.
+    #[must_use]
+    pub fn new(id: RequestId, time: u64, pickup: Point, dropoff: Point) -> Self {
+        Request {
+            id,
+            time,
+            pickup,
+            dropoff,
+            passengers: 1,
+        }
+    }
+
+    /// Creates a request with an explicit party size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `passengers` is zero.
+    #[must_use]
+    pub fn with_party(
+        id: RequestId,
+        time: u64,
+        pickup: Point,
+        dropoff: Point,
+        passengers: u8,
+    ) -> Self {
+        assert!(
+            passengers > 0,
+            "a request must carry at least one passenger"
+        );
+        Request {
+            id,
+            time,
+            pickup,
+            dropoff,
+            passengers,
+        }
+    }
+
+    /// The paper's `D(r^s, r^d)`: trip distance from pick-up to drop-off
+    /// under the given metric.
+    #[must_use]
+    pub fn trip_distance<M: Metric>(&self, metric: &M) -> f64 {
+        metric.distance(self.pickup, self.dropoff)
+    }
+
+    /// Hour-of-day (0–23) at which the request was issued; used by the
+    /// clock-time experiment (Fig. 7).
+    #[must_use]
+    pub fn hour_of_day(&self) -> u8 {
+        ((self.time / 3600) % 24) as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::Euclidean;
+
+    #[test]
+    fn trip_distance_uses_metric() {
+        let r = Request::new(RequestId(0), 0, Point::new(1.0, 1.0), Point::new(4.0, 5.0));
+        assert_eq!(r.trip_distance(&Euclidean), 5.0);
+    }
+
+    #[test]
+    fn hour_of_day_wraps_across_days() {
+        let r = Request::new(RequestId(0), 25 * 3600 + 120, Point::ORIGIN, Point::ORIGIN);
+        assert_eq!(r.hour_of_day(), 1);
+    }
+
+    #[test]
+    fn new_is_single_passenger() {
+        let r = Request::new(RequestId(1), 0, Point::ORIGIN, Point::ORIGIN);
+        assert_eq!(r.passengers, 1);
+    }
+
+    #[test]
+    fn with_party_sets_size() {
+        let r = Request::with_party(RequestId(1), 0, Point::ORIGIN, Point::ORIGIN, 3);
+        assert_eq!(r.passengers, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one passenger")]
+    fn zero_party_panics() {
+        let _ = Request::with_party(RequestId(1), 0, Point::ORIGIN, Point::ORIGIN, 0);
+    }
+
+    #[test]
+    fn display_of_id() {
+        assert_eq!(RequestId(12).to_string(), "r12");
+    }
+}

@@ -1,0 +1,181 @@
+//! Descriptive statistics of a trace — useful for validating synthetic
+//! generators against a real trace's documented aggregates before running
+//! experiments on either.
+
+use crate::Trace;
+use o2o_geo::Euclidean;
+
+/// Summary statistics of a [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use o2o_trace::{boston_september_2012, TraceStats};
+///
+/// let trace = boston_september_2012(0.02).generate(1);
+/// let stats = TraceStats::of(&trace);
+/// assert_eq!(stats.requests, trace.requests.len());
+/// assert!(stats.mean_trip_km > 0.5);
+/// assert!(stats.peak_hour == 18 || stats.peak_hour == 9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub requests: usize,
+    /// Number of taxis.
+    pub taxis: usize,
+    /// Covered timespan in hours.
+    pub span_hours: f64,
+    /// Mean straight-line trip length, km.
+    pub mean_trip_km: f64,
+    /// Median straight-line trip length, km.
+    pub median_trip_km: f64,
+    /// 95th-percentile trip length, km.
+    pub p95_trip_km: f64,
+    /// Requests per hour of day (0–23).
+    pub hourly_counts: [usize; 24],
+    /// Hour of day with the most requests.
+    pub peak_hour: usize,
+    /// Peak-hour count divided by the mean hourly count (≥ 1).
+    pub peak_to_mean: f64,
+    /// Mean requests per day per taxi — a crude utilisation indicator.
+    pub requests_per_taxi_day: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics (trip lengths measured straight-line).
+    #[must_use]
+    pub fn of(trace: &Trace) -> Self {
+        let requests = trace.requests.len();
+        let taxis = trace.taxis.len();
+        let mut trips: Vec<f64> = trace
+            .requests
+            .iter()
+            .map(|r| r.trip_distance(&Euclidean))
+            .collect();
+        trips.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean_trip_km = if trips.is_empty() {
+            0.0
+        } else {
+            trips.iter().sum::<f64>() / trips.len() as f64
+        };
+        let pick = |q: f64| -> f64 {
+            if trips.is_empty() {
+                0.0
+            } else {
+                trips[((trips.len() - 1) as f64 * q) as usize]
+            }
+        };
+        let mut hourly_counts = [0usize; 24];
+        for r in &trace.requests {
+            hourly_counts[r.hour_of_day() as usize] += 1;
+        }
+        let peak_hour = hourly_counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(h, _)| h)
+            .unwrap_or(0);
+        let mean_hourly = requests as f64 / 24.0;
+        let peak_to_mean = if mean_hourly > 0.0 {
+            hourly_counts[peak_hour] as f64 / mean_hourly
+        } else {
+            0.0
+        };
+        let span_hours = trace.duration() as f64 / 3600.0;
+        let days = (span_hours / 24.0).max(1.0 / 24.0).ceil();
+        let requests_per_taxi_day = if taxis == 0 {
+            0.0
+        } else {
+            requests as f64 / taxis as f64 / days
+        };
+        TraceStats {
+            requests,
+            taxis,
+            span_hours,
+            mean_trip_km,
+            median_trip_km: pick(0.5),
+            p95_trip_km: pick(0.95),
+            hourly_counts,
+            peak_hour,
+            peak_to_mean,
+            requests_per_taxi_day,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} requests / {} taxis over {:.1} h ({:.1} req/taxi/day)",
+            self.requests, self.taxis, self.span_hours, self.requests_per_taxi_day
+        )?;
+        writeln!(
+            f,
+            "trips: mean {:.2} km, median {:.2} km, p95 {:.2} km",
+            self.mean_trip_km, self.median_trip_km, self.p95_trip_km
+        )?;
+        write!(
+            f,
+            "peak hour {}h at {:.2}× the hourly mean",
+            self.peak_hour, self.peak_to_mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::boston_september_2012;
+    use crate::{Request, RequestId, Taxi, TaxiId};
+    use o2o_geo::{BBox, Point};
+
+    #[test]
+    fn stats_of_synthetic_trace_match_generator() {
+        let trace = boston_september_2012(0.2).generate(4);
+        let s = TraceStats::of(&trace);
+        assert_eq!(s.requests, trace.requests.len());
+        assert_eq!(s.taxis, 200);
+        // Generator calibration: median trip ≈ 1.4 km (log-normal median).
+        assert!((s.median_trip_km - 1.4).abs() < 0.3, "{}", s.median_trip_km);
+        // Commuter profile: one of the rush hours peaks (9am and 6pm have
+        // near-equal weight, so sampling noise may pick either).
+        assert!(s.peak_hour == 18 || s.peak_hour == 9, "{}", s.peak_hour);
+        assert!(s.peak_to_mean > 1.5);
+        assert!(s.p95_trip_km >= s.median_trip_km);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let trace = Trace {
+            name: "empty".into(),
+            bbox: BBox::square(Point::ORIGIN, 1.0),
+            requests: vec![],
+            taxis: vec![],
+        };
+        let s = TraceStats::of(&trace);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.mean_trip_km, 0.0);
+        assert_eq!(s.requests_per_taxi_day, 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let trace = Trace {
+            name: "one".into(),
+            bbox: BBox::square(Point::ORIGIN, 10.0),
+            requests: vec![Request::new(
+                RequestId(0),
+                3 * 3600,
+                Point::new(0.0, 0.0),
+                Point::new(3.0, 4.0),
+            )],
+            taxis: vec![Taxi::new(TaxiId(0), Point::ORIGIN)],
+        };
+        let text = TraceStats::of(&trace).to_string();
+        assert!(text.contains("1 requests"), "{text}");
+        assert!(text.contains("5.00 km"), "{text}");
+        assert!(text.contains("peak hour 3h"), "{text}");
+    }
+}

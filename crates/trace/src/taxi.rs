@@ -1,0 +1,98 @@
+//! Taxis — the paper's `t_i` (a taxi and its current location).
+
+use o2o_geo::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a taxi.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TaxiId(pub u64);
+
+impl fmt::Display for TaxiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A taxi: id, current location and seat capacity.
+///
+/// The paper's `t_i` "denotes the i-th idle taxi and its location in the
+/// current frame"; seats back the seat-constraint rule (a taxi without
+/// enough free seats is ranked after the dummy entry).
+///
+/// # Examples
+///
+/// ```
+/// use o2o_geo::Point;
+/// use o2o_trace::{Taxi, TaxiId};
+///
+/// let t = Taxi::new(TaxiId(3), Point::new(1.0, 2.0));
+/// assert_eq!(t.seats, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Taxi {
+    /// Unique id.
+    pub id: TaxiId,
+    /// Current location.
+    pub location: Point,
+    /// Passenger seat capacity (default 4).
+    pub seats: u8,
+}
+
+impl Taxi {
+    /// Seat capacity used when none is specified.
+    pub const DEFAULT_SEATS: u8 = 4;
+
+    /// Creates a taxi with the default four seats.
+    #[must_use]
+    pub fn new(id: TaxiId, location: Point) -> Self {
+        Taxi {
+            id,
+            location,
+            seats: Self::DEFAULT_SEATS,
+        }
+    }
+
+    /// Creates a taxi with an explicit seat capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seats` is zero.
+    #[must_use]
+    pub fn with_seats(id: TaxiId, location: Point, seats: u8) -> Self {
+        assert!(seats > 0, "a taxi must have at least one seat");
+        Taxi {
+            id,
+            location,
+            seats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_seats_is_four() {
+        assert_eq!(Taxi::new(TaxiId(0), Point::ORIGIN).seats, 4);
+    }
+
+    #[test]
+    fn with_seats_overrides() {
+        assert_eq!(Taxi::with_seats(TaxiId(0), Point::ORIGIN, 6).seats, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seat")]
+    fn zero_seats_panics() {
+        let _ = Taxi::with_seats(TaxiId(0), Point::ORIGIN, 0);
+    }
+
+    #[test]
+    fn display_of_id() {
+        assert_eq!(TaxiId(5).to_string(), "t5");
+    }
+}

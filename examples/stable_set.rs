@@ -1,0 +1,77 @@
+//! Enumerate *all* stable dispatch schedules of a frame (the paper's
+//! Algorithm 2) and let the company pick one.
+//!
+//! Among all stable schedules, NSTD-P is best for passengers and NSTD-T
+//! best for taxis; the company can select any stable schedule by its own
+//! objective (§IV.D). By the rural-hospitals property (Theorem 2), the
+//! *set* of served requests — and hence fare revenue — is the same in all
+//! of them.
+//!
+//! Run with `cargo run --example stable_set`.
+
+use o2o_taxi::core::{
+    fare_revenue, CompanyObjective, FareModel, NonSharingDispatcher, PreferenceParams,
+};
+use o2o_taxi::geo::{Euclidean, Point};
+use o2o_taxi::trace::{Request, RequestId, Taxi, TaxiId};
+
+fn main() {
+    // A contested frame: preferences conflict, so several stable
+    // schedules exist.
+    let taxis = vec![
+        Taxi::new(TaxiId(0), Point::new(0.0, 0.0)),
+        Taxi::new(TaxiId(1), Point::new(6.0, 0.0)),
+        Taxi::new(TaxiId(2), Point::new(3.0, 4.0)),
+    ];
+    let requests = vec![
+        Request::new(RequestId(0), 0, Point::new(2.0, 0.0), Point::new(2.0, 8.0)),
+        Request::new(RequestId(1), 0, Point::new(4.0, 0.0), Point::new(4.0, 3.0)),
+        Request::new(RequestId(2), 0, Point::new(3.0, 2.0), Point::new(-3.0, 2.0)),
+    ];
+
+    let dispatcher = NonSharingDispatcher::new(Euclidean, PreferenceParams::unbounded());
+    let all = dispatcher.all_schedules(&taxis, &requests, None);
+    println!("found {} stable schedule(s)", all.len());
+
+    let fare = FareModel::default();
+    for (i, s) in all.iter().enumerate() {
+        let pairs: Vec<String> = s.pairs().map(|(r, t)| format!("{r}->{t}")).collect();
+        println!(
+            "  S{i}: {:<28} passenger Σ {:.2} | taxi Σ {:+.2} | revenue ${:.2}",
+            pairs.join(" "),
+            s.total_passenger_dissatisfaction(),
+            s.total_taxi_dissatisfaction(),
+            fare_revenue(&Euclidean, &fare, &requests, s),
+        );
+    }
+
+    // The company's pick, under different objectives.
+    for objective in [
+        CompanyObjective::PassengerWelfare,
+        CompanyObjective::TaxiWelfare,
+        CompanyObjective::Revenue(fare),
+    ] {
+        let s = dispatcher.company_optimal(&taxis, &requests, objective, None);
+        let pairs: Vec<String> = s.pairs().map(|(r, t)| format!("{r}->{t}")).collect();
+        println!("{objective:?} picks: {}", pairs.join(" "));
+    }
+
+    // Fairness extensions beyond the paper: the egalitarian schedule
+    // minimises summed ranks of both sides; the median schedule gives
+    // every request the median of its stable partners (Teo–Sethuraman).
+    for (name, s) in [
+        (
+            "egalitarian",
+            dispatcher.egalitarian(&taxis, &requests, None),
+        ),
+        ("median", dispatcher.median(&taxis, &requests, None)),
+    ] {
+        let pairs: Vec<String> = s.pairs().map(|(r, t)| format!("{r}->{t}")).collect();
+        println!(
+            "{name:>11} picks: {:<28} (passenger Σ {:.2}, taxi Σ {:+.2})",
+            pairs.join(" "),
+            s.total_passenger_dissatisfaction(),
+            s.total_taxi_dissatisfaction(),
+        );
+    }
+}

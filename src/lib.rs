@@ -1,0 +1,59 @@
+//! # O2O Taxi Dispatching with Passenger–Driver Matching Stability
+//!
+//! A complete Rust reproduction of *"Online to Offline Business: Urban Taxi
+//! Dispatching with Passenger-Driver Matching Stability"* (Zheng & Wu,
+//! IEEE ICDCS 2017).
+//!
+//! In the Online-to-Offline taxi business (Uber-style), taxis are privately
+//! owned, so the dispatcher must balance three parties' interests:
+//! passengers want a nearby taxi, drivers weigh pick-up cost against trip
+//! pay-off, and the company wants fare volume. The paper's answer is
+//! **stable matching**: a dispatch schedule in which no passenger and no
+//! driver would rather have each other than their assigned partners.
+//!
+//! This facade crate re-exports the entire workspace:
+//!
+//! * [`geo`] — points, metrics, road networks, spatial indices,
+//! * [`trace`] — request/fleet model and synthetic NYC/Boston traces,
+//! * [`matching`] — stable marriage, Hungarian, bottleneck, Hopcroft–Karp
+//!   and maximum set packing,
+//! * [`core`] — the paper's algorithms: NSTD-P / NSTD-T (Algorithms 1–2)
+//!   and sharing dispatch STD-P / STD-T (Algorithm 3),
+//! * [`baselines`] — Near, Pair, Mini, RAII, SARP and Lin from the
+//!   comparison literature,
+//! * [`sim`] — the discrete-frame city simulator and metric reports.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use o2o_taxi::core::{DispatchOutcome, NonSharingDispatcher, PreferenceParams};
+//! use o2o_taxi::geo::{Euclidean, Point};
+//! use o2o_taxi::trace::{Request, RequestId, Taxi, TaxiId};
+//!
+//! let taxis = vec![
+//!     Taxi::new(TaxiId(0), Point::new(0.0, 0.0)),
+//!     Taxi::new(TaxiId(1), Point::new(5.0, 5.0)),
+//! ];
+//! let requests = vec![
+//!     Request::new(RequestId(0), 0, Point::new(1.0, 0.0), Point::new(9.0, 0.0)),
+//!     Request::new(RequestId(1), 0, Point::new(4.0, 5.0), Point::new(0.0, 5.0)),
+//! ];
+//!
+//! let dispatcher = NonSharingDispatcher::new(Euclidean, PreferenceParams::default());
+//! let schedule = dispatcher.passenger_optimal(&taxis, &requests);
+//! for r in &requests {
+//!     match schedule.assignment_of(r.id) {
+//!         DispatchOutcome::Assigned(taxi) => println!("{} -> {taxi}", r.id),
+//!         DispatchOutcome::Unserved => println!("{} unserved", r.id),
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use o2o_baselines as baselines;
+pub use o2o_core as core;
+pub use o2o_geo as geo;
+pub use o2o_matching as matching;
+pub use o2o_sim as sim;
+pub use o2o_trace as trace;

@@ -1,0 +1,96 @@
+//! The dispatch algorithms are generic over the metric; check that the
+//! whole stack also runs on a road-network (graph) metric and on scaled
+//! metrics, and that the qualitative relations survive the metric change.
+
+use o2o_taxi::core::{NonSharingDispatcher, PreferenceParams, SharingDispatcher};
+use o2o_taxi::geo::{Euclidean, Metric, Point, RoadNetwork, ScaledMetric};
+use o2o_taxi::trace::{Request, RequestId, Taxi, TaxiId};
+
+fn frame() -> (Vec<Taxi>, Vec<Request>) {
+    let taxis = vec![
+        Taxi::new(TaxiId(0), Point::new(1.0, 1.0)),
+        Taxi::new(TaxiId(1), Point::new(8.0, 8.0)),
+        Taxi::new(TaxiId(2), Point::new(4.0, 6.0)),
+    ];
+    let requests = vec![
+        Request::new(RequestId(0), 0, Point::new(2.0, 1.0), Point::new(6.0, 3.0)),
+        Request::new(RequestId(1), 0, Point::new(7.0, 7.0), Point::new(2.0, 8.0)),
+        Request::new(RequestId(2), 0, Point::new(5.0, 5.0), Point::new(8.0, 2.0)),
+        Request::new(RequestId(3), 0, Point::new(3.0, 2.0), Point::new(4.0, 9.0)),
+    ];
+    (taxis, requests)
+}
+
+#[test]
+fn nstd_works_on_road_network_metric() {
+    let (taxis, requests) = frame();
+    let net = RoadNetwork::grid(11, 11, 1.0); // 10×10 km street grid
+    let d = NonSharingDispatcher::new(&net, PreferenceParams::unbounded());
+    let s = d.passenger_optimal(&taxis, &requests);
+    assert!(d.is_stable(&taxis, &requests, &s));
+    assert_eq!(s.served_count(), 3); // three taxis, four requests
+                                     // Road distances are rectilinear here, so every reported pickup
+                                     // distance must be at least the straight-line distance.
+    for r in &requests {
+        if let Some(cost) = s.passenger_dissatisfaction(r.id) {
+            let taxi = s.assignment_of(r.id).taxi().unwrap();
+            let t = taxis.iter().find(|t| t.id == taxi).unwrap();
+            assert!(cost + 1e-9 >= t.location.euclidean(r.pickup));
+        }
+    }
+}
+
+#[test]
+fn sharing_works_on_road_network_metric() {
+    let net = RoadNetwork::grid(11, 11, 1.0);
+    let taxis = vec![Taxi::new(TaxiId(0), Point::new(0.0, 0.0))];
+    // Two trips along the same street: shareable on the grid too.
+    let requests = vec![
+        Request::new(RequestId(0), 0, Point::new(1.0, 0.0), Point::new(9.0, 0.0)),
+        Request::new(RequestId(1), 0, Point::new(2.0, 0.0), Point::new(8.0, 0.0)),
+    ];
+    let d = SharingDispatcher::new(&net, PreferenceParams::default());
+    let s = d.dispatch_passenger_optimal(&taxis, &requests);
+    assert_eq!(s.served_count(), 2);
+    assert_eq!(s.assignments[0].members.len(), 2);
+    for a in &s.assignments {
+        for &det in &a.detours {
+            assert!(det <= 5.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn scaled_metric_scales_dissatisfaction_linearly() {
+    let (taxis, requests) = frame();
+    let d1 = NonSharingDispatcher::new(Euclidean, PreferenceParams::unbounded());
+    let d2 = NonSharingDispatcher::new(
+        ScaledMetric::new(Euclidean, 2.0),
+        PreferenceParams::unbounded(),
+    );
+    let s1 = d1.passenger_optimal(&taxis, &requests);
+    let s2 = d2.passenger_optimal(&taxis, &requests);
+    // Scaling every distance by the same factor preserves all preference
+    // orders, so the matching is identical and costs double.
+    for r in &requests {
+        assert_eq!(s1.assignment_of(r.id), s2.assignment_of(r.id));
+        if let (Some(a), Some(b)) = (
+            s1.passenger_dissatisfaction(r.id),
+            s2.passenger_dissatisfaction(r.id),
+        ) {
+            assert!((b - 2.0 * a).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn grid_metric_dominates_euclidean_in_costs() {
+    let (taxis, requests) = frame();
+    let net = RoadNetwork::grid(11, 11, 1.0);
+    // Manhattan-style distances are never shorter than straight lines.
+    for t in &taxis {
+        for r in &requests {
+            assert!(net.distance(t.location, r.pickup) + 1e-9 >= t.location.euclidean(r.pickup));
+        }
+    }
+}

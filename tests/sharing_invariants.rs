@@ -1,0 +1,165 @@
+//! Cross-crate invariants of the sharing pipeline: every sharing
+//! dispatcher (Algorithm 3 and the three baselines) must produce disjoint,
+//! seat-respecting, detour-compliant, genuinely-shared assignments.
+
+use o2o_taxi::baselines::{LinDispatcher, RaiiDispatcher, SarpDispatcher};
+use o2o_taxi::core::shared_route::StopKind;
+use o2o_taxi::core::{PreferenceParams, SharingDispatcher, SharingSchedule};
+use o2o_taxi::geo::{Euclidean, Point};
+use o2o_taxi::trace::{Request, RequestId, Taxi, TaxiId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_frame(seed: u64, nt: usize, nr: usize) -> (Vec<Taxi>, Vec<Request>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let taxis = (0..nt)
+        .map(|i| {
+            Taxi::new(
+                TaxiId(i as u64),
+                Point::new(rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0)),
+            )
+        })
+        .collect();
+    let requests = (0..nr)
+        .map(|j| {
+            Request::new(
+                RequestId(j as u64),
+                0,
+                Point::new(rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0)),
+                Point::new(rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0)),
+            )
+        })
+        .collect();
+    (taxis, requests)
+}
+
+fn check_invariants(
+    label: &str,
+    taxis: &[Taxi],
+    requests: &[Request],
+    s: &SharingSchedule,
+    theta: f64,
+) {
+    let mut served = std::collections::HashSet::new();
+    let mut used_taxis = std::collections::HashSet::new();
+    for a in &s.assignments {
+        assert!(used_taxis.insert(a.taxi), "{label}: taxi reused");
+        let taxi = taxis.iter().find(|t| t.id == a.taxi).expect("known taxi");
+        let party: u16 = a
+            .members
+            .iter()
+            .map(|m| {
+                let r = requests.iter().find(|r| r.id == *m).expect("known request");
+                u16::from(r.passengers)
+            })
+            .sum();
+        assert!(party <= u16::from(taxi.seats), "{label}: over capacity");
+        for (&m, &det) in a.members.iter().zip(&a.detours) {
+            assert!(served.insert(m), "{label}: request served twice");
+            assert!(det <= theta + 1e-6, "{label}: detour {det} over θ {theta}");
+        }
+        // Genuine sharing: the vehicle never runs empty mid-route.
+        let mut on_board = 0usize;
+        for (i, stop) in a.route.stops.iter().enumerate() {
+            match stop.kind {
+                StopKind::Pickup => on_board += 1,
+                StopKind::Dropoff => {
+                    on_board -= 1;
+                    assert!(
+                        on_board > 0 || i + 1 == a.route.stops.len(),
+                        "{label}: vehicle empty mid-route"
+                    );
+                }
+            }
+        }
+        // Accounting: reported drive equals the polyline plus approach.
+        let polyline: Vec<Point> = a.route.stops.iter().map(|st| st.location).collect();
+        let internal: f64 = polyline.windows(2).map(|w| w[0].euclidean(w[1])).sum();
+        let approach = taxi.location.euclidean(polyline[0]);
+        assert!(
+            (a.total_drive - (approach + internal)).abs() < 1e-6,
+            "{label}: drive accounting off"
+        );
+    }
+    for u in &s.unserved {
+        assert!(served.insert(*u), "{label}: unserved request also served");
+    }
+    assert_eq!(served.len(), requests.len(), "{label}: requests lost");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_sharing_dispatchers_respect_invariants(
+        seed in any::<u64>(), nt in 1usize..5, nr in 1usize..10, theta in 0.5..6.0f64,
+    ) {
+        let (taxis, requests) = random_frame(seed, nt, nr);
+        let params = PreferenceParams::unbounded().with_detour_threshold(theta);
+        let schedules = [
+            (
+                "STD-P",
+                SharingDispatcher::new(Euclidean, params)
+                    .dispatch_passenger_optimal(&taxis, &requests),
+            ),
+            (
+                "STD-T",
+                SharingDispatcher::new(Euclidean, params)
+                    .dispatch_taxi_optimal(&taxis, &requests),
+            ),
+            (
+                "RAII",
+                RaiiDispatcher::new(Euclidean, params).dispatch(&taxis, &requests),
+            ),
+            (
+                "SARP",
+                SarpDispatcher::new(Euclidean, params).dispatch(&taxis, &requests),
+            ),
+            (
+                "Lin",
+                LinDispatcher::new(Euclidean, params).dispatch(&taxis, &requests),
+            ),
+        ];
+        for (label, s) in &schedules {
+            check_invariants(label, &taxis, &requests, s, theta);
+        }
+    }
+}
+
+#[test]
+fn sharing_dispatchers_agree_on_trivial_frames() {
+    // One taxi, one request: everyone must serve it identically.
+    let taxis = vec![Taxi::new(TaxiId(0), Point::new(0.0, 0.0))];
+    let requests = vec![Request::new(
+        RequestId(0),
+        0,
+        Point::new(1.0, 0.0),
+        Point::new(4.0, 0.0),
+    )];
+    let params = PreferenceParams::default();
+    for (label, s) in [
+        (
+            "STD-P",
+            SharingDispatcher::new(Euclidean, params).dispatch_passenger_optimal(&taxis, &requests),
+        ),
+        (
+            "RAII",
+            RaiiDispatcher::new(Euclidean, params).dispatch(&taxis, &requests),
+        ),
+        (
+            "SARP",
+            SarpDispatcher::new(Euclidean, params).dispatch(&taxis, &requests),
+        ),
+        (
+            "Lin",
+            LinDispatcher::new(Euclidean, params).dispatch(&taxis, &requests),
+        ),
+    ] {
+        assert_eq!(s.served_count(), 1, "{label}");
+        let a = &s.assignments[0];
+        assert_eq!(a.members, vec![RequestId(0)], "{label}");
+        assert!((a.total_drive - 4.0).abs() < 1e-9, "{label}");
+        assert!((a.taxi_cost - (4.0 - 2.0 * 3.0)).abs() < 1e-9, "{label}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Cross-crate property tests of the paper's theorems at the dispatcher
+//! level: stability (Definition 1), passenger-optimality (Property 2),
+//! rural hospitals (Theorem 2), and the instability of the baselines.
+
+use o2o_taxi::baselines::{MiniDispatcher, NearDispatcher, PairDispatcher};
+use o2o_taxi::core::{NonSharingDispatcher, PreferenceParams};
+use o2o_taxi::geo::{Euclidean, Point};
+use o2o_taxi::trace::{Request, RequestId, Taxi, TaxiId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_frame(seed: u64, nt: usize, nr: usize) -> (Vec<Taxi>, Vec<Request>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let taxis = (0..nt)
+        .map(|i| {
+            Taxi::new(
+                TaxiId(i as u64),
+                Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)),
+            )
+        })
+        .collect();
+    let requests = (0..nr)
+        .map(|j| {
+            Request::new(
+                RequestId(j as u64),
+                0,
+                Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)),
+                Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)),
+            )
+        })
+        .collect();
+    (taxis, requests)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Definition 1 at dispatcher level: NSTD-P and NSTD-T are stable for
+    /// any frame and any (sane) parameters.
+    #[test]
+    fn nstd_schedules_are_stable(
+        seed in any::<u64>(), nt in 1usize..8, nr in 1usize..8,
+        alpha in 0.0..2.0f64, taxi_threshold in 0.5..10.0f64,
+    ) {
+        let (taxis, requests) = random_frame(seed, nt, nr);
+        let params = PreferenceParams::paper()
+            .with_alpha(alpha)
+            .with_taxi_threshold(taxi_threshold);
+        let d = NonSharingDispatcher::new(Euclidean, params);
+        let p = d.passenger_optimal(&taxis, &requests);
+        let t = d.taxi_optimal(&taxis, &requests);
+        prop_assert!(d.is_stable(&taxis, &requests, &p));
+        prop_assert!(d.is_stable(&taxis, &requests, &t));
+    }
+
+    /// Theorem 2 (rural hospitals): a request unserved under NSTD-P is
+    /// unserved in every stable schedule, including NSTD-T.
+    #[test]
+    fn unserved_set_is_schedule_invariant(seed in any::<u64>(), nt in 1usize..6, nr in 1usize..6) {
+        let (taxis, requests) = random_frame(seed, nt, nr);
+        let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::paper());
+        let p = d.passenger_optimal(&taxis, &requests);
+        let t = d.taxi_optimal(&taxis, &requests);
+        prop_assert_eq!(p.unserved(), t.unserved());
+        for s in d.all_schedules(&taxis, &requests, None) {
+            prop_assert_eq!(s.unserved(), p.unserved());
+        }
+    }
+
+    /// Property 2: NSTD-P weakly beats NSTD-T for every passenger, and
+    /// NSTD-T weakly beats NSTD-P for every taxi.
+    #[test]
+    fn opposing_optimality(seed in any::<u64>(), nt in 1usize..7, nr in 1usize..7) {
+        let (taxis, requests) = random_frame(seed, nt, nr);
+        let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::paper());
+        let p = d.passenger_optimal(&taxis, &requests);
+        let t = d.taxi_optimal(&taxis, &requests);
+        for r in &requests {
+            if let (Some(a), Some(b)) = (
+                p.passenger_dissatisfaction(r.id),
+                t.passenger_dissatisfaction(r.id),
+            ) {
+                prop_assert!(a <= b + 1e-9);
+            }
+        }
+        for taxi in &taxis {
+            if let (Some(a), Some(b)) = (
+                t.taxi_dissatisfaction(taxi.id),
+                p.taxi_dissatisfaction(taxi.id),
+            ) {
+                prop_assert!(a <= b + 1e-9);
+            }
+        }
+    }
+
+    /// Thresholds are honoured: no matched pair violates the passenger or
+    /// driver dummy cut-off.
+    #[test]
+    fn thresholds_are_hard_constraints(
+        seed in any::<u64>(), nt in 1usize..8, nr in 1usize..8,
+        pt in 1.0..8.0f64, tt in 0.0..4.0f64,
+    ) {
+        let (taxis, requests) = random_frame(seed, nt, nr);
+        let params = PreferenceParams::paper()
+            .with_passenger_threshold(pt)
+            .with_taxi_threshold(tt);
+        let d = NonSharingDispatcher::new(Euclidean, params);
+        let s = d.passenger_optimal(&taxis, &requests);
+        for r in &requests {
+            if let Some(cost) = s.passenger_dissatisfaction(r.id) {
+                prop_assert!(cost <= pt + 1e-9);
+            }
+        }
+        for taxi in &taxis {
+            if let Some(score) = s.taxi_dissatisfaction(taxi.id) {
+                prop_assert!(score <= tt + 1e-9);
+            }
+        }
+    }
+}
+
+/// The baselines ignore driver interests, so they regularly produce
+/// *unstable* schedules — that instability is the paper's motivation.
+#[test]
+fn baselines_are_frequently_unstable() {
+    let params = PreferenceParams::unbounded();
+    let d = NonSharingDispatcher::new(Euclidean, params);
+    let mut unstable = [0usize; 3];
+    let trials = 60;
+    for seed in 0..trials {
+        let (taxis, requests) = random_frame(seed as u64, 5, 5);
+        let schedules = [
+            NearDispatcher::new(Euclidean, params).dispatch(&taxis, &requests),
+            PairDispatcher::new(Euclidean, params).dispatch(&taxis, &requests),
+            MiniDispatcher::new(Euclidean, params).dispatch(&taxis, &requests),
+        ];
+        for (i, s) in schedules.iter().enumerate() {
+            if !d.is_stable(&taxis, &requests, s) {
+                unstable[i] += 1;
+            }
+        }
+    }
+    for (name, count) in ["Near", "Pair", "Mini"].iter().zip(unstable) {
+        assert!(
+            count > trials / 4,
+            "{name} was unstable only {count}/{trials} times — expected often"
+        );
+    }
+}
