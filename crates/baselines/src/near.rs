@@ -79,7 +79,7 @@ impl<M: Metric> NearDispatcher<M> {
                         continue;
                     }
                     let d = self.metric.distance(taxis[cand.item].location, r.pickup);
-                    if best.map_or(true, |(bd, _)| d < bd) {
+                    if best.is_none_or(|(bd, _)| d < bd) {
                         best = Some((d, cand.item));
                     }
                 }
@@ -88,7 +88,7 @@ impl<M: Metric> NearDispatcher<M> {
                     for (i, t) in taxis.iter().enumerate() {
                         if available[i] && t.seats >= r.passengers {
                             let d = self.metric.distance(t.location, r.pickup);
-                            if best.map_or(true, |(bd, _)| d < bd) {
+                            if best.is_none_or(|(bd, _)| d < bd) {
                                 best = Some((d, i));
                             }
                         }

@@ -100,7 +100,7 @@ impl<M: Metric> RaiiDispatcher<M> {
                 }
                 let delta =
                     self.metric.distance(t.location, r.pickup) + r.trip_distance(&self.metric);
-                if best.map_or(true, |(b, _, _)| delta < b) {
+                if best.is_none_or(|(b, _, _)| delta < b) {
                     best = Some((delta, None, cand.item));
                 }
             }
@@ -118,7 +118,7 @@ impl<M: Metric> RaiiDispatcher<M> {
                 if let Some(plan) = best_compliant_route(&self.metric, &self.params, taxi, &group) {
                     let new_drive = plan.total_drive(&self.metric, taxi.location);
                     let delta = new_drive - drive;
-                    if best.map_or(true, |(b, _, _)| delta < b) {
+                    if best.is_none_or(|(b, _, _)| delta < b) {
                         best = Some((delta, Some(gi), *ti));
                     }
                 }

@@ -21,12 +21,15 @@ pub struct SarpDispatcher<M> {
     max_group_size: usize,
 }
 
+/// One stop of a draft route: `(request index, kind, location)`.
+type DraftStop = (usize, StopKind, Point);
+
 /// A route under construction: ordered stops, one per pickup/dropoff.
 #[derive(Debug, Clone)]
 struct DraftRoute {
     taxi: usize,
-    /// `(request index, kind, location)` in visiting order.
-    stops: Vec<(usize, StopKind, Point)>,
+    /// Stops in visiting order.
+    stops: Vec<DraftStop>,
     members: Vec<usize>,
 }
 
@@ -97,12 +100,12 @@ impl<M: Metric> SarpDispatcher<M> {
         requests: &[Request],
         draft: &DraftRoute,
         j: usize,
-    ) -> Option<(f64, Vec<(usize, StopKind, Point)>)> {
+    ) -> Option<(f64, Vec<DraftStop>)> {
         let r = &requests[j];
         let start = taxis[draft.taxi].location;
         let old_len = self.route_length(start, &draft.stops);
         let n = draft.stops.len();
-        let mut best: Option<(f64, Vec<(usize, StopKind, Point)>)> = None;
+        let mut best: Option<(f64, Vec<DraftStop>)> = None;
         for pi in 0..=n {
             for di in pi..=n {
                 let mut stops = draft.stops.clone();
@@ -110,7 +113,7 @@ impl<M: Metric> SarpDispatcher<M> {
                 stops.insert(di + 1, (j, StopKind::Dropoff, r.dropoff));
                 let len = self.route_length(start, &stops);
                 let added = len - old_len;
-                if best.as_ref().map_or(false, |(b, _)| added >= *b) {
+                if best.as_ref().is_some_and(|(b, _)| added >= *b) {
                     continue;
                 }
                 // Genuine sharing: the vehicle may not run empty strictly
@@ -174,7 +177,7 @@ impl<M: Metric> SarpDispatcher<M> {
         for (j, r) in requests.iter().enumerate() {
             enum Choice {
                 NewRoute(usize),
-                Insert(usize, Vec<(usize, StopKind, Point)>),
+                Insert(usize, Vec<DraftStop>),
             }
             let mut best: Option<(f64, Choice)> = None;
             for cand in idle.k_nearest(r.pickup, 8.min(idle.len())) {
@@ -184,7 +187,7 @@ impl<M: Metric> SarpDispatcher<M> {
                 }
                 let added =
                     self.metric.distance(t.location, r.pickup) + r.trip_distance(&self.metric);
-                if best.as_ref().map_or(true, |(b, _)| added < *b) {
+                if best.as_ref().is_none_or(|(b, _)| added < *b) {
                     best = Some((added, Choice::NewRoute(cand.item)));
                 }
             }
@@ -198,7 +201,7 @@ impl<M: Metric> SarpDispatcher<M> {
                     continue;
                 }
                 if let Some((added, stops)) = self.best_insertion(taxis, requests, draft, j) {
-                    if best.as_ref().map_or(true, |(b, _)| added < *b) {
+                    if best.as_ref().is_none_or(|(b, _)| added < *b) {
                         best = Some((added, Choice::Insert(di, stops)));
                     }
                 }

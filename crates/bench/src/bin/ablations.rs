@@ -11,7 +11,10 @@
 //! 5. **NSTD-T via role swap vs Algorithm 2 enumeration** — equivalence
 //!    check plus how often several stable schedules exist at all.
 
-use o2o_bench::{run_policies, ExperimentOpts, PolicyKind};
+use o2o_bench::{
+    bench_envelope, emit_bench_json, policy_json, run_policies, run_sweep, ExperimentOpts, Json,
+    PolicyKind,
+};
 use o2o_core::{NonSharingDispatcher, PackingObjective, SharingConfig, SharingDispatcher};
 use o2o_geo::Euclidean;
 use o2o_matching::SetPackingStrategy;
@@ -32,14 +35,22 @@ fn main() {
     );
     let cfg = SimConfig::default();
 
+    // Ablations 1–3 sweep independent parameter values; each sweep runs
+    // its points in parallel and prints once all are back (row order is
+    // the input order, and each point's result is identical to the
+    // sequential loop's).
+    let trace_ref = &trace;
+    let tt_rows = run_sweep(vec![0.5, 1.0, 2.0, 4.0, 8.0, f64::INFINITY], |tt| {
+        let params = opts.params.with_taxi_threshold(tt);
+        let r = run_policies(trace_ref, &[PolicyKind::NstdP], params, cfg).remove(0);
+        (tt, r)
+    });
     println!("\n### Ablation 1: taxi dummy threshold θ_t (NSTD-P)");
     println!(
         "{:>8} {:>12} {:>8} {:>12} {:>10} {:>9}",
         "θ_t", "delay(min)", "<=1min", "pass-dis", "taxi-dis", "unserved"
     );
-    for tt in [0.5, 1.0, 2.0, 4.0, 8.0, f64::INFINITY] {
-        let params = opts.params.with_taxi_threshold(tt);
-        let r = &run_policies(&trace, &[PolicyKind::NstdP], params, cfg)[0];
+    for (tt, r) in &tt_rows {
         println!(
             "{:>8.1} {:>12.2} {:>8.3} {:>12.3} {:>10.3} {:>9}",
             tt,
@@ -51,14 +62,17 @@ fn main() {
         );
     }
 
+    let alpha_rows = run_sweep(vec![0.0, 0.5, 1.0, 2.0], |alpha| {
+        let params = opts.params.with_alpha(alpha);
+        let r = run_policies(trace_ref, &[PolicyKind::NstdP], params, cfg).remove(0);
+        (alpha, r)
+    });
     println!("\n### Ablation 2: driver pay-off weight α (NSTD-P)");
     println!(
         "{:>8} {:>12} {:>12} {:>10}",
         "α", "delay(min)", "pass-dis", "taxi-dis"
     );
-    for alpha in [0.0, 0.5, 1.0, 2.0] {
-        let params = opts.params.with_alpha(alpha);
-        let r = &run_policies(&trace, &[PolicyKind::NstdP], params, cfg)[0];
+    for (alpha, r) in &alpha_rows {
         println!(
             "{:>8.1} {:>12.2} {:>12.3} {:>10.3}",
             alpha,
@@ -68,14 +82,17 @@ fn main() {
         );
     }
 
+    let theta_rows = run_sweep(vec![1.0, 2.5, 5.0, 10.0], |theta| {
+        let params = opts.params.with_detour_threshold(theta);
+        let r = run_policies(trace_ref, &[PolicyKind::StdP], params, cfg).remove(0);
+        (theta, r)
+    });
     println!("\n### Ablation 3: sharing detour budget θ (STD-P)");
     println!(
         "{:>8} {:>12} {:>12} {:>10} {:>12}",
         "θ", "delay(min)", "pass-dis", "taxi-dis", "share-rate"
     );
-    for theta in [1.0, 2.5, 5.0, 10.0] {
-        let params = opts.params.with_detour_threshold(theta);
-        let r = &run_policies(&trace, &[PolicyKind::StdP], params, cfg)[0];
+    for (theta, r) in &theta_rows {
         println!(
             "{:>8.1} {:>12.2} {:>12.3} {:>10.3} {:>12.3}",
             theta,
@@ -92,6 +109,7 @@ fn main() {
         "strategy", "groups", "packed-req", "share-rate"
     );
     let batch: Vec<_> = trace.requests_between(8 * 3600, 8 * 3600 + 600).to_vec();
+    let mut packing_rows: Vec<(&str, usize, usize, f64)> = Vec::new();
     for (name, strategy, objective) in [
         (
             "greedy",
@@ -121,13 +139,9 @@ fn main() {
         let metas = d.pack(&batch);
         let groups = metas.iter().filter(|g| g.len() >= 2).count();
         let packed: usize = metas.iter().filter(|g| g.len() >= 2).map(Vec::len).sum();
-        println!(
-            "{:>12} {:>8} {:>12} {:>12.3}",
-            name,
-            groups,
-            packed,
-            packed as f64 / batch.len().max(1) as f64
-        );
+        let rate = packed as f64 / batch.len().max(1) as f64;
+        println!("{name:>12} {groups:>8} {packed:>12} {rate:>12.3}");
+        packing_rows.push((name, groups, packed, rate));
     }
 
     println!("\n### Ablation 5: NSTD-T via role swap vs Algorithm 2 enumeration");
@@ -169,5 +183,52 @@ fn main() {
     println!(
         "{frames} frames sampled; {multi} had >1 stable schedule; \
          role-swap matched enumeration's taxi-best in {agree}/{frames}"
+    );
+
+    let sweep_json = |key: &str, rows: &[(f64, o2o_sim::SimReport)]| {
+        Json::Arr(
+            rows.iter()
+                .map(|(v, r)| Json::obj(vec![(key, (*v).into()), ("report", policy_json(r))]))
+                .collect(),
+        )
+    };
+    emit_bench_json(
+        "ablations",
+        &bench_envelope(
+            "ablations",
+            &opts,
+            vec![
+                (
+                    "taxi_threshold_sweep",
+                    sweep_json("taxi_threshold", &tt_rows),
+                ),
+                ("alpha_sweep", sweep_json("alpha", &alpha_rows)),
+                ("detour_sweep", sweep_json("detour_threshold", &theta_rows)),
+                (
+                    "packing_strategies",
+                    Json::Arr(
+                        packing_rows
+                            .iter()
+                            .map(|(name, groups, packed, rate)| {
+                                Json::obj(vec![
+                                    ("strategy", (*name).into()),
+                                    ("groups", (*groups).into()),
+                                    ("packed_requests", (*packed).into()),
+                                    ("coverage", (*rate).into()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "nstd_t_equivalence",
+                    Json::obj(vec![
+                        ("frames", frames.into()),
+                        ("multi_stable", multi.into()),
+                        ("role_swap_agrees", agree.into()),
+                    ]),
+                ),
+            ],
+        ),
     );
 }

@@ -6,7 +6,9 @@
 //! to 0.1, which preserves the supply/demand ratio by scaling the fleet
 //! too).
 
-use o2o_bench::{print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind};
+use o2o_bench::{
+    emit_policies_json, print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind,
+};
 use o2o_core::PreferenceParams;
 use o2o_sim::SimConfig;
 use o2o_trace::nyc_january_2016;
@@ -42,4 +44,5 @@ fn main() {
     );
     let taxi: Vec<_> = reports.iter().map(|r| r.taxi_cdf()).collect();
     print_cdf_table("Fig 4(c): taxi dissatisfaction CDF", "km", &reports, &taxi);
+    emit_policies_json("fig4_nonsharing_nyc", &opts, &reports);
 }

@@ -4,7 +4,9 @@
 //! The paper's contrasts with Fig. 4: smaller area ⇒ lower dissatisfaction
 //! magnitudes, and NSTD is *not* outperformed on dispatch delay.
 
-use o2o_bench::{print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind};
+use o2o_bench::{
+    emit_policies_json, print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind,
+};
 use o2o_sim::SimConfig;
 use o2o_trace::boston_september_2012;
 
@@ -38,4 +40,5 @@ fn main() {
     );
     let taxi: Vec<_> = reports.iter().map(|r| r.taxi_cdf()).collect();
     print_cdf_table("Fig 5(c): taxi dissatisfaction CDF", "km", &reports, &taxi);
+    emit_policies_json("fig5_nonsharing_boston", &opts, &reports);
 }

@@ -5,16 +5,20 @@
 //! NSTD's taxi-dissatisfaction advantage is largest when taxis are scarce
 //! (taxis can then *choose* passengers).
 
-use o2o_bench::{run_policies, ExperimentOpts, PolicyKind};
+use o2o_bench::{
+    bench_envelope, emit_bench_json, policy_json, run_policies, run_sweep, ExperimentOpts, Json,
+    PolicyKind,
+};
 use o2o_sim::SimConfig;
 use o2o_trace::boston_september_2012;
 
 fn main() {
     let opts = ExperimentOpts::from_args(0.2);
-    // The paper sweeps the Boston fleet around its default 200.
+    // The paper sweeps the Boston fleet around its default 200. Sweep
+    // points are independent runs, so they execute in parallel; results
+    // come back in input order and are identical to the sequential loop.
     let paper_counts = [100usize, 150, 200, 250, 300, 350];
-    let mut rows = Vec::new();
-    for &count in &paper_counts {
+    let rows = run_sweep(paper_counts.to_vec(), |count| {
         let taxis = ((count as f64 * opts.scale).round() as usize).max(1);
         let trace = boston_september_2012(opts.scale)
             .taxis(taxis)
@@ -29,8 +33,8 @@ fn main() {
             opts.params,
             SimConfig::default(),
         );
-        rows.push((count, reports));
-    }
+        (count, reports)
+    });
 
     let names: Vec<String> = rows[0].1.iter().map(|r| r.policy.clone()).collect();
     for (title, f) in [
@@ -66,4 +70,25 @@ fn main() {
             println!();
         }
     }
+
+    let json_rows = rows
+        .iter()
+        .map(|(count, reports)| {
+            Json::obj(vec![
+                ("paper_taxis", (*count).into()),
+                (
+                    "policies",
+                    Json::Arr(reports.iter().map(policy_json).collect()),
+                ),
+            ])
+        })
+        .collect();
+    emit_bench_json(
+        "fig6_taxi_count_sweep",
+        &bench_envelope(
+            "fig6_taxi_count_sweep",
+            &opts,
+            vec![("rows", Json::Arr(json_rows))],
+        ),
+    );
 }

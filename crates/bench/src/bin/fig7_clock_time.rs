@@ -5,7 +5,10 @@
 //! peaks — larger delays, higher passenger dissatisfaction, and (because
 //! taxis get to choose among many requests) *lower* taxi dissatisfaction.
 
-use o2o_bench::{print_hourly_table, run_policies, ExperimentOpts, PolicyKind};
+use o2o_bench::{
+    bench_envelope, emit_bench_json, policy_json, print_hourly_table, run_policies, ExperimentOpts,
+    Json, PolicyKind,
+};
 use o2o_sim::SimConfig;
 use o2o_trace::boston_september_2012;
 
@@ -49,5 +52,37 @@ fn main() {
         "Fig 7(c): average taxi dissatisfaction (km) by clock time",
         &reports,
         &taxi,
+    );
+
+    // Per-policy metrics plus the three hour-of-day series the figure
+    // plots.
+    let policies = reports
+        .iter()
+        .zip(&delay)
+        .zip(&pass)
+        .zip(&taxi)
+        .map(|(((r, d), p), t)| {
+            let Json::Obj(mut fields) = policy_json(r) else {
+                unreachable!("policy_json returns an object")
+            };
+            fields.push(("hourly_delay_min".into(), Json::arr(d.iter().copied())));
+            fields.push((
+                "hourly_passenger_dissatisfaction_km".into(),
+                Json::arr(p.iter().copied()),
+            ));
+            fields.push((
+                "hourly_taxi_dissatisfaction_km".into(),
+                Json::arr(t.iter().copied()),
+            ));
+            Json::Obj(fields)
+        })
+        .collect();
+    emit_bench_json(
+        "fig7_clock_time",
+        &bench_envelope(
+            "fig7_clock_time",
+            &opts,
+            vec![("policies", Json::Arr(policies))],
+        ),
     );
 }

@@ -4,7 +4,9 @@
 //! Paper shape: unlike the non-sharing trade-off, STD-P and STD-T
 //! outperform RAII, SARP and Lin on *all three* metrics.
 
-use o2o_bench::{print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind};
+use o2o_bench::{
+    emit_policies_json, print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind,
+};
 use o2o_core::PreferenceParams;
 use o2o_sim::SimConfig;
 use o2o_trace::nyc_january_2016;
@@ -40,4 +42,5 @@ fn main() {
     );
     let taxi: Vec<_> = reports.iter().map(|r| r.taxi_cdf()).collect();
     print_cdf_table("Fig 8(c): taxi dissatisfaction CDF", "km", &reports, &taxi);
+    emit_policies_json("fig8_sharing_nyc", &opts, &reports);
 }

@@ -1,7 +1,9 @@
 //! Figure 9: CDFs of the three metrics for **sharing** dispatch on the
 //! Boston trace (θ = 5, α = β = 1).
 
-use o2o_bench::{print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind};
+use o2o_bench::{
+    emit_policies_json, print_cdf_table, print_summary, run_policies, ExperimentOpts, PolicyKind,
+};
 use o2o_core::PreferenceParams;
 use o2o_sim::SimConfig;
 use o2o_trace::boston_september_2012;
@@ -37,4 +39,5 @@ fn main() {
     );
     let taxi: Vec<_> = reports.iter().map(|r| r.taxi_cdf()).collect();
     print_cdf_table("Fig 9(c): taxi dissatisfaction CDF", "km", &reports, &taxi);
+    emit_policies_json("fig9_sharing_boston", &opts, &reports);
 }

@@ -1,0 +1,331 @@
+//! Machine-readable benchmark output (`results/BENCH_<name>.json`).
+//!
+//! The figure binaries print human-readable tables; this module gives the
+//! same runs a stable machine-readable form so perf and quality can be
+//! tracked across commits without scraping stdout. The writer is a tiny
+//! hand-rolled JSON emitter (the build environment is offline, so no
+//! serde) — good enough because every value we emit is a number, a
+//! string, an array or an object.
+
+use crate::ExperimentOpts;
+use o2o_sim::SimReport;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A JSON value. Build with the `From` impls and [`Json::obj`] /
+/// [`Json::arr`]; render with `Display` (pretty-printed, 2-space indent).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also what non-finite floats render as).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; emitted with enough digits to round-trip.
+    Num(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs (keys keep insertion order).
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from anything convertible to JSON values.
+    #[must_use]
+    pub fn arr<T: Into<Json>>(items: impl IntoIterator<Item = T>) -> Json {
+        Json::Arr(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Num(v)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::Num(f64::from(v))
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::Num(v as f64)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.into())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn write_indented(f: &mut fmt::Formatter<'_>, v: &Json, indent: usize) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match v {
+        Json::Null => f.write_str("null"),
+        Json::Bool(b) => write!(f, "{b}"),
+        Json::Num(x) if !x.is_finite() => f.write_str("null"),
+        Json::Num(x) => {
+            // Integers without a fraction part; floats with the shortest
+            // representation that round-trips ({:?} on f64).
+            if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                write!(f, "{}", *x as i64)
+            } else {
+                write!(f, "{x:?}")
+            }
+        }
+        Json::Str(s) => write_escaped(f, s),
+        Json::Arr(items) if items.is_empty() => f.write_str("[]"),
+        // Arrays of scalars stay on one line; nested structures wrap.
+        Json::Arr(items)
+            if items
+                .iter()
+                .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_))) =>
+        {
+            f.write_str("[")?;
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    f.write_str(", ")?;
+                }
+                write_indented(f, item, indent)?;
+            }
+            f.write_str("]")
+        }
+        Json::Arr(items) => {
+            f.write_str("[\n")?;
+            for (k, item) in items.iter().enumerate() {
+                f.write_str(&inner)?;
+                write_indented(f, item, indent + 1)?;
+                f.write_str(if k + 1 < items.len() { ",\n" } else { "\n" })?;
+            }
+            write!(f, "{pad}]")
+        }
+        Json::Obj(fields) if fields.is_empty() => f.write_str("{}"),
+        Json::Obj(fields) => {
+            f.write_str("{\n")?;
+            for (k, (key, value)) in fields.iter().enumerate() {
+                f.write_str(&inner)?;
+                write_escaped(f, key)?;
+                f.write_str(": ")?;
+                write_indented(f, value, indent + 1)?;
+                f.write_str(if k + 1 < fields.len() { ",\n" } else { "\n" })?;
+            }
+            write!(f, "{pad}}}")
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_indented(f, self, 0)
+    }
+}
+
+/// One policy's metrics block: the paper's three metrics, serving
+/// statistics and the dispatch wall-clock series the engine recorded.
+#[must_use]
+pub fn policy_json(r: &SimReport) -> Json {
+    Json::obj(vec![
+        ("policy", r.policy.as_str().into()),
+        ("served", r.served.into()),
+        ("unserved_at_end", r.unserved_at_end.into()),
+        ("frames", r.frames.into()),
+        ("avg_delay_min", r.avg_delay_min().into()),
+        (
+            "frac_delay_le_1min",
+            r.delay_cdf().fraction_at_most(1.0).into(),
+        ),
+        (
+            "avg_passenger_dissatisfaction_km",
+            r.avg_passenger_dissatisfaction().into(),
+        ),
+        (
+            "avg_taxi_dissatisfaction_km",
+            r.avg_taxi_dissatisfaction().into(),
+        ),
+        ("sharing_rate", r.sharing_rate().into()),
+        ("total_drive_km", r.total_drive_km.into()),
+        ("peak_queue", r.peak_queue().into()),
+        ("total_dispatch_ms", r.total_dispatch_ms().into()),
+        ("avg_dispatch_ms_per_frame", r.avg_dispatch_ms().into()),
+        ("max_dispatch_ms", r.max_dispatch_ms().into()),
+        (
+            "dispatch_ms_by_frame",
+            Json::arr(r.dispatch_ms_by_frame.iter().copied()),
+        ),
+    ])
+}
+
+/// The standard envelope of one benchmark run: name, experiment options
+/// and the benchmark-specific body fields.
+#[must_use]
+pub fn bench_envelope(name: &str, opts: &ExperimentOpts, body: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![
+        ("bench", Json::from(name)),
+        ("scale", opts.scale.into()),
+        ("seed", opts.seed.into()),
+        (
+            "params",
+            Json::obj(vec![
+                ("alpha", opts.params.alpha.into()),
+                ("beta", opts.params.beta.into()),
+                ("taxi_threshold", opts.params.taxi_threshold.into()),
+                (
+                    "passenger_threshold",
+                    opts.params.passenger_threshold.into(),
+                ),
+                ("detour_threshold", opts.params.detour_threshold.into()),
+            ]),
+        ),
+    ];
+    fields.extend(body);
+    Json::obj(fields)
+}
+
+/// Writes `value` to `results/BENCH_<name>.json` at the workspace root
+/// (anchored via `CARGO_MANIFEST_DIR` so binaries and `cargo bench`
+/// targets — which run with different working directories — agree on the
+/// location) and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    // crates/bench/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a workspace root");
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, format!("{value}\n"))?;
+    Ok(path)
+}
+
+/// Writes the JSON and prints the path to stderr (the figure binaries'
+/// one-liner). Failures are reported, not fatal: the tables on stdout
+/// are still the primary output.
+pub fn emit_bench_json(name: &str, value: &Json) {
+    match write_bench_json(name, value) {
+        Ok(path) => eprintln!("{name}: wrote {}", path.display()),
+        Err(e) => eprintln!("{name}: could not write benchmark JSON: {e}"),
+    }
+}
+
+/// The standard figure-binary emission: envelope + one metrics block per
+/// policy, written to `results/BENCH_<name>.json`.
+pub fn emit_policies_json(name: &str, opts: &ExperimentOpts, reports: &[SimReport]) {
+    let body = vec![(
+        "policies",
+        Json::Arr(reports.iter().map(policy_json).collect()),
+    )];
+    emit_bench_json(name, &bench_envelope(name, opts, body));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::from(true).to_string(), "true");
+        assert_eq!(Json::from(3.0).to_string(), "3");
+        assert_eq!(Json::from(0.25).to_string(), "0.25");
+        assert_eq!(Json::from(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from("a\"b\n").to_string(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn numbers_round_trip() {
+        // The shortest-repr path must preserve exact values.
+        let x = 0.1 + 0.2;
+        let s = Json::from(x).to_string();
+        assert_eq!(s.parse::<f64>().unwrap(), x);
+    }
+
+    #[test]
+    fn scalar_arrays_stay_inline() {
+        let j = Json::arr([1.0, 2.5]);
+        assert_eq!(j.to_string(), "[1, 2.5]");
+        assert_eq!(Json::Arr(vec![]).to_string(), "[]");
+    }
+
+    #[test]
+    fn objects_nest_with_indent() {
+        let j = Json::obj(vec![
+            ("name", "fig".into()),
+            ("rows", Json::Arr(vec![Json::obj(vec![("x", 1.0.into())])])),
+        ]);
+        let s = j.to_string();
+        assert!(s.contains("\"name\": \"fig\""));
+        assert!(s.contains("    {\n      \"x\": 1\n    }"));
+    }
+
+    #[test]
+    fn policy_json_carries_timing() {
+        let trace = o2o_trace::boston_september_2012(0.001).taxis(3).generate(5);
+        let reports = crate::run_policies(
+            &trace,
+            &[crate::PolicyKind::Near],
+            o2o_core::PreferenceParams::default(),
+            o2o_sim::SimConfig::default(),
+        );
+        let j = policy_json(&reports[0]);
+        let s = j.to_string();
+        assert!(s.contains("\"policy\": \"Near\""));
+        assert!(s.contains("\"dispatch_ms_by_frame\": ["));
+        assert!(s.contains("\"total_dispatch_ms\""));
+    }
+}

@@ -12,10 +12,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use o2o_core::PreferenceParams;
+use o2o_core::{NonSharingDispatcher, PreferenceParams, SharingDispatcher};
 use o2o_geo::Euclidean;
+use o2o_par::{par_run, Parallelism};
 use o2o_sim::{policy, Cdf, DispatchPolicy, SimConfig, SimReport, Simulator};
 use o2o_trace::Trace;
+
+pub mod json;
+pub use json::{
+    bench_envelope, emit_bench_json, emit_policies_json, policy_json, write_bench_json, Json,
+};
 
 /// Common command-line options of the figure binaries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,17 +143,45 @@ impl PolicyKind {
         PolicyKind::Lin,
     ];
 
-    /// Builds the policy over the Euclidean metric.
+    /// Builds the policy over the Euclidean metric (single-threaded,
+    /// uncached — the reference configuration).
     #[must_use]
     pub fn build(&self, params: PreferenceParams) -> Box<dyn DispatchPolicy + Send> {
+        self.build_parallel(params, Parallelism::sequential())
+    }
+
+    /// Builds the policy with its internal pipeline stages running on
+    /// `par` threads, and — for the paper's sharing algorithms — its
+    /// metric wrapped in a per-frame distance cache. Results are
+    /// bit-identical to [`PolicyKind::build`] for every thread count;
+    /// only wall-clock time changes.
+    #[must_use]
+    pub fn build_parallel(
+        &self,
+        params: PreferenceParams,
+        par: Parallelism,
+    ) -> Box<dyn DispatchPolicy + Send> {
+        use o2o_sim::policy::{NstdPPolicy, NstdTPolicy, StdPPolicy, StdTPolicy};
         match self {
-            PolicyKind::NstdP => Box::new(policy::nstd_p(Euclidean, params)),
-            PolicyKind::NstdT => Box::new(policy::nstd_t(Euclidean, params)),
+            PolicyKind::NstdP => Box::new(NstdPPolicy::from_dispatcher(
+                NonSharingDispatcher::new(Euclidean, params).with_parallelism(par),
+            )),
+            PolicyKind::NstdT => Box::new(NstdTPolicy::from_dispatcher(
+                NonSharingDispatcher::new(Euclidean, params).with_parallelism(par),
+            )),
             PolicyKind::Near => Box::new(policy::near(Euclidean, params)),
             PolicyKind::Pair => Box::new(policy::pair(Euclidean, params)),
             PolicyKind::Mini => Box::new(policy::mini(Euclidean, params)),
-            PolicyKind::StdP => Box::new(policy::std_p(Euclidean, params)),
-            PolicyKind::StdT => Box::new(policy::std_t(Euclidean, params)),
+            PolicyKind::StdP => Box::new(policy::cached(Euclidean, |metric| {
+                StdPPolicy::from_dispatcher(
+                    SharingDispatcher::new(metric, params).with_parallelism(par),
+                )
+            })),
+            PolicyKind::StdT => Box::new(policy::cached(Euclidean, |metric| {
+                StdTPolicy::from_dispatcher(
+                    SharingDispatcher::new(metric, params).with_parallelism(par),
+                )
+            })),
             PolicyKind::Raii => Box::new(policy::raii(Euclidean, params)),
             PolicyKind::Sarp => Box::new(policy::sarp(Euclidean, params)),
             PolicyKind::Lin => Box::new(policy::lin(Euclidean, params)),
@@ -155,7 +189,11 @@ impl PolicyKind {
     }
 }
 
-/// Runs every policy over the trace, in parallel (one thread per policy).
+/// Runs every policy over the trace, one job per policy on up to
+/// [`Parallelism::auto`] threads. Each policy's internal stages stay
+/// sequential here (the parallelism budget is spent across policies);
+/// the sharing policies still get their per-frame distance cache.
+/// Reports come back in `kinds` order.
 #[must_use]
 pub fn run_policies(
     trace: &Trace,
@@ -163,18 +201,35 @@ pub fn run_policies(
     params: PreferenceParams,
     config: SimConfig,
 ) -> Vec<SimReport> {
-    let mut out: Vec<Option<SimReport>> = (0..kinds.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slot, kind) in out.iter_mut().zip(kinds.iter()) {
-            scope.spawn(move |_| {
-                let mut policy = kind.build(params);
-                let sim = Simulator::new(config);
-                *slot = Some(sim.run(trace, &mut policy));
-            });
-        }
-    })
-    .expect("policy thread panicked");
-    out.into_iter().map(|r| r.expect("slot filled")).collect()
+    let jobs: Vec<_> = kinds
+        .iter()
+        .map(|kind| {
+            move || {
+                let mut policy = kind.build_parallel(params, Parallelism::sequential());
+                let sim = Simulator::new(config).with_parallelism(Parallelism::sequential());
+                sim.run(trace, &mut policy)
+            }
+        })
+        .collect();
+    par_run(Parallelism::auto(), jobs)
+}
+
+/// Runs independent sweep points in parallel (one job per point, up to
+/// [`Parallelism::auto`] threads), returning results in input order.
+/// Every point is an independent computation, so the sweep's output is
+/// identical to running the loop sequentially.
+#[must_use]
+pub fn run_sweep<T, U, F>(points: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let f = &f;
+    par_run(
+        Parallelism::auto(),
+        points.into_iter().map(|p| move || f(p)).collect::<Vec<_>>(),
+    )
 }
 
 /// Prints a CDF comparison table: one row per grid value, one column per
@@ -291,6 +346,29 @@ mod tests {
     fn all_policy_kinds_build() {
         for k in PolicyKind::NON_SHARING.iter().chain(&PolicyKind::SHARING) {
             let _ = k.build(PreferenceParams::default());
+            let _ = k.build_parallel(PreferenceParams::default(), Parallelism::fixed(3));
         }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_reports() {
+        let trace = boston_september_2012(0.001).taxis(5).generate(9);
+        for kind in [PolicyKind::NstdP, PolicyKind::StdP] {
+            let mut seq = kind.build(PreferenceParams::default());
+            let mut par = kind.build_parallel(PreferenceParams::default(), Parallelism::fixed(4));
+            let sim = Simulator::new(SimConfig::default());
+            let a = sim.run(&trace, &mut seq);
+            let b = sim.run(&trace, &mut par);
+            assert_eq!(a.delays_min, b.delays_min, "{kind:?}");
+            assert_eq!(a.passenger_dissatisfaction, b.passenger_dissatisfaction);
+            assert_eq!(a.taxi_dissatisfaction, b.taxi_dissatisfaction);
+            assert_eq!(a.total_drive_km, b.total_drive_km);
+        }
+    }
+
+    #[test]
+    fn run_sweep_preserves_order() {
+        let out = run_sweep((0..17).collect::<Vec<i32>>(), |x| x * x);
+        assert_eq!(out, (0..17).map(|x| x * x).collect::<Vec<_>>());
     }
 }

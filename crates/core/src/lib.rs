@@ -47,6 +47,7 @@ mod std_sharing;
 pub use company::{fare_revenue, CompanyObjective, FareModel};
 pub use nstd::NonSharingDispatcher;
 pub use params::PreferenceParams;
+pub use prefs::{PickupDistances, PreferenceModel};
 pub use schedule::{DispatchOutcome, Schedule};
 pub use shared_route::{RoutePlan, Stop, StopKind};
 pub use std_sharing::{

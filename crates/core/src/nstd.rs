@@ -1,10 +1,11 @@
 //! Non-sharing taxi dispatch — the paper's Algorithms 1 and 2.
 
 use crate::company::CompanyObjective;
-use crate::prefs::PreferenceModel;
+use crate::prefs::{PickupDistances, PreferenceModel};
 use crate::{PreferenceParams, Schedule};
 use o2o_geo::Metric;
 use o2o_matching::Matching;
+use o2o_par::Parallelism;
 use o2o_trace::{Request, Taxi};
 
 /// Non-sharing dispatcher: one request per taxi (§IV).
@@ -32,10 +33,12 @@ use o2o_trace::{Request, Taxi};
 pub struct NonSharingDispatcher<M> {
     metric: M,
     params: PreferenceParams,
+    par: Parallelism,
 }
 
 impl<M: Metric> NonSharingDispatcher<M> {
-    /// Creates a dispatcher.
+    /// Creates a dispatcher (single-threaded; see
+    /// [`with_parallelism`](Self::with_parallelism)).
     ///
     /// # Panics
     ///
@@ -43,7 +46,20 @@ impl<M: Metric> NonSharingDispatcher<M> {
     #[must_use]
     pub fn new(metric: M, params: PreferenceParams) -> Self {
         params.validate().expect("invalid preference parameters");
-        NonSharingDispatcher { metric, params }
+        NonSharingDispatcher {
+            metric,
+            params,
+            par: Parallelism::sequential(),
+        }
+    }
+
+    /// Sets the thread budget for preference construction. Results are
+    /// bit-identical for every setting; `Parallelism::sequential()` is
+    /// the plain single-threaded pass.
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
     }
 
     /// The metric in use.
@@ -58,11 +74,36 @@ impl<M: Metric> NonSharingDispatcher<M> {
         &self.params
     }
 
+    /// The thread budget in use.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
     /// Builds the frame's preference model (exposed for inspection,
     /// ablations and reuse across the `*_optimal` variants).
     #[must_use]
     pub fn preferences(&self, taxis: &[Taxi], requests: &[Request]) -> PreferenceModel {
-        PreferenceModel::build(&self.metric, &self.params, taxis, requests)
+        self.preferences_with(taxis, requests, None)
+    }
+
+    /// [`preferences`](Self::preferences), reusing a precomputed pick-up
+    /// distance matrix (e.g. the simulator's per-frame precomputation).
+    #[must_use]
+    pub fn preferences_with(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        pickup_distances: Option<&PickupDistances>,
+    ) -> PreferenceModel {
+        PreferenceModel::build_with(
+            &self.metric,
+            &self.params,
+            taxis,
+            requests,
+            self.par,
+            pickup_distances,
+        )
     }
 
     /// **Algorithm 1 (NSTD-P)**: the passenger-optimal stable schedule.
@@ -73,7 +114,19 @@ impl<M: Metric> NonSharingDispatcher<M> {
     /// construction.
     #[must_use]
     pub fn passenger_optimal(&self, taxis: &[Taxi], requests: &[Request]) -> Schedule {
-        let model = self.preferences(taxis, requests);
+        self.passenger_optimal_with(taxis, requests, None)
+    }
+
+    /// [`passenger_optimal`](Self::passenger_optimal), reusing a
+    /// precomputed pick-up distance matrix.
+    #[must_use]
+    pub fn passenger_optimal_with(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        pickup_distances: Option<&PickupDistances>,
+    ) -> Schedule {
+        let model = self.preferences_with(taxis, requests, pickup_distances);
         let m = model.instance.propose();
         self.to_schedule(taxis, requests, &model, &m)
     }
@@ -85,7 +138,19 @@ impl<M: Metric> NonSharingDispatcher<M> {
     /// enumeration (property-tested in this crate).
     #[must_use]
     pub fn taxi_optimal(&self, taxis: &[Taxi], requests: &[Request]) -> Schedule {
-        let model = self.preferences(taxis, requests);
+        self.taxi_optimal_with(taxis, requests, None)
+    }
+
+    /// [`taxi_optimal`](Self::taxi_optimal), reusing a precomputed
+    /// pick-up distance matrix.
+    #[must_use]
+    pub fn taxi_optimal_with(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        pickup_distances: Option<&PickupDistances>,
+    ) -> Schedule {
+        let model = self.preferences_with(taxis, requests, pickup_distances);
         let m = model.instance.reviewer_optimal();
         self.to_schedule(taxis, requests, &model, &m)
     }

@@ -176,8 +176,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_nan_threshold() {
-        let mut p = PreferenceParams::default();
-        p.taxi_threshold = f64::NAN;
+        let p = PreferenceParams {
+            taxi_threshold: f64::NAN,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 

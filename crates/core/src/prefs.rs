@@ -16,7 +16,58 @@
 use crate::PreferenceParams;
 use o2o_geo::Metric;
 use o2o_matching::StableInstance;
+use o2o_par::{par_map, Parallelism};
 use o2o_trace::{Request, Taxi};
+
+/// The idle-taxi × pending-request pick-up distance matrix of one frame.
+///
+/// `D(t_i, r_j^s)` is policy-independent: every dispatcher starts from
+/// the same matrix, so the simulator can precompute it once per frame (in
+/// parallel) and hand it to whichever policy runs. Sharing it changes
+/// nothing numerically — the entries are exactly the metric's answers —
+/// it only avoids recomputing them per policy stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PickupDistances {
+    n_requests: usize,
+    n_taxis: usize,
+    /// Row-major: `d[j * n_taxis + i]` = `D(t_i, r_j^s)`.
+    d: Vec<f64>,
+}
+
+impl PickupDistances {
+    /// Computes the full matrix, splitting request rows across threads.
+    #[must_use]
+    pub fn compute<M: Metric>(
+        metric: &M,
+        taxis: &[Taxi],
+        requests: &[Request],
+        par: Parallelism,
+    ) -> Self {
+        let rows = par_map(par, requests.to_vec(), |r| {
+            taxis
+                .iter()
+                .map(|t| metric.distance(t.location, r.pickup))
+                .collect::<Vec<f64>>()
+        });
+        PickupDistances {
+            n_requests: requests.len(),
+            n_taxis: taxis.len(),
+            d: rows.concat(),
+        }
+    }
+
+    /// `D(t_i, r_j^s)` for request row `j` and taxi column `i`.
+    #[must_use]
+    pub fn get(&self, request: usize, taxi: usize) -> f64 {
+        self.d[request * self.n_taxis + taxi]
+    }
+
+    /// `(requests, taxis)` dimensions of the matrix.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n_requests, self.n_taxis)
+    }
+}
 
 /// Preference orders of one dispatch frame, ready for matching.
 ///
@@ -48,68 +99,117 @@ impl PreferenceModel {
         taxis: &[Taxi],
         requests: &[Request],
     ) -> Self {
+        Self::build_with(
+            metric,
+            params,
+            taxis,
+            requests,
+            Parallelism::sequential(),
+            None,
+        )
+    }
+
+    /// [`build`](Self::build) with an explicit thread budget and an
+    /// optional precomputed pick-up distance matrix.
+    ///
+    /// The result is bit-identical for every `par`: rows are independent
+    /// and the parallel map preserves input order, so every float is the
+    /// same operation on the same inputs as the sequential pass. When
+    /// `pickup_distances` is given (shape-checked against the inputs) the
+    /// matrix pass reuses it instead of querying the metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PreferenceParams::validate`] or
+    /// `pickup_distances` has the wrong shape.
+    #[must_use]
+    pub fn build_with<M: Metric>(
+        metric: &M,
+        params: &PreferenceParams,
+        taxis: &[Taxi],
+        requests: &[Request],
+        par: Parallelism,
+        pickup_distances: Option<&PickupDistances>,
+    ) -> Self {
         params.validate().expect("invalid preference parameters");
         let n_r = requests.len();
         let n_t = taxis.len();
-        let mut pickup = vec![vec![0.0; n_t]; n_r];
-        let mut score = vec![vec![0.0; n_t]; n_r]; // transposed below
-        let trip: Vec<f64> = requests.iter().map(|r| r.trip_distance(metric)).collect();
-        for (j, r) in requests.iter().enumerate() {
-            for (i, t) in taxis.iter().enumerate() {
-                let d = metric.distance(t.location, r.pickup);
-                pickup[j][i] = d;
-                score[j][i] = d - params.alpha * trip[j];
-            }
+        if let Some(pd) = pickup_distances {
+            assert_eq!(
+                pd.shape(),
+                (n_r, n_t),
+                "pickup-distance matrix shape mismatch"
+            );
         }
 
-        // Passenger lists: taxis with enough seats within the wait
+        // One row per request: costs against every taxi, plus the
+        // passenger list — taxis with enough seats within the wait
         // threshold, nearest first (ties by taxi index for determinism).
-        let request_lists: Vec<Vec<usize>> = requests
-            .iter()
-            .enumerate()
-            .map(|(j, r)| {
-                let mut list: Vec<usize> = (0..n_t)
-                    .filter(|&i| {
-                        taxis[i].seats >= r.passengers && pickup[j][i] <= params.passenger_threshold
-                    })
-                    .collect();
-                list.sort_by(|&a, &b| {
-                    pickup[j][a]
-                        .partial_cmp(&pickup[j][b])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                });
-                list
-            })
-            .collect();
+        type Row = (Vec<f64>, Vec<f64>, Vec<usize>);
+        let rows: Vec<Row> = par_map(par, (0..n_r).collect(), |j| {
+            let r = &requests[j];
+            let trip = r.trip_distance(metric);
+            let mut pickup_row = Vec::with_capacity(n_t);
+            let mut score_row = Vec::with_capacity(n_t);
+            for (i, t) in taxis.iter().enumerate() {
+                let d = match pickup_distances {
+                    Some(pd) => pd.get(j, i),
+                    None => metric.distance(t.location, r.pickup),
+                };
+                pickup_row.push(d);
+                score_row.push(d - params.alpha * trip);
+            }
+            let mut list: Vec<usize> = (0..n_t)
+                .filter(|&i| {
+                    taxis[i].seats >= r.passengers && pickup_row[i] <= params.passenger_threshold
+                })
+                .collect();
+            list.sort_by(|&a, &b| {
+                pickup_row[a]
+                    .partial_cmp(&pickup_row[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            (pickup_row, score_row, list)
+        });
+        let mut pickup = Vec::with_capacity(n_r);
+        let mut score = Vec::with_capacity(n_r); // request-major; transposed below
+        let mut request_lists = Vec::with_capacity(n_r);
+        for (pickup_row, score_row, list) in rows {
+            pickup.push(pickup_row);
+            score.push(score_row);
+            request_lists.push(list);
+        }
 
-        // Driver lists: fitting parties whose score clears the threshold,
-        // lowest score first.
-        let taxi_lists: Vec<Vec<usize>> = taxis
-            .iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let mut list: Vec<usize> = (0..n_r)
-                    .filter(|&j| {
-                        t.seats >= requests[j].passengers && score[j][i] <= params.taxi_threshold
-                    })
-                    .collect();
-                list.sort_by(|&a, &b| {
-                    score[a][i]
-                        .partial_cmp(&score[b][i])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                });
-                list
-            })
-            .collect();
+        // One column per taxi: the driver list — fitting parties whose
+        // score clears the threshold, lowest score first — and the
+        // taxi-major score row for reporting.
+        let score_ref = &score;
+        let cols: Vec<(Vec<usize>, Vec<f64>)> = par_map(par, (0..n_t).collect(), |i| {
+            let t = &taxis[i];
+            let mut list: Vec<usize> = (0..n_r)
+                .filter(|&j| {
+                    t.seats >= requests[j].passengers && score_ref[j][i] <= params.taxi_threshold
+                })
+                .collect();
+            list.sort_by(|&a, &b| {
+                score_ref[a][i]
+                    .partial_cmp(&score_ref[b][i])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            let score_t_row: Vec<f64> = (0..n_r).map(|j| score_ref[j][i]).collect();
+            (list, score_t_row)
+        });
+        let mut taxi_lists = Vec::with_capacity(n_t);
+        let mut score_t = Vec::with_capacity(n_t);
+        for (list, score_t_row) in cols {
+            taxi_lists.push(list);
+            score_t.push(score_t_row);
+        }
 
         let instance = StableInstance::new(request_lists, taxi_lists)
             .expect("generated lists are in range and duplicate-free");
-        // Keep `score` in taxi-major orientation for reporting.
-        let score_t: Vec<Vec<f64>> = (0..n_t)
-            .map(|i| (0..n_r).map(|j| score[j][i]).collect())
-            .collect();
         PreferenceModel {
             instance,
             pickup,

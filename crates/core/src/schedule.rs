@@ -159,7 +159,8 @@ impl Schedule {
         self.request_to_taxi
             .iter()
             .enumerate()
-            .filter_map(|(ri, ti)| ti.is_none().then(|| self.request_ids[ri]))
+            .filter(|(_, ti)| ti.is_none())
+            .map(|(ri, _)| self.request_ids[ri])
             .collect()
     }
 

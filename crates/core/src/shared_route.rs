@@ -204,10 +204,10 @@ pub fn min_route_length_if_within_detour<M: Metric>(
     };
     // Fixed-size buffers (MAX_GROUP_SIZE = 4 → at most 8 stops).
     let mut leg = [[0.0f64; 8]; 8];
-    for a in 0..n {
-        for b in 0..n {
+    for (a, row) in leg.iter_mut().enumerate().take(n) {
+        for (b, cell) in row.iter_mut().enumerate().take(n) {
             if a != b {
-                leg[a][b] = metric.distance(loc(a), loc(b));
+                *cell = metric.distance(loc(a), loc(b));
             }
         }
     }
@@ -320,10 +320,10 @@ pub fn best_route_within_detour<M: Metric>(
     let directs: Vec<f64> = group.iter().map(|r| r.trip_distance(metric)).collect();
     let n = 2 * k;
     let mut leg = vec![vec![0.0; n]; n];
-    for a in 0..n {
-        for b in 0..n {
+    for (a, row) in leg.iter_mut().enumerate() {
+        for (b, cell) in row.iter_mut().enumerate() {
             if a != b {
-                leg[a][b] = metric.distance(loc(a), loc(b));
+                *cell = metric.distance(loc(a), loc(b));
             }
         }
     }
@@ -466,10 +466,10 @@ pub fn routes_by_first_pickup<M: Metric>(metric: &M, group: &[Request]) -> Vec<R
     };
     let n = 2 * k;
     let mut leg = vec![vec![0.0; n]; n];
-    for a in 0..n {
-        for b in 0..n {
+    for (a, row) in leg.iter_mut().enumerate() {
+        for (b, cell) in row.iter_mut().enumerate() {
             if a != b {
-                leg[a][b] = metric.distance(loc(a), loc(b));
+                *cell = metric.distance(loc(a), loc(b));
             }
         }
     }
@@ -853,8 +853,8 @@ mod tests {
                 let realized = Euclidean.path_length(&polyline);
                 prop_assert!((realized - plan.internal_length).abs() < 1e-9);
                 // Detour is non-negative under the triangle inequality.
-                for m in 0..k {
-                    let direct = group[m].trip_distance(&Euclidean);
+                for (m, member) in group.iter().enumerate().take(k) {
+                    let direct = member.trip_distance(&Euclidean);
                     prop_assert!(plan.detour(m, direct) >= -1e-9);
                     prop_assert!(plan.pickup_offset[m] <= plan.internal_length + 1e-9);
                 }

@@ -19,6 +19,7 @@ use crate::shared_route::{routes_by_first_pickup, RoutePlan};
 use crate::{PreferenceParams, Schedule};
 use o2o_geo::Metric;
 use o2o_matching::{Matching, SetPacking, SetPackingStrategy, StableInstance};
+use o2o_par::{par_map, par_map_indexed, Parallelism};
 use o2o_trace::{Request, RequestId, Taxi, TaxiId};
 
 /// What stage 2's packing maximises.
@@ -189,6 +190,7 @@ pub struct SharingDispatcher<M> {
     metric: M,
     params: PreferenceParams,
     config: SharingConfig,
+    par: Parallelism,
 }
 
 struct GroupData {
@@ -234,13 +236,33 @@ impl<M: Metric> SharingDispatcher<M> {
             metric,
             params,
             config,
+            par: Parallelism::sequential(),
         }
+    }
+
+    /// Sets the thread budget for the expensive pipeline stages (stage-1
+    /// candidate routing, packing scores, per-taxi group evaluation).
+    ///
+    /// Results are bit-identical for every setting: the parallel maps
+    /// preserve input order and every cell is an independent computation,
+    /// so `Parallelism::sequential()` and `Parallelism::fixed(n)` produce
+    /// the same schedule.
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
     }
 
     /// The config in use.
     #[must_use]
     pub fn config(&self) -> &SharingConfig {
         &self.config
+    }
+
+    /// The thread budget in use.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
     }
 
     /// The metric in use.
@@ -296,37 +318,39 @@ impl<M: Metric> SharingDispatcher<M> {
             index.insert(i, r.pickup);
         }
         let theta = self.params.detour_threshold;
-        // Score every feasible pair once (score = canonical route length).
-        let mut pair_score: std::collections::HashMap<(usize, usize), f64> =
-            std::collections::HashMap::new();
-        let check_pair =
-            |a: usize,
-             b: usize,
-             pair_score: &mut std::collections::HashMap<(usize, usize), f64>| {
-                let key = (a.min(b), a.max(b));
-                if key.0 == key.1 || pair_score.contains_key(&key) {
-                    return;
-                }
-                if let Some(len) = crate::shared_route::min_route_length_if_within_detour(
-                    &self.metric,
-                    &[requests[key.0], requests[key.1]],
-                    theta,
-                ) {
-                    pair_score.insert(key, len);
-                }
-            };
-        for a in 0..n {
-            let radius = requests[a].trip_distance(&self.metric) + theta;
+        // Gather candidate pairs with the (cheap) radius queries first,
+        // then route them — the expensive part — in one parallel pass.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for (a, request) in requests.iter().enumerate() {
+            let radius = request.trip_distance(&self.metric) + theta;
             if !radius.is_finite() {
                 for b in (a + 1)..n {
-                    check_pair(a, b, &mut pair_score);
+                    candidates.push((a, b));
                 }
             } else {
-                for cand in index.within(requests[a].pickup, radius) {
-                    check_pair(a, cand.item, &mut pair_score);
+                for cand in index.within(request.pickup, radius) {
+                    let b = cand.item;
+                    if b != a {
+                        candidates.push((a.min(b), a.max(b)));
+                    }
                 }
             }
         }
+        candidates.sort_unstable();
+        candidates.dedup();
+        // Score every feasible pair once (score = canonical route length).
+        let lens = par_map(self.par, candidates.clone(), |(a, b)| {
+            crate::shared_route::min_route_length_if_within_detour(
+                &self.metric,
+                &[requests[a], requests[b]],
+                theta,
+            )
+        });
+        let pair_score: std::collections::HashMap<(usize, usize), f64> = candidates
+            .iter()
+            .zip(lens)
+            .filter_map(|(&key, len)| len.map(|len| (key, len)))
+            .collect();
         // Bounded candidate generation: keep each request's best partners.
         let kept: std::collections::HashSet<(usize, usize)> =
             match self.config.max_partners_per_request {
@@ -363,29 +387,46 @@ impl<M: Metric> SharingDispatcher<M> {
         if self.config.max_group_size >= 3 {
             match self.config.triples {
                 TripleCandidates::FromFeasiblePairs => {
+                    // Adjacency-closed triples are cheap to enumerate;
+                    // route each candidate in parallel. The gathered order
+                    // (a, then b's rank, then c) matches the sequential
+                    // nesting, so the output order is unchanged.
+                    let mut triple_cand: Vec<[usize; 3]> = Vec::new();
                     for a in 0..n {
                         for bi in 0..pair_ok[a].len() {
                             let b = pair_ok[a][bi];
                             for &c in &pair_ok[a][bi + 1..] {
-                                if pair_ok[b].binary_search(&c).is_ok()
-                                    && self.is_group_feasible(requests, &[a, b, c])
-                                {
-                                    out.push(vec![a, b, c]);
+                                if pair_ok[b].binary_search(&c).is_ok() {
+                                    triple_cand.push([a, b, c]);
                                 }
                             }
+                        }
+                    }
+                    let feasible = par_map(self.par, triple_cand.clone(), |[a, b, c]| {
+                        self.is_group_feasible(requests, &[a, b, c])
+                    });
+                    for ([a, b, c], ok) in triple_cand.into_iter().zip(feasible) {
+                        if ok {
+                            out.push(vec![a, b, c]);
                         }
                     }
                 }
                 TripleCandidates::Exhaustive => {
-                    for a in 0..n {
+                    // O(n³) route searches: split by leading index so the
+                    // candidate list never materialises; chunks come back
+                    // in `a` order, matching the sequential nesting.
+                    let per_a = par_map(self.par, (0..n).collect::<Vec<usize>>(), |a| {
+                        let mut found = Vec::new();
                         for b in (a + 1)..n {
                             for c in (b + 1)..n {
                                 if self.is_group_feasible(requests, &[a, b, c]) {
-                                    out.push(vec![a, b, c]);
+                                    found.push(vec![a, b, c]);
                                 }
                             }
                         }
-                    }
+                        found
+                    });
+                    out.extend(per_a.into_iter().flatten());
                 }
             }
         }
@@ -402,10 +443,8 @@ impl<M: Metric> SharingDispatcher<M> {
         // seeded from it) prefers smaller sets first and breaks ties by
         // position, so sorting by canonical route length per member makes
         // equal-cardinality packings favour compatible groups.
-        let mut scored: Vec<(usize, f64)> = candidates
-            .iter()
-            .enumerate()
-            .map(|(k, members)| {
+        let mut scored: Vec<(usize, f64)> =
+            par_map_indexed(self.par, candidates.clone(), |k, members| {
                 let group: Vec<Request> = members.iter().map(|&i| requests[i]).collect();
                 let len = crate::shared_route::min_route_length_if_within_detour(
                     &self.metric,
@@ -414,8 +453,7 @@ impl<M: Metric> SharingDispatcher<M> {
                 )
                 .unwrap_or(f64::INFINITY);
                 (k, len / members.len() as f64)
-            })
-            .collect();
+            });
         scored.sort_by(|a, b| {
             (candidates[a.0].len(), a.1)
                 .partial_cmp(&(candidates[b.0].len(), b.1))
@@ -543,16 +581,19 @@ impl<M: Metric> SharingDispatcher<M> {
                 unserved: requests.iter().map(|r| r.id).collect(),
             };
         }
-        let groups: Vec<GroupData> = self
-            .pack(requests)
-            .into_iter()
-            .map(|members| self.group_data(requests, members))
-            .collect();
-        // Evaluate every (group, taxi) pair.
-        let evals: Vec<Vec<Eval>> = groups
-            .iter()
-            .map(|g| taxis.iter().map(|t| self.evaluate(g, t)).collect())
-            .collect();
+        // Shared-route search per packed group, then the full
+        // (group × taxi) evaluation matrix — both row-parallel.
+        let groups: Vec<GroupData> = par_map(self.par, self.pack(requests), |members| {
+            self.group_data(requests, members)
+        });
+        let groups_ref = &groups;
+        let evals: Vec<Vec<Eval>> =
+            par_map(self.par, (0..groups.len()).collect::<Vec<usize>>(), |gi| {
+                taxis
+                    .iter()
+                    .map(|t| self.evaluate(&groups_ref[gi], t))
+                    .collect()
+            });
         let fits = |g: &GroupData, t: &Taxi| g.total_passengers <= u16::from(t.seats);
 
         let group_lists: Vec<Vec<usize>> = groups

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! package implements the benchmark-harness surface the `o2o-bench`
+//! benches use: [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `sample_size`/`bench_function`/`bench_with_input`, [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: after a short warm-up, the harness calibrates an
+//! iteration count so one sample takes a few milliseconds, collects
+//! `sample_size` samples and prints min/median/mean per iteration. It is
+//! deliberately simple — no outlier analysis, no HTML reports — but the
+//! numbers are honest wall-clock medians, comparable across runs on the
+//! same machine and stable enough to track the perf trajectory in
+//! `BENCH_*.json` files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing statistics of one benchmark, per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+}
+
+/// The benchmark driver handed to the closure by `bench_*`.
+pub struct Bencher {
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: find an iteration count whose batch
+        // runtime is long enough to dwarf timer overhead.
+        let mut iters: u64 = 1;
+        let batch_target = Duration::from_millis(4);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_target || iters >= 1 << 24 {
+                break;
+            }
+            // Aim directly for the target with one refinement step.
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (batch_target.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            iters = iters.saturating_mul(grow.clamp(2, 16)).min(1 << 24);
+        }
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed() / u32::try_from(iters).expect("iters fit u32")
+            })
+            .collect();
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        self.stats = Some(Stats { min, median, mean });
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            stats: None,
+        };
+        f(&mut b);
+        self.report(&id, b.stats);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            stats: None,
+        };
+        f(&mut b, input);
+        self.report(&id, b.stats);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, stats: Option<Stats>) {
+        let full = format!("{}/{}", self.name, id.id);
+        match stats {
+            Some(s) => {
+                println!(
+                    "{full:<50} time: [min {} median {} mean {}]",
+                    fmt_duration(s.min),
+                    fmt_duration(s.median),
+                    fmt_duration(s.mean),
+                );
+                self.criterion.results.push((full, s));
+            }
+            None => println!("{full:<50} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark harness.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, Stats)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks `f` outside any group (upstream's top-level
+    /// `Criterion::bench_function`).
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: 20,
+            stats: None,
+        };
+        f(&mut b);
+        match b.stats {
+            Some(s) => {
+                println!(
+                    "{:<50} time: [min {} median {} mean {}]",
+                    id.id,
+                    fmt_duration(s.min),
+                    fmt_duration(s.median),
+                    fmt_duration(s.mean),
+                );
+                self.results.push((id.id, s));
+            }
+            None => println!("{:<50} (no measurement: Bencher::iter never called)", id.id),
+        }
+        self
+    }
+
+    /// All measurements recorded so far, as `(group/id, stats)` pairs.
+    ///
+    /// Extension over upstream criterion: bench binaries use this to
+    /// compute derived quantities (e.g. sequential/parallel speedups)
+    /// without re-measuring.
+    #[must_use]
+    pub fn results(&self) -> &[(String, Stats)] {
+        &self.results
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("busy", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, work);
+
+    #[test]
+    fn harness_measures_and_records() {
+        let mut c = Criterion::default();
+        benches(&mut c);
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results()[0].1.median.as_nanos() > 0);
+        assert!(c.results()[0].0.contains("g/busy"));
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("50x100").id, "50x100");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(2)), "2.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,7 +1,6 @@
 //! Axis-aligned bounding boxes describing a city's extent.
 
 use crate::Point;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An axis-aligned rectangle on the city plane, in kilometres.
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert_eq!(city.width(), 10.0);
 /// assert_eq!(city.center(), Point::new(5.0, 4.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BBox {
     min: Point,
     max: Point,

@@ -24,12 +24,14 @@
 #![warn(missing_docs)]
 
 mod bbox;
+mod cache;
 mod grid_index;
 mod metric;
 mod point;
 mod road_network;
 
 pub use bbox::BBox;
+pub use cache::{CacheStats, DistanceCache};
 pub use grid_index::{GridIndex, Neighbor};
 pub use metric::{Euclidean, Manhattan, Metric, ScaledMetric};
 pub use point::Point;

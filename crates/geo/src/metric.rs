@@ -170,6 +170,8 @@ mod tests {
     }
 
     #[test]
+    // The borrow is the point: this test exercises the `impl Metric for &M`.
+    #[allow(clippy::needless_borrows_for_generic_args)]
     fn metric_usable_through_references() {
         fn takes_metric<M: Metric>(m: M) -> f64 {
             m.distance(Point::ORIGIN, Point::new(1.0, 0.0))

@@ -1,6 +1,5 @@
 //! Planar locations measured in kilometres.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul, Sub};
 
@@ -22,7 +21,7 @@ use std::ops::{Add, Div, Mul, Sub};
 /// assert_eq!(a.euclidean(b), 5.0);
 /// assert_eq!((a + b).x, 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// East–west coordinate in kilometres.
     pub x: f64,

@@ -176,7 +176,7 @@ impl RoadNetwork {
                 any_cell = true;
                 for &n in &self.snap_cells[r * self.snap_cols + c] {
                     let d = self.positions[n].euclidean_sq(p);
-                    if best.map_or(true, |(bd, _)| d < bd) {
+                    if best.is_none_or(|(bd, _)| d < bd) {
                         best = Some((d, n));
                     }
                 }
@@ -584,9 +584,9 @@ mod tests {
     fn distances_from_matches_pairwise() {
         let net = RoadNetwork::grid(4, 3, 0.5);
         let all = net.distances_from(NodeId(0));
-        for i in 0..net.node_count() {
+        for (i, &got) in all.iter().enumerate() {
             let d = net.node_distance(NodeId(0), NodeId(i));
-            assert!((all[i] - d).abs() < 1e-9, "node {i}: {} vs {d}", all[i]);
+            assert!((got - d).abs() < 1e-9, "node {i}: {got} vs {d}");
         }
     }
 

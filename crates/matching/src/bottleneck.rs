@@ -136,7 +136,7 @@ mod tests {
             }
             let mut best = f64::INFINITY;
             // Option: skip this row (only useful when rows > cols).
-            if costs.rows() - row - 1 >= target - matched {
+            if costs.rows() - row > target - matched {
                 best = rec(costs, row + 1, used, matched);
             }
             for c in 0..costs.cols() {

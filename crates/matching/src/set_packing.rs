@@ -430,9 +430,9 @@ impl SetPacking {
         loop {
             let mut improved = false;
             // (0 → 1)
-            for k in 0..self.sets.len() {
-                if !in_pack[k] && self.sets[k].iter().all(|&i| item_owner[i].is_none()) {
-                    in_pack[k] = true;
+            for (k, chosen) in in_pack.iter_mut().enumerate() {
+                if !*chosen && self.sets[k].iter().all(|&i| item_owner[i].is_none()) {
+                    *chosen = true;
                     for &i in &self.sets[k] {
                         item_owner[i] = Some(k);
                     }
@@ -568,7 +568,7 @@ mod tests {
         let g = inst.pack(SetPackingStrategy::Greedy);
         assert!(inst.is_valid_packing(&g));
         // Maximality: no unchosen set is disjoint from the packing.
-        let mut used = vec![false; 6];
+        let mut used = [false; 6];
         for &k in &g {
             for &i in inst.set(k) {
                 used[i] = true;

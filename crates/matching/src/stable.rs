@@ -289,10 +289,9 @@ impl StableInstance {
         let mut free: Vec<usize> = (0..self.proposers()).rev().collect();
         while let Some(p) = free.pop() {
             // Propose down p's list from its cursor.
-            loop {
-                let Some(&r) = self.proposer_lists[p].get(next[p]) else {
-                    break; // exhausted: p matches its dummy (unserved)
-                };
+            // Runs down p's list from its cursor; falling off the end
+            // means p matches its dummy (unserved).
+            while let Some(&r) = self.proposer_lists[p].get(next[p]) {
                 next[p] += 1;
                 let my_rank = self.reviewer_rank[r][p];
                 if my_rank == NOT_RANKED {
@@ -339,7 +338,7 @@ impl StableInstance {
             let p_current_rank = m.proposer_to_reviewer[p].map(|r| self.proposer_rank[p][r]);
             for &r in &self.proposer_lists[p] {
                 let pr = self.proposer_rank[p][r];
-                let p_prefers = p_current_rank.map_or(true, |cur| pr < cur);
+                let p_prefers = p_current_rank.is_none_or(|cur| pr < cur);
                 if !p_prefers {
                     continue;
                 }

@@ -1,0 +1,273 @@
+//! Deterministic fork-join parallelism for the dispatch pipeline.
+//!
+//! Two things live here:
+//!
+//! * [`Parallelism`] — a small configuration value saying how many worker
+//!   threads a stage may use. `Parallelism::auto()` reads the
+//!   `O2O_THREADS` environment variable, falling back to the machine's
+//!   available parallelism; `Parallelism::sequential()` (threads = 1)
+//!   recovers the single-threaded code path exactly.
+//! * [`par_map`] / [`par_map_indexed`] — order-preserving parallel maps
+//!   built on `std::thread::scope`. Output element `i` is always `f`
+//!   applied to input element `i`, regardless of thread count, so any
+//!   deterministic downstream consumer produces bit-identical results
+//!   for every thread count.
+//!
+//! Work is split into contiguous chunks (one per worker) rather than
+//! work-stealing: the items in this workspace (preference rows, candidate
+//! pairs, policy frames) have fairly uniform cost, and contiguous chunks
+//! keep the merge trivially deterministic and allocation-light.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// How many threads a parallel stage may use.
+///
+/// This is a *cap*, not a demand: stages run sequentially when the input
+/// is too small for forking to pay off, and never spawn more threads
+/// than there are items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Parallelism {
+    /// Exactly one thread: the sequential code path, bit-identical to
+    /// the pre-parallel implementation.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Parallelism {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// A fixed thread cap. `threads` is clamped up to 1.
+    #[must_use]
+    pub fn fixed(threads: usize) -> Self {
+        Parallelism {
+            threads: NonZeroUsize::new(threads.max(1)).expect("max(1) is nonzero"),
+        }
+    }
+
+    /// Thread cap from the environment: `O2O_THREADS` if set to a
+    /// positive integer, otherwise the machine's available parallelism
+    /// (1 if that is unknown).
+    #[must_use]
+    pub fn auto() -> Self {
+        if let Some(n) = std::env::var("O2O_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return Parallelism::fixed(n);
+        }
+        Parallelism {
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// The configured thread cap.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Whether this configuration is the sequential path.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.threads.get() == 1
+    }
+}
+
+impl Default for Parallelism {
+    /// Defaults to [`Parallelism::auto`].
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+/// Below this many items a fork is pure overhead; run inline instead.
+const MIN_ITEMS_PER_THREAD: usize = 16;
+
+/// Maps `f` over `items`, preserving order, using up to
+/// `par.threads()` threads.
+///
+/// Equivalent to `items.into_iter().map(f).collect()` — including the
+/// order of results — for every thread count. `f` runs at most once per
+/// item. Panics in `f` propagate.
+pub fn par_map<T, U, F>(par: Parallelism, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    par_map_indexed(par, items, |_, item| f(item))
+}
+
+/// Like [`par_map`] but `f` also receives the item's index in `items`.
+pub fn par_map_indexed<T, U, F>(par: Parallelism, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let len = items.len();
+    let workers = par.threads().min(len.div_ceil(MIN_ITEMS_PER_THREAD)).max(1);
+    if workers == 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    // Contiguous chunks, one per worker; chunk k covers indices
+    // [k*chunk, min((k+1)*chunk, len)). Results come back tagged with
+    // the chunk index and are re-assembled in order.
+    let chunk = len.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    // Split back-to-front so each drain is O(chunk).
+    for k in (0..workers).rev() {
+        chunks.push(items.split_off(k * chunk));
+    }
+    chunks.reverse();
+
+    let f = &f;
+    let mut out: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(k, chunk_items)| {
+                let base = k * chunk;
+                scope.spawn(move || {
+                    chunk_items
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, item)| f(base + i, item))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    let mut result = Vec::with_capacity(len);
+    for part in &mut out {
+        result.append(part);
+    }
+    result
+}
+
+/// Runs the given closures concurrently (up to `par.threads()` at a
+/// time) and returns their results in call order.
+///
+/// Convenience for heterogeneous "run these N jobs" call sites such as
+/// benchmark sweeps.
+pub fn par_run<U, F>(par: Parallelism, jobs: Vec<F>) -> Vec<U>
+where
+    U: Send,
+    F: FnOnce() -> U + Send,
+{
+    let workers = par.threads().min(jobs.len()).max(1);
+    if workers == 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    // Striped assignment: worker w takes jobs w, w+workers, ... This
+    // keeps long jobs spread across workers without a queue.
+    let mut slots: Vec<Option<F>> = jobs.into_iter().map(Some).collect();
+    let stripes: Vec<Vec<(usize, F)>> = {
+        let mut stripes: Vec<Vec<(usize, F)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let job = slot.take().expect("job taken once");
+            stripes[i % workers].push((i, job));
+        }
+        stripes
+    };
+    let mut tagged: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stripes
+            .into_iter()
+            .map(|stripe| {
+                scope.spawn(move || {
+                    stripe
+                        .into_iter()
+                        .map(|(i, job)| (i, job()))
+                        .collect::<Vec<(usize, U)>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_run worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_matches_map() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        let got = par_map(Parallelism::sequential(), items, |x| x * 3 + 1);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn parallel_preserves_order_for_every_thread_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in 1..=8 {
+            let got = par_map(Parallelism::fixed(threads), items.clone(), |x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn indexed_variant_sees_true_indices() {
+        let items: Vec<u32> = (0..500).collect();
+        let got = par_map_indexed(Parallelism::fixed(4), items, |i, x| (i, x));
+        for (i, (idx, x)) in got.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*x as usize, i);
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        // len < MIN_ITEMS_PER_THREAD must not fork (observable only via
+        // correctness here, but exercises the workers == 1 branch).
+        let got = par_map(Parallelism::fixed(8), vec![1, 2, 3], |x| x + 1);
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let got: Vec<i32> = par_map(Parallelism::fixed(4), Vec::<i32>::new(), |x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn par_run_returns_in_call_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..10usize)
+            .map(|i| Box::new(move || i * 7) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let got = par_run(Parallelism::fixed(3), jobs);
+        assert_eq!(got, (0..10usize).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fixed_clamps_zero_to_one() {
+        assert_eq!(Parallelism::fixed(0).threads(), 1);
+        assert!(Parallelism::fixed(0).is_sequential());
+        assert!(!Parallelism::fixed(2).is_sequential());
+    }
+}

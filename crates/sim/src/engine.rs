@@ -3,9 +3,12 @@
 use crate::metrics::HourBucket;
 use crate::policy::{DispatchPolicy, FrameContext};
 use crate::report::SimReport;
+use o2o_core::PickupDistances;
 use o2o_geo::{Euclidean, Metric, Point};
+use o2o_par::Parallelism;
 use o2o_trace::{Request, Taxi, TaxiId, Trace};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 /// Engine parameters; defaults reproduce the paper's setup (one-minute
 /// frames, 20 km/h).
@@ -74,10 +77,14 @@ struct TaxiState {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: SimConfig,
+    par: Parallelism,
 }
 
 impl Simulator {
-    /// Creates a simulator.
+    /// Creates a simulator. Policy-independent per-frame precomputation
+    /// (the idle × pending pick-up distance matrix) defaults to
+    /// [`Parallelism::auto`]; thread count never affects results, only
+    /// wall-clock time.
     ///
     /// # Panics
     ///
@@ -85,13 +92,31 @@ impl Simulator {
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
         config.validate().expect("invalid simulator configuration");
-        Simulator { config }
+        Simulator {
+            config,
+            par: Parallelism::auto(),
+        }
+    }
+
+    /// Sets the thread count for per-frame precomputation
+    /// ([`Parallelism::sequential`] recovers single-threaded behaviour
+    /// exactly — results are bit-identical either way).
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
     }
 
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// The precomputation thread configuration.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
     }
 
     /// Runs `policy` over `trace` with straight-line driving distances.
@@ -152,6 +177,7 @@ impl Simulator {
             total_drive_km: 0.0,
             queue_by_frame: Vec::new(),
             idle_by_frame: Vec::new(),
+            dispatch_ms_by_frame: Vec::new(),
             delay_by_hour: [HourBucket::default(); 24],
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],
@@ -185,6 +211,7 @@ impl Simulator {
                 })
                 .collect();
 
+            let mut dispatch_ms = 0.0;
             if !idle.is_empty() && !pending.is_empty() {
                 let batch_cap = self
                     .config
@@ -192,13 +219,17 @@ impl Simulator {
                     .map_or(usize::MAX, |m| m.saturating_mul(idle.len()));
                 let pending_vec: Vec<Request> =
                     pending.iter().take(batch_cap).map(|&(r, _)| r).collect();
-                let ctx = FrameContext {
-                    frame,
-                    time: time_end,
-                    idle_taxis: &idle,
-                    pending: &pending_vec,
-                };
+                let started = Instant::now();
+                // Policy-independent precomputation: the idle × pending
+                // pick-up matrix, built in parallel, only for policies
+                // that will read it.
+                let pickup = policy
+                    .wants_pickup_distances()
+                    .then(|| PickupDistances::compute(metric, &idle, &pending_vec, self.par));
+                let mut ctx = FrameContext::new(frame, time_end, &idle, &pending_vec);
+                ctx.pickup_distances = pickup.as_ref();
                 let assignments = policy.dispatch(&ctx);
+                dispatch_ms = started.elapsed().as_secs_f64() * 1e3;
 
                 let mut used_taxis = std::collections::HashSet::new();
                 let mut served_ids = std::collections::HashSet::new();
@@ -265,6 +296,7 @@ impl Simulator {
                 pending.retain(|&(r, _)| !served_ids.contains(&r.id));
             }
 
+            report.dispatch_ms_by_frame.push(dispatch_ms);
             report.queue_by_frame.push(pending.len() as u32);
             report
                 .idle_by_frame

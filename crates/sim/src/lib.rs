@@ -42,5 +42,5 @@ mod report;
 
 pub use engine::{SimConfig, Simulator};
 pub use metrics::Cdf;
-pub use policy::{DispatchPolicy, FrameAssignment, FrameContext};
+pub use policy::{cached, CachedPolicy, DispatchPolicy, FrameAssignment, FrameContext};
 pub use report::{HourlySeries, SimReport};

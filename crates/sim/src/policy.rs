@@ -23,10 +23,12 @@ use o2o_baselines::{
     LinDispatcher, MiniDispatcher, NearDispatcher, PairDispatcher, RaiiDispatcher, SarpDispatcher,
 };
 use o2o_core::{
-    NonSharingDispatcher, PreferenceParams, Schedule, SharingDispatcher, SharingSchedule,
+    NonSharingDispatcher, PickupDistances, PreferenceParams, Schedule, SharingDispatcher,
+    SharingSchedule,
 };
-use o2o_geo::{Metric, Point};
+use o2o_geo::{DistanceCache, Metric, Point};
 use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+use std::sync::Arc;
 
 /// One frame's input to a policy.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +41,26 @@ pub struct FrameContext<'a> {
     pub idle_taxis: &'a [Taxi],
     /// Requests waiting for a taxi (arrival order).
     pub pending: &'a [Request],
+    /// The frame's idle × pending pick-up distance matrix, when the
+    /// engine precomputed it (it does so only for policies that return
+    /// `true` from [`DispatchPolicy::wants_pickup_distances`]). Entries
+    /// are exactly the metric's answers, so consuming the matrix never
+    /// changes a result.
+    pub pickup_distances: Option<&'a PickupDistances>,
+}
+
+impl<'a> FrameContext<'a> {
+    /// A context with no precomputed distances (tests, custom drivers).
+    #[must_use]
+    pub fn new(frame: u64, time: u64, idle_taxis: &'a [Taxi], pending: &'a [Request]) -> Self {
+        FrameContext {
+            frame,
+            time,
+            idle_taxis,
+            pending,
+            pickup_distances: None,
+        }
+    }
 }
 
 /// One taxi's assignment for the frame.
@@ -68,6 +90,14 @@ pub trait DispatchPolicy {
     /// `ctx.pending` (each at most once); unassigned requests stay
     /// pending.
     fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment>;
+
+    /// Whether the engine should precompute the frame's idle × pending
+    /// pick-up distance matrix for this policy (see
+    /// [`FrameContext::pickup_distances`]). Defaults to `false` so
+    /// policies that would not read the matrix don't pay for it.
+    fn wants_pickup_distances(&self) -> bool {
+        false
+    }
 }
 
 impl<P: DispatchPolicy + ?Sized> DispatchPolicy for &mut P {
@@ -78,6 +108,10 @@ impl<P: DispatchPolicy + ?Sized> DispatchPolicy for &mut P {
     fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
         (**self).dispatch(ctx)
     }
+
+    fn wants_pickup_distances(&self) -> bool {
+        (**self).wants_pickup_distances()
+    }
 }
 
 impl<P: DispatchPolicy + ?Sized> DispatchPolicy for Box<P> {
@@ -87,6 +121,10 @@ impl<P: DispatchPolicy + ?Sized> DispatchPolicy for Box<P> {
 
     fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
         (**self).dispatch(ctx)
+    }
+
+    fn wants_pickup_distances(&self) -> bool {
+        (**self).wants_pickup_distances()
     }
 }
 
@@ -153,9 +191,27 @@ where
 
 macro_rules! dispatcher_policy {
     ($struct_name:ident, $doc:literal, $inner:ty, $label:literal, $call:expr) => {
+        dispatcher_policy!($struct_name, $doc, $inner, $label, $call, false);
+    };
+    ($struct_name:ident, $doc:literal, $inner:ty, $label:literal, $call:expr, $wants:literal) => {
         #[doc = $doc]
         pub struct $struct_name<M> {
             inner: $inner,
+        }
+
+        impl<M: Metric> $struct_name<M> {
+            /// Wraps a pre-built dispatcher (e.g. one configured with
+            /// `with_parallelism`) as a frame policy.
+            #[must_use]
+            pub fn from_dispatcher(inner: $inner) -> Self {
+                $struct_name { inner }
+            }
+
+            /// The wrapped dispatcher.
+            #[must_use]
+            pub fn dispatcher(&self) -> &$inner {
+                &self.inner
+            }
         }
 
         impl<M: Metric> DispatchPolicy for $struct_name<M> {
@@ -166,6 +222,10 @@ macro_rules! dispatcher_policy {
             fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
                 #[allow(clippy::redundant_closure_call)]
                 ($call)(&self.inner, ctx)
+            }
+
+            fn wants_pickup_distances(&self) -> bool {
+                $wants
             }
         }
     };
@@ -179,9 +239,10 @@ dispatcher_policy!(
     |inner: &NonSharingDispatcher<M>, ctx: &FrameContext<'_>| {
         from_schedule(
             ctx.pending,
-            &inner.passenger_optimal(ctx.idle_taxis, ctx.pending),
+            &inner.passenger_optimal_with(ctx.idle_taxis, ctx.pending, ctx.pickup_distances),
         )
-    }
+    },
+    true
 );
 
 dispatcher_policy!(
@@ -192,9 +253,10 @@ dispatcher_policy!(
     |inner: &NonSharingDispatcher<M>, ctx: &FrameContext<'_>| {
         from_schedule(
             ctx.pending,
-            &inner.taxi_optimal(ctx.idle_taxis, ctx.pending),
+            &inner.taxi_optimal_with(ctx.idle_taxis, ctx.pending, ctx.pickup_distances),
         )
-    }
+    },
+    true
 );
 
 dispatcher_policy!(
@@ -371,6 +433,67 @@ pub fn lin<M: Metric + Clone>(metric: M, params: PreferenceParams) -> LinPolicy<
     }
 }
 
+/// A policy whose dispatcher queries a shared [`DistanceCache`], cleared
+/// at the start of every frame.
+///
+/// Within one frame the same origin/destination pairs are asked for
+/// repeatedly — stage-1 feasibility routing, packing scores and the
+/// preference model all re-derive overlapping distances — so memoizing
+/// them is free speedup with bit-identical results (the cache stores the
+/// metric's exact answers). Between frames taxi locations move, so the
+/// cache is cleared per frame to keep it from growing without bound.
+///
+/// Build one with [`cached`]:
+///
+/// ```
+/// use o2o_core::PreferenceParams;
+/// use o2o_geo::Euclidean;
+/// use o2o_sim::policy;
+///
+/// let p = policy::cached(Euclidean, |metric| {
+///     policy::std_p(metric, PreferenceParams::default())
+/// });
+/// ```
+pub struct CachedPolicy<P, M> {
+    inner: P,
+    cache: Arc<DistanceCache<M>>,
+}
+
+impl<P, M> CachedPolicy<P, M> {
+    /// The shared cache (e.g. to inspect hit/miss statistics).
+    #[must_use]
+    pub fn cache(&self) -> &Arc<DistanceCache<M>> {
+        &self.cache
+    }
+}
+
+impl<P: DispatchPolicy, M: Metric> DispatchPolicy for CachedPolicy<P, M> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
+        self.cache.clear();
+        self.inner.dispatch(ctx)
+    }
+
+    fn wants_pickup_distances(&self) -> bool {
+        self.inner.wants_pickup_distances()
+    }
+}
+
+/// Wraps `metric` in a per-frame [`DistanceCache`] and hands the caching
+/// metric to `make`, which builds the underlying policy over it.
+pub fn cached<M, P, F>(metric: M, make: F) -> CachedPolicy<P, M>
+where
+    M: Metric,
+    F: FnOnce(Arc<DistanceCache<M>>) -> P,
+{
+    let cache = Arc::new(DistanceCache::new(metric));
+    let inner = make(Arc::clone(&cache));
+    CachedPolicy { inner, cache }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,12 +536,7 @@ mod tests {
     #[test]
     fn non_sharing_policies_assign_single_members() {
         let (taxis, requests) = ctx_fixture();
-        let ctx = FrameContext {
-            frame: 0,
-            time: 60,
-            idle_taxis: &taxis,
-            pending: &requests,
-        };
+        let ctx = FrameContext::new(0, 60, &taxis, &requests);
         let p = PreferenceParams::default();
         for mut policy in [
             Box::new(nstd_p(Euclidean, p)) as Box<dyn DispatchPolicy>,
@@ -437,12 +555,7 @@ mod tests {
     #[test]
     fn sharing_policies_assign_routes() {
         let (taxis, requests) = ctx_fixture();
-        let ctx = FrameContext {
-            frame: 0,
-            time: 60,
-            idle_taxis: &taxis,
-            pending: &requests,
-        };
+        let ctx = FrameContext::new(0, 60, &taxis, &requests);
         let p = PreferenceParams::default();
         for mut policy in [
             Box::new(std_p(Euclidean, p)) as Box<dyn DispatchPolicy>,
@@ -461,12 +574,7 @@ mod tests {
     #[test]
     fn egalitarian_policy_serves_frames() {
         let (taxis, requests) = ctx_fixture();
-        let ctx = FrameContext {
-            frame: 0,
-            time: 60,
-            idle_taxis: &taxis,
-            pending: &requests,
-        };
+        let ctx = FrameContext::new(0, 60, &taxis, &requests);
         let mut p = nstd_e(Euclidean, PreferenceParams::default());
         assert_eq!(p.name(), "NSTD-E");
         let out = p.dispatch(&ctx);
@@ -479,12 +587,36 @@ mod tests {
         let mut p = from_fn("noop", |_ctx: &FrameContext<'_>| Vec::new());
         assert_eq!(p.name(), "noop");
         let (taxis, requests) = ctx_fixture();
-        let ctx = FrameContext {
-            frame: 0,
-            time: 0,
-            idle_taxis: &taxis,
-            pending: &requests,
-        };
+        let ctx = FrameContext::new(0, 0, &taxis, &requests);
         assert!(p.dispatch(&ctx).is_empty());
+    }
+
+    #[test]
+    fn only_nstd_policies_want_pickup_distances() {
+        let p = PreferenceParams::default();
+        assert!(nstd_p(Euclidean, p).wants_pickup_distances());
+        assert!(nstd_t(Euclidean, p).wants_pickup_distances());
+        assert!(!nstd_e(Euclidean, p).wants_pickup_distances());
+        assert!(!std_p(Euclidean, p).wants_pickup_distances());
+        assert!(!near(Euclidean, p).wants_pickup_distances());
+    }
+
+    #[test]
+    fn cached_policy_matches_plain_and_clears_per_frame() {
+        let (taxis, requests) = ctx_fixture();
+        let ctx = FrameContext::new(0, 60, &taxis, &requests);
+        let p = PreferenceParams::default();
+        let mut plain = std_p(Euclidean, p);
+        let mut wrapped = cached(Euclidean, |metric| {
+            StdPPolicy::from_dispatcher(SharingDispatcher::new(metric, p))
+        });
+        assert_eq!(wrapped.name(), "STD-P");
+        let out = wrapped.dispatch(&ctx);
+        assert_eq!(out, plain.dispatch(&ctx));
+        assert!(wrapped.cache().stats().misses > 0);
+        // Dispatch starts by clearing, so a second frame re-misses but
+        // still matches.
+        let again = wrapped.dispatch(&ctx);
+        assert_eq!(again, out);
     }
 }

@@ -1,10 +1,9 @@
 //! Simulation results in the shapes the paper's figures use.
 
 use crate::metrics::{Cdf, HourBucket};
-use serde::Serialize;
 
 /// A 24-value hour-of-day series of averages (the Fig. 7 x-axis).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HourlySeries {
     /// `values[h]` = average over requests issued in hour `h`.
     pub values: [f64; 24],
@@ -59,6 +58,11 @@ pub struct SimReport {
     pub queue_by_frame: Vec<u32>,
     /// Idle-taxi count at each frame's dispatch (supply diagnostic).
     pub idle_by_frame: Vec<u32>,
+    /// Wall-clock milliseconds each frame spent in the dispatch step
+    /// (precomputation + policy; `0.0` for frames with nothing to
+    /// dispatch). Index = frame. This is the paper's "computation time"
+    /// axis and the signal the benchmark JSON reports.
+    pub dispatch_ms_by_frame: Vec<f64>,
     pub(crate) delay_by_hour: [HourBucket; 24],
     pub(crate) passenger_by_hour: [HourBucket; 24],
     pub(crate) taxi_by_hour: [HourBucket; 24],
@@ -138,6 +142,28 @@ impl SimReport {
         }
     }
 
+    /// Total wall-clock milliseconds spent dispatching across the run.
+    #[must_use]
+    pub fn total_dispatch_ms(&self) -> f64 {
+        self.dispatch_ms_by_frame.iter().sum()
+    }
+
+    /// Mean dispatch wall-clock per frame, in milliseconds (0 for an
+    /// empty run).
+    #[must_use]
+    pub fn avg_dispatch_ms(&self) -> f64 {
+        mean(&self.dispatch_ms_by_frame)
+    }
+
+    /// The slowest frame's dispatch wall-clock, in milliseconds.
+    #[must_use]
+    pub fn max_dispatch_ms(&self) -> f64 {
+        self.dispatch_ms_by_frame
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
     /// Fraction of served requests that shared a taxi.
     #[must_use]
     pub fn sharing_rate(&self) -> f64 {
@@ -178,6 +204,7 @@ mod tests {
             total_drive_km: 12.0,
             queue_by_frame: vec![3, 1, 0],
             idle_by_frame: vec![1, 2, 2],
+            dispatch_ms_by_frame: vec![0.5, 1.5, 0.0],
             delay_by_hour,
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],
@@ -219,6 +246,14 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_timing_aggregates() {
+        let r = report();
+        assert!((r.total_dispatch_ms() - 2.0).abs() < 1e-12);
+        assert!((r.avg_dispatch_ms() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.max_dispatch_ms(), 1.5);
+    }
+
+    #[test]
     fn empty_report_is_safe() {
         let r = SimReport {
             policy: "E".into(),
@@ -233,6 +268,7 @@ mod tests {
             total_drive_km: 0.0,
             queue_by_frame: vec![],
             idle_by_frame: vec![],
+            dispatch_ms_by_frame: vec![],
             delay_by_hour: [HourBucket::default(); 24],
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],

@@ -149,9 +149,9 @@ mod tests {
             assert!(s < 86_400);
             counts[(s / 3600) as usize] += 1;
         }
-        for h in 0..24 {
+        for (h, &count) in counts.iter().enumerate() {
             let expected = p.weight(h);
-            let got = counts[h] as f64 / n as f64;
+            let got = count as f64 / n as f64;
             assert!(
                 (got - expected).abs() < 0.01,
                 "hour {h}: got {got:.4}, expected {expected:.4}"

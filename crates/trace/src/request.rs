@@ -1,7 +1,6 @@
 //! Passenger requests — the paper's `r_j = (r_j^s, r_j^d)`.
 
 use o2o_geo::{Metric, Point};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a passenger request.
@@ -10,9 +9,7 @@ use std::fmt;
 /// ("only requests with index ≥ j may move during a BreakDispatch") is
 /// defined on this ordering, so ids should be assigned in a stable order —
 /// the generators use arrival order.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct RequestId(pub u64);
 
 impl fmt::Display for RequestId {
@@ -43,7 +40,7 @@ impl fmt::Display for RequestId {
 /// );
 /// assert_eq!(r.trip_distance(&Euclidean), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Request {
     /// Unique id; also the Rule-2 ordering (see [`RequestId`]).
     pub id: RequestId,

