@@ -116,7 +116,10 @@ impl PreferenceModel {
     /// and the parallel map preserves input order, so every float is the
     /// same operation on the same inputs as the sequential pass. When
     /// `pickup_distances` is given (shape-checked against the inputs) the
-    /// matrix pass reuses it instead of querying the metric.
+    /// matrix pass reuses it instead of querying the metric — it must
+    /// therefore have been computed with this same `metric` (a memoizing
+    /// wrapper such as a distance cache over it is fine); debug builds
+    /// assert a sampled entry agrees.
     ///
     /// # Panics
     ///
@@ -140,6 +143,20 @@ impl PreferenceModel {
                 (n_r, n_t),
                 "pickup-distance matrix shape mismatch"
             );
+            // The caller promises the matrix was computed with this same
+            // `metric`; a mismatch (e.g. Euclidean precomputation fed to
+            // a road-network policy) silently skews every preference, so
+            // spot-check one entry in debug builds.
+            if n_r > 0 && n_t > 0 {
+                let expect = metric.distance(taxis[0].location, requests[0].pickup);
+                debug_assert!(
+                    (pd.get(0, 0) - expect).abs() <= 1e-9 * expect.abs().max(1.0),
+                    "pickup-distance matrix disagrees with the policy metric \
+                     (cached {} vs metric {expect}): was it computed with a \
+                     different metric?",
+                    pd.get(0, 0),
+                );
+            }
         }
 
         // One row per request: costs against every taxi, plus the
@@ -322,6 +339,30 @@ mod tests {
         let m = PreferenceModel::build(&Euclidean, &PreferenceParams::default(), &[], &[]);
         assert_eq!(m.instance.proposers(), 0);
         assert_eq!(m.instance.reviewers(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "different metric")]
+    fn mismatched_pickup_metric_is_caught_in_debug() {
+        #[derive(Debug)]
+        struct Doubled;
+        impl Metric for Doubled {
+            fn distance(&self, a: Point, b: Point) -> f64 {
+                2.0 * Euclidean.distance(a, b)
+            }
+        }
+        let taxis = vec![taxi(0, 3.0, 0.0)];
+        let requests = vec![request(0, 0.0, 0.0, 0.0, 5.0)];
+        let pd = PickupDistances::compute(&Euclidean, &taxis, &requests, Parallelism::sequential());
+        let _ = PreferenceModel::build_with(
+            &Doubled,
+            &PreferenceParams::unbounded(),
+            &taxis,
+            &requests,
+            Parallelism::sequential(),
+            Some(&pd),
+        );
     }
 
     #[test]

@@ -124,14 +124,19 @@ where
     }
 
     // Contiguous chunks, one per worker; chunk k covers indices
-    // [k*chunk, min((k+1)*chunk, len)). Results come back tagged with
-    // the chunk index and are re-assembled in order.
+    // [k*chunk, min((k+1)*chunk, len)). Rounding chunk up can make the
+    // last chunks redundant (e.g. len = 305, workers = 19 gives
+    // chunk = 17 but only 18 chunks are needed), so recompute the worker
+    // count from the chunk size — otherwise a split index could exceed
+    // len. Results come back tagged with the chunk index and are
+    // re-assembled in order.
     let chunk = len.div_ceil(workers);
+    let workers = len.div_ceil(chunk);
     let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
     let mut items = items;
     // Split back-to-front so each drain is O(chunk).
     for k in (0..workers).rev() {
-        chunks.push(items.split_off(k * chunk));
+        chunks.push(items.split_off((k * chunk).min(items.len())));
     }
     chunks.reverse();
 
@@ -247,6 +252,25 @@ mod tests {
         // correctness here, but exercises the workers == 1 branch).
         let got = par_map(Parallelism::fixed(8), vec![1, 2, 3], |x| x + 1);
         assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn every_len_threads_pair_is_panic_free_and_ordered() {
+        // Regression: len = 305 at threads = 19 used to pick 19 workers
+        // with chunk = 17, making split_off(18 * 17 = 306) panic. Sweep
+        // lengths around chunk-rounding boundaries against a wide thread
+        // range, including counts far above any real machine.
+        let lens: Vec<usize> = (0..=40)
+            .chain([63, 64, 65, 127, 128, 129, 255, 304, 305, 306, 500, 1000])
+            .collect();
+        for len in lens {
+            let items: Vec<usize> = (0..len).collect();
+            let expect: Vec<usize> = items.iter().map(|x| x + 7).collect();
+            for threads in 1..=64 {
+                let got = par_map(Parallelism::fixed(threads), items.clone(), |x| x + 7);
+                assert_eq!(got, expect, "len = {len}, threads = {threads}");
+            }
+        }
     }
 
     #[test]

@@ -120,13 +120,31 @@ impl Simulator {
     }
 
     /// Runs `policy` over `trace` with straight-line driving distances.
+    ///
+    /// Shorthand for [`run_with_metric`](Self::run_with_metric) with
+    /// [`Euclidean`], so the same-metric requirement documented there
+    /// applies: the policy must dispatch over Euclidean distances too
+    /// (a caching wrapper around `Euclidean` is fine). A policy built
+    /// over any other metric must go through `run_with_metric` with that
+    /// metric, or the precomputed pick-up matrix would silently mix
+    /// Euclidean pick-up distances into its preferences.
     #[must_use]
     pub fn run<P: DispatchPolicy>(&self, trace: &Trace, policy: &mut P) -> SimReport {
         self.run_with_metric(&Euclidean, trace, policy)
     }
 
     /// Runs `policy` over `trace`, measuring driven distances with
-    /// `metric` (use the same metric the policy dispatches with).
+    /// `metric`.
+    ///
+    /// `metric` must be the metric the policy dispatches with (a
+    /// memoizing wrapper over it is fine): besides measuring driven
+    /// kilometres, the engine precomputes each frame's idle × pending
+    /// pick-up distance matrix with `metric` and hands it to the policy
+    /// via [`FrameContext::pickup_distances`], substituting those entries
+    /// for the policy's own metric queries. With a mismatched metric the
+    /// policy would silently mix `metric`'s pick-up distances with its
+    /// own trip distances; preference construction spot-checks a sampled
+    /// entry against the policy metric in debug builds.
     ///
     /// # Panics
     ///

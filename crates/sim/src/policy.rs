@@ -44,8 +44,10 @@ pub struct FrameContext<'a> {
     /// The frame's idle × pending pick-up distance matrix, when the
     /// engine precomputed it (it does so only for policies that return
     /// `true` from [`DispatchPolicy::wants_pickup_distances`]). Entries
-    /// are exactly the metric's answers, so consuming the matrix never
-    /// changes a result.
+    /// are exactly the answers of the metric the engine runs with, so
+    /// consuming the matrix never changes a result — provided the policy
+    /// dispatches over that same metric (see
+    /// [`Simulator::run_with_metric`](crate::Simulator::run_with_metric)).
     pub pickup_distances: Option<&'a PickupDistances>,
 }
 
