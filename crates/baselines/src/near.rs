@@ -50,20 +50,44 @@ impl<M: Metric> NearDispatcher<M> {
     /// taking the nearest idle taxi that fits the party.
     #[must_use]
     pub fn dispatch(&self, taxis: &[Taxi], requests: &[Request]) -> Schedule {
+        self.dispatch_with_grid(taxis, requests, None)
+    }
+
+    /// [`dispatch`](Self::dispatch) reusing a pre-built taxi grid (payload
+    /// = index into `taxis`), e.g. the one the simulation engine shares
+    /// across policies each frame. The grid is cloned — Near consumes it
+    /// destructively, removing each dispatched taxi. `None` builds a
+    /// private grid as before.
+    #[must_use]
+    pub fn dispatch_with_grid(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        grid: Option<&GridIndex<usize>>,
+    ) -> Schedule {
         let mut pairs = Vec::new();
         if !taxis.is_empty() {
-            let bbox = BBox::from_points(
-                taxis
-                    .iter()
-                    .map(|t| t.location)
-                    .chain(requests.iter().map(|r| r.pickup)),
-            )
-            .expect("non-empty");
-            let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
-            let mut idx = GridIndex::new(bbox, cell);
-            for (i, t) in taxis.iter().enumerate() {
-                idx.insert(i, t.location);
-            }
+            let mut idx = match grid {
+                Some(g) => {
+                    debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
+                    g.clone()
+                }
+                None => {
+                    let bbox = BBox::from_points(
+                        taxis
+                            .iter()
+                            .map(|t| t.location)
+                            .chain(requests.iter().map(|r| r.pickup)),
+                    )
+                    .expect("non-empty");
+                    let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
+                    let mut idx = GridIndex::new(bbox, cell);
+                    for (i, t) in taxis.iter().enumerate() {
+                        idx.insert(i, t.location);
+                    }
+                    idx
+                }
+            };
             let mut available = vec![true; taxis.len()];
             for (j, r) in requests.iter().enumerate() {
                 if idx.is_empty() {
@@ -193,6 +217,26 @@ mod tests {
         assert_eq!(s.served_count(), 0);
         let s = d.dispatch(&[], &[req(0, 0.0, 0.0)]);
         assert_eq!(s.unserved().len(), 1);
+    }
+
+    #[test]
+    fn shared_grid_gives_nearest_taxi_too() {
+        use o2o_core::build_taxi_grid;
+        let taxis = vec![taxi(0, 10.0, 0.0), taxi(1, 1.0, 0.0), taxi(2, -4.0, 3.0)];
+        let requests = vec![req(0, 0.0, 0.0), req(1, 9.0, 1.0)];
+        let d = NearDispatcher::new(Euclidean, PreferenceParams::paper());
+        let grid = build_taxi_grid(&taxis);
+        let shared = d.dispatch_with_grid(&taxis, &requests, Some(&grid));
+        // Same greedy contract as the private-grid path: each request gets
+        // the nearest still-free taxi.
+        assert_eq!(
+            shared.assignment_of(RequestId(0)),
+            DispatchOutcome::Assigned(TaxiId(1))
+        );
+        assert_eq!(
+            shared.assignment_of(RequestId(1)),
+            DispatchOutcome::Assigned(TaxiId(0))
+        );
     }
 
     proptest! {

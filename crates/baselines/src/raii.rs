@@ -69,24 +69,48 @@ impl<M: Metric> RaiiDispatcher<M> {
     /// Dispatches the frame.
     #[must_use]
     pub fn dispatch(&self, taxis: &[Taxi], requests: &[Request]) -> SharingSchedule {
+        self.dispatch_with_grid(taxis, requests, None)
+    }
+
+    /// [`dispatch`](Self::dispatch) reusing a pre-built taxi grid (payload
+    /// = index into `taxis`), e.g. the one the simulation engine shares
+    /// across policies each frame. The grid is cloned — RAII consumes it
+    /// destructively, removing each taxi that starts a group. `None`
+    /// builds a private grid as before.
+    #[must_use]
+    pub fn dispatch_with_grid(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        grid: Option<&GridIndex<usize>>,
+    ) -> SharingSchedule {
         if taxis.is_empty() || requests.is_empty() {
             return SharingSchedule {
                 assignments: Vec::new(),
                 unserved: requests.iter().map(|r| r.id).collect(),
             };
         }
-        let bbox = BBox::from_points(
-            taxis
-                .iter()
-                .map(|t| t.location)
-                .chain(requests.iter().map(|r| r.pickup)),
-        )
-        .expect("non-empty");
-        let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
-        let mut idle = GridIndex::new(bbox, cell);
-        for (i, t) in taxis.iter().enumerate() {
-            idle.insert(i, t.location);
-        }
+        let mut idle = match grid {
+            Some(g) => {
+                debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
+                g.clone()
+            }
+            None => {
+                let bbox = BBox::from_points(
+                    taxis
+                        .iter()
+                        .map(|t| t.location)
+                        .chain(requests.iter().map(|r| r.pickup)),
+                )
+                .expect("non-empty");
+                let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
+                let mut idle = GridIndex::new(bbox, cell);
+                for (i, t) in taxis.iter().enumerate() {
+                    idle.insert(i, t.location);
+                }
+                idle
+            }
+        };
         // groups[g] = (taxi index, member request indices, current drive)
         let mut groups: Vec<(usize, Vec<usize>, f64)> = Vec::new();
         let mut unserved = Vec::new();
@@ -232,6 +256,18 @@ mod tests {
         assert_eq!(s.served_count(), 0);
         let s = dispatcher().dispatch(&[], &[req(0, 0.0, 1.0)]);
         assert_eq!(s.unserved, vec![RequestId(0)]);
+    }
+
+    #[test]
+    fn shared_grid_serves_the_same_frame() {
+        use o2o_core::build_taxi_grid;
+        let taxis = vec![taxi(0, -1.0), taxi(1, -50.0)];
+        let requests = vec![req(0, 0.0, 10.0), req(1, 2.0, 8.0)];
+        let grid = build_taxi_grid(&taxis);
+        let s = dispatcher().dispatch_with_grid(&taxis, &requests, Some(&grid));
+        assert_eq!(s.served_count(), 2);
+        let g = s.group_of(TaxiId(0)).expect("near taxi serves the pair");
+        assert_eq!(g.members.len(), 2);
     }
 
     #[test]

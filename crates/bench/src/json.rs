@@ -203,6 +203,9 @@ pub fn policy_json(r: &SimReport) -> Json {
             "dispatch_ms_by_frame",
             Json::arr(r.dispatch_ms_by_frame.iter().copied()),
         ),
+        ("total_cache_hits", r.total_cache_hits().into()),
+        ("total_cache_misses", r.total_cache_misses().into()),
+        ("cache_hit_rate", r.cache_hit_rate().into()),
     ])
 }
 
@@ -327,5 +330,23 @@ mod tests {
         assert!(s.contains("\"policy\": \"Near\""));
         assert!(s.contains("\"dispatch_ms_by_frame\": ["));
         assert!(s.contains("\"total_dispatch_ms\""));
+        assert!(s.contains("\"cache_hit_rate\""));
+    }
+
+    #[test]
+    fn policy_json_reports_cache_effectiveness_for_cached_policies() {
+        let trace = o2o_trace::boston_september_2012(0.001).taxis(3).generate(5);
+        let reports = crate::run_policies(
+            &trace,
+            &[crate::PolicyKind::StdP],
+            o2o_core::PreferenceParams::default(),
+            o2o_sim::SimConfig::default(),
+        );
+        // STD-P runs behind a per-frame distance cache, so the counters
+        // must be live (misses at minimum; hits whenever a frame repeats
+        // a query).
+        assert!(reports[0].total_cache_misses() > 0);
+        let s = policy_json(&reports[0]).to_string();
+        assert!(s.contains("\"total_cache_misses\""));
     }
 }

@@ -45,9 +45,11 @@ pub mod shared_route;
 mod std_sharing;
 
 pub use company::{fare_revenue, CompanyObjective, FareModel};
-pub use nstd::NonSharingDispatcher;
+pub use nstd::{CandidateMode, NonSharingDispatcher};
 pub use params::PreferenceParams;
-pub use prefs::{PickupDistances, PreferenceModel};
+pub use prefs::{
+    build_taxi_grid, PickupDistances, PreferenceModel, SparsePickupDistances, SparsePreferenceModel,
+};
 pub use schedule::{DispatchOutcome, Schedule};
 pub use shared_route::{RoutePlan, Stop, StopKind};
 pub use std_sharing::{

@@ -1,12 +1,60 @@
 //! Non-sharing taxi dispatch — the paper's Algorithms 1 and 2.
 
 use crate::company::CompanyObjective;
-use crate::prefs::{PickupDistances, PreferenceModel};
+use crate::prefs::{PickupDistances, PreferenceModel, SparsePreferenceModel};
 use crate::{PreferenceParams, Schedule};
-use o2o_geo::Metric;
-use o2o_matching::Matching;
+use o2o_geo::{GridIndex, Metric};
+use o2o_matching::{Matching, StableInstance};
 use o2o_par::Parallelism;
 use o2o_trace::{Request, Taxi};
+
+/// How a [`NonSharingDispatcher`] builds its per-frame preference lists.
+///
+/// Both modes produce **bit-identical schedules** for every algorithm the
+/// dispatcher exposes (property-tested in `tests/sparse_equivalence.rs`);
+/// they differ only in cost: dense materialises the full `|R|×|T|` matrix,
+/// sparse enumerates only candidates within the dummy thresholds via a
+/// taxi grid — near-linear per frame at paper-scale thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateMode {
+    /// Full `|R|×|T|` preference matrices (the original path).
+    Dense,
+    /// Grid-pruned candidate generation (the default).
+    #[default]
+    Sparse,
+}
+
+/// A frame's preference model in either candidate mode.
+#[derive(Debug, Clone)]
+enum FrameModel {
+    Dense(PreferenceModel),
+    Sparse(SparsePreferenceModel),
+}
+
+impl FrameModel {
+    fn instance(&self) -> &StableInstance {
+        match self {
+            FrameModel::Dense(m) => &m.instance,
+            FrameModel::Sparse(m) => &m.instance,
+        }
+    }
+
+    /// `D(t_i, r_j^s)` for a matched (hence mutually acceptable) pair.
+    fn pickup(&self, j: usize, i: usize) -> f64 {
+        match self {
+            FrameModel::Dense(m) => m.pickup[j][i],
+            FrameModel::Sparse(m) => m.pickup(j, i).expect("matched pair is mutually acceptable"),
+        }
+    }
+
+    /// Driver score for a matched (hence mutually acceptable) pair.
+    fn score(&self, i: usize, j: usize) -> f64 {
+        match self {
+            FrameModel::Dense(m) => m.score[i][j],
+            FrameModel::Sparse(m) => m.score(i, j).expect("matched pair is mutually acceptable"),
+        }
+    }
+}
 
 /// Non-sharing dispatcher: one request per taxi (§IV).
 ///
@@ -34,6 +82,7 @@ pub struct NonSharingDispatcher<M> {
     metric: M,
     params: PreferenceParams,
     par: Parallelism,
+    mode: CandidateMode,
 }
 
 impl<M: Metric> NonSharingDispatcher<M> {
@@ -50,6 +99,7 @@ impl<M: Metric> NonSharingDispatcher<M> {
             metric,
             params,
             par: Parallelism::sequential(),
+            mode: CandidateMode::default(),
         }
     }
 
@@ -80,6 +130,20 @@ impl<M: Metric> NonSharingDispatcher<M> {
         self.par
     }
 
+    /// Sets the candidate-generation mode. Schedules are bit-identical in
+    /// both modes; see [`CandidateMode`].
+    #[must_use]
+    pub fn with_candidate_mode(mut self, mode: CandidateMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The candidate-generation mode in use.
+    #[must_use]
+    pub fn candidate_mode(&self) -> CandidateMode {
+        self.mode
+    }
+
     /// Builds the frame's preference model (exposed for inspection,
     /// ablations and reuse across the `*_optimal` variants).
     #[must_use]
@@ -106,6 +170,44 @@ impl<M: Metric> NonSharingDispatcher<M> {
         )
     }
 
+    /// Builds the frame's sparse preference model, optionally reusing a
+    /// shared per-frame taxi grid (see [`crate::build_taxi_grid`]).
+    #[must_use]
+    pub fn sparse_preferences(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        taxi_grid: Option<&GridIndex<usize>>,
+    ) -> SparsePreferenceModel {
+        SparsePreferenceModel::build_with(
+            &self.metric,
+            &self.params,
+            taxis,
+            requests,
+            self.par,
+            taxi_grid,
+        )
+    }
+
+    /// Builds the frame model in the configured [`CandidateMode`].
+    ///
+    /// A provided dense pick-up matrix forces the dense path (that is its
+    /// contract — the matrix *is* the dense precomputation); a provided
+    /// taxi grid is only consulted on the sparse path.
+    fn frame_model(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        pickup_distances: Option<&PickupDistances>,
+        taxi_grid: Option<&GridIndex<usize>>,
+    ) -> FrameModel {
+        if self.mode == CandidateMode::Dense || pickup_distances.is_some() {
+            FrameModel::Dense(self.preferences_with(taxis, requests, pickup_distances))
+        } else {
+            FrameModel::Sparse(self.sparse_preferences(taxis, requests, taxi_grid))
+        }
+    }
+
     /// **Algorithm 1 (NSTD-P)**: the passenger-optimal stable schedule.
     ///
     /// Among all stable schedules, every request gets its best achievable
@@ -126,8 +228,22 @@ impl<M: Metric> NonSharingDispatcher<M> {
         requests: &[Request],
         pickup_distances: Option<&PickupDistances>,
     ) -> Schedule {
-        let model = self.preferences_with(taxis, requests, pickup_distances);
-        let m = model.instance.propose();
+        let model = self.frame_model(taxis, requests, pickup_distances, None);
+        let m = model.instance().propose();
+        self.to_schedule(taxis, requests, &model, &m)
+    }
+
+    /// [`passenger_optimal`](Self::passenger_optimal), reusing a shared
+    /// per-frame taxi grid on the sparse path (ignored in dense mode).
+    #[must_use]
+    pub fn passenger_optimal_with_grid(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        taxi_grid: Option<&GridIndex<usize>>,
+    ) -> Schedule {
+        let model = self.frame_model(taxis, requests, None, taxi_grid);
+        let m = model.instance().propose();
         self.to_schedule(taxis, requests, &model, &m)
     }
 
@@ -150,8 +266,22 @@ impl<M: Metric> NonSharingDispatcher<M> {
         requests: &[Request],
         pickup_distances: Option<&PickupDistances>,
     ) -> Schedule {
-        let model = self.preferences_with(taxis, requests, pickup_distances);
-        let m = model.instance.reviewer_optimal();
+        let model = self.frame_model(taxis, requests, pickup_distances, None);
+        let m = model.instance().reviewer_optimal();
+        self.to_schedule(taxis, requests, &model, &m)
+    }
+
+    /// [`taxi_optimal`](Self::taxi_optimal), reusing a shared per-frame
+    /// taxi grid on the sparse path (ignored in dense mode).
+    #[must_use]
+    pub fn taxi_optimal_with_grid(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        taxi_grid: Option<&GridIndex<usize>>,
+    ) -> Schedule {
+        let model = self.frame_model(taxis, requests, None, taxi_grid);
+        let m = model.instance().reviewer_optimal();
         self.to_schedule(taxis, requests, &model, &m)
     }
 
@@ -166,9 +296,9 @@ impl<M: Metric> NonSharingDispatcher<M> {
         requests: &[Request],
         limit: Option<usize>,
     ) -> Vec<Schedule> {
-        let model = self.preferences(taxis, requests);
+        let model = self.frame_model(taxis, requests, None, None);
         model
-            .instance
+            .instance()
             .enumerate_all(limit)
             .iter()
             .map(|m| self.to_schedule(taxis, requests, &model, m))
@@ -210,6 +340,13 @@ impl<M: Metric> NonSharingDispatcher<M> {
     ///
     /// An extension beyond the paper (its §II cites the fairness-variant
     /// literature); useful when the company wants neither side to dominate.
+    ///
+    /// Always evaluated on the **dense** preference lists regardless of
+    /// [`CandidateMode`]: the rank sums being minimised count *every*
+    /// above-dummy entry, including partners the other side rejects, so
+    /// the sparse lists (which drop those no-op entries) would tie-break
+    /// differently. Keeping this on the dense path preserves the
+    /// historical definition.
     #[must_use]
     pub fn egalitarian(
         &self,
@@ -223,6 +360,7 @@ impl<M: Metric> NonSharingDispatcher<M> {
             .instance
             .egalitarian(&all)
             .expect("enumeration yields at least one matching");
+        let model = FrameModel::Dense(model);
         self.to_schedule(taxis, requests, &model, best)
     }
 
@@ -232,10 +370,10 @@ impl<M: Metric> NonSharingDispatcher<M> {
     /// cites Sethuraman's median stable matchings \[13\]).
     #[must_use]
     pub fn median(&self, taxis: &[Taxi], requests: &[Request], limit: Option<usize>) -> Schedule {
-        let model = self.preferences(taxis, requests);
-        let all = model.instance.enumerate_all(limit);
+        let model = self.frame_model(taxis, requests, None, None);
+        let all = model.instance().enumerate_all(limit);
         let median = model
-            .instance
+            .instance()
             .median_stable_matching(&all)
             .expect("enumeration yields at least one matching");
         self.to_schedule(taxis, requests, &model, &median)
@@ -263,7 +401,7 @@ impl<M: Metric> NonSharingDispatcher<M> {
         &self,
         taxis: &[Taxi],
         requests: &[Request],
-        model: &PreferenceModel,
+        model: &FrameModel,
         m: &Matching,
     ) -> Schedule {
         let request_ids = requests.iter().map(|r| r.id).collect();
@@ -273,10 +411,10 @@ impl<M: Metric> NonSharingDispatcher<M> {
         let passenger_cost = request_to_taxi
             .iter()
             .enumerate()
-            .map(|(j, ti)| ti.map(|i| model.pickup[j][i]))
+            .map(|(j, ti)| ti.map(|i| model.pickup(j, i)))
             .collect();
         let taxi_cost = (0..taxis.len())
-            .map(|i| m.reviewer_partner(i).map(|j| model.score[i][j]))
+            .map(|i| m.reviewer_partner(i).map(|j| model.score(i, j)))
             .collect();
         Schedule::from_parts(
             request_ids,

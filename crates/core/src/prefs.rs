@@ -14,7 +14,7 @@
 //! the raw cost matrices needed to report dissatisfaction afterwards.
 
 use crate::PreferenceParams;
-use o2o_geo::Metric;
+use o2o_geo::{heuristic_cell_size, BBox, GridIndex, Metric, Point};
 use o2o_matching::StableInstance;
 use o2o_par::{par_map, Parallelism};
 use o2o_trace::{Request, Taxi};
@@ -235,6 +235,340 @@ impl PreferenceModel {
     }
 }
 
+/// Builds the per-frame spatial index over taxi positions: taxi *index*
+/// payloads (positions in the input slice) in a grid sized by
+/// [`heuristic_cell_size`].
+///
+/// Built once per frame and shared by the sparse preference builder and the
+/// grid-based baselines. The bounding box covers only the taxis; queries
+/// from pick-up points outside it are still exact (the grid clamps the
+/// query cell, which only shrinks per-axis offsets to stored points, so
+/// ring lower bounds remain valid).
+#[must_use]
+pub fn build_taxi_grid(taxis: &[Taxi]) -> GridIndex<usize> {
+    let bbox = BBox::from_points(taxis.iter().map(|t| t.location))
+        .unwrap_or_else(|| BBox::square(Point::ORIGIN, 1.0));
+    GridIndex::bulk_build(
+        bbox,
+        heuristic_cell_size(bbox),
+        taxis
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.location))
+            .collect(),
+    )
+}
+
+/// Sparse per-request pick-up distances: for each request, only the taxis
+/// a grid prefilter admits as possibly mutually acceptable.
+///
+/// A pair `(t_i, r_j)` can appear in any preference list only when both
+/// sides accept it: `D(t_i, r_j^s) ≤ θ_p` (passenger) **and**
+/// `D(t_i, r_j^s) − α·trip_j ≤ θ_t` (driver) — entries failing either test
+/// are no-ops in every stable-matching algorithm (a proposal to a reviewer
+/// that does not rank you back is skipped, and vice versa), so dropping
+/// them changes nothing. Both tests bound the pick-up distance by
+/// `min(θ_p, θ_t + α·trip_j)`, which a taxi grid answers in `O(candidates)`
+/// instead of `O(|T|)` per request.
+///
+/// The grid measures Euclidean distance, which must lower-bound the
+/// dispatch metric (true for [`o2o_geo::Manhattan`] and for road networks
+/// whose edge weights are at least the segment lengths — the same contract
+/// [`GridIndex`] documents for the baselines). The query radius is inflated
+/// by a relative `1e-9` slack so the float rounding of `d − α·trip` can
+/// never exclude a taxi the dense filter `d − α·trip ≤ θ_t` would admit;
+/// candidates then pass through exactly the dense filters on the true
+/// metric distances, keeping the surviving set — and every cost — bit-for-
+/// bit identical to the dense path.
+#[derive(Debug, Clone)]
+pub struct SparsePickupDistances {
+    n_requests: usize,
+    n_taxis: usize,
+    /// `rows[j]` = `(taxi index, D(t_i, r_j^s))` for every prefiltered
+    /// candidate, sorted by `(distance, taxi index)`.
+    rows: Vec<Vec<(usize, f64)>>,
+    /// `trips[j]` = `D(r_j^s, r_j^d)`.
+    trips: Vec<f64>,
+}
+
+impl SparsePickupDistances {
+    /// Computes candidate rows for every request, in parallel.
+    ///
+    /// `grid` must index `0..taxis.len()` at the taxis' current locations
+    /// (see [`build_taxi_grid`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PreferenceParams::validate`]. Debug builds
+    /// assert that `grid` holds one entry per taxi.
+    #[must_use]
+    pub fn compute<M: Metric>(
+        metric: &M,
+        params: &PreferenceParams,
+        taxis: &[Taxi],
+        requests: &[Request],
+        grid: &GridIndex<usize>,
+        par: Parallelism,
+    ) -> Self {
+        params.validate().expect("invalid preference parameters");
+        debug_assert_eq!(
+            grid.len(),
+            taxis.len(),
+            "taxi grid does not match the taxi slice"
+        );
+        let n_r = requests.len();
+        let n_t = taxis.len();
+        let rows_trips: Vec<(Vec<(usize, f64)>, f64)> = par_map(par, (0..n_r).collect(), |j| {
+            let r = &requests[j];
+            let trip = r.trip_distance(metric);
+            let alpha_trip = params.alpha * trip;
+            let bound = params
+                .passenger_threshold
+                .min(params.taxi_threshold + alpha_trip);
+            // Inflate to absorb the rounding of `d − α·trip` vs
+            // `θ_t + α·trip`; exact filters run on metric distances later.
+            let radius = bound + 1e-9 * (1.0 + bound.abs() + alpha_trip.abs());
+            let mut row: Vec<(usize, f64)> = if radius.is_nan() || radius < 0.0 {
+                Vec::new()
+            } else {
+                grid.within(r.pickup, radius)
+                    .into_iter()
+                    .map(|n| {
+                        let i = n.item;
+                        (i, metric.distance(taxis[i].location, r.pickup))
+                    })
+                    .collect()
+            };
+            // Same total order as the dense row sort: metric distance,
+            // then taxi index.
+            row.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            (row, trip)
+        });
+        let mut rows = Vec::with_capacity(n_r);
+        let mut trips = Vec::with_capacity(n_r);
+        for (row, trip) in rows_trips {
+            rows.push(row);
+            trips.push(trip);
+        }
+        SparsePickupDistances {
+            n_requests: n_r,
+            n_taxis: n_t,
+            rows,
+            trips,
+        }
+    }
+
+    /// Candidate `(taxi, D(t_i, r_j^s))` pairs for request `j`, sorted by
+    /// `(distance, taxi index)`.
+    #[must_use]
+    pub fn row(&self, request: usize) -> &[(usize, f64)] {
+        &self.rows[request]
+    }
+
+    /// `D(r_j^s, r_j^d)` for request `j`.
+    #[must_use]
+    pub fn trip(&self, request: usize) -> f64 {
+        self.trips[request]
+    }
+
+    /// `(requests, taxis)` dimensions of the (virtual) matrix.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n_requests, self.n_taxis)
+    }
+
+    /// Total number of stored candidate pairs — the sparse analogue of
+    /// `|R|·|T|`; benchmark reports use the ratio as the pruning factor.
+    #[must_use]
+    pub fn candidate_count(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+}
+
+/// Sparse preference orders of one dispatch frame.
+///
+/// Semantically the same frame as [`PreferenceModel`] restricted to
+/// *mutually acceptable* pairs: every algorithm on
+/// [`SparsePreferenceModel::instance`] yields the same matchings, and every
+/// reported cost is the same float, as the dense model (property-tested in
+/// `tests/sparse_equivalence.rs`). Costs are stored per list entry rather
+/// than as `|R|×|T|` matrices.
+#[derive(Debug, Clone)]
+pub struct SparsePreferenceModel {
+    /// The stable-marriage instance (requests propose), with hashmap ranks.
+    pub instance: StableInstance,
+    /// `pickup_costs[j][k]` = `D(t_i, r_j^s)` for `i` = `k`-th entry of
+    /// request `j`'s list.
+    pub pickup_costs: Vec<Vec<f64>>,
+    /// `score_costs[i][k]` = driver score for `j` = `k`-th entry of taxi
+    /// `i`'s list.
+    pub score_costs: Vec<Vec<f64>>,
+}
+
+impl SparsePreferenceModel {
+    /// Builds the sparse preference orders single-threaded, constructing a
+    /// fresh taxi grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PreferenceParams::validate`].
+    #[must_use]
+    pub fn build<M: Metric>(
+        metric: &M,
+        params: &PreferenceParams,
+        taxis: &[Taxi],
+        requests: &[Request],
+    ) -> Self {
+        Self::build_with(
+            metric,
+            params,
+            taxis,
+            requests,
+            Parallelism::sequential(),
+            None,
+        )
+    }
+
+    /// [`build`](Self::build) with a thread budget and an optional shared
+    /// per-frame taxi grid (built once by the caller, e.g. the simulator,
+    /// and reused across policies).
+    ///
+    /// Bit-identical for every `par` and for shared vs freshly-built grids
+    /// (the grid only prefilters; all accepted/rejected decisions and all
+    /// costs come from exact metric evaluations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PreferenceParams::validate`].
+    #[must_use]
+    pub fn build_with<M: Metric>(
+        metric: &M,
+        params: &PreferenceParams,
+        taxis: &[Taxi],
+        requests: &[Request],
+        par: Parallelism,
+        taxi_grid: Option<&GridIndex<usize>>,
+    ) -> Self {
+        params.validate().expect("invalid preference parameters");
+        let owned;
+        let grid = match taxi_grid {
+            Some(g) => g,
+            None => {
+                owned = build_taxi_grid(taxis);
+                &owned
+            }
+        };
+        let spd = SparsePickupDistances::compute(metric, params, taxis, requests, grid, par);
+        Self::from_sparse_distances(params, taxis, requests, par, &spd)
+    }
+
+    /// Builds the model from precomputed sparse distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PreferenceParams::validate`] or `spd` has
+    /// the wrong shape.
+    #[must_use]
+    pub fn from_sparse_distances(
+        params: &PreferenceParams,
+        taxis: &[Taxi],
+        requests: &[Request],
+        par: Parallelism,
+        spd: &SparsePickupDistances,
+    ) -> Self {
+        params.validate().expect("invalid preference parameters");
+        let n_r = requests.len();
+        let n_t = taxis.len();
+        assert_eq!(
+            spd.shape(),
+            (n_r, n_t),
+            "sparse pickup-distance shape mismatch"
+        );
+
+        // Passenger side: apply the exact (dense-identical) filters to the
+        // prefiltered candidates. Rows are already in (distance, index)
+        // order, the dense list order restricted to a subset.
+        type Row = (Vec<usize>, Vec<f64>, Vec<f64>);
+        let rows: Vec<Row> = par_map(par, (0..n_r).collect(), |j| {
+            let r = &requests[j];
+            let trip = spd.trip(j);
+            let mut list = Vec::new();
+            let mut costs = Vec::new();
+            let mut scores = Vec::new();
+            for &(i, d) in spd.row(j) {
+                let score = d - params.alpha * trip;
+                if taxis[i].seats >= r.passengers
+                    && d <= params.passenger_threshold
+                    && score <= params.taxi_threshold
+                {
+                    list.push(i);
+                    costs.push(d);
+                    scores.push(score);
+                }
+            }
+            (list, costs, scores)
+        });
+
+        // Driver side: scatter each accepted (request, score) pair into
+        // its taxi's bucket in request order, then sort per taxi by
+        // (score, request index) — a stable sort with the dense
+        // comparator, so each taxi list is the dense list restricted to
+        // mutual pairs, in the same order.
+        let mut request_lists = Vec::with_capacity(n_r);
+        let mut pickup_costs = Vec::with_capacity(n_r);
+        let mut buckets: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_t];
+        for (j, (list, costs, scores)) in rows.into_iter().enumerate() {
+            for (&i, &score) in list.iter().zip(&scores) {
+                buckets[i].push((j, score));
+            }
+            request_lists.push(list);
+            pickup_costs.push(costs);
+        }
+        let cols: Vec<(Vec<usize>, Vec<f64>)> = par_map(par, buckets, |mut bucket| {
+            bucket.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            bucket.into_iter().unzip()
+        });
+        let mut taxi_lists = Vec::with_capacity(n_t);
+        let mut score_costs = Vec::with_capacity(n_t);
+        for (list, scores) in cols {
+            taxi_lists.push(list);
+            score_costs.push(scores);
+        }
+
+        let instance = StableInstance::new_sparse(request_lists, taxi_lists)
+            .expect("generated lists are in range and duplicate-free");
+        SparsePreferenceModel {
+            instance,
+            pickup_costs,
+            score_costs,
+        }
+    }
+
+    /// `D(t_i, r_j^s)` for a pair on request `j`'s list, or `None` when
+    /// the pair is not mutually acceptable.
+    #[must_use]
+    pub fn pickup(&self, request: usize, taxi: usize) -> Option<f64> {
+        let k = self.instance.proposer_rank_of(request, taxi)?;
+        Some(self.pickup_costs[request][k as usize])
+    }
+
+    /// Driver score for a pair on taxi `i`'s list, or `None` when the pair
+    /// is not mutually acceptable.
+    #[must_use]
+    pub fn score(&self, taxi: usize, request: usize) -> Option<f64> {
+        let k = self.instance.reviewer_rank_of(taxi, request)?;
+        Some(self.score_costs[taxi][k as usize])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +697,90 @@ mod tests {
             Parallelism::sequential(),
             Some(&pd),
         );
+    }
+
+    #[test]
+    fn sparse_lists_are_dense_lists_restricted_to_mutual_pairs() {
+        let taxis: Vec<Taxi> = (0..12)
+            .map(|i| {
+                taxi(
+                    i,
+                    (i as f64 * 2.3) % 9.0 - 4.0,
+                    (i as f64 * 1.7) % 8.0 - 4.0,
+                )
+            })
+            .collect();
+        let requests: Vec<Request> = (0..10)
+            .map(|j| {
+                request(
+                    j,
+                    (j as f64 * 3.1) % 8.0 - 4.0,
+                    (j as f64 * 1.3) % 7.0 - 3.0,
+                    (j as f64 * 2.9) % 9.0 - 4.5,
+                    (j as f64 * 0.7) % 6.0 - 3.0,
+                )
+            })
+            .collect();
+        for params in [
+            PreferenceParams::paper(),
+            PreferenceParams::unbounded(),
+            PreferenceParams::paper()
+                .with_passenger_threshold(3.0)
+                .with_taxi_threshold(0.5),
+        ] {
+            let dense = PreferenceModel::build(&Euclidean, &params, &taxis, &requests);
+            let sparse = SparsePreferenceModel::build(&Euclidean, &params, &taxis, &requests);
+            for j in 0..requests.len() {
+                // Sparse passenger list = dense list minus entries the
+                // taxi side rejects, order preserved; costs identical.
+                let expect: Vec<usize> = dense
+                    .instance
+                    .proposer_list(j)
+                    .iter()
+                    .copied()
+                    .filter(|&i| dense.instance.reviewer_rank_of(i, j).is_some())
+                    .collect();
+                assert_eq!(sparse.instance.proposer_list(j), expect.as_slice());
+                for &i in sparse.instance.proposer_list(j) {
+                    assert_eq!(sparse.pickup(j, i), Some(dense.pickup[j][i]));
+                }
+            }
+            for i in 0..taxis.len() {
+                let expect: Vec<usize> = dense
+                    .instance
+                    .reviewer_list(i)
+                    .iter()
+                    .copied()
+                    .filter(|&j| dense.instance.proposer_rank_of(j, i).is_some())
+                    .collect();
+                assert_eq!(sparse.instance.reviewer_list(i), expect.as_slice());
+                for &j in sparse.instance.reviewer_list(i) {
+                    assert_eq!(sparse.score(i, j), Some(dense.score[i][j]));
+                }
+            }
+            // And the headline algorithms agree exactly.
+            assert_eq!(dense.instance.propose(), sparse.instance.propose());
+            assert_eq!(
+                dense.instance.reviewer_optimal(),
+                sparse.instance.reviewer_optimal()
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_build_handles_empty_frames() {
+        let params = PreferenceParams::paper();
+        let m = SparsePreferenceModel::build(&Euclidean, &params, &[], &[]);
+        assert_eq!(m.instance.proposers(), 0);
+        assert_eq!(m.instance.reviewers(), 0);
+        let taxis = vec![taxi(0, 0.0, 0.0)];
+        let m = SparsePreferenceModel::build(&Euclidean, &params, &taxis, &[]);
+        assert_eq!(m.instance.reviewers(), 1);
+        assert!(m.instance.reviewer_list(0).is_empty());
+        let requests = vec![request(0, 1.0, 0.0, 2.0, 0.0)];
+        let m = SparsePreferenceModel::build(&Euclidean, &params, &[], &requests);
+        assert_eq!(m.instance.proposers(), 1);
+        assert!(m.instance.proposer_list(0).is_empty());
     }
 
     #[test]

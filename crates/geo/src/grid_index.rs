@@ -7,6 +7,19 @@
 //! than linear scans across a 700-taxi fleet every frame.
 
 use crate::{BBox, Point};
+use o2o_par::{par_map, Parallelism};
+
+/// Cell side (km) that works well for per-frame taxi indices: the city's
+/// larger extent split into 32 cells, but never below 250 m so tiny boxes
+/// do not degenerate into thousands of near-empty cells.
+///
+/// This is the sizing already used by the `near`/`raii` baselines; the
+/// sparse preference-list builder shares it so one grid per frame serves
+/// every consumer.
+#[must_use]
+pub fn heuristic_cell_size(bbox: BBox) -> f64 {
+    (bbox.width().max(bbox.height()) / 32.0).max(0.25)
+}
 
 /// An item returned from a proximity query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +82,43 @@ impl<T: Clone + PartialEq> GridIndex<T> {
             cells: vec![Vec::new(); cols * rows],
             len: 0,
         }
+    }
+
+    /// Builds an index from a batch of items in one pass, pre-sizing every
+    /// cell so construction does no per-insert reallocation.
+    ///
+    /// Equivalent to [`GridIndex::new`] followed by [`GridIndex::insert`]
+    /// for each item in order (so per-cell item order — and therefore
+    /// query tie-breaking — is identical), but O(n) with exactly one
+    /// allocation per non-empty cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not positive and finite.
+    #[must_use]
+    pub fn bulk_build(bbox: BBox, cell_size: f64, items: Vec<(T, Point)>) -> Self {
+        let mut idx = GridIndex::new(bbox, cell_size);
+        let ids: Vec<usize> = items
+            .iter()
+            .map(|&(_, p)| {
+                let (c, r) = idx.cell_of(p);
+                r * idx.cols + c
+            })
+            .collect();
+        let mut counts = vec![0usize; idx.cells.len()];
+        for &id in &ids {
+            counts[id] += 1;
+        }
+        for (cell, &n) in idx.cells.iter_mut().zip(&counts) {
+            if n > 0 {
+                cell.reserve_exact(n);
+            }
+        }
+        idx.len = items.len();
+        for ((item, p), id) in items.into_iter().zip(ids) {
+            idx.cells[id].push((item, p));
+        }
+        idx
     }
 
     /// Number of stored items.
@@ -152,7 +202,9 @@ impl<T: Clone + PartialEq> GridIndex<T> {
 
     /// The `k` stored items nearest to `query`, closest first.
     ///
-    /// Returns fewer than `k` when fewer are stored.
+    /// Returns fewer than `k` when fewer are stored. Ties in distance are
+    /// broken deterministically by discovery order: outer rings after
+    /// inner rings, and insertion order within a cell.
     #[must_use]
     pub fn k_nearest(&self, query: Point, k: usize) -> Vec<Neighbor<T>> {
         if k == 0 || self.len == 0 {
@@ -173,13 +225,10 @@ impl<T: Clone + PartialEq> GridIndex<T> {
             for (c, r) in self.ring(qc, qr, ring) {
                 for (item, loc) in &self.cells[r * self.cols + c] {
                     let d = loc.euclidean(query);
-                    let pos = best
-                        .binary_search_by(|n| {
-                            n.distance
-                                .partial_cmp(&d)
-                                .unwrap_or(std::cmp::Ordering::Equal)
-                        })
-                        .unwrap_or_else(|e| e);
+                    // Upper-bound insertion point: equal distances keep
+                    // discovery order (ring scan, then insertion order
+                    // within a cell), making tie-breaking deterministic.
+                    let pos = best.partition_point(|n| n.distance <= d);
                     if pos < k {
                         best.insert(
                             pos,
@@ -196,15 +245,28 @@ impl<T: Clone + PartialEq> GridIndex<T> {
         best
     }
 
-    /// All stored items within `radius` kilometres of `query`, closest
-    /// first.
+    /// All stored items within `radius` kilometres of `query` (inclusive:
+    /// points at exactly `radius` are returned), closest first.
+    ///
+    /// Ties in distance keep discovery order (the sort is stable), so the
+    /// result order is fully deterministic. An infinite radius returns
+    /// every stored item.
     #[must_use]
     pub fn within(&self, query: Point, radius: f64) -> Vec<Neighbor<T>> {
-        if radius < 0.0 || self.len == 0 {
+        if radius < 0.0 || radius.is_nan() || self.len == 0 {
             return Vec::new();
         }
         let (qc, qr) = self.cell_of(query);
-        let max_ring = ((radius / self.cell_size).ceil() as usize) + 1;
+        // `radius / cell_size` can overflow usize for huge or infinite
+        // radii (`as usize` saturates to usize::MAX, and a plain `+ 1`
+        // would wrap); saturate and let the `min` below cap the scan at
+        // the whole grid.
+        let rings = (radius / self.cell_size).ceil();
+        let max_ring = if rings < usize::MAX as f64 {
+            (rings as usize).saturating_add(1)
+        } else {
+            usize::MAX
+        };
         let mut out = Vec::new();
         for ring in 0..=max_ring.min(self.cols.max(self.rows)) {
             for (c, r) in self.ring(qc, qr, ring) {
@@ -265,6 +327,24 @@ impl<T: Clone + PartialEq> GridIndex<T> {
             }
         }
         cells
+    }
+}
+
+impl<T: Clone + PartialEq + Send + Sync> GridIndex<T> {
+    /// Answers many radius queries against one immutable index, in
+    /// parallel, preserving query order.
+    ///
+    /// Element `i` of the result is exactly `self.within(queries[i].0,
+    /// queries[i].1)` for every thread count — the parallel map is
+    /// order-preserving — so batched callers (the sparse preference-list
+    /// builder) stay bit-identical to the sequential path.
+    #[must_use]
+    pub fn within_batch(
+        &self,
+        queries: &[(Point, f64)],
+        par: Parallelism,
+    ) -> Vec<Vec<Neighbor<T>>> {
+        par_map(par, queries.to_vec(), |(q, radius)| self.within(q, radius))
     }
 }
 
@@ -379,6 +459,149 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_cell_size_panics() {
         let _ = GridIndex::<u32>::new(city(), 0.0);
+    }
+
+    #[test]
+    fn within_includes_points_exactly_on_radius() {
+        let mut idx = GridIndex::new(city(), 1.0);
+        idx.insert(1u32, Point::new(2.5, 0.0)); // exactly on the radius
+        idx.insert(2u32, Point::new(0.0, 2.5)); // exactly on the radius
+        idx.insert(3u32, Point::new(2.6, 0.0)); // just outside
+        let got = idx.within(Point::ORIGIN, 2.5);
+        let mut items: Vec<_> = got.iter().map(|n| n.item).collect();
+        items.sort_unstable();
+        assert_eq!(
+            items,
+            vec![1, 2],
+            "boundary points must be included, just-outside excluded"
+        );
+    }
+
+    #[test]
+    fn queries_on_and_outside_bbox_boundary_are_exact() {
+        let mut idx = GridIndex::new(city(), 1.0);
+        // Corner of the 20 km box centred on the origin.
+        let corner = Point::new(10.0, 10.0);
+        idx.insert(1u32, Point::new(9.0, 9.0));
+        idx.insert(2u32, Point::new(-9.0, -9.0));
+        // Query exactly on the boundary corner.
+        let n = idx.nearest(corner).unwrap();
+        assert_eq!(n.item, 1);
+        // Query far outside: clamping only shrinks per-axis offsets for
+        // stored (in-box) points, so ring lower bounds stay valid and the
+        // true distances are still measured from the raw query point.
+        let outside = Point::new(50.0, 50.0);
+        let n = idx.nearest(outside).unwrap();
+        assert_eq!(n.item, 1);
+        assert!((n.distance - outside.euclidean(Point::new(9.0, 9.0))).abs() < 1e-12);
+        let got = idx.within(outside, 60.0);
+        assert_eq!(got.iter().map(|n| n.item).collect::<Vec<_>>(), vec![1]);
+        let got = idx.within(outside, 100.0);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn k_nearest_breaks_ties_by_discovery_order() {
+        // Four items equidistant from the query, all in one cell: ties
+        // must resolve to insertion order, every time.
+        let mut idx = GridIndex::new(city(), 40.0);
+        idx.insert(10u32, Point::new(1.0, 0.0));
+        idx.insert(11u32, Point::new(-1.0, 0.0));
+        idx.insert(12u32, Point::new(0.0, 1.0));
+        idx.insert(13u32, Point::new(0.0, -1.0));
+        for _ in 0..3 {
+            let got = idx.k_nearest(Point::ORIGIN, 2);
+            assert_eq!(got.iter().map(|n| n.item).collect::<Vec<_>>(), vec![10, 11]);
+            let all = idx.k_nearest(Point::ORIGIN, 4);
+            assert_eq!(
+                all.iter().map(|n| n.item).collect::<Vec<_>>(),
+                vec![10, 11, 12, 13]
+            );
+        }
+    }
+
+    #[test]
+    fn within_infinite_radius_returns_everything() {
+        // Regression: `(radius / cell_size).ceil() as usize + 1` used to
+        // overflow for radius = +inf (saturating cast to usize::MAX).
+        let mut idx = GridIndex::new(city(), 1.0);
+        for i in 0..7 {
+            idx.insert(i, Point::new(i as f64 - 3.0, 2.0));
+        }
+        let got = idx.within(Point::ORIGIN, f64::INFINITY);
+        assert_eq!(got.len(), 7);
+        assert!(idx.within(Point::ORIGIN, f64::NAN).is_empty());
+        assert_eq!(idx.within(Point::ORIGIN, f64::MAX).len(), 7);
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental_inserts() {
+        let pts: Vec<(u32, Point)> = (0..50)
+            .map(|i| {
+                (
+                    i,
+                    Point::new((i as f64 * 7.3) % 19.0 - 9.5, (i as f64 * 3.1) % 18.0 - 9.0),
+                )
+            })
+            .collect();
+        let bulk = GridIndex::bulk_build(city(), 1.5, pts.clone());
+        let mut incr = GridIndex::new(city(), 1.5);
+        for (i, p) in pts {
+            incr.insert(i, p);
+        }
+        assert_eq!(bulk.len(), incr.len());
+        let q = Point::new(0.3, -0.7);
+        for radius in [0.5, 2.0, 7.0, f64::INFINITY] {
+            let a: Vec<_> = bulk.within(q, radius).iter().map(|n| n.item).collect();
+            let b: Vec<_> = incr.within(q, radius).iter().map(|n| n.item).collect();
+            assert_eq!(a, b, "radius = {radius}");
+        }
+        assert_eq!(
+            bulk.k_nearest(q, 9)
+                .iter()
+                .map(|n| n.item)
+                .collect::<Vec<_>>(),
+            incr.k_nearest(q, 9)
+                .iter()
+                .map(|n| n.item)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn within_batch_matches_single_queries_for_every_thread_count() {
+        let pts: Vec<(u32, Point)> = (0..120)
+            .map(|i| {
+                (
+                    i,
+                    Point::new((i as f64 * 1.7) % 18.0 - 9.0, (i as f64 * 2.9) % 17.0 - 8.5),
+                )
+            })
+            .collect();
+        let idx = GridIndex::bulk_build(city(), heuristic_cell_size(city()), pts);
+        let queries: Vec<(Point, f64)> = (0..40)
+            .map(|j| {
+                (
+                    Point::new(
+                        (j as f64 * 3.3) % 20.0 - 10.0,
+                        (j as f64 * 1.1) % 20.0 - 10.0,
+                    ),
+                    (j as f64 * 0.37) % 6.0,
+                )
+            })
+            .collect();
+        let expect: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|&(q, r)| idx.within(q, r).iter().map(|n| n.item).collect())
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            let got = idx.within_batch(&queries, Parallelism::fixed(threads));
+            let got: Vec<Vec<u32>> = got
+                .iter()
+                .map(|ns| ns.iter().map(|n| n.item).collect())
+                .collect();
+            assert_eq!(got, expect, "threads = {threads}");
+        }
     }
 
     proptest! {

@@ -32,7 +32,7 @@ mod road_network;
 
 pub use bbox::BBox;
 pub use cache::{CacheStats, DistanceCache};
-pub use grid_index::{GridIndex, Neighbor};
+pub use grid_index::{heuristic_cell_size, GridIndex, Neighbor};
 pub use metric::{Euclidean, Manhattan, Metric, ScaledMetric};
 pub use point::Point;
 pub use road_network::{EdgeId, NodeId, RoadNetwork, RoadNetworkBuilder, RoadNetworkError};

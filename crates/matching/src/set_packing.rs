@@ -312,7 +312,7 @@ impl SetPacking {
                     break 'outer;
                 }
                 // (1 → 2)
-                for b in 0..self.sets.len() {
+                for &b in self.conflicts_complement_candidates(w) {
                     if in_pack[b] || b == a || self.sets_conflict(a, b) {
                         continue;
                     }
@@ -451,7 +451,7 @@ impl SetPacking {
                     [w] => *w,
                     _ => continue,
                 };
-                for &b in &self.conflicts_complement_candidates(a) {
+                for &b in self.conflicts_complement_candidates(w) {
                     if in_pack[b] || b == a || self.sets_conflict(a, b) {
                         continue;
                     }
@@ -490,11 +490,20 @@ impl SetPacking {
         out
     }
 
-    /// Candidate partners for a `(1 → 2)` swap with `a`: all sets. (The
-    /// conflict graph keeps this tractable at the scale Algorithm 3
-    /// produces; returning the full index range keeps correctness simple.)
-    fn conflicts_complement_candidates(&self, _a: usize) -> Vec<usize> {
-        (0..self.sets.len()).collect()
+    /// Candidate partners for a `(1 → 2)` swap that removes blocker `w`:
+    /// the sets adjacent to `w` in the conflict graph, ascending.
+    ///
+    /// This is exhaustive, not a heuristic. When the swap is examined, the
+    /// `(0 → 1)` phase has just run, so every unchosen set has at least one
+    /// blocker (in the weighted search, positive-weight sets do; a
+    /// zero-blocker partner with weight ≤ 0 can never make the swap
+    /// improving once `(1 → 1)` has been ruled out). A partner `b` must
+    /// have blockers ⊆ `{w}`, hence exactly `{w}` — so `b` shares an item
+    /// with `w` and is in `conflicts[w]`. The list is sorted ascending, the
+    /// same order as the previous `0..n_sets` scan, so the first qualifying
+    /// `b` — and therefore the whole search trajectory — is unchanged.
+    fn conflicts_complement_candidates(&self, w: usize) -> &[usize] {
+        &self.conflicts[w]
     }
 
     fn sets_conflict(&self, a: usize, b: usize) -> bool {
@@ -591,6 +600,192 @@ mod tests {
         let ls = inst.pack(SetPackingStrategy::LocalSearch);
         assert_eq!(ls.len(), 2);
         assert!(inst.is_valid_packing(&ls));
+    }
+
+    /// The pre-optimisation `(1 → 2)` local search, scanning **all** sets
+    /// for the swap partner instead of only `w`'s conflict neighbours.
+    /// Kept verbatim (modulo the scan) as the oracle for
+    /// `restricted_candidate_scan_matches_full_scan`.
+    fn reference_local_search(inst: &SetPacking, start: Vec<usize>) -> Vec<usize> {
+        let mut in_pack = vec![false; inst.sets.len()];
+        for &k in &start {
+            in_pack[k] = true;
+        }
+        let mut item_owner: Vec<Option<usize>> = vec![None; inst.n_items];
+        for &k in &start {
+            for &item in &inst.sets[k] {
+                item_owner[item] = Some(k);
+            }
+        }
+        loop {
+            let mut improved = false;
+            for (k, chosen) in in_pack.iter_mut().enumerate() {
+                if !*chosen && inst.sets[k].iter().all(|&i| item_owner[i].is_none()) {
+                    *chosen = true;
+                    for &i in &inst.sets[k] {
+                        item_owner[i] = Some(k);
+                    }
+                    improved = true;
+                }
+            }
+            'outer: for a in 0..inst.sets.len() {
+                if in_pack[a] {
+                    continue;
+                }
+                let blockers_a = inst.blockers(a, &item_owner);
+                let w = match blockers_a.as_slice() {
+                    [w] => *w,
+                    _ => continue,
+                };
+                for b in 0..inst.sets.len() {
+                    if in_pack[b] || b == a || inst.sets_conflict(a, b) {
+                        continue;
+                    }
+                    let blockers_b = inst.blockers(b, &item_owner);
+                    if blockers_b.iter().all(|&x| x == w) {
+                        in_pack[w] = false;
+                        for &i in &inst.sets[w] {
+                            item_owner[i] = None;
+                        }
+                        for (s, owner) in [(a, Some(a)), (b, Some(b))] {
+                            in_pack[s] = true;
+                            for &i in &inst.sets[s] {
+                                item_owner[i] = owner;
+                            }
+                        }
+                        improved = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let mut chosen: Vec<usize> = (0..inst.sets.len()).filter(|&k| in_pack[k]).collect();
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Weighted counterpart of [`reference_local_search`].
+    fn reference_local_search_weighted(
+        inst: &SetPacking,
+        start: Vec<usize>,
+        weights: &[f64],
+    ) -> Vec<usize> {
+        let mut in_pack = vec![false; inst.sets.len()];
+        for &k in &start {
+            in_pack[k] = true;
+        }
+        let mut item_owner: Vec<Option<usize>> = vec![None; inst.n_items];
+        for &k in &start {
+            for &item in &inst.sets[k] {
+                item_owner[item] = Some(k);
+            }
+        }
+        loop {
+            let mut improved = false;
+            for k in 0..inst.sets.len() {
+                if !in_pack[k]
+                    && weights[k] > 0.0
+                    && inst.sets[k].iter().all(|&i| item_owner[i].is_none())
+                {
+                    in_pack[k] = true;
+                    for &i in &inst.sets[k] {
+                        item_owner[i] = Some(k);
+                    }
+                    improved = true;
+                }
+            }
+            'outer: for a in 0..inst.sets.len() {
+                if in_pack[a] {
+                    continue;
+                }
+                let blockers_a = inst.blockers(a, &item_owner);
+                let w = match blockers_a.as_slice() {
+                    [w] => *w,
+                    _ => continue,
+                };
+                if weights[a] > weights[w] + 1e-12 {
+                    in_pack[w] = false;
+                    for &i in &inst.sets[w] {
+                        item_owner[i] = None;
+                    }
+                    in_pack[a] = true;
+                    for &i in &inst.sets[a] {
+                        item_owner[i] = Some(a);
+                    }
+                    improved = true;
+                    break 'outer;
+                }
+                for b in 0..inst.sets.len() {
+                    if in_pack[b] || b == a || inst.sets_conflict(a, b) {
+                        continue;
+                    }
+                    let blockers_b = inst.blockers(b, &item_owner);
+                    if blockers_b.iter().all(|&x| x == w)
+                        && weights[a] + weights[b] > weights[w] + 1e-12
+                    {
+                        in_pack[w] = false;
+                        for &i in &inst.sets[w] {
+                            item_owner[i] = None;
+                        }
+                        for s in [a, b] {
+                            in_pack[s] = true;
+                            for &i in &inst.sets[s] {
+                                item_owner[i] = Some(s);
+                            }
+                        }
+                        improved = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let mut chosen: Vec<usize> = (0..inst.sets.len()).filter(|&k| in_pack[k]).collect();
+        chosen.sort_unstable();
+        chosen
+    }
+
+    #[test]
+    fn restricted_candidate_scan_matches_full_scan() {
+        // The conflict-neighbour candidate scan must retrace the full-scan
+        // search exactly — same packing, element for element — on both the
+        // unweighted and the weighted local search.
+        let mut rng = StdRng::seed_from_u64(0xCAFE5E7);
+        for case in 0..300 {
+            let n_items = rng.gen_range(1..=14);
+            let n_sets = rng.gen_range(0..=16);
+            let sets: Vec<Vec<usize>> = (0..n_sets)
+                .map(|_| {
+                    let size = rng.gen_range(1..=3.min(n_items));
+                    let mut items: Vec<usize> = (0..n_items).collect();
+                    for i in (1..items.len()).rev() {
+                        items.swap(i, rng.gen_range(0..=i));
+                    }
+                    items.truncate(size);
+                    items
+                })
+                .collect();
+            let inst = SetPacking::new(n_items, sets).unwrap();
+            let start = inst.greedy();
+            assert_eq!(
+                inst.local_search(start.clone()),
+                reference_local_search(&inst, start.clone()),
+                "case {case}: unweighted results diverged"
+            );
+            let weights: Vec<f64> = (0..inst.n_sets())
+                .map(|_| rng.gen_range(-1.0..4.0f64))
+                .collect();
+            assert_eq!(
+                inst.local_search_weighted(start.clone(), &weights),
+                reference_local_search_weighted(&inst, start, &weights),
+                "case {case}: weighted results diverged"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! # Ok::<(), o2o_matching::PreferenceError>(())
 //! ```
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// Errors from constructing a [`StableInstance`].
@@ -147,6 +148,31 @@ impl Matching {
 /// Ranks: `rank[a][b] = position of b in a's list`, or `NOT_RANKED`.
 const NOT_RANKED: u32 = u32::MAX;
 
+/// Rank table for one side: position of each partner in each agent's list.
+///
+/// The dense layout (`O(n·m)` memory, O(1) lookup with no hashing) suits
+/// instances whose lists are long relative to the other side; the sparse
+/// layout stores only ranked partners, so memory and construction are
+/// `O(Σ list length)` — the point of threshold-pruned candidate
+/// generation, where each list holds a handful of nearby partners out of
+/// thousands. Both answer the same query: rank of `b` for agent `a`, or
+/// [`NOT_RANKED`].
+#[derive(Debug, Clone)]
+enum Ranks {
+    Dense(Vec<Vec<u32>>),
+    Sparse(Vec<HashMap<usize, u32>>),
+}
+
+impl Ranks {
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> u32 {
+        match self {
+            Ranks::Dense(rows) => rows[a][b],
+            Ranks::Sparse(maps) => maps[a].get(&b).copied().unwrap_or(NOT_RANKED),
+        }
+    }
+}
+
 fn build_ranks(lists: &[Vec<usize>], other_side: usize) -> Vec<Vec<u32>> {
     lists
         .iter()
@@ -156,6 +182,32 @@ fn build_ranks(lists: &[Vec<usize>], other_side: usize) -> Vec<Vec<u32>> {
                 ranks[b] = pos as u32;
             }
             ranks
+        })
+        .collect()
+}
+
+/// Builds sparse rank maps, validating as it goes (unlike the dense path,
+/// which validates separately, this never allocates `other_side`-sized
+/// scratch — construction stays `O(Σ list length)`).
+fn build_sparse_ranks(
+    lists: &[Vec<usize>],
+    other_side: usize,
+    side: &'static str,
+) -> Result<Vec<HashMap<usize, u32>>, PreferenceError> {
+    lists
+        .iter()
+        .enumerate()
+        .map(|(agent, list)| {
+            let mut ranks = HashMap::with_capacity(list.len());
+            for (pos, &entry) in list.iter().enumerate() {
+                if entry >= other_side {
+                    return Err(PreferenceError::IndexOutOfRange { side, agent, entry });
+                }
+                if ranks.insert(entry, pos as u32).is_some() {
+                    return Err(PreferenceError::DuplicateEntry { side, agent, entry });
+                }
+            }
+            Ok(ranks)
         })
         .collect()
 }
@@ -189,10 +241,10 @@ fn validate(
 pub struct StableInstance {
     proposer_lists: Vec<Vec<usize>>,
     reviewer_lists: Vec<Vec<usize>>,
-    /// `proposer_rank[p][r]` = rank of reviewer `r` for proposer `p`.
-    proposer_rank: Vec<Vec<u32>>,
-    /// `reviewer_rank[r][p]` = rank of proposer `p` for reviewer `r`.
-    reviewer_rank: Vec<Vec<u32>>,
+    /// Rank of reviewer `r` for proposer `p` (dense or sparse layout).
+    proposer_rank: Ranks,
+    /// Rank of proposer `p` for reviewer `r` (dense or sparse layout).
+    reviewer_rank: Ranks,
 }
 
 impl StableInstance {
@@ -214,14 +266,63 @@ impl StableInstance {
         let n_proposers = proposer_lists.len();
         validate(&proposer_lists, n_reviewers, "proposer")?;
         validate(&reviewer_lists, n_proposers, "reviewer")?;
-        let proposer_rank = build_ranks(&proposer_lists, n_reviewers);
-        let reviewer_rank = build_ranks(&reviewer_lists, n_proposers);
+        let proposer_rank = Ranks::Dense(build_ranks(&proposer_lists, n_reviewers));
+        let reviewer_rank = Ranks::Dense(build_ranks(&reviewer_lists, n_proposers));
         Ok(StableInstance {
             proposer_lists,
             reviewer_lists,
             proposer_rank,
             reviewer_rank,
         })
+    }
+
+    /// Builds an instance with **sparse** (hashmap) rank tables.
+    ///
+    /// Semantically identical to [`StableInstance::new`] — every algorithm
+    /// on the instance produces the same result — but construction time and
+    /// memory are `O(Σ list length)` instead of `O(|proposers|·|reviewers|)`.
+    /// This is what makes threshold-pruned candidate generation pay off:
+    /// with truncated lists of a few dozen entries, a 2000×2000 frame never
+    /// materialises four million rank slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreferenceError`] when a list contains an out-of-range or
+    /// duplicate index.
+    pub fn new_sparse(
+        proposer_lists: Vec<Vec<usize>>,
+        reviewer_lists: Vec<Vec<usize>>,
+    ) -> Result<Self, PreferenceError> {
+        let n_reviewers = reviewer_lists.len();
+        let n_proposers = proposer_lists.len();
+        let proposer_rank = Ranks::Sparse(build_sparse_ranks(
+            &proposer_lists,
+            n_reviewers,
+            "proposer",
+        )?);
+        let reviewer_rank = Ranks::Sparse(build_sparse_ranks(
+            &reviewer_lists,
+            n_proposers,
+            "reviewer",
+        )?);
+        Ok(StableInstance {
+            proposer_lists,
+            reviewer_lists,
+            proposer_rank,
+            reviewer_rank,
+        })
+    }
+
+    /// Rank of reviewer `r` for proposer `p`, or [`NOT_RANKED`].
+    #[inline]
+    fn prank(&self, p: usize, r: usize) -> u32 {
+        self.proposer_rank.get(p, r)
+    }
+
+    /// Rank of proposer `p` for reviewer `r`, or [`NOT_RANKED`].
+    #[inline]
+    fn rrank(&self, r: usize, p: usize) -> u32 {
+        self.reviewer_rank.get(r, p)
     }
 
     /// Number of proposers.
@@ -266,13 +367,13 @@ impl StableInstance {
     /// Whether proposer `p` finds reviewer `r` acceptable (above dummy).
     #[must_use]
     pub fn proposer_accepts(&self, p: usize, r: usize) -> bool {
-        self.proposer_rank[p][r] != NOT_RANKED
+        self.prank(p, r) != NOT_RANKED
     }
 
     /// Whether reviewer `r` finds proposer `p` acceptable (above dummy).
     #[must_use]
     pub fn reviewer_accepts(&self, r: usize, p: usize) -> bool {
-        self.reviewer_rank[r][p] != NOT_RANKED
+        self.rrank(r, p) != NOT_RANKED
     }
 
     /// The proposer-optimal stable matching — the paper's **Algorithm 1**.
@@ -293,7 +394,7 @@ impl StableInstance {
             // means p matches its dummy (unserved).
             while let Some(&r) = self.proposer_lists[p].get(next[p]) {
                 next[p] += 1;
-                let my_rank = self.reviewer_rank[r][p];
+                let my_rank = self.rrank(r, p);
                 if my_rank == NOT_RANKED {
                     continue; // r would rather stay undispatched
                 }
@@ -303,7 +404,7 @@ impl StableInstance {
                         break;
                     }
                     Some(held) => {
-                        if my_rank < self.reviewer_rank[r][held] {
+                        if my_rank < self.rrank(r, held) {
                             m.link(p, r); // unlinks `held`
                             free.push(held);
                             break;
@@ -335,20 +436,20 @@ impl StableInstance {
     pub fn blocking_pairs(&self, m: &Matching) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for p in 0..self.proposers() {
-            let p_current_rank = m.proposer_to_reviewer[p].map(|r| self.proposer_rank[p][r]);
+            let p_current_rank = m.proposer_to_reviewer[p].map(|r| self.prank(p, r));
             for &r in &self.proposer_lists[p] {
-                let pr = self.proposer_rank[p][r];
+                let pr = self.prank(p, r);
                 let p_prefers = p_current_rank.is_none_or(|cur| pr < cur);
                 if !p_prefers {
                     continue;
                 }
-                let rp = self.reviewer_rank[r][p];
+                let rp = self.rrank(r, p);
                 if rp == NOT_RANKED {
                     continue;
                 }
                 let r_prefers = match m.reviewer_to_proposer[r] {
                     None => true,
-                    Some(held) => rp < self.reviewer_rank[r][held],
+                    Some(held) => rp < self.rrank(r, held),
                 };
                 if r_prefers {
                     out.push((p, r));
@@ -387,18 +488,18 @@ impl StableInstance {
     #[must_use]
     pub fn break_dispatch(&self, s: &Matching, j: usize) -> Option<Matching> {
         let t = s.proposer_to_reviewer[j]?; // Rule 3
-        let ghost_rank = self.reviewer_rank[t][j];
+        let ghost_rank = self.rrank(t, j);
         let mut m = s.clone();
         m.unlink_proposer(j);
         let mut cur = j;
         // Resume proposing just below the broken partner.
-        let mut pos = self.proposer_rank[j][t] as usize + 1;
+        let mut pos = self.prank(j, t) as usize + 1;
         loop {
             let mut displaced: Option<usize> = None;
             while pos < self.proposer_lists[cur].len() {
                 let r = self.proposer_lists[cur][pos];
                 pos += 1;
-                let my_rank = self.reviewer_rank[r][cur];
+                let my_rank = self.rrank(r, cur);
                 if my_rank == NOT_RANKED {
                     continue;
                 }
@@ -421,7 +522,7 @@ impl StableInstance {
                         return None;
                     }
                     Some(held) => {
-                        if my_rank < self.reviewer_rank[r][held] {
+                        if my_rank < self.rrank(r, held) {
                             if held < j {
                                 return None; // Rule 2
                             }
@@ -436,7 +537,7 @@ impl StableInstance {
                 Some(k) => {
                     // The displaced proposer resumes below its lost partner.
                     let lost = m.proposer_to_reviewer[cur].expect("just linked");
-                    pos = self.proposer_rank[k][lost] as usize + 1;
+                    pos = self.prank(k, lost) as usize + 1;
                     cur = k;
                 }
                 // `cur` exhausted its list: it fell to its dummy, so the
@@ -482,7 +583,7 @@ impl StableInstance {
     /// `None` when `r` is below `p`'s dummy.
     #[must_use]
     pub fn proposer_rank_of(&self, p: usize, r: usize) -> Option<u32> {
-        let rank = self.proposer_rank[p][r];
+        let rank = self.prank(p, r);
         (rank != NOT_RANKED).then_some(rank)
     }
 
@@ -490,7 +591,7 @@ impl StableInstance {
     /// `None` when `p` is below `r`'s dummy.
     #[must_use]
     pub fn reviewer_rank_of(&self, r: usize, p: usize) -> Option<u32> {
-        let rank = self.reviewer_rank[r][p];
+        let rank = self.rrank(r, p);
         (rank != NOT_RANKED).then_some(rank)
     }
 
@@ -549,7 +650,7 @@ impl StableInstance {
                         .expect("matched set is invariant across stable matchings")
                 })
                 .collect();
-            partners.sort_by_key(|&r| self.proposer_rank[p][r]);
+            partners.sort_by_key(|&r| self.prank(p, r));
             let median = partners[(partners.len() - 1) / 2];
             out.link(p, median);
         }
@@ -817,6 +918,65 @@ mod tests {
     }
 
     #[test]
+    fn sparse_ranks_match_dense_on_random_instances() {
+        // Same lists, sparse rank tables: every algorithm must return
+        // identical results (not just equivalent ones).
+        let mut rng = StdRng::seed_from_u64(0x5BA125E);
+        for case in 0..200 {
+            let np = rng.gen_range(0..=6);
+            let nr = rng.gen_range(0..=6);
+            let inst = random_instance(&mut rng, np, nr);
+            let sparse = StableInstance::new_sparse(
+                inst.proposer_lists.clone(),
+                inst.reviewer_lists.clone(),
+            )
+            .unwrap();
+            assert_eq!(inst.propose(), sparse.propose(), "case {case}");
+            assert_eq!(
+                inst.reviewer_optimal(),
+                sparse.reviewer_optimal(),
+                "case {case}"
+            );
+            let all = inst.enumerate_all(None);
+            assert_eq!(all, sparse.enumerate_all(None), "case {case}");
+            assert_eq!(
+                inst.median_stable_matching(&all),
+                sparse.median_stable_matching(&all),
+                "case {case}"
+            );
+            for m in &all {
+                assert_eq!(
+                    inst.egalitarian_cost(m),
+                    sparse.egalitarian_cost(m),
+                    "case {case}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn new_sparse_rejects_invalid_lists() {
+        let err = StableInstance::new_sparse(vec![vec![5]], vec![vec![0]]).unwrap_err();
+        assert_eq!(
+            err,
+            PreferenceError::IndexOutOfRange {
+                side: "proposer",
+                agent: 0,
+                entry: 5
+            }
+        );
+        let err = StableInstance::new_sparse(vec![vec![0]], vec![vec![0, 0]]).unwrap_err();
+        assert_eq!(
+            err,
+            PreferenceError::DuplicateEntry {
+                side: "reviewer",
+                agent: 0,
+                entry: 0
+            }
+        );
+    }
+
+    #[test]
     fn enumeration_matches_brute_force_on_many_random_instances() {
         let mut rng = StdRng::seed_from_u64(0xDEC0DE);
         for case in 0..300 {
@@ -857,9 +1017,9 @@ mod tests {
             for other in inst.enumerate_brute_force() {
                 for p in 0..np {
                     let best_rank = best.proposer_partner(p)
-                        .map(|r| inst.proposer_rank[p][r]);
+                        .map(|r| inst.prank(p, r));
                     let other_rank = other.proposer_partner(p)
-                        .map(|r| inst.proposer_rank[p][r]);
+                        .map(|r| inst.prank(p, r));
                     match (best_rank, other_rank) {
                         (Some(b), Some(o)) => prop_assert!(b <= o),
                         // Theorem 2 / rural hospitals: matched status agrees.
@@ -903,7 +1063,7 @@ mod tests {
             for other in inst.enumerate_brute_force() {
                 for r in 0..nr {
                     if let (Some(b), Some(o)) = (ro.reviewer_partner(r), other.reviewer_partner(r)) {
-                        prop_assert!(inst.reviewer_rank[r][b] <= inst.reviewer_rank[r][o]);
+                        prop_assert!(inst.rrank(r, b) <= inst.rrank(r, o));
                     }
                 }
             }

@@ -3,7 +3,7 @@
 use crate::metrics::HourBucket;
 use crate::policy::{DispatchPolicy, FrameContext};
 use crate::report::SimReport;
-use o2o_core::PickupDistances;
+use o2o_core::{build_taxi_grid, PickupDistances};
 use o2o_geo::{Euclidean, Metric, Point};
 use o2o_par::Parallelism;
 use o2o_trace::{Request, Taxi, TaxiId, Trace};
@@ -196,6 +196,8 @@ impl Simulator {
             queue_by_frame: Vec::new(),
             idle_by_frame: Vec::new(),
             dispatch_ms_by_frame: Vec::new(),
+            cache_hits_by_frame: Vec::new(),
+            cache_misses_by_frame: Vec::new(),
             delay_by_hour: [HourBucket::default(); 24],
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],
@@ -230,6 +232,7 @@ impl Simulator {
                 .collect();
 
             let mut dispatch_ms = 0.0;
+            let mut frame_cache = (0u64, 0u64);
             if !idle.is_empty() && !pending.is_empty() {
                 let batch_cap = self
                     .config
@@ -237,17 +240,30 @@ impl Simulator {
                     .map_or(usize::MAX, |m| m.saturating_mul(idle.len()));
                 let pending_vec: Vec<Request> =
                     pending.iter().take(batch_cap).map(|&(r, _)| r).collect();
+                let stats_before = policy.cache_stats();
                 let started = Instant::now();
-                // Policy-independent precomputation: the idle × pending
-                // pick-up matrix, built in parallel, only for policies
-                // that will read it.
+                // Policy-independent precomputation, built only for
+                // policies that will read it: the idle × pending pick-up
+                // matrix (dense candidate mode), and the idle-taxi grid
+                // shared by sparse candidate generation and the
+                // grid-accelerated baselines.
                 let pickup = policy
                     .wants_pickup_distances()
                     .then(|| PickupDistances::compute(metric, &idle, &pending_vec, self.par));
+                let grid = policy.wants_taxi_grid().then(|| build_taxi_grid(&idle));
                 let mut ctx = FrameContext::new(frame, time_end, &idle, &pending_vec);
                 ctx.pickup_distances = pickup.as_ref();
+                ctx.taxi_grid = grid.as_ref();
                 let assignments = policy.dispatch(&ctx);
                 dispatch_ms = started.elapsed().as_secs_f64() * 1e3;
+                // The cache counters are cumulative across the run; the
+                // per-frame delta is this frame's cache effectiveness.
+                if let (Some(b), Some(a)) = (stats_before, policy.cache_stats()) {
+                    frame_cache = (
+                        a.hits.saturating_sub(b.hits),
+                        a.misses.saturating_sub(b.misses),
+                    );
+                }
 
                 let mut used_taxis = std::collections::HashSet::new();
                 let mut served_ids = std::collections::HashSet::new();
@@ -315,6 +331,8 @@ impl Simulator {
             }
 
             report.dispatch_ms_by_frame.push(dispatch_ms);
+            report.cache_hits_by_frame.push(frame_cache.0);
+            report.cache_misses_by_frame.push(frame_cache.1);
             report.queue_by_frame.push(pending.len() as u32);
             report
                 .idle_by_frame
@@ -455,6 +473,47 @@ mod tests {
         assert_eq!(report.served + report.unserved_at_end, trace.requests.len());
         assert_eq!(report.policy, "STD-P");
         assert!(report.total_drive_km > 0.0);
+    }
+
+    #[test]
+    fn sparse_and_dense_candidate_modes_run_identically() {
+        use o2o_core::{CandidateMode, NonSharingDispatcher};
+        let trace = boston_september_2012(0.002).generate(7);
+        let params = PreferenceParams::default();
+        // Default NSTD-P is sparse (grid-pruned candidates); pinning its
+        // full run against the dense path catches any divergence the
+        // per-frame property tests could miss.
+        let mut sparse = policy::nstd_p(Euclidean, params);
+        let mut dense = policy::NstdPPolicy::from_dispatcher(
+            NonSharingDispatcher::new(Euclidean, params).with_candidate_mode(CandidateMode::Dense),
+        );
+        let a = Simulator::new(SimConfig::default()).run(&trace, &mut sparse);
+        let b = Simulator::new(SimConfig::default()).run(&trace, &mut dense);
+        assert_eq!(a.delays_min, b.delays_min);
+        assert_eq!(a.passenger_dissatisfaction, b.passenger_dissatisfaction);
+        assert_eq!(a.taxi_dissatisfaction, b.taxi_dissatisfaction);
+        assert_eq!(a.total_drive_km, b.total_drive_km);
+        assert_eq!(a.queue_by_frame, b.queue_by_frame);
+    }
+
+    #[test]
+    fn cached_policy_reports_per_frame_cache_effectiveness() {
+        let trace = boston_september_2012(0.002).generate(3);
+        let params = PreferenceParams::default();
+        let mut wrapped = policy::cached(Euclidean, |metric| {
+            policy::StdPPolicy::from_dispatcher(o2o_core::SharingDispatcher::new(metric, params))
+        });
+        let report = Simulator::new(SimConfig::default()).run(&trace, &mut wrapped);
+        assert_eq!(report.cache_hits_by_frame.len(), report.frames as usize);
+        assert_eq!(report.cache_misses_by_frame.len(), report.frames as usize);
+        assert!(
+            report.total_cache_misses() > 0,
+            "dispatch queried the metric"
+        );
+        // An uncached policy reports all-zero counters.
+        let mut plain = policy::std_p(Euclidean, params);
+        let bare = Simulator::new(SimConfig::default()).run(&trace, &mut plain);
+        assert_eq!(bare.total_cache_hits() + bare.total_cache_misses(), 0);
     }
 
     #[test]

@@ -23,10 +23,10 @@ use o2o_baselines::{
     LinDispatcher, MiniDispatcher, NearDispatcher, PairDispatcher, RaiiDispatcher, SarpDispatcher,
 };
 use o2o_core::{
-    NonSharingDispatcher, PickupDistances, PreferenceParams, Schedule, SharingDispatcher,
-    SharingSchedule,
+    CandidateMode, NonSharingDispatcher, PickupDistances, PreferenceParams, Schedule,
+    SharingDispatcher, SharingSchedule,
 };
-use o2o_geo::{DistanceCache, Metric, Point};
+use o2o_geo::{CacheStats, DistanceCache, GridIndex, Metric, Point};
 use o2o_trace::{Request, RequestId, Taxi, TaxiId};
 use std::sync::Arc;
 
@@ -49,6 +49,13 @@ pub struct FrameContext<'a> {
     /// dispatches over that same metric (see
     /// [`Simulator::run_with_metric`](crate::Simulator::run_with_metric)).
     pub pickup_distances: Option<&'a PickupDistances>,
+    /// A grid index over `idle_taxis` (payload = index into that slice),
+    /// built once per frame by the engine for policies that return `true`
+    /// from [`DispatchPolicy::wants_taxi_grid`]. Sparse candidate
+    /// generation and the grid-accelerated baselines query it instead of
+    /// each rebuilding their own; consuming it never changes a result
+    /// (see [`o2o_core::build_taxi_grid`]).
+    pub taxi_grid: Option<&'a GridIndex<usize>>,
 }
 
 impl<'a> FrameContext<'a> {
@@ -61,6 +68,7 @@ impl<'a> FrameContext<'a> {
             idle_taxis,
             pending,
             pickup_distances: None,
+            taxi_grid: None,
         }
     }
 }
@@ -100,6 +108,21 @@ pub trait DispatchPolicy {
     fn wants_pickup_distances(&self) -> bool {
         false
     }
+
+    /// Whether the engine should build the frame's idle-taxi grid index
+    /// for this policy (see [`FrameContext::taxi_grid`]). Defaults to
+    /// `false` so policies that would not query it don't pay for it.
+    fn wants_taxi_grid(&self) -> bool {
+        false
+    }
+
+    /// Cumulative distance-cache counters, for policies that memoize
+    /// metric queries (see [`CachedPolicy`]). The engine samples this
+    /// around each dispatch to report per-frame cache effectiveness.
+    /// Defaults to `None` for uncached policies.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 impl<P: DispatchPolicy + ?Sized> DispatchPolicy for &mut P {
@@ -114,6 +137,14 @@ impl<P: DispatchPolicy + ?Sized> DispatchPolicy for &mut P {
     fn wants_pickup_distances(&self) -> bool {
         (**self).wants_pickup_distances()
     }
+
+    fn wants_taxi_grid(&self) -> bool {
+        (**self).wants_taxi_grid()
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
+    }
 }
 
 impl<P: DispatchPolicy + ?Sized> DispatchPolicy for Box<P> {
@@ -127,6 +158,14 @@ impl<P: DispatchPolicy + ?Sized> DispatchPolicy for Box<P> {
 
     fn wants_pickup_distances(&self) -> bool {
         (**self).wants_pickup_distances()
+    }
+
+    fn wants_taxi_grid(&self) -> bool {
+        (**self).wants_taxi_grid()
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        (**self).cache_stats()
     }
 }
 
@@ -193,9 +232,10 @@ where
 
 macro_rules! dispatcher_policy {
     ($struct_name:ident, $doc:literal, $inner:ty, $label:literal, $call:expr) => {
-        dispatcher_policy!($struct_name, $doc, $inner, $label, $call, false);
+        dispatcher_policy!($struct_name, $doc, $inner, $label, $call, wants_grid: false);
     };
-    ($struct_name:ident, $doc:literal, $inner:ty, $label:literal, $call:expr, $wants:literal) => {
+    ($struct_name:ident, $doc:literal, $inner:ty, $label:literal, $call:expr,
+     wants_grid: $wants_grid:literal) => {
         #[doc = $doc]
         pub struct $struct_name<M> {
             inner: $inner,
@@ -226,49 +266,105 @@ macro_rules! dispatcher_policy {
                 ($call)(&self.inner, ctx)
             }
 
-            fn wants_pickup_distances(&self) -> bool {
-                $wants
+            fn wants_taxi_grid(&self) -> bool {
+                $wants_grid
             }
         }
     };
 }
 
-dispatcher_policy!(
+/// Hand-written (not via `dispatcher_policy!`) because the NSTD policies
+/// pick their per-frame input by candidate mode: dense wants the
+/// precomputed pick-up matrix, sparse wants the shared taxi grid. Both
+/// modes produce bit-identical schedules.
+macro_rules! nstd_policy {
+    ($struct_name:ident, $doc:literal, $label:literal, $with:ident, $with_grid:ident) => {
+        #[doc = $doc]
+        ///
+        /// With the dispatcher in [`CandidateMode::Sparse`] (the default)
+        /// the policy asks the engine for the shared per-frame taxi grid
+        /// and generates candidates through it; in
+        /// [`CandidateMode::Dense`] it consumes the precomputed pick-up
+        /// matrix as before. The schedules are bit-identical either way.
+        pub struct $struct_name<M> {
+            inner: NonSharingDispatcher<M>,
+        }
+
+        impl<M: Metric> $struct_name<M> {
+            /// Wraps a pre-built dispatcher (e.g. one configured with
+            /// `with_parallelism` or `with_candidate_mode`) as a frame
+            /// policy.
+            #[must_use]
+            pub fn from_dispatcher(inner: NonSharingDispatcher<M>) -> Self {
+                $struct_name { inner }
+            }
+
+            /// The wrapped dispatcher.
+            #[must_use]
+            pub fn dispatcher(&self) -> &NonSharingDispatcher<M> {
+                &self.inner
+            }
+        }
+
+        impl<M: Metric> DispatchPolicy for $struct_name<M> {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
+                let schedule = match self.inner.candidate_mode() {
+                    CandidateMode::Dense => {
+                        self.inner
+                            .$with(ctx.idle_taxis, ctx.pending, ctx.pickup_distances)
+                    }
+                    CandidateMode::Sparse => {
+                        self.inner
+                            .$with_grid(ctx.idle_taxis, ctx.pending, ctx.taxi_grid)
+                    }
+                };
+                from_schedule(ctx.pending, &schedule)
+            }
+
+            fn wants_pickup_distances(&self) -> bool {
+                self.inner.candidate_mode() == CandidateMode::Dense
+            }
+
+            fn wants_taxi_grid(&self) -> bool {
+                self.inner.candidate_mode() == CandidateMode::Sparse
+            }
+        }
+    };
+}
+
+nstd_policy!(
     NstdPPolicy,
     "Algorithm 1 (NSTD-P) as a frame policy.",
-    NonSharingDispatcher<M>,
     "NSTD-P",
-    |inner: &NonSharingDispatcher<M>, ctx: &FrameContext<'_>| {
-        from_schedule(
-            ctx.pending,
-            &inner.passenger_optimal_with(ctx.idle_taxis, ctx.pending, ctx.pickup_distances),
-        )
-    },
-    true
+    passenger_optimal_with,
+    passenger_optimal_with_grid
 );
 
-dispatcher_policy!(
+nstd_policy!(
     NstdTPolicy,
     "NSTD-T (taxi-optimal stable matching) as a frame policy.",
-    NonSharingDispatcher<M>,
     "NSTD-T",
-    |inner: &NonSharingDispatcher<M>, ctx: &FrameContext<'_>| {
-        from_schedule(
-            ctx.pending,
-            &inner.taxi_optimal_with(ctx.idle_taxis, ctx.pending, ctx.pickup_distances),
-        )
-    },
-    true
+    taxi_optimal_with,
+    taxi_optimal_with_grid
 );
 
 dispatcher_policy!(
     NearPolicy,
-    "The *Near* greedy baseline as a frame policy.",
+    "The *Near* greedy baseline as a frame policy (reuses the engine's \
+     shared per-frame taxi grid).",
     NearDispatcher<M>,
     "Near",
     |inner: &NearDispatcher<M>, ctx: &FrameContext<'_>| {
-        from_schedule(ctx.pending, &inner.dispatch(ctx.idle_taxis, ctx.pending))
-    }
+        from_schedule(
+            ctx.pending,
+            &inner.dispatch_with_grid(ctx.idle_taxis, ctx.pending, ctx.taxi_grid),
+        )
+    },
+    wants_grid: true
 );
 
 dispatcher_policy!(
@@ -313,12 +409,18 @@ dispatcher_policy!(
 
 dispatcher_policy!(
     RaiiPolicy,
-    "The *RAII* sharing baseline as a frame policy.",
+    "The *RAII* sharing baseline as a frame policy (reuses the engine's \
+     shared per-frame taxi grid).",
     RaiiDispatcher<M>,
     "RAII",
     |inner: &RaiiDispatcher<M>, ctx: &FrameContext<'_>| {
-        from_sharing_schedule(&inner.dispatch(ctx.idle_taxis, ctx.pending))
-    }
+        from_sharing_schedule(&inner.dispatch_with_grid(
+            ctx.idle_taxis,
+            ctx.pending,
+            ctx.taxi_grid,
+        ))
+    },
+    wants_grid: true
 );
 
 dispatcher_policy!(
@@ -482,6 +584,14 @@ impl<P: DispatchPolicy, M: Metric> DispatchPolicy for CachedPolicy<P, M> {
     fn wants_pickup_distances(&self) -> bool {
         self.inner.wants_pickup_distances()
     }
+
+    fn wants_taxi_grid(&self) -> bool {
+        self.inner.wants_taxi_grid()
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
+    }
 }
 
 /// Wraps `metric` in a per-frame [`DistanceCache`] and hands the caching
@@ -594,13 +704,36 @@ mod tests {
     }
 
     #[test]
-    fn only_nstd_policies_want_pickup_distances() {
+    fn nstd_policies_want_frame_inputs_by_candidate_mode() {
         let p = PreferenceParams::default();
-        assert!(nstd_p(Euclidean, p).wants_pickup_distances());
-        assert!(nstd_t(Euclidean, p).wants_pickup_distances());
+        // Sparse (the default): taxi grid in, pick-up matrix out.
+        assert!(!nstd_p(Euclidean, p).wants_pickup_distances());
+        assert!(!nstd_t(Euclidean, p).wants_pickup_distances());
+        assert!(nstd_p(Euclidean, p).wants_taxi_grid());
+        assert!(nstd_t(Euclidean, p).wants_taxi_grid());
+        // Dense: the original contract.
+        let dense = NstdPPolicy::from_dispatcher(
+            NonSharingDispatcher::new(Euclidean, p).with_candidate_mode(CandidateMode::Dense),
+        );
+        assert!(dense.wants_pickup_distances());
+        assert!(!dense.wants_taxi_grid());
+        // Non-NSTD policies ask for neither.
         assert!(!nstd_e(Euclidean, p).wants_pickup_distances());
         assert!(!std_p(Euclidean, p).wants_pickup_distances());
         assert!(!near(Euclidean, p).wants_pickup_distances());
+        assert!(!nstd_e(Euclidean, p).wants_taxi_grid());
+        assert!(!std_p(Euclidean, p).wants_taxi_grid());
+    }
+
+    #[test]
+    fn only_cached_policies_report_cache_stats() {
+        let p = PreferenceParams::default();
+        assert!(nstd_p(Euclidean, p).cache_stats().is_none());
+        let wrapped = cached(Euclidean, |metric| {
+            StdPPolicy::from_dispatcher(SharingDispatcher::new(metric, p))
+        });
+        let stats = wrapped.cache_stats().expect("cached policy has stats");
+        assert_eq!((stats.hits, stats.misses), (0, 0));
     }
 
     #[test]

@@ -63,6 +63,18 @@ pub struct SimReport {
     /// dispatch). Index = frame. This is the paper's "computation time"
     /// axis and the signal the benchmark JSON reports.
     pub dispatch_ms_by_frame: Vec<f64>,
+    /// Distance-cache hits during each frame's dispatch (index = frame).
+    /// All zeros unless the policy memoizes metric queries and reports
+    /// counters via [`DispatchPolicy::cache_stats`] (e.g.
+    /// [`CachedPolicy`]) — the engine samples the cumulative counters
+    /// around each dispatch and stores the deltas.
+    ///
+    /// [`DispatchPolicy::cache_stats`]: crate::DispatchPolicy::cache_stats
+    /// [`CachedPolicy`]: crate::policy::CachedPolicy
+    pub cache_hits_by_frame: Vec<u64>,
+    /// Distance-cache misses during each frame's dispatch (index =
+    /// frame); see [`cache_hits_by_frame`](Self::cache_hits_by_frame).
+    pub cache_misses_by_frame: Vec<u64>,
     pub(crate) delay_by_hour: [HourBucket; 24],
     pub(crate) passenger_by_hour: [HourBucket; 24],
     pub(crate) taxi_by_hour: [HourBucket; 24],
@@ -164,6 +176,34 @@ impl SimReport {
             .fold(0.0, f64::max)
     }
 
+    /// Distance-cache hits summed across the run (0 for uncached
+    /// policies).
+    #[must_use]
+    pub fn total_cache_hits(&self) -> u64 {
+        self.cache_hits_by_frame.iter().sum()
+    }
+
+    /// Distance-cache misses summed across the run (0 for uncached
+    /// policies).
+    #[must_use]
+    pub fn total_cache_misses(&self) -> u64 {
+        self.cache_misses_by_frame.iter().sum()
+    }
+
+    /// Fraction of metric queries answered from the distance cache across
+    /// the run (0 when no queries were observed — in particular for
+    /// uncached policies).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.total_cache_hits();
+        let total = hits + self.total_cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
     /// Fraction of served requests that shared a taxi.
     #[must_use]
     pub fn sharing_rate(&self) -> f64 {
@@ -205,6 +245,8 @@ mod tests {
             queue_by_frame: vec![3, 1, 0],
             idle_by_frame: vec![1, 2, 2],
             dispatch_ms_by_frame: vec![0.5, 1.5, 0.0],
+            cache_hits_by_frame: vec![3, 6, 0],
+            cache_misses_by_frame: vec![2, 1, 0],
             delay_by_hour,
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],
@@ -254,6 +296,14 @@ mod tests {
     }
 
     #[test]
+    fn cache_effectiveness_aggregates() {
+        let r = report();
+        assert_eq!(r.total_cache_hits(), 9);
+        assert_eq!(r.total_cache_misses(), 3);
+        assert!((r.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
     fn empty_report_is_safe() {
         let r = SimReport {
             policy: "E".into(),
@@ -269,6 +319,8 @@ mod tests {
             queue_by_frame: vec![],
             idle_by_frame: vec![],
             dispatch_ms_by_frame: vec![],
+            cache_hits_by_frame: vec![],
+            cache_misses_by_frame: vec![],
             delay_by_hour: [HourBucket::default(); 24],
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],
