@@ -65,6 +65,28 @@ impl<M: Metric> LinDispatcher<M> {
     /// by total driving distance, cheapest accepted first.
     #[must_use]
     pub fn dispatch(&self, taxis: &[Taxi], requests: &[Request]) -> SharingSchedule {
+        self.dispatch_with_grid(taxis, requests, None)
+    }
+
+    /// [`dispatch`](Self::dispatch) with the engine's shared taxi grid.
+    ///
+    /// Lin's objective is global — the cheapest `(taxi, group)` pair over
+    /// *all* pairs, constrained only by each member's detour budget — so
+    /// no distance-based candidate pruning is sound: a far taxi can still
+    /// host the globally cheapest group. The grid is therefore validated
+    /// (it must cover exactly `taxis`) but not used; accepting it keeps
+    /// every policy on the one engine-maintained grid instead of silently
+    /// rebuilding its own.
+    #[must_use]
+    pub fn dispatch_with_grid(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        grid: Option<&o2o_geo::GridIndex<usize>>,
+    ) -> SharingSchedule {
+        if let Some(g) = grid {
+            debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
+        }
         if taxis.is_empty() || requests.is_empty() {
             return SharingSchedule {
                 assignments: Vec::new(),
@@ -177,6 +199,19 @@ mod tests {
         // beating any single assignment.
         let g = s.group_of(TaxiId(0)).expect("near taxi used");
         assert_eq!(g.members.len(), 2);
+    }
+
+    #[test]
+    fn supplied_grid_is_a_pure_pass_through() {
+        use o2o_core::build_taxi_grid;
+        let taxis = vec![taxi(0, -1.0), taxi(1, -40.0), taxi(2, 17.0)];
+        let requests = vec![req(0, 0.0, 10.0), req(1, 2.0, 8.0), req(2, 15.0, 25.0)];
+        let grid = build_taxi_grid(&taxis);
+        let d = dispatcher();
+        assert_eq!(
+            d.dispatch_with_grid(&taxis, &requests, Some(&grid)),
+            d.dispatch(&taxis, &requests)
+        );
     }
 
     #[test]

@@ -59,6 +59,26 @@ impl<M: Metric> PairDispatcher<M> {
     /// Dispatches the frame with a Hungarian minimum-cost matching.
     #[must_use]
     pub fn dispatch(&self, taxis: &[Taxi], requests: &[Request]) -> Schedule {
+        self.dispatch_with_grid(taxis, requests, None)
+    }
+
+    /// [`dispatch`](Self::dispatch) with the engine's shared taxi grid.
+    ///
+    /// The Hungarian objective is a global sum over a dense cost matrix —
+    /// every entry can participate in the optimum, so no distance-based
+    /// pruning is sound. The grid is validated (it must cover exactly
+    /// `taxis`) but not used; accepting it keeps every policy on the one
+    /// engine-maintained grid instead of silently rebuilding its own.
+    #[must_use]
+    pub fn dispatch_with_grid(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        grid: Option<&o2o_geo::GridIndex<usize>>,
+    ) -> Schedule {
+        if let Some(g) = grid {
+            debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
+        }
         let costs = cost_matrix(&self.metric, taxis, requests);
         let assignment = min_cost_assignment(&costs);
         let pairs: Vec<(usize, usize)> = assignment
@@ -93,6 +113,23 @@ impl<M: Metric> MiniDispatcher<M> {
     /// Dispatches the frame with a bottleneck matching.
     #[must_use]
     pub fn dispatch(&self, taxis: &[Taxi], requests: &[Request]) -> Schedule {
+        self.dispatch_with_grid(taxis, requests, None)
+    }
+
+    /// [`dispatch`](Self::dispatch) with the engine's shared taxi grid;
+    /// validated pass-through for the same reason as
+    /// [`PairDispatcher::dispatch_with_grid`] (the bottleneck objective is
+    /// global over the dense matrix, so pruning is unsound).
+    #[must_use]
+    pub fn dispatch_with_grid(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        grid: Option<&o2o_geo::GridIndex<usize>>,
+    ) -> Schedule {
+        if let Some(g) = grid {
+            debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
+        }
         let costs = cost_matrix(&self.metric, taxis, requests);
         let result = bottleneck_assignment(&costs);
         let pairs: Vec<(usize, usize)> = result
@@ -182,6 +219,24 @@ mod tests {
                 DispatchOutcome::Assigned(TaxiId(1))
             );
         }
+    }
+
+    #[test]
+    fn supplied_grid_is_a_pure_pass_through() {
+        use o2o_core::build_taxi_grid;
+        let taxis = vec![taxi(0, 2.0), taxi(1, 12.0), taxi(2, -5.0)];
+        let requests = vec![req(0, 3.0), req(1, 4.0)];
+        let grid = build_taxi_grid(&taxis);
+        let pair = PairDispatcher::new(Euclidean, PreferenceParams::paper());
+        let mini = MiniDispatcher::new(Euclidean, PreferenceParams::paper());
+        assert_eq!(
+            pair.dispatch_with_grid(&taxis, &requests, Some(&grid)),
+            pair.dispatch(&taxis, &requests)
+        );
+        assert_eq!(
+            mini.dispatch_with_grid(&taxis, &requests, Some(&grid)),
+            mini.dispatch(&taxis, &requests)
+        );
     }
 
     #[test]

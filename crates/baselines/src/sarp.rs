@@ -154,24 +154,48 @@ impl<M: Metric> SarpDispatcher<M> {
     /// Dispatches the frame.
     #[must_use]
     pub fn dispatch(&self, taxis: &[Taxi], requests: &[Request]) -> SharingSchedule {
+        self.dispatch_with_grid(taxis, requests, None)
+    }
+
+    /// [`dispatch`](Self::dispatch) reusing a pre-built taxi grid (payload
+    /// = index into `taxis`), e.g. the one the simulation engine maintains
+    /// incrementally across frames. The grid is cloned — SARP consumes it
+    /// destructively, removing each taxi that opens a new route. `None`
+    /// builds a private grid as before.
+    #[must_use]
+    pub fn dispatch_with_grid(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        grid: Option<&GridIndex<usize>>,
+    ) -> SharingSchedule {
         if taxis.is_empty() || requests.is_empty() {
             return SharingSchedule {
                 assignments: Vec::new(),
                 unserved: requests.iter().map(|r| r.id).collect(),
             };
         }
-        let bbox = BBox::from_points(
-            taxis
-                .iter()
-                .map(|t| t.location)
-                .chain(requests.iter().map(|r| r.pickup)),
-        )
-        .expect("non-empty");
-        let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
-        let mut idle = GridIndex::new(bbox, cell);
-        for (i, t) in taxis.iter().enumerate() {
-            idle.insert(i, t.location);
-        }
+        let mut idle = match grid {
+            Some(g) => {
+                debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
+                g.clone()
+            }
+            None => {
+                let bbox = BBox::from_points(
+                    taxis
+                        .iter()
+                        .map(|t| t.location)
+                        .chain(requests.iter().map(|r| r.pickup)),
+                )
+                .expect("non-empty");
+                let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
+                let mut idle = GridIndex::new(bbox, cell);
+                for (i, t) in taxis.iter().enumerate() {
+                    idle.insert(i, t.location);
+                }
+                idle
+            }
+        };
         let mut drafts: Vec<DraftRoute> = Vec::new();
         let mut unserved = Vec::new();
         for (j, r) in requests.iter().enumerate() {
@@ -380,6 +404,39 @@ mod tests {
         assert_eq!(s.served_count(), 0);
         let s = dispatcher().dispatch(&[], &[req(0, 0.0, 1.0)]);
         assert_eq!(s.unserved, vec![RequestId(0)]);
+    }
+
+    #[test]
+    fn shared_grid_matches_private_grid() {
+        use o2o_core::build_taxi_grid;
+        // Scattered, tie-free geometry: the engine's shared grid and the
+        // private one must yield the identical schedule.
+        let taxis: Vec<Taxi> = (0..11)
+            .map(|i| {
+                let f = f64::from(i);
+                Taxi::new(
+                    TaxiId(i as u64),
+                    Point::new(f * 1.37 - 7.0, (f * f * 0.31) % 9.0 - 4.0),
+                )
+            })
+            .collect();
+        let requests: Vec<Request> = (0..9)
+            .map(|j| {
+                let f = f64::from(j);
+                Request::new(
+                    RequestId(j as u64),
+                    0,
+                    Point::new(f * 1.71 - 6.0, (f * 2.13) % 7.0 - 3.0),
+                    Point::new(f * 0.93 - 2.0, (f * 1.57) % 5.0 - 2.0),
+                )
+            })
+            .collect();
+        let d = dispatcher();
+        let grid = build_taxi_grid(&taxis);
+        let shared = d.dispatch_with_grid(&taxis, &requests, Some(&grid));
+        let private = d.dispatch(&taxis, &requests);
+        assert_eq!(shared, private);
+        assert!(shared.served_count() > 0);
     }
 
     #[test]

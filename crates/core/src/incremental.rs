@@ -1,0 +1,123 @@
+//! Cross-frame incremental dispatch for the NSTD algorithms.
+//!
+//! A rolling frame loop re-solves almost the same stable-matching
+//! instance every tick: most idle taxis did not move and most pending
+//! requests carried over, so the previous frame's stable matching is an
+//! excellent predictor of the next one. [`IncrementalState`] carries the
+//! previous matching across frames as *stable identities*
+//! (`RequestId`/`TaxiId`); each frame it is re-expressed in the current
+//! frame's indices and handed to
+//! [`StableInstance::propose_seeded`](o2o_matching::StableInstance::propose_seeded)
+//! as a warm-start seed.
+//!
+//! Exactness does not depend on the carried pairs still being valid: the
+//! seeded proposal path prunes the seed against the **current** frame's
+//! preference lists (mutual acceptability, prefix justification,
+//! acyclicity) before resuming deferred acceptance, so a stale pair —
+//! a taxi that moved, a request whose candidates changed, anything — is
+//! simply dropped and re-proposed cold. Warm and cold schedules are
+//! bit-identical for every frame delta; the property suite in
+//! `tests/warm_equivalence.rs` pins this the same way
+//! `tests/sparse_equivalence.rs` pins sparse == dense.
+//!
+//! The state also carries the previous frame's sparse candidate rows
+//! ([`crate::CandidateCarry`]): a request unchanged between frames patches
+//! its row from the carry — dropping moved taxis, admitting moved-in ones
+//! — instead of re-querying the grid and the metric for every stationary
+//! taxi. The carry stores exact metric distances, so one
+//! [`IncrementalState`] must stay with one dispatcher (one metric); the
+//! params are revalidated per frame, and any id/position change falls back
+//! to the fresh path.
+
+use o2o_matching::Matching;
+use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+use std::collections::HashMap;
+
+/// Whether an NSTD dispatch warm-starts from the previous frame.
+///
+/// Both modes produce **bit-identical schedules**; they differ only in
+/// how much proposal work is redone per frame. `Cold` exists for A/B
+/// benchmarking and as the escape hatch if warm-start overhead ever
+/// exceeds its savings on a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IncrementalMode {
+    /// Seed deferred acceptance from the previous frame's matching (the
+    /// default).
+    #[default]
+    Warm,
+    /// Re-run every frame from scratch.
+    Cold,
+}
+
+/// Carries the previous frame's stable matching across frames as a
+/// warm-start seed, keyed by stable identities so index churn between
+/// frames (taxis leaving/entering the idle set, requests being served or
+/// arriving) never mis-seeds a pair.
+///
+/// Also carries the previous frame's sparse candidate rows; because those
+/// store exact metric distances, a state must only ever be fed to **one**
+/// dispatcher (one metric). The seed pairs alone would tolerate a metric
+/// change (they are revalidated), the rows would not.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalState {
+    prev: Vec<(RequestId, TaxiId)>,
+    /// Previous frame's sparse candidate rows (see
+    /// [`crate::prefs::CandidateCarry`]): unchanged requests patch their
+    /// candidate row from here instead of re-querying the grid and the
+    /// metric for every stationary taxi.
+    pub(crate) rows: crate::prefs::CandidateCarry,
+}
+
+impl IncrementalState {
+    /// An empty state (the first frame runs cold).
+    #[must_use]
+    pub fn new() -> Self {
+        IncrementalState::default()
+    }
+
+    /// Forgets the carried matching and candidate rows (the next frame
+    /// runs cold).
+    pub fn clear(&mut self) {
+        self.prev.clear();
+        self.rows.clear();
+    }
+
+    /// The carried `(request, taxi)` pairs from the previous frame.
+    #[must_use]
+    pub fn carried_pairs(&self) -> &[(RequestId, TaxiId)] {
+        &self.prev
+    }
+
+    /// Re-expresses the carried matching in the current frame's indices.
+    /// Pairs whose request or taxi is no longer in the frame are dropped
+    /// here; pairs whose *preferences* changed are dropped later by the
+    /// seeded proposal path's own validation.
+    pub(crate) fn seed(&self, taxis: &[Taxi], requests: &[Request]) -> Vec<(usize, usize)> {
+        if self.prev.is_empty() {
+            return Vec::new();
+        }
+        let taxi_at: HashMap<TaxiId, usize> =
+            taxis.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        let request_at: HashMap<RequestId, usize> = requests
+            .iter()
+            .enumerate()
+            .map(|(j, r)| (r.id, j))
+            .collect();
+        self.prev
+            .iter()
+            .filter_map(
+                |&(rid, tid)| match (request_at.get(&rid), taxi_at.get(&tid)) {
+                    (Some(&j), Some(&i)) => Some((j, i)),
+                    _ => None,
+                },
+            )
+            .collect()
+    }
+
+    /// Stores this frame's matching (in frame indices) for the next frame.
+    pub(crate) fn record(&mut self, taxis: &[Taxi], requests: &[Request], m: &Matching) {
+        self.prev.clear();
+        self.prev
+            .extend(m.pairs().map(|(j, i)| (requests[j].id, taxis[i].id)));
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod company;
+mod incremental;
 mod nstd;
 mod params;
 pub mod prefs;
@@ -45,10 +46,12 @@ pub mod shared_route;
 mod std_sharing;
 
 pub use company::{fare_revenue, CompanyObjective, FareModel};
+pub use incremental::{IncrementalMode, IncrementalState};
 pub use nstd::{CandidateMode, NonSharingDispatcher};
 pub use params::PreferenceParams;
 pub use prefs::{
-    build_taxi_grid, PickupDistances, PreferenceModel, SparsePickupDistances, SparsePreferenceModel,
+    build_taxi_grid, CandidateCarry, PickupDistances, PreferenceModel, SparsePickupDistances,
+    SparsePreferenceModel,
 };
 pub use schedule::{DispatchOutcome, Schedule};
 pub use shared_route::{RoutePlan, Stop, StopKind};

@@ -189,6 +189,34 @@ impl<M: Metric> NonSharingDispatcher<M> {
         )
     }
 
+    /// [`frame_model`](Self::frame_model) for the `*_incremental` paths:
+    /// on the sparse path, unchanged requests patch their candidate rows
+    /// from the carry in `state` instead of re-querying grid and metric
+    /// (bit-identical; see
+    /// [`crate::SparsePickupDistances::compute_incremental`]). Dense mode
+    /// ignores the carry.
+    fn frame_model_incremental(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        taxi_grid: Option<&GridIndex<usize>>,
+        state: &mut crate::IncrementalState,
+    ) -> FrameModel {
+        if self.mode == CandidateMode::Dense {
+            FrameModel::Dense(self.preferences_with(taxis, requests, None))
+        } else {
+            FrameModel::Sparse(SparsePreferenceModel::build_incremental(
+                &self.metric,
+                &self.params,
+                taxis,
+                requests,
+                self.par,
+                taxi_grid,
+                &mut state.rows,
+            ))
+        }
+    }
+
     /// Builds the frame model in the configured [`CandidateMode`].
     ///
     /// A provided dense pick-up matrix forces the dense path (that is its
@@ -247,6 +275,33 @@ impl<M: Metric> NonSharingDispatcher<M> {
         self.to_schedule(taxis, requests, &model, &m)
     }
 
+    /// [`passenger_optimal`](Self::passenger_optimal), warm-started from
+    /// the previous frame's matching carried in `state` (and recording
+    /// this frame's matching back into it for the next call).
+    ///
+    /// Bit-identical to the cold
+    /// [`passenger_optimal_with_grid`](Self::passenger_optimal_with_grid)
+    /// for **every** frame delta: the seed is revalidated against the
+    /// current frame's preference lists before deferred acceptance
+    /// resumes, so stale pairs are pruned rather than trusted (see
+    /// [`crate::IncrementalState`]). Property-tested in
+    /// `tests/warm_equivalence.rs`.
+    #[must_use]
+    pub fn passenger_optimal_incremental(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        taxi_grid: Option<&GridIndex<usize>>,
+        state: &mut crate::IncrementalState,
+    ) -> Schedule {
+        let model = self.frame_model_incremental(taxis, requests, taxi_grid, state);
+        let m = model
+            .instance()
+            .propose_seeded(&state.seed(taxis, requests));
+        state.record(taxis, requests, &m);
+        self.to_schedule(taxis, requests, &model, &m)
+    }
+
     /// **NSTD-T**: the taxi-optimal stable schedule.
     ///
     /// Computed by role-swapped deferred acceptance (taxis propose), which
@@ -282,6 +337,28 @@ impl<M: Metric> NonSharingDispatcher<M> {
     ) -> Schedule {
         let model = self.frame_model(taxis, requests, None, taxi_grid);
         let m = model.instance().reviewer_optimal();
+        self.to_schedule(taxis, requests, &model, &m)
+    }
+
+    /// [`taxi_optimal`](Self::taxi_optimal), warm-started from the
+    /// previous frame's matching carried in `state`. Bit-identical to the
+    /// cold [`taxi_optimal_with_grid`](Self::taxi_optimal_with_grid) for
+    /// every frame delta (see
+    /// [`passenger_optimal_incremental`](Self::passenger_optimal_incremental);
+    /// the seed validation happens on the role-swapped instance).
+    #[must_use]
+    pub fn taxi_optimal_incremental(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        taxi_grid: Option<&GridIndex<usize>>,
+        state: &mut crate::IncrementalState,
+    ) -> Schedule {
+        let model = self.frame_model_incremental(taxis, requests, taxi_grid, state);
+        let m = model
+            .instance()
+            .reviewer_optimal_seeded(&state.seed(taxis, requests));
+        state.record(taxis, requests, &m);
         self.to_schedule(taxis, requests, &model, &m)
     }
 

@@ -17,7 +17,8 @@ use crate::PreferenceParams;
 use o2o_geo::{heuristic_cell_size, BBox, GridIndex, Metric, Point};
 use o2o_matching::StableInstance;
 use o2o_par::{par_map, Parallelism};
-use o2o_trace::{Request, Taxi};
+use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+use std::collections::HashMap;
 
 /// The idle-taxi × pending-request pick-up distance matrix of one frame.
 ///
@@ -280,7 +281,7 @@ pub fn build_taxi_grid(taxis: &[Taxi]) -> GridIndex<usize> {
 /// candidates then pass through exactly the dense filters on the true
 /// metric distances, keeping the surviving set — and every cost — bit-for-
 /// bit identical to the dense path.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SparsePickupDistances {
     n_requests: usize,
     n_taxis: usize,
@@ -319,34 +320,7 @@ impl SparsePickupDistances {
         let n_r = requests.len();
         let n_t = taxis.len();
         let rows_trips: Vec<(Vec<(usize, f64)>, f64)> = par_map(par, (0..n_r).collect(), |j| {
-            let r = &requests[j];
-            let trip = r.trip_distance(metric);
-            let alpha_trip = params.alpha * trip;
-            let bound = params
-                .passenger_threshold
-                .min(params.taxi_threshold + alpha_trip);
-            // Inflate to absorb the rounding of `d − α·trip` vs
-            // `θ_t + α·trip`; exact filters run on metric distances later.
-            let radius = bound + 1e-9 * (1.0 + bound.abs() + alpha_trip.abs());
-            let mut row: Vec<(usize, f64)> = if radius.is_nan() || radius < 0.0 {
-                Vec::new()
-            } else {
-                grid.within(r.pickup, radius)
-                    .into_iter()
-                    .map(|n| {
-                        let i = n.item;
-                        (i, metric.distance(taxis[i].location, r.pickup))
-                    })
-                    .collect()
-            };
-            // Same total order as the dense row sort: metric distance,
-            // then taxi index.
-            row.sort_by(|a, b| {
-                a.1.partial_cmp(&b.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            });
-            (row, trip)
+            Self::fresh_row(metric, params, taxis, &requests[j], grid)
         });
         let mut rows = Vec::with_capacity(n_r);
         let mut trips = Vec::with_capacity(n_r);
@@ -386,6 +360,237 @@ impl SparsePickupDistances {
     #[must_use]
     pub fn candidate_count(&self) -> usize {
         self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// [`compute`](Self::compute), patching the previous frame's candidate
+    /// rows instead of re-querying the grid and the metric for pairs that
+    /// cannot have changed.
+    ///
+    /// A candidate row is a pure function of `(pickup, radius, taxi
+    /// positions)`: membership is the grid's inclusive Euclidean test
+    /// `‖t_i − r_j^s‖ ≤ radius`, costs are exact metric distances, and the
+    /// order is the `(distance, index)` sort. So for a request carried
+    /// unchanged from the previous frame (same id, bit-identical pickup
+    /// and drop-off — hence the same trip and radius), the new row is the
+    /// old row with
+    ///
+    /// 1. entries of departed or moved taxis dropped (their stored
+    ///    distance belongs to a position no longer in the frame), and
+    /// 2. every moved-or-new taxi re-tested against the same inclusive
+    ///    Euclidean predicate, its metric distance computed fresh on
+    ///    admission,
+    ///
+    /// then re-sorted with the same comparator — bit-identical to a fresh
+    /// [`compute`](Self::compute), at the cost of the *changed* taxis
+    /// rather than the whole candidate set. Requests that are new, moved,
+    /// or carried under different [`PreferenceParams`] fall back to the
+    /// fresh grid path, as does the entire frame when either frame's taxi
+    /// ids are ambiguous (duplicates). `carry` is updated with this
+    /// frame's rows for the next call; exactness requires only that the
+    /// carry is always fed through the **same metric** (it revalidates
+    /// params itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PreferenceParams::validate`]. Debug
+    /// builds assert that `grid` holds one entry per taxi.
+    #[must_use]
+    pub fn compute_incremental<M: Metric>(
+        metric: &M,
+        params: &PreferenceParams,
+        taxis: &[Taxi],
+        requests: &[Request],
+        grid: &GridIndex<usize>,
+        par: Parallelism,
+        carry: &mut CandidateCarry,
+    ) -> Self {
+        params.validate().expect("invalid preference parameters");
+        debug_assert_eq!(
+            grid.len(),
+            taxis.len(),
+            "taxi grid does not match the taxi slice"
+        );
+        let n_r = requests.len();
+        let n_t = taxis.len();
+
+        // Map the carried frame onto this one. `stable_new[old]` is the
+        // current index of an old taxi still at the bit-identical
+        // position; `changed` lists current taxis that are new or moved.
+        // Ambiguous (duplicate) taxi ids on either side disable reuse for
+        // the whole frame — a duplicate id could map one old row entry to
+        // the wrong taxi.
+        let mut old_taxi_at: HashMap<TaxiId, usize> = HashMap::with_capacity(carry.taxis.len());
+        let mut unambiguous = carry.params == Some(*params);
+        for (i, &(id, _)) in carry.taxis.iter().enumerate() {
+            if old_taxi_at.insert(id, i).is_some() {
+                unambiguous = false;
+            }
+        }
+        let mut stable_new: Vec<Option<usize>> = vec![None; carry.taxis.len()];
+        let mut changed: Vec<(usize, Point)> = Vec::new();
+        let mut seen_new: HashMap<TaxiId, ()> = HashMap::with_capacity(n_t);
+        for (i, t) in taxis.iter().enumerate() {
+            if seen_new.insert(t.id, ()).is_some() {
+                unambiguous = false;
+            }
+            match old_taxi_at.get(&t.id) {
+                Some(&j) if same_bits(carry.taxis[j].1, t.location) => stable_new[j] = Some(i),
+                _ => changed.push((i, t.location)),
+            }
+        }
+        // Duplicate *request* ids are harmless: the carried row is keyed
+        // by bit-identical pickup/drop-off, and any old request passing
+        // that check carries the right row for this pickup.
+        let old_req_at: HashMap<RequestId, usize> = carry
+            .requests
+            .iter()
+            .enumerate()
+            .map(|(j, &(id, _, _))| (id, j))
+            .collect();
+
+        let carry_ref = &*carry;
+        let stable_new = &stable_new;
+        let changed = &changed;
+        let old_req_at = &old_req_at;
+        let rows_trips: Vec<(Vec<(usize, f64)>, f64)> = par_map(par, (0..n_r).collect(), |j| {
+            let r = &requests[j];
+            if unambiguous {
+                if let Some(&oj) = old_req_at.get(&r.id) {
+                    let (_, op, od) = carry_ref.requests[oj];
+                    if same_bits(op, r.pickup) && same_bits(od, r.dropoff) {
+                        let trip = carry_ref.trips[oj];
+                        let alpha_trip = params.alpha * trip;
+                        let bound = params
+                            .passenger_threshold
+                            .min(params.taxi_threshold + alpha_trip);
+                        let radius = bound + 1e-9 * (1.0 + bound.abs() + alpha_trip.abs());
+                        let mut row: Vec<(usize, f64)> = if radius.is_nan() || radius < 0.0 {
+                            Vec::new()
+                        } else {
+                            let mut row: Vec<(usize, f64)> = carry_ref.rows[oj]
+                                .iter()
+                                .filter_map(|&(oi, d)| stable_new[oi].map(|ni| (ni, d)))
+                                .collect();
+                            for &(ni, pos) in changed {
+                                // The grid's inclusive membership test.
+                                if pos.euclidean(r.pickup) <= radius {
+                                    row.push((ni, metric.distance(pos, r.pickup)));
+                                }
+                            }
+                            row
+                        };
+                        row.sort_by(|a, b| {
+                            a.1.partial_cmp(&b.1)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(a.0.cmp(&b.0))
+                        });
+                        return (row, trip);
+                    }
+                }
+            }
+            Self::fresh_row(metric, params, taxis, r, grid)
+        });
+
+        let mut rows = Vec::with_capacity(n_r);
+        let mut trips = Vec::with_capacity(n_r);
+        for (row, trip) in rows_trips {
+            rows.push(row);
+            trips.push(trip);
+        }
+        carry.params = Some(*params);
+        carry.taxis = taxis.iter().map(|t| (t.id, t.location)).collect();
+        carry.requests = requests
+            .iter()
+            .map(|r| (r.id, r.pickup, r.dropoff))
+            .collect();
+        carry.rows = rows.clone();
+        carry.trips = trips.clone();
+        SparsePickupDistances {
+            n_requests: n_r,
+            n_taxis: n_t,
+            rows,
+            trips,
+        }
+    }
+
+    /// One request's fresh candidate row: grid prefilter, exact metric
+    /// distances, `(distance, index)` sort. Shared by [`Self::compute`]
+    /// and the fallback path of [`Self::compute_incremental`].
+    fn fresh_row<M: Metric>(
+        metric: &M,
+        params: &PreferenceParams,
+        taxis: &[Taxi],
+        r: &Request,
+        grid: &GridIndex<usize>,
+    ) -> (Vec<(usize, f64)>, f64) {
+        let trip = r.trip_distance(metric);
+        let alpha_trip = params.alpha * trip;
+        let bound = params
+            .passenger_threshold
+            .min(params.taxi_threshold + alpha_trip);
+        // Inflate to absorb the rounding of `d − α·trip` vs
+        // `θ_t + α·trip`; exact filters run on metric distances later.
+        let radius = bound + 1e-9 * (1.0 + bound.abs() + alpha_trip.abs());
+        let mut row: Vec<(usize, f64)> = if radius.is_nan() || radius < 0.0 {
+            Vec::new()
+        } else {
+            grid.within(r.pickup, radius)
+                .into_iter()
+                .map(|n| {
+                    let i = n.item;
+                    (i, metric.distance(taxis[i].location, r.pickup))
+                })
+                .collect()
+        };
+        // Same total order as the dense row sort: metric distance,
+        // then taxi index.
+        row.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        (row, trip)
+    }
+}
+
+/// `true` when two points are bit-identical on both coordinates — the
+/// carry's notion of "did not move" (any representational change, `-0.0`
+/// vs `0.0` included, conservatively counts as moved).
+fn same_bits(a: Point, b: Point) -> bool {
+    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()
+}
+
+/// Cross-frame carry of sparse candidate rows for
+/// [`SparsePickupDistances::compute_incremental`]: the previous frame's
+/// taxis, requests, rows and trip distances, keyed by stable identities so
+/// index churn between frames never mis-maps an entry.
+///
+/// Owned by [`crate::IncrementalState`]; an empty carry (or one recorded
+/// under different [`PreferenceParams`]) simply makes every request take
+/// the fresh grid path.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateCarry {
+    params: Option<PreferenceParams>,
+    /// Previous frame's `(id, location)` per taxi index.
+    taxis: Vec<(TaxiId, Point)>,
+    /// Previous frame's `(id, pickup, dropoff)` per request index.
+    requests: Vec<(RequestId, Point, Point)>,
+    /// Previous frame's candidate rows (old taxi indices).
+    rows: Vec<Vec<(usize, f64)>>,
+    /// Previous frame's trip distances.
+    trips: Vec<f64>,
+}
+
+impl CandidateCarry {
+    /// An empty carry (the first frame takes the fresh grid path).
+    #[must_use]
+    pub fn new() -> Self {
+        CandidateCarry::default()
+    }
+
+    /// Forgets the carried rows (the next frame takes the fresh path).
+    pub fn clear(&mut self) {
+        *self = CandidateCarry::default();
     }
 }
 
@@ -463,6 +668,39 @@ impl SparsePreferenceModel {
             }
         };
         let spd = SparsePickupDistances::compute(metric, params, taxis, requests, grid, par);
+        Self::from_sparse_distances(params, taxis, requests, par, &spd)
+    }
+
+    /// [`build_with`](Self::build_with), patching the previous frame's
+    /// candidate rows via `carry` (see
+    /// [`SparsePickupDistances::compute_incremental`]). Bit-identical to a
+    /// carry-less build for every frame delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail [`PreferenceParams::validate`].
+    #[must_use]
+    pub fn build_incremental<M: Metric>(
+        metric: &M,
+        params: &PreferenceParams,
+        taxis: &[Taxi],
+        requests: &[Request],
+        par: Parallelism,
+        taxi_grid: Option<&GridIndex<usize>>,
+        carry: &mut CandidateCarry,
+    ) -> Self {
+        params.validate().expect("invalid preference parameters");
+        let owned;
+        let grid = match taxi_grid {
+            Some(g) => g,
+            None => {
+                owned = build_taxi_grid(taxis);
+                &owned
+            }
+        };
+        let spd = SparsePickupDistances::compute_incremental(
+            metric, params, taxis, requests, grid, par, carry,
+        );
         Self::from_sparse_distances(params, taxis, requests, par, &spd)
     }
 
@@ -781,6 +1019,116 @@ mod tests {
         let m = SparsePreferenceModel::build(&Euclidean, &params, &[], &requests);
         assert_eq!(m.instance.proposers(), 1);
         assert!(m.instance.proposer_list(0).is_empty());
+    }
+
+    #[test]
+    fn incremental_rows_match_fresh_compute_under_churn() {
+        // Roll frames with every kind of delta — taxis moving, departing,
+        // arriving; requests replaced — and pin the patched rows to a
+        // fresh compute each frame.
+        let params = PreferenceParams::paper();
+        let mut taxis: Vec<Taxi> = (0..14)
+            .map(|i| {
+                taxi(
+                    i,
+                    (i as f64 * 2.3) % 9.0 - 4.0,
+                    (i as f64 * 1.7) % 8.0 - 4.0,
+                )
+            })
+            .collect();
+        let mut requests: Vec<Request> = (0..10)
+            .map(|j| {
+                request(
+                    j,
+                    (j as f64 * 3.1) % 8.0 - 4.0,
+                    (j as f64 * 1.3) % 7.0 - 3.0,
+                    (j as f64 * 2.9) % 9.0 - 4.5,
+                    (j as f64 * 0.7) % 6.0 - 3.0,
+                )
+            })
+            .collect();
+        let mut carry = CandidateCarry::new();
+        for frame in 0..8 {
+            let grid = build_taxi_grid(&taxis);
+            let fresh = SparsePickupDistances::compute(
+                &Euclidean,
+                &params,
+                &taxis,
+                &requests,
+                &grid,
+                Parallelism::sequential(),
+            );
+            let patched = SparsePickupDistances::compute_incremental(
+                &Euclidean,
+                &params,
+                &taxis,
+                &requests,
+                &grid,
+                Parallelism::sequential(),
+                &mut carry,
+            );
+            assert_eq!(patched, fresh, "frame {frame} diverged");
+
+            // Mutate for the next frame: move one taxi, drop one, add one,
+            // replace one request.
+            let k = frame % taxis.len();
+            taxis[k].location = Point::new(frame as f64 - 2.0, 1.5 - frame as f64 * 0.5);
+            taxis.remove((frame + 3) % taxis.len());
+            taxis.push(taxi(
+                14 + frame as u64,
+                frame as f64 * 0.9 - 3.0,
+                2.0 - frame as f64,
+            ));
+            let jr = frame % requests.len();
+            requests[jr] = request(
+                10 + frame as u64,
+                frame as f64 * 1.1 - 3.0,
+                2.5 - frame as f64 * 0.7,
+                frame as f64 * 0.3,
+                frame as f64 * 0.2 - 1.0,
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_rows_fall_back_on_param_change() {
+        let taxis: Vec<Taxi> = (0..6).map(|i| taxi(i, i as f64 - 2.0, 0.5)).collect();
+        let requests: Vec<Request> = (0..4)
+            .map(|j| request(j, j as f64 - 1.0, -0.5, j as f64, 2.0))
+            .collect();
+        let grid = build_taxi_grid(&taxis);
+        let mut carry = CandidateCarry::new();
+        let a = PreferenceParams::paper();
+        let b = PreferenceParams::paper().with_passenger_threshold(1.5);
+        let _ = SparsePickupDistances::compute_incremental(
+            &Euclidean,
+            &a,
+            &taxis,
+            &requests,
+            &grid,
+            Parallelism::sequential(),
+            &mut carry,
+        );
+        // Same frame, different params: the carried rows (computed under
+        // `a`'s radius) must not leak into `b`'s rows.
+        let patched = SparsePickupDistances::compute_incremental(
+            &Euclidean,
+            &b,
+            &taxis,
+            &requests,
+            &grid,
+            Parallelism::sequential(),
+            &mut carry,
+        );
+        let fresh = SparsePickupDistances::compute(
+            &Euclidean,
+            &b,
+            &taxis,
+            &requests,
+            &grid,
+            Parallelism::sequential(),
+        );
+        assert_eq!(patched, fresh);
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Warm ≡ cold: incremental dispatch must not change a single bit.
+//!
+//! The incremental NSTD path seeds deferred acceptance from the previous
+//! frame's stable matching (carried across frames by `IncrementalState`).
+//! Correctness never rests on the carried pairs still being valid: the
+//! seeded proposal path revalidates the seed against the **current**
+//! frame's preference lists (mutual acceptability, prefix justification,
+//! acyclicity) and prunes whatever fails, so any frame delta — taxis
+//! moving, leaving or joining the idle set, requests served, expired or
+//! newly arrived — yields schedules bit-identical to a cold start, at
+//! every threshold setting and thread count.
+
+use o2o_core::{CandidateMode, IncrementalState, NonSharingDispatcher, PreferenceParams};
+use o2o_geo::{Euclidean, Point};
+use o2o_par::Parallelism;
+use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One rolling run: a sequence of frames where each frame is a random
+/// delta of the previous one (taxi moves/leaves/joins, request
+/// removals/arrivals), precomputed so every (params, threads) combination
+/// replays the identical sequence.
+fn rolling_frames(
+    seed: u64,
+    frames: usize,
+    span: f64,
+    churn: f64,
+) -> Vec<(Vec<Taxi>, Vec<Request>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let point =
+        |rng: &mut StdRng| Point::new(rng.gen_range(-span..span), rng.gen_range(-span..span));
+    let nt = rng.gen_range(1..14);
+    let nr = rng.gen_range(1..16);
+    let mut taxis: Vec<Taxi> = (0..nt)
+        .map(|i| {
+            let mut t = Taxi::new(TaxiId(i as u64), point(&mut rng));
+            t.seats = rng.gen_range(1..=4);
+            t
+        })
+        .collect();
+    let mut next_taxi_id = nt as u64;
+    let mut next_request_id = 0u64;
+    let new_request = |rng: &mut StdRng, id: &mut u64| {
+        let mut r = Request::new(RequestId(*id), 0, point(rng), point(rng));
+        *id += 1;
+        r.passengers = rng.gen_range(1..=3);
+        r
+    };
+    let mut requests: Vec<Request> = (0..nr)
+        .map(|_| new_request(&mut rng, &mut next_request_id))
+        .collect();
+
+    let mut out = Vec::with_capacity(frames);
+    for _ in 0..frames {
+        out.push((taxis.clone(), requests.clone()));
+        // Taxi delta: each idle taxi may move (drop-off elsewhere) or be
+        // dispatched away; occasionally a taxi re-enters the idle set.
+        let mut kept = Vec::with_capacity(taxis.len());
+        for mut t in taxis.drain(..) {
+            if rng.gen_bool(churn) {
+                if rng.gen_bool(0.5) {
+                    t.location = point(&mut rng);
+                    kept.push(t);
+                }
+            } else {
+                kept.push(t);
+            }
+        }
+        if rng.gen_bool(churn.max(0.1)) {
+            let mut t = Taxi::new(TaxiId(next_taxi_id), point(&mut rng));
+            next_taxi_id += 1;
+            t.seats = rng.gen_range(1..=4);
+            kept.push(t);
+        }
+        taxis = kept;
+        // Request delta: some are served/expired, some arrive.
+        requests.retain(|_| !rng.gen_bool(churn));
+        let arrivals = rng.gen_range(0..3);
+        for _ in 0..arrivals {
+            requests.push(new_request(&mut rng, &mut next_request_id));
+        }
+    }
+    out
+}
+
+fn param_grid() -> Vec<PreferenceParams> {
+    vec![
+        PreferenceParams::paper(),
+        PreferenceParams::paper()
+            .with_passenger_threshold(3.0)
+            .with_taxi_threshold(0.5),
+        PreferenceParams::unbounded().with_taxi_threshold(1.0),
+        PreferenceParams::unbounded(),
+    ]
+}
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 7];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// NSTD-P and NSTD-T warm-started across randomized frame deltas are
+    /// bit-identical to cold starts, for every threshold setting and
+    /// thread count.
+    #[test]
+    fn warm_dispatch_matches_cold_across_frame_deltas(
+        seed in any::<u64>(), churn_pct in 0u32..=60,
+    ) {
+        let frames = rolling_frames(seed, 6, 8.0, f64::from(churn_pct) / 100.0);
+        for params in param_grid() {
+            let parallelisms = std::iter::once(Parallelism::sequential())
+                .chain(THREAD_COUNTS.iter().map(|&t| Parallelism::fixed(t)));
+            for par in parallelisms {
+                let d = NonSharingDispatcher::new(Euclidean, params).with_parallelism(par);
+                let mut p_state = IncrementalState::new();
+                let mut t_state = IncrementalState::new();
+                for (taxis, requests) in &frames {
+                    let warm_p =
+                        d.passenger_optimal_incremental(taxis, requests, None, &mut p_state);
+                    prop_assert_eq!(
+                        &warm_p, &d.passenger_optimal_with_grid(taxis, requests, None)
+                    );
+                    let warm_t = d.taxi_optimal_incremental(taxis, requests, None, &mut t_state);
+                    prop_assert_eq!(&warm_t, &d.taxi_optimal_with_grid(taxis, requests, None));
+                }
+            }
+        }
+    }
+
+    /// The carried state matches the schedule it was recorded from, and
+    /// clearing it (a cold restart mid-run) changes nothing.
+    #[test]
+    fn state_tracks_schedule_and_clear_is_harmless(seed in any::<u64>()) {
+        let frames = rolling_frames(seed, 5, 8.0, 0.3);
+        let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::paper());
+        let mut state = IncrementalState::new();
+        for (k, (taxis, requests)) in frames.iter().enumerate() {
+            if k == 2 {
+                state.clear();
+                prop_assert!(state.carried_pairs().is_empty());
+            }
+            let s = d.passenger_optimal_incremental(taxis, requests, None, &mut state);
+            prop_assert_eq!(&s, &d.passenger_optimal_with_grid(taxis, requests, None));
+            let mut expected: Vec<(RequestId, TaxiId)> = requests
+                .iter()
+                .filter_map(|r| s.assignment_of(r.id).taxi().map(|t| (r.id, t)))
+                .collect();
+            expected.sort();
+            let mut carried: Vec<(RequestId, TaxiId)> = state.carried_pairs().to_vec();
+            carried.sort();
+            prop_assert_eq!(carried, expected);
+        }
+    }
+
+    /// Dense mode as the cross-check: the warm sparse path agrees with a
+    /// dense cold dispatcher frame by frame.
+    #[test]
+    fn warm_sparse_matches_dense_cold(seed in any::<u64>()) {
+        let frames = rolling_frames(seed, 5, 8.0, 0.2);
+        let params = PreferenceParams::paper();
+        let sparse = NonSharingDispatcher::new(Euclidean, params);
+        let dense = NonSharingDispatcher::new(Euclidean, params)
+            .with_candidate_mode(CandidateMode::Dense);
+        let mut state = IncrementalState::new();
+        for (taxis, requests) in &frames {
+            prop_assert_eq!(
+                &sparse.passenger_optimal_incremental(taxis, requests, None, &mut state),
+                &dense.passenger_optimal(taxis, requests)
+            );
+        }
+    }
+}
+
+/// A stationary fleet re-seeds its full matching: the point of the warm
+/// start. With no frame delta at all, every carried pair survives
+/// validation, so the second frame's seed is the entire matching.
+#[test]
+fn stationary_frames_carry_the_full_matching() {
+    let (taxis, requests) = {
+        let frames = rolling_frames(0xF1F0, 1, 8.0, 0.0);
+        frames.into_iter().next().unwrap()
+    };
+    let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::paper());
+    let mut state = IncrementalState::new();
+    let first = d.passenger_optimal_incremental(&taxis, &requests, None, &mut state);
+    let carried_before = state.carried_pairs().to_vec();
+    let second = d.passenger_optimal_incremental(&taxis, &requests, None, &mut state);
+    assert_eq!(first, second);
+    assert_eq!(state.carried_pairs(), &carried_before[..]);
+}

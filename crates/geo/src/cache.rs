@@ -11,10 +11,21 @@
 //! queries in a sharded hash map. Because a cached value is always the
 //! number the inner metric returned for that exact pair of points,
 //! wrapping a metric never changes any computed result — only how often
-//! the inner metric runs. The cache is keyed per frame in spirit: call
-//! [`DistanceCache::clear`] at a frame boundary so stale geometry (e.g.
-//! after a road-network update) cannot leak across frames and the map
-//! cannot grow without bound over a long simulation.
+//! the inner metric runs. Two lifetimes are supported:
+//!
+//! * **Per frame**: call [`DistanceCache::clear`] at every frame boundary
+//!   so stale geometry (e.g. after a road-network update) cannot leak
+//!   across frames and the map cannot grow without bound.
+//! * **Cross frame** (the incremental dispatch pipeline): keep entries
+//!   alive across frames and bound memory with
+//!   [`DistanceCache::sweep_stale`] instead. Entries are keyed by the
+//!   exact bit patterns of both endpoints, which *is* a generation key:
+//!   a query for `(taxi, request)` hits only while the taxi's position
+//!   bits are unchanged, and the moment the taxi moves its old entries
+//!   become unreachable — the sweep reclaims exactly those by dropping
+//!   every entry whose origin point is no longer live. Stationary idle
+//!   taxis and carried-over pending requests therefore hit the cache
+//!   across frames, and a hit can never return a pre-move distance.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,8 +33,32 @@ use std::sync::Mutex;
 
 use crate::{Metric, Point};
 
+/// Cheap fixed-width hasher for the point-bits keys: one rotate-xor-
+/// multiply round per `u64` (fx-hash style). The keys are raw `f64` bit
+/// patterns of city coordinates — high-entropy in the mantissa bits — so
+/// a full SipHash pass per lookup is wasted work on the hottest path of
+/// the frame loop (a cache *hit* costs little more than this hash).
+#[derive(Default, Clone, Copy)]
+struct BitsHasher(u64);
+
+impl std::hash::Hasher for BitsHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517C_C1B7_2722_0A95);
+    }
+}
+
 /// One cache shard: distances keyed by the two endpoints' raw bits.
-type Shard = Mutex<HashMap<(u64, u64, u64, u64), f64>>;
+type Shard = Mutex<HashMap<(u64, u64, u64, u64), f64, std::hash::BuildHasherDefault<BitsHasher>>>;
 
 /// Number of independently locked shards. A power of two so shard
 /// selection is a mask; 16 keeps contention low at the thread counts the
@@ -72,7 +107,7 @@ impl<M: Metric> DistanceCache<M> {
     pub fn new(inner: M) -> Self {
         DistanceCache {
             inner,
-            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::default())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -89,6 +124,36 @@ impl<M: Metric> DistanceCache<M> {
         for shard in &self.shards {
             shard.lock().expect("cache shard poisoned").clear();
         }
+    }
+
+    /// The sweep key of a query origin: the exact bit pattern of the
+    /// point a cached distance was measured *from*. Build the live set
+    /// for [`Self::sweep_stale`] with this.
+    #[must_use]
+    pub fn origin_key(p: Point) -> (u64, u64) {
+        (p.x.to_bits(), p.y.to_bits())
+    }
+
+    /// Drops every entry whose origin point (the first argument of the
+    /// memoized `distance` call) is not in `live`, returning how many
+    /// entries were dropped. Hit/miss counters are untouched, so
+    /// [`Self::stats`] stays cumulative and monotone across sweeps.
+    ///
+    /// This is the stale-generation sweep of the cross-frame lifetime:
+    /// position bits are the generation, so an entry keyed by a position
+    /// nobody occupies any more can never be queried again and is safe to
+    /// reclaim. Callers pass the current frame's live origins — idle-taxi
+    /// locations plus pending-request pickups (trip distances are keyed
+    /// with the pickup as origin).
+    pub fn sweep_stale(&self, live: &std::collections::HashSet<(u64, u64)>) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("cache shard poisoned");
+            let before = map.len();
+            map.retain(|key, _| live.contains(&(key.0, key.1)));
+            dropped += before - map.len();
+        }
+        dropped
     }
 
     /// Number of memoized distances.
@@ -215,6 +280,29 @@ mod tests {
         let d2 = cache.distance(Point::new(-0.0, 0.0), Point::new(1.0, 0.0));
         assert_eq!(d1, d2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn sweep_drops_only_stale_origins_and_keeps_stats() {
+        let cache = DistanceCache::new(Counting {
+            calls: AtomicU64::new(0),
+        });
+        let alive = Point::new(1.0, 2.0);
+        let moved = Point::new(-3.0, 0.5);
+        let dest = Point::new(4.0, 4.0);
+        cache.distance(alive, dest);
+        cache.distance(moved, dest);
+        cache.distance(moved, alive);
+        assert_eq!(cache.len(), 3);
+        let live = std::collections::HashSet::from([DistanceCache::<Counting>::origin_key(alive)]);
+        assert_eq!(cache.sweep_stale(&live), 2);
+        assert_eq!(cache.len(), 1);
+        // The surviving entry still hits; the swept origin recomputes.
+        cache.distance(alive, dest);
+        cache.distance(moved, dest);
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats { hits: 1, misses: 4 });
+        assert_eq!(cache.inner().calls.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -49,7 +49,12 @@ pub struct Neighbor<T> {
 /// let nearest = idx.nearest(Point::new(0.5, 0.5)).unwrap();
 /// assert_eq!(nearest.item, "taxi-a");
 /// ```
-#[derive(Debug, Clone)]
+/// Two indices compare equal only when they have the same geometry *and*
+/// the same items in the same per-cell order — i.e. when they are
+/// query-indistinguishable, tie-breaking included. This is what the
+/// incremental maintenance layer's debug checks assert against a fresh
+/// [`GridIndex::bulk_build`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridIndex<T> {
     bbox: BBox,
     cell_size: f64,
@@ -139,6 +144,12 @@ impl<T: Clone + PartialEq> GridIndex<T> {
         self.bbox
     }
 
+    /// The cell side length, in kilometres.
+    #[must_use]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
     fn cell_of(&self, p: Point) -> (usize, usize) {
         let p = self.bbox.clamp(p);
         let c = (((p.x - self.bbox.min().x) / self.cell_size) as usize).min(self.cols - 1);
@@ -158,11 +169,16 @@ impl<T: Clone + PartialEq> GridIndex<T> {
     ///
     /// Returns `true` if an occurrence was found and removed. The location
     /// must match the insertion location (it determines the cell searched).
+    ///
+    /// Removal preserves the relative order of the remaining items in the
+    /// cell, so later queries tie-break exactly as if the removed item had
+    /// never been inserted — the property the delta-maintained frame grid
+    /// relies on to stay query-identical to a fresh [`Self::bulk_build`].
     pub fn remove(&mut self, item: &T, location: Point) -> bool {
         let (c, r) = self.cell_of(location);
         let cell = &mut self.cells[r * self.cols + c];
         if let Some(pos) = cell.iter().position(|(i, _)| i == item) {
-            cell.swap_remove(pos);
+            cell.remove(pos);
             self.len -= 1;
             true
         } else {
@@ -189,6 +205,46 @@ impl<T: Clone + PartialEq> GridIndex<T> {
             cell.clear();
         }
         self.len = 0;
+    }
+
+    /// A structure-preserving copy with every payload passed through `f`:
+    /// same geometry, same per-cell item order, same locations.
+    ///
+    /// When `f` is strictly monotone in the payload order (e.g. mapping
+    /// fleet indices to their ranks within a subset), the copy's per-cell
+    /// payload order is ascending iff the original's was — which keeps a
+    /// payload-remapped grid bit-identical to a fresh
+    /// [`Self::bulk_build`] over the remapped items.
+    #[must_use]
+    pub fn map_payloads<U: Clone + PartialEq>(&self, mut f: impl FnMut(&T) -> U) -> GridIndex<U> {
+        GridIndex {
+            bbox: self.bbox,
+            cell_size: self.cell_size,
+            cols: self.cols,
+            rows: self.rows,
+            cells: self
+                .cells
+                .iter()
+                .map(|cell| cell.iter().map(|(t, p)| (f(t), *p)).collect())
+                .collect(),
+            len: self.len,
+        }
+    }
+
+    /// Asserts the internal invariants: the item count matches the cell
+    /// contents and every item sits in the cell its location maps to.
+    /// Debug builds only — release builds compile this to nothing.
+    pub fn debug_check_invariants(&self) {
+        if cfg!(debug_assertions) {
+            let counted: usize = self.cells.iter().map(Vec::len).sum();
+            assert_eq!(counted, self.len, "grid len out of sync with cells");
+            for (id, cell) in self.cells.iter().enumerate() {
+                for (_, p) in cell {
+                    let (c, r) = self.cell_of(*p);
+                    assert_eq!(r * self.cols + c, id, "item stored in wrong cell");
+                }
+            }
+        }
     }
 
     /// The stored item nearest to `query`, or `None` when empty.
@@ -327,6 +383,26 @@ impl<T: Clone + PartialEq> GridIndex<T> {
             }
         }
         cells
+    }
+}
+
+impl<T: Clone + Ord> GridIndex<T> {
+    /// Inserts `item` at `location`, placing it *by payload order* within
+    /// its cell instead of appending.
+    ///
+    /// When every cell already holds its items in ascending payload order
+    /// — true for any grid built by [`Self::bulk_build`] from an
+    /// ascending item list, like the engine's fleet-ordered taxi grid —
+    /// this keeps that order, so the maintained grid stays equal to a
+    /// fresh `bulk_build` of the ascending current item set. Plain
+    /// [`Self::insert`] (append) would put a re-idled taxi behind taxis
+    /// with larger indices and change query tie-breaking.
+    pub fn insert_sorted(&mut self, item: T, location: Point) {
+        let (c, r) = self.cell_of(location);
+        let cell = &mut self.cells[r * self.cols + c];
+        let pos = cell.partition_point(|(i, _)| *i < item);
+        cell.insert(pos, (item, location));
+        self.len += 1;
     }
 }
 
@@ -566,6 +642,71 @@ mod tests {
                 .map(|n| n.item)
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn remove_preserves_cell_order_for_ties() {
+        // Four equidistant items in one cell; removing the second must
+        // leave the others tie-breaking as if it was never there.
+        let mut idx = GridIndex::new(city(), 40.0);
+        idx.insert(10u32, Point::new(1.0, 0.0));
+        idx.insert(11u32, Point::new(-1.0, 0.0));
+        idx.insert(12u32, Point::new(0.0, 1.0));
+        idx.insert(13u32, Point::new(0.0, -1.0));
+        assert!(idx.remove(&11, Point::new(-1.0, 0.0)));
+        let got: Vec<u32> = idx
+            .k_nearest(Point::ORIGIN, 3)
+            .iter()
+            .map(|n| n.item)
+            .collect();
+        assert_eq!(got, vec![10, 12, 13]);
+        let mut fresh = GridIndex::new(city(), 40.0);
+        fresh.insert(10u32, Point::new(1.0, 0.0));
+        fresh.insert(12u32, Point::new(0.0, 1.0));
+        fresh.insert(13u32, Point::new(0.0, -1.0));
+        assert_eq!(idx, fresh);
+    }
+
+    #[test]
+    fn insert_sorted_restores_bulk_build_order() {
+        // Build from the ascending item set minus one, then insert_sorted
+        // the missing item: the result must equal the full bulk build,
+        // wherever the item falls in its cell.
+        let pts: Vec<(u32, Point)> = (0..30)
+            .map(|i| {
+                (
+                    i,
+                    Point::new((i as f64 * 5.1) % 18.0 - 9.0, (i as f64 * 2.3) % 18.0 - 9.0),
+                )
+            })
+            .collect();
+        let full = GridIndex::bulk_build(city(), 6.0, pts.clone());
+        for missing in [0usize, 7, 29] {
+            let partial: Vec<(u32, Point)> = pts
+                .iter()
+                .copied()
+                .filter(|&(i, _)| i as usize != missing)
+                .collect();
+            let mut idx = GridIndex::bulk_build(city(), 6.0, partial);
+            idx.insert_sorted(pts[missing].0, pts[missing].1);
+            assert_eq!(idx, full, "missing = {missing}");
+        }
+    }
+
+    #[test]
+    fn map_payloads_preserves_structure() {
+        let pts: Vec<(u32, Point)> = (0..20)
+            .map(|i| (i * 2, Point::new((i as f64 * 3.7) % 16.0 - 8.0, 0.5)))
+            .collect();
+        let idx = GridIndex::bulk_build(city(), 2.0, pts.clone());
+        // A strictly monotone remap (halving) must equal the bulk build
+        // of the remapped items.
+        let mapped = idx.map_payloads(|&i| i / 2);
+        let expect =
+            GridIndex::bulk_build(city(), 2.0, pts.iter().map(|&(i, p)| (i / 2, p)).collect());
+        assert_eq!(mapped, expect);
+        assert_eq!(mapped.len(), idx.len());
+        mapped.debug_check_invariants();
     }
 
     #[test]

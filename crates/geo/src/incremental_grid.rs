@@ -1,0 +1,387 @@
+//! Cross-frame delta maintenance for [`GridIndex`].
+//!
+//! The simulation engine rebuilt the per-frame taxi grid from the full
+//! idle set every frame, even though consecutive frames share most of it:
+//! only taxis that were dispatched, finished a trip, or moved change.
+//! [`IncrementalGrid`] keeps a persistent grid in sync with a desired
+//! item set by applying exactly those transitions — and falls back to a
+//! bulk rebuild when the geometry changed or the delta is so large that
+//! patching would cost more than rebuilding.
+//!
+//! The maintained grid is **bit-identical** to
+//! `GridIndex::bulk_build(bbox, cell_size, desired)` after every
+//! [`IncrementalGrid::sync`], per-cell item order (and therefore query
+//! tie-breaking) included. Three properties make that exact:
+//!
+//! * [`GridIndex::remove`] preserves the relative order of the remaining
+//!   items in a cell,
+//! * [`GridIndex::insert_sorted`] places an item at its payload-ordered
+//!   position, and
+//! * `sync` requires the desired set to be strictly ascending by payload,
+//!   so "ascending within every cell" is both the bulk-build order and
+//!   the maintained invariant.
+//!
+//! Debug builds verify the equivalence against a fresh `bulk_build` after
+//! every sync; release builds trust the proof and skip the check.
+
+use crate::{BBox, GridIndex, Point};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// How a [`IncrementalGrid::sync`] call brought the grid up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncOutcome {
+    /// The grid was rebuilt from scratch (first sync, geometry change, or
+    /// delta above the rebuild threshold).
+    Rebuilt,
+    /// The grid was patched in place with the counted operations.
+    Delta {
+        /// Items newly inserted.
+        inserted: usize,
+        /// Items removed.
+        removed: usize,
+        /// Items whose location changed.
+        relocated: usize,
+    },
+}
+
+/// A persistent [`GridIndex`] kept in sync with a per-frame item set by
+/// delta operations, with a bulk-rebuild fallback.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_geo::{BBox, GridIndex, IncrementalGrid, Point};
+///
+/// let bbox = BBox::square(Point::ORIGIN, 10.0);
+/// let mut inc = IncrementalGrid::new(0.5);
+/// let frame1 = vec![(0usize, Point::new(1.0, 1.0)), (1, Point::new(-2.0, 3.0))];
+/// inc.sync(bbox, 1.0, &frame1);
+/// // One taxi moved; the next sync patches instead of rebuilding.
+/// let frame2 = vec![(0usize, Point::new(1.5, 1.0)), (1, Point::new(-2.0, 3.0))];
+/// inc.sync(bbox, 1.0, &frame2);
+/// assert_eq!(inc.grid().unwrap(), &GridIndex::bulk_build(bbox, 1.0, frame2));
+/// ```
+#[derive(Debug)]
+pub struct IncrementalGrid<T> {
+    grid: Option<GridIndex<T>>,
+    members: HashMap<T, Point>,
+    rebuild_threshold: f64,
+    rebuilds: u64,
+    delta_syncs: u64,
+}
+
+impl<T: Clone + Ord + Hash + std::fmt::Debug> IncrementalGrid<T> {
+    /// Creates an empty maintainer. `rebuild_threshold` is the delta
+    /// fraction above which a sync rebuilds instead of patching: a sync
+    /// whose insert+remove+relocate count exceeds
+    /// `rebuild_threshold * desired.len()` falls back to
+    /// [`GridIndex::bulk_build`]. `0.0` always rebuilds; `f64::INFINITY`
+    /// always patches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rebuild_threshold` is negative or NaN.
+    #[must_use]
+    pub fn new(rebuild_threshold: f64) -> Self {
+        assert!(
+            rebuild_threshold >= 0.0,
+            "rebuild_threshold must be non-negative, got {rebuild_threshold}"
+        );
+        IncrementalGrid {
+            grid: None,
+            members: HashMap::new(),
+            rebuild_threshold,
+            rebuilds: 0,
+            delta_syncs: 0,
+        }
+    }
+
+    /// The maintained grid, or `None` before the first sync.
+    #[must_use]
+    pub fn grid(&self) -> Option<&GridIndex<T>> {
+        self.grid.as_ref()
+    }
+
+    /// Bulk rebuilds performed so far (including the first sync).
+    #[must_use]
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Syncs that were satisfied by delta patching.
+    #[must_use]
+    pub fn delta_syncs(&self) -> u64 {
+        self.delta_syncs
+    }
+
+    /// Brings the grid in sync with `desired` over the given geometry and
+    /// returns it, reporting how.
+    ///
+    /// `desired` must be strictly ascending by payload (duplicates
+    /// included in the ban); the engine's fleet-ordered idle sets satisfy
+    /// this for free. After the call the grid equals
+    /// `GridIndex::bulk_build(bbox, cell_size, desired.to_vec())` exactly
+    /// — including query tie-breaking — whichever path ran.
+    ///
+    /// A bulk rebuild happens on the first sync, whenever `bbox` or
+    /// `cell_size` differ from the current grid's (any change remaps
+    /// cells wholesale, so patching would be wrong), and whenever the
+    /// delta exceeds the rebuild threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `desired` is not strictly ascending by
+    /// payload, or if the patched grid fails to match a fresh bulk build.
+    pub fn sync(&mut self, bbox: BBox, cell_size: f64, desired: &[(T, Point)]) -> SyncOutcome {
+        debug_assert!(
+            desired.windows(2).all(|w| w[0].0 < w[1].0),
+            "desired items must be strictly ascending by payload"
+        );
+        let geometry_matches = self
+            .grid
+            .as_ref()
+            .is_some_and(|g| g.bbox() == bbox && g.cell_size() == cell_size);
+        let outcome = if geometry_matches {
+            self.sync_delta(desired)
+        } else {
+            None
+        };
+        let outcome = match outcome {
+            Some(delta) => {
+                self.delta_syncs += 1;
+                delta
+            }
+            None => {
+                self.rebuild(bbox, cell_size, desired);
+                SyncOutcome::Rebuilt
+            }
+        };
+        #[cfg(debug_assertions)]
+        {
+            let grid = self.grid.as_ref().expect("synced");
+            grid.debug_check_invariants();
+            assert_eq!(
+                grid,
+                &GridIndex::bulk_build(bbox, cell_size, desired.to_vec()),
+                "incremental grid diverged from bulk build"
+            );
+        }
+        outcome
+    }
+
+    /// Computes and applies the delta, or returns `None` when it exceeds
+    /// the rebuild threshold.
+    fn sync_delta(&mut self, desired: &[(T, Point)]) -> Option<SyncOutcome> {
+        let mut inserts: Vec<(T, Point)> = Vec::new();
+        let mut relocates: Vec<(T, Point, Point)> = Vec::new();
+        for (t, p) in desired {
+            match self.members.get(t) {
+                None => inserts.push((t.clone(), *p)),
+                Some(&old) if old != *p => relocates.push((t.clone(), old, *p)),
+                Some(_) => {}
+            }
+        }
+        let removes: Vec<(T, Point)> = self
+            .members
+            .iter()
+            .filter(|(t, _)| desired.binary_search_by(|(d, _)| d.cmp(t)).is_err())
+            .map(|(t, p)| (t.clone(), *p))
+            .collect();
+        let churn = inserts.len() + relocates.len() + removes.len();
+        if churn as f64 > self.rebuild_threshold * desired.len() as f64 {
+            return None;
+        }
+        let grid = self.grid.as_mut().expect("geometry matched");
+        for (t, p) in &removes {
+            let found = grid.remove(t, *p);
+            debug_assert!(found, "member map out of sync on remove");
+            self.members.remove(t);
+        }
+        for (t, old, new) in &relocates {
+            let found = grid.remove(t, *old);
+            debug_assert!(found, "member map out of sync on relocate");
+            grid.insert_sorted(t.clone(), *new);
+            self.members.insert(t.clone(), *new);
+        }
+        for (t, p) in &inserts {
+            grid.insert_sorted(t.clone(), *p);
+            self.members.insert(t.clone(), *p);
+        }
+        Some(SyncOutcome::Delta {
+            inserted: inserts.len(),
+            removed: removes.len(),
+            relocated: relocates.len(),
+        })
+    }
+
+    fn rebuild(&mut self, bbox: BBox, cell_size: f64, desired: &[(T, Point)]) {
+        self.grid = Some(GridIndex::bulk_build(bbox, cell_size, desired.to_vec()));
+        self.members = desired.iter().cloned().collect();
+        self.rebuilds += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bbox() -> BBox {
+        BBox::square(Point::ORIGIN, 20.0)
+    }
+
+    fn expect_grid(items: &[(usize, Point)]) -> GridIndex<usize> {
+        GridIndex::bulk_build(bbox(), 1.5, items.to_vec())
+    }
+
+    #[test]
+    fn first_sync_rebuilds() {
+        let mut inc = IncrementalGrid::new(0.5);
+        let items = vec![(0usize, Point::new(1.0, 2.0)), (3, Point::new(-4.0, 0.5))];
+        assert_eq!(inc.sync(bbox(), 1.5, &items), SyncOutcome::Rebuilt);
+        assert_eq!(inc.grid().unwrap(), &expect_grid(&items));
+        assert_eq!(inc.rebuilds(), 1);
+    }
+
+    #[test]
+    fn small_delta_patches_large_delta_rebuilds() {
+        let mut inc = IncrementalGrid::new(0.5);
+        let items: Vec<(usize, Point)> = (0..10)
+            .map(|i| (i, Point::new(i as f64 - 5.0, 0.0)))
+            .collect();
+        inc.sync(bbox(), 1.5, &items);
+        // One relocate + one remove + one insert out of 10: patch.
+        let mut next = items.clone();
+        next[2].1 = Point::new(4.5, 4.5);
+        next.remove(7);
+        next.push((12, Point::new(0.0, -3.0)));
+        assert_eq!(
+            inc.sync(bbox(), 1.5, &next),
+            SyncOutcome::Delta {
+                inserted: 1,
+                removed: 1,
+                relocated: 1
+            }
+        );
+        assert_eq!(inc.grid().unwrap(), &expect_grid(&next));
+        // Replace most of the set: rebuild.
+        let moved: Vec<(usize, Point)> = next.iter().map(|&(i, p)| (i + 100, p)).collect();
+        assert_eq!(inc.sync(bbox(), 1.5, &moved), SyncOutcome::Rebuilt);
+        assert_eq!(inc.grid().unwrap(), &expect_grid(&moved));
+        assert_eq!(inc.delta_syncs(), 1);
+        assert_eq!(inc.rebuilds(), 2);
+    }
+
+    #[test]
+    fn geometry_change_forces_rebuild() {
+        let mut inc = IncrementalGrid::new(f64::INFINITY);
+        let items = vec![(1usize, Point::new(0.0, 0.0))];
+        inc.sync(bbox(), 1.5, &items);
+        assert_eq!(inc.sync(bbox(), 2.0, &items), SyncOutcome::Rebuilt);
+        let other = BBox::square(Point::new(1.0, 1.0), 18.0);
+        assert_eq!(inc.sync(other, 2.0, &items), SyncOutcome::Rebuilt);
+        assert_eq!(
+            inc.grid().unwrap(),
+            &GridIndex::bulk_build(other, 2.0, items)
+        );
+    }
+
+    #[test]
+    fn zero_threshold_always_rebuilds_on_change() {
+        let mut inc = IncrementalGrid::new(0.0);
+        let items = vec![(0usize, Point::ORIGIN), (1, Point::new(2.0, 2.0))];
+        inc.sync(bbox(), 1.5, &items);
+        // Unchanged set: a zero-op delta is within any threshold.
+        assert_eq!(
+            inc.sync(bbox(), 1.5, &items),
+            SyncOutcome::Delta {
+                inserted: 0,
+                removed: 0,
+                relocated: 0
+            }
+        );
+        let mut next = items.clone();
+        next[0].1 = Point::new(0.5, 0.5);
+        assert_eq!(inc.sync(bbox(), 1.5, &next), SyncOutcome::Rebuilt);
+    }
+
+    #[test]
+    fn empty_desired_set_is_fine() {
+        let mut inc = IncrementalGrid::<usize>::new(0.5);
+        inc.sync(bbox(), 1.5, &[]);
+        assert_eq!(inc.grid().unwrap().len(), 0);
+        inc.sync(bbox(), 1.5, &[(4, Point::new(1.0, 1.0))]);
+        assert_eq!(inc.grid().unwrap().len(), 1);
+    }
+
+    /// Random churn trajectories: after every sync the maintained grid
+    /// must equal a fresh bulk build of the frame's item set — per-cell
+    /// order included (`GridIndex: PartialEq` compares cell vectors).
+    #[test]
+    fn random_trajectories_match_bulk_build_exactly() {
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut inc = IncrementalGrid::new(0.25);
+            // Fleet of 40; membership and positions evolve per frame.
+            let mut present: Vec<bool> = (0..40).map(|_| rng.gen_bool(0.6)).collect();
+            let mut pos: Vec<Point> = (0..40)
+                .map(|_| Point::new(rng.gen_range(-9.0..9.0), rng.gen_range(-9.0..9.0)))
+                .collect();
+            for _frame in 0..30 {
+                for i in 0..40 {
+                    if rng.gen_bool(0.1) {
+                        present[i] = !present[i];
+                    }
+                    if present[i] && rng.gen_bool(0.15) {
+                        pos[i] = Point::new(rng.gen_range(-9.0..9.0), rng.gen_range(-9.0..9.0));
+                    }
+                }
+                let desired: Vec<(usize, Point)> = (0..40)
+                    .filter(|&i| present[i])
+                    .map(|i| (i, pos[i]))
+                    .collect();
+                inc.sync(bbox(), 1.5, &desired);
+                assert_eq!(inc.grid().unwrap(), &expect_grid(&desired), "seed {seed}");
+            }
+            // Both paths must actually have been exercised.
+            assert!(inc.rebuilds() >= 1);
+            assert!(
+                inc.delta_syncs() >= 1,
+                "seed {seed} never took the delta path"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Delta maintenance equals bulk build for arbitrary consecutive
+        /// frames, across rebuild thresholds (0 = always rebuild,
+        /// inf = always patch, and a middle setting).
+        #[test]
+        fn sync_equals_bulk_build(
+            seed in any::<u64>(),
+            frames in 1usize..8,
+            n in 1usize..25,
+            threshold_idx in 0usize..3,
+        ) {
+            let threshold = [0.0, 0.3, f64::INFINITY][threshold_idx];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut inc = IncrementalGrid::new(threshold);
+            for _ in 0..frames {
+                let mut desired: Vec<(usize, Point)> = Vec::new();
+                for i in 0..n {
+                    if rng.gen_bool(0.7) {
+                        let p = Point::new(rng.gen_range(-9.5..9.5), rng.gen_range(-9.5..9.5));
+                        desired.push((i, p));
+                    }
+                }
+                inc.sync(bbox(), 1.5, &desired);
+                prop_assert_eq!(inc.grid().unwrap(), &expect_grid(&desired));
+            }
+        }
+    }
+}

@@ -388,6 +388,17 @@ impl StableInstance {
         let mut next = vec![0usize; self.proposers()];
         // Stack of proposers that still need to propose.
         let mut free: Vec<usize> = (0..self.proposers()).rev().collect();
+        self.run_proposals(&mut m, &mut next, &mut free);
+        m
+    }
+
+    /// The deferred-acceptance proposal loop, resumable from any reachable
+    /// intermediate state (`m` + per-proposer cursors + free stack). Both
+    /// [`StableInstance::propose`] (cold, everything empty) and
+    /// [`StableInstance::propose_seeded`] (warm, seeded pairs linked and
+    /// cursors advanced) drive this same loop, so the two paths cannot
+    /// diverge in proposal semantics.
+    fn run_proposals(&self, m: &mut Matching, next: &mut [usize], free: &mut Vec<usize>) {
         while let Some(p) = free.pop() {
             // Propose down p's list from its cursor.
             // Runs down p's list from its cursor; falling off the end
@@ -413,7 +424,185 @@ impl StableInstance {
                 }
             }
         }
+    }
+
+    /// Prunes `seed` down to a subset that is a *reachable* deferred-
+    /// acceptance state of **this** instance, so that
+    /// [`StableInstance::propose_seeded`] started from it provably returns
+    /// the same matching as a cold [`StableInstance::propose`].
+    ///
+    /// A surviving pair `(p, r)` means "proposer `p` currently holds
+    /// reviewer `r`, having already proposed to everything `p` ranks above
+    /// `r`". Three conditions make the combined state reachable by some
+    /// valid proposal order:
+    ///
+    /// 1. **Well-formed**: pairs are mutually acceptable, in range, and no
+    ///    proposer or reviewer appears twice (first occurrence wins).
+    /// 2. **Prefix-justified**: every reviewer `r'` that `p` skipped (ranked
+    ///    above `r` in `p`'s list) must reject `p` in the seeded state —
+    ///    either `r'` does not rank `p`, or `r'` is seeded to a proposer it
+    ///    strictly prefers over `p`.
+    /// 3. **Acyclic**: justification by a seeded holder `q` means `q`'s
+    ///    proposals must happen before `p`'s skips, an ordering constraint.
+    ///    If those constraints form a cycle (each pair justifying the next
+    ///    around a loop) no serial proposal order realises the state, and
+    ///    seeding it could freeze a matching deferred acceptance would never
+    ///    reach. Cyclic pairs are dropped (Kahn-style settling).
+    ///
+    /// Dropping a pair can invalidate the justification of another, so 2–3
+    /// iterate to a fixpoint. Validity depends only on the current
+    /// instance, never on where the seed came from: carrying pairs over
+    /// from a previous frame's matching is purely a warm-start heuristic,
+    /// and any stale or garbage pair is simply pruned here.
+    #[must_use]
+    pub fn valid_warm_seed(&self, seed: &[(usize, usize)]) -> Vec<(usize, usize)> {
+        let np = self.proposers();
+        let nr = self.reviewers();
+        let mut p2r: Vec<Option<usize>> = vec![None; np];
+        let mut r2p: Vec<Option<usize>> = vec![None; nr];
+        for &(p, r) in seed {
+            if p >= np || r >= nr || p2r[p].is_some() || r2p[r].is_some() {
+                continue;
+            }
+            if !self.proposer_accepts(p, r) || !self.reviewer_accepts(r, p) {
+                continue;
+            }
+            p2r[p] = Some(r);
+            r2p[r] = Some(p);
+        }
+        loop {
+            let removed =
+                self.prune_unjustified(&mut p2r, &mut r2p) | self.prune_cycles(&mut p2r, &mut r2p);
+            if !removed {
+                break;
+            }
+        }
+        (0..np).filter_map(|p| p2r[p].map(|r| (p, r))).collect()
+    }
+
+    /// Drops seeded pairs whose skipped prefix is not justified by the
+    /// current seed state (condition 2 of [`StableInstance::valid_warm_seed`]),
+    /// repeating until a full pass removes nothing. Returns whether any
+    /// pair was dropped.
+    fn prune_unjustified(&self, p2r: &mut [Option<usize>], r2p: &mut [Option<usize>]) -> bool {
+        let mut any = false;
+        loop {
+            let mut changed = false;
+            for (p, slot) in p2r.iter_mut().enumerate() {
+                let Some(r) = *slot else { continue };
+                let rank = self.prank(p, r) as usize;
+                let justified = self.proposer_lists[p][..rank].iter().all(|&skipped| {
+                    let my_rank = self.rrank(skipped, p);
+                    my_rank == NOT_RANKED
+                        || r2p[skipped].is_some_and(|q| self.rrank(skipped, q) < my_rank)
+                });
+                if !justified {
+                    *slot = None;
+                    r2p[r] = None;
+                    changed = true;
+                    any = true;
+                }
+            }
+            if !changed {
+                return any;
+            }
+        }
+    }
+
+    /// Drops seeded pairs caught in a justification cycle (condition 3 of
+    /// [`StableInstance::valid_warm_seed`]). An edge `p → q` means `p`'s
+    /// skip of some reviewer is justified by seeded holder `q`, i.e. `q`
+    /// must propose before `p`; pairs that cannot be topologically settled
+    /// have no valid serial proposal order and are removed. Assumes every
+    /// remaining pair is prefix-justified. Returns whether any pair was
+    /// dropped.
+    fn prune_cycles(&self, p2r: &mut [Option<usize>], r2p: &mut [Option<usize>]) -> bool {
+        let np = p2r.len();
+        let mut justifiers: Vec<Vec<usize>> = vec![Vec::new(); np];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); np];
+        for p in 0..np {
+            let Some(r) = p2r[p] else { continue };
+            let rank = self.prank(p, r) as usize;
+            for &skipped in &self.proposer_lists[p][..rank] {
+                if self.rrank(skipped, p) == NOT_RANKED {
+                    continue;
+                }
+                let q = r2p[skipped].expect("prefix is justified, so the skip has a holder");
+                if !justifiers[p].contains(&q) {
+                    justifiers[p].push(q);
+                    dependents[q].push(p);
+                }
+            }
+        }
+        let mut pending: Vec<usize> = justifiers.iter().map(Vec::len).collect();
+        let mut settle: Vec<usize> = (0..np)
+            .filter(|&p| p2r[p].is_some() && pending[p] == 0)
+            .collect();
+        let mut settled = vec![false; np];
+        while let Some(q) = settle.pop() {
+            settled[q] = true;
+            for &p in &dependents[q] {
+                pending[p] -= 1;
+                if pending[p] == 0 {
+                    settle.push(p);
+                }
+            }
+        }
+        let mut any = false;
+        for p in 0..np {
+            if let Some(r) = p2r[p] {
+                if !settled[p] {
+                    p2r[p] = None;
+                    r2p[r] = None;
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+
+    /// The proposer-optimal stable matching, warm-started from `seed` —
+    /// typically the previous frame's matching in a rolling dispatch loop.
+    ///
+    /// The seed is first pruned by [`StableInstance::valid_warm_seed`];
+    /// surviving pairs are linked with each proposer's cursor advanced just
+    /// past its seeded reviewer, and the ordinary proposal loop then runs
+    /// for the remaining free proposers. Because the pruned seed state is
+    /// reachable by a valid proposal sequence and deferred acceptance is
+    /// proposal-order independent (McVitie–Wilson), the result is **always
+    /// exactly** [`StableInstance::propose`] — for any `seed` whatsoever.
+    /// The seed only controls how much proposal work is skipped.
+    #[must_use]
+    pub fn propose_seeded(&self, seed: &[(usize, usize)]) -> Matching {
+        let seed = self.valid_warm_seed(seed);
+        let mut m = Matching::empty(self.proposers(), self.reviewers());
+        let mut next = vec![0usize; self.proposers()];
+        for &(p, r) in &seed {
+            m.link(p, r);
+            next[p] = self.prank(p, r) as usize + 1;
+        }
+        let mut free: Vec<usize> = (0..self.proposers())
+            .rev()
+            .filter(|&p| m.proposer_to_reviewer[p].is_none())
+            .collect();
+        self.run_proposals(&mut m, &mut next, &mut free);
+        debug_assert_eq!(m, self.propose(), "warm start must be exact");
         m
+    }
+
+    /// The reviewer-optimal stable matching, warm-started from `seed`
+    /// (given as `(proposer, reviewer)` pairs, like
+    /// [`StableInstance::propose_seeded`]). Exactly
+    /// [`StableInstance::reviewer_optimal`] for any seed; the swap-side
+    /// pruning happens on the swapped instance.
+    #[must_use]
+    pub fn reviewer_optimal_seeded(&self, seed: &[(usize, usize)]) -> Matching {
+        let swapped_seed: Vec<(usize, usize)> = seed.iter().map(|&(p, r)| (r, p)).collect();
+        let m = self.swapped().propose_seeded(&swapped_seed);
+        Matching {
+            proposer_to_reviewer: m.reviewer_to_proposer,
+            reviewer_to_proposer: m.proposer_to_reviewer,
+        }
     }
 
     /// The reviewer-optimal stable matching (role-swapped proposals).
@@ -977,6 +1166,117 @@ mod tests {
     }
 
     #[test]
+    fn crossed_seed_cycle_is_dropped_and_warm_start_stays_exact() {
+        // p0: r1 > r0, p1: r0 > r1; r0: p0 > p1, r1: p1 > p0.
+        // The crossed seed {(p0,r0),(p1,r1)} is prefix-justified — each
+        // pair's skip is "justified" by the other — but cyclically: no
+        // serial proposal order reaches it. Naively resuming from it would
+        // freeze a matching deferred acceptance never produces.
+        let inst = StableInstance::new(vec![vec![1, 0], vec![0, 1]], vec![vec![0, 1], vec![1, 0]])
+            .unwrap();
+        let crossed = [(0, 0), (1, 1)];
+        assert_eq!(inst.valid_warm_seed(&crossed), vec![]);
+        let cold = inst.propose();
+        assert_eq!(cold.proposer_partner(0), Some(1));
+        assert_eq!(cold.proposer_partner(1), Some(0));
+        assert_eq!(inst.propose_seeded(&crossed), cold);
+    }
+
+    #[test]
+    fn garbage_seeds_are_pruned_and_harmless() {
+        let inst = classic_3x3();
+        let cold = inst.propose();
+        // Out of range, duplicated proposer, duplicated reviewer — all
+        // pruned; the valid remainder warm-starts to the same matching.
+        let garbage = [(7, 0), (0, 9), (0, 0), (0, 1), (2, 0), (1, 1)];
+        let kept = inst.valid_warm_seed(&garbage);
+        for &(p, r) in &kept {
+            assert!(inst.proposer_accepts(p, r) && inst.reviewer_accepts(r, p));
+        }
+        assert_eq!(inst.propose_seeded(&garbage), cold);
+        assert_eq!(inst.propose_seeded(&[]), cold);
+        assert_eq!(
+            inst.reviewer_optimal_seeded(&garbage),
+            inst.reviewer_optimal()
+        );
+    }
+
+    #[test]
+    fn own_matching_reseeds_to_itself() {
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        for _ in 0..100 {
+            let np = rng.gen_range(0..=7);
+            let nr = rng.gen_range(0..=7);
+            let inst = random_instance(&mut rng, np, nr);
+            let cold = inst.propose();
+            let seed: Vec<(usize, usize)> = cold.pairs().collect();
+            assert_eq!(inst.propose_seeded(&seed), cold);
+            let ro = inst.reviewer_optimal();
+            let ro_seed: Vec<(usize, usize)> = ro.pairs().collect();
+            assert_eq!(inst.reviewer_optimal_seeded(&ro_seed), ro);
+        }
+    }
+
+    #[test]
+    fn enumerate_all_order_is_deterministic_and_brackets_the_lattice() {
+        let mut rng = StdRng::seed_from_u64(0x0D0E);
+        for case in 0..150 {
+            let np = rng.gen_range(0..=5);
+            let nr = rng.gen_range(0..=5);
+            let inst = random_instance(&mut rng, np, nr);
+            let all = inst.enumerate_all(None);
+            assert_eq!(all, inst.enumerate_all(None), "case {case}: order unstable");
+            assert_eq!(
+                all[0],
+                inst.propose(),
+                "case {case}: first not proposer-optimal"
+            );
+            let ro = inst.reviewer_optimal();
+            assert!(all.contains(&ro), "case {case}: reviewer-optimal missing");
+            // Proposer-side cost brackets: the proposer-optimal matching
+            // minimises total proposer rank, the reviewer-optimal maximises
+            // it over the stable set.
+            let pcost =
+                |m: &Matching| -> u64 { m.pairs().map(|(p, r)| u64::from(inst.prank(p, r))).sum() };
+            let (lo, hi) = (pcost(&all[0]), pcost(&ro));
+            for m in &all {
+                assert!(inst.is_stable(m), "case {case}: unstable entry");
+                assert!(
+                    (lo..=hi).contains(&pcost(m)),
+                    "case {case}: outside lattice"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selectors_agree_with_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(0xE6A1);
+        for case in 0..150 {
+            let np = rng.gen_range(0..=5);
+            let nr = rng.gen_range(0..=5);
+            let inst = random_instance(&mut rng, np, nr);
+            let fast = inst.enumerate_all(None);
+            let brute = inst.enumerate_brute_force();
+            // Egalitarian: the selected cost equals the brute-force minimum.
+            let egal = inst.egalitarian(&fast).unwrap();
+            let best = brute
+                .iter()
+                .map(|m| inst.egalitarian_cost(m))
+                .min()
+                .unwrap();
+            assert_eq!(inst.egalitarian_cost(egal), best, "case {case}");
+            // Median: per-proposer medians are order-insensitive, so the
+            // selection from either enumeration of the same set is equal.
+            assert_eq!(
+                inst.median_stable_matching(&fast),
+                inst.median_stable_matching(&brute),
+                "case {case}"
+            );
+        }
+    }
+
+    #[test]
     fn enumeration_matches_brute_force_on_many_random_instances() {
         let mut rng = StdRng::seed_from_u64(0xDEC0DE);
         for case in 0..300 {
@@ -1078,6 +1378,38 @@ mod tests {
             let capped = inst.enumerate_all(Some(2));
             prop_assert!(capped.len() <= 2);
             prop_assert_eq!(&capped[0], &inst.propose());
+        }
+
+        /// Warm starting from an *arbitrary* candidate seed — valid,
+        /// stale, crossed, or garbage — always reproduces the cold
+        /// matchings exactly, on both sides.
+        #[test]
+        fn seeded_matches_cold_for_random_seeds(
+            seed in any::<u64>(), np in 0usize..8, nr in 0usize..8, pairs in 0usize..12,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inst = random_instance(&mut rng, np, nr);
+            let candidate: Vec<(usize, usize)> = (0..pairs)
+                .map(|_| (rng.gen_range(0..np.max(1) + 2), rng.gen_range(0..nr.max(1) + 2)))
+                .collect();
+            prop_assert_eq!(inst.propose_seeded(&candidate), inst.propose());
+            prop_assert_eq!(inst.reviewer_optimal_seeded(&candidate), inst.reviewer_optimal());
+        }
+
+        /// The rolling-frame scenario: the previous frame's matching seeds
+        /// a *different* instance (the frame delta changed both sides'
+        /// lists); the warm result still equals the new instance's cold
+        /// result.
+        #[test]
+        fn previous_frame_matching_is_an_exact_seed(
+            seed in any::<u64>(), np in 0usize..8, nr in 0usize..8,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let prev = random_instance(&mut rng, np, nr);
+            let carried: Vec<(usize, usize)> = prev.propose().pairs().collect();
+            let cur = random_instance(&mut rng, np, nr);
+            prop_assert_eq!(cur.propose_seeded(&carried), cur.propose());
+            prop_assert_eq!(cur.reviewer_optimal_seeded(&carried), cur.reviewer_optimal());
         }
     }
 }

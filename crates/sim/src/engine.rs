@@ -1,14 +1,21 @@
 //! The discrete-frame simulation engine.
 
 use crate::metrics::HourBucket;
-use crate::policy::{DispatchPolicy, FrameContext};
+use crate::policy::{DispatchPolicy, FrameContext, FrameDelta};
 use crate::report::SimReport;
-use o2o_core::{build_taxi_grid, PickupDistances};
-use o2o_geo::{Euclidean, Metric, Point};
+use o2o_core::PickupDistances;
+use o2o_geo::{heuristic_cell_size, BBox, Euclidean, IncrementalGrid, Metric, Point};
 use o2o_par::Parallelism;
-use o2o_trace::{Request, Taxi, TaxiId, Trace};
-use std::collections::{HashMap, VecDeque};
+use o2o_trace::{Request, RequestId, Taxi, TaxiId, Trace};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::Instant;
+
+/// Churn fraction above which the engine's incremental taxi grid rebuilds
+/// from scratch instead of patching (see [`IncrementalGrid`]). At typical
+/// per-frame fleet churn (a few percent) the delta path dominates; past
+/// roughly a third of the fleet changing, a bulk rebuild is cheaper than
+/// item-by-item patching.
+const GRID_REBUILD_THRESHOLD: f64 = 0.35;
 
 /// Engine parameters; defaults reproduce the paper's setup (one-minute
 /// frames, 20 km/h).
@@ -203,6 +210,26 @@ impl Simulator {
             taxi_by_hour: [HourBucket::default(); 24],
         };
 
+        // Reusable per-frame scratch, hoisted so a long run does not
+        // re-allocate (and re-free) the same buffers every tick.
+        let mut idle: Vec<Taxi> = Vec::new();
+        let mut idle_fleet: Vec<usize> = Vec::new();
+        let mut pending_vec: Vec<Request> = Vec::new();
+        let mut used_taxis: HashSet<TaxiId> = HashSet::new();
+        let mut served_ids: HashSet<RequestId> = HashSet::new();
+        let mut prev_idle_ids: HashSet<TaxiId> = HashSet::new();
+        let mut prev_batch_ids: HashSet<RequestId> = HashSet::new();
+        let mut cur_idle_ids: HashSet<TaxiId> = HashSet::new();
+        let mut cur_batch_ids: HashSet<RequestId> = HashSet::new();
+        // Delta-maintained idle-taxi grid: keyed by fleet index across
+        // frames (taxi state transitions patch it in place), remapped to
+        // idle-slice ranks for the policy each frame. Query results are
+        // exactly those of a fresh `build_taxi_grid(&idle)` — asserted in
+        // debug builds below.
+        let mut inc_grid: IncrementalGrid<usize> = IncrementalGrid::new(GRID_REBUILD_THRESHOLD);
+        let mut desired: Vec<(usize, Point)> = Vec::new();
+        let mut fleet_rank: Vec<usize> = vec![0; taxis.len()];
+
         let mut frame = 0u64;
         loop {
             let time_end = (frame + 1) * frame_s;
@@ -220,16 +247,20 @@ impl Simulator {
                 report.unserved_at_end += before - pending.len();
             }
 
-            // Collect the idle fleet.
-            let idle: Vec<Taxi> = taxis
-                .iter()
-                .filter(|t| t.free_at <= time_end)
-                .map(|t| Taxi {
-                    id: t.template.id,
-                    location: t.location,
-                    seats: t.template.seats,
-                })
-                .collect();
+            // Collect the idle fleet (fleet order, so grid tie-breaking
+            // matches a fresh build exactly).
+            idle.clear();
+            idle_fleet.clear();
+            for (fi, t) in taxis.iter().enumerate() {
+                if t.free_at <= time_end {
+                    idle_fleet.push(fi);
+                    idle.push(Taxi {
+                        id: t.template.id,
+                        location: t.location,
+                        seats: t.template.seats,
+                    });
+                }
+            }
 
             let mut dispatch_ms = 0.0;
             let mut frame_cache = (0u64, 0u64);
@@ -238,22 +269,78 @@ impl Simulator {
                     .config
                     .max_batch_per_idle
                     .map_or(usize::MAX, |m| m.saturating_mul(idle.len()));
-                let pending_vec: Vec<Request> =
-                    pending.iter().take(batch_cap).map(|&(r, _)| r).collect();
+                pending_vec.clear();
+                pending_vec.extend(pending.iter().take(batch_cap).map(|&(r, _)| r));
+
+                // Frame delta relative to the previous dispatched frame,
+                // over exactly the sets the policy sees (idle fleet and
+                // batch-capped pending queue). Informational: incremental
+                // policies size their work from it, but never depend on it
+                // for correctness.
+                cur_idle_ids.clear();
+                cur_idle_ids.extend(idle.iter().map(|t| t.id));
+                cur_batch_ids.clear();
+                cur_batch_ids.extend(pending_vec.iter().map(|r| r.id));
+                let mut delta = FrameDelta::default();
+                delta.entered_idle.extend(
+                    idle.iter()
+                        .map(|t| t.id)
+                        .filter(|id| !prev_idle_ids.contains(id)),
+                );
+                delta
+                    .left_idle
+                    .extend(prev_idle_ids.difference(&cur_idle_ids).copied());
+                delta.left_idle.sort_unstable();
+                delta.new_requests.extend(
+                    pending_vec
+                        .iter()
+                        .map(|r| r.id)
+                        .filter(|id| !prev_batch_ids.contains(id)),
+                );
+                delta
+                    .removed_requests
+                    .extend(prev_batch_ids.difference(&cur_batch_ids).copied());
+                delta.removed_requests.sort_unstable();
+                std::mem::swap(&mut prev_idle_ids, &mut cur_idle_ids);
+                std::mem::swap(&mut prev_batch_ids, &mut cur_batch_ids);
+
                 let stats_before = policy.cache_stats();
                 let started = Instant::now();
                 // Policy-independent precomputation, built only for
                 // policies that will read it: the idle × pending pick-up
                 // matrix (dense candidate mode), and the idle-taxi grid
                 // shared by sparse candidate generation and the
-                // grid-accelerated baselines.
+                // grid-accelerated baselines. The grid is maintained
+                // incrementally across frames, keyed by fleet index, then
+                // remapped to idle-slice ranks (the fleet→rank map is
+                // monotone, so query order is preserved).
                 let pickup = policy
                     .wants_pickup_distances()
                     .then(|| PickupDistances::compute(metric, &idle, &pending_vec, self.par));
-                let grid = policy.wants_taxi_grid().then(|| build_taxi_grid(&idle));
+                let grid = policy.wants_taxi_grid().then(|| {
+                    desired.clear();
+                    desired.extend(idle_fleet.iter().map(|&fi| (fi, taxis[fi].location)));
+                    let bbox = BBox::from_points(idle.iter().map(|t| t.location))
+                        .unwrap_or_else(|| BBox::square(Point::ORIGIN, 1.0));
+                    inc_grid.sync(bbox, heuristic_cell_size(bbox), &desired);
+                    for (rank, &fi) in idle_fleet.iter().enumerate() {
+                        fleet_rank[fi] = rank;
+                    }
+                    let g = inc_grid
+                        .grid()
+                        .expect("grid present after sync")
+                        .map_payloads(|&fi| fleet_rank[fi]);
+                    debug_assert_eq!(
+                        g,
+                        o2o_core::build_taxi_grid(&idle),
+                        "incremental grid must equal a fresh bulk build"
+                    );
+                    g
+                });
                 let mut ctx = FrameContext::new(frame, time_end, &idle, &pending_vec);
                 ctx.pickup_distances = pickup.as_ref();
                 ctx.taxi_grid = grid.as_ref();
+                ctx.delta = Some(&delta);
                 let assignments = policy.dispatch(&ctx);
                 dispatch_ms = started.elapsed().as_secs_f64() * 1e3;
                 // The cache counters are cumulative across the run; the
@@ -265,8 +352,8 @@ impl Simulator {
                     );
                 }
 
-                let mut used_taxis = std::collections::HashSet::new();
-                let mut served_ids = std::collections::HashSet::new();
+                used_taxis.clear();
+                served_ids.clear();
                 for a in &assignments {
                     assert!(
                         used_taxis.insert(a.taxi),
@@ -514,6 +601,127 @@ mod tests {
         let mut plain = policy::std_p(Euclidean, params);
         let bare = Simulator::new(SimConfig::default()).run(&trace, &mut plain);
         assert_eq!(bare.total_cache_hits() + bare.total_cache_misses(), 0);
+    }
+
+    #[test]
+    fn warm_incremental_mode_matches_cold_over_a_full_run() {
+        use o2o_core::IncrementalMode;
+        let trace = boston_september_2012(0.002).generate(13);
+        let params = PreferenceParams::default();
+        // Warm is the default; Cold re-runs deferred acceptance from
+        // scratch each frame. The two must be bit-identical end to end.
+        let mut warm = policy::nstd_p(Euclidean, params);
+        assert_eq!(warm.incremental_mode(), IncrementalMode::Warm);
+        let mut cold =
+            policy::nstd_p(Euclidean, params).with_incremental_mode(IncrementalMode::Cold);
+        let a = Simulator::new(SimConfig::default()).run(&trace, &mut warm);
+        let b = Simulator::new(SimConfig::default()).run(&trace, &mut cold);
+        assert_eq!(a.delays_min, b.delays_min);
+        assert_eq!(a.passenger_dissatisfaction, b.passenger_dissatisfaction);
+        assert_eq!(a.taxi_dissatisfaction, b.taxi_dissatisfaction);
+        assert_eq!(a.total_drive_km, b.total_drive_km);
+        assert_eq!(a.queue_by_frame, b.queue_by_frame);
+
+        let mut warm_t = policy::nstd_t(Euclidean, params);
+        let mut cold_t =
+            policy::nstd_t(Euclidean, params).with_incremental_mode(IncrementalMode::Cold);
+        let at = Simulator::new(SimConfig::default()).run(&trace, &mut warm_t);
+        let bt = Simulator::new(SimConfig::default()).run(&trace, &mut cold_t);
+        assert_eq!(at.delays_min, bt.delays_min);
+        assert_eq!(at.passenger_dissatisfaction, bt.passenger_dissatisfaction);
+        assert_eq!(at.taxi_dissatisfaction, bt.taxi_dissatisfaction);
+    }
+
+    #[test]
+    fn persistent_cache_sweeps_keep_per_frame_deltas_consistent() {
+        use o2o_core::NonSharingDispatcher;
+        let trace = boston_september_2012(0.003).generate(5);
+        let params = PreferenceParams::default();
+        // A tiny capacity forces stale-origin sweeps mid-run; the sweep
+        // must not disturb the cumulative hit/miss counters, so the
+        // engine's per-frame deltas still sum exactly to the final stats.
+        // Cold incremental mode keeps every frame re-querying the metric
+        // (warm mode's candidate-row carry would starve the cache of the
+        // repeat queries this test needs to observe hits across frames).
+        let mut p = policy::cached_persistent(Euclidean, 64, |metric| {
+            policy::NstdPPolicy::from_dispatcher(NonSharingDispatcher::new(metric, params))
+                .with_incremental_mode(o2o_core::IncrementalMode::Cold)
+        });
+        let report = Simulator::new(SimConfig::default()).run(&trace, &mut p);
+        let finals = p.cache_stats().expect("cached policy reports stats");
+        assert_eq!(report.total_cache_hits(), finals.hits);
+        assert_eq!(report.total_cache_misses(), finals.misses);
+        assert!(
+            report.total_cache_hits() > 0,
+            "persistent cache must hit across frames"
+        );
+        assert_eq!(
+            p.lifetime(),
+            policy::CacheLifetime::Persistent { max_entries: 64 }
+        );
+        // And the caching layer never changes results.
+        let mut plain = policy::nstd_p(Euclidean, params);
+        let bare = Simulator::new(SimConfig::default()).run(&trace, &mut plain);
+        assert_eq!(report.delays_min, bare.delays_min);
+        assert_eq!(
+            report.passenger_dissatisfaction,
+            bare.passenger_dissatisfaction
+        );
+        assert_eq!(report.taxi_dissatisfaction, bare.taxi_dissatisfaction);
+    }
+
+    #[test]
+    fn frame_delta_replays_to_the_policy_visible_sets() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let trace = boston_september_2012(0.002).generate(2);
+        type Seen = Vec<(Vec<TaxiId>, Vec<RequestId>, FrameDelta)>;
+        let seen: Rc<RefCell<Seen>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let mut probe = policy::from_fn("probe", move |ctx: &FrameContext<'_>| {
+            sink.borrow_mut().push((
+                ctx.idle_taxis.iter().map(|t| t.id).collect(),
+                ctx.pending.iter().map(|r| r.id).collect(),
+                ctx.delta
+                    .expect("engine supplies a delta on dispatched frames")
+                    .clone(),
+            ));
+            Vec::new()
+        });
+        let cfg = SimConfig {
+            drain_frames: 3,
+            ..SimConfig::default()
+        };
+        let _ = Simulator::new(cfg).run(&trace, &mut probe);
+        let frames = seen.borrow();
+        assert!(frames.len() > 1, "need several dispatched frames");
+        // Applying each frame's delta to the previous frame's sets must
+        // reproduce exactly what the policy saw this frame.
+        let mut idle: HashSet<TaxiId> = HashSet::new();
+        let mut batch: HashSet<RequestId> = HashSet::new();
+        for (cur_idle, cur_batch, delta) in frames.iter() {
+            for id in &delta.left_idle {
+                assert!(idle.remove(id), "left_idle names a tracked taxi");
+            }
+            for id in &delta.entered_idle {
+                assert!(idle.insert(*id), "entered_idle is new");
+            }
+            for id in &delta.removed_requests {
+                assert!(batch.remove(id), "removed_requests names a tracked request");
+            }
+            for id in &delta.new_requests {
+                assert!(batch.insert(*id), "new_requests is new");
+            }
+            assert_eq!(idle, cur_idle.iter().copied().collect());
+            assert_eq!(batch, cur_batch.iter().copied().collect());
+            assert_eq!(
+                delta.churn(),
+                delta.entered_idle.len()
+                    + delta.left_idle.len()
+                    + delta.new_requests.len()
+                    + delta.removed_requests.len()
+            );
+        }
     }
 
     #[test]

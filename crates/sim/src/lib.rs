@@ -42,5 +42,8 @@ mod report;
 
 pub use engine::{SimConfig, Simulator};
 pub use metrics::Cdf;
-pub use policy::{cached, CachedPolicy, DispatchPolicy, FrameAssignment, FrameContext};
+pub use policy::{
+    cached, cached_persistent, CacheLifetime, CachedPolicy, DispatchPolicy, FrameAssignment,
+    FrameContext, FrameDelta,
+};
 pub use report::{HourlySeries, SimReport};

@@ -23,12 +23,42 @@ use o2o_baselines::{
     LinDispatcher, MiniDispatcher, NearDispatcher, PairDispatcher, RaiiDispatcher, SarpDispatcher,
 };
 use o2o_core::{
-    CandidateMode, NonSharingDispatcher, PickupDistances, PreferenceParams, Schedule,
-    SharingDispatcher, SharingSchedule,
+    CandidateMode, IncrementalMode, IncrementalState, NonSharingDispatcher, PickupDistances,
+    PreferenceParams, Schedule, SharingDispatcher, SharingSchedule,
 };
 use o2o_geo::{CacheStats, DistanceCache, GridIndex, Metric, Point};
 use o2o_trace::{Request, RequestId, Taxi, TaxiId};
 use std::sync::Arc;
+
+/// What changed between the previous dispatched frame and this one, as
+/// seen by the policy (idle fleet and batched pending queue). Computed by
+/// the engine and exposed via [`FrameContext::delta`]; policies may use
+/// it to size incremental work, and diagnostics can log churn rates. The
+/// incremental NSTD path does **not** depend on it for correctness — its
+/// warm seed is revalidated against the current frame regardless.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrameDelta {
+    /// Taxis idle now that were not idle at the previous dispatch.
+    pub entered_idle: Vec<TaxiId>,
+    /// Taxis idle at the previous dispatch that are no longer idle.
+    pub left_idle: Vec<TaxiId>,
+    /// Requests in this batch that were not in the previous one.
+    pub new_requests: Vec<RequestId>,
+    /// Requests from the previous batch no longer pending (served,
+    /// expired, or pushed out of the batch window).
+    pub removed_requests: Vec<RequestId>,
+}
+
+impl FrameDelta {
+    /// Total number of changes across both sides.
+    #[must_use]
+    pub fn churn(&self) -> usize {
+        self.entered_idle.len()
+            + self.left_idle.len()
+            + self.new_requests.len()
+            + self.removed_requests.len()
+    }
+}
 
 /// One frame's input to a policy.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +86,9 @@ pub struct FrameContext<'a> {
     /// each rebuilding their own; consuming it never changes a result
     /// (see [`o2o_core::build_taxi_grid`]).
     pub taxi_grid: Option<&'a GridIndex<usize>>,
+    /// What changed since the previous dispatched frame, when the engine
+    /// computed it (`None` in hand-built contexts). See [`FrameDelta`].
+    pub delta: Option<&'a FrameDelta>,
 }
 
 impl<'a> FrameContext<'a> {
@@ -69,6 +102,7 @@ impl<'a> FrameContext<'a> {
             pending,
             pickup_distances: None,
             taxi_grid: None,
+            delta: None,
         }
     }
 }
@@ -278,16 +312,23 @@ macro_rules! dispatcher_policy {
 /// precomputed pick-up matrix, sparse wants the shared taxi grid. Both
 /// modes produce bit-identical schedules.
 macro_rules! nstd_policy {
-    ($struct_name:ident, $doc:literal, $label:literal, $with:ident, $with_grid:ident) => {
+    ($struct_name:ident, $doc:literal, $label:literal, $with:ident, $with_grid:ident,
+     $incremental:ident) => {
         #[doc = $doc]
         ///
         /// With the dispatcher in [`CandidateMode::Sparse`] (the default)
         /// the policy asks the engine for the shared per-frame taxi grid
         /// and generates candidates through it; in
         /// [`CandidateMode::Dense`] it consumes the precomputed pick-up
-        /// matrix as before. The schedules are bit-identical either way.
+        /// matrix as before. On the sparse path the policy additionally
+        /// warm-starts deferred acceptance from the previous frame's
+        /// matching ([`IncrementalMode::Warm`], the default); toggle to
+        /// [`IncrementalMode::Cold`] for A/B benchmarking. The schedules
+        /// are bit-identical across every mode combination.
         pub struct $struct_name<M> {
             inner: NonSharingDispatcher<M>,
+            incremental: IncrementalMode,
+            state: IncrementalState,
         }
 
         impl<M: Metric> $struct_name<M> {
@@ -296,13 +337,33 @@ macro_rules! nstd_policy {
             /// policy.
             #[must_use]
             pub fn from_dispatcher(inner: NonSharingDispatcher<M>) -> Self {
-                $struct_name { inner }
+                $struct_name {
+                    inner,
+                    incremental: IncrementalMode::default(),
+                    state: IncrementalState::new(),
+                }
             }
 
             /// The wrapped dispatcher.
             #[must_use]
             pub fn dispatcher(&self) -> &NonSharingDispatcher<M> {
                 &self.inner
+            }
+
+            /// Sets whether the sparse path warm-starts from the previous
+            /// frame (results are bit-identical either way). Resets any
+            /// carried state so a mode change never leaks a stale seed.
+            #[must_use]
+            pub fn with_incremental_mode(mut self, mode: IncrementalMode) -> Self {
+                self.incremental = mode;
+                self.state.clear();
+                self
+            }
+
+            /// The warm-start mode in use.
+            #[must_use]
+            pub fn incremental_mode(&self) -> IncrementalMode {
+                self.incremental
             }
         }
 
@@ -312,12 +373,18 @@ macro_rules! nstd_policy {
             }
 
             fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
-                let schedule = match self.inner.candidate_mode() {
-                    CandidateMode::Dense => {
+                let schedule = match (self.inner.candidate_mode(), self.incremental) {
+                    (CandidateMode::Dense, _) => {
                         self.inner
                             .$with(ctx.idle_taxis, ctx.pending, ctx.pickup_distances)
                     }
-                    CandidateMode::Sparse => {
+                    (CandidateMode::Sparse, IncrementalMode::Warm) => self.inner.$incremental(
+                        ctx.idle_taxis,
+                        ctx.pending,
+                        ctx.taxi_grid,
+                        &mut self.state,
+                    ),
+                    (CandidateMode::Sparse, IncrementalMode::Cold) => {
                         self.inner
                             .$with_grid(ctx.idle_taxis, ctx.pending, ctx.taxi_grid)
                     }
@@ -341,7 +408,8 @@ nstd_policy!(
     "Algorithm 1 (NSTD-P) as a frame policy.",
     "NSTD-P",
     passenger_optimal_with,
-    passenger_optimal_with_grid
+    passenger_optimal_with_grid,
+    passenger_optimal_incremental
 );
 
 nstd_policy!(
@@ -349,7 +417,8 @@ nstd_policy!(
     "NSTD-T (taxi-optimal stable matching) as a frame policy.",
     "NSTD-T",
     taxi_optimal_with,
-    taxi_optimal_with_grid
+    taxi_optimal_with_grid,
+    taxi_optimal_incremental
 );
 
 dispatcher_policy!(
@@ -369,21 +438,31 @@ dispatcher_policy!(
 
 dispatcher_policy!(
     PairPolicy,
-    "The *Pair* min-cost-matching baseline as a frame policy.",
+    "The *Pair* min-cost-matching baseline as a frame policy (its dense \
+     Hungarian objective admits no grid pruning; a supplied grid is \
+     validated and passed through).",
     PairDispatcher<M>,
     "Pair",
     |inner: &PairDispatcher<M>, ctx: &FrameContext<'_>| {
-        from_schedule(ctx.pending, &inner.dispatch(ctx.idle_taxis, ctx.pending))
+        from_schedule(
+            ctx.pending,
+            &inner.dispatch_with_grid(ctx.idle_taxis, ctx.pending, ctx.taxi_grid),
+        )
     }
 );
 
 dispatcher_policy!(
     MiniPolicy,
-    "The *Mini* bottleneck-matching baseline as a frame policy.",
+    "The *Mini* bottleneck-matching baseline as a frame policy (its dense \
+     bottleneck objective admits no grid pruning; a supplied grid is \
+     validated and passed through).",
     MiniDispatcher<M>,
     "Mini",
     |inner: &MiniDispatcher<M>, ctx: &FrameContext<'_>| {
-        from_schedule(ctx.pending, &inner.dispatch(ctx.idle_taxis, ctx.pending))
+        from_schedule(
+            ctx.pending,
+            &inner.dispatch_with_grid(ctx.idle_taxis, ctx.pending, ctx.taxi_grid),
+        )
     }
 );
 
@@ -425,21 +504,29 @@ dispatcher_policy!(
 
 dispatcher_policy!(
     SarpPolicy,
-    "The *SARP* insertion baseline as a frame policy.",
+    "The *SARP* insertion baseline as a frame policy (reuses the engine's \
+     shared per-frame taxi grid for its new-route candidates).",
     SarpDispatcher<M>,
     "SARP",
     |inner: &SarpDispatcher<M>, ctx: &FrameContext<'_>| {
-        from_sharing_schedule(&inner.dispatch(ctx.idle_taxis, ctx.pending))
-    }
+        from_sharing_schedule(&inner.dispatch_with_grid(
+            ctx.idle_taxis,
+            ctx.pending,
+            ctx.taxi_grid,
+        ))
+    },
+    wants_grid: true
 );
 
 dispatcher_policy!(
     LinPolicy,
-    "The *Lin* ILP-heuristic baseline as a frame policy.",
+    "The *Lin* ILP-heuristic baseline as a frame policy (its global \
+     objective admits no grid pruning; a supplied grid is validated and \
+     passed through).",
     LinDispatcher<M>,
     "Lin",
     |inner: &LinDispatcher<M>, ctx: &FrameContext<'_>| {
-        from_sharing_schedule(&inner.dispatch(ctx.idle_taxis, ctx.pending))
+        from_sharing_schedule(&inner.dispatch_with_grid(ctx.idle_taxis, ctx.pending, ctx.taxi_grid))
     }
 );
 
@@ -462,16 +549,12 @@ dispatcher_policy!(
 
 /// NSTD-P (Algorithm 1) policy.
 pub fn nstd_p<M: Metric>(metric: M, params: PreferenceParams) -> NstdPPolicy<M> {
-    NstdPPolicy {
-        inner: NonSharingDispatcher::new(metric, params),
-    }
+    NstdPPolicy::from_dispatcher(NonSharingDispatcher::new(metric, params))
 }
 
 /// NSTD-T (taxi-optimal) policy.
 pub fn nstd_t<M: Metric>(metric: M, params: PreferenceParams) -> NstdTPolicy<M> {
-    NstdTPolicy {
-        inner: NonSharingDispatcher::new(metric, params),
-    }
+    NstdTPolicy::from_dispatcher(NonSharingDispatcher::new(metric, params))
 }
 
 /// Egalitarian stable-schedule policy (extension beyond the paper).
@@ -537,15 +620,36 @@ pub fn lin<M: Metric + Clone>(metric: M, params: PreferenceParams) -> LinPolicy<
     }
 }
 
-/// A policy whose dispatcher queries a shared [`DistanceCache`], cleared
-/// at the start of every frame.
+/// How long a [`CachedPolicy`]'s memoized distances stay alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLifetime {
+    /// Drop everything at the start of every frame (the historical
+    /// behaviour of [`cached`]).
+    PerFrame,
+    /// Keep entries across frames; once the cache exceeds `max_entries`,
+    /// sweep entries whose origin point is no longer live this frame
+    /// (stationary idle taxis and carried-over requests keep their
+    /// entries — the cross-frame hit the incremental pipeline relies on).
+    Persistent {
+        /// Sweep trigger: entry count above which stale origins are
+        /// reclaimed at the next frame boundary.
+        max_entries: usize,
+    },
+}
+
+/// A policy whose dispatcher queries a shared [`DistanceCache`].
 ///
 /// Within one frame the same origin/destination pairs are asked for
 /// repeatedly — stage-1 feasibility routing, packing scores and the
 /// preference model all re-derive overlapping distances — so memoizing
 /// them is free speedup with bit-identical results (the cache stores the
-/// metric's exact answers). Between frames taxi locations move, so the
-/// cache is cleared per frame to keep it from growing without bound.
+/// metric's exact answers). Across frames, the [`CacheLifetime`] decides:
+/// [`cached`] clears per frame; [`cached_persistent`] keeps entries
+/// alive so stationary taxis and waiting requests hit across frames,
+/// bounding memory with a stale-origin sweep instead of a clear. Both
+/// lifetimes are bit-identical to the uncached policy — a cached value
+/// is keyed by the exact position bits of both endpoints, so a hit can
+/// never return a pre-move distance.
 ///
 /// Build one with [`cached`]:
 ///
@@ -561,6 +665,7 @@ pub fn lin<M: Metric + Clone>(metric: M, params: PreferenceParams) -> LinPolicy<
 pub struct CachedPolicy<P, M> {
     inner: P,
     cache: Arc<DistanceCache<M>>,
+    lifetime: CacheLifetime,
 }
 
 impl<P, M> CachedPolicy<P, M> {
@@ -568,6 +673,12 @@ impl<P, M> CachedPolicy<P, M> {
     #[must_use]
     pub fn cache(&self) -> &Arc<DistanceCache<M>> {
         &self.cache
+    }
+
+    /// The cache lifetime in use.
+    #[must_use]
+    pub fn lifetime(&self) -> CacheLifetime {
+        self.lifetime
     }
 }
 
@@ -577,7 +688,32 @@ impl<P: DispatchPolicy, M: Metric> DispatchPolicy for CachedPolicy<P, M> {
     }
 
     fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
-        self.cache.clear();
+        match self.lifetime {
+            CacheLifetime::PerFrame => self.cache.clear(),
+            CacheLifetime::Persistent { max_entries } => {
+                if self.cache.len() > max_entries {
+                    // Live origins this frame: idle-taxi locations plus
+                    // pending pickups and drop-offs (trip and route legs
+                    // are keyed with those as origins). Every other origin
+                    // belongs to a position nobody occupies any more and
+                    // can never be queried again. The sweep leaves the
+                    // hit/miss counters untouched, so the engine's
+                    // per-frame deltas stay monotone.
+                    let live: std::collections::HashSet<(u64, u64)> = ctx
+                        .idle_taxis
+                        .iter()
+                        .map(|t| DistanceCache::<M>::origin_key(t.location))
+                        .chain(ctx.pending.iter().flat_map(|r| {
+                            [
+                                DistanceCache::<M>::origin_key(r.pickup),
+                                DistanceCache::<M>::origin_key(r.dropoff),
+                            ]
+                        }))
+                        .collect();
+                    self.cache.sweep_stale(&live);
+                }
+            }
+        }
         self.inner.dispatch(ctx)
     }
 
@@ -603,7 +739,30 @@ where
 {
     let cache = Arc::new(DistanceCache::new(metric));
     let inner = make(Arc::clone(&cache));
-    CachedPolicy { inner, cache }
+    CachedPolicy {
+        inner,
+        cache,
+        lifetime: CacheLifetime::PerFrame,
+    }
+}
+
+/// Like [`cached`], but the cache persists across frames
+/// ([`CacheLifetime::Persistent`]): stationary idle taxis and
+/// carried-over requests hit across frames, and memory is bounded by a
+/// stale-origin sweep once the cache exceeds `max_entries`. Results are
+/// bit-identical to [`cached`] and to the uncached policy.
+pub fn cached_persistent<M, P, F>(metric: M, max_entries: usize, make: F) -> CachedPolicy<P, M>
+where
+    M: Metric,
+    F: FnOnce(Arc<DistanceCache<M>>) -> P,
+{
+    let cache = Arc::new(DistanceCache::new(metric));
+    let inner = make(Arc::clone(&cache));
+    CachedPolicy {
+        inner,
+        cache,
+        lifetime: CacheLifetime::Persistent { max_entries },
+    }
 }
 
 #[cfg(test)]
