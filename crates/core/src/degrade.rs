@@ -1,0 +1,132 @@
+//! The degradation ladder: which algorithm a frame actually ran.
+//!
+//! Under a tight [`TimeBudget`](o2o_matching::TimeBudget) a dispatch call
+//! steps down a ladder of successively cheaper algorithms instead of
+//! overrunning its frame:
+//!
+//! ```text
+//! NSTD-T  (taxi-optimal, needs full preference model)
+//!   ↓ deadline hit after preference construction
+//! NSTD-P  (passenger-optimal deferred acceptance on the same model)
+//!   ↓ deadline hit before preference construction
+//! greedy-nearest  (arrival order × nearest acceptable taxi, O(|R|·|T|))
+//! ```
+//!
+//! and the unbounded BreakDispatch enumeration behind `all_schedules`
+//! degrades from the full stable set to a well-formed prefix. Every step
+//! down is reported as an explicit [`Degraded`] marker rather than
+//! silently returning a different schedule, so callers (the simulator,
+//! the benches) can count and attribute degradations.
+
+use std::fmt;
+
+/// A rung of the degradation ladder — which algorithm produced (or was
+/// supposed to produce) a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchTier {
+    /// NSTD-T: taxi-optimal stable schedule (role-swapped deferred
+    /// acceptance).
+    NstdT,
+    /// NSTD-P: passenger-optimal stable schedule (Algorithm 1).
+    NstdP,
+    /// Greedy nearest-acceptable-taxi sweep in arrival order. Fast and
+    /// bounded, but **not** stable in general.
+    GreedyNearest,
+    /// The complete BreakDispatch enumeration of all stable schedules
+    /// (Algorithm 2).
+    FullEnumeration,
+    /// A budget-truncated prefix of the enumeration (still all-stable,
+    /// passenger-optimal first, but incomplete).
+    PartialEnumeration,
+}
+
+impl fmt::Display for DispatchTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DispatchTier::NstdT => "NSTD-T",
+            DispatchTier::NstdP => "NSTD-P",
+            DispatchTier::GreedyNearest => "greedy-nearest",
+            DispatchTier::FullEnumeration => "full enumeration",
+            DispatchTier::PartialEnumeration => "partial enumeration",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Why a dispatch call stepped down the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The frame's wall-clock deadline had passed at the named stage.
+    DeadlineExceeded {
+        /// Where in the dispatch the deadline was observed (e.g.
+        /// `"before preference construction"`).
+        stage: &'static str,
+    },
+    /// The BreakDispatch node cap was reached after exploring `nodes`
+    /// nodes.
+    NodeCapReached {
+        /// Nodes explored when the cap stopped the walk.
+        nodes: u64,
+    },
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::DeadlineExceeded { stage } => {
+                write!(f, "frame deadline exceeded {stage}")
+            }
+            DegradeReason::NodeCapReached { nodes } => {
+                write!(f, "enumeration node cap reached after {nodes} nodes")
+            }
+        }
+    }
+}
+
+/// An explicit record that a dispatch call returned a cheaper tier's
+/// result than the one asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Degraded {
+    /// The tier that was requested.
+    pub from: DispatchTier,
+    /// The tier that actually ran.
+    pub to: DispatchTier,
+    /// Why the ladder stepped down.
+    pub reason: DegradeReason,
+}
+
+impl fmt::Display for Degraded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "degraded {} → {}: {}", self.from, self.to, self.reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_readable() {
+        let d = Degraded {
+            from: DispatchTier::NstdT,
+            to: DispatchTier::NstdP,
+            reason: DegradeReason::DeadlineExceeded {
+                stage: "after preference construction",
+            },
+        };
+        assert_eq!(
+            d.to_string(),
+            "degraded NSTD-T → NSTD-P: frame deadline exceeded after preference construction"
+        );
+        let d = Degraded {
+            from: DispatchTier::FullEnumeration,
+            to: DispatchTier::PartialEnumeration,
+            reason: DegradeReason::NodeCapReached { nodes: 12 },
+        };
+        assert_eq!(
+            d.to_string(),
+            "degraded full enumeration → partial enumeration: \
+             enumeration node cap reached after 12 nodes"
+        );
+    }
+}

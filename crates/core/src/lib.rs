@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod company;
+pub mod degrade;
 mod incremental;
 mod nstd;
 mod params;
@@ -46,8 +47,10 @@ pub mod shared_route;
 mod std_sharing;
 
 pub use company::{fare_revenue, CompanyObjective, FareModel};
+pub use degrade::{DegradeReason, Degraded, DispatchTier};
 pub use incremental::{IncrementalMode, IncrementalState};
 pub use nstd::{CandidateMode, NonSharingDispatcher};
+pub use o2o_matching::{TimeBudget, TimeBudgetSpec};
 pub use params::PreferenceParams;
 pub use prefs::{
     build_taxi_grid, CandidateCarry, PickupDistances, PreferenceModel, SparsePickupDistances,

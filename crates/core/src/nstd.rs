@@ -1,12 +1,13 @@
 //! Non-sharing taxi dispatch — the paper's Algorithms 1 and 2.
 
 use crate::company::CompanyObjective;
+use crate::degrade::{DegradeReason, Degraded, DispatchTier};
 use crate::prefs::{PickupDistances, PreferenceModel, SparsePreferenceModel};
 use crate::{PreferenceParams, Schedule};
 use o2o_geo::{GridIndex, Metric};
-use o2o_matching::{Matching, StableInstance};
+use o2o_matching::{Matching, StableInstance, TimeBudget};
 use o2o_par::Parallelism;
-use o2o_trace::{Request, Taxi};
+use o2o_trace::{Request, RequestId, Taxi, TaxiId};
 
 /// How a [`NonSharingDispatcher`] builds its per-frame preference lists.
 ///
@@ -362,6 +363,197 @@ impl<M: Metric> NonSharingDispatcher<M> {
         self.to_schedule(taxis, requests, &model, &m)
     }
 
+    /// The bottom rung of the degradation ladder: each request, in
+    /// arrival (input) order, takes the nearest still-free taxi that the
+    /// interest models make mutually acceptable — seats fit, pick-up
+    /// within the passenger threshold, driver score within the taxi
+    /// threshold.
+    ///
+    /// `O(|R|·|T|)` with no preference sorting, no matching, and no
+    /// recursion, so it always fits a frame. The result is **not** stable
+    /// in general; it exists so an over-budget frame can still dispatch
+    /// *something* rather than nothing.
+    #[must_use]
+    pub fn greedy_nearest(&self, taxis: &[Taxi], requests: &[Request]) -> Schedule {
+        let request_ids: Vec<RequestId> = requests.iter().map(|r| r.id).collect();
+        let taxi_ids: Vec<TaxiId> = taxis.iter().map(|t| t.id).collect();
+        let mut taken = vec![false; taxis.len()];
+        let mut request_to_taxi: Vec<Option<usize>> = vec![None; requests.len()];
+        let mut passenger_cost: Vec<Option<f64>> = vec![None; requests.len()];
+        let mut taxi_cost: Vec<Option<f64>> = vec![None; taxis.len()];
+        for (j, r) in requests.iter().enumerate() {
+            let trip = r.trip_distance(&self.metric);
+            let mut best: Option<(f64, usize, f64)> = None;
+            for (i, t) in taxis.iter().enumerate() {
+                if taken[i] || t.seats < r.passengers {
+                    continue;
+                }
+                let d = self.metric.distance(t.location, r.pickup);
+                if d > self.params.passenger_threshold {
+                    continue;
+                }
+                let score = d - self.params.alpha * trip;
+                if score > self.params.taxi_threshold {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    // Ties by taxi index (the iteration order) for
+                    // determinism.
+                    Some((bd, _, _)) => d < bd,
+                };
+                if better {
+                    best = Some((d, i, score));
+                }
+            }
+            if let Some((d, i, score)) = best {
+                taken[i] = true;
+                request_to_taxi[j] = Some(i);
+                passenger_cost[j] = Some(d);
+                taxi_cost[i] = Some(score);
+            }
+        }
+        Schedule::from_parts(
+            request_ids,
+            taxi_ids,
+            request_to_taxi,
+            passenger_cost,
+            taxi_cost,
+        )
+    }
+
+    /// [`passenger_optimal`](Self::passenger_optimal) under a per-frame
+    /// [`TimeBudget`]: NSTD-P when the budget allows, greedy-nearest
+    /// (with an explicit [`Degraded`] marker) when the deadline has
+    /// already passed at entry — preference construction is the dominant
+    /// cost, so it is the one thing an exhausted frame must not start.
+    ///
+    /// `state` selects the warm incremental path (as in
+    /// [`passenger_optimal_incremental`](Self::passenger_optimal_incremental));
+    /// on a greedy fallback the carried state is cleared, because the
+    /// greedy schedule is not a stable matching and must not seed the
+    /// next frame. With an unlimited budget the result is bit-identical
+    /// to the corresponding unbudgeted call.
+    #[must_use]
+    pub fn passenger_optimal_budgeted(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        pickup_distances: Option<&PickupDistances>,
+        taxi_grid: Option<&GridIndex<usize>>,
+        state: Option<&mut crate::IncrementalState>,
+        budget: &TimeBudget,
+    ) -> (Schedule, Option<Degraded>) {
+        if budget.exhausted() {
+            if let Some(state) = state {
+                state.clear();
+            }
+            let degraded = Degraded {
+                from: DispatchTier::NstdP,
+                to: DispatchTier::GreedyNearest,
+                reason: DegradeReason::DeadlineExceeded {
+                    stage: "before preference construction",
+                },
+            };
+            return (self.greedy_nearest(taxis, requests), Some(degraded));
+        }
+        let schedule = match state {
+            Some(state) => {
+                let model = self.frame_model_incremental(taxis, requests, taxi_grid, state);
+                let m = model
+                    .instance()
+                    .propose_seeded(&state.seed(taxis, requests));
+                state.record(taxis, requests, &m);
+                self.to_schedule(taxis, requests, &model, &m)
+            }
+            None => {
+                let model = self.frame_model(taxis, requests, pickup_distances, taxi_grid);
+                let m = model.instance().propose();
+                self.to_schedule(taxis, requests, &model, &m)
+            }
+        };
+        (schedule, None)
+    }
+
+    /// [`taxi_optimal`](Self::taxi_optimal) under a per-frame
+    /// [`TimeBudget`] — the full ladder. Deadline already passed at
+    /// entry: greedy-nearest (carried state cleared). Deadline passed
+    /// after preference construction: NSTD-P on the just-built model —
+    /// the passenger-optimal matching is one deferred-acceptance pass,
+    /// the cheapest stable answer the model affords. Otherwise: NSTD-T.
+    /// Each step down is reported as a [`Degraded`] marker; with an
+    /// unlimited budget the result is bit-identical to the corresponding
+    /// unbudgeted call.
+    #[must_use]
+    pub fn taxi_optimal_budgeted(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        pickup_distances: Option<&PickupDistances>,
+        taxi_grid: Option<&GridIndex<usize>>,
+        state: Option<&mut crate::IncrementalState>,
+        budget: &TimeBudget,
+    ) -> (Schedule, Option<Degraded>) {
+        if budget.exhausted() {
+            if let Some(state) = state {
+                state.clear();
+            }
+            let degraded = Degraded {
+                from: DispatchTier::NstdT,
+                to: DispatchTier::GreedyNearest,
+                reason: DegradeReason::DeadlineExceeded {
+                    stage: "before preference construction",
+                },
+            };
+            return (self.greedy_nearest(taxis, requests), Some(degraded));
+        }
+        match state {
+            Some(state) => {
+                let model = self.frame_model_incremental(taxis, requests, taxi_grid, state);
+                let seed = state.seed(taxis, requests);
+                if budget.exhausted() {
+                    let m = model.instance().propose_seeded(&seed);
+                    state.record(taxis, requests, &m);
+                    let degraded = Degraded {
+                        from: DispatchTier::NstdT,
+                        to: DispatchTier::NstdP,
+                        reason: DegradeReason::DeadlineExceeded {
+                            stage: "after preference construction",
+                        },
+                    };
+                    (
+                        self.to_schedule(taxis, requests, &model, &m),
+                        Some(degraded),
+                    )
+                } else {
+                    let m = model.instance().reviewer_optimal_seeded(&seed);
+                    state.record(taxis, requests, &m);
+                    (self.to_schedule(taxis, requests, &model, &m), None)
+                }
+            }
+            None => {
+                let model = self.frame_model(taxis, requests, pickup_distances, taxi_grid);
+                if budget.exhausted() {
+                    let m = model.instance().propose();
+                    let degraded = Degraded {
+                        from: DispatchTier::NstdT,
+                        to: DispatchTier::NstdP,
+                        reason: DegradeReason::DeadlineExceeded {
+                            stage: "after preference construction",
+                        },
+                    };
+                    (
+                        self.to_schedule(taxis, requests, &model, &m),
+                        Some(degraded),
+                    )
+                } else {
+                    let m = model.instance().reviewer_optimal();
+                    (self.to_schedule(taxis, requests, &model, &m), None)
+                }
+            }
+        }
+    }
+
     /// **Algorithm 2**: all stable schedules, passenger-optimal first.
     ///
     /// Enumerates via BreakDispatch with Rules 1–3. `limit` caps the count
@@ -380,6 +572,70 @@ impl<M: Metric> NonSharingDispatcher<M> {
             .iter()
             .map(|m| self.to_schedule(taxis, requests, &model, m))
             .collect()
+    }
+
+    /// [`all_schedules`](Self::all_schedules) with the BreakDispatch
+    /// recursion metered by `budget` (node cap + deadline): over budget,
+    /// the walk stops and a well-formed **prefix** of the enumeration is
+    /// returned — passenger-optimal first, every element stable — plus a
+    /// [`Degraded`] marker saying why. With an unlimited budget, exactly
+    /// `all_schedules(limit)` and no marker.
+    #[must_use]
+    pub fn all_schedules_budgeted(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        limit: Option<usize>,
+        budget: &TimeBudget,
+    ) -> (Vec<Schedule>, Option<Degraded>) {
+        let model = self.frame_model(taxis, requests, None, None);
+        let e = model.instance().enumerate_budgeted(limit, budget);
+        let schedules = e
+            .matchings
+            .iter()
+            .map(|m| self.to_schedule(taxis, requests, &model, m))
+            .collect();
+        let degraded = e.truncated.then(|| Degraded {
+            from: DispatchTier::FullEnumeration,
+            to: DispatchTier::PartialEnumeration,
+            reason: if budget.node_cap().is_some_and(|cap| e.nodes >= cap) {
+                DegradeReason::NodeCapReached { nodes: e.nodes }
+            } else {
+                DegradeReason::DeadlineExceeded {
+                    stage: "during enumeration",
+                }
+            },
+        });
+        (schedules, degraded)
+    }
+
+    /// [`is_stable`](Self::is_stable) over raw `(request, taxi)` id pairs
+    /// instead of a [`Schedule`] — the shape chaos tests capture. Pairs
+    /// referencing ids not present in the frame make the assignment
+    /// trivially not stable (they cannot be expressed against it).
+    #[must_use]
+    pub fn is_stable_assignment(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        pairs: &[(RequestId, TaxiId)],
+    ) -> bool {
+        let taxi_pos: std::collections::HashMap<TaxiId, usize> =
+            taxis.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
+        let request_pos: std::collections::HashMap<RequestId, usize> = requests
+            .iter()
+            .enumerate()
+            .map(|(j, r)| (r.id, j))
+            .collect();
+        let mut m = Matching::empty(requests.len(), taxis.len());
+        for &(rid, tid) in pairs {
+            match (request_pos.get(&rid), taxi_pos.get(&tid)) {
+                (Some(&j), Some(&i)) => m.link(j, i),
+                _ => return false,
+            }
+        }
+        let model = self.preferences(taxis, requests);
+        model.instance.is_stable(&m)
     }
 
     /// The company's pick among all stable schedules (§IV.D): enumerate
@@ -736,6 +992,124 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn greedy_nearest_respects_thresholds_and_assigns_nearest() {
+        // Taxis at 0 and 3; r0 (first arrival) at 1 takes the taxi at 0
+        // (nearest), r1 at 2 gets the remaining taxi at 3.
+        let taxis = vec![taxi(0, 0.0, 0.0), taxi(1, 3.0, 0.0)];
+        let requests = vec![
+            request(0, 1.0, 0.0, 1.0, 2.0),
+            request(1, 2.0, 0.0, 2.0, 2.0),
+        ];
+        let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::unbounded());
+        let s = d.greedy_nearest(&taxis, &requests);
+        assert_eq!(
+            s.assignment_of(RequestId(0)),
+            DispatchOutcome::Assigned(TaxiId(0))
+        );
+        assert_eq!(
+            s.assignment_of(RequestId(1)),
+            DispatchOutcome::Assigned(TaxiId(1))
+        );
+        assert_eq!(s.passenger_dissatisfaction(RequestId(0)), Some(1.0));
+        // A passenger threshold below every pick-up distance leaves all
+        // requests unserved.
+        let tight = PreferenceParams::unbounded().with_passenger_threshold(0.5);
+        let d = NonSharingDispatcher::new(Euclidean, tight);
+        assert_eq!(d.greedy_nearest(&taxis, &requests).served_count(), 0);
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_unbudgeted() {
+        let mut rng = StdRng::seed_from_u64(0xB1D6);
+        let unlimited = o2o_matching::TimeBudget::unlimited();
+        for _ in 0..40 {
+            let (taxis, requests) = random_frame(&mut rng, 4, 5);
+            let params = PreferenceParams::paper().with_passenger_threshold(8.0);
+            let d = NonSharingDispatcher::new(Euclidean, params);
+            let (p, dp) =
+                d.passenger_optimal_budgeted(&taxis, &requests, None, None, None, &unlimited);
+            assert_eq!(dp, None);
+            assert_eq!(p, d.passenger_optimal(&taxis, &requests));
+            let (t, dt) = d.taxi_optimal_budgeted(&taxis, &requests, None, None, None, &unlimited);
+            assert_eq!(dt, None);
+            assert_eq!(t, d.taxi_optimal(&taxis, &requests));
+            let (all, da) = d.all_schedules_budgeted(&taxis, &requests, None, &unlimited);
+            assert_eq!(da, None);
+            assert_eq!(all, d.all_schedules(&taxis, &requests, None));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_greedy_and_clears_warm_state() {
+        use o2o_matching::TimeBudgetSpec;
+        let mut rng = StdRng::seed_from_u64(0xDE6);
+        let (taxis, requests) = random_frame(&mut rng, 4, 5);
+        let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::unbounded());
+        let expired = TimeBudgetSpec::unlimited()
+            .with_deadline(std::time::Duration::ZERO)
+            .start();
+        // Warm up a state, then hit it with an expired budget.
+        let mut state = crate::IncrementalState::new();
+        let _ = d.passenger_optimal_incremental(&taxis, &requests, None, &mut state);
+        assert!(!state.carried_pairs().is_empty());
+        let (s, degraded) =
+            d.passenger_optimal_budgeted(&taxis, &requests, None, None, Some(&mut state), &expired);
+        assert_eq!(s, d.greedy_nearest(&taxis, &requests));
+        let degraded = degraded.expect("expired budget must degrade");
+        assert_eq!(degraded.from, DispatchTier::NstdP);
+        assert_eq!(degraded.to, DispatchTier::GreedyNearest);
+        assert!(state.carried_pairs().is_empty(), "greedy must clear state");
+        let (s, degraded) = d.taxi_optimal_budgeted(&taxis, &requests, None, None, None, &expired);
+        assert_eq!(s, d.greedy_nearest(&taxis, &requests));
+        assert_eq!(degraded.unwrap().from, DispatchTier::NstdT);
+    }
+
+    #[test]
+    fn node_cap_degrades_enumeration_to_a_stable_prefix() {
+        use o2o_matching::TimeBudgetSpec;
+        let mut rng = StdRng::seed_from_u64(0xE9);
+        let capped = TimeBudgetSpec::unlimited().with_node_cap(1).start();
+        let mut saw_truncation = false;
+        for _ in 0..60 {
+            let (taxis, requests) = random_frame(&mut rng, 4, 4);
+            let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::paper());
+            let full = d.all_schedules(&taxis, &requests, None);
+            let (prefix, degraded) = d.all_schedules_budgeted(&taxis, &requests, None, &capped);
+            assert_eq!(prefix[..], full[..prefix.len()], "must be a prefix");
+            for s in &prefix {
+                assert!(d.is_stable(&taxis, &requests, s));
+            }
+            if let Some(deg) = degraded {
+                saw_truncation = true;
+                assert_eq!(deg.from, DispatchTier::FullEnumeration);
+                assert_eq!(deg.to, DispatchTier::PartialEnumeration);
+                assert!(matches!(deg.reason, DegradeReason::NodeCapReached { .. }));
+            } else {
+                assert_eq!(prefix, full);
+            }
+        }
+        assert!(saw_truncation, "node cap of 1 never bit in 60 frames");
+    }
+
+    #[test]
+    fn is_stable_assignment_mirrors_is_stable() {
+        let taxis = vec![taxi(1, 0.0, 0.0), taxi(2, 7.0, 0.0)];
+        let requests = vec![
+            request(1, 2.0, 0.0, 2.0, 4.0),
+            request(2, -3.0, 0.0, -3.0, 4.0),
+        ];
+        let d = NonSharingDispatcher::new(Euclidean, PreferenceParams::unbounded());
+        let stable = [(RequestId(1), TaxiId(1)), (RequestId(2), TaxiId(2))];
+        assert!(d.is_stable_assignment(&taxis, &requests, &stable));
+        // The fig1 S2 cross-assignment is unstable.
+        let crossed = [(RequestId(1), TaxiId(2)), (RequestId(2), TaxiId(1))];
+        assert!(!d.is_stable_assignment(&taxis, &requests, &crossed));
+        // Unknown ids cannot be stable against this frame.
+        let ghost = [(RequestId(9), TaxiId(1))];
+        assert!(!d.is_stable_assignment(&taxis, &requests, &ghost));
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::PreferenceParams;
 use o2o_geo::{heuristic_cell_size, BBox, GridIndex, Metric, Point};
 use o2o_matching::StableInstance;
-use o2o_par::{par_map, Parallelism};
+use o2o_par::{par_map, try_par_map, Parallelism, WorkerPanic};
 use o2o_trace::{Request, RequestId, Taxi, TaxiId};
 use std::collections::HashMap;
 
@@ -55,6 +55,36 @@ impl PickupDistances {
             n_taxis: taxis.len(),
             d: rows.concat(),
         }
+    }
+
+    /// [`compute`](Self::compute) with panic isolation: metric workers
+    /// run under `catch_unwind` ([`o2o_par::try_par_map`]), a panicking
+    /// chunk is retried sequentially once, and a persistent panic comes
+    /// back as a typed [`WorkerPanic`] instead of tearing down the frame
+    /// loop. On success the matrix is bit-identical to
+    /// [`compute`](Self::compute).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkerPanic`] (with the offending request row index)
+    /// when a metric evaluation panics even on retry.
+    pub fn try_compute<M: Metric>(
+        metric: &M,
+        taxis: &[Taxi],
+        requests: &[Request],
+        par: Parallelism,
+    ) -> Result<Self, WorkerPanic> {
+        let out = try_par_map(par, requests.to_vec(), |r| {
+            taxis
+                .iter()
+                .map(|t| metric.distance(t.location, r.pickup))
+                .collect::<Vec<f64>>()
+        })?;
+        Ok(PickupDistances {
+            n_requests: requests.len(),
+            n_taxis: taxis.len(),
+            d: out.values.concat(),
+        })
     }
 
     /// `D(t_i, r_j^s)` for request row `j` and taxi column `i`.
@@ -142,7 +172,10 @@ impl PreferenceModel {
             assert_eq!(
                 pd.shape(),
                 (n_r, n_t),
-                "pickup-distance matrix shape mismatch"
+                "pickup-distance matrix shape mismatch: frame has {n_r} \
+                 requests × {n_t} taxis (first request {:?}, first taxi {:?})",
+                requests.first().map(|r| r.id),
+                taxis.first().map(|t| t.id),
             );
             // The caller promises the matrix was computed with this same
             // `metric`; a mismatch (e.g. Euclidean precomputation fed to
@@ -153,8 +186,10 @@ impl PreferenceModel {
                 debug_assert!(
                     (pd.get(0, 0) - expect).abs() <= 1e-9 * expect.abs().max(1.0),
                     "pickup-distance matrix disagrees with the policy metric \
-                     (cached {} vs metric {expect}): was it computed with a \
-                     different metric?",
+                     for taxi {:?} → request {:?} (cached {} vs metric \
+                     {expect}): was it computed with a different metric?",
+                    taxis[0].id,
+                    requests[0].id,
                     pd.get(0, 0),
                 );
             }
@@ -911,6 +946,42 @@ mod tests {
         let m = PreferenceModel::build(&Euclidean, &PreferenceParams::default(), &[], &[]);
         assert_eq!(m.instance.proposers(), 0);
         assert_eq!(m.instance.reviewers(), 0);
+    }
+
+    #[test]
+    fn try_compute_matches_compute_on_clean_metrics() {
+        let taxis: Vec<Taxi> = (0..8).map(|i| taxi(i, i as f64, 0.0)).collect();
+        let requests: Vec<Request> = (0..30)
+            .map(|j| request(j, j as f64 * 0.3, 1.0, 2.0, 5.0))
+            .collect();
+        for threads in [1, 4] {
+            let par = Parallelism::fixed(threads);
+            let plain = PickupDistances::compute(&Euclidean, &taxis, &requests, par);
+            let tried = PickupDistances::try_compute(&Euclidean, &taxis, &requests, par).unwrap();
+            assert_eq!(plain, tried, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_compute_surfaces_metric_panics_as_errors() {
+        #[derive(Debug)]
+        struct Poisoned;
+        impl Metric for Poisoned {
+            fn distance(&self, a: Point, b: Point) -> f64 {
+                assert!(b.x < 100.0, "metric poisoned at x = {}", b.x);
+                Euclidean.distance(a, b)
+            }
+        }
+        std::panic::set_hook(Box::new(|_| {}));
+        let taxis = vec![taxi(0, 0.0, 0.0)];
+        let requests: Vec<Request> = (0..40)
+            .map(|j| request(j, if j == 25 { 200.0 } else { 1.0 }, 0.0, 2.0, 0.0))
+            .collect();
+        let err = PickupDistances::try_compute(&Poisoned, &taxis, &requests, Parallelism::fixed(4))
+            .unwrap_err();
+        let _ = std::panic::take_hook();
+        assert_eq!(err.first_item, 25);
+        assert!(err.message.contains("metric poisoned"));
     }
 
     #[cfg(debug_assertions)]

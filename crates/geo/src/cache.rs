@@ -335,4 +335,70 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, 64);
         assert!(stats.misses >= 8);
     }
+
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Model-based check of the persistent lifetime: interleaved
+        /// queries and stale-origin sweeps over a small recurring point
+        /// pool (the cross-frame pattern — stationary taxis re-query the
+        /// exact same position bits). Every answer must equal the bare
+        /// metric's, every query must hit or miss exactly as a
+        /// shadow-model map predicts, and after each sweep the cache must
+        /// hold exactly the model's surviving entries.
+        #[test]
+        fn persistent_sweep_matches_a_shadow_model(
+            seed in any::<u64>(),
+            ops in 10usize..120,
+            pool_size in 2usize..8,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let points: Vec<Point> = (0..pool_size)
+                .map(|_| Point::new(rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)))
+                .collect();
+            let cache = DistanceCache::new(Counting {
+                calls: AtomicU64::new(0),
+            });
+            let mut model: std::collections::HashMap<(u64, u64, u64, u64), f64> =
+                std::collections::HashMap::new();
+            for _ in 0..ops {
+                if rng.gen_bool(0.2) {
+                    // Sweep with a random subset of the pool live.
+                    let live: std::collections::HashSet<(u64, u64)> = points
+                        .iter()
+                        .filter(|_| rng.gen_bool(0.5))
+                        .map(|&p| DistanceCache::<Counting>::origin_key(p))
+                        .collect();
+                    cache.sweep_stale(&live);
+                    model.retain(|k, _| live.contains(&(k.0, k.1)));
+                    prop_assert_eq!(cache.len(), model.len());
+                } else {
+                    let a = points[rng.gen_range(0..points.len())];
+                    let b = points[rng.gen_range(0..points.len())];
+                    let key = (a.x.to_bits(), a.y.to_bits(), b.x.to_bits(), b.y.to_bits());
+                    let expect_hit = model.contains_key(&key);
+                    let before = cache.stats();
+                    let d = cache.distance(a, b);
+                    prop_assert_eq!(d, Euclidean.distance(a, b));
+                    let after = cache.stats();
+                    if expect_hit {
+                        prop_assert_eq!(after.hits, before.hits + 1);
+                        prop_assert_eq!(after.misses, before.misses);
+                    } else {
+                        prop_assert_eq!(after.misses, before.misses + 1);
+                        model.insert(key, d);
+                    }
+                }
+            }
+            // Every recorded miss is backed by exactly one inner call.
+            prop_assert_eq!(
+                cache.stats().misses,
+                cache.inner().calls.load(Ordering::Relaxed)
+            );
+        }
+    }
 }

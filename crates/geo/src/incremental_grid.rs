@@ -383,5 +383,39 @@ mod tests {
                 prop_assert_eq!(inc.grid().unwrap(), &expect_grid(&desired));
             }
         }
+
+        /// Remove-re-add id churn over a *recurring* position pool: ids
+        /// drop out and re-enter on exactly the bit patterns other ids
+        /// (or their own past selves) occupied — the aliasing pattern a
+        /// stale delta map would corrupt silently. The delta-maintained
+        /// grid must stay exactly equal to a fresh bulk build through
+        /// every frame.
+        #[test]
+        fn id_churn_with_recurring_position_bits_stays_exact(
+            seed in any::<u64>(),
+            frames in 2usize..10,
+            n in 2usize..20,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pool: Vec<Point> = (0..6)
+                .map(|_| Point::new(rng.gen_range(-9.0..9.0), rng.gen_range(-9.0..9.0)))
+                .collect();
+            let mut inc = IncrementalGrid::new(0.5);
+            let mut present = vec![false; n];
+            for _ in 0..frames {
+                for slot in present.iter_mut() {
+                    // Churn: each id flips between absent and present.
+                    if rng.gen_bool(0.35) {
+                        *slot = !*slot;
+                    }
+                }
+                let desired: Vec<(usize, Point)> = (0..n)
+                    .filter(|&i| present[i])
+                    .map(|i| (i, pool[rng.gen_range(0..pool.len())]))
+                    .collect();
+                inc.sync(bbox(), 1.5, &desired);
+                prop_assert_eq!(inc.grid().unwrap(), &expect_grid(&desired));
+            }
+        }
     }
 }

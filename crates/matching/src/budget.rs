@@ -1,0 +1,152 @@
+//! Per-frame computation budgets for graceful degradation.
+//!
+//! A dispatch frame in a live system has a deadline: the next frame
+//! arrives whether or not the matcher finished. [`TimeBudgetSpec`] is the
+//! declarative configuration (how much wall-clock and/or how many
+//! enumeration nodes a frame may spend); [`TimeBudget`] is one frame's
+//! running instance of it, with the clock started. Consumers poll
+//! [`TimeBudget::exhausted`] at stage boundaries and fall back to a
+//! cheaper algorithm instead of overrunning — see the degradation ladder
+//! in `o2o-core` and [`StableInstance::enumerate_budgeted`].
+//!
+//! [`StableInstance::enumerate_budgeted`]: crate::StableInstance::enumerate_budgeted
+
+use std::time::{Duration, Instant};
+
+/// Declarative budget configuration: what one dispatch frame may spend.
+///
+/// The default is unlimited (no deadline, no node cap), which makes every
+/// budget-aware code path a strict no-op relative to its unbudgeted
+/// twin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimeBudgetSpec {
+    /// Wall-clock allowance per frame, measured from
+    /// [`TimeBudgetSpec::start`]. `None` = no deadline.
+    pub frame_deadline: Option<Duration>,
+    /// Cap on BreakDispatch nodes explored per enumeration (see
+    /// [`StableInstance::enumerate_budgeted`]). `None` = unbounded.
+    /// Deterministic, unlike the wall-clock deadline, so tests prefer it.
+    ///
+    /// [`StableInstance::enumerate_budgeted`]: crate::StableInstance::enumerate_budgeted
+    pub node_cap: Option<u64>,
+}
+
+impl TimeBudgetSpec {
+    /// No deadline and no node cap.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        TimeBudgetSpec::default()
+    }
+
+    /// Sets the per-frame wall-clock allowance.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.frame_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the enumeration node cap.
+    #[must_use]
+    pub fn with_node_cap(mut self, cap: u64) -> Self {
+        self.node_cap = Some(cap);
+        self
+    }
+
+    /// Whether this spec constrains nothing.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.frame_deadline.is_none() && self.node_cap.is_none()
+    }
+
+    /// Starts the frame's clock: the returned [`TimeBudget`]'s deadline is
+    /// `now + frame_deadline`.
+    #[must_use]
+    pub fn start(&self) -> TimeBudget {
+        TimeBudget {
+            deadline: self.frame_deadline.map(|d| Instant::now() + d),
+            node_cap: self.node_cap,
+        }
+    }
+}
+
+/// One frame's running budget (spec + started clock).
+#[derive(Debug, Clone, Copy)]
+pub struct TimeBudget {
+    deadline: Option<Instant>,
+    node_cap: Option<u64>,
+}
+
+impl TimeBudget {
+    /// A budget that never exhausts.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        TimeBudget {
+            deadline: None,
+            node_cap: None,
+        }
+    }
+
+    /// Whether the wall-clock deadline has passed. Always `false` without
+    /// a deadline; the node cap is enforced by the enumeration itself,
+    /// not here.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The enumeration node cap, if any.
+    #[must_use]
+    pub fn node_cap(&self) -> Option<u64> {
+        self.node_cap
+    }
+
+    /// Whether this budget constrains nothing (budget-aware paths treat
+    /// this as "run the unbudgeted algorithm").
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.node_cap.is_none()
+    }
+}
+
+impl Default for TimeBudget {
+    fn default() -> Self {
+        TimeBudget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = TimeBudgetSpec::unlimited().start();
+        assert!(b.is_unlimited());
+        assert!(!b.exhausted());
+        assert_eq!(b.node_cap(), None);
+    }
+
+    #[test]
+    fn zero_deadline_exhausts_immediately() {
+        let b = TimeBudgetSpec::unlimited()
+            .with_deadline(Duration::ZERO)
+            .start();
+        assert!(!b.is_unlimited());
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn generous_deadline_is_not_exhausted_yet() {
+        let b = TimeBudgetSpec::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .start();
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn node_cap_round_trips() {
+        let spec = TimeBudgetSpec::unlimited().with_node_cap(17);
+        assert!(!spec.is_unlimited());
+        assert_eq!(spec.start().node_cap(), Some(17));
+    }
+}

@@ -14,19 +14,24 @@
 //!   cost (the *Mini* baseline),
 //! * [`set_packing`] — maximum set packing: greedy, local-search
 //!   (`(k+2)/3`-style guarantee used by Algorithm 3) and an exact
-//!   branch-and-bound for validation.
+//!   branch-and-bound for validation,
+//! * [`budget`] — per-frame computation budgets ([`TimeBudget`]) bounding
+//!   the BreakDispatch enumeration and driving the degradation ladder in
+//!   `o2o-core`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bottleneck;
+pub mod budget;
 pub mod hopcroft_karp;
 pub mod hungarian;
 pub mod set_packing;
 pub mod stable;
 
 pub use bottleneck::bottleneck_assignment;
+pub use budget::{TimeBudget, TimeBudgetSpec};
 pub use hopcroft_karp::max_bipartite_matching;
 pub use hungarian::min_cost_assignment;
 pub use set_packing::{SetPacking, SetPackingStrategy};
-pub use stable::{Matching, PreferenceError, StableInstance};
+pub use stable::{Enumeration, Matching, PreferenceError, StableInstance};

@@ -31,6 +31,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::budget::TimeBudget;
+
 /// Errors from constructing a [`StableInstance`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PreferenceError {
@@ -143,6 +145,20 @@ impl Matching {
             self.reviewer_to_proposer[r] = None;
         }
     }
+}
+
+/// Result of a budget-bounded enumeration
+/// ([`StableInstance::enumerate_budgeted`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Enumeration {
+    /// The stable matchings collected before the walk ended. Never empty:
+    /// the proposer-optimal matching is always first, whatever the budget.
+    pub matchings: Vec<Matching>,
+    /// BreakDispatch nodes explored (attempted `break_dispatch` calls).
+    pub nodes: u64,
+    /// Whether the budget (node cap or deadline) stopped the walk before
+    /// it finished. Reaching an explicit `limit` does not count.
+    pub truncated: bool,
 }
 
 /// Ranks: `rank[a][b] = position of b in a's list`, or `NOT_RANKED`.
@@ -586,7 +602,16 @@ impl StableInstance {
             .filter(|&p| m.proposer_to_reviewer[p].is_none())
             .collect();
         self.run_proposals(&mut m, &mut next, &mut free);
-        debug_assert_eq!(m, self.propose(), "warm start must be exact");
+        // A pruned seed is provably exact (see valid_warm_seed). Debug
+        // builds distrust the proof anyway, but a divergence degrades to
+        // the cold result instead of asserting: a warm-state bug costs
+        // one slow frame, not the whole run.
+        if cfg!(debug_assertions) {
+            let cold = self.propose();
+            if m != cold {
+                return cold;
+            }
+        }
         m
     }
 
@@ -766,6 +791,69 @@ impl StableInstance {
                 self.enumerate_rec(&next, j, cap, out);
             }
         }
+    }
+
+    /// Budget-bounded stable-matching enumeration.
+    ///
+    /// Identical to [`StableInstance::enumerate_all`] — same matchings in
+    /// the same order, same `limit` semantics — except that the
+    /// BreakDispatch recursion is metered: each
+    /// [`StableInstance::break_dispatch`] attempt counts as one *node*,
+    /// the walk stops once `budget`'s node cap is reached, and the
+    /// wall-clock deadline is polled every 32 nodes. With an unlimited
+    /// budget the result equals `enumerate_all(limit)` exactly.
+    ///
+    /// When the budget stops the walk, [`Enumeration::truncated`] is set
+    /// and the collected prefix is still well-formed: the first matching
+    /// is always the proposer-optimal one, and every collected matching
+    /// is stable — the budget only costs *completeness* of the
+    /// enumeration, never correctness of its elements.
+    #[must_use]
+    pub fn enumerate_budgeted(&self, limit: Option<usize>, budget: &TimeBudget) -> Enumeration {
+        let cap = limit.unwrap_or(usize::MAX).max(1);
+        let s0 = self.propose();
+        let mut out = Vec::new();
+        out.push(s0.clone());
+        let mut nodes = 0u64;
+        let truncated = self.enumerate_budgeted_rec(&s0, 0, cap, budget, &mut nodes, &mut out);
+        Enumeration {
+            matchings: out,
+            nodes,
+            truncated,
+        }
+    }
+
+    /// Metered twin of [`StableInstance::enumerate_rec`]. Returns whether
+    /// the walk was stopped by the budget (reaching the `cap` is not
+    /// truncation — `enumerate_all` stops there too).
+    fn enumerate_budgeted_rec(
+        &self,
+        s: &Matching,
+        j_min: usize,
+        cap: usize,
+        budget: &TimeBudget,
+        nodes: &mut u64,
+        out: &mut Vec<Matching>,
+    ) -> bool {
+        for j in j_min..self.proposers() {
+            if out.len() >= cap {
+                return false;
+            }
+            if budget.node_cap().is_some_and(|c| *nodes >= c) {
+                return true;
+            }
+            if (*nodes).is_multiple_of(32) && budget.exhausted() {
+                return true;
+            }
+            *nodes += 1;
+            if let Some(next) = self.break_dispatch(s, j) {
+                out.push(next.clone());
+                if self.enumerate_budgeted_rec(&next, j, cap, budget, nodes, out) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Rank (0 = favourite) of reviewer `r` in proposer `p`'s list, or
@@ -1215,6 +1303,68 @@ mod tests {
             let ro_seed: Vec<(usize, usize)> = ro.pairs().collect();
             assert_eq!(inst.reviewer_optimal_seeded(&ro_seed), ro);
         }
+    }
+
+    #[test]
+    fn budgeted_enumeration_with_unlimited_budget_equals_enumerate_all() {
+        let mut rng = StdRng::seed_from_u64(0xB0D6E7);
+        let unlimited = TimeBudget::unlimited();
+        for case in 0..200 {
+            let np = rng.gen_range(0..=6);
+            let nr = rng.gen_range(0..=6);
+            let inst = random_instance(&mut rng, np, nr);
+            for limit in [None, Some(1), Some(3)] {
+                let e = inst.enumerate_budgeted(limit, &unlimited);
+                assert!(!e.truncated, "case {case}: unlimited budget truncated");
+                assert_eq!(e.matchings, inst.enumerate_all(limit), "case {case}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_cap_truncates_but_keeps_prefix_well_formed() {
+        let mut rng = StdRng::seed_from_u64(0xCA9);
+        let mut saw_truncation = false;
+        for case in 0..200 {
+            let np = rng.gen_range(2..=6);
+            let nr = rng.gen_range(2..=6);
+            let inst = random_instance(&mut rng, np, nr);
+            let full = inst.enumerate_all(None);
+            let budget = crate::budget::TimeBudgetSpec::unlimited()
+                .with_node_cap(2)
+                .start();
+            let e = inst.enumerate_budgeted(None, &budget);
+            assert!(e.nodes <= 2, "case {case}: cap overrun ({} nodes)", e.nodes);
+            assert_eq!(e.matchings[0], inst.propose(), "case {case}");
+            for m in &e.matchings {
+                assert!(inst.is_stable(m), "case {case}: truncated prefix unstable");
+            }
+            // The collected prefix is a prefix of the full enumeration.
+            assert_eq!(
+                e.matchings[..],
+                full[..e.matchings.len()],
+                "case {case}: not a prefix"
+            );
+            if e.truncated {
+                saw_truncation = true;
+                assert!(e.matchings.len() <= full.len());
+            } else {
+                assert_eq!(e.matchings, full, "case {case}");
+            }
+        }
+        assert!(saw_truncation, "cap of 2 never bit on 200 random instances");
+    }
+
+    #[test]
+    fn expired_deadline_still_yields_proposer_optimal() {
+        let inst = classic_3x3();
+        let budget = crate::budget::TimeBudgetSpec::unlimited()
+            .with_deadline(std::time::Duration::ZERO)
+            .start();
+        let e = inst.enumerate_budgeted(None, &budget);
+        assert!(e.truncated);
+        assert_eq!(e.matchings, vec![inst.propose()]);
+        assert_eq!(e.nodes, 0);
     }
 
     #[test]

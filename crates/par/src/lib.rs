@@ -1,6 +1,6 @@
 //! Deterministic fork-join parallelism for the dispatch pipeline.
 //!
-//! Two things live here:
+//! Three things live here:
 //!
 //! * [`Parallelism`] — a small configuration value saying how many worker
 //!   threads a stage may use. `Parallelism::auto()` reads the
@@ -12,6 +12,11 @@
 //!   applied to input element `i`, regardless of thread count, so any
 //!   deterministic downstream consumer produces bit-identical results
 //!   for every thread count.
+//! * [`try_par_map`] / [`try_par_map_indexed`] — panic-isolated variants:
+//!   workers run under `catch_unwind`, a failed chunk is retried
+//!   sequentially once (transient panics self-heal), and a persistent
+//!   panic surfaces as a typed [`WorkerPanic`] instead of tearing down
+//!   the whole simulation.
 //!
 //! Work is split into contiguous chunks (one per worker) rather than
 //! work-stealing: the items in this workspace (preference rows, candidate
@@ -21,7 +26,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::any::Any;
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// How many threads a parallel stage may use.
 ///
@@ -168,6 +176,194 @@ where
     result
 }
 
+/// A panic that survived [`try_par_map`]'s one sequential retry.
+///
+/// `first_item` is the index (in the original `items`) of the first item
+/// whose retry panicked again; `message` is the panic payload rendered to
+/// text (`&str` / `String` payloads verbatim, anything else a
+/// placeholder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the first item that panicked even when retried alone.
+    pub first_item: usize,
+    /// The panic payload, rendered to text.
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {} (retried once): {}",
+            self.first_item, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Successful output of [`try_par_map`] / [`try_par_map_indexed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParOutput<U> {
+    /// `f` applied to each input item, in input order — identical to what
+    /// [`par_map`] would have returned.
+    pub values: Vec<U>,
+    /// How many chunks (inline mode: items) panicked on the first attempt
+    /// and were recovered by the sequential retry. Zero on a clean run.
+    pub retried_chunks: usize,
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Panic-isolated [`par_map`]: workers run under `catch_unwind`, a chunk
+/// whose worker panics is retried sequentially once, and a second panic
+/// surfaces as a typed [`WorkerPanic`] instead of aborting the run.
+///
+/// On success the values are exactly what [`par_map`] returns (same
+/// order, `f` observes the same indices); the only difference is the
+/// failure mode. `T: Clone` pays for the retry: every chunk is cloned
+/// up front so the original can be consumed by the first attempt.
+///
+/// Unwind-safety: `f` is re-invoked after a caught panic, so any shared
+/// state it mutates must tolerate a half-completed call (the pipeline's
+/// closures are pure functions of their item, which trivially qualifies).
+///
+/// # Errors
+///
+/// Returns [`WorkerPanic`] identifying the first item whose *retry* also
+/// panicked.
+pub fn try_par_map<T, U, F>(
+    par: Parallelism,
+    items: Vec<T>,
+    f: F,
+) -> Result<ParOutput<U>, WorkerPanic>
+where
+    T: Send + Clone,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    try_par_map_indexed(par, items, |_, item| f(item))
+}
+
+/// Like [`try_par_map`] but `f` also receives the item's index.
+///
+/// # Errors
+///
+/// Returns [`WorkerPanic`] identifying the first item whose retry also
+/// panicked.
+pub fn try_par_map_indexed<T, U, F>(
+    par: Parallelism,
+    items: Vec<T>,
+    f: F,
+) -> Result<ParOutput<U>, WorkerPanic>
+where
+    T: Send + Clone,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let len = items.len();
+    let workers = par.threads().min(len.div_ceil(MIN_ITEMS_PER_THREAD)).max(1);
+    if workers == 1 {
+        // Inline: catch per item, retry the item once.
+        let mut values = Vec::with_capacity(len);
+        let mut retried = 0usize;
+        for (i, item) in items.into_iter().enumerate() {
+            let copy = item.clone();
+            match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                Ok(v) => values.push(v),
+                Err(_) => {
+                    retried += 1;
+                    match catch_unwind(AssertUnwindSafe(|| f(i, copy))) {
+                        Ok(v) => values.push(v),
+                        Err(p) => {
+                            return Err(WorkerPanic {
+                                first_item: i,
+                                message: panic_message(&*p),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+        return Ok(ParOutput {
+            values,
+            retried_chunks: retried,
+        });
+    }
+
+    // Same chunk geometry as par_map_indexed, so indices and ordering
+    // agree with it exactly.
+    let chunk = len.div_ceil(workers);
+    let workers = len.div_ceil(chunk);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    for k in (0..workers).rev() {
+        chunks.push(items.split_off((k * chunk).min(items.len())));
+    }
+    chunks.reverse();
+    let retry_copies: Vec<Vec<T>> = chunks.clone();
+
+    let f = &f;
+    let results: Vec<Result<Vec<U>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(k, chunk_items)| {
+                let base = k * chunk;
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        chunk_items
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, item)| f(base + i, item))
+                            .collect::<Vec<U>>()
+                    }))
+                    .map_err(|p| panic_message(&*p))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker died outside catch_unwind"))
+            .collect()
+    });
+
+    let mut values = Vec::with_capacity(len);
+    let mut retried = 0usize;
+    for (k, (result, copy)) in results.into_iter().zip(retry_copies).enumerate() {
+        match result {
+            Ok(mut part) => values.append(&mut part),
+            Err(_) => {
+                retried += 1;
+                let base = k * chunk;
+                for (i, item) in copy.into_iter().enumerate() {
+                    match catch_unwind(AssertUnwindSafe(|| f(base + i, item))) {
+                        Ok(v) => values.push(v),
+                        Err(p) => {
+                            return Err(WorkerPanic {
+                                first_item: base + i,
+                                message: panic_message(&*p),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(ParOutput {
+        values,
+        retried_chunks: retried,
+    })
+}
+
 /// Runs the given closures concurrently (up to `par.threads()` at a
 /// time) and returns their results in call order.
 ///
@@ -286,6 +482,90 @@ mod tests {
             .collect();
         let got = par_run(Parallelism::fixed(3), jobs);
         assert_eq!(got, (0..10usize).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    /// Installs a no-op panic hook for the duration of a test so the
+    /// intentionally-caught panics below don't spam stderr. The hook is
+    /// process-global; tests using this run with the default hook gone,
+    /// which is fine because they expect their panics to be caught.
+    fn quiet_panics<R>(body: impl FnOnce() -> R) -> R {
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = body();
+        let _ = std::panic::take_hook();
+        out
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_on_clean_runs() {
+        let items: Vec<usize> = (0..700).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 11).collect();
+        for threads in [1, 2, 3, 7, 16] {
+            let got = try_par_map(Parallelism::fixed(threads), items.clone(), |x| x * 11).unwrap();
+            assert_eq!(got.values, expect, "threads = {threads}");
+            assert_eq!(got.retried_chunks, 0, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn persistent_panic_surfaces_as_typed_error_with_first_item() {
+        quiet_panics(|| {
+            let items: Vec<usize> = (0..600).collect();
+            for threads in [1, 4, 9] {
+                let err =
+                    try_par_map_indexed(Parallelism::fixed(threads), items.clone(), |i, x| {
+                        assert!(i != 137, "poisoned item {i}");
+                        x + 1
+                    })
+                    .unwrap_err();
+                assert_eq!(err.first_item, 137, "threads = {threads}");
+                assert!(
+                    err.message.contains("poisoned item 137"),
+                    "threads = {threads}: message was {:?}",
+                    err.message
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn transient_panic_is_recovered_by_the_sequential_retry() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        quiet_panics(|| {
+            let items: Vec<usize> = (0..600).collect();
+            let expect: Vec<usize> = items.iter().map(|x| x * 2).collect();
+            for threads in [1, 4, 9] {
+                let flaked = AtomicBool::new(false);
+                let got =
+                    try_par_map_indexed(Parallelism::fixed(threads), items.clone(), |i, x| {
+                        if i == 42 && !flaked.swap(true, Ordering::SeqCst) {
+                            panic!("transient fault");
+                        }
+                        x * 2
+                    })
+                    .unwrap();
+                assert_eq!(got.values, expect, "threads = {threads}");
+                assert_eq!(got.retried_chunks, 1, "threads = {threads}");
+            }
+        });
+    }
+
+    #[test]
+    fn try_par_map_empty_input() {
+        let got = try_par_map(Parallelism::fixed(4), Vec::<i32>::new(), |x| x).unwrap();
+        assert!(got.values.is_empty());
+        assert_eq!(got.retried_chunks, 0);
+    }
+
+    #[test]
+    fn worker_panic_display_names_the_item() {
+        let wp = WorkerPanic {
+            first_item: 9,
+            message: "boom".into(),
+        };
+        assert_eq!(
+            wp.to_string(),
+            "worker panicked on item 9 (retried once): boom"
+        );
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The discrete-frame simulation engine.
 
+use crate::fault::{
+    DegradationEvent, DispatchError, FaultCounters, FaultPlan, FaultState, MidDispatchFate,
+};
 use crate::metrics::HourBucket;
 use crate::policy::{DispatchPolicy, FrameContext, FrameDelta};
 use crate::report::SimReport;
-use o2o_core::PickupDistances;
+use o2o_core::{PickupDistances, TimeBudgetSpec};
 use o2o_geo::{heuristic_cell_size, BBox, Euclidean, IncrementalGrid, Metric, Point};
 use o2o_par::Parallelism;
 use o2o_trace::{Request, RequestId, Taxi, TaxiId, Trace};
@@ -38,6 +41,14 @@ pub struct SimConfig {
     /// choice while bounding the quadratic/cubic sharing stages during
     /// backlogs. `None` passes the whole queue.
     pub max_batch_per_idle: Option<usize>,
+    /// Per-frame compute budget handed to the policy via
+    /// [`FrameContext::budget`]. The default is unlimited, which leaves
+    /// every policy running its normal algorithm; a finite deadline or
+    /// node cap makes budget-aware policies (the NSTD family) step down
+    /// the degradation ladder and report it on
+    /// [`SimReport::degradations`]. The budget clock starts when the
+    /// frame's dispatch work (precomputation included) starts.
+    pub frame_budget: TimeBudgetSpec,
 }
 
 impl Default for SimConfig {
@@ -48,6 +59,7 @@ impl Default for SimConfig {
             drain_frames: 720,
             max_pending_frames: None,
             max_batch_per_idle: Some(8),
+            frame_budget: TimeBudgetSpec::default(),
         }
     }
 }
@@ -85,6 +97,7 @@ struct TaxiState {
 pub struct Simulator {
     config: SimConfig,
     par: Parallelism,
+    faults: Option<FaultPlan>,
 }
 
 impl Simulator {
@@ -102,6 +115,7 @@ impl Simulator {
         Simulator {
             config,
             par: Parallelism::auto(),
+            faults: None,
         }
     }
 
@@ -112,6 +126,26 @@ impl Simulator {
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.par = par;
         self
+    }
+
+    /// Injects faults from `plan` while the simulation runs (see
+    /// [`FaultPlan`]). A [`FaultPlan::none`] plan leaves every run
+    /// bit-identical to one without a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        plan.validate().expect("invalid fault plan");
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The fault plan in use, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The configuration in use.
@@ -155,9 +189,15 @@ impl Simulator {
     ///
     /// # Panics
     ///
-    /// Panics if the policy returns an invalid assignment (a non-idle or
-    /// repeated taxi, an unknown or repeated request, or empty stops) —
-    /// these are policy bugs, not recoverable conditions.
+    /// Panics if the policy returns a structurally invalid assignment (a
+    /// busy or repeated taxi, a repeated request, empty stops, or a
+    /// member/cost length mismatch) — these are policy bugs, not
+    /// recoverable conditions. Identity failures, by contrast, are
+    /// recovered: an assignment naming an unknown taxi or a request that
+    /// is no longer pending is skipped and recorded on
+    /// [`SimReport::dispatch_errors`] rather than panicking (under fault
+    /// injection a request can legitimately vanish between the policy's
+    /// decision and its application).
     #[must_use]
     pub fn run_with_metric<M: Metric, P: DispatchPolicy>(
         &self,
@@ -205,16 +245,27 @@ impl Simulator {
             dispatch_ms_by_frame: Vec::new(),
             cache_hits_by_frame: Vec::new(),
             cache_misses_by_frame: Vec::new(),
+            faults: FaultCounters::default(),
+            dispatch_errors: Vec::new(),
+            degradations: Vec::new(),
             delay_by_hour: [HourBucket::default(); 24],
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],
         };
+
+        let mut fault_state = self.faults.map(|plan| FaultState::new(plan, taxis.len()));
+        // Every request id ever admitted, kept only on fault runs: the
+        // admission screen rejects injected duplicates against it.
+        let mut admitted_ids: HashSet<RequestId> = HashSet::new();
 
         // Reusable per-frame scratch, hoisted so a long run does not
         // re-allocate (and re-free) the same buffers every tick.
         let mut idle: Vec<Taxi> = Vec::new();
         let mut idle_fleet: Vec<usize> = Vec::new();
         let mut pending_vec: Vec<Request> = Vec::new();
+        let mut arrivals: Vec<Request> = Vec::new();
+        let mut member_reqs: Vec<Request> = Vec::new();
+        let mut cancelled_members: HashSet<RequestId> = HashSet::new();
         let mut used_taxis: HashSet<TaxiId> = HashSet::new();
         let mut served_ids: HashSet<RequestId> = HashSet::new();
         let mut prev_idle_ids: HashSet<TaxiId> = HashSet::new();
@@ -234,11 +285,47 @@ impl Simulator {
         loop {
             let time_end = (frame + 1) * frame_s;
             // Admit arrivals.
-            while next_request < trace.requests.len()
-                && trace.requests[next_request].time < time_end
-            {
-                pending.push_back((trace.requests[next_request], frame));
-                next_request += 1;
+            match fault_state.as_mut() {
+                None => {
+                    while next_request < trace.requests.len()
+                        && trace.requests[next_request].time < time_end
+                    {
+                        pending.push_back((trace.requests[next_request], frame));
+                        next_request += 1;
+                    }
+                }
+                Some(fs) => {
+                    // Fault runs corrupt the arrival batch (duplicates,
+                    // malformed siblings) and then screen every record at
+                    // admission: non-finite coordinates, empty parties and
+                    // already-seen ids are quarantined, everything else is
+                    // admitted exactly as on the clean path.
+                    let recovery_started = Instant::now();
+                    arrivals.clear();
+                    while next_request < trace.requests.len()
+                        && trace.requests[next_request].time < time_end
+                    {
+                        arrivals.push(trace.requests[next_request]);
+                        next_request += 1;
+                    }
+                    fs.corrupt_arrivals(&mut arrivals, &mut report.faults);
+                    for r in arrivals.drain(..) {
+                        let finite = r.pickup.x.is_finite()
+                            && r.pickup.y.is_finite()
+                            && r.dropoff.x.is_finite()
+                            && r.dropoff.y.is_finite();
+                        if !finite || r.passengers == 0 || !admitted_ids.insert(r.id) {
+                            report.faults.quarantined_arrivals += 1;
+                        } else {
+                            pending.push_back((r, frame));
+                        }
+                    }
+                    // Pending passengers may abandon between frames; the
+                    // engine releases them from the queue so no taxi is
+                    // ever dispatched to a cancelled request.
+                    pending.retain(|_| !fs.cancels_request(&mut report.faults));
+                    report.faults.recovery_ms += recovery_started.elapsed().as_secs_f64() * 1e3;
+                }
             }
             // Expire over-waited requests, if configured.
             if let Some(cap) = self.config.max_pending_frames {
@@ -248,15 +335,27 @@ impl Simulator {
             }
 
             // Collect the idle fleet (fleet order, so grid tie-breaking
-            // matches a fresh build exactly).
+            // matches a fresh build exactly). On fault runs, dropped-out
+            // taxis are evicted from the pool and reported positions may
+            // be GPS-jittered — the true position (used for driving) is
+            // untouched, only the policy's view shifts.
             idle.clear();
             idle_fleet.clear();
             for (fi, t) in taxis.iter().enumerate() {
                 if t.free_at <= time_end {
+                    let location = match fault_state.as_mut() {
+                        Some(fs) => {
+                            if fs.taxi_offline(fi, frame, &mut report.faults) {
+                                continue;
+                            }
+                            fs.report_position(t.location, &mut report.faults)
+                        }
+                        None => t.location,
+                    };
                     idle_fleet.push(fi);
                     idle.push(Taxi {
                         id: t.template.id,
-                        location: t.location,
+                        location,
                         seats: t.template.seats,
                     });
                 }
@@ -306,6 +405,10 @@ impl Simulator {
 
                 let stats_before = policy.cache_stats();
                 let started = Instant::now();
+                // The frame's compute budget starts with the dispatch
+                // work, so precomputation time counts against a finite
+                // deadline too.
+                let budget = self.config.frame_budget.start();
                 // Policy-independent precomputation, built only for
                 // policies that will read it: the idle × pending pick-up
                 // matrix (dense candidate mode), and the idle-taxi grid
@@ -313,13 +416,41 @@ impl Simulator {
                 // grid-accelerated baselines. The grid is maintained
                 // incrementally across frames, keyed by fleet index, then
                 // remapped to idle-slice ranks (the fleet→rank map is
-                // monotone, so query order is preserved).
-                let pickup = policy
-                    .wants_pickup_distances()
-                    .then(|| PickupDistances::compute(metric, &idle, &pending_vec, self.par));
-                let grid = policy.wants_taxi_grid().then(|| {
+                // monotone, so query order is preserved). A worker panic
+                // in the matrix (even after the sequential retry) skips
+                // this frame's dispatch instead of tearing the run down —
+                // the requests stay pending and the next frame retries.
+                let mut precompute_failed = false;
+                let pickup = if policy.wants_pickup_distances() {
+                    match PickupDistances::try_compute(metric, &idle, &pending_vec, self.par) {
+                        Ok(p) => Some(p),
+                        Err(e) => {
+                            report
+                                .dispatch_errors
+                                .push(DispatchError::PrecomputeFailed {
+                                    frame,
+                                    message: e.to_string(),
+                                });
+                            report.faults.recovered_dispatch_errors += 1;
+                            precompute_failed = true;
+                            None
+                        }
+                    }
+                } else {
+                    None
+                };
+                let grid = (!precompute_failed && policy.wants_taxi_grid()).then(|| {
                     desired.clear();
-                    desired.extend(idle_fleet.iter().map(|&fi| (fi, taxis[fi].location)));
+                    // Key the grid by fleet index but place each taxi at
+                    // its *reported* position (identical to the true one
+                    // except under GPS jitter), so the grid the policy
+                    // queries matches the idle slice it sees.
+                    desired.extend(
+                        idle_fleet
+                            .iter()
+                            .zip(idle.iter())
+                            .map(|(&fi, t)| (fi, t.location)),
+                    );
                     let bbox = BBox::from_points(idle.iter().map(|t| t.location))
                         .unwrap_or_else(|| BBox::square(Point::ORIGIN, 1.0));
                     inc_grid.sync(bbox, heuristic_cell_size(bbox), &desired);
@@ -341,8 +472,18 @@ impl Simulator {
                 ctx.pickup_distances = pickup.as_ref();
                 ctx.taxi_grid = grid.as_ref();
                 ctx.delta = Some(&delta);
-                let assignments = policy.dispatch(&ctx);
+                ctx.budget = budget;
+                let mut assignments = if precompute_failed {
+                    Vec::new()
+                } else {
+                    policy.dispatch(&ctx)
+                };
                 dispatch_ms = started.elapsed().as_secs_f64() * 1e3;
+                if let Some(d) = policy.take_degradation() {
+                    report
+                        .degradations
+                        .push(DegradationEvent { frame, degraded: d });
+                }
                 // The cache counters are cumulative across the run; the
                 // per-frame delta is this frame's cache effectiveness.
                 if let (Some(b), Some(a)) = (stats_before, policy.cache_stats()) {
@@ -352,9 +493,40 @@ impl Simulator {
                     );
                 }
 
+                // Mid-dispatch faults land between the policy's decision
+                // and its application: passengers may cancel (their
+                // assignment is voided and they leave the queue) or the
+                // taxi may drop offline (the assignment is voided and the
+                // members stay pending for a later frame).
+                if let Some(fs) = fault_state.as_mut() {
+                    let recovery_started = Instant::now();
+                    cancelled_members.clear();
+                    assignments.retain(|a| match fs.mid_dispatch_fate() {
+                        MidDispatchFate::Deliver => true,
+                        MidDispatchFate::CancelPassengers => {
+                            report.faults.mid_dispatch_cancellations += a.members.len() as u64;
+                            cancelled_members.extend(a.members.iter().copied());
+                            false
+                        }
+                        MidDispatchFate::TaxiDropout => {
+                            report.faults.mid_dispatch_dropouts += 1;
+                            if let Some(&fi) = taxi_index.get(&a.taxi) {
+                                fs.force_offline(fi, frame);
+                            }
+                            false
+                        }
+                    });
+                    if !cancelled_members.is_empty() {
+                        pending.retain(|&(r, _)| !cancelled_members.contains(&r.id));
+                    }
+                    report.faults.recovery_ms += recovery_started.elapsed().as_secs_f64() * 1e3;
+                }
+
                 used_taxis.clear();
                 served_ids.clear();
                 for a in &assignments {
+                    // Structural violations stay hard panics — they are
+                    // policy bugs, not operational conditions.
                     assert!(
                         used_taxis.insert(a.taxi),
                         "policy {} assigned taxi {} twice in frame {frame}",
@@ -367,21 +539,48 @@ impl Simulator {
                         a.passenger_costs.len(),
                         "passenger cost per member required"
                     );
-                    let ti = *taxi_index
-                        .get(&a.taxi)
-                        .unwrap_or_else(|| panic!("unknown taxi {}", a.taxi));
+                    // Identity lookups, by contrast, are recoverable: an
+                    // assignment naming an unknown taxi or a request that
+                    // is no longer pending is skipped whole (validated
+                    // *before* any taxi or report state mutates) and
+                    // recorded as a typed error.
+                    let Some(&ti) = taxi_index.get(&a.taxi) else {
+                        report.dispatch_errors.push(DispatchError::UnknownTaxi {
+                            taxi: a.taxi,
+                            frame,
+                        });
+                        report.faults.recovered_dispatch_errors += 1;
+                        continue;
+                    };
                     assert!(
                         taxis[ti].free_at <= time_end,
                         "policy {} dispatched busy taxi {}",
                         policy.name(),
                         a.taxi
                     );
+                    member_reqs.clear();
+                    let mut members_ok = true;
                     for &m in &a.members {
                         assert!(
-                            served_ids.insert(m),
+                            !served_ids.contains(&m) && !member_reqs.iter().any(|r| r.id == m),
                             "request {m} assigned twice in frame {frame}"
                         );
+                        match pending.iter().find(|&&(r, _)| r.id == m) {
+                            Some(&(r, _)) => member_reqs.push(r),
+                            None => {
+                                report
+                                    .dispatch_errors
+                                    .push(DispatchError::RequestNotPending { request: m, frame });
+                                report.faults.recovered_dispatch_errors += 1;
+                                members_ok = false;
+                                break;
+                            }
+                        }
                     }
+                    if !members_ok {
+                        continue;
+                    }
+                    served_ids.extend(a.members.iter().copied());
 
                     // Drive: approach leg + the route through all stops.
                     let mut length = metric.distance(taxis[ti].location, a.stops[0]);
@@ -396,12 +595,7 @@ impl Simulator {
                     report.taxi_dissatisfaction.push(a.taxi_cost);
                     report.taxi_by_hour[dispatch_hour].push(a.taxi_cost);
                     let shared = a.members.len() >= 2;
-                    for (&m, &cost) in a.members.iter().zip(&a.passenger_costs) {
-                        let (req, _) = pending
-                            .iter()
-                            .find(|&&(r, _)| r.id == m)
-                            .copied()
-                            .unwrap_or_else(|| panic!("request {m} not pending"));
+                    for (req, &cost) in member_reqs.iter().zip(&a.passenger_costs) {
                         let delay_min = (time_end.saturating_sub(req.time)) as f64 / 60.0;
                         let hour = req.hour_of_day() as usize;
                         report.delays_min.push(delay_min);
@@ -743,6 +937,193 @@ mod tests {
             frame_seconds: 0,
             ..SimConfig::default()
         });
+    }
+
+    #[test]
+    fn unknown_taxi_assignment_is_recovered_not_panicked() {
+        let trace = tiny_trace(
+            vec![req(0, 0, 1.0, 2.0)],
+            vec![Taxi::new(TaxiId(0), Point::ORIGIN)],
+        );
+        let mut bad = policy::from_fn("bad", |ctx: &FrameContext<'_>| {
+            ctx.pending
+                .iter()
+                .map(|r| crate::FrameAssignment {
+                    taxi: TaxiId(999),
+                    members: vec![r.id],
+                    stops: vec![r.pickup, r.dropoff],
+                    passenger_costs: vec![0.0],
+                    taxi_cost: 0.0,
+                })
+                .collect()
+        });
+        let cfg = SimConfig {
+            drain_frames: 2,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(cfg).run(&trace, &mut bad);
+        assert_eq!(report.served, 0);
+        assert_eq!(report.unserved_at_end, 1);
+        assert!(report.faults.recovered_dispatch_errors > 0);
+        assert!(matches!(
+            report.dispatch_errors[0],
+            crate::DispatchError::UnknownTaxi {
+                taxi: TaxiId(999),
+                frame: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn not_pending_request_is_recovered_not_panicked() {
+        let trace = tiny_trace(
+            vec![req(0, 0, 1.0, 2.0)],
+            vec![Taxi::new(TaxiId(0), Point::ORIGIN)],
+        );
+        let mut bad = policy::from_fn("bad", |ctx: &FrameContext<'_>| {
+            vec![crate::FrameAssignment {
+                taxi: ctx.idle_taxis[0].id,
+                members: vec![RequestId(999)],
+                stops: vec![Point::new(1.0, 0.0), Point::new(2.0, 0.0)],
+                passenger_costs: vec![0.0],
+                taxi_cost: 0.0,
+            }]
+        });
+        let cfg = SimConfig {
+            drain_frames: 2,
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(cfg).run(&trace, &mut bad);
+        // The whole assignment is skipped before any state mutates: the
+        // taxi stays idle and nothing is served.
+        assert_eq!(report.served, 0);
+        assert_eq!(report.total_drive_km, 0.0);
+        assert!(report
+            .dispatch_errors
+            .iter()
+            .all(|e| matches!(e, crate::DispatchError::RequestNotPending { .. })));
+        assert!(!report.dispatch_errors.is_empty());
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_plan() {
+        let trace = boston_september_2012(0.002).generate(5);
+        let params = PreferenceParams::default();
+        let mut plain = policy::nstd_p(Euclidean, params);
+        let mut faulted = policy::nstd_p(Euclidean, params);
+        let a = Simulator::new(SimConfig::default()).run(&trace, &mut plain);
+        let b = Simulator::new(SimConfig::default())
+            .with_fault_plan(crate::FaultPlan::none(99))
+            .run(&trace, &mut faulted);
+        assert_eq!(a.delays_min, b.delays_min);
+        assert_eq!(a.passenger_dissatisfaction, b.passenger_dissatisfaction);
+        assert_eq!(a.taxi_dissatisfaction, b.taxi_dissatisfaction);
+        assert_eq!(a.total_drive_km, b.total_drive_km);
+        assert_eq!(a.queue_by_frame, b.queue_by_frame);
+        assert_eq!(a.idle_by_frame, b.idle_by_frame);
+        assert_eq!(b.faults.total_injected(), 0);
+        assert!(b.dispatch_errors.is_empty() && b.degradations.is_empty());
+    }
+
+    #[test]
+    fn fault_injection_recovers_and_balances_the_request_ledger() {
+        let trace = boston_september_2012(0.002).generate(7);
+        let params = PreferenceParams::default();
+        let mut p = policy::nstd_p(Euclidean, params);
+        let report = Simulator::new(SimConfig::default())
+            .with_fault_plan(crate::FaultPlan::uniform(13, 0.05))
+            .run(&trace, &mut p);
+        // Every trace request is accounted for exactly once: served,
+        // still pending at the end, or cancelled (while pending or
+        // mid-dispatch). Injected duplicate/malformed records were
+        // quarantined at admission and never enter the ledger.
+        assert_eq!(
+            trace.requests.len() as u64,
+            report.served as u64
+                + report.unserved_at_end as u64
+                + report.faults.request_cancellations
+                + report.faults.mid_dispatch_cancellations,
+            "request ledger must balance under faults"
+        );
+        assert!(report.faults.total_injected() > 0, "faults were injected");
+        assert_eq!(
+            report.faults.quarantined_arrivals,
+            report.faults.duplicate_records + report.faults.malformed_records,
+            "every injected corrupt record is quarantined"
+        );
+        assert!(report.served > 0, "the run still serves passengers");
+        let ratio = report.served_ratio();
+        assert!((0.0..=1.0).contains(&ratio));
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_for_a_plan_seed() {
+        let trace = boston_september_2012(0.002).generate(3);
+        let params = PreferenceParams::default();
+        let plan = crate::FaultPlan::uniform(21, 0.08);
+        let mut p1 = policy::nstd_p(Euclidean, params);
+        let mut p2 = policy::nstd_p(Euclidean, params);
+        let a = Simulator::new(SimConfig::default())
+            .with_fault_plan(plan)
+            .run(&trace, &mut p1);
+        let b = Simulator::new(SimConfig::default())
+            .with_fault_plan(plan)
+            .run(&trace, &mut p2);
+        assert_eq!(a.delays_min, b.delays_min);
+        assert_eq!(a.taxi_dissatisfaction, b.taxi_dissatisfaction);
+        // Counters match exactly except the wall-clock recovery cost.
+        let (mut fa, mut fb) = (a.faults.clone(), b.faults.clone());
+        fa.recovery_ms = 0.0;
+        fb.recovery_ms = 0.0;
+        assert_eq!(fa, fb);
+        assert_eq!(a.dispatch_errors, b.dispatch_errors);
+    }
+
+    #[test]
+    fn zero_deadline_budget_degrades_every_dispatched_frame_to_greedy() {
+        use o2o_core::{DispatchTier, TimeBudgetSpec};
+        let trace = boston_september_2012(0.002).generate(9);
+        let params = PreferenceParams::default();
+        let mut p = policy::nstd_t(Euclidean, params);
+        let cfg = SimConfig {
+            frame_budget: TimeBudgetSpec::default().with_deadline(std::time::Duration::ZERO),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(cfg).run(&trace, &mut p);
+        assert!(
+            !report.degradations.is_empty(),
+            "a zero deadline must degrade"
+        );
+        // A zero deadline is exhausted before preference construction, so
+        // every dispatched frame falls all the way to the greedy floor.
+        assert_eq!(
+            report.degradations_to(DispatchTier::GreedyNearest),
+            report.degradations.len()
+        );
+        assert!(report
+            .degradations
+            .iter()
+            .all(|e| e.degraded.from == DispatchTier::NstdT));
+        assert_eq!(report.served + report.unserved_at_end, trace.requests.len());
+        assert!(report.served > 0, "greedy still serves passengers");
+    }
+
+    #[test]
+    fn unlimited_budget_config_is_bit_identical_to_default() {
+        use o2o_core::TimeBudgetSpec;
+        let trace = boston_september_2012(0.002).generate(5);
+        let params = PreferenceParams::default();
+        let mut p1 = policy::nstd_t(Euclidean, params);
+        let mut p2 = policy::nstd_t(Euclidean, params);
+        let a = Simulator::new(SimConfig::default()).run(&trace, &mut p1);
+        let explicit = SimConfig {
+            frame_budget: TimeBudgetSpec::default(),
+            ..SimConfig::default()
+        };
+        let b = Simulator::new(explicit).run(&trace, &mut p2);
+        assert_eq!(a.delays_min, b.delays_min);
+        assert_eq!(a.taxi_dissatisfaction, b.taxi_dissatisfaction);
+        assert!(a.degradations.is_empty() && b.degradations.is_empty());
     }
 
     #[test]

@@ -1,0 +1,505 @@
+//! Seeded fault injection and the engine's recovery bookkeeping.
+//!
+//! A [`FaultPlan`] describes a deterministic stream of operational faults
+//! — taxis dropping offline, passengers cancelling, GPS jitter, duplicate
+//! and malformed records — that the engine injects while it runs. The
+//! engine *recovers* from every one of them (cancelled requests leave the
+//! pending queue, dropped taxis leave the idle pool, corrupt records are
+//! quarantined at admission) and counts each in [`FaultCounters`], so a
+//! chaos run both exercises and audits the recovery paths.
+//!
+//! Faults are drawn from a dedicated seeded generator, so a
+//! `(trace, plan)` pair replays the exact same fault sequence on every
+//! run regardless of thread count.
+
+use o2o_core::Degraded;
+use o2o_trace::{RequestId, TaxiId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A deterministic fault-injection schedule for one simulation run.
+///
+/// All rates are per-opportunity probabilities in `[0, 1]`: a taxi rolls
+/// for dropout once per frame while idle, a pending request rolls for
+/// cancellation once per frame, an arriving record rolls for duplication
+/// and malformation once, and every returned assignment rolls for a
+/// mid-dispatch fate. [`FaultPlan::none`] injects nothing and leaves a
+/// run bit-identical to one without a plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the fault stream (independent of the trace seed).
+    pub seed: u64,
+    /// Per-frame probability that an idle taxi drops offline.
+    pub taxi_dropout: f64,
+    /// How many frames a dropped-out taxi stays offline.
+    pub dropout_frames: u64,
+    /// Per-frame probability that a pending request cancels (the
+    /// passenger abandons before being matched).
+    pub request_cancel: f64,
+    /// Probability that an idle taxi reports a jittered GPS position.
+    pub gps_jitter: f64,
+    /// Maximum per-axis jitter magnitude, km.
+    pub jitter_km: f64,
+    /// Probability that an arriving record is duplicated (same id
+    /// submitted twice).
+    pub duplicate_record: f64,
+    /// Probability that an arriving record spawns a malformed sibling
+    /// (non-finite coordinates).
+    pub malformed_record: f64,
+    /// Probability that an assignment's passengers cancel between the
+    /// policy's decision and its application.
+    pub mid_dispatch_cancel: f64,
+    /// Probability that an assignment's taxi drops offline between the
+    /// policy's decision and its application (its passengers return to
+    /// the pending queue).
+    pub mid_dispatch_dropout: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing: a run with it is bit-identical to a
+    /// run without any plan.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            taxi_dropout: 0.0,
+            dropout_frames: 5,
+            request_cancel: 0.0,
+            gps_jitter: 0.0,
+            jitter_km: 1.0,
+            duplicate_record: 0.0,
+            malformed_record: 0.0,
+            mid_dispatch_cancel: 0.0,
+            mid_dispatch_dropout: 0.0,
+        }
+    }
+
+    /// A plan with every fault class at the same `rate` (1 km GPS jitter,
+    /// five-frame dropouts).
+    #[must_use]
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            taxi_dropout: rate,
+            dropout_frames: 5,
+            request_cancel: rate,
+            gps_jitter: rate,
+            jitter_km: 1.0,
+            duplicate_record: rate,
+            malformed_record: rate,
+            mid_dispatch_cancel: rate,
+            mid_dispatch_dropout: rate,
+        }
+    }
+
+    /// Validates the plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field (a rate outside
+    /// `[0, 1]`, a non-finite or negative jitter, or a zero dropout
+    /// length).
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("taxi_dropout", self.taxi_dropout),
+            ("request_cancel", self.request_cancel),
+            ("gps_jitter", self.gps_jitter),
+            ("duplicate_record", self.duplicate_record),
+            ("malformed_record", self.malformed_record),
+            ("mid_dispatch_cancel", self.mid_dispatch_cancel),
+            ("mid_dispatch_dropout", self.mid_dispatch_dropout),
+        ];
+        for (name, rate) in rates {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} must be a probability, got {rate}"));
+            }
+        }
+        if !(self.jitter_km.is_finite() && self.jitter_km >= 0.0) {
+            return Err(format!(
+                "jitter_km must be finite and non-negative, got {}",
+                self.jitter_km
+            ));
+        }
+        if self.dropout_frames == 0 {
+            return Err("dropout_frames must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// How many faults of each class a run injected, and what the recovery
+/// cost.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultCounters {
+    /// Idle taxis forced offline between frames.
+    pub taxi_dropouts: u64,
+    /// Pending requests cancelled between frames.
+    pub request_cancellations: u64,
+    /// Idle taxis that reported a jittered GPS position.
+    pub gps_faults: u64,
+    /// Duplicate records injected into the arrival stream.
+    pub duplicate_records: u64,
+    /// Malformed records injected into the arrival stream.
+    pub malformed_records: u64,
+    /// Requests whose assignment was cancelled mid-dispatch (counted per
+    /// request, so the run's request ledger balances).
+    pub mid_dispatch_cancellations: u64,
+    /// Assignments voided because their taxi dropped out mid-dispatch
+    /// (the member requests return to the pending queue).
+    pub mid_dispatch_dropouts: u64,
+    /// Arrival records the engine rejected at admission (injected
+    /// duplicates and malformed siblings that the screen caught).
+    pub quarantined_arrivals: u64,
+    /// Dispatch-level failures the engine recovered from instead of
+    /// panicking (see [`DispatchError`]).
+    pub recovered_dispatch_errors: u64,
+    /// Wall-clock milliseconds spent in fault handling and recovery
+    /// (admission screening plus mid-dispatch voiding).
+    pub recovery_ms: f64,
+}
+
+impl FaultCounters {
+    /// Total faults injected across every class (excluding the recovery
+    /// bookkeeping counters).
+    #[must_use]
+    pub fn total_injected(&self) -> u64 {
+        self.taxi_dropouts
+            + self.request_cancellations
+            + self.gps_faults
+            + self.duplicate_records
+            + self.malformed_records
+            + self.mid_dispatch_cancellations
+            + self.mid_dispatch_dropouts
+    }
+}
+
+/// A dispatch-level failure the engine recovered from instead of
+/// panicking: the offending assignment (or frame) is skipped, everything
+/// else proceeds, and the error is recorded on the report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DispatchError {
+    /// The policy assigned a taxi that is not part of the fleet.
+    UnknownTaxi {
+        /// The unknown id.
+        taxi: TaxiId,
+        /// Frame the assignment was returned in.
+        frame: u64,
+    },
+    /// The policy assigned a request that is not in the pending queue
+    /// (e.g. it was cancelled while the policy was deciding).
+    RequestNotPending {
+        /// The missing request.
+        request: RequestId,
+        /// Frame the assignment was returned in.
+        frame: u64,
+    },
+    /// The parallel pick-up distance precomputation panicked even after
+    /// the sequential retry; the frame's dispatch was skipped and its
+    /// requests stayed pending.
+    PrecomputeFailed {
+        /// Frame whose dispatch was skipped.
+        frame: u64,
+        /// The worker's panic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchError::UnknownTaxi { taxi, frame } => {
+                write!(f, "frame {frame}: policy assigned unknown taxi {taxi}")
+            }
+            DispatchError::RequestNotPending { request, frame } => {
+                write!(
+                    f,
+                    "frame {frame}: policy assigned request {request} that is not pending"
+                )
+            }
+            DispatchError::PrecomputeFailed { frame, message } => {
+                write!(
+                    f,
+                    "frame {frame}: pick-up distance precomputation failed: {message}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+/// One frame's degradation, as recorded on the report: which frame
+/// stepped down the ladder and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// The frame whose dispatch degraded.
+    pub frame: u64,
+    /// What the ladder did.
+    pub degraded: Degraded,
+}
+
+/// What happens to one assignment between the policy's decision and its
+/// application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MidDispatchFate {
+    /// The assignment goes through unchanged.
+    Deliver,
+    /// The passengers cancel; the assignment is voided and its members
+    /// leave the pending queue.
+    CancelPassengers,
+    /// The taxi drops offline; the assignment is voided and its members
+    /// stay pending for a later frame.
+    TaxiDropout,
+}
+
+/// The engine-side fault machinery: the plan, its dedicated generator,
+/// and per-taxi offline clocks.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// `offline_until[fleet_index]` = first frame the taxi may reappear.
+    offline_until: Vec<u64>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, fleet: usize) -> Self {
+        plan.validate().expect("invalid fault plan");
+        FaultState {
+            plan,
+            rng: StdRng::seed_from_u64(plan.seed),
+            offline_until: vec![0; fleet],
+        }
+    }
+
+    /// Rolls a rate, skipping the generator entirely for zero rates so a
+    /// partially-zero plan perturbs nothing it does not name.
+    fn roll(&mut self, rate: f64) -> bool {
+        rate > 0.0 && self.rng.gen_bool(rate)
+    }
+
+    /// Injects duplicate and malformed siblings into a frame's arrival
+    /// batch (the admission screen is expected to quarantine them).
+    pub(crate) fn corrupt_arrivals(
+        &mut self,
+        arrivals: &mut Vec<o2o_trace::Request>,
+        c: &mut FaultCounters,
+    ) {
+        let originals = arrivals.len();
+        for i in 0..originals {
+            if self.roll(self.plan.duplicate_record) {
+                let dup = arrivals[i];
+                arrivals.push(dup);
+                c.duplicate_records += 1;
+            }
+            if self.roll(self.plan.malformed_record) {
+                let mut bad = arrivals[i];
+                bad.pickup = o2o_geo::Point::new(f64::NAN, bad.pickup.y);
+                arrivals.push(bad);
+                c.malformed_records += 1;
+            }
+        }
+    }
+
+    /// Whether a pending request cancels this frame.
+    pub(crate) fn cancels_request(&mut self, c: &mut FaultCounters) -> bool {
+        if self.roll(self.plan.request_cancel) {
+            c.request_cancellations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the taxi at `fleet_index` is offline this frame (either
+    /// still serving an earlier dropout, or newly rolled into one).
+    pub(crate) fn taxi_offline(
+        &mut self,
+        fleet_index: usize,
+        frame: u64,
+        c: &mut FaultCounters,
+    ) -> bool {
+        if frame < self.offline_until[fleet_index] {
+            return true;
+        }
+        if self.roll(self.plan.taxi_dropout) {
+            self.offline_until[fleet_index] = frame + self.plan.dropout_frames;
+            c.taxi_dropouts += 1;
+            return true;
+        }
+        false
+    }
+
+    /// The position an idle taxi reports this frame (possibly jittered —
+    /// the true position is untouched, only the policy's view shifts).
+    pub(crate) fn report_position(
+        &mut self,
+        p: o2o_geo::Point,
+        c: &mut FaultCounters,
+    ) -> o2o_geo::Point {
+        if self.roll(self.plan.gps_jitter) {
+            c.gps_faults += 1;
+            let j = self.plan.jitter_km;
+            o2o_geo::Point::new(
+                p.x + self.rng.gen_range(-j..=j),
+                p.y + self.rng.gen_range(-j..=j),
+            )
+        } else {
+            p
+        }
+    }
+
+    /// Rolls one assignment's mid-dispatch fate. The caller applies the
+    /// consequences (and counts them — cancellations are per member).
+    pub(crate) fn mid_dispatch_fate(&mut self) -> MidDispatchFate {
+        if self.roll(self.plan.mid_dispatch_cancel) {
+            MidDispatchFate::CancelPassengers
+        } else if self.roll(self.plan.mid_dispatch_dropout) {
+            MidDispatchFate::TaxiDropout
+        } else {
+            MidDispatchFate::Deliver
+        }
+    }
+
+    /// Forces the taxi at `fleet_index` offline starting now (the
+    /// mid-dispatch dropout consequence).
+    pub(crate) fn force_offline(&mut self, fleet_index: usize, frame: u64) {
+        self.offline_until[fleet_index] = frame + self.plan.dropout_frames;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::Point;
+    use o2o_trace::Request;
+
+    #[test]
+    fn none_plan_validates_and_injects_nothing() {
+        let plan = FaultPlan::none(7);
+        plan.validate().expect("none plan is valid");
+        let mut fs = FaultState::new(plan, 4);
+        let mut c = FaultCounters::default();
+        let mut arrivals = vec![Request::new(
+            o2o_trace::RequestId(0),
+            0,
+            Point::new(1.0, 2.0),
+            Point::new(3.0, 4.0),
+        )];
+        fs.corrupt_arrivals(&mut arrivals, &mut c);
+        assert_eq!(arrivals.len(), 1);
+        assert!(!fs.cancels_request(&mut c));
+        assert!(!fs.taxi_offline(0, 0, &mut c));
+        let p = Point::new(5.0, 6.0);
+        assert_eq!(fs.report_position(p, &mut c), p);
+        assert_eq!(fs.mid_dispatch_fate(), MidDispatchFate::Deliver);
+        assert_eq!(c, FaultCounters::default());
+        assert_eq!(c.total_injected(), 0);
+    }
+
+    #[test]
+    fn uniform_plan_injects_and_counts_every_class() {
+        let mut fs = FaultState::new(FaultPlan::uniform(11, 0.5), 8);
+        let mut c = FaultCounters::default();
+        let mut arrivals: Vec<Request> = (0..64)
+            .map(|i| {
+                Request::new(
+                    o2o_trace::RequestId(i),
+                    0,
+                    Point::new(i as f64, 0.0),
+                    Point::new(0.0, i as f64),
+                )
+            })
+            .collect();
+        fs.corrupt_arrivals(&mut arrivals, &mut c);
+        assert!(c.duplicate_records > 0 && c.malformed_records > 0);
+        assert!(arrivals.len() as u64 == 64 + c.duplicate_records + c.malformed_records);
+        for frame in 0..32 {
+            let _ = fs.taxi_offline(0, frame, &mut c);
+            let _ = fs.cancels_request(&mut c);
+            let _ = fs.report_position(Point::ORIGIN, &mut c);
+        }
+        assert!(c.taxi_dropouts > 0);
+        assert!(c.request_cancellations > 0);
+        assert!(c.gps_faults > 0);
+        assert!(c.total_injected() > 0);
+    }
+
+    #[test]
+    fn dropout_keeps_taxi_offline_for_the_configured_frames() {
+        let plan = FaultPlan {
+            taxi_dropout: 1.0,
+            dropout_frames: 3,
+            ..FaultPlan::none(0)
+        };
+        let mut fs = FaultState::new(plan, 1);
+        let mut c = FaultCounters::default();
+        assert!(fs.taxi_offline(0, 10, &mut c));
+        assert_eq!(c.taxi_dropouts, 1);
+        // Frames 11 and 12 are still covered by the same dropout: no new
+        // roll, no new count.
+        assert!(fs.taxi_offline(0, 11, &mut c));
+        assert!(fs.taxi_offline(0, 12, &mut c));
+        assert_eq!(c.taxi_dropouts, 1);
+        // Frame 13 re-rolls (and at rate 1.0 drops again).
+        assert!(fs.taxi_offline(0, 13, &mut c));
+        assert_eq!(c.taxi_dropouts, 2);
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_for_a_seed() {
+        let plan = FaultPlan::uniform(42, 0.3);
+        let mut a = FaultState::new(plan, 2);
+        let mut b = FaultState::new(plan, 2);
+        let (mut ca, mut cb) = (FaultCounters::default(), FaultCounters::default());
+        for frame in 0..100 {
+            assert_eq!(
+                a.taxi_offline(0, frame, &mut ca),
+                b.taxi_offline(0, frame, &mut cb)
+            );
+            assert_eq!(a.cancels_request(&mut ca), b.cancels_request(&mut cb));
+            assert_eq!(
+                a.report_position(Point::ORIGIN, &mut ca),
+                b.report_position(Point::ORIGIN, &mut cb)
+            );
+            assert_eq!(a.mid_dispatch_fate(), b.mid_dispatch_fate());
+        }
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let mut plan = FaultPlan::none(0);
+        plan.taxi_dropout = 1.5;
+        assert!(plan.validate().unwrap_err().contains("taxi_dropout"));
+        let mut plan = FaultPlan::none(0);
+        plan.jitter_km = f64::NAN;
+        assert!(plan.validate().unwrap_err().contains("jitter_km"));
+        let mut plan = FaultPlan::none(0);
+        plan.dropout_frames = 0;
+        assert!(plan.validate().unwrap_err().contains("dropout_frames"));
+    }
+
+    #[test]
+    fn dispatch_error_display_is_readable() {
+        let e = DispatchError::UnknownTaxi {
+            taxi: TaxiId(9),
+            frame: 3,
+        };
+        assert_eq!(e.to_string(), "frame 3: policy assigned unknown taxi t9");
+        let e = DispatchError::RequestNotPending {
+            request: RequestId(4),
+            frame: 8,
+        };
+        assert_eq!(
+            e.to_string(),
+            "frame 8: policy assigned request r4 that is not pending"
+        );
+        let e = DispatchError::PrecomputeFailed {
+            frame: 1,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("precomputation failed: boom"));
+    }
+}

@@ -18,6 +18,15 @@
 //! [`SimReport`] renders them as CDFs (Figs. 4, 5, 8, 9), averages
 //! (Fig. 6) and hour-of-day series (Fig. 7).
 //!
+//! The engine is fault-tolerant: an optional seeded [`FaultPlan`]
+//! injects operational churn (taxi dropouts, passenger cancellations,
+//! GPS jitter, duplicate and malformed records) that the engine recovers
+//! from and tallies in [`FaultCounters`], and a finite
+//! [`SimConfig::frame_budget`] makes budget-aware policies step down a
+//! degradation ladder (NSTD-T → NSTD-P → greedy-nearest) instead of
+//! overrunning their frame, each step recorded as a
+//! [`DegradationEvent`].
+//!
 //! # Examples
 //!
 //! ```
@@ -36,11 +45,13 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fault;
 mod metrics;
 pub mod policy;
 mod report;
 
 pub use engine::{SimConfig, Simulator};
+pub use fault::{DegradationEvent, DispatchError, FaultCounters, FaultPlan};
 pub use metrics::Cdf;
 pub use policy::{
     cached, cached_persistent, CacheLifetime, CachedPolicy, DispatchPolicy, FrameAssignment,

@@ -23,8 +23,8 @@ use o2o_baselines::{
     LinDispatcher, MiniDispatcher, NearDispatcher, PairDispatcher, RaiiDispatcher, SarpDispatcher,
 };
 use o2o_core::{
-    CandidateMode, IncrementalMode, IncrementalState, NonSharingDispatcher, PickupDistances,
-    PreferenceParams, Schedule, SharingDispatcher, SharingSchedule,
+    CandidateMode, Degraded, IncrementalMode, IncrementalState, NonSharingDispatcher,
+    PickupDistances, PreferenceParams, Schedule, SharingDispatcher, SharingSchedule, TimeBudget,
 };
 use o2o_geo::{CacheStats, DistanceCache, GridIndex, Metric, Point};
 use o2o_trace::{Request, RequestId, Taxi, TaxiId};
@@ -89,6 +89,13 @@ pub struct FrameContext<'a> {
     /// What changed since the previous dispatched frame, when the engine
     /// computed it (`None` in hand-built contexts). See [`FrameDelta`].
     pub delta: Option<&'a FrameDelta>,
+    /// The frame's compute budget, started when the engine began the
+    /// frame's dispatch work. Unlimited by default ([`TimeBudget`]'s
+    /// default), in which case budget-aware policies run their normal
+    /// algorithm untouched; under a finite budget they may step down the
+    /// degradation ladder and report it via
+    /// [`DispatchPolicy::take_degradation`].
+    pub budget: TimeBudget,
 }
 
 impl<'a> FrameContext<'a> {
@@ -103,6 +110,7 @@ impl<'a> FrameContext<'a> {
             pickup_distances: None,
             taxi_grid: None,
             delta: None,
+            budget: TimeBudget::unlimited(),
         }
     }
 }
@@ -157,6 +165,15 @@ pub trait DispatchPolicy {
     fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
+
+    /// Takes (and clears) the record of the last dispatch having stepped
+    /// down the degradation ladder under a finite
+    /// [`FrameContext::budget`]. The engine calls this after every
+    /// dispatch and attributes the event to the frame. Defaults to
+    /// `None` for policies that never degrade.
+    fn take_degradation(&mut self) -> Option<Degraded> {
+        None
+    }
 }
 
 impl<P: DispatchPolicy + ?Sized> DispatchPolicy for &mut P {
@@ -179,6 +196,10 @@ impl<P: DispatchPolicy + ?Sized> DispatchPolicy for &mut P {
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
     }
+
+    fn take_degradation(&mut self) -> Option<Degraded> {
+        (**self).take_degradation()
+    }
 }
 
 impl<P: DispatchPolicy + ?Sized> DispatchPolicy for Box<P> {
@@ -200,6 +221,10 @@ impl<P: DispatchPolicy + ?Sized> DispatchPolicy for Box<P> {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         (**self).cache_stats()
+    }
+
+    fn take_degradation(&mut self) -> Option<Degraded> {
+        (**self).take_degradation()
     }
 }
 
@@ -313,7 +338,7 @@ macro_rules! dispatcher_policy {
 /// modes produce bit-identical schedules.
 macro_rules! nstd_policy {
     ($struct_name:ident, $doc:literal, $label:literal, $with:ident, $with_grid:ident,
-     $incremental:ident) => {
+     $incremental:ident, $budgeted:ident) => {
         #[doc = $doc]
         ///
         /// With the dispatcher in [`CandidateMode::Sparse`] (the default)
@@ -329,6 +354,7 @@ macro_rules! nstd_policy {
             inner: NonSharingDispatcher<M>,
             incremental: IncrementalMode,
             state: IncrementalState,
+            degraded: Option<Degraded>,
         }
 
         impl<M: Metric> $struct_name<M> {
@@ -341,6 +367,7 @@ macro_rules! nstd_policy {
                     inner,
                     incremental: IncrementalMode::default(),
                     state: IncrementalState::new(),
+                    degraded: None,
                 }
             }
 
@@ -373,23 +400,48 @@ macro_rules! nstd_policy {
             }
 
             fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
-                let schedule = match (self.inner.candidate_mode(), self.incremental) {
-                    (CandidateMode::Dense, _) => {
-                        self.inner
-                            .$with(ctx.idle_taxis, ctx.pending, ctx.pickup_distances)
-                    }
-                    (CandidateMode::Sparse, IncrementalMode::Warm) => self.inner.$incremental(
-                        ctx.idle_taxis,
-                        ctx.pending,
-                        ctx.taxi_grid,
-                        &mut self.state,
-                    ),
-                    (CandidateMode::Sparse, IncrementalMode::Cold) => {
-                        self.inner
-                            .$with_grid(ctx.idle_taxis, ctx.pending, ctx.taxi_grid)
-                    }
-                };
+                if ctx.budget.is_unlimited() {
+                    self.degraded = None;
+                    let schedule = match (self.inner.candidate_mode(), self.incremental) {
+                        (CandidateMode::Dense, _) => {
+                            self.inner
+                                .$with(ctx.idle_taxis, ctx.pending, ctx.pickup_distances)
+                        }
+                        (CandidateMode::Sparse, IncrementalMode::Warm) => self.inner.$incremental(
+                            ctx.idle_taxis,
+                            ctx.pending,
+                            ctx.taxi_grid,
+                            &mut self.state,
+                        ),
+                        (CandidateMode::Sparse, IncrementalMode::Cold) => {
+                            self.inner
+                                .$with_grid(ctx.idle_taxis, ctx.pending, ctx.taxi_grid)
+                        }
+                    };
+                    return from_schedule(ctx.pending, &schedule);
+                }
+                // Finite budget: the budgeted entry point owns the mode
+                // dispatch (warm state is only threaded through on the
+                // sparse+warm combination, matching the unbudgeted arms).
+                let state = matches!(
+                    (self.inner.candidate_mode(), self.incremental),
+                    (CandidateMode::Sparse, IncrementalMode::Warm)
+                )
+                .then(|| &mut self.state);
+                let (schedule, degraded) = self.inner.$budgeted(
+                    ctx.idle_taxis,
+                    ctx.pending,
+                    ctx.pickup_distances,
+                    ctx.taxi_grid,
+                    state,
+                    &ctx.budget,
+                );
+                self.degraded = degraded;
                 from_schedule(ctx.pending, &schedule)
+            }
+
+            fn take_degradation(&mut self) -> Option<Degraded> {
+                self.degraded.take()
             }
 
             fn wants_pickup_distances(&self) -> bool {
@@ -409,7 +461,8 @@ nstd_policy!(
     "NSTD-P",
     passenger_optimal_with,
     passenger_optimal_with_grid,
-    passenger_optimal_incremental
+    passenger_optimal_incremental,
+    passenger_optimal_budgeted
 );
 
 nstd_policy!(
@@ -418,7 +471,8 @@ nstd_policy!(
     "NSTD-T",
     taxi_optimal_with,
     taxi_optimal_with_grid,
-    taxi_optimal_incremental
+    taxi_optimal_incremental,
+    taxi_optimal_budgeted
 );
 
 dispatcher_policy!(
@@ -728,6 +782,10 @@ impl<P: DispatchPolicy, M: Metric> DispatchPolicy for CachedPolicy<P, M> {
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
     }
+
+    fn take_degradation(&mut self) -> Option<Degraded> {
+        self.inner.take_degradation()
+    }
 }
 
 /// Wraps `metric` in a per-frame [`DistanceCache`] and hands the caching
@@ -893,6 +951,34 @@ mod tests {
         });
         let stats = wrapped.cache_stats().expect("cached policy has stats");
         assert_eq!((stats.hits, stats.misses), (0, 0));
+    }
+
+    #[test]
+    fn budgeted_dispatch_reports_and_clears_degradation() {
+        use o2o_core::{DispatchTier, TimeBudgetSpec};
+        let (taxis, requests) = ctx_fixture();
+        let mut p = nstd_t(Euclidean, PreferenceParams::default());
+        // Unlimited budget (the default context): no degradation.
+        let ctx = FrameContext::new(0, 60, &taxis, &requests);
+        let out = p.dispatch(&ctx);
+        assert_eq!(out.len(), 1);
+        assert!(p.take_degradation().is_none());
+        // A zero deadline forces the greedy floor and records it.
+        let mut ctx = FrameContext::new(1, 120, &taxis, &requests);
+        ctx.budget = TimeBudgetSpec::default()
+            .with_deadline(std::time::Duration::ZERO)
+            .start();
+        let out = p.dispatch(&ctx);
+        assert_eq!(out.len(), 1, "greedy still serves the lone request");
+        let d = p.take_degradation().expect("degradation recorded");
+        assert_eq!(d.from, DispatchTier::NstdT);
+        assert_eq!(d.to, DispatchTier::GreedyNearest);
+        // take_degradation drains the record.
+        assert!(p.take_degradation().is_none());
+        // Policies without a budgeted path report none by default.
+        let mut near = near(Euclidean, PreferenceParams::default());
+        let _ = near.dispatch(&ctx);
+        assert!(near.take_degradation().is_none());
     }
 
     #[test]

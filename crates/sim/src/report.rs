@@ -1,6 +1,8 @@
 //! Simulation results in the shapes the paper's figures use.
 
+use crate::fault::{DegradationEvent, DispatchError, FaultCounters};
 use crate::metrics::{Cdf, HourBucket};
+use o2o_core::DispatchTier;
 
 /// A 24-value hour-of-day series of averages (the Fig. 7 x-axis).
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +77,16 @@ pub struct SimReport {
     /// Distance-cache misses during each frame's dispatch (index =
     /// frame); see [`cache_hits_by_frame`](Self::cache_hits_by_frame).
     pub cache_misses_by_frame: Vec<u64>,
+    /// Injected-fault tallies and recovery bookkeeping for the run; all
+    /// zero unless the simulator ran with a
+    /// [`FaultPlan`](crate::FaultPlan).
+    pub faults: FaultCounters,
+    /// Dispatch-level failures the engine recovered from (skipping the
+    /// offending assignment or frame) instead of panicking.
+    pub dispatch_errors: Vec<DispatchError>,
+    /// Frames whose dispatch stepped down the degradation ladder under
+    /// the configured [`frame_budget`](crate::SimConfig::frame_budget).
+    pub degradations: Vec<DegradationEvent>,
     pub(crate) delay_by_hour: [HourBucket; 24],
     pub(crate) passenger_by_hour: [HourBucket; 24],
     pub(crate) taxi_by_hour: [HourBucket; 24],
@@ -204,6 +216,34 @@ impl SimReport {
         }
     }
 
+    /// Fraction of the run's requests that were eventually served, out of
+    /// every request that entered the system: served, still pending at
+    /// the end, cancelled while pending, or cancelled mid-dispatch
+    /// (0 for an empty run). The headline metric of a chaos run.
+    #[must_use]
+    pub fn served_ratio(&self) -> f64 {
+        let total = self.served as u64
+            + self.unserved_at_end as u64
+            + self.faults.request_cancellations
+            + self.faults.mid_dispatch_cancellations;
+        if total == 0 {
+            0.0
+        } else {
+            self.served as f64 / total as f64
+        }
+    }
+
+    /// How many frames degraded *to* the given tier (e.g.
+    /// [`DispatchTier::GreedyNearest`] counts the frames that fell all
+    /// the way to the greedy floor).
+    #[must_use]
+    pub fn degradations_to(&self, tier: DispatchTier) -> usize {
+        self.degradations
+            .iter()
+            .filter(|e| e.degraded.to == tier)
+            .count()
+    }
+
     /// Fraction of served requests that shared a taxi.
     #[must_use]
     pub fn sharing_rate(&self) -> f64 {
@@ -247,6 +287,9 @@ mod tests {
             dispatch_ms_by_frame: vec![0.5, 1.5, 0.0],
             cache_hits_by_frame: vec![3, 6, 0],
             cache_misses_by_frame: vec![2, 1, 0],
+            faults: FaultCounters::default(),
+            dispatch_errors: Vec::new(),
+            degradations: Vec::new(),
             delay_by_hour,
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],
@@ -321,11 +364,59 @@ mod tests {
             dispatch_ms_by_frame: vec![],
             cache_hits_by_frame: vec![],
             cache_misses_by_frame: vec![],
+            faults: FaultCounters::default(),
+            dispatch_errors: Vec::new(),
+            degradations: Vec::new(),
             delay_by_hour: [HourBucket::default(); 24],
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],
         };
         assert_eq!(r.avg_delay_min(), 0.0);
         assert_eq!(r.sharing_rate(), 0.0);
+        assert_eq!(r.served_ratio(), 0.0);
+        assert_eq!(r.degradations_to(DispatchTier::GreedyNearest), 0);
+    }
+
+    #[test]
+    fn served_ratio_counts_cancellations_in_the_denominator() {
+        let mut r = report();
+        // 2 served + 1 unserved = 2/3 without faults.
+        assert!((r.served_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        r.faults.request_cancellations = 2;
+        r.faults.mid_dispatch_cancellations = 1;
+        // 2 served out of 6 that entered the system.
+        assert!((r.served_ratio() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradations_to_filters_by_target_tier() {
+        use crate::fault::DegradationEvent;
+        use o2o_core::{DegradeReason, Degraded};
+        let mut r = report();
+        r.degradations = vec![
+            DegradationEvent {
+                frame: 1,
+                degraded: Degraded {
+                    from: DispatchTier::NstdT,
+                    to: DispatchTier::NstdP,
+                    reason: DegradeReason::DeadlineExceeded {
+                        stage: "after preference construction",
+                    },
+                },
+            },
+            DegradationEvent {
+                frame: 2,
+                degraded: Degraded {
+                    from: DispatchTier::NstdT,
+                    to: DispatchTier::GreedyNearest,
+                    reason: DegradeReason::DeadlineExceeded {
+                        stage: "before preference construction",
+                    },
+                },
+            },
+        ];
+        assert_eq!(r.degradations_to(DispatchTier::NstdP), 1);
+        assert_eq!(r.degradations_to(DispatchTier::GreedyNearest), 1);
+        assert_eq!(r.degradations_to(DispatchTier::FullEnumeration), 0);
     }
 }

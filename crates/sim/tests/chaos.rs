@@ -1,0 +1,166 @@
+//! Chaos suite: the engine survives arbitrary fault sequences.
+//!
+//! Property-based end-to-end runs under randomized fault plans, thread
+//! counts and compute budgets. The engine must never panic, every
+//! request must be accounted for exactly once, and — with an unlimited
+//! budget — every frame's dispatch must still be a stable matching on
+//! the passengers and drivers that survived the faults.
+
+use o2o_core::{NonSharingDispatcher, PreferenceParams};
+use o2o_geo::Euclidean;
+use o2o_par::Parallelism;
+use o2o_sim::{policy, DispatchPolicy, FrameAssignment, FrameContext, SimConfig, Simulator};
+use o2o_trace::{boston_september_2012, Request, RequestId, Taxi, TaxiId};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One dispatched frame as the policy saw it: the (possibly jittered)
+/// idle fleet, the pending batch, and the pairs the policy returned.
+struct FrameCapture {
+    idle: Vec<Taxi>,
+    pending: Vec<Request>,
+    pairs: Vec<(RequestId, TaxiId)>,
+}
+
+/// Wraps a policy, recording every dispatched frame's inputs and
+/// outputs while forwarding everything (including budget degradations)
+/// to the inner policy.
+struct CapturePolicy<P> {
+    inner: P,
+    frames: Rc<RefCell<Vec<FrameCapture>>>,
+}
+
+impl<P: DispatchPolicy> DispatchPolicy for CapturePolicy<P> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
+        let out = self.inner.dispatch(ctx);
+        self.frames.borrow_mut().push(FrameCapture {
+            idle: ctx.idle_taxis.to_vec(),
+            pending: ctx.pending.to_vec(),
+            pairs: out
+                .iter()
+                .flat_map(|a| a.members.iter().map(|&m| (m, a.taxi)))
+                .collect(),
+        });
+        out
+    }
+
+    fn wants_pickup_distances(&self) -> bool {
+        self.inner.wants_pickup_distances()
+    }
+
+    fn wants_taxi_grid(&self) -> bool {
+        self.inner.wants_taxi_grid()
+    }
+
+    fn take_degradation(&mut self) -> Option<o2o_core::Degraded> {
+        self.inner.take_degradation()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Unlimited budget: whatever the fault stream does, the run
+    /// completes, the request ledger balances, and every frame's output
+    /// is a stable matching on the survivors the policy saw.
+    #[test]
+    fn chaos_run_stays_stable_on_survivors(
+        trace_seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        rate in 0.0f64..0.3,
+        threads in 1usize..4,
+    ) {
+        let trace = boston_september_2012(0.001).generate(trace_seed);
+        let params = PreferenceParams::default();
+        let frames: Rc<RefCell<Vec<FrameCapture>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut p = CapturePolicy {
+            inner: policy::nstd_p(Euclidean, params),
+            frames: Rc::clone(&frames),
+        };
+        let plan = o2o_sim::FaultPlan::uniform(fault_seed, rate);
+        let report = Simulator::new(SimConfig::default())
+            .with_parallelism(Parallelism::fixed(threads))
+            .with_fault_plan(plan)
+            .run(&trace, &mut p);
+
+        prop_assert_eq!(
+            trace.requests.len() as u64,
+            report.served as u64
+                + report.unserved_at_end as u64
+                + report.faults.request_cancellations
+                + report.faults.mid_dispatch_cancellations,
+            "request ledger must balance"
+        );
+        prop_assert!(report.degradations.is_empty(), "unlimited budget never degrades");
+
+        let checker = NonSharingDispatcher::new(Euclidean, params);
+        for f in frames.borrow().iter() {
+            prop_assert!(
+                checker.is_stable_assignment(&f.idle, &f.pending, &f.pairs),
+                "frame output must be stable on the surviving passengers/drivers"
+            );
+        }
+        prop_assert!(!frames.borrow().is_empty(), "some frames dispatched");
+    }
+
+    /// Finite budgets on top of faults: the ladder may step down (greedy
+    /// output is not stable, so no stability assert here), but the run
+    /// still completes, never panics, and the ledger still balances.
+    #[test]
+    fn chaos_run_survives_finite_budgets(
+        trace_seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        rate in 0.0f64..0.3,
+        deadline_us in 0u64..2000,
+    ) {
+        use o2o_core::TimeBudgetSpec;
+        let trace = boston_september_2012(0.001).generate(trace_seed);
+        let params = PreferenceParams::default();
+        let mut p = policy::nstd_t(Euclidean, params);
+        let cfg = SimConfig {
+            frame_budget: TimeBudgetSpec::default()
+                .with_deadline(std::time::Duration::from_micros(deadline_us)),
+            ..SimConfig::default()
+        };
+        let report = Simulator::new(cfg)
+            .with_fault_plan(o2o_sim::FaultPlan::uniform(fault_seed, rate))
+            .run(&trace, &mut p);
+        prop_assert_eq!(
+            trace.requests.len() as u64,
+            report.served as u64
+                + report.unserved_at_end as u64
+                + report.faults.request_cancellations
+                + report.faults.mid_dispatch_cancellations
+        );
+        // Every recorded degradation names a real ladder step.
+        for e in &report.degradations {
+            prop_assert!(e.degraded.from != e.degraded.to);
+        }
+    }
+}
+
+/// A zero-fault plan and an unlimited budget leave the engine on the
+/// exact code path of a plain run: outputs are bit-identical.
+#[test]
+fn zero_fault_unlimited_budget_run_is_bit_identical_to_plain() {
+    let trace = boston_september_2012(0.002).generate(17);
+    let params = PreferenceParams::default();
+    let mut plain = policy::nstd_t(Euclidean, params);
+    let mut guarded = policy::nstd_t(Euclidean, params);
+    let a = Simulator::new(SimConfig::default()).run(&trace, &mut plain);
+    let b = Simulator::new(SimConfig::default())
+        .with_fault_plan(o2o_sim::FaultPlan::none(123))
+        .run(&trace, &mut guarded);
+    assert_eq!(a.delays_min, b.delays_min);
+    assert_eq!(a.passenger_dissatisfaction, b.passenger_dissatisfaction);
+    assert_eq!(a.taxi_dissatisfaction, b.taxi_dissatisfaction);
+    assert_eq!(a.total_drive_km, b.total_drive_km);
+    assert_eq!(a.queue_by_frame, b.queue_by_frame);
+    assert_eq!(a.idle_by_frame, b.idle_by_frame);
+    assert_eq!(b.faults.total_injected(), 0);
+}

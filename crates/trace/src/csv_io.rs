@@ -55,7 +55,128 @@ impl From<std::io::Error> for CsvError {
     }
 }
 
+/// One rejected input row: where it was and why it was dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Human-readable rejection reason.
+    pub reason: String,
+}
+
+/// Rows set aside by [`read_requests_quarantined`] instead of aborting
+/// the import.
+///
+/// Real trace exports routinely contain a handful of corrupt rows
+/// (truncated lines, sensor NaNs, duplicated records from re-uploads).
+/// The quarantine keeps the import total-failure-free while preserving
+/// an auditable record of everything that was dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Every rejected row, in input order.
+    pub rows: Vec<QuarantinedRow>,
+}
+
+impl QuarantineReport {
+    /// Number of quarantined rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no row was quarantined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of rows rejected because their id was already seen.
+    #[must_use]
+    pub fn duplicates(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.reason.contains("duplicate"))
+            .count()
+    }
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} row(s) quarantined", self.rows.len())?;
+        for r in &self.rows {
+            writeln!(f, "  line {}: {}", r.line, r.reason)?;
+        }
+        Ok(())
+    }
+}
+
 const HEADER: &str = "id,time,pickup_x,pickup_y,dropoff_x,dropoff_y,passengers";
+
+/// Parses one non-empty, non-header CSV row into a [`Request`].
+fn parse_row(line_no: usize, trimmed: &str) -> Result<Request, CsvError> {
+    let fields: Vec<&str> = trimmed.split(',').collect();
+    if fields.len() != 7 {
+        return Err(CsvError::Parse {
+            line: line_no,
+            message: format!("expected 7 fields, got {}", fields.len()),
+        });
+    }
+    let parse_f = |s: &str, name: &str| -> Result<f64, CsvError> {
+        s.trim().parse::<f64>().map_err(|e| CsvError::Parse {
+            line: line_no,
+            message: format!("bad {name} {s:?}: {e}"),
+        })
+    };
+    let id = fields[0]
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| CsvError::Parse {
+            line: line_no,
+            message: format!("bad id {:?}: {e}", fields[0]),
+        })?;
+    let time = fields[1]
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| CsvError::Parse {
+            line: line_no,
+            message: format!("bad time {:?}: {e}", fields[1]),
+        })?;
+    let px = parse_f(fields[2], "pickup_x")?;
+    let py = parse_f(fields[3], "pickup_y")?;
+    let dx = parse_f(fields[4], "dropoff_x")?;
+    let dy = parse_f(fields[5], "dropoff_y")?;
+    let passengers = fields[6]
+        .trim()
+        .parse::<u8>()
+        .map_err(|e| CsvError::Parse {
+            line: line_no,
+            message: format!("bad passengers {:?}: {e}", fields[6]),
+        })?;
+    if passengers == 0 {
+        return Err(CsvError::Parse {
+            line: line_no,
+            message: "passengers must be at least 1".into(),
+        });
+    }
+    if !(px.is_finite() && py.is_finite() && dx.is_finite() && dy.is_finite()) {
+        return Err(CsvError::Parse {
+            line: line_no,
+            message: "non-finite coordinate".into(),
+        });
+    }
+    Ok(Request {
+        id: RequestId(id),
+        time,
+        pickup: Point::new(px, py),
+        dropoff: Point::new(dx, dy),
+        passengers,
+    })
+}
+
+/// True for rows the readers skip without parsing.
+fn skip_row(idx: usize, trimmed: &str) -> bool {
+    trimmed.is_empty() || (idx == 0 && trimmed.starts_with("id,"))
+}
 
 /// Writes `requests` in the trace CSV format.
 ///
@@ -77,82 +198,81 @@ pub fn write_requests<W: Write>(mut w: W, requests: &[Request]) -> std::io::Resu
 /// Reads requests from the trace CSV format. A header line is optional.
 ///
 /// Rows need not be time-sorted in the file; the result is sorted by
-/// `(time, id)`.
+/// `(time, id)`. For dirty real-world exports that should load anyway,
+/// use [`read_requests_quarantined`].
 ///
 /// # Errors
 ///
-/// Returns [`CsvError::Parse`] on a malformed row and [`CsvError::Io`] on
-/// read failure.
+/// Returns [`CsvError::Parse`] on a malformed or duplicate-id row and
+/// [`CsvError::Io`] on read failure.
 pub fn read_requests<R: Read>(r: R) -> Result<Vec<Request>, CsvError> {
     let reader = BufReader::new(r);
     let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let line_no = idx + 1;
         let trimmed = line.trim();
-        if trimmed.is_empty() || (idx == 0 && trimmed.starts_with("id,")) {
+        if skip_row(idx, trimmed) {
             continue;
         }
-        let fields: Vec<&str> = trimmed.split(',').collect();
-        if fields.len() != 7 {
+        let req = parse_row(line_no, trimmed)?;
+        if !seen.insert(req.id) {
             return Err(CsvError::Parse {
                 line: line_no,
-                message: format!("expected 7 fields, got {}", fields.len()),
+                message: format!("duplicate request id {}", req.id.0),
             });
         }
-        let parse_f = |s: &str, name: &str| -> Result<f64, CsvError> {
-            s.trim().parse::<f64>().map_err(|e| CsvError::Parse {
-                line: line_no,
-                message: format!("bad {name} {s:?}: {e}"),
-            })
-        };
-        let id = fields[0]
-            .trim()
-            .parse::<u64>()
-            .map_err(|e| CsvError::Parse {
-                line: line_no,
-                message: format!("bad id {:?}: {e}", fields[0]),
-            })?;
-        let time = fields[1]
-            .trim()
-            .parse::<u64>()
-            .map_err(|e| CsvError::Parse {
-                line: line_no,
-                message: format!("bad time {:?}: {e}", fields[1]),
-            })?;
-        let px = parse_f(fields[2], "pickup_x")?;
-        let py = parse_f(fields[3], "pickup_y")?;
-        let dx = parse_f(fields[4], "dropoff_x")?;
-        let dy = parse_f(fields[5], "dropoff_y")?;
-        let passengers = fields[6]
-            .trim()
-            .parse::<u8>()
-            .map_err(|e| CsvError::Parse {
-                line: line_no,
-                message: format!("bad passengers {:?}: {e}", fields[6]),
-            })?;
-        if passengers == 0 {
-            return Err(CsvError::Parse {
-                line: line_no,
-                message: "passengers must be at least 1".into(),
-            });
-        }
-        if !(px.is_finite() && py.is_finite() && dx.is_finite() && dy.is_finite()) {
-            return Err(CsvError::Parse {
-                line: line_no,
-                message: "non-finite coordinate".into(),
-            });
-        }
-        out.push(Request {
-            id: RequestId(id),
-            time,
-            pickup: Point::new(px, py),
-            dropoff: Point::new(dx, dy),
-            passengers,
-        });
+        out.push(req);
     }
     out.sort_by_key(|r| (r.time, r.id));
     Ok(out)
+}
+
+/// Reads requests like [`read_requests`], but quarantines bad rows
+/// instead of failing the whole import.
+///
+/// Malformed rows (wrong field count, unparsable numbers, zero
+/// passengers, non-finite coordinates) and rows whose request id was
+/// already seen are collected into the returned [`QuarantineReport`]
+/// with their 1-based line number and rejection reason; every clean row
+/// is kept. The surviving requests are sorted by `(time, id)`.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Io`] on read failure — only I/O aborts the
+/// import; parse trouble never does.
+pub fn read_requests_quarantined<R: Read>(
+    r: R,
+) -> Result<(Vec<Request>, QuarantineReport), CsvError> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    let mut report = QuarantineReport::default();
+    let mut seen = std::collections::HashSet::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if skip_row(idx, trimmed) {
+            continue;
+        }
+        match parse_row(line_no, trimmed) {
+            Ok(req) if !seen.insert(req.id) => report.rows.push(QuarantinedRow {
+                line: line_no,
+                reason: format!("duplicate request id {}", req.id.0),
+            }),
+            Ok(req) => out.push(req),
+            Err(CsvError::Parse { line, message }) => {
+                report.rows.push(QuarantinedRow {
+                    line,
+                    reason: message,
+                });
+            }
+            Err(e @ CsvError::Io(_)) => return Err(e),
+        }
+    }
+    out.sort_by_key(|r| (r.time, r.id));
+    Ok((out, report))
 }
 
 #[cfg(test)]
@@ -223,5 +343,55 @@ mod tests {
     fn non_finite_rejected() {
         let err = read_requests("0,1,inf,0,1,1,1\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let csv = "0,1,0,0,1,1,1\n0,2,0,0,1,1,1\n";
+        let err = read_requests(csv.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("duplicate request id 0"), "{msg}");
+    }
+
+    #[test]
+    fn quarantine_keeps_clean_rows_and_records_bad_ones() {
+        let csv = format!(
+            "{HEADER}\n\
+             0,100,0,0,1,1,1\n\
+             1,200,zzz,0,1,1,1\n\
+             0,300,0,0,1,1,1\n\
+             2,50,0,0,1,1,0\n\
+             3,400,nan,0,1,1,1\n\
+             4,150,0,0,1,1,2\n"
+        );
+        let (reqs, report) = read_requests_quarantined(csv.as_bytes()).unwrap();
+        assert_eq!(
+            reqs.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![RequestId(0), RequestId(4)],
+            "survivors sorted by (time, id)"
+        );
+        assert_eq!(report.len(), 4);
+        assert_eq!(report.duplicates(), 1);
+        assert_eq!(report.rows[0].line, 3);
+        assert!(report.rows[0].reason.contains("pickup_x"));
+        assert_eq!(report.rows[1].line, 4);
+        assert!(report.rows[1].reason.contains("duplicate request id 0"));
+        assert!(report.rows[2].reason.contains("at least 1"));
+        assert!(report.rows[3].reason.contains("non-finite"));
+        let shown = report.to_string();
+        assert!(shown.contains("4 row(s) quarantined"), "{shown}");
+        assert!(shown.contains("line 3"), "{shown}");
+    }
+
+    #[test]
+    fn quarantine_is_empty_on_clean_input() {
+        let trace = boston_september_2012(0.002).generate(9);
+        let mut buf = Vec::new();
+        write_requests(&mut buf, &trace.requests).unwrap();
+        let (reqs, report) = read_requests_quarantined(buf.as_slice()).unwrap();
+        let strict = read_requests(buf.as_slice()).unwrap();
+        assert!(report.is_empty());
+        assert_eq!(reqs, strict, "quarantined reader matches the strict one");
     }
 }

@@ -33,6 +33,7 @@ mod stats;
 pub mod synthetic;
 mod taxi;
 
+pub use csv_io::{QuarantineReport, QuarantinedRow};
 pub use diurnal::DiurnalProfile;
 pub use request::{Request, RequestId};
 pub use stats::TraceStats;
