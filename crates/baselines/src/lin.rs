@@ -11,6 +11,7 @@
 use crate::util::{best_compliant_route, fits, group_assignment};
 use o2o_core::{PreferenceParams, SharingConfig, SharingDispatcher, SharingSchedule};
 use o2o_geo::Metric;
+use o2o_obs as obs;
 use o2o_trace::{Request, Taxi};
 
 /// The Lin (ILP-heuristic) sharing baseline; see the module docs.
@@ -84,6 +85,7 @@ impl<M: Metric> LinDispatcher<M> {
         requests: &[Request],
         grid: Option<&o2o_geo::GridIndex<usize>>,
     ) -> SharingSchedule {
+        let _span = obs::span("insertion_scan");
         if let Some(g) = grid {
             debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
         }

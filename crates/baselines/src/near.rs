@@ -3,6 +3,7 @@
 use crate::util::schedule_from_pairs;
 use o2o_core::{PreferenceParams, Schedule};
 use o2o_geo::{BBox, GridIndex, Metric};
+use o2o_obs as obs;
 use o2o_trace::{Request, Taxi};
 
 /// Greedy baseline: each request (in arrival order) takes the nearest
@@ -65,6 +66,7 @@ impl<M: Metric> NearDispatcher<M> {
         requests: &[Request],
         grid: Option<&GridIndex<usize>>,
     ) -> Schedule {
+        let _span = obs::span("greedy_scan");
         let mut pairs = Vec::new();
         if !taxis.is_empty() {
             let mut idx = match grid {

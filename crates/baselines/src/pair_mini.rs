@@ -6,6 +6,7 @@ use o2o_core::{PreferenceParams, Schedule};
 use o2o_geo::Metric;
 use o2o_matching::hungarian::CostMatrix;
 use o2o_matching::{bottleneck_assignment, min_cost_assignment};
+use o2o_obs as obs;
 use o2o_trace::{Request, Taxi};
 
 /// A cost large enough to never be chosen while other options exist; used
@@ -76,6 +77,7 @@ impl<M: Metric> PairDispatcher<M> {
         requests: &[Request],
         grid: Option<&o2o_geo::GridIndex<usize>>,
     ) -> Schedule {
+        let _span = obs::span("assignment_matching");
         if let Some(g) = grid {
             debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
         }
@@ -127,6 +129,7 @@ impl<M: Metric> MiniDispatcher<M> {
         requests: &[Request],
         grid: Option<&o2o_geo::GridIndex<usize>>,
     ) -> Schedule {
+        let _span = obs::span("assignment_matching");
         if let Some(g) = grid {
             debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
         }

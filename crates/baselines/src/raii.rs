@@ -13,6 +13,7 @@ use crate::util::{best_compliant_route, fits, group_assignment};
 use o2o_core::shared_route::MAX_GROUP_SIZE;
 use o2o_core::{PreferenceParams, SharingSchedule};
 use o2o_geo::{BBox, GridIndex, Metric};
+use o2o_obs as obs;
 use o2o_trace::{Request, Taxi};
 
 /// The RAII sharing baseline; see the module docs.
@@ -84,6 +85,7 @@ impl<M: Metric> RaiiDispatcher<M> {
         requests: &[Request],
         grid: Option<&GridIndex<usize>>,
     ) -> SharingSchedule {
+        let _span = obs::span("insertion_scan");
         if taxis.is_empty() || requests.is_empty() {
             return SharingSchedule {
                 assignments: Vec::new(),

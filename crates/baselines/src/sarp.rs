@@ -11,6 +11,7 @@ use crate::util::{fits, group_assignment};
 use o2o_core::shared_route::{RoutePlan, Stop, StopKind, MAX_GROUP_SIZE};
 use o2o_core::{PreferenceParams, SharingSchedule};
 use o2o_geo::{BBox, GridIndex, Metric, Point};
+use o2o_obs as obs;
 use o2o_trace::{Request, Taxi};
 
 /// The SARP sharing baseline; see the module docs.
@@ -169,6 +170,7 @@ impl<M: Metric> SarpDispatcher<M> {
         requests: &[Request],
         grid: Option<&GridIndex<usize>>,
     ) -> SharingSchedule {
+        let _span = obs::span("insertion_scan");
         if taxis.is_empty() || requests.is_empty() {
             return SharingSchedule {
                 assignments: Vec::new(),

@@ -1,0 +1,185 @@
+//! Observability overhead: instrumented vs disabled recorder.
+//!
+//! Runs the same trace through the NSTD-P pipeline under three recorder
+//! configurations:
+//!
+//! * **disabled** — [`Recorder::disabled`], the no-op handle; every
+//!   telemetry call short-circuits on a `None` branch;
+//! * **memory** — the engine's default collecting recorder (in-memory
+//!   `StageBreakdown`, no sinks);
+//! * **jsonl** — a recorder streaming every event to
+//!   `results/obs_events.jsonl` through a buffered [`JsonlSink`].
+//!
+//! The arms are first asserted **bit-identical** on every
+//! dispatch-facing report field — telemetry may never change results —
+//! and the enabled arms' per-frame stage self-times are checked against
+//! the frame wall-clock. Then the disabled and jsonl arms are timed
+//! interleaved (best-of-`REPS`) and the relative overhead of full
+//! instrumentation *with the event log enabled* is compared against a
+//! budget: `O2O_OBS_MAX_OVERHEAD_PCT` (default 3%), with a small
+//! absolute floor so reduced-scale CI runs, whose per-run wall-clock is
+//! a few milliseconds, do not flake on timer noise.
+//!
+//! Output: `results/BENCH_obs_overhead.json`.
+
+use o2o_bench::{bench_envelope, emit_bench_json, ExperimentOpts};
+use o2o_core::PreferenceParams;
+use o2o_geo::Euclidean;
+use o2o_par::Parallelism;
+use o2o_sim::{policy, JsonlSink, Recorder, SimConfig, SimReport, Simulator};
+use o2o_trace::Trace;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Interleaved timing repetitions per arm; best-of is reported. The
+/// bench is cheap (tens of ms per run at default scale), so a generous
+/// count keeps the min estimates stable on noisy shared runners.
+const REPS: usize = 9;
+/// Absolute slack (ms) under which the overhead check always passes.
+/// At reduced CI scales a full run takes single-digit milliseconds and
+/// a 3% relative budget would be far below timer resolution.
+const ABS_SLACK_MS: f64 = 5.0;
+
+/// The default relative overhead budget, in percent. Override with the
+/// `O2O_OBS_MAX_OVERHEAD_PCT` environment variable.
+const DEFAULT_MAX_OVERHEAD_PCT: f64 = 3.0;
+
+fn results_path(file: &str) -> PathBuf {
+    // crates/bench/ -> workspace root, as in `write_bench_json`.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("manifest dir has a workspace root");
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir.join(file)
+}
+
+fn run_arm(trace: &Trace, params: PreferenceParams, recorder: Recorder) -> SimReport {
+    let mut policy = policy::nstd_p(Euclidean, params);
+    Simulator::new(SimConfig::default())
+        .with_parallelism(Parallelism::sequential())
+        .with_recorder(recorder)
+        .run(trace, &mut policy)
+}
+
+/// Panics unless every dispatch-facing field of `b` matches `a`.
+fn assert_dispatch_identical(label: &str, a: &SimReport, b: &SimReport) {
+    let same = a.served == b.served
+        && a.unserved_at_end == b.unserved_at_end
+        && a.frames == b.frames
+        && a.delays_min == b.delays_min
+        && a.passenger_dissatisfaction == b.passenger_dissatisfaction
+        && a.taxi_dissatisfaction == b.taxi_dissatisfaction
+        && a.shared_requests == b.shared_requests
+        && a.total_drive_km == b.total_drive_km
+        && a.queue_by_frame == b.queue_by_frame
+        && a.idle_by_frame == b.idle_by_frame
+        && a.dispatch_errors == b.dispatch_errors;
+    assert!(same, "{label}: recorder changed dispatch results");
+}
+
+fn main() {
+    let opts = ExperimentOpts::from_args(0.02);
+    let trace = o2o_trace::boston_september_2012(opts.scale).generate(opts.seed);
+    let params = opts.params;
+    let events_path = results_path("obs_events.jsonl");
+
+    // Correctness before timing: all three configurations must agree on
+    // every dispatch-facing field, and the enabled arms' telemetry must
+    // be internally consistent.
+    let disabled = run_arm(&trace, params, Recorder::disabled());
+    let memory = run_arm(&trace, params, Recorder::new());
+    let sink = JsonlSink::create(&events_path).expect("create JSONL event log");
+    let jsonl = run_arm(&trace, params, Recorder::with_sink(Box::new(sink)));
+
+    assert_dispatch_identical("memory", &disabled, &memory);
+    assert_dispatch_identical("jsonl", &disabled, &jsonl);
+    assert!(disabled.stage_breakdown.is_empty());
+    assert!(!jsonl.stage_breakdown.is_empty());
+    for fs in &jsonl.stage_breakdown.frames {
+        let total = fs.total_stage_ms();
+        assert!(
+            total <= fs.wall_ms * 1.01 + 0.5,
+            "frame {}: stage self-times {total} ms exceed wall {} ms",
+            fs.frame,
+            fs.wall_ms
+        );
+    }
+
+    // Timing: disabled vs in-memory collection vs the fully
+    // instrumented arm (JSONL streaming), interleaved so machine noise
+    // hits all arms alike. Each rep rewrites the event log, so the file
+    // on disk stays a single run's worth.
+    let mut dis_ms = Vec::with_capacity(REPS);
+    let mut mem_ms = Vec::with_capacity(REPS);
+    let mut jsonl_ms = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        std::hint::black_box(run_arm(&trace, params, Recorder::disabled()));
+        dis_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+        let t = Instant::now();
+        std::hint::black_box(run_arm(&trace, params, Recorder::new()));
+        mem_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+        let sink = JsonlSink::create(&events_path).expect("create JSONL event log");
+        let t = Instant::now();
+        std::hint::black_box(run_arm(&trace, params, Recorder::with_sink(Box::new(sink))));
+        jsonl_ms.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let best = |s: &[f64]| s.iter().copied().fold(f64::INFINITY, f64::min);
+    let (dis_best, mem_best, jsonl_best) = (best(&dis_ms), best(&mem_ms), best(&jsonl_ms));
+    let overhead_ms = jsonl_best - dis_best;
+    let overhead_pct = overhead_ms / dis_best * 100.0;
+    let mem_overhead_pct = (mem_best - dis_best) / dis_best * 100.0;
+
+    let threshold_pct = std::env::var("O2O_OBS_MAX_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(DEFAULT_MAX_OVERHEAD_PCT);
+    let within_budget = overhead_pct <= threshold_pct || overhead_ms <= ABS_SLACK_MS;
+    assert!(
+        within_budget,
+        "observability overhead {overhead_pct:.2}% ({overhead_ms:.2} ms) exceeds \
+         budget {threshold_pct}% and absolute slack {ABS_SLACK_MS} ms"
+    );
+
+    let frames_recorded = jsonl.stage_breakdown.frames.len();
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "frames", "disabled_ms", "memory_ms", "jsonl_ms", "overhead", "budget"
+    );
+    println!(
+        "{frames_recorded:>10} {dis_best:>12.2} {mem_best:>12.2} {jsonl_best:>12.2} \
+         {overhead_pct:>9.2}% {threshold_pct:>7}%",
+    );
+    println!("event log: {}", events_path.display());
+
+    emit_bench_json(
+        "obs_overhead",
+        &bench_envelope(
+            "obs_overhead",
+            &opts,
+            vec![
+                ("runs", REPS.into()),
+                ("frames_recorded", frames_recorded.into()),
+                ("best_disabled_ms", dis_best.into()),
+                ("best_memory_ms", mem_best.into()),
+                ("best_jsonl_ms", jsonl_best.into()),
+                ("overhead_ms", overhead_ms.into()),
+                ("overhead_pct", overhead_pct.into()),
+                ("memory_overhead_pct", mem_overhead_pct.into()),
+                ("threshold_pct", threshold_pct.into()),
+                ("abs_slack_ms", ABS_SLACK_MS.into()),
+                ("within_budget", within_budget.into()),
+                ("dispatch_identical", true.into()),
+                (
+                    "stage_breakdown",
+                    o2o_bench::stage_breakdown_json(&jsonl.stage_breakdown),
+                ),
+                ("events_jsonl", events_path.display().to_string().into()),
+            ],
+        ),
+    );
+}

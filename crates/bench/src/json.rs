@@ -206,6 +206,37 @@ pub fn policy_json(r: &SimReport) -> Json {
         ("total_cache_hits", r.total_cache_hits().into()),
         ("total_cache_misses", r.total_cache_misses().into()),
         ("cache_hit_rate", r.cache_hit_rate().into()),
+        ("stage_breakdown", stage_breakdown_json(&r.stage_breakdown)),
+    ])
+}
+
+/// Aggregate view of a run's [`StageBreakdown`]: per-stage total
+/// self-time and per-counter totals across every dispatched frame (the
+/// per-frame series stays in the report; JSON carries the aggregate so
+/// files stay small at full scale).
+#[must_use]
+pub fn stage_breakdown_json(b: &o2o_obs::StageBreakdown) -> Json {
+    Json::obj(vec![
+        ("frames_recorded", b.frames.len().into()),
+        ("total_self_ms", b.total_self_ms().into()),
+        (
+            "stage_totals_ms",
+            Json::Obj(
+                b.stage_totals()
+                    .into_iter()
+                    .map(|(name, ms)| (name, Json::from(ms)))
+                    .collect(),
+            ),
+        ),
+        (
+            "counter_totals",
+            Json::Obj(
+                b.counter_totals()
+                    .into_iter()
+                    .map(|(name, v)| (name, Json::from(v)))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -348,5 +379,11 @@ mod tests {
         assert!(reports[0].total_cache_misses() > 0);
         let s = policy_json(&reports[0]).to_string();
         assert!(s.contains("\"total_cache_misses\""));
+        // The stage breakdown rides along: aggregate self-times per
+        // pipeline stage plus counter totals.
+        assert!(s.contains("\"stage_breakdown\""));
+        assert!(s.contains("\"stage_totals_ms\""));
+        assert!(s.contains("\"policy_dispatch\""));
+        assert!(s.contains("\"cache.misses\""));
     }
 }

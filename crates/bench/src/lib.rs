@@ -20,7 +20,8 @@ use o2o_trace::Trace;
 
 pub mod json;
 pub use json::{
-    bench_envelope, emit_bench_json, emit_policies_json, policy_json, write_bench_json, Json,
+    bench_envelope, emit_bench_json, emit_policies_json, policy_json, stage_breakdown_json,
+    write_bench_json, Json,
 };
 
 /// Common command-line options of the figure binaries.

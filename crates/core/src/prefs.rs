@@ -16,6 +16,7 @@
 use crate::PreferenceParams;
 use o2o_geo::{heuristic_cell_size, BBox, GridIndex, Metric, Point};
 use o2o_matching::StableInstance;
+use o2o_obs as obs;
 use o2o_par::{par_map, try_par_map, Parallelism, WorkerPanic};
 use o2o_trace::{Request, RequestId, Taxi, TaxiId};
 use std::collections::HashMap;
@@ -165,6 +166,7 @@ impl PreferenceModel {
         par: Parallelism,
         pickup_distances: Option<&PickupDistances>,
     ) -> Self {
+        let _span = obs::span("preference_build");
         params.validate().expect("invalid preference parameters");
         let n_r = requests.len();
         let n_t = taxis.len();
@@ -282,6 +284,7 @@ impl PreferenceModel {
 /// ring lower bounds remain valid).
 #[must_use]
 pub fn build_taxi_grid(taxis: &[Taxi]) -> GridIndex<usize> {
+    let _span = obs::span("grid_build");
     let bbox = BBox::from_points(taxis.iter().map(|t| t.location))
         .unwrap_or_else(|| BBox::square(Point::ORIGIN, 1.0));
     GridIndex::bulk_build(
@@ -693,6 +696,7 @@ impl SparsePreferenceModel {
         par: Parallelism,
         taxi_grid: Option<&GridIndex<usize>>,
     ) -> Self {
+        let _span = obs::span("preference_build");
         params.validate().expect("invalid preference parameters");
         let owned;
         let grid = match taxi_grid {
@@ -724,6 +728,7 @@ impl SparsePreferenceModel {
         taxi_grid: Option<&GridIndex<usize>>,
         carry: &mut CandidateCarry,
     ) -> Self {
+        let _span = obs::span("preference_build");
         params.validate().expect("invalid preference parameters");
         let owned;
         let grid = match taxi_grid {

@@ -19,6 +19,7 @@ use crate::shared_route::{routes_by_first_pickup, RoutePlan};
 use crate::{PreferenceParams, Schedule};
 use o2o_geo::Metric;
 use o2o_matching::{Matching, SetPacking, SetPackingStrategy, StableInstance};
+use o2o_obs as obs;
 use o2o_par::{par_map, par_map_indexed, Parallelism};
 use o2o_trace::{Request, RequestId, Taxi, TaxiId};
 
@@ -304,6 +305,7 @@ impl<M: Metric> SharingDispatcher<M> {
     /// without losing any feasible pair.
     #[must_use]
     pub fn feasible_groups(&self, requests: &[Request]) -> Vec<Vec<usize>> {
+        let _span = obs::span("feasible_groups");
         let n = requests.len();
         let mut out = Vec::new();
         if self.config.max_group_size < 2 || n < 2 {
@@ -438,7 +440,10 @@ impl<M: Metric> SharingDispatcher<M> {
     /// once.
     #[must_use]
     pub fn pack(&self, requests: &[Request]) -> Vec<Vec<usize>> {
-        let mut candidates = self.feasible_groups(requests);
+        let candidates = self.feasible_groups(requests);
+        let _span = obs::span("set_packing");
+        obs::add("sharing.feasible_groups", candidates.len() as u64);
+        let mut candidates = candidates;
         // Quality-aware ordering: the greedy packer (and the local search
         // seeded from it) prefers smaller sets first and breaks ties by
         // position, so sorting by canonical route length per member makes
@@ -583,7 +588,9 @@ impl<M: Metric> SharingDispatcher<M> {
         }
         // Shared-route search per packed group, then the full
         // (group × taxi) evaluation matrix — both row-parallel.
-        let groups: Vec<GroupData> = par_map(self.par, self.pack(requests), |members| {
+        let packed = self.pack(requests);
+        let _span = obs::span("sharing_evaluate");
+        let groups: Vec<GroupData> = par_map(self.par, packed, |members| {
             self.group_data(requests, members)
         });
         let groups_ref = &groups;
@@ -594,6 +601,7 @@ impl<M: Metric> SharingDispatcher<M> {
                     .map(|t| self.evaluate(&groups_ref[gi], t))
                     .collect()
             });
+        drop(_span);
         let fits = |g: &GroupData, t: &Taxi| g.total_passengers <= u16::from(t.seats);
 
         let group_lists: Vec<Vec<usize>> = groups

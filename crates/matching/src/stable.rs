@@ -32,6 +32,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::budget::TimeBudget;
+use o2o_obs as obs;
 
 /// Errors from constructing a [`StableInstance`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -400,6 +401,7 @@ impl StableInstance {
     /// partners (Theorem 1). Runs in `O(|R|·|T|)`.
     #[must_use]
     pub fn propose(&self) -> Matching {
+        let _span = obs::span("deferred_acceptance");
         let mut m = Matching::empty(self.proposers(), self.reviewers());
         let mut next = vec![0usize; self.proposers()];
         // Stack of proposers that still need to propose.
@@ -415,14 +417,20 @@ impl StableInstance {
     /// cursors advanced) drive this same loop, so the two paths cannot
     /// diverge in proposal semantics.
     fn run_proposals(&self, m: &mut Matching, next: &mut [usize], free: &mut Vec<usize>) {
+        // Proposal/rejection dynamics are batched in locals and flushed
+        // once: the loop body stays counter-free for the disabled case.
+        let mut proposals = 0u64;
+        let mut rejections = 0u64;
         while let Some(p) = free.pop() {
             // Propose down p's list from its cursor.
             // Runs down p's list from its cursor; falling off the end
             // means p matches its dummy (unserved).
             while let Some(&r) = self.proposer_lists[p].get(next[p]) {
                 next[p] += 1;
+                proposals += 1;
                 let my_rank = self.rrank(r, p);
                 if my_rank == NOT_RANKED {
+                    rejections += 1;
                     continue; // r would rather stay undispatched
                 }
                 match m.reviewer_to_proposer[r] {
@@ -434,11 +442,19 @@ impl StableInstance {
                         if my_rank < self.rrank(r, held) {
                             m.link(p, r); // unlinks `held`
                             free.push(held);
+                            rejections += 1; // `held` is bumped back out
                             break;
                         }
+                        rejections += 1;
                     }
                 }
             }
+        }
+        if proposals > 0 {
+            obs::add_many(&[
+                ("match.proposals", proposals),
+                ("match.rejections", rejections),
+            ]);
         }
     }
 
@@ -472,6 +488,7 @@ impl StableInstance {
     /// and any stale or garbage pair is simply pruned here.
     #[must_use]
     pub fn valid_warm_seed(&self, seed: &[(usize, usize)]) -> Vec<(usize, usize)> {
+        let _span = obs::span("seed_prune");
         let np = self.proposers();
         let nr = self.reviewers();
         let mut p2r: Vec<Option<usize>> = vec![None; np];
@@ -590,7 +607,13 @@ impl StableInstance {
     /// The seed only controls how much proposal work is skipped.
     #[must_use]
     pub fn propose_seeded(&self, seed: &[(usize, usize)]) -> Matching {
+        let _span = obs::span("deferred_acceptance");
+        let seed_pairs_in = seed.len() as u64;
         let seed = self.valid_warm_seed(seed);
+        obs::add_many(&[
+            ("match.seed_pairs_in", seed_pairs_in),
+            ("match.seed_pairs_kept", seed.len() as u64),
+        ]);
         let mut m = Matching::empty(self.proposers(), self.reviewers());
         let mut next = vec![0usize; self.proposers()];
         for &(p, r) in &seed {
@@ -773,22 +796,33 @@ impl StableInstance {
     /// instances; `limit` caps how many are collected (`None` = no cap).
     #[must_use]
     pub fn enumerate_all(&self, limit: Option<usize>) -> Vec<Matching> {
+        let _span = obs::span("enumeration");
         let cap = limit.unwrap_or(usize::MAX).max(1);
         let s0 = self.propose();
         let mut out = Vec::new();
         out.push(s0.clone());
-        self.enumerate_rec(&s0, 0, cap, &mut out);
+        let mut nodes = 0u64;
+        self.enumerate_rec(&s0, 0, cap, &mut nodes, &mut out);
+        obs::add("match.break_dispatch_nodes", nodes);
         out
     }
 
-    fn enumerate_rec(&self, s: &Matching, j_min: usize, cap: usize, out: &mut Vec<Matching>) {
+    fn enumerate_rec(
+        &self,
+        s: &Matching,
+        j_min: usize,
+        cap: usize,
+        nodes: &mut u64,
+        out: &mut Vec<Matching>,
+    ) {
         for j in j_min..self.proposers() {
             if out.len() >= cap {
                 return;
             }
+            *nodes += 1;
             if let Some(next) = self.break_dispatch(s, j) {
                 out.push(next.clone());
-                self.enumerate_rec(&next, j, cap, out);
+                self.enumerate_rec(&next, j, cap, nodes, out);
             }
         }
     }
@@ -810,12 +844,14 @@ impl StableInstance {
     /// enumeration, never correctness of its elements.
     #[must_use]
     pub fn enumerate_budgeted(&self, limit: Option<usize>, budget: &TimeBudget) -> Enumeration {
+        let _span = obs::span("enumeration");
         let cap = limit.unwrap_or(usize::MAX).max(1);
         let s0 = self.propose();
         let mut out = Vec::new();
         out.push(s0.clone());
         let mut nodes = 0u64;
         let truncated = self.enumerate_budgeted_rec(&s0, 0, cap, budget, &mut nodes, &mut out);
+        obs::add("match.break_dispatch_nodes", nodes);
         Enumeration {
             matchings: out,
             nodes,
@@ -984,6 +1020,36 @@ mod tests {
             vec![vec![1, 2, 0], vec![2, 0, 1], vec![0, 1, 2]],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn proposal_dynamics_are_recorded_on_the_scoped_recorder() {
+        let inst = classic_3x3();
+        let rec = obs::Recorder::new();
+        let baseline = {
+            let _scope = obs::scope(&rec);
+            let m = inst.propose();
+            let all = inst.enumerate_all(None);
+            assert_eq!(all[0], m);
+            m
+        };
+        // Cold 3x3 deferred acceptance proposes at least once per proposer;
+        // the enumeration walks at least one BreakDispatch node per column.
+        assert!(rec.counter("match.proposals") >= 3);
+        assert!(rec.counter("match.break_dispatch_nodes") >= 3);
+
+        // Warm-start records seed-prune sizes, and the result (hence the
+        // recorded dynamics) is independent of the recorder being enabled.
+        let rec2 = obs::Recorder::new();
+        {
+            let _scope = obs::scope(&rec2);
+            let seeded = inst.propose_seeded(&baseline.pairs().collect::<Vec<_>>());
+            assert_eq!(seeded, baseline);
+        }
+        assert_eq!(rec2.counter("match.seed_pairs_in"), 3);
+        assert_eq!(rec2.counter("match.seed_pairs_kept"), 3);
+        // Outside any scope nothing is recorded and results are identical.
+        assert_eq!(inst.propose(), baseline);
     }
 
     #[test]

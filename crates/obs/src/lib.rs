@@ -1,0 +1,775 @@
+//! Structured observability for the dispatch pipeline.
+//!
+//! A self-contained (no external dependencies) tracing/metrics layer in
+//! the spirit of `tracing` + `metrics-rs`, sized for this workspace:
+//!
+//! * **hierarchical spans** with monotonic wall-clock timing and
+//!   *self-time* accounting (a span's total minus the totals of its
+//!   direct children), so per-frame stage breakdowns sum to at most the
+//!   frame's wall-clock;
+//! * **typed instruments** — monotonic counters, last-value gauges and
+//!   fixed-bucket histograms whose bucket edges are compile-time
+//!   constants, keeping summaries deterministic across runs;
+//! * **pluggable sinks** ([`EventSink`]) receiving every [`Event`]:
+//!   [`MemorySink`] for tests, [`JsonlSink`] for a machine-readable
+//!   event log, [`SummarySink`] for an end-of-run aggregate table;
+//! * **frames** — the simulator brackets each dispatch window with
+//!   [`Recorder::begin_frame`]/[`Recorder::end_frame`]; the latter
+//!   returns the frame's [`FrameStats`] (per-stage self-times and
+//!   per-counter deltas), which accumulate into a [`StageBreakdown`].
+//!
+//! # Zero-cost when disabled
+//!
+//! Every handle is a [`Recorder`]: a cloneable wrapper around
+//! `Option<Arc<…>>`. [`Recorder::disabled`] is a `const fn` producing
+//! the `None` variant; every recording method first checks that option
+//! and returns immediately, so a disabled recorder costs one branch per
+//! call site and allocates nothing. The pipeline's contract — enforced
+//! by property tests and a CI smoke run — is that enabling a recorder
+//! never changes dispatch *results*, only produces telemetry.
+//!
+//! # Reaching code that has no handle
+//!
+//! Deep pipeline stages (deferred acceptance, preference construction)
+//! would need a `Recorder` argument through many signatures. Instead the
+//! driving thread installs its recorder as the thread-local *current*
+//! recorder with [`scope`], and leaf code records through the free
+//! functions ([`span`], [`add`], [`add_many`], …) which consult the
+//! thread-local. Worker threads spawned by `o2o-par` do **not** inherit
+//! the scope: instrumentation belongs on the driving thread, outside
+//! parallel closures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sink;
+mod stats;
+
+pub use sink::{EventSink, JsonlSink, MemorySink, SummarySink};
+pub use stats::{FrameStats, Histogram, HistogramSnapshot, StageBreakdown, Summary};
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// One observability event, as delivered to every [`EventSink`].
+///
+/// Instrument names are `&'static str` by design: they form a closed,
+/// compile-time vocabulary (documented in `DESIGN.md`), which keeps
+/// recording allocation-free and event streams deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A simulator frame's dispatch window opened.
+    FrameStart {
+        /// Frame index (the simulator's 0-based frame counter).
+        frame: u64,
+    },
+    /// The frame's dispatch window closed.
+    FrameEnd {
+        /// Frame index.
+        frame: u64,
+        /// Wall-clock between `begin_frame` and `end_frame`.
+        wall_ms: f64,
+    },
+    /// A span opened.
+    SpanStart {
+        /// Unique (per recorder) span id.
+        id: u64,
+        /// Enclosing span's id, if any.
+        parent: Option<u64>,
+        /// Stage name.
+        name: &'static str,
+        /// Frame open at the time, if any.
+        frame: Option<u64>,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Span id (matches the corresponding [`Event::SpanStart`]).
+        id: u64,
+        /// Stage name.
+        name: &'static str,
+        /// Wall-clock from open to close.
+        total_ms: f64,
+        /// `total_ms` minus the total time of direct child spans.
+        self_ms: f64,
+        /// Frame open at the time, if any.
+        frame: Option<u64>,
+    },
+    /// A monotonic counter was incremented.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Increment applied.
+        delta: u64,
+        /// Cumulative value after the increment.
+        total: u64,
+        /// Frame open at the time, if any.
+        frame: Option<u64>,
+    },
+    /// A gauge was set.
+    Gauge {
+        /// Gauge name.
+        name: &'static str,
+        /// New value.
+        value: f64,
+        /// Frame open at the time, if any.
+        frame: Option<u64>,
+    },
+    /// A histogram observed a sample.
+    Histogram {
+        /// Histogram name.
+        name: &'static str,
+        /// Observed sample.
+        value: f64,
+        /// Index of the bucket the sample fell into (an index equal to
+        /// the number of edges is the overflow bucket).
+        bucket: usize,
+        /// Frame open at the time, if any.
+        frame: Option<u64>,
+    },
+}
+
+impl Event {
+    /// The frame the event was recorded in, if any.
+    #[must_use]
+    pub fn frame(&self) -> Option<u64> {
+        match self {
+            Event::FrameStart { frame } | Event::FrameEnd { frame, .. } => Some(*frame),
+            Event::SpanStart { frame, .. }
+            | Event::SpanEnd { frame, .. }
+            | Event::Counter { frame, .. }
+            | Event::Gauge { frame, .. }
+            | Event::Histogram { frame, .. } => *frame,
+        }
+    }
+}
+
+/// A span still on the recorder's stack.
+struct OpenSpan {
+    id: u64,
+    name: &'static str,
+    start: Instant,
+    /// Total wall-clock of already-closed direct children.
+    child_ms: f64,
+}
+
+/// A frame window opened by [`Recorder::begin_frame`].
+struct OpenFrame {
+    frame: u64,
+    start: Instant,
+    /// Self-time accumulated per stage name while this frame was open.
+    stage_self_ms: BTreeMap<&'static str, f64>,
+    /// Counter increments while this frame was open.
+    counter_deltas: BTreeMap<&'static str, u64>,
+}
+
+/// Shared state behind an enabled recorder.
+struct Inner {
+    sinks: Vec<Box<dyn EventSink + Send>>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    spans: Vec<OpenSpan>,
+    next_span_id: u64,
+    frame: Option<OpenFrame>,
+}
+
+impl Inner {
+    fn new(sinks: Vec<Box<dyn EventSink + Send>>) -> Self {
+        Inner {
+            sinks,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: Vec::new(),
+            next_span_id: 0,
+            frame: None,
+        }
+    }
+
+    fn emit(&mut self, event: &Event) {
+        for sink in &mut self.sinks {
+            sink.record(event);
+        }
+    }
+
+    fn current_frame(&self) -> Option<u64> {
+        self.frame.as_ref().map(|f| f.frame)
+    }
+}
+
+/// Handle to a recording pipeline — or to nothing at all.
+///
+/// Cloning is cheap (an `Arc` clone) and every clone feeds the same
+/// state, so one handle can be held by the simulator while another is
+/// installed as the thread-local current recorder. The disabled handle
+/// ([`Recorder::disabled`]) records nothing and costs one branch per
+/// call.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+/// The canonical disabled recorder behind [`Recorder::disabled_ref`].
+static DISABLED: Recorder = Recorder::disabled();
+
+impl Recorder {
+    /// A recorder that records nothing. `const`, allocation-free.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// A `'static` reference to the disabled recorder, for contexts that
+    /// hold `&Recorder` and need a default.
+    #[must_use]
+    pub fn disabled_ref() -> &'static Recorder {
+        &DISABLED
+    }
+
+    /// An enabled recorder with no sinks: counters, gauges, histograms,
+    /// span self-times and frame stats are collected in memory (readable
+    /// through [`Recorder::summary`] / [`Recorder::end_frame`]) but no
+    /// event stream is written anywhere.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_sinks(Vec::new())
+    }
+
+    /// An enabled recorder delivering every [`Event`] to `sink`.
+    #[must_use]
+    pub fn with_sink(sink: Box<dyn EventSink + Send>) -> Self {
+        Self::with_sinks(vec![sink])
+    }
+
+    /// An enabled recorder delivering every [`Event`] to all `sinks`,
+    /// in order.
+    #[must_use]
+    pub fn with_sinks(sinks: Vec<Box<dyn EventSink + Send>>) -> Self {
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(Inner::new(sinks)))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(inner: &Arc<Mutex<Inner>>) -> MutexGuard<'_, Inner> {
+        // A sink that panicked mid-event poisons the mutex; telemetry
+        // should degrade, not cascade the panic into dispatch.
+        inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Opens frame `frame`'s window. Stage self-times and counter deltas
+    /// recorded until the matching [`Recorder::end_frame`] are
+    /// attributed to it. Frames must not nest; opening a new frame while
+    /// one is open silently replaces it.
+    pub fn begin_frame(&self, frame: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = Self::lock(inner);
+        g.frame = Some(OpenFrame {
+            frame,
+            start: Instant::now(),
+            stage_self_ms: BTreeMap::new(),
+            counter_deltas: BTreeMap::new(),
+        });
+        let ev = Event::FrameStart { frame };
+        g.emit(&ev);
+    }
+
+    /// Closes the open frame window and returns its [`FrameStats`]
+    /// (stage self-times and counter deltas, both name-sorted). Returns
+    /// `None` when disabled or when no frame is open.
+    pub fn end_frame(&self) -> Option<FrameStats> {
+        let inner = self.inner.as_ref()?;
+        let mut g = Self::lock(inner);
+        let open = g.frame.take()?;
+        let wall_ms = ms_since(open.start);
+        let stats = FrameStats {
+            frame: open.frame,
+            wall_ms,
+            stages: open
+                .stage_self_ms
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            counters: open
+                .counter_deltas
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        };
+        let ev = Event::FrameEnd {
+            frame: stats.frame,
+            wall_ms,
+        };
+        g.emit(&ev);
+        Some(stats)
+    }
+
+    /// Opens a span named `name`, closed when the returned guard drops.
+    /// Spans nest: time spent in an inner span is excluded from the
+    /// outer span's self-time.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard {
+                rec: Recorder::disabled(),
+                id: 0,
+            };
+        };
+        let mut g = Self::lock(inner);
+        let id = g.next_span_id;
+        g.next_span_id += 1;
+        let parent = g.spans.last().map(|s| s.id);
+        let frame = g.current_frame();
+        g.spans.push(OpenSpan {
+            id,
+            name,
+            start: Instant::now(),
+            child_ms: 0.0,
+        });
+        let ev = Event::SpanStart {
+            id,
+            parent,
+            name,
+            frame,
+        };
+        g.emit(&ev);
+        SpanGuard {
+            rec: self.clone(),
+            id,
+        }
+    }
+
+    fn end_span(&self, id: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = Self::lock(inner);
+        // Guards drop in reverse open order on one thread, so the ended
+        // span is the top of the stack; tolerate (skip) anything else.
+        if g.spans.last().map(|s| s.id) != Some(id) {
+            return;
+        }
+        let span = g.spans.pop().expect("span stack top checked above");
+        let total_ms = ms_since(span.start);
+        let self_ms = (total_ms - span.child_ms).max(0.0);
+        if let Some(parent) = g.spans.last_mut() {
+            parent.child_ms += total_ms;
+        }
+        if let Some(frame) = g.frame.as_mut() {
+            *frame.stage_self_ms.entry(span.name).or_insert(0.0) += self_ms;
+        }
+        let frame = g.current_frame();
+        let ev = Event::SpanEnd {
+            id,
+            name: span.name,
+            total_ms,
+            self_ms,
+            frame,
+        };
+        g.emit(&ev);
+    }
+
+    /// Increments counter `name` by `delta`.
+    ///
+    /// A zero `delta` is a complete no-op: it neither creates the
+    /// counter nor emits an event. Hot loops can therefore flush
+    /// batched local tallies unconditionally without flooding sinks
+    /// with empty increments.
+    pub fn add(&self, name: &'static str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let Some(inner) = &self.inner else { return };
+        let mut g = Self::lock(inner);
+        let total = {
+            let c = g.counters.entry(name).or_insert(0);
+            *c += delta;
+            *c
+        };
+        if let Some(frame) = g.frame.as_mut() {
+            *frame.counter_deltas.entry(name).or_insert(0) += delta;
+        }
+        let frame = g.current_frame();
+        let ev = Event::Counter {
+            name,
+            delta,
+            total,
+            frame,
+        };
+        g.emit(&ev);
+    }
+
+    /// Increments several counters under one lock — the flush half of
+    /// the batch-in-locals pattern hot loops use. As with
+    /// [`Recorder::add`], zero deltas are skipped entirely.
+    pub fn add_many(&self, pairs: &[(&'static str, u64)]) {
+        if pairs.iter().all(|&(_, delta)| delta == 0) {
+            return;
+        }
+        let Some(inner) = &self.inner else { return };
+        let mut g = Self::lock(inner);
+        for &(name, delta) in pairs {
+            if delta == 0 {
+                continue;
+            }
+            let total = {
+                let c = g.counters.entry(name).or_insert(0);
+                *c += delta;
+                *c
+            };
+            if let Some(frame) = g.frame.as_mut() {
+                *frame.counter_deltas.entry(name).or_insert(0) += delta;
+            }
+            let frame = g.current_frame();
+            let ev = Event::Counter {
+                name,
+                delta,
+                total,
+                frame,
+            };
+            g.emit(&ev);
+        }
+    }
+
+    /// Sets gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = Self::lock(inner);
+        g.gauges.insert(name, value);
+        let frame = g.current_frame();
+        let ev = Event::Gauge { name, value, frame };
+        g.emit(&ev);
+    }
+
+    /// Records `value` into histogram `name` (fixed default bucket
+    /// edges, [`Histogram::DEFAULT_EDGES`]).
+    pub fn observe(&self, name: &'static str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = Self::lock(inner);
+        let bucket = g
+            .histograms
+            .entry(name)
+            .or_insert_with(Histogram::default)
+            .observe(value);
+        let frame = g.current_frame();
+        let ev = Event::Histogram {
+            name,
+            value,
+            bucket,
+            frame,
+        };
+        g.emit(&ev);
+    }
+
+    /// Cumulative value of counter `name` (0 when disabled or never
+    /// incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        let g = Self::lock(inner);
+        g.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters with their cumulative values, name-sorted.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let g = Self::lock(inner);
+        g.counters
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    /// End-of-run aggregate snapshot: counters, gauges and histogram
+    /// states, all name-sorted.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        let Some(inner) = &self.inner else {
+            return Summary::default();
+        };
+        let g = Self::lock(inner);
+        Summary {
+            counters: g
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            gauges: g.gauges.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.to_string(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Flushes every sink (e.g. buffered JSONL writers).
+    pub fn flush(&self) {
+        let Some(inner) = &self.inner else { return };
+        let mut g = Self::lock(inner);
+        for sink in &mut g.sinks {
+            sink.flush();
+        }
+    }
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// RAII guard closing a span when dropped. See [`Recorder::span`].
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard {
+    rec: Recorder,
+    id: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.rec.end_span(self.id);
+    }
+}
+
+impl fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpanGuard").field("id", &self.id).finish()
+    }
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+thread_local! {
+    static CURRENT: RefCell<Recorder> = const { RefCell::new(Recorder::disabled()) };
+}
+
+/// Installs `rec` as this thread's current recorder until the returned
+/// guard drops (the previous current recorder is then restored). The
+/// free functions ([`span`], [`add`], …) record through the current
+/// recorder; without a scope they are no-ops.
+#[must_use = "the scope lasts until the guard is dropped"]
+pub fn scope(rec: &Recorder) -> ScopeGuard {
+    let previous = CURRENT.with(|c| c.replace(rec.clone()));
+    ScopeGuard { previous }
+}
+
+/// Guard restoring the previously current recorder. See [`scope`].
+#[derive(Debug)]
+pub struct ScopeGuard {
+    previous: Recorder,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.replace(std::mem::replace(&mut self.previous, Recorder::disabled())));
+    }
+}
+
+/// A clone of this thread's current recorder (disabled if no [`scope`]
+/// is active).
+#[must_use]
+pub fn current() -> Recorder {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Opens a span on the current recorder. See [`Recorder::span`].
+pub fn span(name: &'static str) -> SpanGuard {
+    CURRENT.with(|c| c.borrow().span(name))
+}
+
+/// Increments a counter on the current recorder. See [`Recorder::add`].
+pub fn add(name: &'static str, delta: u64) {
+    CURRENT.with(|c| c.borrow().add(name, delta));
+}
+
+/// Increments several counters on the current recorder under one lock.
+/// See [`Recorder::add_many`].
+pub fn add_many(pairs: &[(&'static str, u64)]) {
+    CURRENT.with(|c| c.borrow().add_many(pairs));
+}
+
+/// Sets a gauge on the current recorder. See [`Recorder::gauge`].
+pub fn gauge(name: &'static str, value: f64) {
+    CURRENT.with(|c| c.borrow().gauge(name, value));
+}
+
+/// Records a histogram sample on the current recorder. See
+/// [`Recorder::observe`].
+pub fn observe(name: &'static str, value: f64) {
+    CURRENT.with(|c| c.borrow().observe(name, value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        rec.begin_frame(0);
+        let _s = rec.span("stage");
+        rec.add("c", 3);
+        rec.gauge("g", 1.0);
+        rec.observe("h", 2.0);
+        assert_eq!(rec.end_frame(), None);
+        assert_eq!(rec.counter("c"), 0);
+        assert!(rec.counters().is_empty());
+        assert_eq!(rec.summary(), Summary::default());
+    }
+
+    #[test]
+    fn counters_accumulate_and_split_per_frame() {
+        let rec = Recorder::new();
+        rec.begin_frame(0);
+        rec.add("c", 2);
+        rec.add_many(&[("c", 1), ("d", 5)]);
+        let f0 = rec.end_frame().unwrap();
+        rec.begin_frame(1);
+        rec.add("c", 10);
+        let f1 = rec.end_frame().unwrap();
+        assert_eq!(
+            f0.counters,
+            vec![("c".to_string(), 3), ("d".to_string(), 5)]
+        );
+        assert_eq!(f1.counters, vec![("c".to_string(), 10)]);
+        assert_eq!(rec.counter("c"), 13);
+        assert_eq!(rec.counter("d"), 5);
+        assert_eq!(rec.counter("missing"), 0);
+    }
+
+    #[test]
+    fn zero_deltas_are_complete_noops() {
+        let (sink, handle) = MemorySink::new();
+        let rec = Recorder::with_sink(Box::new(sink));
+        rec.add("c", 0);
+        rec.add_many(&[("c", 0), ("d", 0)]);
+        assert!(handle.is_empty(), "zero deltas emit no events");
+        assert!(rec.counters().is_empty(), "zero deltas create no counters");
+        rec.add_many(&[("c", 0), ("d", 2)]);
+        assert_eq!(handle.len(), 1, "only the non-zero delta is emitted");
+        assert_eq!(rec.counters(), vec![("d".to_string(), 2)]);
+    }
+
+    #[test]
+    fn span_self_time_excludes_children_and_sums_within_frame_wall() {
+        let rec = Recorder::new();
+        rec.begin_frame(7);
+        {
+            let _outer = rec.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = rec.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let fs = rec.end_frame().unwrap();
+        assert_eq!(fs.frame, 7);
+        let stages: std::collections::BTreeMap<_, _> = fs.stages.iter().cloned().collect();
+        assert!(stages["inner"] > 0.0);
+        assert!(stages["outer"] >= 0.0);
+        let total: f64 = fs.stages.iter().map(|(_, ms)| ms).sum();
+        assert!(
+            total <= fs.wall_ms * 1.01 + 0.1,
+            "stage self-times {total} must not exceed frame wall {}",
+            fs.wall_ms
+        );
+    }
+
+    #[test]
+    fn events_carry_parentage_and_frame() {
+        let (sink, handle) = MemorySink::new();
+        let rec = Recorder::with_sink(Box::new(sink));
+        rec.begin_frame(3);
+        {
+            let _a = rec.span("a");
+            let _b = rec.span("b");
+        }
+        rec.end_frame().unwrap();
+        let events = handle.events();
+        let starts: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanStart {
+                    id,
+                    parent,
+                    name,
+                    frame,
+                } => Some((*id, *parent, *name, *frame)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts.len(), 2);
+        assert_eq!(starts[0], (0, None, "a", Some(3)));
+        assert_eq!(starts[1], (1, Some(0), "b", Some(3)));
+        // Guards drop in reverse order: b closes before a.
+        let ends: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SpanEnd { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ends, vec![1, 0]);
+    }
+
+    #[test]
+    fn scope_restores_previous_recorder() {
+        let outer = Recorder::new();
+        let inner = Recorder::new();
+        {
+            let _o = scope(&outer);
+            add("c", 1);
+            {
+                let _i = scope(&inner);
+                add("c", 10);
+            }
+            add("c", 1);
+        }
+        add("c", 100); // no scope: dropped
+        assert_eq!(outer.counter("c"), 2);
+        assert_eq!(inner.counter("c"), 10);
+    }
+
+    #[test]
+    fn free_functions_without_scope_are_noops() {
+        let _s = span("stage");
+        add("c", 1);
+        add_many(&[("c", 1)]);
+        gauge("g", 1.0);
+        observe("h", 1.0);
+        assert!(!current().is_enabled());
+    }
+
+    #[test]
+    fn gauge_last_write_wins_and_histogram_buckets() {
+        let rec = Recorder::new();
+        rec.gauge("queue", 4.0);
+        rec.gauge("queue", 2.0);
+        rec.observe("ms", 0.3);
+        rec.observe("ms", 0.3);
+        rec.observe("ms", 1e9); // overflow bucket
+        let s = rec.summary();
+        assert_eq!(s.gauges, vec![("queue".to_string(), 2.0)]);
+        let (name, h) = &s.histograms[0];
+        assert_eq!(name, "ms");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.counts.iter().sum::<u64>(), 3);
+        assert_eq!(*h.counts.last().unwrap(), 1);
+    }
+}

@@ -1,0 +1,351 @@
+//! Aggregate data types: histograms, per-frame stats, stage breakdowns
+//! and the end-of-run summary.
+
+use std::fmt;
+
+/// A fixed-bucket histogram. Bucket edges are a compile-time constant
+/// ([`Histogram::DEFAULT_EDGES`], milliseconds-oriented), so two runs
+/// observing the same samples produce bit-identical summaries — there is
+/// no adaptive resizing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Upper bucket edges (inclusive), in observation units. A sample
+    /// lands in the first bucket whose edge is `>=` the sample; larger
+    /// samples land in the overflow bucket at index `DEFAULT_EDGES.len()`.
+    pub const DEFAULT_EDGES: [f64; 14] = [
+        0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 100.0, 1000.0, 10_000.0,
+    ];
+
+    /// An empty histogram over [`Histogram::DEFAULT_EDGES`].
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; Self::DEFAULT_EDGES.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records `value`; returns the index of the bucket it fell into.
+    /// Non-finite samples are counted in the overflow bucket.
+    pub fn observe(&mut self, value: f64) -> usize {
+        let bucket = Self::DEFAULT_EDGES
+            .iter()
+            .position(|&edge| value <= edge)
+            .unwrap_or(Self::DEFAULT_EDGES.len());
+        self.counts[bucket] += 1;
+        self.count += 1;
+        if value.is_finite() {
+            self.sum += value;
+        }
+        bucket
+    }
+
+    /// Total number of samples observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of finite samples (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Per-bucket sample counts; the last entry is the overflow bucket.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// An owned copy of the histogram state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            edges: Self::DEFAULT_EDGES.to_vec(),
+            counts: self.counts.clone(),
+            count: self.count,
+            sum: self.sum,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Owned snapshot of a [`Histogram`], as exported by summaries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Upper bucket edges (inclusive).
+    pub edges: Vec<f64>,
+    /// Per-bucket counts; one longer than `edges` (overflow bucket last).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of finite samples.
+    pub sum: f64,
+}
+
+/// What one simulator frame recorded: per-stage self-times and
+/// per-counter deltas, both name-sorted. Returned by
+/// [`Recorder::end_frame`](crate::Recorder::end_frame).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrameStats {
+    /// Frame index.
+    pub frame: u64,
+    /// Wall-clock of the frame's dispatch window, milliseconds.
+    pub wall_ms: f64,
+    /// `(stage name, self-time ms)` — total minus child-span time, so the
+    /// values sum to at most `wall_ms`.
+    pub stages: Vec<(String, f64)>,
+    /// `(counter name, increment during this frame)`.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl FrameStats {
+    /// This frame's increment of counter `name` (0 if absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map(|i| self.counters[i].1)
+            .unwrap_or(0)
+    }
+
+    /// This frame's self-time for stage `name` (0 if absent).
+    #[must_use]
+    pub fn stage_self_ms(&self, name: &str) -> f64 {
+        self.stages
+            .binary_search_by(|(k, _)| k.as_str().cmp(name))
+            .map(|i| self.stages[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// Sum of all stage self-times this frame.
+    #[must_use]
+    pub fn total_stage_ms(&self) -> f64 {
+        self.stages.iter().map(|(_, ms)| ms).sum()
+    }
+}
+
+/// Self-time per stage per frame over a whole run: the simulator pushes
+/// one [`FrameStats`] per dispatched frame. Attached to `SimReport` and
+/// exported into every `BENCH_*.json`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageBreakdown {
+    /// One entry per dispatched frame, in frame order.
+    pub frames: Vec<FrameStats>,
+}
+
+impl StageBreakdown {
+    /// An empty breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a frame's stats.
+    pub fn push(&mut self, stats: FrameStats) {
+        self.frames.push(stats);
+    }
+
+    /// Whether any frame was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total self-time per stage across all frames, name-sorted.
+    #[must_use]
+    pub fn stage_totals(&self) -> Vec<(String, f64)> {
+        let mut totals: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+        for fs in &self.frames {
+            for (name, ms) in &fs.stages {
+                *totals.entry(name).or_insert(0.0) += ms;
+            }
+        }
+        totals
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
+    /// Total increment per counter across all frames, name-sorted.
+    #[must_use]
+    pub fn counter_totals(&self) -> Vec<(String, u64)> {
+        let mut totals: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+        for fs in &self.frames {
+            for (name, delta) in &fs.counters {
+                *totals.entry(name).or_insert(0) += delta;
+            }
+        }
+        totals
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    }
+
+    /// Total increment of counter `name` across all frames.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.frames.iter().map(|fs| fs.counter(name)).sum()
+    }
+
+    /// Sum of all stage self-times across all frames.
+    #[must_use]
+    pub fn total_self_ms(&self) -> f64 {
+        self.frames.iter().map(FrameStats::total_stage_ms).sum()
+    }
+}
+
+/// End-of-run aggregate snapshot of a recorder's instruments. Formats as
+/// a readable table via [`fmt::Display`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summary {
+    /// `(name, cumulative value)`, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, last value)`, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)`, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<32} {value}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (name, value) in &self.gauges {
+                writeln!(f, "  {name:<32} {value}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (name, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {name:<32} count={} sum={:.3} mean={:.3}",
+                    h.count,
+                    h.sum,
+                    if h.count == 0 {
+                        0.0
+                    } else {
+                        h.sum / h.count as f64
+                    }
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_deterministic() {
+        let mut h = Histogram::new();
+        assert_eq!(h.observe(0.0005), 0);
+        assert_eq!(h.observe(0.001), 0); // inclusive upper edge
+        assert_eq!(h.observe(0.002), 1);
+        assert_eq!(h.observe(10_000.0), Histogram::DEFAULT_EDGES.len() - 1);
+        assert_eq!(h.observe(10_001.0), Histogram::DEFAULT_EDGES.len());
+        assert_eq!(h.observe(f64::NAN), Histogram::DEFAULT_EDGES.len());
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - 20001.0035).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_stats_lookups_use_sorted_order() {
+        let fs = FrameStats {
+            frame: 2,
+            wall_ms: 5.0,
+            stages: vec![("a".into(), 1.0), ("b".into(), 2.0)],
+            counters: vec![("x".into(), 3), ("y".into(), 4)],
+        };
+        assert_eq!(fs.counter("x"), 3);
+        assert_eq!(fs.counter("z"), 0);
+        assert_eq!(fs.stage_self_ms("b"), 2.0);
+        assert_eq!(fs.stage_self_ms("c"), 0.0);
+        assert_eq!(fs.total_stage_ms(), 3.0);
+    }
+
+    #[test]
+    fn breakdown_totals_aggregate_across_frames() {
+        let mut b = StageBreakdown::new();
+        assert!(b.is_empty());
+        b.push(FrameStats {
+            frame: 0,
+            wall_ms: 4.0,
+            stages: vec![("da".into(), 1.0), ("prefs".into(), 2.0)],
+            counters: vec![("cache.hits".into(), 2)],
+        });
+        b.push(FrameStats {
+            frame: 1,
+            wall_ms: 3.0,
+            stages: vec![("da".into(), 0.5)],
+            counters: vec![("cache.hits".into(), 1), ("cache.misses".into(), 7)],
+        });
+        assert_eq!(
+            b.stage_totals(),
+            vec![("da".to_string(), 1.5), ("prefs".to_string(), 2.0)]
+        );
+        assert_eq!(
+            b.counter_totals(),
+            vec![
+                ("cache.hits".to_string(), 3),
+                ("cache.misses".to_string(), 7)
+            ]
+        );
+        assert_eq!(b.counter_total("cache.hits"), 3);
+        assert_eq!(b.total_self_ms(), 3.5);
+    }
+
+    #[test]
+    fn summary_display_renders_every_section() {
+        let s = Summary {
+            counters: vec![("c".into(), 1)],
+            gauges: vec![("g".into(), 2.5)],
+            histograms: vec![(
+                "h".into(),
+                HistogramSnapshot {
+                    edges: vec![1.0],
+                    counts: vec![1, 0],
+                    count: 1,
+                    sum: 0.5,
+                },
+            )],
+        };
+        let text = s.to_string();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("mean=0.500"));
+    }
+}

@@ -8,6 +8,7 @@ use crate::policy::{DispatchPolicy, FrameContext, FrameDelta};
 use crate::report::SimReport;
 use o2o_core::{PickupDistances, TimeBudgetSpec};
 use o2o_geo::{heuristic_cell_size, BBox, Euclidean, IncrementalGrid, Metric, Point};
+use o2o_obs::{self as obs, Recorder};
 use o2o_par::Parallelism;
 use o2o_trace::{Request, RequestId, Taxi, TaxiId, Trace};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -98,6 +99,7 @@ pub struct Simulator {
     config: SimConfig,
     par: Parallelism,
     faults: Option<FaultPlan>,
+    recorder: Recorder,
 }
 
 impl Simulator {
@@ -116,6 +118,7 @@ impl Simulator {
             config,
             par: Parallelism::auto(),
             faults: None,
+            recorder: Recorder::new(),
         }
     }
 
@@ -146,6 +149,25 @@ impl Simulator {
     #[must_use]
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Replaces the run's [`Recorder`]. The default is an enabled,
+    /// sink-less recorder ([`Recorder::new`]), so
+    /// [`SimReport::stage_breakdown`] and the cache-effectiveness views
+    /// populate on every run without writing an event stream anywhere.
+    /// Pass [`Recorder::disabled`] to opt out of telemetry entirely, or
+    /// a sink-bearing recorder to stream the event log — dispatch
+    /// results are bit-identical in all three configurations.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The recorder the engine threads through every frame.
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The configuration in use.
@@ -243,8 +265,7 @@ impl Simulator {
             queue_by_frame: Vec::new(),
             idle_by_frame: Vec::new(),
             dispatch_ms_by_frame: Vec::new(),
-            cache_hits_by_frame: Vec::new(),
-            cache_misses_by_frame: Vec::new(),
+            stage_breakdown: o2o_obs::StageBreakdown::new(),
             faults: FaultCounters::default(),
             dispatch_errors: Vec::new(),
             degradations: Vec::new(),
@@ -253,6 +274,13 @@ impl Simulator {
             taxi_by_hour: [HourBucket::default(); 24],
         };
 
+        let recorder = &self.recorder;
+        // Injected-fault counter watermark: the `sim.faults_injected`
+        // counter is advanced by the per-frame delta of the cumulative
+        // fault tally (faults land on dispatched and skipped frames
+        // alike; skipped-frame injections attribute to the next
+        // dispatched frame, with any tail flushed after the loop).
+        let mut faults_seen = 0u64;
         let mut fault_state = self.faults.map(|plan| FaultState::new(plan, taxis.len()));
         // Every request id ever admitted, kept only on fault runs: the
         // admission screen rejects injected duplicates against it.
@@ -362,7 +390,6 @@ impl Simulator {
             }
 
             let mut dispatch_ms = 0.0;
-            let mut frame_cache = (0u64, 0u64);
             if !idle.is_empty() && !pending.is_empty() {
                 let batch_cap = self
                     .config
@@ -403,7 +430,13 @@ impl Simulator {
                 std::mem::swap(&mut prev_idle_ids, &mut cur_idle_ids);
                 std::mem::swap(&mut prev_batch_ids, &mut cur_batch_ids);
 
-                let stats_before = policy.cache_stats();
+                // Open the frame's telemetry window and install the
+                // recorder as this thread's current one, so pipeline
+                // stages without a handle (deferred acceptance,
+                // preference construction, the baselines' scans) record
+                // through the free functions in `o2o_obs`.
+                recorder.begin_frame(frame);
+                let _obs_scope = obs::scope(recorder);
                 let started = Instant::now();
                 // The frame's compute budget starts with the dispatch
                 // work, so precomputation time counts against a finite
@@ -422,6 +455,7 @@ impl Simulator {
                 // the requests stay pending and the next frame retries.
                 let mut precompute_failed = false;
                 let pickup = if policy.wants_pickup_distances() {
+                    let _span = obs::span("pickup_matrix");
                     match PickupDistances::try_compute(metric, &idle, &pending_vec, self.par) {
                         Ok(p) => Some(p),
                         Err(e) => {
@@ -432,6 +466,7 @@ impl Simulator {
                                     message: e.to_string(),
                                 });
                             report.faults.recovered_dispatch_errors += 1;
+                            recorder.add("sim.dispatch_errors", 1);
                             precompute_failed = true;
                             None
                         }
@@ -440,6 +475,7 @@ impl Simulator {
                     None
                 };
                 let grid = (!precompute_failed && policy.wants_taxi_grid()).then(|| {
+                    let _span = obs::span("grid_build");
                     desired.clear();
                     // Key the grid by fleet index but place each taxi at
                     // its *reported* position (identical to the true one
@@ -473,24 +509,19 @@ impl Simulator {
                 ctx.taxi_grid = grid.as_ref();
                 ctx.delta = Some(&delta);
                 ctx.budget = budget;
+                ctx.recorder = recorder;
                 let mut assignments = if precompute_failed {
                     Vec::new()
                 } else {
+                    let _span = obs::span("policy_dispatch");
                     policy.dispatch(&ctx)
                 };
                 dispatch_ms = started.elapsed().as_secs_f64() * 1e3;
                 if let Some(d) = policy.take_degradation() {
+                    recorder.add("sim.degradations", 1);
                     report
                         .degradations
                         .push(DegradationEvent { frame, degraded: d });
-                }
-                // The cache counters are cumulative across the run; the
-                // per-frame delta is this frame's cache effectiveness.
-                if let (Some(b), Some(a)) = (stats_before, policy.cache_stats()) {
-                    frame_cache = (
-                        a.hits.saturating_sub(b.hits),
-                        a.misses.saturating_sub(b.misses),
-                    );
                 }
 
                 // Mid-dispatch faults land between the policy's decision
@@ -550,6 +581,7 @@ impl Simulator {
                             frame,
                         });
                         report.faults.recovered_dispatch_errors += 1;
+                        recorder.add("sim.dispatch_errors", 1);
                         continue;
                     };
                     assert!(
@@ -572,6 +604,7 @@ impl Simulator {
                                     .dispatch_errors
                                     .push(DispatchError::RequestNotPending { request: m, frame });
                                 report.faults.recovered_dispatch_errors += 1;
+                                recorder.add("sim.dispatch_errors", 1);
                                 members_ok = false;
                                 break;
                             }
@@ -609,11 +642,21 @@ impl Simulator {
                     }
                 }
                 pending.retain(|&(r, _)| !served_ids.contains(&r.id));
+
+                recorder.observe("frame.dispatch_ms", dispatch_ms);
+                recorder.gauge("sim.queue_len", pending.len() as f64);
+                recorder.gauge("sim.idle_taxis", idle.len() as f64);
+                let faults_total = report.faults.total_injected();
+                if faults_total > faults_seen {
+                    recorder.add("sim.faults_injected", faults_total - faults_seen);
+                    faults_seen = faults_total;
+                }
+                if let Some(fs) = recorder.end_frame() {
+                    report.stage_breakdown.push(fs);
+                }
             }
 
             report.dispatch_ms_by_frame.push(dispatch_ms);
-            report.cache_hits_by_frame.push(frame_cache.0);
-            report.cache_misses_by_frame.push(frame_cache.1);
             report.queue_by_frame.push(pending.len() as u32);
             report
                 .idle_by_frame
@@ -627,6 +670,11 @@ impl Simulator {
                 break;
             }
         }
+        let faults_total = report.faults.total_injected();
+        if faults_total > faults_seen {
+            recorder.add("sim.faults_injected", faults_total - faults_seen);
+        }
+        recorder.flush();
         report.frames = frame;
         report.unserved_at_end += pending.len();
         report
@@ -785,11 +833,20 @@ mod tests {
             policy::StdPPolicy::from_dispatcher(o2o_core::SharingDispatcher::new(metric, params))
         });
         let report = Simulator::new(SimConfig::default()).run(&trace, &mut wrapped);
-        assert_eq!(report.cache_hits_by_frame.len(), report.frames as usize);
-        assert_eq!(report.cache_misses_by_frame.len(), report.frames as usize);
+        assert_eq!(
+            report.cache_hits_by_frame().len(),
+            report.frames as usize,
+            "derived view is dense over frames"
+        );
+        assert_eq!(report.cache_misses_by_frame().len(), report.frames as usize);
         assert!(
             report.total_cache_misses() > 0,
             "dispatch queried the metric"
+        );
+        assert_eq!(
+            report.cache_misses_by_frame().iter().sum::<u64>(),
+            report.total_cache_misses(),
+            "per-frame view sums to the run total"
         );
         // An uncached policy reports all-zero counters.
         let mut plain = policy::std_p(Euclidean, params);
@@ -842,7 +899,7 @@ mod tests {
                 .with_incremental_mode(o2o_core::IncrementalMode::Cold)
         });
         let report = Simulator::new(SimConfig::default()).run(&trace, &mut p);
-        let finals = p.cache_stats().expect("cached policy reports stats");
+        let finals = p.cache_stats();
         assert_eq!(report.total_cache_hits(), finals.hits);
         assert_eq!(report.total_cache_misses(), finals.misses);
         assert!(

@@ -27,6 +27,15 @@
 //! overrunning their frame, each step recorded as a
 //! [`DegradationEvent`].
 //!
+//! The engine is also observable: each dispatched frame is bracketed by
+//! a [`Recorder`] frame window, pipeline stages record spans and
+//! counters through it (see `o2o_obs`), and the per-frame stage
+//! self-times and counter deltas land in
+//! [`SimReport::stage_breakdown`]. The default recorder collects in
+//! memory only; [`Simulator::with_recorder`] accepts a sink-bearing one
+//! (e.g. JSONL event log) or [`Recorder::disabled`] — dispatch results
+//! are bit-identical in every configuration.
+//!
 //! # Examples
 //!
 //! ```
@@ -53,6 +62,7 @@ mod report;
 pub use engine::{SimConfig, Simulator};
 pub use fault::{DegradationEvent, DispatchError, FaultCounters, FaultPlan};
 pub use metrics::Cdf;
+pub use o2o_obs::{FrameStats, JsonlSink, MemorySink, Recorder, StageBreakdown, SummarySink};
 pub use policy::{
     cached, cached_persistent, CacheLifetime, CachedPolicy, DispatchPolicy, FrameAssignment,
     FrameContext, FrameDelta,

@@ -49,14 +49,23 @@ impl Cdf {
         count as f64 / self.sorted.len() as f64
     }
 
-    /// The smallest sample `v` with `fraction_at_most(v) ≥ q`
-    /// (`q` clamped to `(0, 1]`; 0 for an empty CDF).
+    /// The smallest sample `v` with `fraction_at_most(v) ≥ q`.
+    ///
+    /// Edge cases are defined, not incidental:
+    ///
+    /// * an **empty** CDF returns `0.0` for every `q` — there is no
+    ///   sample to report, and the paper's figures plot empty series as
+    ///   zero;
+    /// * `q` is clamped to `[0, 1]`: `q ≤ 0` returns the minimum
+    ///   sample, `q ≥ 1` the maximum;
+    /// * a **NaN** `q` returns the minimum sample (it clamps like
+    ///   `q ≤ 0` rather than poisoning the index arithmetic).
     #[must_use]
     pub fn quantile(&self, q: f64) -> f64 {
         if self.sorted.is_empty() {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len()) - 1;
         self.sorted[idx]
     }
@@ -144,6 +153,22 @@ mod tests {
         assert_eq!(c.quantile(0.25), 1.0);
         assert_eq!(c.quantile(1.0), 4.0);
         assert_eq!(c.mean(), 2.5);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_defined() {
+        let c = Cdf::from_samples(vec![3.0, 1.0, 2.0, 4.0]);
+        // Out-of-range q clamps to the extremes.
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(-5.0), 1.0);
+        assert_eq!(c.quantile(2.0), 4.0);
+        // NaN q behaves like q ≤ 0.
+        assert_eq!(c.quantile(f64::NAN), 1.0);
+        // Empty CDFs answer 0.0 everywhere, including for weird q.
+        let empty = Cdf::from_samples(vec![]);
+        assert_eq!(empty.quantile(0.0), 0.0);
+        assert_eq!(empty.quantile(f64::NAN), 0.0);
+        assert_eq!(empty.quantile(7.0), 0.0);
     }
 
     #[test]

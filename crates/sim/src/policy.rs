@@ -27,6 +27,7 @@ use o2o_core::{
     PickupDistances, PreferenceParams, Schedule, SharingDispatcher, SharingSchedule, TimeBudget,
 };
 use o2o_geo::{CacheStats, DistanceCache, GridIndex, Metric, Point};
+use o2o_obs::Recorder;
 use o2o_trace::{Request, RequestId, Taxi, TaxiId};
 use std::sync::Arc;
 
@@ -96,6 +97,12 @@ pub struct FrameContext<'a> {
     /// degradation ladder and report it via
     /// [`DispatchPolicy::take_degradation`].
     pub budget: TimeBudget,
+    /// The run's observability recorder. Defaults to the disabled (no-op)
+    /// recorder in hand-built contexts; the engine threads its own. Deep
+    /// pipeline stages record through the thread-local scope the engine
+    /// installs instead — this handle is for policy-level instruments
+    /// (e.g. [`CachedPolicy`]'s per-frame cache counters).
+    pub recorder: &'a Recorder,
 }
 
 impl<'a> FrameContext<'a> {
@@ -111,6 +118,7 @@ impl<'a> FrameContext<'a> {
             taxi_grid: None,
             delta: None,
             budget: TimeBudget::unlimited(),
+            recorder: Recorder::disabled_ref(),
         }
     }
 }
@@ -158,14 +166,6 @@ pub trait DispatchPolicy {
         false
     }
 
-    /// Cumulative distance-cache counters, for policies that memoize
-    /// metric queries (see [`CachedPolicy`]). The engine samples this
-    /// around each dispatch to report per-frame cache effectiveness.
-    /// Defaults to `None` for uncached policies.
-    fn cache_stats(&self) -> Option<CacheStats> {
-        None
-    }
-
     /// Takes (and clears) the record of the last dispatch having stepped
     /// down the degradation ladder under a finite
     /// [`FrameContext::budget`]. The engine calls this after every
@@ -193,10 +193,6 @@ impl<P: DispatchPolicy + ?Sized> DispatchPolicy for &mut P {
         (**self).wants_taxi_grid()
     }
 
-    fn cache_stats(&self) -> Option<CacheStats> {
-        (**self).cache_stats()
-    }
-
     fn take_degradation(&mut self) -> Option<Degraded> {
         (**self).take_degradation()
     }
@@ -217,10 +213,6 @@ impl<P: DispatchPolicy + ?Sized> DispatchPolicy for Box<P> {
 
     fn wants_taxi_grid(&self) -> bool {
         (**self).wants_taxi_grid()
-    }
-
-    fn cache_stats(&self) -> Option<CacheStats> {
-        (**self).cache_stats()
     }
 
     fn take_degradation(&mut self) -> Option<Degraded> {
@@ -734,6 +726,19 @@ impl<P, M> CachedPolicy<P, M> {
     pub fn lifetime(&self) -> CacheLifetime {
         self.lifetime
     }
+
+    /// Cumulative hit/miss counters of the shared cache. Per-frame
+    /// deltas are recorded on the frame's [`Recorder`] as the
+    /// `cache.hits` / `cache.misses` counters during
+    /// [`DispatchPolicy::dispatch`], so most callers read those
+    /// instead of polling this.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats
+    where
+        M: Metric,
+    {
+        self.cache.stats()
+    }
 }
 
 impl<P: DispatchPolicy, M: Metric> DispatchPolicy for CachedPolicy<P, M> {
@@ -742,6 +747,7 @@ impl<P: DispatchPolicy, M: Metric> DispatchPolicy for CachedPolicy<P, M> {
     }
 
     fn dispatch(&mut self, ctx: &FrameContext<'_>) -> Vec<FrameAssignment> {
+        let before = self.cache.stats();
         match self.lifetime {
             CacheLifetime::PerFrame => self.cache.clear(),
             CacheLifetime::Persistent { max_entries } => {
@@ -768,7 +774,13 @@ impl<P: DispatchPolicy, M: Metric> DispatchPolicy for CachedPolicy<P, M> {
                 }
             }
         }
-        self.inner.dispatch(ctx)
+        let out = self.inner.dispatch(ctx);
+        let after = self.cache.stats();
+        ctx.recorder.add_many(&[
+            ("cache.hits", after.hits.saturating_sub(before.hits)),
+            ("cache.misses", after.misses.saturating_sub(before.misses)),
+        ]);
+        out
     }
 
     fn wants_pickup_distances(&self) -> bool {
@@ -777,10 +789,6 @@ impl<P: DispatchPolicy, M: Metric> DispatchPolicy for CachedPolicy<P, M> {
 
     fn wants_taxi_grid(&self) -> bool {
         self.inner.wants_taxi_grid()
-    }
-
-    fn cache_stats(&self) -> Option<CacheStats> {
-        Some(self.cache.stats())
     }
 
     fn take_degradation(&mut self) -> Option<Degraded> {
@@ -943,14 +951,30 @@ mod tests {
     }
 
     #[test]
-    fn only_cached_policies_report_cache_stats() {
+    fn cached_policies_record_hit_miss_deltas_on_the_frame_recorder() {
         let p = PreferenceParams::default();
-        assert!(nstd_p(Euclidean, p).cache_stats().is_none());
-        let wrapped = cached(Euclidean, |metric| {
+        let mut wrapped = cached(Euclidean, |metric| {
             StdPPolicy::from_dispatcher(SharingDispatcher::new(metric, p))
         });
-        let stats = wrapped.cache_stats().expect("cached policy has stats");
+        let stats = wrapped.cache_stats();
         assert_eq!((stats.hits, stats.misses), (0, 0));
+
+        let (taxis, requests) = ctx_fixture();
+        let recorder = Recorder::new();
+        let mut ctx = FrameContext::new(0, 60, &taxis, &requests);
+        ctx.recorder = &recorder;
+        let out = wrapped.dispatch(&ctx);
+        assert_eq!(out.len(), 1);
+        let stats = wrapped.cache_stats();
+        assert!(stats.misses > 0, "dispatch populates the cache");
+        assert_eq!(recorder.counter("cache.misses"), stats.misses);
+        assert_eq!(recorder.counter("cache.hits"), stats.hits);
+
+        // The default context carries the disabled recorder: dispatching
+        // through it is inert but still bit-identical.
+        let plain_ctx = FrameContext::new(1, 120, &taxis, &requests);
+        assert!(!plain_ctx.recorder.is_enabled());
+        assert_eq!(wrapped.dispatch(&plain_ctx), out);
     }
 
     #[test]

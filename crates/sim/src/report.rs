@@ -3,6 +3,7 @@
 use crate::fault::{DegradationEvent, DispatchError, FaultCounters};
 use crate::metrics::{Cdf, HourBucket};
 use o2o_core::DispatchTier;
+use o2o_obs::StageBreakdown;
 
 /// A 24-value hour-of-day series of averages (the Fig. 7 x-axis).
 #[derive(Debug, Clone, PartialEq)]
@@ -20,15 +21,28 @@ impl HourlySeries {
         HourlySeries { values }
     }
 
-    /// The hour with the largest value.
+    /// The *earliest* hour with the largest value.
+    ///
+    /// Edge cases are defined, not incidental: an empty series (every
+    /// hour averaged no requests, so all values are `0.0`) returns hour
+    /// `0`; ties break toward the earlier hour; `NaN` values never
+    /// compare as the maximum, so a series that is all-`NaN` also
+    /// returns `0`.
     #[must_use]
     pub fn peak_hour(&self) -> usize {
-        self.values
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .map(|(h, _)| h)
-            .unwrap_or(0)
+        let mut best = 0;
+        let mut best_value = f64::NEG_INFINITY;
+        for (hour, &value) in self.values.iter().enumerate() {
+            if value > best_value {
+                best = hour;
+                best_value = value;
+            }
+        }
+        if best_value.is_finite() {
+            best
+        } else {
+            0
+        }
     }
 }
 
@@ -65,18 +79,16 @@ pub struct SimReport {
     /// dispatch). Index = frame. This is the paper's "computation time"
     /// axis and the signal the benchmark JSON reports.
     pub dispatch_ms_by_frame: Vec<f64>,
-    /// Distance-cache hits during each frame's dispatch (index = frame).
-    /// All zeros unless the policy memoizes metric queries and reports
-    /// counters via [`DispatchPolicy::cache_stats`] (e.g.
-    /// [`CachedPolicy`]) — the engine samples the cumulative counters
-    /// around each dispatch and stores the deltas.
-    ///
-    /// [`DispatchPolicy::cache_stats`]: crate::DispatchPolicy::cache_stats
-    /// [`CachedPolicy`]: crate::policy::CachedPolicy
-    pub cache_hits_by_frame: Vec<u64>,
-    /// Distance-cache misses during each frame's dispatch (index =
-    /// frame); see [`cache_hits_by_frame`](Self::cache_hits_by_frame).
-    pub cache_misses_by_frame: Vec<u64>,
+    /// Per-dispatched-frame stage self-times and counter deltas, as
+    /// collected by the engine's [`Recorder`](o2o_obs::Recorder): one
+    /// [`FrameStats`](o2o_obs::FrameStats) per frame that ran a
+    /// dispatch, in frame order. Empty when the engine ran with
+    /// [`Recorder::disabled`](o2o_obs::Recorder::disabled). The
+    /// cache-effectiveness views
+    /// ([`cache_hits_by_frame`](Self::cache_hits_by_frame) and
+    /// friends) derive from the `cache.hits` / `cache.misses` counters
+    /// recorded here.
+    pub stage_breakdown: StageBreakdown,
     /// Injected-fault tallies and recovery bookkeeping for the run; all
     /// zero unless the simulator ran with a
     /// [`FaultPlan`](crate::FaultPlan).
@@ -188,18 +200,50 @@ impl SimReport {
             .fold(0.0, f64::max)
     }
 
+    /// Per-frame increments of the named recorder counter, as a dense
+    /// vector indexed by frame (`0` for frames where the counter did
+    /// not move, including frames that dispatched nothing).
+    #[must_use]
+    pub fn counter_by_frame(&self, name: &str) -> Vec<u64> {
+        let mut out = vec![0u64; self.queue_by_frame.len()];
+        for fs in &self.stage_breakdown.frames {
+            if let Some(slot) = out.get_mut(fs.frame as usize) {
+                *slot = fs.counter(name);
+            }
+        }
+        out
+    }
+
+    /// Distance-cache hits during each frame's dispatch (index =
+    /// frame). A derived view over
+    /// [`stage_breakdown`](Self::stage_breakdown): all zeros unless the
+    /// policy memoizes metric queries and records the `cache.hits` /
+    /// `cache.misses` counters on the frame's recorder (e.g.
+    /// [`CachedPolicy`](crate::policy::CachedPolicy)).
+    #[must_use]
+    pub fn cache_hits_by_frame(&self) -> Vec<u64> {
+        self.counter_by_frame("cache.hits")
+    }
+
+    /// Distance-cache misses during each frame's dispatch (index =
+    /// frame); see [`cache_hits_by_frame`](Self::cache_hits_by_frame).
+    #[must_use]
+    pub fn cache_misses_by_frame(&self) -> Vec<u64> {
+        self.counter_by_frame("cache.misses")
+    }
+
     /// Distance-cache hits summed across the run (0 for uncached
     /// policies).
     #[must_use]
     pub fn total_cache_hits(&self) -> u64 {
-        self.cache_hits_by_frame.iter().sum()
+        self.stage_breakdown.counter_total("cache.hits")
     }
 
     /// Distance-cache misses summed across the run (0 for uncached
     /// policies).
     #[must_use]
     pub fn total_cache_misses(&self) -> u64 {
-        self.cache_misses_by_frame.iter().sum()
+        self.stage_breakdown.counter_total("cache.misses")
     }
 
     /// Fraction of metric queries answered from the distance cache across
@@ -266,11 +310,27 @@ fn mean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use o2o_obs::FrameStats;
+
+    fn cache_frame(frame: u64, hits: u64, misses: u64) -> FrameStats {
+        FrameStats {
+            frame,
+            wall_ms: 1.0,
+            stages: Vec::new(),
+            counters: vec![
+                ("cache.hits".to_string(), hits),
+                ("cache.misses".to_string(), misses),
+            ],
+        }
+    }
 
     fn report() -> SimReport {
         let mut delay_by_hour = [HourBucket::default(); 24];
         delay_by_hour[9].push(4.0);
         delay_by_hour[3].push(1.0);
+        let mut stage_breakdown = StageBreakdown::new();
+        stage_breakdown.push(cache_frame(0, 3, 2));
+        stage_breakdown.push(cache_frame(1, 6, 1));
         SimReport {
             policy: "TEST".into(),
             trace: "toy".into(),
@@ -285,8 +345,7 @@ mod tests {
             queue_by_frame: vec![3, 1, 0],
             idle_by_frame: vec![1, 2, 2],
             dispatch_ms_by_frame: vec![0.5, 1.5, 0.0],
-            cache_hits_by_frame: vec![3, 6, 0],
-            cache_misses_by_frame: vec![2, 1, 0],
+            stage_breakdown,
             faults: FaultCounters::default(),
             dispatch_errors: Vec::new(),
             degradations: Vec::new(),
@@ -344,6 +403,21 @@ mod tests {
         assert_eq!(r.total_cache_hits(), 9);
         assert_eq!(r.total_cache_misses(), 3);
         assert!((r.cache_hit_rate() - 0.75).abs() < 1e-12);
+        // The per-frame views are dense over all frames, zero-filled
+        // where the breakdown has no entry (frame 2 dispatched nothing).
+        assert_eq!(r.cache_hits_by_frame(), vec![3, 6, 0]);
+        assert_eq!(r.cache_misses_by_frame(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn counter_by_frame_ignores_out_of_range_frames() {
+        let mut r = report();
+        // A frame index past the queue series (e.g. a truncated report)
+        // must not panic — it is simply not representable in the view.
+        r.stage_breakdown.push(cache_frame(99, 5, 5));
+        assert_eq!(r.cache_hits_by_frame(), vec![3, 6, 0]);
+        // The run totals still see every recorded frame.
+        assert_eq!(r.total_cache_hits(), 14);
     }
 
     #[test]
@@ -362,8 +436,7 @@ mod tests {
             queue_by_frame: vec![],
             idle_by_frame: vec![],
             dispatch_ms_by_frame: vec![],
-            cache_hits_by_frame: vec![],
-            cache_misses_by_frame: vec![],
+            stage_breakdown: StageBreakdown::new(),
             faults: FaultCounters::default(),
             dispatch_errors: Vec::new(),
             degradations: Vec::new(),
@@ -375,6 +448,31 @@ mod tests {
         assert_eq!(r.sharing_rate(), 0.0);
         assert_eq!(r.served_ratio(), 0.0);
         assert_eq!(r.degradations_to(DispatchTier::GreedyNearest), 0);
+        assert!(r.stage_breakdown.is_empty());
+        assert!(r.cache_hits_by_frame().is_empty());
+        assert_eq!(r.total_cache_hits(), 0);
+    }
+
+    #[test]
+    fn peak_hour_edge_cases_are_defined() {
+        // All-zero (no requests in any hour): hour 0, not the last tie.
+        let empty = HourlySeries { values: [0.0; 24] };
+        assert_eq!(empty.peak_hour(), 0);
+        // Ties break toward the earlier hour.
+        let mut values = [0.0; 24];
+        values[5] = 2.0;
+        values[17] = 2.0;
+        assert_eq!(HourlySeries { values }.peak_hour(), 5);
+        // NaN never wins, even against smaller finite values...
+        let mut values = [1.0; 24];
+        values[8] = f64::NAN;
+        values[13] = 3.0;
+        assert_eq!(HourlySeries { values }.peak_hour(), 13);
+        // ...and an all-NaN series falls back to hour 0.
+        let all_nan = HourlySeries {
+            values: [f64::NAN; 24],
+        };
+        assert_eq!(all_nan.peak_hour(), 0);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! The observability layer's core contract: enabling a recorder — with
+//! or without sinks — never changes dispatch results, only produces
+//! telemetry. These tests run the same trace through the engine with a
+//! disabled recorder, the default collecting recorder, and a
+//! sink-bearing recorder, and require the dispatch-facing report fields
+//! to be bit-identical; the telemetry side is then checked for internal
+//! consistency (stage self-times bounded by frame wall-clock, balanced
+//! span events, counters matching the report's derived views).
+
+use o2o_core::PreferenceParams;
+use o2o_geo::Euclidean;
+use o2o_obs::Event;
+use o2o_sim::{policy, MemorySink, Recorder, SimConfig, SimReport, Simulator};
+use o2o_trace::boston_september_2012;
+
+/// Asserts every dispatch-facing field matches exactly. Telemetry
+/// fields (`stage_breakdown`) are intentionally excluded — they are the
+/// one thing allowed to differ.
+fn assert_dispatch_identical(a: &SimReport, b: &SimReport) {
+    assert_eq!(a.policy, b.policy);
+    assert_eq!(a.served, b.served);
+    assert_eq!(a.unserved_at_end, b.unserved_at_end);
+    assert_eq!(a.frames, b.frames);
+    assert_eq!(a.delays_min, b.delays_min);
+    assert_eq!(a.passenger_dissatisfaction, b.passenger_dissatisfaction);
+    assert_eq!(a.taxi_dissatisfaction, b.taxi_dissatisfaction);
+    assert_eq!(a.shared_requests, b.shared_requests);
+    assert_eq!(a.total_drive_km, b.total_drive_km);
+    assert_eq!(a.queue_by_frame, b.queue_by_frame);
+    assert_eq!(a.idle_by_frame, b.idle_by_frame);
+    assert_eq!(a.dispatch_errors, b.dispatch_errors);
+    assert_eq!(a.degradations.len(), b.degradations.len());
+}
+
+#[test]
+fn recorder_configurations_are_bit_identical_across_policies() {
+    let trace = boston_september_2012(0.002).generate(17);
+    let params = PreferenceParams::default();
+    type PolicyFactory = fn(Euclidean, PreferenceParams) -> Box<dyn o2o_sim::DispatchPolicy>;
+    let factories: Vec<(&str, PolicyFactory)> = vec![
+        ("NSTD-P", |m, p| Box::new(policy::nstd_p(m, p))),
+        ("STD-P", |m, p| Box::new(policy::std_p(m, p))),
+        ("Near", |m, p| Box::new(policy::near(m, p))),
+        ("RAII", |m, p| Box::new(policy::raii(m, p))),
+    ];
+    for (name, make) in factories {
+        let mut p_disabled = make(Euclidean, params);
+        let mut p_default = make(Euclidean, params);
+        let mut p_sink = make(Euclidean, params);
+
+        let disabled = Simulator::new(SimConfig::default())
+            .with_recorder(Recorder::disabled())
+            .run(&trace, &mut p_disabled);
+        let default = Simulator::new(SimConfig::default()).run(&trace, &mut p_default);
+        let (sink, handle) = MemorySink::new();
+        let streamed = Simulator::new(SimConfig::default())
+            .with_recorder(Recorder::with_sink(Box::new(sink)))
+            .run(&trace, &mut p_sink);
+
+        assert_dispatch_identical(&disabled, &default);
+        assert_dispatch_identical(&disabled, &streamed);
+
+        // The disabled arm really recorded nothing; the enabled arms
+        // recorded one FrameStats per dispatched frame.
+        assert!(disabled.stage_breakdown.is_empty(), "{name}");
+        assert!(!default.stage_breakdown.is_empty(), "{name}");
+        assert_eq!(
+            default.stage_breakdown.frames.len(),
+            streamed.stage_breakdown.frames.len(),
+            "{name}"
+        );
+        assert!(!handle.is_empty(), "{name}: sink saw events");
+    }
+}
+
+#[test]
+fn stage_self_times_are_bounded_by_frame_wall_clock() {
+    let trace = boston_september_2012(0.003).generate(5);
+    let mut p = policy::nstd_p(Euclidean, PreferenceParams::default());
+    let report = Simulator::new(SimConfig::default()).run(&trace, &mut p);
+    assert!(!report.stage_breakdown.is_empty());
+    for fs in &report.stage_breakdown.frames {
+        let total = fs.total_stage_ms();
+        // Self-times are exclusive (child time subtracted), so their sum
+        // can never exceed the frame's wall-clock. Allow a whisker of
+        // float/rounding slack.
+        assert!(
+            total <= fs.wall_ms * 1.01 + 0.5,
+            "frame {}: stage self-times {total} ms exceed wall {} ms",
+            fs.frame,
+            fs.wall_ms
+        );
+        // The frame recorded at least the policy_dispatch stage.
+        assert!(
+            fs.stage_self_ms("policy_dispatch") >= 0.0
+                && fs.stages.iter().any(|(name, _)| name == "policy_dispatch"),
+            "frame {} missing policy_dispatch span",
+            fs.frame
+        );
+    }
+}
+
+#[test]
+fn span_events_balance_and_counters_match_the_report() {
+    let trace = boston_september_2012(0.002).generate(23);
+    let params = PreferenceParams::default();
+    let mut wrapped = policy::cached(Euclidean, |metric| {
+        policy::StdPPolicy::from_dispatcher(o2o_core::SharingDispatcher::new(metric, params))
+    });
+    let (sink, handle) = MemorySink::new();
+    let recorder = Recorder::with_sink(Box::new(sink));
+    let report = Simulator::new(SimConfig::default())
+        .with_recorder(recorder.clone())
+        .run(&trace, &mut wrapped);
+
+    // Every span that opened also closed, in stack order per id.
+    let events = handle.events();
+    let mut open: Vec<u64> = Vec::new();
+    let (mut frame_starts, mut frame_ends) = (0u64, 0u64);
+    for e in &events {
+        match e {
+            Event::SpanStart { id, .. } => open.push(*id),
+            Event::SpanEnd { id, .. } => {
+                assert_eq!(open.pop(), Some(*id), "spans close innermost-first");
+            }
+            Event::FrameStart { .. } => frame_starts += 1,
+            Event::FrameEnd { .. } => frame_ends += 1,
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "all spans closed by the end of the run");
+    assert_eq!(frame_starts, frame_ends);
+    assert_eq!(frame_starts as usize, report.stage_breakdown.frames.len());
+
+    // The recorder's cumulative counters agree with the report's
+    // derived per-frame views.
+    assert_eq!(recorder.counter("cache.hits"), report.total_cache_hits());
+    assert_eq!(
+        recorder.counter("cache.misses"),
+        report.total_cache_misses()
+    );
+    assert!(report.total_cache_misses() > 0);
+    // The matching substrate recorded through the engine's scope.
+    assert!(recorder.counter("match.proposals") > 0);
+    // Every counter increment happened inside a frame window, so the
+    // cumulative totals equal the per-frame deltas summed.
+    for (name, total) in recorder.counters() {
+        assert_eq!(
+            total,
+            report.stage_breakdown.counter_total(&name),
+            "counter {name} splits exactly across frames"
+        );
+    }
+}
