@@ -86,9 +86,7 @@ impl<M: Metric> LinDispatcher<M> {
         grid: Option<&o2o_geo::GridIndex<usize>>,
     ) -> SharingSchedule {
         let _span = obs::span("insertion_scan");
-        if let Some(g) = grid {
-            debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
-        }
+        crate::util::debug_assert_grid_covers(grid, taxis);
         if taxis.is_empty() || requests.is_empty() {
             return SharingSchedule {
                 assignments: Vec::new(),

@@ -1,8 +1,8 @@
 //! *Near*: greedy nearest-idle-taxi dispatch (Hanna et al. \[3\]).
 
-use crate::util::schedule_from_pairs;
+use crate::util::{clone_or_build_taxi_grid, schedule_from_pairs};
 use o2o_core::{PreferenceParams, Schedule};
-use o2o_geo::{BBox, GridIndex, Metric};
+use o2o_geo::{GridIndex, Metric};
 use o2o_obs as obs;
 use o2o_trace::{Request, Taxi};
 
@@ -69,27 +69,7 @@ impl<M: Metric> NearDispatcher<M> {
         let _span = obs::span("greedy_scan");
         let mut pairs = Vec::new();
         if !taxis.is_empty() {
-            let mut idx = match grid {
-                Some(g) => {
-                    debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
-                    g.clone()
-                }
-                None => {
-                    let bbox = BBox::from_points(
-                        taxis
-                            .iter()
-                            .map(|t| t.location)
-                            .chain(requests.iter().map(|r| r.pickup)),
-                    )
-                    .expect("non-empty");
-                    let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
-                    let mut idx = GridIndex::new(bbox, cell);
-                    for (i, t) in taxis.iter().enumerate() {
-                        idx.insert(i, t.location);
-                    }
-                    idx
-                }
-            };
+            let mut idx = clone_or_build_taxi_grid(grid, taxis, requests);
             let mut available = vec![true; taxis.len()];
             for (j, r) in requests.iter().enumerate() {
                 if idx.is_empty() {

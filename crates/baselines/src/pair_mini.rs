@@ -78,9 +78,7 @@ impl<M: Metric> PairDispatcher<M> {
         grid: Option<&o2o_geo::GridIndex<usize>>,
     ) -> Schedule {
         let _span = obs::span("assignment_matching");
-        if let Some(g) = grid {
-            debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
-        }
+        crate::util::debug_assert_grid_covers(grid, taxis);
         let costs = cost_matrix(&self.metric, taxis, requests);
         let assignment = min_cost_assignment(&costs);
         let pairs: Vec<(usize, usize)> = assignment
@@ -130,9 +128,7 @@ impl<M: Metric> MiniDispatcher<M> {
         grid: Option<&o2o_geo::GridIndex<usize>>,
     ) -> Schedule {
         let _span = obs::span("assignment_matching");
-        if let Some(g) = grid {
-            debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
-        }
+        crate::util::debug_assert_grid_covers(grid, taxis);
         let costs = cost_matrix(&self.metric, taxis, requests);
         let result = bottleneck_assignment(&costs);
         let pairs: Vec<(usize, usize)> = result

@@ -9,10 +9,10 @@
 //! already-formed group whose re-optimised route grows the least — always
 //! within the detour budget and seat capacity.
 
-use crate::util::{best_compliant_route, fits, group_assignment};
+use crate::util::{best_compliant_route, clone_or_build_taxi_grid, fits, group_assignment};
 use o2o_core::shared_route::MAX_GROUP_SIZE;
 use o2o_core::{PreferenceParams, SharingSchedule};
-use o2o_geo::{BBox, GridIndex, Metric};
+use o2o_geo::{GridIndex, Metric};
 use o2o_obs as obs;
 use o2o_trace::{Request, Taxi};
 
@@ -92,27 +92,7 @@ impl<M: Metric> RaiiDispatcher<M> {
                 unserved: requests.iter().map(|r| r.id).collect(),
             };
         }
-        let mut idle = match grid {
-            Some(g) => {
-                debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
-                g.clone()
-            }
-            None => {
-                let bbox = BBox::from_points(
-                    taxis
-                        .iter()
-                        .map(|t| t.location)
-                        .chain(requests.iter().map(|r| r.pickup)),
-                )
-                .expect("non-empty");
-                let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
-                let mut idle = GridIndex::new(bbox, cell);
-                for (i, t) in taxis.iter().enumerate() {
-                    idle.insert(i, t.location);
-                }
-                idle
-            }
-        };
+        let mut idle = clone_or_build_taxi_grid(grid, taxis, requests);
         // groups[g] = (taxi index, member request indices, current drive)
         let mut groups: Vec<(usize, Vec<usize>, f64)> = Vec::new();
         let mut unserved = Vec::new();

@@ -7,10 +7,10 @@
 //! cheapest-insertion heuristic), which is faster but can miss better
 //! reorderings.
 
-use crate::util::{fits, group_assignment};
+use crate::util::{clone_or_build_taxi_grid, fits, group_assignment};
 use o2o_core::shared_route::{RoutePlan, Stop, StopKind, MAX_GROUP_SIZE};
 use o2o_core::{PreferenceParams, SharingSchedule};
-use o2o_geo::{BBox, GridIndex, Metric, Point};
+use o2o_geo::{GridIndex, Metric, Point};
 use o2o_obs as obs;
 use o2o_trace::{Request, Taxi};
 
@@ -177,27 +177,7 @@ impl<M: Metric> SarpDispatcher<M> {
                 unserved: requests.iter().map(|r| r.id).collect(),
             };
         }
-        let mut idle = match grid {
-            Some(g) => {
-                debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
-                g.clone()
-            }
-            None => {
-                let bbox = BBox::from_points(
-                    taxis
-                        .iter()
-                        .map(|t| t.location)
-                        .chain(requests.iter().map(|r| r.pickup)),
-                )
-                .expect("non-empty");
-                let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
-                let mut idle = GridIndex::new(bbox, cell);
-                for (i, t) in taxis.iter().enumerate() {
-                    idle.insert(i, t.location);
-                }
-                idle
-            }
-        };
+        let mut idle = clone_or_build_taxi_grid(grid, taxis, requests);
         let mut drafts: Vec<DraftRoute> = Vec::new();
         let mut unserved = Vec::new();
         for (j, r) in requests.iter().enumerate() {

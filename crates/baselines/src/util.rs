@@ -2,8 +2,57 @@
 
 use o2o_core::shared_route::{best_route_within_detour, RoutePlan};
 use o2o_core::{GroupAssignment, PreferenceParams, Schedule};
-use o2o_geo::Metric;
+use o2o_geo::{BBox, GridIndex, Metric};
 use o2o_trace::{Request, Taxi};
+
+/// Debug-asserts that a caller-supplied shared taxi grid covers exactly
+/// the frame's `taxis` slice — the contract every baseline's
+/// `dispatch_with_grid` states. A `None` grid trivially passes.
+pub fn debug_assert_grid_covers(grid: Option<&GridIndex<usize>>, taxis: &[Taxi]) {
+    if let Some(g) = grid {
+        debug_assert_eq!(g.len(), taxis.len(), "grid must cover exactly `taxis`");
+    }
+}
+
+/// The frame's idle-taxi grid (payload = index into `taxis`) for a
+/// baseline that consumes it destructively: a caller-supplied shared
+/// grid is validated ([`debug_assert_grid_covers`]) and cloned, otherwise
+/// a private grid is built over the frame's taxi locations and request
+/// pickups with the baselines' shared sizing heuristic (bounding box
+/// split into ~32 cells per side, floored at 0.25).
+///
+/// # Panics
+///
+/// Panics if `grid` is `None` and both `taxis` and `requests` are empty
+/// (no bounding box); callers early-return on empty frames first.
+#[must_use]
+pub fn clone_or_build_taxi_grid(
+    grid: Option<&GridIndex<usize>>,
+    taxis: &[Taxi],
+    requests: &[Request],
+) -> GridIndex<usize> {
+    match grid {
+        Some(g) => {
+            debug_assert_grid_covers(Some(g), taxis);
+            g.clone()
+        }
+        None => {
+            let bbox = BBox::from_points(
+                taxis
+                    .iter()
+                    .map(|t| t.location)
+                    .chain(requests.iter().map(|r| r.pickup)),
+            )
+            .expect("non-empty");
+            let cell = (bbox.width().max(bbox.height()) / 32.0).max(0.25);
+            let mut idx = GridIndex::new(bbox, cell);
+            for (i, t) in taxis.iter().enumerate() {
+                idx.insert(i, t.location);
+            }
+            idx
+        }
+    }
+}
 
 /// Builds a non-sharing [`Schedule`] from `(request index, taxi index)`
 /// pairs, attaching the paper's dissatisfaction metrics.

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the rank-table layouts behind
+//! [`StableInstance`]: the per-agent hashmap reference, the flat CSR
+//! layout that replaced it on the sparse dispatch path, and the dense
+//! matrix. Each layout answers the same mixed hit/miss lookup stream —
+//! the access pattern deferred acceptance issues when reviewers compare
+//! an incumbent against a challenger.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use o2o_matching::StableInstance;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Truncated random lists with the sparse dispatch path's typical
+/// density (a few dozen candidates per agent at city scale).
+fn truncated_lists(rng: &mut StdRng, n: usize, row_len: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|_| {
+            let mut all: Vec<usize> = (0..n).collect();
+            all.shuffle(rng);
+            all.truncate(row_len.min(n));
+            all
+        })
+        .collect()
+}
+
+/// A query stream mixing ranked pairs (hits) with random pairs (mostly
+/// misses under truncation), as deferred acceptance produces.
+fn queries(rng: &mut StdRng, lists: &[Vec<usize>], count: usize) -> Vec<(usize, usize)> {
+    (0..count)
+        .map(|_| {
+            let p = rng.gen_range(0..lists.len());
+            if rng.gen_bool(0.5) && !lists[p].is_empty() {
+                (p, lists[p][rng.gen_range(0..lists[p].len())])
+            } else {
+                (p, rng.gen_range(0..lists.len()))
+            }
+        })
+        .collect()
+}
+
+fn bench_rank_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_lookup");
+    for &(n, row_len) in &[(500usize, 32usize), (2000, 32), (2000, 1500)] {
+        let mut rng = StdRng::seed_from_u64((n + row_len) as u64);
+        let p_lists = truncated_lists(&mut rng, n, row_len);
+        let r_lists = truncated_lists(&mut rng, n, row_len);
+        let stream = queries(&mut rng, &p_lists, 4096);
+        let layouts = [
+            (
+                "hashmap",
+                StableInstance::new_sparse_reference(p_lists.clone(), r_lists.clone()).unwrap(),
+            ),
+            (
+                "csr",
+                StableInstance::new_sparse(p_lists.clone(), r_lists.clone()).unwrap(),
+            ),
+            (
+                "dense",
+                StableInstance::new(p_lists.clone(), r_lists.clone()).unwrap(),
+            ),
+        ];
+        for (label, inst) in layouts {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{n}x{row_len}")),
+                &inst,
+                |b, inst| {
+                    b.iter(|| {
+                        let mut acc = 0u64;
+                        for &(p, r) in &stream {
+                            acc = acc.wrapping_add(u64::from(
+                                inst.proposer_rank_of(p, r).unwrap_or(u32::MAX),
+                            ));
+                        }
+                        acc
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_lookup);
+criterion_main!(benches);

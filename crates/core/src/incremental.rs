@@ -29,9 +29,36 @@
 //! params are revalidated per frame, and any id/position change falls back
 //! to the fresh path.
 
-use o2o_matching::Matching;
+use o2o_matching::{MatchScratch, Matching};
 use o2o_trace::{Request, RequestId, Taxi, TaxiId};
 use std::collections::HashMap;
+
+/// Reusable per-frame working memory for the dispatch hot path.
+///
+/// Lives inside [`IncrementalState`] so it rides the same `&mut` channel
+/// the warm-start seed already uses: the engine and the policies thread
+/// one state per dispatcher across frames, and with it this arena. Once
+/// its buffers have grown to the steady-state frame shape, the warm
+/// dispatch path performs no heap allocation — the deferred-acceptance
+/// buffers (proposal queues, partner arrays, matching pool) come from
+/// `matcher`, the seed re-indexing tables from the maps here, and the
+/// sparse candidate rows from [`IncrementalState`]'s carry.
+///
+/// Purely a memory-placement concern: every result is bit-identical to
+/// the allocating paths, pinned by `tests/warm_equivalence.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchScratch {
+    /// Pooled deferred-acceptance working memory (see
+    /// [`o2o_matching::MatchScratch`]).
+    pub(crate) matcher: MatchScratch,
+    /// The current frame's warm seed, re-expressed in frame indices
+    /// (refreshed by [`IncrementalState::refresh_seed`]).
+    pub(crate) seed: Vec<(usize, usize)>,
+    /// Taxi id → current frame index (seed re-expression).
+    taxi_at: HashMap<TaxiId, usize>,
+    /// Request id → current frame index (seed re-expression).
+    request_at: HashMap<RequestId, usize>,
+}
 
 /// Whether an NSTD dispatch warm-starts from the previous frame.
 ///
@@ -66,6 +93,10 @@ pub struct IncrementalState {
     /// candidate row from here instead of re-querying the grid and the
     /// metric for every stationary taxi.
     pub(crate) rows: crate::prefs::CandidateCarry,
+    /// Reusable hot-path working memory (see [`DispatchScratch`]). Not
+    /// cleared by [`IncrementalState::clear`]: it carries no matching
+    /// *content*, only buffer capacity.
+    pub(crate) scratch: DispatchScratch,
 }
 
 impl IncrementalState {
@@ -88,30 +119,33 @@ impl IncrementalState {
         &self.prev
     }
 
-    /// Re-expresses the carried matching in the current frame's indices.
-    /// Pairs whose request or taxi is no longer in the frame are dropped
-    /// here; pairs whose *preferences* changed are dropped later by the
-    /// seeded proposal path's own validation.
-    pub(crate) fn seed(&self, taxis: &[Taxi], requests: &[Request]) -> Vec<(usize, usize)> {
+    /// Re-expresses the carried matching in the current frame's indices,
+    /// into the scratch arena's seed buffer (`self.scratch.seed`). Pairs
+    /// whose request or taxi is no longer in the frame are dropped here;
+    /// pairs whose *preferences* changed are dropped later by the seeded
+    /// proposal path's own validation. All working memory (the id → index
+    /// maps and the seed itself) is reused across frames.
+    pub(crate) fn refresh_seed(&mut self, taxis: &[Taxi], requests: &[Request]) {
+        let DispatchScratch {
+            seed,
+            taxi_at,
+            request_at,
+            ..
+        } = &mut self.scratch;
+        seed.clear();
         if self.prev.is_empty() {
-            return Vec::new();
+            return;
         }
-        let taxi_at: HashMap<TaxiId, usize> =
-            taxis.iter().enumerate().map(|(i, t)| (t.id, i)).collect();
-        let request_at: HashMap<RequestId, usize> = requests
-            .iter()
-            .enumerate()
-            .map(|(j, r)| (r.id, j))
-            .collect();
-        self.prev
-            .iter()
-            .filter_map(
-                |&(rid, tid)| match (request_at.get(&rid), taxi_at.get(&tid)) {
-                    (Some(&j), Some(&i)) => Some((j, i)),
-                    _ => None,
-                },
-            )
-            .collect()
+        taxi_at.clear();
+        taxi_at.extend(taxis.iter().enumerate().map(|(i, t)| (t.id, i)));
+        request_at.clear();
+        request_at.extend(requests.iter().enumerate().map(|(j, r)| (r.id, j)));
+        seed.extend(self.prev.iter().filter_map(|&(rid, tid)| {
+            match (request_at.get(&rid), taxi_at.get(&tid)) {
+                (Some(&j), Some(&i)) => Some((j, i)),
+                _ => None,
+            }
+        }));
     }
 
     /// Stores this frame's matching (in frame indices) for the next frame.

@@ -48,8 +48,8 @@ mod std_sharing;
 
 pub use company::{fare_revenue, CompanyObjective, FareModel};
 pub use degrade::{DegradeReason, Degraded, DispatchTier};
-pub use incremental::{IncrementalMode, IncrementalState};
-pub use nstd::{CandidateMode, NonSharingDispatcher};
+pub use incremental::{DispatchScratch, IncrementalMode, IncrementalState};
+pub use nstd::{AnytimeOutcome, CandidateMode, NonSharingDispatcher};
 pub use o2o_matching::{TimeBudget, TimeBudgetSpec};
 pub use params::PreferenceParams;
 pub use prefs::{

@@ -25,6 +25,35 @@ pub enum CandidateMode {
     Sparse,
 }
 
+/// Outcome metadata of one anytime NSTD-T dispatch
+/// ([`NonSharingDispatcher::taxi_optimal_anytime`]): how close to
+/// taxi-optimal the returned (always stable) schedule provably is, and
+/// what the search spent getting there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnytimeOutcome {
+    /// Taxi-side rank cost of the returned schedule (sum over matched
+    /// taxis of the rank each holds in its own preference list;
+    /// 0 = every matched taxi has its favourite request).
+    pub taxi_cost: u64,
+    /// Proven lower bound on the taxi cost of *any* stable schedule for
+    /// this frame.
+    pub lower_bound: u64,
+    /// BreakDispatch nodes explored.
+    pub nodes: u64,
+    /// Whether the budget stopped the search (`false` = the schedule is
+    /// provably taxi-optimal).
+    pub truncated: bool,
+}
+
+impl AnytimeOutcome {
+    /// The measured optimality gap: `0` certifies taxi-optimality; a
+    /// positive value bounds how much better the true optimum could be.
+    #[must_use]
+    pub fn gap(&self) -> u64 {
+        self.taxi_cost - self.lower_bound
+    }
+}
+
 /// A frame's preference model in either candidate mode.
 #[derive(Debug, Clone)]
 enum FrameModel {
@@ -296,11 +325,14 @@ impl<M: Metric> NonSharingDispatcher<M> {
         state: &mut crate::IncrementalState,
     ) -> Schedule {
         let model = self.frame_model_incremental(taxis, requests, taxi_grid, state);
+        state.refresh_seed(taxis, requests);
         let m = model
             .instance()
-            .propose_seeded(&state.seed(taxis, requests));
+            .propose_seeded_with(&state.scratch.seed, &mut state.scratch.matcher);
         state.record(taxis, requests, &m);
-        self.to_schedule(taxis, requests, &model, &m)
+        let schedule = self.to_schedule(taxis, requests, &model, &m);
+        state.scratch.matcher.recycle(m);
+        schedule
     }
 
     /// **NSTD-T**: the taxi-optimal stable schedule.
@@ -356,11 +388,14 @@ impl<M: Metric> NonSharingDispatcher<M> {
         state: &mut crate::IncrementalState,
     ) -> Schedule {
         let model = self.frame_model_incremental(taxis, requests, taxi_grid, state);
+        state.refresh_seed(taxis, requests);
         let m = model
             .instance()
-            .reviewer_optimal_seeded(&state.seed(taxis, requests));
+            .reviewer_optimal_seeded_with(&state.scratch.seed, &mut state.scratch.matcher);
         state.record(taxis, requests, &m);
-        self.to_schedule(taxis, requests, &model, &m)
+        let schedule = self.to_schedule(taxis, requests, &model, &m);
+        state.scratch.matcher.recycle(m);
+        schedule
     }
 
     /// The bottom rung of the degradation ladder: each request, in
@@ -460,11 +495,14 @@ impl<M: Metric> NonSharingDispatcher<M> {
         let schedule = match state {
             Some(state) => {
                 let model = self.frame_model_incremental(taxis, requests, taxi_grid, state);
+                state.refresh_seed(taxis, requests);
                 let m = model
                     .instance()
-                    .propose_seeded(&state.seed(taxis, requests));
+                    .propose_seeded_with(&state.scratch.seed, &mut state.scratch.matcher);
                 state.record(taxis, requests, &m);
-                self.to_schedule(taxis, requests, &model, &m)
+                let schedule = self.to_schedule(taxis, requests, &model, &m);
+                state.scratch.matcher.recycle(m);
+                schedule
             }
             None => {
                 let model = self.frame_model(taxis, requests, pickup_distances, taxi_grid);
@@ -510,9 +548,11 @@ impl<M: Metric> NonSharingDispatcher<M> {
         match state {
             Some(state) => {
                 let model = self.frame_model_incremental(taxis, requests, taxi_grid, state);
-                let seed = state.seed(taxis, requests);
+                state.refresh_seed(taxis, requests);
                 if budget.exhausted() {
-                    let m = model.instance().propose_seeded(&seed);
+                    let m = model
+                        .instance()
+                        .propose_seeded_with(&state.scratch.seed, &mut state.scratch.matcher);
                     state.record(taxis, requests, &m);
                     let degraded = Degraded {
                         from: DispatchTier::NstdT,
@@ -521,14 +561,18 @@ impl<M: Metric> NonSharingDispatcher<M> {
                             stage: "after preference construction",
                         },
                     };
-                    (
-                        self.to_schedule(taxis, requests, &model, &m),
-                        Some(degraded),
-                    )
+                    let schedule = self.to_schedule(taxis, requests, &model, &m);
+                    state.scratch.matcher.recycle(m);
+                    (schedule, Some(degraded))
                 } else {
-                    let m = model.instance().reviewer_optimal_seeded(&seed);
+                    let m = model.instance().reviewer_optimal_seeded_with(
+                        &state.scratch.seed,
+                        &mut state.scratch.matcher,
+                    );
                     state.record(taxis, requests, &m);
-                    (self.to_schedule(taxis, requests, &model, &m), None)
+                    let schedule = self.to_schedule(taxis, requests, &model, &m);
+                    state.scratch.matcher.recycle(m);
+                    (schedule, None)
                 }
             }
             None => {
@@ -552,6 +596,42 @@ impl<M: Metric> NonSharingDispatcher<M> {
                 }
             }
         }
+    }
+
+    /// **Anytime NSTD-T**: the taxi-optimal search as a budgeted
+    /// best-so-far walk of the BreakDispatch lattice, instead of the
+    /// all-or-nothing role-swapped pass.
+    ///
+    /// Starts from the passenger-optimal schedule and walks Algorithm 2's
+    /// BreakDispatch tree keeping the best schedule seen under the
+    /// taxi-side rank objective (see
+    /// [`StableInstance::reviewer_optimal_anytime`](o2o_matching::StableInstance::reviewer_optimal_anytime)).
+    /// Every answer — at any budget, including a zero one — is a *stable*
+    /// schedule at least as good for every taxi as NSTD-P; with an
+    /// unlimited budget the result is bit-identical to
+    /// [`taxi_optimal_with_grid`](Self::taxi_optimal_with_grid). The
+    /// returned [`AnytimeOutcome`] carries the measured optimality gap
+    /// for the budget actually spent.
+    #[must_use]
+    pub fn taxi_optimal_anytime(
+        &self,
+        taxis: &[Taxi],
+        requests: &[Request],
+        taxi_grid: Option<&GridIndex<usize>>,
+        budget: &TimeBudget,
+    ) -> (Schedule, AnytimeOutcome) {
+        let model = self.frame_model(taxis, requests, None, taxi_grid);
+        let search = model.instance().reviewer_optimal_anytime(budget);
+        let schedule = self.to_schedule(taxis, requests, &model, &search.best);
+        (
+            schedule,
+            AnytimeOutcome {
+                taxi_cost: search.reviewer_cost,
+                lower_bound: search.lower_bound,
+                nodes: search.nodes,
+                truncated: search.truncated,
+            },
+        )
     }
 
     /// **Algorithm 2**: all stable schedules, passenger-optimal first.

@@ -45,11 +45,15 @@ impl PickupDistances {
         requests: &[Request],
         par: Parallelism,
     ) -> Self {
+        // One contiguous location array shared by every row lets each
+        // request run the batched one-to-many kernel (the pickup as the
+        // shared origin — metrics are symmetric by contract, and the
+        // built-in kernels are bit-exact under the argument swap).
+        let locations: Vec<Point> = taxis.iter().map(|t| t.location).collect();
         let rows = par_map(par, requests.to_vec(), |r| {
-            taxis
-                .iter()
-                .map(|t| metric.distance(t.location, r.pickup))
-                .collect::<Vec<f64>>()
+            let mut row = vec![0.0f64; locations.len()];
+            metric.distances_into(r.pickup, &locations, &mut row);
+            row
         });
         PickupDistances {
             n_requests: requests.len(),
@@ -75,11 +79,11 @@ impl PickupDistances {
         requests: &[Request],
         par: Parallelism,
     ) -> Result<Self, WorkerPanic> {
+        let locations: Vec<Point> = taxis.iter().map(|t| t.location).collect();
         let out = try_par_map(par, requests.to_vec(), |r| {
-            taxis
-                .iter()
-                .map(|t| metric.distance(t.location, r.pickup))
-                .collect::<Vec<f64>>()
+            let mut row = vec![0.0f64; locations.len()];
+            metric.distances_into(r.pickup, &locations, &mut row);
+            row
         })?;
         Ok(PickupDistances {
             n_requests: requests.len(),
@@ -201,17 +205,23 @@ impl PreferenceModel {
         // passenger list — taxis with enough seats within the wait
         // threshold, nearest first (ties by taxi index for determinism).
         type Row = (Vec<f64>, Vec<f64>, Vec<usize>);
+        let locations: Vec<Point> = taxis.iter().map(|t| t.location).collect();
         let rows: Vec<Row> = par_map(par, (0..n_r).collect(), |j| {
             let r = &requests[j];
             let trip = r.trip_distance(metric);
-            let mut pickup_row = Vec::with_capacity(n_t);
+            let mut pickup_row = vec![0.0f64; n_t];
+            match pickup_distances {
+                Some(pd) => {
+                    for (i, d) in pickup_row.iter_mut().enumerate() {
+                        *d = pd.get(j, i);
+                    }
+                }
+                // Batched one-to-many kernel (pickup as the shared
+                // origin; see PickupDistances::compute).
+                None => metric.distances_into(r.pickup, &locations, &mut pickup_row),
+            }
             let mut score_row = Vec::with_capacity(n_t);
-            for (i, t) in taxis.iter().enumerate() {
-                let d = match pickup_distances {
-                    Some(pd) => pd.get(j, i),
-                    None => metric.distance(t.location, r.pickup),
-                };
-                pickup_row.push(d);
+            for &d in &pickup_row {
                 score_row.push(d - params.alpha * trip);
             }
             let mut list: Vec<usize> = (0..n_t)
@@ -509,12 +519,21 @@ impl SparsePickupDistances {
                                 .iter()
                                 .filter_map(|&(oi, d)| stable_new[oi].map(|ni| (ni, d)))
                                 .collect();
-                            for &(ni, pos) in changed {
-                                // The grid's inclusive membership test.
-                                if pos.euclidean(r.pickup) <= radius {
-                                    row.push((ni, metric.distance(pos, r.pickup)));
-                                }
-                            }
+                            // The grid's inclusive membership test, then
+                            // the batched one-to-many kernel with the same
+                            // pickup-as-origin orientation as the fresh
+                            // row, so patched and fresh entries stay
+                            // bit-identical.
+                            let survivors: Vec<(usize, Point)> = changed
+                                .iter()
+                                .filter(|&&(_, pos)| pos.euclidean(r.pickup) <= radius)
+                                .copied()
+                                .collect();
+                            let locations: Vec<Point> =
+                                survivors.iter().map(|&(_, pos)| pos).collect();
+                            let mut dists = vec![0.0f64; locations.len()];
+                            metric.distances_into(r.pickup, &locations, &mut dists);
+                            row.extend(survivors.iter().zip(&dists).map(|(&(ni, _), &d)| (ni, d)));
                             row
                         };
                         row.sort_by(|a, b| {
@@ -572,12 +591,17 @@ impl SparsePickupDistances {
         let mut row: Vec<(usize, f64)> = if radius.is_nan() || radius < 0.0 {
             Vec::new()
         } else {
-            grid.within(r.pickup, radius)
-                .into_iter()
-                .map(|n| {
-                    let i = n.item;
-                    (i, metric.distance(taxis[i].location, r.pickup))
-                })
+            // Grid radius query, then the batched one-to-many kernel over
+            // the surviving candidates (pickup as the shared origin; see
+            // PickupDistances::compute).
+            let neighbors = grid.within(r.pickup, radius);
+            let locations: Vec<Point> = neighbors.iter().map(|n| taxis[n.item].location).collect();
+            let mut dists = vec![0.0f64; locations.len()];
+            metric.distances_into(r.pickup, &locations, &mut dists);
+            neighbors
+                .iter()
+                .zip(&dists)
+                .map(|(n, &d)| (n.item, d))
                 .collect()
         };
         // Same total order as the dense row sort: metric distance,
@@ -973,7 +997,13 @@ mod tests {
         struct Poisoned;
         impl Metric for Poisoned {
             fn distance(&self, a: Point, b: Point) -> f64 {
-                assert!(b.x < 100.0, "metric poisoned at x = {}", b.x);
+                // Poison on either argument: the batched kernel passes the
+                // request pickup as the origin.
+                assert!(
+                    a.x < 100.0 && b.x < 100.0,
+                    "metric poisoned at x = {}",
+                    a.x.max(b.x)
+                );
                 Euclidean.distance(a, b)
             }
         }

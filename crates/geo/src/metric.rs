@@ -33,7 +33,40 @@ pub trait Metric: Debug + Send + Sync {
     fn path_length(&self, stops: &[Point]) -> f64 {
         stops.windows(2).map(|w| self.distance(w[0], w[1])).sum()
     }
+
+    /// One-to-many batched distances: fills `out[i]` with
+    /// `distance(origin, targets[i])`.
+    ///
+    /// The default body is exactly that per-element loop, so every
+    /// implementation is bit-identical to repeated [`Metric::distance`]
+    /// calls by construction. Concrete metrics may override it with a
+    /// chunked kernel (see [`Euclidean`]) to expose independent distance
+    /// computations to the optimizer — overrides **must** keep the
+    /// per-element arithmetic unchanged, batching only the loop
+    /// structure, so results stay bit-identical. Since metrics are
+    /// symmetric, hot paths that need many-origins-to-one-destination
+    /// rows (the pickup matrices) call this with the shared destination
+    /// as `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` and `out` have different lengths.
+    fn distances_into(&self, origin: Point, targets: &[Point], out: &mut [f64]) {
+        assert_eq!(
+            targets.len(),
+            out.len(),
+            "distances_into: targets and out must have equal lengths"
+        );
+        for (o, &t) in out.iter_mut().zip(targets) {
+            *o = self.distance(origin, t);
+        }
+    }
 }
+
+/// Chunk width for the batched distance kernels. Eight pairs per
+/// iteration keeps the working set in registers and lets the compiler
+/// unroll/pipeline the independent per-pair computations.
+const BATCH_CHUNK: usize = 8;
 
 /// Straight-line distance — the paper's default city model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +75,33 @@ pub struct Euclidean;
 impl Metric for Euclidean {
     fn distance(&self, a: Point, b: Point) -> f64 {
         a.euclidean(b)
+    }
+
+    /// Chunked one-to-many kernel. Each element is still exactly
+    /// `origin.euclidean(target)` — bit-identical to the default body —
+    /// but processing fixed-width chunks of independent pairs lets the
+    /// compiler unroll and pipeline the loop instead of serialising on
+    /// one pair at a time.
+    fn distances_into(&self, origin: Point, targets: &[Point], out: &mut [f64]) {
+        assert_eq!(
+            targets.len(),
+            out.len(),
+            "distances_into: targets and out must have equal lengths"
+        );
+        let mut t_chunks = targets.chunks_exact(BATCH_CHUNK);
+        let mut o_chunks = out.chunks_exact_mut(BATCH_CHUNK);
+        for (ts, os) in (&mut t_chunks).zip(&mut o_chunks) {
+            for k in 0..BATCH_CHUNK {
+                os[k] = origin.euclidean(ts[k]);
+            }
+        }
+        for (o, &t) in o_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(t_chunks.remainder())
+        {
+            *o = origin.euclidean(t);
+        }
     }
 }
 
@@ -52,6 +112,32 @@ pub struct Manhattan;
 impl Metric for Manhattan {
     fn distance(&self, a: Point, b: Point) -> f64 {
         a.manhattan(b)
+    }
+
+    /// Chunked one-to-many kernel; same contract as
+    /// [`Euclidean::distances_into`](Metric::distances_into). The L1
+    /// arithmetic has no library calls at all, so these chunks
+    /// auto-vectorize outright.
+    fn distances_into(&self, origin: Point, targets: &[Point], out: &mut [f64]) {
+        assert_eq!(
+            targets.len(),
+            out.len(),
+            "distances_into: targets and out must have equal lengths"
+        );
+        let mut t_chunks = targets.chunks_exact(BATCH_CHUNK);
+        let mut o_chunks = out.chunks_exact_mut(BATCH_CHUNK);
+        for (ts, os) in (&mut t_chunks).zip(&mut o_chunks) {
+            for k in 0..BATCH_CHUNK {
+                os[k] = origin.manhattan(ts[k]);
+            }
+        }
+        for (o, &t) in o_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(t_chunks.remainder())
+        {
+            *o = origin.manhattan(t);
+        }
     }
 }
 
@@ -107,11 +193,28 @@ impl<M: Metric> Metric for ScaledMetric<M> {
     fn distance(&self, a: Point, b: Point) -> f64 {
         self.inner.distance(a, b) * self.factor
     }
+
+    /// Batches through the inner metric's kernel, then scales in place —
+    /// the same `inner * factor` per element as [`Metric::distance`].
+    fn distances_into(&self, origin: Point, targets: &[Point], out: &mut [f64]) {
+        self.inner.distances_into(origin, targets, out);
+        for o in out {
+            *o *= self.factor;
+        }
+    }
 }
+
+// The wrapper impls forward `distances_into` explicitly: the default body
+// would still be bit-identical (it loops the forwarded `distance`), but
+// forwarding keeps the wrapped metric's chunked kernel on the hot path.
 
 impl<M: Metric + ?Sized> Metric for &M {
     fn distance(&self, a: Point, b: Point) -> f64 {
         (**self).distance(a, b)
+    }
+
+    fn distances_into(&self, origin: Point, targets: &[Point], out: &mut [f64]) {
+        (**self).distances_into(origin, targets, out);
     }
 }
 
@@ -119,11 +222,19 @@ impl<M: Metric + ?Sized> Metric for Box<M> {
     fn distance(&self, a: Point, b: Point) -> f64 {
         (**self).distance(a, b)
     }
+
+    fn distances_into(&self, origin: Point, targets: &[Point], out: &mut [f64]) {
+        (**self).distances_into(origin, targets, out);
+    }
 }
 
 impl<M: Metric + ?Sized> Metric for std::sync::Arc<M> {
     fn distance(&self, a: Point, b: Point) -> f64 {
         (**self).distance(a, b)
+    }
+
+    fn distances_into(&self, origin: Point, targets: &[Point], out: &mut [f64]) {
+        (**self).distances_into(origin, targets, out);
     }
 }
 
@@ -182,6 +293,47 @@ mod tests {
             takes_metric(std::sync::Arc::new(Euclidean) as std::sync::Arc<dyn Metric>),
             1.0
         );
+    }
+
+    #[test]
+    fn batched_distances_match_per_pair_calls_exactly() {
+        // Lengths straddling the chunk width: empty, sub-chunk, exact
+        // multiples, and ragged remainders.
+        for n in [0usize, 1, 3, 7, 8, 9, 16, 23] {
+            let origin = Point::new(0.37, -1.91);
+            let targets: Vec<Point> = (0..n)
+                .map(|i| Point::new((i as f64).sin() * 40.0, (i as f64).cos() * 25.0 - 3.0))
+                .collect();
+            let mut out = vec![f64::NAN; n];
+            let scaled = ScaledMetric::new(Euclidean, 1.3);
+            let boxed: Box<dyn Metric> = Box::new(Euclidean);
+            let arced: std::sync::Arc<dyn Metric> = std::sync::Arc::new(Manhattan);
+            let metrics: Vec<(&str, &dyn Metric)> = vec![
+                ("euclidean", &Euclidean),
+                ("manhattan", &Manhattan),
+                ("scaled", &scaled),
+                ("ref", &&Euclidean),
+                ("boxed", &boxed),
+                ("arced", &arced),
+            ];
+            for (name, m) in metrics {
+                m.distances_into(origin, &targets, &mut out);
+                for (i, &t) in targets.iter().enumerate() {
+                    assert_eq!(
+                        out[i].to_bits(),
+                        m.distance(origin, t).to_bits(),
+                        "{name} diverges at n={n}, i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn batched_distances_reject_mismatched_buffers() {
+        let mut out = vec![0.0; 2];
+        Euclidean.distances_into(Point::ORIGIN, &[Point::ORIGIN], &mut out);
     }
 
     proptest! {

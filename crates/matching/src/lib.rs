@@ -34,4 +34,6 @@ pub use budget::{TimeBudget, TimeBudgetSpec};
 pub use hopcroft_karp::max_bipartite_matching;
 pub use hungarian::min_cost_assignment;
 pub use set_packing::{SetPacking, SetPackingStrategy};
-pub use stable::{Enumeration, Matching, PreferenceError, StableInstance};
+pub use stable::{
+    AnytimeSearch, Enumeration, MatchScratch, Matching, PreferenceError, StableInstance,
+};

@@ -146,6 +146,98 @@ impl Matching {
             self.reviewer_to_proposer[r] = None;
         }
     }
+
+    /// Clears and resizes in place to an empty matching of the given side
+    /// sizes, keeping the existing heap buffers when they are big enough.
+    fn reset(&mut self, proposers: usize, reviewers: usize) {
+        self.proposer_to_reviewer.clear();
+        self.proposer_to_reviewer.resize(proposers, None);
+        self.reviewer_to_proposer.clear();
+        self.reviewer_to_proposer.resize(reviewers, None);
+    }
+}
+
+/// Reusable working memory for the deferred-acceptance entry points.
+///
+/// A cold [`StableInstance::propose`] allocates its matching, cursor and
+/// free-stack vectors per call; in a rolling dispatch loop those
+/// allocations repeat every frame with the same shapes. Holding one
+/// `MatchScratch` across frames and calling the `*_with` entry points
+/// ([`StableInstance::propose_with`],
+/// [`StableInstance::propose_seeded_with`],
+/// [`StableInstance::reviewer_optimal_seeded_with`]) makes the
+/// steady-state loop allocation-free: every buffer — including the
+/// returned [`Matching`], once it is handed back via
+/// [`MatchScratch::recycle`] — is reused. Results are **bit-identical**
+/// to the scratch-free entry points for any (re)use pattern: the scratch
+/// only changes where the working memory lives, never what is computed.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Per-proposer cursors into their preference lists.
+    next: Vec<usize>,
+    /// Stack of proposers that still need to propose.
+    free: Vec<usize>,
+    /// The pruned warm seed of the current call.
+    seed: Vec<(usize, usize)>,
+    /// Swapped-side seed buffer for the reviewer-optimal path.
+    swap_seed: Vec<(usize, usize)>,
+    /// Seed-pruning working state (held pairs + cycle-settling buffers).
+    prune: PruneScratch,
+    /// Recycled matchings whose buffers the next call reuses.
+    pool: Vec<Matching>,
+}
+
+/// Working state for [`StableInstance::valid_warm_seed`]'s pruning
+/// fixpoint, pooled inside [`MatchScratch`] so the warm path allocates
+/// nothing once the buffers have grown to the steady-state shape.
+#[derive(Debug, Clone, Default)]
+struct PruneScratch {
+    /// Proposer → held reviewer in the candidate seed state.
+    p2r: Vec<Option<usize>>,
+    /// Reviewer → held proposer in the candidate seed state.
+    r2p: Vec<Option<usize>>,
+    /// Per-proposer justifying holders (cycle-detection edges).
+    justifiers: Vec<Vec<usize>>,
+    /// Reverse edges of `justifiers`.
+    dependents: Vec<Vec<usize>>,
+    /// Unsettled-justifier counts for Kahn settling.
+    pending: Vec<usize>,
+    /// Settling worklist.
+    settle: Vec<usize>,
+    /// Which proposers have been topologically settled.
+    settled: Vec<bool>,
+}
+
+impl MatchScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    #[must_use]
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+
+    /// Returns a finished [`Matching`]'s buffers to the pool so the next
+    /// `*_with` call can reuse them instead of allocating. Optional —
+    /// dropping the matching instead merely costs the next call one
+    /// allocation pair — and bounded, so a caller recycling more
+    /// matchings than it takes cannot grow the pool without limit.
+    pub fn recycle(&mut self, m: Matching) {
+        // One proposer-side and one reviewer-side result per frame is the
+        // steady-state shape; a little slack covers enumeration helpers.
+        if self.pool.len() < 4 {
+            self.pool.push(m);
+        }
+    }
+
+    /// An empty matching of the given shape, reusing pooled buffers.
+    fn take_matching(&mut self, proposers: usize, reviewers: usize) -> Matching {
+        match self.pool.pop() {
+            Some(mut m) => {
+                m.reset(proposers, reviewers);
+                m
+            }
+            None => Matching::empty(proposers, reviewers),
+        }
+    }
 }
 
 /// Result of a budget-bounded enumeration
@@ -162,22 +254,81 @@ pub struct Enumeration {
     pub truncated: bool,
 }
 
-/// Ranks: `rank[a][b] = position of b in a's list`, or `NOT_RANKED`.
+/// Result of the anytime reviewer-optimal search
+/// ([`StableInstance::reviewer_optimal_anytime`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnytimeSearch {
+    /// The best stable matching found within the budget. Always stable;
+    /// with an unlimited budget, exactly the reviewer-optimal matching.
+    pub best: Matching,
+    /// [`StableInstance::reviewer_cost`] of `best`.
+    pub reviewer_cost: u64,
+    /// The tightest proven lower bound on the reviewer cost of any
+    /// stable matching. Starts as the instance-wide bound (each matched
+    /// reviewer at its favourite mutually acceptable proposer); when the
+    /// walk completes un-truncated, the exhaustive visit itself proves
+    /// `best` optimal, so the bound is raised to `reviewer_cost` and
+    /// [`AnytimeSearch::gap`] certifies `0`.
+    pub lower_bound: u64,
+    /// BreakDispatch nodes explored (attempted `break_dispatch` calls).
+    pub nodes: u64,
+    /// Whether the budget stopped the walk. `false` means the search is
+    /// provably complete: either the tree was exhausted or the lower
+    /// bound was met.
+    pub truncated: bool,
+}
+
+impl AnytimeSearch {
+    /// The measured optimality gap: how far `best`'s reviewer cost sits
+    /// above the proven lower bound. `0` certifies reviewer-optimality;
+    /// a positive gap bounds how much better the true optimum could be
+    /// (it is often smaller, since the bound itself may be unattainable).
+    #[must_use]
+    pub fn gap(&self) -> u64 {
+        self.reviewer_cost - self.lower_bound
+    }
+}
+
+/// The "not in this agent's list" sentinel: `rank[a][b] = position of b
+/// in a's list`, or `NOT_RANKED` when `a` would rather keep its dummy
+/// than take `b`. Every rank layout answers lookups with this same
+/// sentinel, and every algorithm in this module treats it as "rejected
+/// below the dummy" — it is the single source of truth for
+/// (un)acceptability.
 const NOT_RANKED: u32 = u32::MAX;
 
-/// Rank table for one side: position of each partner in each agent's list.
+/// The side names used in every [`PreferenceError`], shared by all
+/// construction paths so dense, CSR and reference-hashmap validation
+/// report identically-worded errors.
+const PROPOSER_SIDE: &str = "proposer";
+/// See [`PROPOSER_SIDE`].
+const REVIEWER_SIDE: &str = "reviewer";
+
+/// Rank table for one side: position of each partner in each agent's
+/// list, or [`NOT_RANKED`].
 ///
-/// The dense layout (`O(n·m)` memory, O(1) lookup with no hashing) suits
-/// instances whose lists are long relative to the other side; the sparse
-/// layout stores only ranked partners, so memory and construction are
-/// `O(Σ list length)` — the point of threshold-pruned candidate
-/// generation, where each list holds a handful of nearby partners out of
-/// thousands. Both answer the same query: rank of `b` for agent `a`, or
-/// [`NOT_RANKED`].
+/// **Layout selection rule.** [`StableInstance::new`] builds `Dense`:
+/// `O(proposers·reviewers)` memory, O(1) indexed lookup — right when
+/// lists are long relative to the other side (the paper's full-preference
+/// frames). [`StableInstance::new_sparse`] builds `Csr`: memory and
+/// construction are `O(Σ list length)` — the point of threshold-pruned
+/// candidate generation, where each list holds a handful of nearby
+/// partners out of thousands. Within `Csr`, rows whose candidate count
+/// reaches [`CsrRanks::DENSE_ROW_DIVISOR`]ths of the partner side get a
+/// dense-row fast path, so degenerate everybody-ranks-everybody frames
+/// degrade to O(1) lookups instead of `log` searches. `Hashmap` is the
+/// pre-CSR reference layout, kept for the equivalence suite and the
+/// rank-lookup micro-benchmarks ([`StableInstance::new_sparse_reference`]);
+/// nothing on the hot path builds it.
+///
+/// All three layouts answer the same query with the same sentinel, so
+/// every algorithm on [`StableInstance`] is layout-oblivious and
+/// bit-identical across layouts.
 #[derive(Debug, Clone)]
 enum Ranks {
     Dense(Vec<Vec<u32>>),
-    Sparse(Vec<HashMap<usize, u32>>),
+    Csr(CsrRanks),
+    Hashmap(Vec<HashMap<usize, u32>>),
 }
 
 impl Ranks {
@@ -185,7 +336,147 @@ impl Ranks {
     fn get(&self, a: usize, b: usize) -> u32 {
         match self {
             Ranks::Dense(rows) => rows[a][b],
-            Ranks::Sparse(maps) => maps[a].get(&b).copied().unwrap_or(NOT_RANKED),
+            Ranks::Csr(csr) => csr.get(a, b),
+            Ranks::Hashmap(maps) => maps[a].get(&b).copied().unwrap_or(NOT_RANKED),
+        }
+    }
+}
+
+/// Flat compressed-sparse-row rank table.
+///
+/// One contiguous `(partner, rank)` pool sorted by partner within each
+/// row, addressed by a row-offset table — no per-agent allocations, no
+/// hashing, and lookups stream through a row slice that is contiguous in
+/// cache. Rows dense enough to make searching pointless (at least
+/// `1/DENSE_ROW_DIVISOR` of the partner side) are instead materialised
+/// in a shared dense pool and answered by direct indexing, which also
+/// skips their build-time sort.
+#[derive(Debug, Clone)]
+struct CsrRanks {
+    /// Row start offsets into `partners`/`ranks`; `rows + 1` entries.
+    offsets: Vec<u32>,
+    /// Ranked partner indices, sorted ascending within each row.
+    partners: Vec<u32>,
+    /// `ranks[k]` = rank of `partners[k]` in that row's list.
+    ranks: Vec<u32>,
+    /// Per row: start offset into `dense` for dense rows, else
+    /// [`NOT_RANKED`].
+    dense_rows: Vec<u32>,
+    /// Concatenated dense rows, one partner-side-width slot block each,
+    /// holding ranks.
+    dense: Vec<u32>,
+}
+
+impl CsrRanks {
+    /// A row is stored dense when its list covers at least
+    /// `1/DENSE_ROW_DIVISOR` of the partner side: the dense copy then
+    /// costs at most `DENSE_ROW_DIVISOR` times the sparse row while
+    /// buying O(1) lookups — and a sort-free build — on exactly the rows
+    /// where searching is deepest and sorting most expensive.
+    const DENSE_ROW_DIVISOR: usize = 8;
+
+    /// Sparse rows at most this long answer lookups by a counting scan
+    /// instead of binary search. The scan has no data-dependent loads —
+    /// every probe of a binary search must wait for the previous one,
+    /// while counting `entries < key` over a contiguous slice
+    /// auto-vectorizes and fetches its few cache lines in parallel — so
+    /// it wins at the candidate-list lengths threshold pruning produces
+    /// (a few dozen partners).
+    const LINEAR_SEARCH_LEN: usize = 64;
+
+    fn build(
+        lists: &[Vec<usize>],
+        other_side: usize,
+        side: &'static str,
+    ) -> Result<CsrRanks, PreferenceError> {
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut csr = CsrRanks {
+            offsets: Vec::with_capacity(lists.len() + 1),
+            partners: Vec::with_capacity(total),
+            ranks: Vec::with_capacity(total),
+            dense_rows: Vec::with_capacity(lists.len()),
+            dense: Vec::new(),
+        };
+        csr.offsets.push(0);
+        // Duplicate detection via agent-stamps: one shared `other_side`
+        // array for the whole build (never cleared — a slot is "seen"
+        // only when stamped with the current agent), keeping the
+        // per-entry scan order — and therefore which invalid entry an
+        // error reports — identical to the reference hashmap path.
+        let mut stamp = vec![u32::MAX; other_side];
+        let mut row: Vec<(u32, u32)> = Vec::new();
+        for (agent, list) in lists.iter().enumerate() {
+            for &entry in list {
+                if entry >= other_side {
+                    return Err(PreferenceError::IndexOutOfRange { side, agent, entry });
+                }
+                if stamp[entry] == agent as u32 {
+                    return Err(PreferenceError::DuplicateEntry { side, agent, entry });
+                }
+                stamp[entry] = agent as u32;
+            }
+            let dense_row =
+                other_side > 0 && list.len().saturating_mul(Self::DENSE_ROW_DIVISOR) >= other_side;
+            if dense_row {
+                let start = csr.dense.len();
+                csr.dense_rows.push(start as u32);
+                csr.dense.resize(start + other_side, NOT_RANKED);
+                for (pos, &entry) in list.iter().enumerate() {
+                    csr.dense[start + entry] = pos as u32;
+                }
+            } else {
+                csr.dense_rows.push(NOT_RANKED);
+                row.clear();
+                row.extend(
+                    list.iter()
+                        .enumerate()
+                        .map(|(pos, &entry)| (entry as u32, pos as u32)),
+                );
+                row.sort_unstable();
+                for &(partner, rank) in &row {
+                    csr.partners.push(partner);
+                    csr.ranks.push(rank);
+                }
+            }
+            csr.offsets.push(csr.partners.len() as u32);
+        }
+        Ok(csr)
+    }
+
+    /// Rank of `b` in row `a`, or [`NOT_RANKED`]. Dense rows index
+    /// directly; sparse rows narrow with a branch-free binary search (the
+    /// halving step is a conditional move on the probe result, not a
+    /// data-dependent branch) until the window fits
+    /// [`CsrRanks::LINEAR_SEARCH_LEN`], then finish with the vectorized
+    /// counting scan.
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> u32 {
+        let d = self.dense_rows[a];
+        if d != NOT_RANKED {
+            return self.dense[d as usize + b];
+        }
+        let lo = self.offsets[a] as usize;
+        let row = &self.partners[lo..self.offsets[a + 1] as usize];
+        let key = b as u32;
+        let mut base = 0usize;
+        let mut len = row.len();
+        while len > Self::LINEAR_SEARCH_LEN {
+            let half = len / 2;
+            base += usize::from(row[base + half - 1] < key) * half;
+            len -= half;
+        }
+        // `key`'s lower bound lies within `row[base..base + len]` (binary
+        // narrowing keeps that invariant; it holds trivially when the loop
+        // never ran), so counting the entries below `key` lands on it.
+        let pos = base
+            + row[base..base + len]
+                .iter()
+                .map(|&v| usize::from(v < key))
+                .sum::<usize>();
+        if pos < row.len() && row[pos] == key {
+            self.ranks[lo + pos]
+        } else {
+            NOT_RANKED
         }
     }
 }
@@ -203,9 +494,10 @@ fn build_ranks(lists: &[Vec<usize>], other_side: usize) -> Vec<Vec<u32>> {
         .collect()
 }
 
-/// Builds sparse rank maps, validating as it goes (unlike the dense path,
-/// which validates separately, this never allocates `other_side`-sized
-/// scratch — construction stays `O(Σ list length)`).
+/// Builds the **reference** hashmap rank maps, validating as it goes.
+/// Reports the same [`PreferenceError`]s, in the same scan order and
+/// with the same side names, as [`CsrRanks::build`] and the dense
+/// [`validate`] path — the equivalence suite pins this.
 fn build_sparse_ranks(
     lists: &[Vec<usize>],
     other_side: usize,
@@ -281,8 +573,8 @@ impl StableInstance {
     ) -> Result<Self, PreferenceError> {
         let n_reviewers = reviewer_lists.len();
         let n_proposers = proposer_lists.len();
-        validate(&proposer_lists, n_reviewers, "proposer")?;
-        validate(&reviewer_lists, n_proposers, "reviewer")?;
+        validate(&proposer_lists, n_reviewers, PROPOSER_SIDE)?;
+        validate(&reviewer_lists, n_proposers, REVIEWER_SIDE)?;
         let proposer_rank = Ranks::Dense(build_ranks(&proposer_lists, n_reviewers));
         let reviewer_rank = Ranks::Dense(build_ranks(&reviewer_lists, n_proposers));
         Ok(StableInstance {
@@ -293,14 +585,17 @@ impl StableInstance {
         })
     }
 
-    /// Builds an instance with **sparse** (hashmap) rank tables.
+    /// Builds an instance with **sparse** (flat CSR) rank tables.
     ///
     /// Semantically identical to [`StableInstance::new`] — every algorithm
     /// on the instance produces the same result — but construction time and
     /// memory are `O(Σ list length)` instead of `O(|proposers|·|reviewers|)`.
     /// This is what makes threshold-pruned candidate generation pay off:
     /// with truncated lists of a few dozen entries, a 2000×2000 frame never
-    /// materialises four million rank slots.
+    /// materialises four million rank slots. Lookups binary-search a
+    /// contiguous per-row slice (no hashing), and rows dense enough for
+    /// searching to be pointless get a dense-row fast path — see
+    /// [`CsrRanks`]'s layout notes.
     ///
     /// # Errors
     ///
@@ -312,15 +607,53 @@ impl StableInstance {
     ) -> Result<Self, PreferenceError> {
         let n_reviewers = reviewer_lists.len();
         let n_proposers = proposer_lists.len();
-        let proposer_rank = Ranks::Sparse(build_sparse_ranks(
+        let proposer_rank = Ranks::Csr(CsrRanks::build(
             &proposer_lists,
             n_reviewers,
-            "proposer",
+            PROPOSER_SIDE,
         )?);
-        let reviewer_rank = Ranks::Sparse(build_sparse_ranks(
+        let reviewer_rank = Ranks::Csr(CsrRanks::build(
             &reviewer_lists,
             n_proposers,
-            "reviewer",
+            REVIEWER_SIDE,
+        )?);
+        Ok(StableInstance {
+            proposer_lists,
+            reviewer_lists,
+            proposer_rank,
+            reviewer_rank,
+        })
+    }
+
+    /// Builds an instance with the pre-CSR **reference** rank tables
+    /// (per-agent hashmaps).
+    ///
+    /// Kept so the equivalence suite and the rank-lookup micro-benchmarks
+    /// can pit the CSR layout against the layout it replaced; produces
+    /// the same results as [`StableInstance::new`] and
+    /// [`StableInstance::new_sparse`] on every algorithm, and the same
+    /// [`PreferenceError`]s on invalid lists. Not used on any dispatch
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreferenceError`] when a list contains an out-of-range or
+    /// duplicate index.
+    pub fn new_sparse_reference(
+        proposer_lists: Vec<Vec<usize>>,
+        reviewer_lists: Vec<Vec<usize>>,
+    ) -> Result<Self, PreferenceError> {
+        let n_reviewers = reviewer_lists.len();
+        let n_proposers = proposer_lists.len();
+        let proposer_rank = Ranks::Hashmap(build_sparse_ranks(
+            &proposer_lists,
+            n_reviewers,
+            PROPOSER_SIDE,
+        )?);
+        let reviewer_rank = Ranks::Hashmap(build_sparse_ranks(
+            &reviewer_lists,
+            n_proposers,
+            REVIEWER_SIDE,
         )?);
         Ok(StableInstance {
             proposer_lists,
@@ -401,12 +734,26 @@ impl StableInstance {
     /// partners (Theorem 1). Runs in `O(|R|·|T|)`.
     #[must_use]
     pub fn propose(&self) -> Matching {
+        self.propose_with(&mut MatchScratch::new())
+    }
+
+    /// [`StableInstance::propose`] with caller-owned working memory.
+    ///
+    /// Bit-identical to `propose`; the scratch only supplies the cursor,
+    /// free-stack and matching buffers so a rolling caller avoids
+    /// re-allocating them every frame. Hand the result back through
+    /// [`MatchScratch::recycle`] once it is consumed to close the loop.
+    #[must_use]
+    pub fn propose_with(&self, scratch: &mut MatchScratch) -> Matching {
         let _span = obs::span("deferred_acceptance");
-        let mut m = Matching::empty(self.proposers(), self.reviewers());
-        let mut next = vec![0usize; self.proposers()];
+        let mut m = scratch.take_matching(self.proposers(), self.reviewers());
+        scratch.next.clear();
+        scratch.next.resize(self.proposers(), 0);
         // Stack of proposers that still need to propose.
-        let mut free: Vec<usize> = (0..self.proposers()).rev().collect();
-        self.run_proposals(&mut m, &mut next, &mut free);
+        scratch.free.clear();
+        scratch.free.extend((0..self.proposers()).rev());
+        let MatchScratch { next, free, .. } = scratch;
+        self.run_proposals(&mut m, next, free);
         m
     }
 
@@ -488,29 +835,47 @@ impl StableInstance {
     /// and any stale or garbage pair is simply pruned here.
     #[must_use]
     pub fn valid_warm_seed(&self, seed: &[(usize, usize)]) -> Vec<(usize, usize)> {
+        let mut prune = PruneScratch::default();
+        let mut out = Vec::new();
+        self.valid_warm_seed_into(seed, &mut prune, &mut out);
+        out
+    }
+
+    /// Buffer-reusing core of [`StableInstance::valid_warm_seed`]: writes
+    /// the pruned seed into `out` using `prune` as working state, both
+    /// resized as needed so any capacity (including empty) works.
+    fn valid_warm_seed_into(
+        &self,
+        seed: &[(usize, usize)],
+        prune: &mut PruneScratch,
+        out: &mut Vec<(usize, usize)>,
+    ) {
         let _span = obs::span("seed_prune");
         let np = self.proposers();
         let nr = self.reviewers();
-        let mut p2r: Vec<Option<usize>> = vec![None; np];
-        let mut r2p: Vec<Option<usize>> = vec![None; nr];
+        prune.p2r.clear();
+        prune.p2r.resize(np, None);
+        prune.r2p.clear();
+        prune.r2p.resize(nr, None);
         for &(p, r) in seed {
-            if p >= np || r >= nr || p2r[p].is_some() || r2p[r].is_some() {
+            if p >= np || r >= nr || prune.p2r[p].is_some() || prune.r2p[r].is_some() {
                 continue;
             }
             if !self.proposer_accepts(p, r) || !self.reviewer_accepts(r, p) {
                 continue;
             }
-            p2r[p] = Some(r);
-            r2p[r] = Some(p);
+            prune.p2r[p] = Some(r);
+            prune.r2p[r] = Some(p);
         }
         loop {
             let removed =
-                self.prune_unjustified(&mut p2r, &mut r2p) | self.prune_cycles(&mut p2r, &mut r2p);
+                self.prune_unjustified(&mut prune.p2r, &mut prune.r2p) | self.prune_cycles(prune);
             if !removed {
                 break;
             }
         }
-        (0..np).filter_map(|p| p2r[p].map(|r| (p, r))).collect()
+        out.clear();
+        out.extend((0..np).filter_map(|p| prune.p2r[p].map(|r| (p, r))));
     }
 
     /// Drops seeded pairs whose skipped prefix is not justified by the
@@ -549,10 +914,25 @@ impl StableInstance {
     /// have no valid serial proposal order and are removed. Assumes every
     /// remaining pair is prefix-justified. Returns whether any pair was
     /// dropped.
-    fn prune_cycles(&self, p2r: &mut [Option<usize>], r2p: &mut [Option<usize>]) -> bool {
+    fn prune_cycles(&self, s: &mut PruneScratch) -> bool {
+        let PruneScratch {
+            p2r,
+            r2p,
+            justifiers,
+            dependents,
+            pending,
+            settle,
+            settled,
+        } = s;
         let np = p2r.len();
-        let mut justifiers: Vec<Vec<usize>> = vec![Vec::new(); np];
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); np];
+        for v in justifiers.iter_mut() {
+            v.clear();
+        }
+        justifiers.resize_with(np, Vec::new);
+        for v in dependents.iter_mut() {
+            v.clear();
+        }
+        dependents.resize_with(np, Vec::new);
         for p in 0..np {
             let Some(r) = p2r[p] else { continue };
             let rank = self.prank(p, r) as usize;
@@ -567,11 +947,12 @@ impl StableInstance {
                 }
             }
         }
-        let mut pending: Vec<usize> = justifiers.iter().map(Vec::len).collect();
-        let mut settle: Vec<usize> = (0..np)
-            .filter(|&p| p2r[p].is_some() && pending[p] == 0)
-            .collect();
-        let mut settled = vec![false; np];
+        pending.clear();
+        pending.extend(justifiers.iter().map(Vec::len));
+        settle.clear();
+        settle.extend((0..np).filter(|&p| p2r[p].is_some() && pending[p] == 0));
+        settled.clear();
+        settled.resize(np, false);
         while let Some(q) = settle.pop() {
             settled[q] = true;
             for &p in &dependents[q] {
@@ -607,24 +988,49 @@ impl StableInstance {
     /// The seed only controls how much proposal work is skipped.
     #[must_use]
     pub fn propose_seeded(&self, seed: &[(usize, usize)]) -> Matching {
+        self.propose_seeded_with(seed, &mut MatchScratch::new())
+    }
+
+    /// [`StableInstance::propose_seeded`] with caller-owned working
+    /// memory. Bit-identical to `propose_seeded` for any scratch state;
+    /// reusing one scratch across frames makes the warm path
+    /// allocation-free once its buffers reach the steady-state shape.
+    #[must_use]
+    pub fn propose_seeded_with(
+        &self,
+        seed: &[(usize, usize)],
+        scratch: &mut MatchScratch,
+    ) -> Matching {
         let _span = obs::span("deferred_acceptance");
         let seed_pairs_in = seed.len() as u64;
-        let seed = self.valid_warm_seed(seed);
+        {
+            let MatchScratch {
+                seed: pruned,
+                prune,
+                ..
+            } = scratch;
+            self.valid_warm_seed_into(seed, prune, pruned);
+        }
         obs::add_many(&[
             ("match.seed_pairs_in", seed_pairs_in),
-            ("match.seed_pairs_kept", seed.len() as u64),
+            ("match.seed_pairs_kept", scratch.seed.len() as u64),
         ]);
-        let mut m = Matching::empty(self.proposers(), self.reviewers());
-        let mut next = vec![0usize; self.proposers()];
-        for &(p, r) in &seed {
+        let mut m = scratch.take_matching(self.proposers(), self.reviewers());
+        scratch.next.clear();
+        scratch.next.resize(self.proposers(), 0);
+        for i in 0..scratch.seed.len() {
+            let (p, r) = scratch.seed[i];
             m.link(p, r);
-            next[p] = self.prank(p, r) as usize + 1;
+            scratch.next[p] = self.prank(p, r) as usize + 1;
         }
-        let mut free: Vec<usize> = (0..self.proposers())
-            .rev()
-            .filter(|&p| m.proposer_to_reviewer[p].is_none())
-            .collect();
-        self.run_proposals(&mut m, &mut next, &mut free);
+        scratch.free.clear();
+        scratch.free.extend(
+            (0..self.proposers())
+                .rev()
+                .filter(|&p| m.proposer_to_reviewer[p].is_none()),
+        );
+        let MatchScratch { next, free, .. } = scratch;
+        self.run_proposals(&mut m, next, free);
         // A pruned seed is provably exact (see valid_warm_seed). Debug
         // builds distrust the proof anyway, but a divergence degrades to
         // the cold result instead of asserting: a warm-state bug costs
@@ -632,6 +1038,7 @@ impl StableInstance {
         if cfg!(debug_assertions) {
             let cold = self.propose();
             if m != cold {
+                scratch.recycle(m);
                 return cold;
             }
         }
@@ -645,8 +1052,24 @@ impl StableInstance {
     /// pruning happens on the swapped instance.
     #[must_use]
     pub fn reviewer_optimal_seeded(&self, seed: &[(usize, usize)]) -> Matching {
-        let swapped_seed: Vec<(usize, usize)> = seed.iter().map(|&(p, r)| (r, p)).collect();
-        let m = self.swapped().propose_seeded(&swapped_seed);
+        self.reviewer_optimal_seeded_with(seed, &mut MatchScratch::new())
+    }
+
+    /// [`StableInstance::reviewer_optimal_seeded`] with caller-owned
+    /// working memory (see [`StableInstance::propose_seeded_with`]). The
+    /// role swap itself still clones the preference tables — that cost is
+    /// hoisted by callers that cache the swapped instance, not here.
+    #[must_use]
+    pub fn reviewer_optimal_seeded_with(
+        &self,
+        seed: &[(usize, usize)],
+        scratch: &mut MatchScratch,
+    ) -> Matching {
+        let mut swapped_seed = std::mem::take(&mut scratch.swap_seed);
+        swapped_seed.clear();
+        swapped_seed.extend(seed.iter().map(|&(p, r)| (r, p)));
+        let m = self.swapped().propose_seeded_with(&swapped_seed, scratch);
+        scratch.swap_seed = swapped_seed;
         Matching {
             proposer_to_reviewer: m.reviewer_to_proposer,
             reviewer_to_proposer: m.proposer_to_reviewer,
@@ -885,6 +1308,141 @@ impl StableInstance {
             if let Some(next) = self.break_dispatch(s, j) {
                 out.push(next.clone());
                 if self.enumerate_budgeted_rec(&next, j, cap, budget, nodes, out) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Sum over matched pairs of the reviewer's rank for its partner
+    /// (0 = favourite). This is the objective the reviewer-optimal
+    /// matching minimises over all stable matchings: by the lattice
+    /// order, moving toward the reviewer-optimal end weakly improves
+    /// *every* reviewer's rank at once, and the rural-hospitals theorem
+    /// fixes the matched set, so the rank-sum orders stable matchings
+    /// consistently with the lattice.
+    #[must_use]
+    pub fn reviewer_cost(&self, m: &Matching) -> u64 {
+        m.pairs().map(|(p, r)| u64::from(self.rrank(r, p))).sum()
+    }
+
+    /// A lower bound on [`StableInstance::reviewer_cost`] over all stable
+    /// matchings: every reviewer matched in one stable matching is
+    /// matched in all of them (rural hospitals), and no reviewer can do
+    /// better than its favourite *mutually acceptable* proposer — so the
+    /// sum of those per-reviewer minima bounds the reviewer-optimal cost
+    /// from below. The bound is not always attained (reviewers' favourite
+    /// choices may conflict), but when the search meets it, optimality is
+    /// proven and the walk stops early.
+    fn reviewer_cost_lower_bound(&self, matched: &Matching) -> u64 {
+        (0..self.reviewers())
+            .filter(|&r| matched.reviewer_partner(r).is_some())
+            .map(|r| {
+                self.reviewer_lists[r]
+                    .iter()
+                    .position(|&p| self.proposer_accepts(p, r))
+                    .map_or(0, |rank| rank as u64)
+            })
+            .sum()
+    }
+
+    /// The anytime reviewer-optimal (NSTD-T) search — **Algorithm 2**
+    /// driven as a best-so-far branch-and-bound instead of a full
+    /// enumeration.
+    ///
+    /// Walks the BreakDispatch tree from the proposer-optimal matching
+    /// exactly like [`StableInstance::enumerate_budgeted`], but instead
+    /// of collecting every stable matching it keeps only the best seen
+    /// so far under [`StableInstance::reviewer_cost`], together with the
+    /// instance's reviewer-cost lower bound. Each step down the lattice
+    /// weakly improves every reviewer, so the deepest matching is the
+    /// reviewer-optimal one; the only sound *prune* is therefore the
+    /// global one — when the best cost meets the lower bound the result
+    /// is provably optimal and the walk stops. Otherwise the budget
+    /// (node cap + deadline, polled every 32 nodes) decides when to stop,
+    /// and [`AnytimeSearch::gap`] reports how far from proven-optimal
+    /// the answer may still be.
+    ///
+    /// With an unlimited budget the walk visits every stable matching,
+    /// so the result **equals [`StableInstance::reviewer_optimal`]
+    /// bit-for-bit** (the reviewer-optimal matching is the unique
+    /// cost-minimiser: equal cost implies every reviewer holds its
+    /// optimal partner, which pins the matching). Under any budget the
+    /// result is always a *stable* matching at least as good (for every
+    /// reviewer) as the proposer-optimal start — the budget only costs
+    /// proximity to optimal, never stability.
+    ///
+    /// Emits the `match.anytime_nodes` counter and the
+    /// `match.anytime_gap` gauge.
+    #[must_use]
+    pub fn reviewer_optimal_anytime(&self, budget: &TimeBudget) -> AnytimeSearch {
+        let _span = obs::span("anytime_enumeration");
+        let s0 = self.propose();
+        let lower_bound = self.reviewer_cost_lower_bound(&s0);
+        let mut best_cost = self.reviewer_cost(&s0);
+        let mut best = s0.clone();
+        let mut nodes = 0u64;
+        let mut truncated = false;
+        if best_cost > lower_bound {
+            truncated = self.anytime_rec(
+                &s0,
+                0,
+                budget,
+                &mut nodes,
+                &mut best,
+                &mut best_cost,
+                lower_bound,
+            );
+        }
+        // An un-truncated walk visited every stable matching, which is a
+        // proof of optimality even when the instance-level bound is loose
+        // (geometric instances often leave it at 0) — tighten the
+        // certificate so `gap()` reports 0.
+        let lower_bound = if truncated { lower_bound } else { best_cost };
+        obs::add("match.anytime_nodes", nodes);
+        obs::gauge("match.anytime_gap", (best_cost - lower_bound) as f64);
+        AnytimeSearch {
+            best,
+            reviewer_cost: best_cost,
+            lower_bound,
+            nodes,
+            truncated,
+        }
+    }
+
+    /// Best-so-far twin of [`StableInstance::enumerate_budgeted_rec`].
+    /// Returns whether the walk was stopped by the budget (meeting the
+    /// lower bound is a proof of optimality, not truncation).
+    #[allow(clippy::too_many_arguments)]
+    fn anytime_rec(
+        &self,
+        s: &Matching,
+        j_min: usize,
+        budget: &TimeBudget,
+        nodes: &mut u64,
+        best: &mut Matching,
+        best_cost: &mut u64,
+        lower_bound: u64,
+    ) -> bool {
+        for j in j_min..self.proposers() {
+            if *best_cost == lower_bound {
+                return false; // proven optimal — nothing left to find
+            }
+            if budget.node_cap().is_some_and(|c| *nodes >= c) {
+                return true;
+            }
+            if (*nodes).is_multiple_of(32) && budget.exhausted() {
+                return true;
+            }
+            *nodes += 1;
+            if let Some(next) = self.break_dispatch(s, j) {
+                let cost = self.reviewer_cost(&next);
+                if cost < *best_cost {
+                    *best_cost = cost;
+                    best.clone_from(&next);
+                }
+                if self.anytime_rec(&next, j, budget, nodes, best, best_cost, lower_bound) {
                     return true;
                 }
             }
@@ -1317,6 +1875,218 @@ mod tests {
                 entry: 0
             }
         );
+    }
+
+    #[test]
+    fn csr_dense_and_hashmap_rank_lookups_agree() {
+        // The three rank layouts built from the same lists must answer
+        // every single lookup identically — including NOT_RANKED misses,
+        // empty rows and full rows — and run the core algorithms to the
+        // same matchings.
+        let mut rng = StdRng::seed_from_u64(0xC5A_2A6C);
+        for case in 0..300 {
+            let np = rng.gen_range(0..=8);
+            let nr = rng.gen_range(0..=8);
+            let dense = random_instance(&mut rng, np, nr);
+            let csr = StableInstance::new_sparse(
+                dense.proposer_lists.clone(),
+                dense.reviewer_lists.clone(),
+            )
+            .unwrap();
+            let hashmap = StableInstance::new_sparse_reference(
+                dense.proposer_lists.clone(),
+                dense.reviewer_lists.clone(),
+            )
+            .unwrap();
+            for p in 0..np {
+                for r in 0..nr {
+                    let want = dense.proposer_rank_of(p, r);
+                    assert_eq!(csr.proposer_rank_of(p, r), want, "case {case} p{p} r{r}");
+                    assert_eq!(
+                        hashmap.proposer_rank_of(p, r),
+                        want,
+                        "case {case} p{p} r{r}"
+                    );
+                    let want = dense.reviewer_rank_of(r, p);
+                    assert_eq!(csr.reviewer_rank_of(r, p), want, "case {case} p{p} r{r}");
+                    assert_eq!(
+                        hashmap.reviewer_rank_of(r, p),
+                        want,
+                        "case {case} p{p} r{r}"
+                    );
+                }
+            }
+            assert_eq!(dense.propose(), csr.propose(), "case {case}");
+            assert_eq!(dense.propose(), hashmap.propose(), "case {case}");
+            assert_eq!(
+                dense.reviewer_optimal(),
+                csr.reviewer_optimal(),
+                "case {case}"
+            );
+            assert_eq!(
+                dense.reviewer_optimal(),
+                hashmap.reviewer_optimal(),
+                "case {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_three_layouts_reject_invalid_lists_identically() {
+        // Same invalid input ⇒ same error from the dense, CSR and
+        // reference-hashmap construction paths: same variant, side, agent
+        // AND entry (i.e. the same scan order found it).
+        let mut rng = StdRng::seed_from_u64(0xBAD_11575);
+        for case in 0..200 {
+            let np = rng.gen_range(1..=5);
+            let nr = rng.gen_range(1..=5);
+            let good = random_instance(&mut rng, np, nr);
+            let mut p_lists = good.proposer_lists.clone();
+            let mut r_lists = good.reviewer_lists.clone();
+            // Corrupt a random list with either an out-of-range entry or
+            // a duplicate (possibly both, in random order).
+            let corrupt = |list: &mut Vec<usize>, other: usize, rng: &mut StdRng| {
+                if rng.gen_bool(0.5) {
+                    list.insert(rng.gen_range(0..=list.len()), other + rng.gen_range(0..3));
+                }
+                if list.is_empty() || rng.gen_bool(0.5) {
+                    let dup = list
+                        .first()
+                        .copied()
+                        .unwrap_or(0)
+                        .min(other.saturating_sub(1));
+                    list.insert(rng.gen_range(0..=list.len()), dup);
+                    list.push(dup);
+                }
+            };
+            if rng.gen_bool(0.5) {
+                let p = rng.gen_range(0..np);
+                corrupt(&mut p_lists[p], nr, &mut rng);
+            } else {
+                let r = rng.gen_range(0..nr);
+                corrupt(&mut r_lists[r], np, &mut rng);
+            }
+            let dense = StableInstance::new(p_lists.clone(), r_lists.clone());
+            let csr = StableInstance::new_sparse(p_lists.clone(), r_lists.clone());
+            let hashmap = StableInstance::new_sparse_reference(p_lists, r_lists);
+            let dense_err = dense.map(|_| ());
+            assert_eq!(dense_err, csr.map(|_| ()), "case {case}");
+            assert_eq!(dense_err, hashmap.map(|_| ()), "case {case}");
+        }
+    }
+
+    #[test]
+    fn everyone_ranks_everyone_exercises_dense_rows_exactly() {
+        // Degenerate full-preference instance: every row crosses the
+        // dense-row threshold, so every lookup takes the dense-pool fast
+        // path — which must still agree with the dense layout bit-for-bit
+        // on lookups, matchings and the full enumeration.
+        let mut rng = StdRng::seed_from_u64(0xDE45E);
+        let n = 12;
+        let full_side = |rng: &mut StdRng| -> Vec<Vec<usize>> {
+            (0..n)
+                .map(|_| {
+                    let mut all: Vec<usize> = (0..n).collect();
+                    all.shuffle(rng);
+                    all
+                })
+                .collect()
+        };
+        let p = full_side(&mut rng);
+        let r = full_side(&mut rng);
+        let dense = StableInstance::new(p.clone(), r.clone()).unwrap();
+        let csr = StableInstance::new_sparse(p, r).unwrap();
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(dense.proposer_rank_of(a, b), csr.proposer_rank_of(a, b));
+                assert_eq!(dense.reviewer_rank_of(a, b), csr.reviewer_rank_of(a, b));
+                // Full lists: every pair is mutually ranked.
+                assert!(csr.proposer_rank_of(a, b).is_some());
+            }
+        }
+        assert_eq!(dense.propose(), csr.propose());
+        assert_eq!(dense.reviewer_optimal(), csr.reviewer_optimal());
+        assert_eq!(dense.enumerate_all(Some(64)), csr.enumerate_all(Some(64)));
+    }
+
+    #[test]
+    fn scratch_entry_points_are_bit_identical_across_reuse() {
+        // One MatchScratch reused across many frames of varying shapes —
+        // warm, cold and reviewer-optimal paths — must match the
+        // allocating entry points exactly on every call, with results
+        // recycled back into the pool between frames.
+        let mut rng = StdRng::seed_from_u64(0x5C2A7C8);
+        let mut scratch = MatchScratch::new();
+        let mut seed: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..120 {
+            let np = rng.gen_range(0..=7);
+            let nr = rng.gen_range(0..=7);
+            let inst = random_instance(&mut rng, np, nr);
+            let cold = inst.propose_with(&mut scratch);
+            assert_eq!(cold, inst.propose());
+            let warm = inst.propose_seeded_with(&seed, &mut scratch);
+            assert_eq!(warm, inst.propose_seeded(&seed));
+            assert_eq!(warm, cold, "warm start must never change the result");
+            let t_opt = inst.reviewer_optimal_seeded_with(&seed, &mut scratch);
+            assert_eq!(t_opt, inst.reviewer_optimal());
+            // Carry this frame's matching as the next frame's seed (sizes
+            // change, so much of it will be pruned — that's the point).
+            seed.clear();
+            seed.extend(warm.pairs());
+            scratch.recycle(cold);
+            scratch.recycle(warm);
+            scratch.recycle(t_opt);
+        }
+    }
+
+    #[test]
+    fn anytime_unlimited_equals_reviewer_optimal() {
+        let unlimited = TimeBudget::unlimited();
+        let mut rng = StdRng::seed_from_u64(0xA27);
+        for case in 0..150 {
+            let np = rng.gen_range(0..=6);
+            let nr = rng.gen_range(0..=6);
+            let inst = random_instance(&mut rng, np, nr);
+            let search = inst.reviewer_optimal_anytime(&unlimited);
+            assert_eq!(search.best, inst.reviewer_optimal(), "case {case}");
+            assert!(!search.truncated, "case {case}");
+            assert_eq!(search.reviewer_cost, inst.reviewer_cost(&search.best));
+            assert!(search.lower_bound <= search.reviewer_cost, "case {case}");
+            assert_eq!(search.gap(), search.reviewer_cost - search.lower_bound);
+        }
+    }
+
+    #[test]
+    fn anytime_budget_degrades_monotonically_and_stays_stable() {
+        // Growing node caps can only improve (weakly) the reviewer cost,
+        // every intermediate answer is a stable matching, and a zero
+        // budget returns the proposer-optimal start.
+        let mut rng = StdRng::seed_from_u64(0xA27B);
+        for _ in 0..40 {
+            let inst = random_instance(&mut rng, 6, 6);
+            let s0 = inst.propose();
+            let optimal = inst.reviewer_optimal();
+            let mut prev_cost = u64::MAX;
+            for cap in [0u64, 1, 2, 4, 8, 64, 4096] {
+                let budget = crate::budget::TimeBudgetSpec::unlimited()
+                    .with_node_cap(cap)
+                    .start();
+                let search = inst.reviewer_optimal_anytime(&budget);
+                assert!(inst.is_stable(&search.best));
+                assert!(search.reviewer_cost <= inst.reviewer_cost(&s0));
+                assert!(search.reviewer_cost <= prev_cost, "cap {cap} regressed");
+                prev_cost = search.reviewer_cost;
+                if cap == 0 && search.reviewer_cost > search.lower_bound {
+                    assert_eq!(search.best, s0);
+                    assert!(search.truncated);
+                }
+            }
+            assert_eq!(
+                prev_cost,
+                inst.reviewer_cost(&optimal),
+                "4096 nodes is plenty at 6x6"
+            );
+        }
     }
 
     #[test]
