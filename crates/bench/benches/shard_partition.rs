@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for [`ShardPlan`]: building the spatial
+//! partition (region assignment + boundary-band classification) and
+//! extracting the padded per-region taxi sets the sharded greedy path
+//! scans. Both are per-frame overheads the sharded dispatch pipeline
+//! pays before any matching runs, so their cost versus entity count is
+//! what decides when sharding is worth engaging.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use o2o_core::{PreferenceParams, ShardPlan, ShardSpec};
+use o2o_geo::{Euclidean, Metric, Point};
+use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A constant-density synthetic frame (20 km city at 250 taxis, growing
+/// with `sqrt(n)`), matching the `fig_sharded` workload shape.
+fn frame(seed: u64, n: usize) -> (Vec<Taxi>, Vec<Request>, Vec<f64>) {
+    let side = 20.0 * (n as f64 / 250.0).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pt = |rng: &mut StdRng| {
+        Point::new(
+            rng.gen_range(-side / 2.0..side / 2.0),
+            rng.gen_range(-side / 2.0..side / 2.0),
+        )
+    };
+    let taxis: Vec<Taxi> = (0..n)
+        .map(|i| Taxi::new(TaxiId(i as u64), pt(&mut rng)))
+        .collect();
+    let requests: Vec<Request> = (0..n)
+        .map(|j| {
+            let pickup = pt(&mut rng);
+            let len = rng.gen_range(1.0..6.0);
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let dropoff = Point::new(pickup.x + len * angle.cos(), pickup.y + len * angle.sin());
+            Request::new(RequestId(j as u64), 0, pickup, dropoff)
+        })
+        .collect();
+    let trips = requests
+        .iter()
+        .map(|r| Euclidean.distance(r.pickup, r.dropoff))
+        .collect();
+    (taxis, requests, trips)
+}
+
+fn bench_shard_partition(c: &mut Criterion) {
+    let params = PreferenceParams::paper();
+    let mut group = c.benchmark_group("shard_partition");
+    for &(n, target) in &[(2_000usize, 16usize), (20_000, 16), (20_000, 64)] {
+        let (taxis, requests, trips) = frame((n + target) as u64, n);
+        let spec = ShardSpec::new(target);
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("{n}x{target}")),
+            &n,
+            |b, _| {
+                b.iter(|| ShardPlan::build(&spec, &params, &taxis, &requests, &trips));
+            },
+        );
+        let plan = ShardPlan::build(&spec, &params, &taxis, &requests, &trips);
+        group.bench_with_input(
+            BenchmarkId::new("padded_taxi_sets", format!("{n}x{target}")),
+            &n,
+            |b, _| {
+                b.iter(|| plan.padded_taxi_sets(&taxis));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_partition);
+criterion_main!(benches);

@@ -206,6 +206,23 @@ pub fn policy_json(r: &SimReport) -> Json {
         ("total_cache_hits", r.total_cache_hits().into()),
         ("total_cache_misses", r.total_cache_misses().into()),
         ("cache_hit_rate", r.cache_hit_rate().into()),
+        ("anytime_frames", r.total_anytime_frames().into()),
+        ("anytime_nodes_total", r.total_anytime_nodes().into()),
+        (
+            "anytime_final_gap",
+            r.final_anytime_gap().map_or(Json::Null, Json::from),
+        ),
+        // Per-frame gap series only when the anytime search actually ran,
+        // so non-anytime policies don't carry a zero-filled array.
+        (
+            "anytime_gap_by_frame",
+            if r.total_anytime_frames() > 0 {
+                Json::arr(r.anytime_gap_by_frame())
+            } else {
+                Json::Null
+            },
+        ),
+        ("shard_frames", r.total_shard_frames().into()),
         ("stage_breakdown", stage_breakdown_json(&r.stage_breakdown)),
     ])
 }
@@ -362,6 +379,12 @@ mod tests {
         assert!(s.contains("\"dispatch_ms_by_frame\": ["));
         assert!(s.contains("\"total_dispatch_ms\""));
         assert!(s.contains("\"cache_hit_rate\""));
+        // Anytime fields ride along even when the policy never ran the
+        // anytime search: zero totals, null gap.
+        assert!(s.contains("\"anytime_nodes_total\": 0"));
+        assert!(s.contains("\"anytime_final_gap\": null"));
+        assert!(s.contains("\"anytime_gap_by_frame\": null"));
+        assert!(s.contains("\"shard_frames\": 0"));
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod nstd;
 mod params;
 pub mod prefs;
 mod schedule;
+pub mod shard;
 pub mod shared_route;
 mod std_sharing;
 
@@ -53,10 +54,11 @@ pub use nstd::{AnytimeOutcome, CandidateMode, NonSharingDispatcher};
 pub use o2o_matching::{TimeBudget, TimeBudgetSpec};
 pub use params::PreferenceParams;
 pub use prefs::{
-    build_taxi_grid, CandidateCarry, PickupDistances, PreferenceModel, SparsePickupDistances,
-    SparsePreferenceModel,
+    build_taxi_grid, candidate_radius, CandidateCarry, PickupDistances, PreferenceModel,
+    SparsePickupDistances, SparsePreferenceModel,
 };
 pub use schedule::{DispatchOutcome, Schedule};
+pub use shard::{ShardInstance, ShardMembers, ShardMode, ShardPlan, ShardSpec, ShardStats};
 pub use shared_route::{RoutePlan, Stop, StopKind};
 pub use std_sharing::{
     GroupAssignment, PackingObjective, SharingConfig, SharingDispatcher, SharingSchedule,

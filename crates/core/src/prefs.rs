@@ -283,6 +283,29 @@ impl PreferenceModel {
     }
 }
 
+/// The inclusive Euclidean candidate radius around a request's pick-up:
+/// any taxi that can be mutually acceptable lies within it.
+///
+/// Both acceptance filters bound the pick-up distance by
+/// `min(θ_p, θ_t + α·trip)`; the bound is inflated by a relative `1e-9`
+/// slack so the float rounding of `d − α·trip` can never exclude a taxi
+/// the dense filter would admit (see [`SparsePickupDistances`]). This is
+/// the **single source of truth** for that radius — the sparse candidate
+/// builder, the incremental row patcher and the shard partitioner must all
+/// agree on it bit-for-bit, or an entity could be classified interior to a
+/// shard while the candidate builder still reaches across the border.
+///
+/// Returns a negative value or `NaN` only when the thresholds themselves
+/// are (callers treat that as "no candidates"); `+∞` means unbounded.
+#[must_use]
+pub fn candidate_radius(params: &PreferenceParams, trip: f64) -> f64 {
+    let alpha_trip = params.alpha * trip;
+    let bound = params
+        .passenger_threshold
+        .min(params.taxi_threshold + alpha_trip);
+    bound + 1e-9 * (1.0 + bound.abs() + alpha_trip.abs())
+}
+
 /// Builds the per-frame spatial index over taxi positions: taxi *index*
 /// payloads (positions in the input slice) in a grid sized by
 /// [`heuristic_cell_size`].
@@ -507,11 +530,7 @@ impl SparsePickupDistances {
                     let (_, op, od) = carry_ref.requests[oj];
                     if same_bits(op, r.pickup) && same_bits(od, r.dropoff) {
                         let trip = carry_ref.trips[oj];
-                        let alpha_trip = params.alpha * trip;
-                        let bound = params
-                            .passenger_threshold
-                            .min(params.taxi_threshold + alpha_trip);
-                        let radius = bound + 1e-9 * (1.0 + bound.abs() + alpha_trip.abs());
+                        let radius = candidate_radius(params, trip);
                         let mut row: Vec<(usize, f64)> = if radius.is_nan() || radius < 0.0 {
                             Vec::new()
                         } else {
@@ -581,13 +600,9 @@ impl SparsePickupDistances {
         grid: &GridIndex<usize>,
     ) -> (Vec<(usize, f64)>, f64) {
         let trip = r.trip_distance(metric);
-        let alpha_trip = params.alpha * trip;
-        let bound = params
-            .passenger_threshold
-            .min(params.taxi_threshold + alpha_trip);
         // Inflate to absorb the rounding of `d − α·trip` vs
         // `θ_t + α·trip`; exact filters run on metric distances later.
-        let radius = bound + 1e-9 * (1.0 + bound.abs() + alpha_trip.abs());
+        let radius = candidate_radius(params, trip);
         let mut row: Vec<(usize, f64)> = if radius.is_nan() || radius < 0.0 {
             Vec::new()
         } else {

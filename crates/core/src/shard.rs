@@ -1,0 +1,548 @@
+//! Spatial sharding of a dispatch frame: per-region deferred acceptance
+//! with exact global reconciliation.
+//!
+//! The dummy-threshold argument (see [`crate::prefs`]) proves that a pair
+//! `(t_i, r_j)` farther apart than `min(θ_p, θ_t + α·trip_j)` is a no-op in
+//! every stable-matching algorithm. A [`ShardPlan`] exploits that: it tiles
+//! the frame's bounding box into regions sized by the frame-wide
+//! interaction radius `R` (the maximum of that bound over the frame's
+//! requests, slack-inflated exactly like the sparse candidate builder —
+//! both sides use [`crate::prefs::candidate_radius`], the single source of
+//! truth), assigns every taxi and request to **exactly one** region, and
+//! classifies each entity as *interior* (its interaction disk provably
+//! cannot cross an internal region border) or *boundary*.
+//!
+//! Regions whose padded bounding boxes do not intersect are provably
+//! independent: no candidate pair spans them, so deferred acceptance run on
+//! a region's sub-instance agrees with the global matching on every
+//! interior entity. The sharded dispatch path therefore runs deferred
+//! acceptance per region in parallel, then reconciles with one *seeded*
+//! global pass ([`o2o_matching::StableInstance::propose_seeded_with`]),
+//! which is exact for **any** seed — the per-shard outcome only controls
+//! how much proposal work the reconciliation can skip. Exactness of the
+//! final schedule is by construction, not by geometry; the geometry makes
+//! the fix-up cheap.
+
+use crate::prefs::candidate_radius;
+use crate::PreferenceParams;
+use o2o_geo::{BBox, Point, RegionGrid};
+use o2o_matching::{PreferenceError, StableInstance};
+use o2o_trace::{Request, Taxi};
+
+/// Configuration of the sharded dispatch path.
+///
+/// `target_shards` caps the number of regions; the actual count also
+/// respects the geometric floor (each region side at least
+/// `padding × R` for the frame's interaction radius `R`), so dense
+/// thresholds or small cities can yield fewer regions than asked — down to
+/// a single region, where the sharded path degenerates to the global one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSpec {
+    target_shards: usize,
+    padding: f64,
+}
+
+impl ShardSpec {
+    /// A spec asking for (at most) `target_shards` regions with the
+    /// default padding factor of `1.0` (region sides at least one
+    /// interaction radius).
+    ///
+    /// `target_shards == 0` is treated as `1`.
+    #[must_use]
+    pub fn new(target_shards: usize) -> Self {
+        ShardSpec {
+            target_shards: target_shards.max(1),
+            padding: 1.0,
+        }
+    }
+
+    /// Sets the minimum region side as a multiple of the interaction
+    /// radius. Larger padding shrinks the boundary band fraction (fewer
+    /// cross-border disks) at the cost of fewer, larger shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `padding ≥ 1.0` and finite — thinner regions would
+    /// let one disk span three regions per axis, which the planner does
+    /// not model.
+    #[must_use]
+    pub fn with_padding(mut self, padding: f64) -> Self {
+        assert!(
+            padding.is_finite() && padding >= 1.0,
+            "padding must be finite and >= 1.0, got {padding}"
+        );
+        self.padding = padding;
+        self
+    }
+
+    /// The requested region cap.
+    #[must_use]
+    pub fn target_shards(&self) -> usize {
+        self.target_shards
+    }
+
+    /// The minimum region side, as a multiple of the interaction radius.
+    #[must_use]
+    pub fn padding(&self) -> f64 {
+        self.padding
+    }
+}
+
+impl Default for ShardSpec {
+    /// Sixteen target shards, padding `1.0`.
+    fn default() -> Self {
+        ShardSpec::new(16)
+    }
+}
+
+/// Whether a [`crate::NonSharingDispatcher`] routes its sparse cold paths
+/// through the sharded pipeline.
+///
+/// Default off ([`ShardMode::Global`]): sharding is a scale optimisation
+/// and stays opt-in until bench-proven for a deployment. Every mode
+/// produces **bit-identical schedules** (property-tested in
+/// `tests/shard_equivalence.rs`) — the toggle only changes how the work is
+/// decomposed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ShardMode {
+    /// One global deferred-acceptance instance (the original path).
+    #[default]
+    Global,
+    /// Per-region deferred acceptance with seeded global reconciliation.
+    Sharded(ShardSpec),
+}
+
+/// The taxis and requests owned by one region (ascending global indices).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardMembers {
+    /// Global taxi indices owned by the region.
+    pub taxis: Vec<usize>,
+    /// Global request indices owned by the region.
+    pub requests: Vec<usize>,
+}
+
+/// A frame's spatial shard assignment: the region grid, per-entity
+/// ownership and boundary classification, and per-region member lists.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    grid: RegionGrid,
+    /// Frame-wide interaction radius `R` (slack-inflated; `0` when no
+    /// request can interact at all, `+∞` for unbounded thresholds).
+    radius: f64,
+    /// Per-request slack-inflated candidate radius (negative = the
+    /// thresholds admit no candidate at any distance).
+    request_radius: Vec<f64>,
+    taxi_region: Vec<usize>,
+    request_region: Vec<usize>,
+    taxi_boundary: Vec<bool>,
+    request_boundary: Vec<bool>,
+    members: Vec<ShardMembers>,
+}
+
+impl ShardPlan {
+    /// Builds the frame's shard plan.
+    ///
+    /// `trips[j]` must be request `j`'s trip distance under the dispatch
+    /// metric (`D(r_j^s, r_j^d)`), the same value the preference builder
+    /// uses — the per-request interaction radius is derived from it via
+    /// [`candidate_radius`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trips.len() != requests.len()`.
+    #[must_use]
+    pub fn build(
+        spec: &ShardSpec,
+        params: &PreferenceParams,
+        taxis: &[Taxi],
+        requests: &[Request],
+        trips: &[f64],
+    ) -> ShardPlan {
+        assert_eq!(trips.len(), requests.len(), "one trip distance per request");
+        let request_radius: Vec<f64> = trips
+            .iter()
+            .map(|&trip| {
+                let r = candidate_radius(params, trip);
+                if r.is_nan() {
+                    -1.0
+                } else {
+                    r
+                }
+            })
+            .collect();
+        // Frame-wide interaction radius: the farthest any pair can
+        // interact. No requests (or none that can interact) ⇒ 0.
+        let radius = request_radius.iter().fold(0.0f64, |a, &b| a.max(b));
+        let bbox = BBox::from_points(
+            taxis
+                .iter()
+                .map(|t| t.location)
+                .chain(requests.iter().map(|r| r.pickup)),
+        )
+        .unwrap_or_else(|| BBox::square(Point::ORIGIN, 1.0));
+        let min_side = if radius.is_finite() {
+            spec.padding * radius
+        } else {
+            // Unbounded interaction radius: RegionGrid collapses to a
+            // single region on a non-finite minimum side.
+            f64::INFINITY
+        };
+        let grid = RegionGrid::new(bbox, spec.target_shards, min_side);
+        let mut members = vec![ShardMembers::default(); grid.regions()];
+        let mut taxi_region = Vec::with_capacity(taxis.len());
+        let mut taxi_boundary = Vec::with_capacity(taxis.len());
+        for (i, t) in taxis.iter().enumerate() {
+            let s = grid.region_of(t.location);
+            taxi_region.push(s);
+            // A taxi can partner any request whose disk reaches it, so its
+            // own disk radius is the frame-wide maximum.
+            taxi_boundary.push(!grid.disk_is_interior(t.location, radius));
+            members[s].taxis.push(i);
+        }
+        let mut request_region = Vec::with_capacity(requests.len());
+        let mut request_boundary = Vec::with_capacity(requests.len());
+        for (j, r) in requests.iter().enumerate() {
+            let s = grid.region_of(r.pickup);
+            request_region.push(s);
+            request_boundary.push(!grid.disk_is_interior(r.pickup, request_radius[j].max(0.0)));
+            members[s].requests.push(j);
+        }
+        ShardPlan {
+            grid,
+            radius,
+            request_radius,
+            taxi_region,
+            request_region,
+            taxi_boundary,
+            request_boundary,
+            members,
+        }
+    }
+
+    /// The region grid in use.
+    #[must_use]
+    pub fn grid(&self) -> &RegionGrid {
+        &self.grid
+    }
+
+    /// The frame-wide interaction radius `R`.
+    #[must_use]
+    pub fn interaction_radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Request `j`'s slack-inflated candidate radius (negative when its
+    /// thresholds admit no candidate).
+    #[must_use]
+    pub fn request_radius(&self, j: usize) -> f64 {
+        self.request_radius[j]
+    }
+
+    /// Number of regions in the plan.
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.grid.regions()
+    }
+
+    /// The member lists of `region`.
+    #[must_use]
+    pub fn members(&self, region: usize) -> &ShardMembers {
+        &self.members[region]
+    }
+
+    /// The region owning taxi `i`.
+    #[must_use]
+    pub fn taxi_region(&self, i: usize) -> usize {
+        self.taxi_region[i]
+    }
+
+    /// The region owning request `j`.
+    #[must_use]
+    pub fn request_region(&self, j: usize) -> usize {
+        self.request_region[j]
+    }
+
+    /// Whether taxi `i` is in the boundary band (its interaction disk may
+    /// cross an internal region border).
+    #[must_use]
+    pub fn taxi_is_boundary(&self, i: usize) -> bool {
+        self.taxi_boundary[i]
+    }
+
+    /// Whether request `j` is in the boundary band.
+    #[must_use]
+    pub fn request_is_boundary(&self, j: usize) -> bool {
+        self.request_boundary[j]
+    }
+
+    /// Number of boundary-band taxis.
+    #[must_use]
+    pub fn boundary_taxi_count(&self) -> usize {
+        self.taxi_boundary.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of boundary-band requests.
+    #[must_use]
+    pub fn boundary_request_count(&self) -> usize {
+        self.request_boundary.iter().filter(|&&b| b).count()
+    }
+
+    /// Regions with at least one taxi **and** one request — the only ones
+    /// whose sub-instances can produce matched pairs.
+    #[must_use]
+    pub fn occupied_regions(&self) -> Vec<usize> {
+        (0..self.regions())
+            .filter(|&s| !self.members[s].taxis.is_empty() && !self.members[s].requests.is_empty())
+            .collect()
+    }
+
+    /// Extracts `region`'s stable-marriage sub-instance from the global
+    /// one: the region's own requests and taxis, with every preference
+    /// list filtered to in-region partners (relative order preserved).
+    ///
+    /// Both sides are filtered by the same predicate (partner owned by
+    /// `region`), so mutual acceptability is preserved and the local lists
+    /// are valid truncated preference lists. For *interior* entities the
+    /// filter is a no-op — all their candidates are in-region by the
+    /// independence argument — which debug builds assert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global` does not have one proposer per request and one
+    /// reviewer per taxi of the frame this plan was built for.
+    #[must_use]
+    pub fn extract_instance(&self, global: &StableInstance, region: usize) -> ShardInstance {
+        assert_eq!(global.proposers(), self.request_region.len());
+        assert_eq!(global.reviewers(), self.taxi_region.len());
+        let m = &self.members[region];
+        let mut taxi_local = vec![u32::MAX; self.taxi_region.len()];
+        for (li, &i) in m.taxis.iter().enumerate() {
+            taxi_local[i] = li as u32;
+        }
+        let mut request_local = vec![u32::MAX; self.request_region.len()];
+        for (lj, &j) in m.requests.iter().enumerate() {
+            request_local[j] = lj as u32;
+        }
+        let request_lists: Vec<Vec<usize>> = m
+            .requests
+            .iter()
+            .map(|&j| {
+                let list = global.proposer_list(j);
+                debug_assert!(
+                    self.request_boundary[j] || list.iter().all(|&i| self.taxi_region[i] == region),
+                    "interior request {j} has a candidate outside its region"
+                );
+                list.iter()
+                    .filter(|&&i| self.taxi_region[i] == region)
+                    .map(|&i| taxi_local[i] as usize)
+                    .collect()
+            })
+            .collect();
+        let taxi_lists: Vec<Vec<usize>> = m
+            .taxis
+            .iter()
+            .map(|&i| {
+                let list = global.reviewer_list(i);
+                debug_assert!(
+                    self.taxi_boundary[i] || list.iter().all(|&j| self.request_region[j] == region),
+                    "interior taxi {i} ranks a request outside its region"
+                );
+                list.iter()
+                    .filter(|&&j| self.request_region[j] == region)
+                    .map(|&j| request_local[j] as usize)
+                    .collect()
+            })
+            .collect();
+        let instance = StableInstance::new_sparse(request_lists, taxi_lists).unwrap_or_else(
+            |e: PreferenceError| {
+                unreachable!("filtered global lists stay in-range and duplicate-free: {e}")
+            },
+        );
+        ShardInstance {
+            instance,
+            requests: m.requests.clone(),
+            taxis: m.taxis.clone(),
+        }
+    }
+
+    /// Per-region *padded* taxi sets for the sharded greedy baseline:
+    /// `sets[s]` holds every taxi within the frame's interaction radius of
+    /// region `s`'s rectangle (ascending global index). A taxi near a
+    /// border appears in several sets; each request only queries its own
+    /// region's set, which is guaranteed to contain every taxi its
+    /// thresholds could accept.
+    #[must_use]
+    pub fn padded_taxi_sets(&self, taxis: &[Taxi]) -> Vec<Vec<usize>> {
+        let mut sets = vec![Vec::new(); self.regions()];
+        for (i, t) in taxis.iter().enumerate() {
+            for s in self.grid.regions_near(t.location, self.radius) {
+                sets[s].push(i);
+            }
+        }
+        sets
+    }
+}
+
+/// One region's extracted sub-instance plus its local→global index maps.
+#[derive(Debug, Clone)]
+pub struct ShardInstance {
+    /// The region-local stable-marriage instance (local indices).
+    pub instance: StableInstance,
+    /// Local request index → global request index (ascending).
+    pub requests: Vec<usize>,
+    /// Local taxi index → global taxi index (ascending).
+    pub taxis: Vec<usize>,
+}
+
+/// Measured structure and cost of one sharded dispatch.
+///
+/// The `*_ms` fields support the bench's critical-path accounting: on a
+/// machine with at least as many threads as occupied shards, the sharded
+/// matching stage costs `partition_ms + max_shard_ms + reconcile_ms`
+/// wall-clock, while a single-threaded run pays `partition_ms +
+/// sum_shard_ms + reconcile_ms`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardStats {
+    /// Regions in the plan (`cols × rows`).
+    pub regions: usize,
+    /// Regions holding at least one taxi and one request.
+    pub occupied: usize,
+    /// Taxis whose interaction disk may cross a region border.
+    pub boundary_taxis: usize,
+    /// Requests whose interaction disk may cross a region border.
+    pub boundary_requests: usize,
+    /// Matched pairs produced shard-locally and fed to reconciliation as
+    /// the warm seed.
+    pub seed_pairs: usize,
+    /// Milliseconds spent building the shard plan.
+    pub partition_ms: f64,
+    /// Slowest single shard's extract+match milliseconds (the parallel
+    /// critical path of the shard stage).
+    pub max_shard_ms: f64,
+    /// Total extract+match milliseconds summed over shards (the
+    /// sequential cost of the shard stage).
+    pub sum_shard_ms: f64,
+    /// Milliseconds spent in the seeded global reconciliation pass.
+    pub reconcile_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2o_geo::{Euclidean, Metric, Point};
+    use o2o_trace::{RequestId, TaxiId};
+
+    fn taxi(id: u64, x: f64, y: f64) -> Taxi {
+        Taxi::new(TaxiId(id), Point::new(x, y))
+    }
+
+    fn request(id: u64, sx: f64, sy: f64, dx: f64, dy: f64) -> Request {
+        Request::new(RequestId(id), 0, Point::new(sx, sy), Point::new(dx, dy))
+    }
+
+    fn trips(metric: &Euclidean, requests: &[Request]) -> Vec<f64> {
+        requests.iter().map(|r| r.trip_distance(metric)).collect()
+    }
+
+    #[test]
+    fn spec_validates_padding() {
+        let spec = ShardSpec::new(8).with_padding(2.0);
+        assert_eq!(spec.target_shards(), 8);
+        assert_eq!(spec.padding(), 2.0);
+        assert_eq!(ShardSpec::new(0).target_shards(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "padding")]
+    fn spec_rejects_thin_padding() {
+        let _ = ShardSpec::new(8).with_padding(0.5);
+    }
+
+    #[test]
+    fn plan_partitions_every_entity_once() {
+        let params = PreferenceParams::paper();
+        let taxis: Vec<Taxi> = (0..40)
+            .map(|i| taxi(i, (i as f64 * 7.3) % 60.0, (i as f64 * 3.1) % 60.0))
+            .collect();
+        let requests: Vec<Request> = (0..30)
+            .map(|j| {
+                let x = (j as f64 * 5.7) % 60.0;
+                let y = (j as f64 * 9.1) % 60.0;
+                request(j as u64, x, y, x + 2.0, y + 1.0)
+            })
+            .collect();
+        let t = trips(&Euclidean, &requests);
+        let plan = ShardPlan::build(&ShardSpec::new(16), &params, &taxis, &requests, &t);
+        let mut seen_t = vec![0usize; taxis.len()];
+        let mut seen_r = vec![0usize; requests.len()];
+        for s in 0..plan.regions() {
+            for &i in &plan.members(s).taxis {
+                assert_eq!(plan.taxi_region(i), s);
+                seen_t[i] += 1;
+            }
+            for &j in &plan.members(s).requests {
+                assert_eq!(plan.request_region(j), s);
+                seen_r[j] += 1;
+            }
+        }
+        assert!(
+            seen_t.iter().all(|&c| c == 1),
+            "every taxi in exactly one shard"
+        );
+        assert!(
+            seen_r.iter().all(|&c| c == 1),
+            "every request in exactly one shard"
+        );
+    }
+
+    #[test]
+    fn unbounded_params_collapse_to_one_region() {
+        let params = PreferenceParams::unbounded();
+        let taxis = vec![taxi(0, 0.0, 0.0), taxi(1, 50.0, 50.0)];
+        let requests = vec![request(0, 10.0, 10.0, 12.0, 10.0)];
+        let t = trips(&Euclidean, &requests);
+        let plan = ShardPlan::build(&ShardSpec::new(64), &params, &taxis, &requests, &t);
+        assert_eq!(plan.regions(), 1);
+        assert!(plan.interaction_radius().is_infinite());
+        assert_eq!(plan.occupied_regions(), vec![0]);
+    }
+
+    #[test]
+    fn empty_frame_is_well_formed() {
+        let params = PreferenceParams::paper();
+        let plan = ShardPlan::build(&ShardSpec::new(8), &params, &[], &[], &[]);
+        assert_eq!(plan.interaction_radius(), 0.0);
+        assert!(plan.occupied_regions().is_empty());
+    }
+
+    #[test]
+    fn padded_sets_cover_all_acceptable_taxis() {
+        let params = PreferenceParams::paper();
+        let taxis: Vec<Taxi> = (0..60)
+            .map(|i| taxi(i, (i as f64 * 4.3) % 50.0, (i as f64 * 6.9) % 50.0))
+            .collect();
+        let requests: Vec<Request> = (0..40)
+            .map(|j| {
+                let x = (j as f64 * 3.7) % 50.0;
+                let y = (j as f64 * 8.3) % 50.0;
+                request(j as u64, x, y, x + 3.0, y)
+            })
+            .collect();
+        let t = trips(&Euclidean, &requests);
+        let plan = ShardPlan::build(&ShardSpec::new(16), &params, &taxis, &requests, &t);
+        let sets = plan.padded_taxi_sets(&taxis);
+        for (j, r) in requests.iter().enumerate() {
+            let set = &sets[plan.request_region(j)];
+            for (i, tx) in taxis.iter().enumerate() {
+                let d = Euclidean.distance(tx.location, r.pickup);
+                let score = d - params.alpha * t[j];
+                if d <= params.passenger_threshold && score <= params.taxi_threshold {
+                    assert!(
+                        set.contains(&i),
+                        "acceptable taxi {i} missing from request {j}'s padded set"
+                    );
+                }
+            }
+        }
+    }
+}

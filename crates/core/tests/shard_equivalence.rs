@@ -1,0 +1,341 @@
+//! Sharded ≡ global: spatial decomposition must not change a single bit.
+//!
+//! The sharded dispatch path partitions a frame into regions sized by the
+//! interaction radius, runs deferred acceptance per region, and reconciles
+//! with one *seeded* global pass. Exactness is by construction — the
+//! seeded pass produces the cold-start matching for **any** seed — so the
+//! schedules must be bit-identical to the global path for every shard grid
+//! size, padding, threshold setting, thread count, and churn pattern.
+//!
+//! Debug builds add a safety net that would mask a seeded-path bug: on
+//! divergence, `propose_seeded_with` silently returns the cold matching
+//! and bumps the `match.seed_divergence` counter. Every test here installs
+//! an [`o2o_obs`] recorder and asserts that counter stays zero, so the
+//! equivalence claims are about the seeded path itself, not the fallback.
+
+use o2o_core::{
+    build_taxi_grid, CandidateMode, IncrementalState, NonSharingDispatcher, PreferenceParams,
+    ShardMode, ShardPlan, ShardSpec, TimeBudget,
+};
+use o2o_geo::{Euclidean, Point};
+use o2o_obs as obs;
+use o2o_par::Parallelism;
+use o2o_trace::{Request, RequestId, Taxi, TaxiId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_frame(seed: u64, nt: usize, nr: usize, span: f64) -> (Vec<Taxi>, Vec<Request>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let taxis = (0..nt)
+        .map(|i| {
+            let mut t = Taxi::new(
+                TaxiId(i as u64),
+                Point::new(rng.gen_range(-span..span), rng.gen_range(-span..span)),
+            );
+            t.seats = rng.gen_range(1..=4);
+            t
+        })
+        .collect();
+    let requests = (0..nr)
+        .map(|j| {
+            let mut r = Request::new(
+                RequestId(j as u64),
+                0,
+                Point::new(rng.gen_range(-span..span), rng.gen_range(-span..span)),
+                Point::new(rng.gen_range(-span..span), rng.gen_range(-span..span)),
+            );
+            r.passengers = rng.gen_range(1..=3);
+            r
+        })
+        .collect();
+    (taxis, requests)
+}
+
+/// Same rolling-delta generator as `warm_equivalence.rs`: a frame
+/// sequence where taxis move/leave/join and requests are served/arrive,
+/// so the sharded cold path is exercised against real churn.
+fn rolling_frames(
+    seed: u64,
+    frames: usize,
+    span: f64,
+    churn: f64,
+) -> Vec<(Vec<Taxi>, Vec<Request>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let point =
+        |rng: &mut StdRng| Point::new(rng.gen_range(-span..span), rng.gen_range(-span..span));
+    let nt = rng.gen_range(1..14);
+    let nr = rng.gen_range(1..16);
+    let mut taxis: Vec<Taxi> = (0..nt)
+        .map(|i| {
+            let mut t = Taxi::new(TaxiId(i as u64), point(&mut rng));
+            t.seats = rng.gen_range(1..=4);
+            t
+        })
+        .collect();
+    let mut next_taxi_id = nt as u64;
+    let mut next_request_id = 0u64;
+    let new_request = |rng: &mut StdRng, id: &mut u64| {
+        let mut r = Request::new(RequestId(*id), 0, point(rng), point(rng));
+        *id += 1;
+        r.passengers = rng.gen_range(1..=3);
+        r
+    };
+    let mut requests: Vec<Request> = (0..nr)
+        .map(|_| new_request(&mut rng, &mut next_request_id))
+        .collect();
+    let mut out = Vec::with_capacity(frames);
+    for _ in 0..frames {
+        out.push((taxis.clone(), requests.clone()));
+        let mut kept = Vec::with_capacity(taxis.len());
+        for mut t in taxis.drain(..) {
+            if rng.gen_bool(churn) {
+                if rng.gen_bool(0.5) {
+                    t.location = point(&mut rng);
+                    kept.push(t);
+                }
+            } else {
+                kept.push(t);
+            }
+        }
+        if rng.gen_bool(churn.max(0.1)) {
+            let mut t = Taxi::new(TaxiId(next_taxi_id), point(&mut rng));
+            next_taxi_id += 1;
+            t.seats = rng.gen_range(1..=4);
+            kept.push(t);
+        }
+        taxis = kept;
+        requests.retain(|_| !rng.gen_bool(churn));
+        let arrivals = rng.gen_range(0..3);
+        for _ in 0..arrivals {
+            requests.push(new_request(&mut rng, &mut next_request_id));
+        }
+    }
+    out
+}
+
+fn param_grid() -> Vec<PreferenceParams> {
+    vec![
+        PreferenceParams::paper(),
+        PreferenceParams::paper()
+            .with_passenger_threshold(3.0)
+            .with_taxi_threshold(0.5),
+        PreferenceParams::unbounded().with_taxi_threshold(1.0),
+        // Degenerate for sharding: infinite radius ⇒ a single region.
+        PreferenceParams::unbounded(),
+    ]
+}
+
+/// Shard grid sizes and paddings swept by every test, from the degenerate
+/// single shard up to grids far finer than the tiny frames can fill.
+fn spec_grid() -> Vec<ShardSpec> {
+    vec![
+        ShardSpec::new(1),
+        ShardSpec::new(4),
+        ShardSpec::new(9).with_padding(1.5),
+        ShardSpec::new(25),
+        ShardSpec::new(64).with_padding(2.0),
+    ]
+}
+
+const THREAD_COUNTS: [usize; 2] = [3, 7];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// NSTD-P and NSTD-T under `ShardMode::Sharded` are bit-identical to
+    /// the global path, across shard grid sizes, thresholds and thread
+    /// counts — via both the mode toggle and the explicit `*_sharded`
+    /// entry points — and the debug seeded-path fallback never fires.
+    #[test]
+    fn sharded_dispatch_matches_global(
+        seed in any::<u64>(), nt in 1usize..14, nr in 1usize..16,
+    ) {
+        let rec = obs::Recorder::new();
+        let _g = obs::scope(&rec);
+        let (taxis, requests) = random_frame(seed, nt, nr, 8.0);
+        let grid = build_taxi_grid(&taxis);
+        for params in param_grid() {
+            let global = NonSharingDispatcher::new(Euclidean, params);
+            let p0 = global.passenger_optimal_with_grid(&taxis, &requests, Some(&grid));
+            let t0 = global.taxi_optimal_with_grid(&taxis, &requests, Some(&grid));
+            for spec in spec_grid() {
+                let parallelisms = std::iter::once(Parallelism::sequential())
+                    .chain(THREAD_COUNTS.iter().map(|&t| Parallelism::fixed(t)));
+                for par in parallelisms {
+                    let sharded = NonSharingDispatcher::new(Euclidean, params)
+                        .with_parallelism(par)
+                        .with_shard_mode(ShardMode::Sharded(spec));
+                    prop_assert_eq!(
+                        &sharded.passenger_optimal_with_grid(&taxis, &requests, Some(&grid)),
+                        &p0
+                    );
+                    prop_assert_eq!(
+                        &sharded.taxi_optimal_with_grid(&taxis, &requests, Some(&grid)),
+                        &t0
+                    );
+                    let (p, ps) = sharded
+                        .passenger_optimal_sharded(&taxis, &requests, Some(&grid), &spec);
+                    prop_assert_eq!(&p, &p0);
+                    prop_assert!(ps.regions >= 1 && ps.occupied <= ps.regions);
+                    let (t, _) =
+                        sharded.taxi_optimal_sharded(&taxis, &requests, Some(&grid), &spec);
+                    prop_assert_eq!(&t, &t0);
+                }
+            }
+        }
+        prop_assert!(rec.counter("shard.frames") > 0, "sharded path never engaged");
+        prop_assert_eq!(rec.counter("match.seed_divergence"), 0);
+    }
+
+    /// The sharded greedy baseline (padded per-region taxi sets) is
+    /// bit-identical to the dense greedy scan, across shard grids and
+    /// thresholds — including via the `ShardMode` routing.
+    #[test]
+    fn sharded_greedy_matches_dense_greedy(
+        seed in any::<u64>(), nt in 1usize..16, nr in 1usize..16,
+    ) {
+        let (taxis, requests) = random_frame(seed, nt, nr, 8.0);
+        for params in param_grid() {
+            let global = NonSharingDispatcher::new(Euclidean, params);
+            let g0 = global.greedy_nearest(&taxis, &requests);
+            for spec in spec_grid() {
+                let sharded = NonSharingDispatcher::new(Euclidean, params)
+                    .with_shard_mode(ShardMode::Sharded(spec));
+                prop_assert_eq!(&sharded.greedy_nearest(&taxis, &requests), &g0);
+                let (s, stats) = sharded.greedy_nearest_sharded(&taxis, &requests, &spec);
+                prop_assert_eq!(&s, &g0);
+                prop_assert_eq!(stats.seed_pairs, 0);
+            }
+        }
+    }
+
+    /// Churn via the incremental path: over rolling frame deltas, the
+    /// sharded cold path agrees frame by frame with the warm-incremental
+    /// global path (which carries state across the same sequence).
+    #[test]
+    fn sharded_matches_warm_incremental_across_churn(
+        seed in any::<u64>(), churn_pct in 0u32..=60,
+    ) {
+        let rec = obs::Recorder::new();
+        let _g = obs::scope(&rec);
+        let frames = rolling_frames(seed, 6, 8.0, f64::from(churn_pct) / 100.0);
+        let params = PreferenceParams::paper();
+        let warm = NonSharingDispatcher::new(Euclidean, params);
+        for spec in [ShardSpec::new(4), ShardSpec::new(16)] {
+            let sharded = NonSharingDispatcher::new(Euclidean, params)
+                .with_shard_mode(ShardMode::Sharded(spec));
+            let mut p_state = IncrementalState::new();
+            let mut t_state = IncrementalState::new();
+            for (taxis, requests) in &frames {
+                prop_assert_eq!(
+                    &sharded.passenger_optimal_with_grid(taxis, requests, None),
+                    &warm.passenger_optimal_incremental(taxis, requests, None, &mut p_state)
+                );
+                prop_assert_eq!(
+                    &sharded.taxi_optimal_with_grid(taxis, requests, None),
+                    &warm.taxi_optimal_incremental(taxis, requests, None, &mut t_state)
+                );
+            }
+        }
+        prop_assert_eq!(rec.counter("match.seed_divergence"), 0);
+    }
+
+    /// The shard plan is a true partition at the dispatch level: every
+    /// taxi and request lands in exactly one region's member list, and
+    /// the member lists agree with the per-entity ownership accessors.
+    #[test]
+    fn shard_plan_is_a_true_partition(
+        seed in any::<u64>(), nt in 0usize..20, nr in 0usize..20, target in 1usize..40,
+    ) {
+        let (taxis, requests) = random_frame(seed, nt, nr, 10.0);
+        let trips: Vec<f64> = requests
+            .iter()
+            .map(|r| r.trip_distance(&Euclidean))
+            .collect();
+        let params = PreferenceParams::paper();
+        let plan = ShardPlan::build(
+            &ShardSpec::new(target), &params, &taxis, &requests, &trips,
+        );
+        let mut taxi_seen = vec![0usize; taxis.len()];
+        let mut request_seen = vec![0usize; requests.len()];
+        for s in 0..plan.regions() {
+            for &i in &plan.members(s).taxis {
+                prop_assert_eq!(plan.taxi_region(i), s);
+                taxi_seen[i] += 1;
+            }
+            for &j in &plan.members(s).requests {
+                prop_assert_eq!(plan.request_region(j), s);
+                request_seen[j] += 1;
+            }
+        }
+        prop_assert!(taxi_seen.iter().all(|&c| c == 1));
+        prop_assert!(request_seen.iter().all(|&c| c == 1));
+        prop_assert_eq!(
+            plan.boundary_taxi_count(),
+            (0..taxis.len()).filter(|&i| plan.taxi_is_boundary(i)).count()
+        );
+        prop_assert_eq!(
+            plan.boundary_request_count(),
+            (0..requests.len()).filter(|&j| plan.request_is_boundary(j)).count()
+        );
+    }
+
+    /// Unlimited budgets with sharding enabled stay bit-identical to the
+    /// unbudgeted sharded calls (and hence to the global path).
+    #[test]
+    fn sharded_budgeted_matches_unbudgeted(
+        seed in any::<u64>(), nt in 1usize..10, nr in 1usize..12,
+    ) {
+        let (taxis, requests) = random_frame(seed, nt, nr, 8.0);
+        let params = PreferenceParams::paper();
+        let unlimited = TimeBudget::unlimited();
+        let global = NonSharingDispatcher::new(Euclidean, params);
+        let sharded = NonSharingDispatcher::new(Euclidean, params)
+            .with_shard_mode(ShardMode::Sharded(ShardSpec::new(9)));
+        let (p, dp) =
+            sharded.passenger_optimal_budgeted(&taxis, &requests, None, None, None, &unlimited);
+        prop_assert_eq!(dp, None);
+        prop_assert_eq!(&p, &global.passenger_optimal(&taxis, &requests));
+        let (t, dt) =
+            sharded.taxi_optimal_budgeted(&taxis, &requests, None, None, None, &unlimited);
+        prop_assert_eq!(dt, None);
+        prop_assert_eq!(&t, &global.taxi_optimal(&taxis, &requests));
+    }
+}
+
+/// Paper-scale thresholds over a wide city: the shard sweep is only
+/// meaningful if the plan actually splits the frame — several occupied
+/// regions, a non-trivial boundary band, and shard-local seeds covering
+/// most of the final matching.
+#[test]
+fn wide_city_shards_meaningfully_and_exactly() {
+    let rec = obs::Recorder::new();
+    let _g = obs::scope(&rec);
+    let (taxis, requests) = random_frame(20_170_605, 300, 260, 60.0);
+    let params = PreferenceParams::paper();
+    let grid = build_taxi_grid(&taxis);
+    let global =
+        NonSharingDispatcher::new(Euclidean, params).with_parallelism(Parallelism::fixed(4));
+    let p0 = global.passenger_optimal_with_grid(&taxis, &requests, Some(&grid));
+    let sharded =
+        NonSharingDispatcher::new(Euclidean, params).with_parallelism(Parallelism::fixed(4));
+    let spec = ShardSpec::new(16);
+    let (p, stats) = sharded.passenger_optimal_sharded(&taxis, &requests, Some(&grid), &spec);
+    assert_eq!(p, p0);
+    assert!(stats.occupied > 1, "expected a real split, got {stats:?}");
+    assert!(
+        stats.boundary_taxis > 0 && stats.boundary_requests > 0,
+        "a 60 km city at a 15 km radius must have a boundary band: {stats:?}"
+    );
+    assert!(
+        stats.seed_pairs > 0,
+        "shard-local matching produced no seed at all: {stats:?}"
+    );
+    assert_eq!(rec.counter("match.seed_divergence"), 0);
+    // The sharded path agrees in dense cross-check too.
+    let dense = NonSharingDispatcher::new(Euclidean, params)
+        .with_candidate_mode(CandidateMode::Dense)
+        .with_parallelism(Parallelism::fixed(4));
+    assert_eq!(dense.passenger_optimal(&taxis, &requests), p0);
+}

@@ -157,6 +157,37 @@ impl<T: Clone + PartialEq> GridIndex<T> {
         (c, r)
     }
 
+    /// The rectangle of the covered bbox owned by cell `(col, row)`.
+    ///
+    /// Intersected with the covered bbox, because the last column/row can
+    /// overhang it (`cols·cell_size ≥ width`) and hull cells also key
+    /// points stored *outside* the bbox — for those, only the clamped
+    /// position is guaranteed to lie in this rectangle. Degenerate bboxes
+    /// (zero width/height) yield zero-area cell boxes, which the `BBox`
+    /// distance helpers handle exactly.
+    fn cell_bbox(&self, col: usize, row: usize) -> BBox {
+        let min = self.bbox.min();
+        let lo = Point::new(
+            min.x + col as f64 * self.cell_size,
+            min.y + row as f64 * self.cell_size,
+        );
+        let hi = Point::new(lo.x + self.cell_size, lo.y + self.cell_size);
+        BBox::new(self.bbox.clamp(lo), self.bbox.clamp(hi))
+    }
+
+    /// Lower bound on the distance from `query` to any point stored in
+    /// cell `(col, row)`.
+    ///
+    /// Valid even for points stored outside the covered bbox (they are
+    /// keyed by their clamped position): clamping is a contraction, so
+    /// `‖q − p‖ ≥ ‖clamp(q) − clamp(p)‖ ≥ dist(clamp(q), cell_bbox)`.
+    /// Shared edges/corners give a bound of exactly `0`, never a spurious
+    /// positive value that could prune a touching cell.
+    fn cell_lower_bound(&self, query: Point, col: usize, row: usize) -> f64 {
+        self.cell_bbox(col, row)
+            .distance_to_point(self.bbox.clamp(query))
+    }
+
     /// Inserts `item` at `location`. Duplicate items are allowed; `remove`
     /// removes one occurrence.
     pub fn insert(&mut self, item: T, location: Point) {
@@ -279,6 +310,14 @@ impl<T: Clone + PartialEq> GridIndex<T> {
                 }
             }
             for (c, r) in self.ring(qc, qr, ring) {
+                // Exact per-cell prune: anything stored here is at least
+                // the cell-bbox lower bound away, so a full result set
+                // whose worst entry beats that bound cannot change. The
+                // strict `>` keeps cells whose bound ties the worst, so
+                // tie-breaking by discovery order is unchanged.
+                if best.len() == k && self.cell_lower_bound(query, c, r) > best[k - 1].distance {
+                    continue;
+                }
                 for (item, loc) in &self.cells[r * self.cols + c] {
                     let d = loc.euclidean(query);
                     // Upper-bound insertion point: equal distances keep
@@ -326,6 +365,12 @@ impl<T: Clone + PartialEq> GridIndex<T> {
         let mut out = Vec::new();
         for ring in 0..=max_ring.min(self.cols.max(self.rows)) {
             for (c, r) in self.ring(qc, qr, ring) {
+                // Skip cells provably outside the disk. Strict `>` keeps
+                // cells touching the radius exactly (membership below is
+                // inclusive: `d ≤ radius`).
+                if self.cell_lower_bound(query, c, r) > radius {
+                    continue;
+                }
                 for (item, loc) in &self.cells[r * self.cols + c] {
                     let d = loc.euclidean(query);
                     if d <= radius {

@@ -1,0 +1,494 @@
+//! Spatial region partitioner for sharded dispatch.
+//!
+//! A [`RegionGrid`] tiles the city bounding box into a coarse `cols × rows`
+//! grid of rectangular regions. Every point belongs to **exactly one**
+//! region (ties on internal partition lines go to the higher-index cell,
+//! matching [`GridIndex`](crate::GridIndex) cell keying), and a point's
+//! *interaction disk* of radius `r` can be classified as interior (provably
+//! unable to reach any point owned by another region) or boundary (its disk
+//! crosses an internal partition line).
+//!
+//! Region cells are sized so that each side is at least a caller-supplied
+//! minimum (the dispatch interaction radius), which keeps the boundary band
+//! a thin fraction of the city at realistic densities. Degenerate inputs —
+//! an empty box, an infinite or non-finite minimum side, or a request for a
+//! single region — collapse to one region covering everything, for which
+//! every disk is interior.
+
+use crate::{BBox, Point};
+
+/// A coarse rectangular partition of a bounding box into spatial regions.
+///
+/// # Examples
+///
+/// ```
+/// use o2o_geo::{BBox, Point, RegionGrid};
+///
+/// let city = BBox::square(Point::ORIGIN, 40.0);
+/// let grid = RegionGrid::new(city, 16, 5.0);
+/// assert!(grid.regions() <= 16);
+/// let p = Point::new(1.0, 1.0);
+/// let region = grid.region_of(p);
+/// assert!(grid.region_bbox(region).contains(p));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionGrid {
+    bbox: BBox,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+}
+
+impl RegionGrid {
+    /// Partitions `bbox` into at most `target_regions` rectangular regions
+    /// whose sides are all at least `min_side` kilometres (except where the
+    /// bbox itself is smaller, which yields a single column/row on that
+    /// axis).
+    ///
+    /// Among all shapes `cols × rows` with `cols·rows ≤ target_regions`
+    /// and each axis at most `floor(extent / min_side)` cells, the grid
+    /// picks the one with the most regions, breaking ties toward square
+    /// cells. `target_regions == 0` is treated as `1`. A `min_side` that is
+    /// non-finite, negative, or `NaN` disables splitting entirely (one
+    /// region) — the conservative answer when the interaction radius is
+    /// unbounded.
+    #[must_use]
+    pub fn new(bbox: BBox, target_regions: usize, min_side: f64) -> Self {
+        let target = target_regions.max(1);
+        let degenerate = !min_side.is_finite() || min_side < 0.0;
+        let axis_cap = |extent: f64| -> usize {
+            if degenerate || extent <= 0.0 {
+                1
+            } else if min_side == 0.0 {
+                // No geometric constraint on this axis; the region budget
+                // is the only cap.
+                target
+            } else {
+                ((extent / min_side).floor() as usize).clamp(1, target)
+            }
+        };
+        let cap_c = axis_cap(bbox.width());
+        let cap_r = axis_cap(bbox.height());
+        // Exhaustive scan over column counts (cheap: cap_c ≤ target, and
+        // realistic targets are tens to hundreds), picking the shape with
+        // the most regions; ties prefer the squarest cells.
+        let (mut cols, mut rows) = (1usize, 1usize);
+        let mut best_key = (0usize, f64::INFINITY);
+        for c in 1..=cap_c {
+            let r = cap_r.min(target / c);
+            if r == 0 {
+                break;
+            }
+            let cell_w = bbox.width() / c as f64;
+            let cell_h = bbox.height() / r as f64;
+            let skew = (cell_w - cell_h).abs();
+            if c * r > best_key.0 || (c * r == best_key.0 && skew < best_key.1) {
+                best_key = (c * r, skew);
+                cols = c;
+                rows = r;
+            }
+        }
+        RegionGrid {
+            bbox,
+            cols,
+            rows,
+            cell_w: bbox.width() / cols as f64,
+            cell_h: bbox.height() / rows as f64,
+        }
+    }
+
+    /// The partitioned bounding box.
+    #[must_use]
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Number of region columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of region rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of regions (`cols × rows`).
+    #[must_use]
+    pub fn regions(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// The region owning `p`.
+    ///
+    /// Points outside the bbox are clamped onto it first, so every point
+    /// maps to exactly one region. Points exactly on an internal partition
+    /// line belong to the higher-index cell (the flooring convention), so
+    /// ownership is a true partition, never double-counted.
+    #[must_use]
+    pub fn region_of(&self, p: Point) -> usize {
+        let (c, r) = self.cell_of(p);
+        r * self.cols + c
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let p = self.bbox.clamp(p);
+        let c = if self.cell_w > 0.0 {
+            (((p.x - self.bbox.min().x) / self.cell_w) as usize).min(self.cols - 1)
+        } else {
+            0
+        };
+        let r = if self.cell_h > 0.0 {
+            (((p.y - self.bbox.min().y) / self.cell_h) as usize).min(self.rows - 1)
+        } else {
+            0
+        };
+        (c, r)
+    }
+
+    /// The rectangle owned by `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region ≥ self.regions()`.
+    #[must_use]
+    pub fn region_bbox(&self, region: usize) -> BBox {
+        assert!(region < self.regions(), "region {region} out of range");
+        let c = region % self.cols;
+        let r = region / self.cols;
+        let min = self.bbox.min();
+        let lo = Point::new(
+            min.x + c as f64 * self.cell_w,
+            min.y + r as f64 * self.cell_h,
+        );
+        let hi = Point::new(
+            if c + 1 == self.cols {
+                self.bbox.max().x
+            } else {
+                min.x + (c + 1) as f64 * self.cell_w
+            },
+            if r + 1 == self.rows {
+                self.bbox.max().y
+            } else {
+                min.y + (r + 1) as f64 * self.cell_h
+            },
+        );
+        BBox::new(lo, hi)
+    }
+
+    /// `true` when the disk of radius `radius` around `p` provably cannot
+    /// reach any point owned by a *different* region — i.e. `p` is in the
+    /// interior band of its region.
+    ///
+    /// Conservative on purpose: the test requires the distance from `p` to
+    /// every internal partition line bordering its region to be *strictly*
+    /// greater than `radius` (a partner exactly on the line across the
+    /// border is at exactly `radius` and would interact, since dispatch
+    /// acceptance tests are inclusive). Sides of the region on the hull of
+    /// the partitioned bbox don't count — there is nothing beyond them
+    /// (points outside the bbox are clamped in by [`Self::region_of`], so
+    /// hull regions own everything beyond the hull too). Non-finite or
+    /// negative radii classify as boundary (`false`), the conservative
+    /// answer.
+    #[must_use]
+    pub fn disk_is_interior(&self, p: Point, radius: f64) -> bool {
+        if !radius.is_finite() || radius < 0.0 {
+            return false;
+        }
+        if self.regions() == 1 {
+            return true;
+        }
+        let (c, r) = self.cell_of(p);
+        let q = self.bbox.clamp(p);
+        // A point outside the bbox is owned by a hull region but sits at
+        // distance > 0 from it; measure from the clamped position, which
+        // is what ownership is keyed by, and require the original point to
+        // be inside (otherwise its disk geometry vs. the partition lines
+        // is not the clamped one) — conservative: classify as boundary.
+        if q != p {
+            return false;
+        }
+        let min = self.bbox.min();
+        // Distances to the four partition lines bordering cell (c, r);
+        // hull sides are skipped.
+        if c > 0 && (p.x - (min.x + c as f64 * self.cell_w)) <= radius {
+            return false;
+        }
+        if c + 1 < self.cols && ((min.x + (c + 1) as f64 * self.cell_w) - p.x) <= radius {
+            return false;
+        }
+        if r > 0 && (p.y - (min.y + r as f64 * self.cell_h)) <= radius {
+            return false;
+        }
+        if r + 1 < self.rows && ((min.y + (r + 1) as f64 * self.cell_h) - p.y) <= radius {
+            return false;
+        }
+        true
+    }
+
+    /// The region bbox inflated by `margin` on every side and intersected
+    /// with nothing — the *padded* region used to collect entities whose
+    /// disks may cross into `region`. For hull regions the padding still
+    /// extends outward, which is harmless: clamped ownership means no
+    /// entity lives there.
+    #[must_use]
+    pub fn padded_region_bbox(&self, region: usize, margin: f64) -> BBox {
+        self.region_bbox(region).inflated(margin.max(0.0))
+    }
+
+    /// Every region whose rectangle is within `margin` kilometres of `p`
+    /// (inclusive — a region exactly `margin` away still interacts, since
+    /// dispatch acceptance tests are inclusive), ascending region index.
+    ///
+    /// Equivalently: the regions whose [`Self::padded_region_bbox`] with
+    /// this margin contains `p`. An infinite margin returns every region;
+    /// a negative or `NaN` margin returns only the owner of `p`.
+    #[must_use]
+    pub fn regions_near(&self, p: Point, margin: f64) -> Vec<usize> {
+        if margin.is_nan() || margin < 0.0 {
+            return vec![self.region_of(p)];
+        }
+        if margin.is_infinite() {
+            return (0..self.regions()).collect();
+        }
+        // Cell cover of the margin square, widened by one cell per side:
+        // a region touching the square only along a shared partition line
+        // is owned by the neighbouring cell, so the raw cover could miss
+        // it by exactly one column/row. The exact bbox-distance filter
+        // below discards any over-included corner regions.
+        let (c0, r0) = self.cell_of(Point::new(p.x - margin, p.y - margin));
+        let (c1, r1) = self.cell_of(Point::new(p.x + margin, p.y + margin));
+        let (c0, r0) = (c0.saturating_sub(1), r0.saturating_sub(1));
+        let (c1, r1) = ((c1 + 1).min(self.cols - 1), (r1 + 1).min(self.rows - 1));
+        let mut out = Vec::new();
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                let region = r * self.cols + c;
+                // The square cover over-includes corner regions; keep only
+                // those genuinely within the (inclusive) margin.
+                if self.region_bbox(region).distance_to_point(p) <= margin {
+                    out.push(region);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn city() -> BBox {
+        BBox::square(Point::ORIGIN, 40.0)
+    }
+
+    #[test]
+    fn respects_target_and_min_side() {
+        let g = RegionGrid::new(city(), 16, 5.0);
+        assert!(g.regions() <= 16);
+        assert!(g.regions() > 1);
+        for region in 0..g.regions() {
+            let b = g.region_bbox(region);
+            assert!(b.width() >= 5.0 - 1e-9);
+            assert!(b.height() >= 5.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_collapse_to_one_region() {
+        assert_eq!(RegionGrid::new(city(), 16, f64::INFINITY).regions(), 1);
+        assert_eq!(RegionGrid::new(city(), 16, f64::NAN).regions(), 1);
+        assert_eq!(RegionGrid::new(city(), 16, -1.0).regions(), 1);
+        assert_eq!(RegionGrid::new(city(), 1, 1.0).regions(), 1);
+        assert_eq!(RegionGrid::new(city(), 0, 1.0).regions(), 1);
+        let point_box = BBox::new(Point::ORIGIN, Point::ORIGIN);
+        assert_eq!(RegionGrid::new(point_box, 16, 1.0).regions(), 1);
+    }
+
+    #[test]
+    fn min_side_larger_than_city_means_one_region() {
+        assert_eq!(RegionGrid::new(city(), 64, 100.0).regions(), 1);
+    }
+
+    #[test]
+    fn region_bboxes_tile_the_city() {
+        let g = RegionGrid::new(city(), 16, 5.0);
+        let mut area = 0.0;
+        for region in 0..g.regions() {
+            area += g.region_bbox(region).area();
+        }
+        assert!((area - city().area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ownership_matches_region_bbox() {
+        let g = RegionGrid::new(city(), 16, 5.0);
+        for i in 0..200 {
+            let p = Point::new(
+                (i as f64 * 1.37) % 40.0 - 20.0,
+                (i as f64 * 2.11) % 40.0 - 20.0,
+            );
+            let region = g.region_of(p);
+            assert!(
+                g.region_bbox(region).contains(p),
+                "{p:?} not in its region bbox"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_line_points_have_one_owner() {
+        let g = RegionGrid::new(city(), 4, 5.0);
+        assert_eq!(g.cols(), 2);
+        assert_eq!(g.rows(), 2);
+        // Exactly on the vertical partition line: owned by the right cell.
+        let on_line = Point::new(0.0, -10.0);
+        assert_eq!(g.region_of(on_line), 1);
+        // The shared center corner: owned by the top-right cell.
+        assert_eq!(g.region_of(Point::ORIGIN), 3);
+    }
+
+    #[test]
+    fn interior_test_is_strict_at_the_radius() {
+        let g = RegionGrid::new(city(), 4, 5.0);
+        // Vertical partition line at x = 0. A point 2 km west of it:
+        let p = Point::new(-2.0, -10.0);
+        assert!(g.disk_is_interior(p, 1.9));
+        assert!(
+            !g.disk_is_interior(p, 2.0),
+            "distance exactly the radius must be boundary"
+        );
+        assert!(!g.disk_is_interior(p, 2.1));
+        // Hull sides don't count: a point near the west hull, far from the
+        // internal line, is interior.
+        let near_hull = Point::new(-19.9, -10.0);
+        assert!(g.disk_is_interior(near_hull, 1.0));
+        // Non-finite radii are conservatively boundary.
+        assert!(!g.disk_is_interior(p, f64::INFINITY));
+        assert!(!g.disk_is_interior(p, f64::NAN));
+        // Single region: everything is interior.
+        let one = RegionGrid::new(city(), 1, 5.0);
+        assert!(one.disk_is_interior(p, f64::INFINITY.min(1.0e18)));
+    }
+
+    #[test]
+    fn clamped_points_are_boundary() {
+        let g = RegionGrid::new(city(), 4, 5.0);
+        let outside = Point::new(25.0, 0.0);
+        let region = g.region_of(outside);
+        assert!(g.region_bbox(region).contains(city().clamp(outside)));
+        assert!(!g.disk_is_interior(outside, 0.5));
+    }
+
+    #[test]
+    fn padded_bbox_contains_nearby_points() {
+        let g = RegionGrid::new(city(), 16, 5.0);
+        let region = g.region_of(Point::new(-18.0, -18.0));
+        let padded = g.padded_region_bbox(region, 3.0);
+        let b = g.region_bbox(region);
+        assert!(padded.width() >= b.width() + 6.0 - 1e-9);
+        assert!(padded.contains(Point::new(b.max().x + 2.9, b.min().y)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every point is owned by exactly one region, and that region's
+        /// bbox contains its clamped position.
+        #[test]
+        fn every_point_has_exactly_one_region(
+            pts in proptest::collection::vec((-25.0..25.0f64, -25.0..25.0f64), 1..80),
+            target in 1usize..32,
+            min_side in 0.5..30.0f64,
+        ) {
+            let g = RegionGrid::new(city(), target, min_side);
+            prop_assert!(g.regions() >= 1 && g.regions() <= target.max(1));
+            for (x, y) in pts {
+                let p = Point::new(x, y);
+                let region = g.region_of(p);
+                prop_assert!(region < g.regions());
+                prop_assert!(g.region_bbox(region).contains(city().clamp(p)));
+                // Ownership is consistent: membership by bbox scan finds
+                // at least the owner (shared edges may admit neighbours,
+                // which is why ownership is by `region_of`, not bboxes).
+                let holders = (0..g.regions())
+                    .filter(|&s| g.region_bbox(s).contains(city().clamp(p)))
+                    .count();
+                prop_assert!(holders >= 1);
+            }
+        }
+
+        /// Interior classification is sound: an interior disk contains no
+        /// point owned by a different region.
+        #[test]
+        fn interior_disks_do_not_cross_ownership(
+            pts in proptest::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 2..60),
+            target in 1usize..32,
+            min_side in 1.0..20.0f64,
+            radius in 0.0..8.0f64,
+        ) {
+            let g = RegionGrid::new(city(), target, min_side);
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            for &p in &pts {
+                if !g.disk_is_interior(p, radius) {
+                    continue;
+                }
+                let home = g.region_of(p);
+                for &q in &pts {
+                    if p.euclidean(q) <= radius {
+                        prop_assert_eq!(
+                            g.region_of(q), home,
+                            "interior disk at {:?} (r={}) reaches a foreign point {:?}", p, radius, q
+                        );
+                    }
+                }
+            }
+        }
+
+        /// `regions_near` equals the brute-force inclusive bbox-distance
+        /// scan over all regions.
+        #[test]
+        fn regions_near_matches_brute_force(
+            pts in proptest::collection::vec((-25.0..25.0f64, -25.0..25.0f64), 1..40),
+            target in 1usize..32,
+            min_side in 1.0..20.0f64,
+            margin in 0.0..12.0f64,
+        ) {
+            let g = RegionGrid::new(city(), target, min_side);
+            for (x, y) in pts {
+                let p = Point::new(x, y);
+                let expect: Vec<usize> = (0..g.regions())
+                    .filter(|&s| g.region_bbox(s).distance_to_point(p) <= margin)
+                    .collect();
+                prop_assert_eq!(g.regions_near(p, margin), expect);
+            }
+        }
+
+        /// Boundary-band membership is symmetric across an edge: if `p`'s
+        /// disk reaches `q` and they live in different regions, *both* are
+        /// classified as boundary for that radius.
+        #[test]
+        fn boundary_band_is_symmetric(
+            pts in proptest::collection::vec((-20.0..20.0f64, -20.0..20.0f64), 2..60),
+            target in 2usize..32,
+            min_side in 1.0..15.0f64,
+            radius in 0.0..8.0f64,
+        ) {
+            let g = RegionGrid::new(city(), target, min_side);
+            let pts: Vec<Point> = pts.into_iter().map(|(x, y)| Point::new(x, y)).collect();
+            for &p in &pts {
+                for &q in &pts {
+                    if p.euclidean(q) <= radius && g.region_of(p) != g.region_of(q) {
+                        prop_assert!(!g.disk_is_interior(p, radius));
+                        prop_assert!(!g.disk_is_interior(q, radius));
+                    }
+                }
+            }
+        }
+    }
+}

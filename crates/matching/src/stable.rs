@@ -1034,10 +1034,14 @@ impl StableInstance {
         // A pruned seed is provably exact (see valid_warm_seed). Debug
         // builds distrust the proof anyway, but a divergence degrades to
         // the cold result instead of asserting: a warm-state bug costs
-        // one slow frame, not the whole run.
+        // one slow frame, not the whole run. The counter makes the silent
+        // degrade observable — equivalence suites that run in debug builds
+        // install a recorder and assert it stays zero, otherwise the
+        // fallback would make `seeded == cold` vacuously true.
         if cfg!(debug_assertions) {
             let cold = self.propose();
             if m != cold {
+                obs::add("match.seed_divergence", 1);
                 scratch.recycle(m);
                 return cold;
             }

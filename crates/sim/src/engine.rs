@@ -826,6 +826,47 @@ mod tests {
     }
 
     #[test]
+    fn sharded_mode_runs_identically_end_to_end() {
+        use o2o_core::{IncrementalMode, NonSharingDispatcher, ShardMode, ShardSpec};
+        let trace = boston_september_2012(0.002).generate(9);
+        let params = PreferenceParams::default();
+        // Cold incremental mode makes every frame take the cold sparse
+        // path, where the sharded pipeline engages (the warm path's
+        // carried seed bypasses it by design).
+        let mut global =
+            policy::nstd_p(Euclidean, params).with_incremental_mode(IncrementalMode::Cold);
+        let mut sharded = policy::NstdPPolicy::from_dispatcher(
+            NonSharingDispatcher::new(Euclidean, params)
+                .with_shard_mode(ShardMode::Sharded(ShardSpec::new(8))),
+        )
+        .with_incremental_mode(IncrementalMode::Cold);
+        let a = Simulator::new(SimConfig::default()).run(&trace, &mut global);
+        let b = Simulator::new(SimConfig::default()).run(&trace, &mut sharded);
+        assert_eq!(a.delays_min, b.delays_min);
+        assert_eq!(a.passenger_dissatisfaction, b.passenger_dissatisfaction);
+        assert_eq!(a.taxi_dissatisfaction, b.taxi_dissatisfaction);
+        assert_eq!(a.total_drive_km, b.total_drive_km);
+        assert_eq!(a.queue_by_frame, b.queue_by_frame);
+        // The sharded run reports its per-frame shard counters; the
+        // global run reports none.
+        assert!(b.total_shard_frames() > 0, "sharded pipeline never engaged");
+        assert_eq!(a.total_shard_frames(), 0);
+
+        let mut global_t =
+            policy::nstd_t(Euclidean, params).with_incremental_mode(IncrementalMode::Cold);
+        let mut sharded_t = policy::NstdTPolicy::from_dispatcher(
+            NonSharingDispatcher::new(Euclidean, params)
+                .with_shard_mode(ShardMode::Sharded(ShardSpec::new(8))),
+        )
+        .with_incremental_mode(IncrementalMode::Cold);
+        let at = Simulator::new(SimConfig::default()).run(&trace, &mut global_t);
+        let bt = Simulator::new(SimConfig::default()).run(&trace, &mut sharded_t);
+        assert_eq!(at.delays_min, bt.delays_min);
+        assert_eq!(at.passenger_dissatisfaction, bt.passenger_dissatisfaction);
+        assert_eq!(at.taxi_dissatisfaction, bt.taxi_dissatisfaction);
+    }
+
+    #[test]
     fn cached_policy_reports_per_frame_cache_effectiveness() {
         let trace = boston_september_2012(0.002).generate(3);
         let params = PreferenceParams::default();

@@ -342,6 +342,15 @@ macro_rules! nstd_policy {
         /// matching ([`IncrementalMode::Warm`], the default); toggle to
         /// [`IncrementalMode::Cold`] for A/B benchmarking. The schedules
         /// are bit-identical across every mode combination.
+        ///
+        /// A dispatcher configured with
+        /// [`ShardMode::Sharded`](o2o_core::ShardMode::Sharded) routes the
+        /// sparse **cold** and budgeted paths through the spatially
+        /// sharded pipeline (still bit-identical; see
+        /// `o2o_core::shard`). The warm incremental path bypasses
+        /// sharding — its carried cross-frame seed already plays the role
+        /// the shard-local seed would — so pair sharding with
+        /// [`IncrementalMode::Cold`] to engage it every frame.
         pub struct $struct_name<M> {
             inner: NonSharingDispatcher<M>,
             incremental: IncrementalMode,

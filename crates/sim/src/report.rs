@@ -260,6 +260,60 @@ impl SimReport {
         }
     }
 
+    /// Frames whose dispatch ran the anytime NSTD-T search (total of the
+    /// `anytime.frames` counter; 0 for policies that never invoke it).
+    #[must_use]
+    pub fn total_anytime_frames(&self) -> u64 {
+        self.stage_breakdown.counter_total("anytime.frames")
+    }
+
+    /// BreakDispatch nodes explored by the anytime NSTD-T search, summed
+    /// across the run (the spend half of the anytime trade-off).
+    #[must_use]
+    pub fn total_anytime_nodes(&self) -> u64 {
+        self.stage_breakdown.counter_total("anytime.nodes")
+    }
+
+    /// Nodes the anytime NSTD-T search explored during each frame's
+    /// dispatch (index = frame; zero where the search did not run).
+    #[must_use]
+    pub fn anytime_nodes_by_frame(&self) -> Vec<u64> {
+        self.counter_by_frame("anytime.nodes")
+    }
+
+    /// The anytime search's measured optimality gap per frame (index =
+    /// frame; zero both for certified-optimal frames and for frames that
+    /// never ran the search — disambiguate with
+    /// [`anytime_nodes_by_frame`](Self::anytime_nodes_by_frame) or the
+    /// `anytime.frames` counter).
+    #[must_use]
+    pub fn anytime_gap_by_frame(&self) -> Vec<u64> {
+        self.counter_by_frame("anytime.gap")
+    }
+
+    /// The measured optimality gap of the **last** frame that ran the
+    /// anytime NSTD-T search (`None` if no frame did): `Some(0)` means
+    /// the run ended on a certified taxi-optimal schedule.
+    #[must_use]
+    pub fn final_anytime_gap(&self) -> Option<u64> {
+        self.stage_breakdown
+            .frames
+            .iter()
+            .rev()
+            .find(|fs| fs.counter("anytime.frames") > 0)
+            .map(|fs| fs.counter("anytime.gap"))
+    }
+
+    /// Frames whose dispatch ran the spatially sharded pipeline (total of
+    /// the `shard.frames` counter; 0 under [`ShardMode::Global`]
+    /// dispatchers).
+    ///
+    /// [`ShardMode::Global`]: o2o_core::ShardMode::Global
+    #[must_use]
+    pub fn total_shard_frames(&self) -> u64 {
+        self.stage_breakdown.counter_total("shard.frames")
+    }
+
     /// Fraction of the run's requests that were eventually served, out of
     /// every request that entered the system: served, still pending at
     /// the end, cancelled while pending, or cancelled mid-dispatch
@@ -418,6 +472,40 @@ mod tests {
         assert_eq!(r.cache_hits_by_frame(), vec![3, 6, 0]);
         // The run totals still see every recorded frame.
         assert_eq!(r.total_cache_hits(), 14);
+    }
+
+    #[test]
+    fn anytime_aggregates_derive_from_counters() {
+        let mut r = report();
+        assert_eq!(r.total_anytime_frames(), 0);
+        assert_eq!(r.final_anytime_gap(), None);
+        r.stage_breakdown.push(FrameStats {
+            frame: 1,
+            wall_ms: 1.0,
+            stages: Vec::new(),
+            counters: vec![
+                ("anytime.frames".to_string(), 1),
+                ("anytime.gap".to_string(), 3),
+                ("anytime.nodes".to_string(), 40),
+            ],
+        });
+        r.stage_breakdown.push(FrameStats {
+            frame: 2,
+            wall_ms: 1.0,
+            stages: Vec::new(),
+            counters: vec![
+                ("anytime.frames".to_string(), 1),
+                ("anytime.nodes".to_string(), 25),
+            ],
+        });
+        assert_eq!(r.total_anytime_frames(), 2);
+        assert_eq!(r.total_anytime_nodes(), 65);
+        // The last anytime frame recorded no gap delta ⇒ certified
+        // optimal, not "absent".
+        assert_eq!(r.final_anytime_gap(), Some(0));
+        assert_eq!(r.anytime_nodes_by_frame(), vec![0, 40, 25]);
+        assert_eq!(r.anytime_gap_by_frame(), vec![0, 3, 0]);
+        assert_eq!(r.total_shard_frames(), 0);
     }
 
     #[test]
