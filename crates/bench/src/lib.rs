@@ -19,9 +19,14 @@ use o2o_sim::{policy, Cdf, DispatchPolicy, SimConfig, SimReport, Simulator};
 use o2o_trace::Trace;
 
 pub mod json;
+pub mod supervisor;
 pub use json::{
     bench_envelope, emit_bench_json, emit_policies_json, policy_json, stage_breakdown_json,
     write_bench_json, Json,
+};
+pub use supervisor::{
+    merge_shard_files, merge_shards, supervise, supervise_one, ChildSpec, RunStatus, RunVerdict,
+    SupervisorPolicy,
 };
 
 /// Common command-line options of the figure binaries.

@@ -1,0 +1,377 @@
+//! Supervised multi-process benchmark runs.
+//!
+//! Long scenario sweeps die for boring reasons — OOM kills, node
+//! preemption, a wedged run hitting a walltime limit. The supervisor
+//! runs each scenario as a **child process** with a per-run timeout,
+//! retries failures with capped exponential backoff, and quarantines a
+//! scenario after repeated failure instead of sinking the whole sweep.
+//! Children that checkpoint (see `o2o_sim::CheckpointSpec`) resume from
+//! their checkpoint directory on retry, so a retried run repays only the
+//! frames since the last checkpoint, and its results stay bit-identical
+//! to an uninterrupted run.
+//!
+//! Each child writes its own partial `BENCH_*.json` shard;
+//! [`merge_shards`] folds the shards into one document (scalar fields
+//! must agree across shards, array fields concatenate), so a sweep
+//! interrupted halfway still yields a well-formed, partial result file.
+
+use crate::json::Json;
+use std::fmt;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// One scenario to run as a child process.
+#[derive(Debug, Clone)]
+pub struct ChildSpec {
+    /// Scenario name (used in statuses and logs).
+    pub name: String,
+    /// Program to execute (usually `std::env::current_exe()` with a
+    /// child-mode flag).
+    pub program: PathBuf,
+    /// Arguments passed verbatim.
+    pub args: Vec<String>,
+}
+
+/// Retry and timeout policy for supervised children.
+#[derive(Debug, Clone)]
+pub struct SupervisorPolicy {
+    /// Wall-clock limit per attempt; a child past it is killed and the
+    /// attempt counts as failed.
+    pub timeout: Duration,
+    /// Total attempts per scenario before quarantine (at least 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `backoff_base * 2^(n-1)`, capped at
+    /// [`backoff_cap`](Self::backoff_cap).
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            timeout: Duration::from_secs(600),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(200),
+            backoff_cap: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Terminal state of one supervised scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunVerdict {
+    /// Some attempt exited 0.
+    Succeeded,
+    /// Every attempt failed; the scenario is set aside so the rest of
+    /// the sweep can proceed.
+    Quarantined {
+        /// The last attempt's failure, human-readable.
+        reason: String,
+    },
+}
+
+/// What happened to one scenario across all its attempts.
+#[derive(Debug, Clone)]
+pub struct RunStatus {
+    /// Scenario name from the [`ChildSpec`].
+    pub name: String,
+    /// Attempts actually made (1 = clean first run).
+    pub attempts: u32,
+    /// Attempts that were killed for exceeding the timeout.
+    pub timeouts: u32,
+    /// Total wall-clock across attempts, including backoff sleeps.
+    pub wall: Duration,
+    /// Terminal verdict.
+    pub verdict: RunVerdict,
+}
+
+impl RunStatus {
+    /// `true` when the scenario ultimately succeeded.
+    #[must_use]
+    pub fn succeeded(&self) -> bool {
+        self.verdict == RunVerdict::Succeeded
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.verdict {
+            RunVerdict::Succeeded => write!(
+                f,
+                "{}: ok after {} attempt(s) ({} timeout(s), {:.1}s)",
+                self.name,
+                self.attempts,
+                self.timeouts,
+                self.wall.as_secs_f64()
+            ),
+            RunVerdict::Quarantined { reason } => write!(
+                f,
+                "{}: QUARANTINED after {} attempt(s): {reason}",
+                self.name, self.attempts
+            ),
+        }
+    }
+}
+
+/// Exit disposition of a single attempt.
+enum Attempt {
+    Ok,
+    Failed(String),
+    TimedOut,
+}
+
+fn run_attempt(spec: &ChildSpec, timeout: Duration) -> std::io::Result<Attempt> {
+    let mut child = Command::new(&spec.program)
+        .args(&spec.args)
+        .stdin(Stdio::null())
+        .spawn()?;
+    let started = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait()? {
+            return Ok(if status.success() {
+                Attempt::Ok
+            } else {
+                Attempt::Failed(status.to_string())
+            });
+        }
+        if started.elapsed() >= timeout {
+            // Kill and reap; a SIGKILLed child is exactly the crash the
+            // checkpoint/WAL machinery is built to resume from.
+            let _ = child.kill();
+            let _ = child.wait();
+            return Ok(Attempt::TimedOut);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Runs one scenario under the policy: spawn, poll with timeout, retry
+/// with capped exponential backoff, quarantine after
+/// [`SupervisorPolicy::max_attempts`] failures.
+#[must_use]
+pub fn supervise_one(spec: &ChildSpec, policy: &SupervisorPolicy) -> RunStatus {
+    let started = Instant::now();
+    let max_attempts = policy.max_attempts.max(1);
+    let mut timeouts = 0u32;
+    let mut last_failure = String::new();
+    for attempt in 1..=max_attempts {
+        if attempt > 1 {
+            let exp = attempt - 2; // first retry sleeps the base
+            let backoff = policy
+                .backoff_base
+                .saturating_mul(2u32.saturating_pow(exp))
+                .min(policy.backoff_cap);
+            std::thread::sleep(backoff);
+        }
+        match run_attempt(spec, policy.timeout) {
+            Ok(Attempt::Ok) => {
+                return RunStatus {
+                    name: spec.name.clone(),
+                    attempts: attempt,
+                    timeouts,
+                    wall: started.elapsed(),
+                    verdict: RunVerdict::Succeeded,
+                }
+            }
+            Ok(Attempt::Failed(reason)) => last_failure = reason,
+            Ok(Attempt::TimedOut) => {
+                timeouts += 1;
+                last_failure = format!("timed out after {:.1}s", policy.timeout.as_secs_f64());
+            }
+            Err(e) => last_failure = format!("spawn failed: {e}"),
+        }
+        eprintln!(
+            "supervisor: {} attempt {attempt}/{max_attempts} failed: {last_failure}",
+            spec.name
+        );
+    }
+    RunStatus {
+        name: spec.name.clone(),
+        attempts: max_attempts,
+        timeouts,
+        wall: started.elapsed(),
+        verdict: RunVerdict::Quarantined {
+            reason: last_failure,
+        },
+    }
+}
+
+/// Supervises each scenario in order, returning one status per spec.
+/// A quarantined scenario does not stop the sweep.
+#[must_use]
+pub fn supervise(specs: &[ChildSpec], policy: &SupervisorPolicy) -> Vec<RunStatus> {
+    specs.iter().map(|s| supervise_one(s, policy)).collect()
+}
+
+/// Merges partial result shards into one document.
+///
+/// Shards are objects. A key seen in one shard is copied; a key seen in
+/// several must either carry equal values (kept once — the envelope
+/// fields) or arrays (concatenated in shard order — the row fields).
+///
+/// # Errors
+///
+/// Reports the first key whose values conflict without both being
+/// arrays.
+pub fn merge_shards(shards: Vec<Json>) -> Result<Json, String> {
+    let mut out: Vec<(String, Json)> = Vec::new();
+    for (i, shard) in shards.into_iter().enumerate() {
+        let Json::Obj(fields) = shard else {
+            return Err(format!("shard {i} is not an object"));
+        };
+        for (key, value) in fields {
+            match out.iter_mut().find(|(k, _)| *k == key) {
+                None => out.push((key, value)),
+                Some((_, existing)) => match (existing, value) {
+                    (Json::Arr(acc), Json::Arr(more)) => acc.extend(more),
+                    (existing, value) => {
+                        if *existing != value {
+                            return Err(format!(
+                                "shard {i}: conflicting values for key \"{key}\""
+                            ));
+                        }
+                    }
+                },
+            }
+        }
+    }
+    Ok(Json::Obj(out))
+}
+
+/// Reads and merges shard files (see [`merge_shards`]). Missing files
+/// are skipped — a quarantined child simply contributes no rows — but at
+/// least one shard must exist.
+///
+/// # Errors
+///
+/// Propagates parse and merge failures, and reports an empty shard set.
+pub fn merge_shard_files(paths: &[PathBuf]) -> Result<Json, String> {
+    let mut shards = Vec::new();
+    for p in paths {
+        match std::fs::read_to_string(p) {
+            Ok(text) => shards.push(
+                Json::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?,
+            ),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(format!("{}: {e}", p.display())),
+        }
+    }
+    if shards.is_empty() {
+        return Err("no shards found".into());
+    }
+    merge_shards(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh(name: &str, script: &str) -> ChildSpec {
+        ChildSpec {
+            name: name.into(),
+            program: "/bin/sh".into(),
+            args: vec!["-c".into(), script.into()],
+        }
+    }
+
+    fn fast_policy() -> SupervisorPolicy {
+        SupervisorPolicy {
+            timeout: Duration::from_secs(30),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+        }
+    }
+
+    #[test]
+    fn clean_child_succeeds_first_attempt() {
+        let status = supervise_one(&sh("clean", "exit 0"), &fast_policy());
+        assert!(status.succeeded());
+        assert_eq!(status.attempts, 1);
+        assert_eq!(status.timeouts, 0);
+    }
+
+    #[test]
+    fn flaky_child_is_retried_to_success() {
+        // Fails on the first attempt (marker absent), succeeds on the
+        // second — the file is the "checkpoint" carrying progress across
+        // process deaths.
+        let marker = std::env::temp_dir().join(format!(
+            "o2o-supervisor-flaky-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&marker);
+        let script = format!(
+            "if [ -f {m} ]; then exit 0; else touch {m}; exit 1; fi",
+            m = marker.display()
+        );
+        let status = supervise_one(&sh("flaky", &script), &fast_policy());
+        assert!(status.succeeded(), "{status}");
+        assert_eq!(status.attempts, 2);
+        let _ = std::fs::remove_file(&marker);
+    }
+
+    #[test]
+    fn hung_child_times_out_and_quarantines() {
+        let policy = SupervisorPolicy {
+            timeout: Duration::from_millis(60),
+            max_attempts: 2,
+            ..fast_policy()
+        };
+        let status = supervise_one(&sh("hung", "sleep 30"), &policy);
+        assert!(!status.succeeded());
+        assert_eq!(status.attempts, 2);
+        assert_eq!(status.timeouts, 2);
+        assert!(matches!(status.verdict, RunVerdict::Quarantined { .. }));
+    }
+
+    #[test]
+    fn quarantine_does_not_stop_the_sweep() {
+        let statuses = supervise(
+            &[sh("bad", "exit 3"), sh("good", "exit 0")],
+            &SupervisorPolicy {
+                max_attempts: 2,
+                ..fast_policy()
+            },
+        );
+        assert!(!statuses[0].succeeded());
+        assert!(statuses[1].succeeded());
+    }
+
+    #[test]
+    fn shards_merge_rows_and_agreeing_envelopes() {
+        let a = Json::obj(vec![
+            ("bench", "demo".into()),
+            ("rows", Json::Arr(vec![Json::from(1.0)])),
+        ]);
+        let b = Json::obj(vec![
+            ("bench", "demo".into()),
+            ("rows", Json::Arr(vec![Json::from(2.0), Json::from(3.0)])),
+        ]);
+        let merged = merge_shards(vec![a, b]).unwrap();
+        assert_eq!(merged.get("bench").and_then(Json::as_str), Some("demo"));
+        assert_eq!(merged.get("rows").and_then(Json::as_arr).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn conflicting_scalars_refuse_to_merge() {
+        let a = Json::obj(vec![("seed", 1.0.into())]);
+        let b = Json::obj(vec![("seed", 2.0.into())]);
+        let err = merge_shards(vec![a, b]).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn missing_shard_files_are_skipped() {
+        let dir = std::env::temp_dir();
+        let present = dir.join(format!("o2o-shard-{}.json", std::process::id()));
+        std::fs::write(&present, "{\"rows\": [1]}").unwrap();
+        let absent = dir.join("o2o-shard-definitely-absent.json");
+        let merged = merge_shard_files(&[absent.clone(), present.clone()]).unwrap();
+        assert_eq!(merged.get("rows").and_then(Json::as_arr).unwrap().len(), 1);
+        assert!(merge_shard_files(&[absent]).is_err());
+        let _ = std::fs::remove_file(&present);
+    }
+}

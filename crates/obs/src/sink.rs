@@ -117,9 +117,21 @@ impl Write for SharedBuffer {
 /// event per line, fields in a fixed documented order (see `DESIGN.md`
 /// §8 for the schema). The stream is valid line-delimited JSON that
 /// `python3 -c "import json; …"` or `jq` parse directly.
+///
+/// # Crash durability
+///
+/// Each line is rendered completely before any byte reaches the writer,
+/// so the stream never contains a partially escaped record; dropping the
+/// sink flushes whatever is buffered, so a normally-unwinding process
+/// (including a panic) leaves a whole-line log. A process killed
+/// outright (SIGKILL) loses whatever still sits in the write buffer —
+/// opt into [`with_sync_on_frame_end`](Self::with_sync_on_frame_end) to
+/// hand the buffer to the OS at every frame boundary, which bounds the
+/// loss to the frame in flight.
 pub struct JsonlSink {
     out: BufWriter<Box<dyn Write + Send>>,
     line: String,
+    sync_on_frame_end: bool,
 }
 
 impl JsonlSink {
@@ -134,7 +146,26 @@ impl JsonlSink {
         JsonlSink {
             out: BufWriter::with_capacity(Self::BUF_CAPACITY, out),
             line: String::new(),
+            sync_on_frame_end: false,
         }
+    }
+
+    /// Flushes the write buffer to the underlying writer after every
+    /// [`Event::FrameEnd`], so a crash loses at most the frame in
+    /// flight instead of up to [`BUF_CAPACITY`](Self::BUF_CAPACITY) of
+    /// buffered history. Costs one buffered-writer flush per frame;
+    /// leave it off for throughput-bound runs that can afford to lose
+    /// the tail on a kill.
+    #[must_use]
+    pub fn with_sync_on_frame_end(mut self) -> Self {
+        self.sync_on_frame_end = true;
+        self
+    }
+
+    /// Whether the sink flushes at every frame boundary.
+    #[must_use]
+    pub fn sync_on_frame_end(&self) -> bool {
+        self.sync_on_frame_end
     }
 
     /// A sink writing to the file at `path` (created/truncated).
@@ -245,9 +276,23 @@ impl EventSink for JsonlSink {
         Self::render(&mut line, event);
         let _ = self.out.write_all(line.as_bytes());
         self.line = line;
+        if self.sync_on_frame_end && matches!(event, Event::FrameEnd { .. }) {
+            let _ = self.out.flush();
+        }
     }
 
     fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    /// Flushes buffered lines so a dropped sink — end of run or unwind —
+    /// leaves a whole-line log with no partially escaped trailing
+    /// record. (`BufWriter` would flush on drop anyway; the explicit
+    /// impl makes the guarantee part of the sink's contract rather than
+    /// an implementation detail of its buffer.)
+    fn drop(&mut self) {
         let _ = self.out.flush();
     }
 }
@@ -459,6 +504,75 @@ mod tests {
         let mut g = String::new();
         push_f64(&mut g, 0.1);
         assert_eq!(g, "0.1");
+    }
+
+    #[test]
+    fn dropped_sink_leaves_no_partially_escaped_trailing_line() {
+        let buf = SharedBuffer::new();
+        {
+            // Span names that force the escape walk, so a torn write
+            // would be visible as an unbalanced quote or missing brace.
+            let rec = Recorder::with_sink(Box::new(JsonlSink::new(Box::new(buf.clone()))));
+            rec.begin_frame(0);
+            {
+                let _s = rec.span("we\"ird\nstage\\name");
+            }
+            rec.add("cache.hits", 3);
+            rec.end_frame().unwrap();
+            // No explicit flush: dropping the recorder drops the sink,
+            // whose Drop impl must flush whole lines.
+        }
+        let text = buf.contents();
+        assert!(!text.is_empty(), "drop flushed the buffered lines");
+        assert!(text.ends_with('\n'), "log ends on a line boundary");
+        for line in text.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "complete JSON object per line, got {line:?}"
+            );
+            // Escaped quotes (`\"`) are content, not delimiters; the
+            // remaining quote bytes must pair up.
+            let total = line.bytes().filter(|&b| b == b'"').count();
+            let escaped = line.matches("\\\"").count();
+            assert_eq!((total - escaped) % 2, 0, "balanced quotes in {line:?}");
+        }
+        assert!(text.contains("we\\\"ird\\nstage\\\\name"));
+    }
+
+    #[test]
+    fn sync_on_frame_end_makes_frames_durable_before_any_flush() {
+        // Without the mode, a 256 KiB buffer retains the whole tiny run.
+        let (plain, plain_buf) = JsonlSink::shared();
+        assert!(!plain.sync_on_frame_end());
+        let rec = Recorder::with_sink(Box::new(plain));
+        rec.begin_frame(0);
+        rec.end_frame().unwrap();
+        assert_eq!(
+            plain_buf.contents(),
+            "",
+            "unsynced sink buffers past frame end"
+        );
+        rec.flush();
+        assert!(plain_buf.contents().contains("frame_end"));
+
+        // With it, the frame's lines reach the writer at the boundary —
+        // what survives a SIGKILL after the frame.
+        let buf = SharedBuffer::new();
+        let sink = JsonlSink::new(Box::new(buf.clone())).with_sync_on_frame_end();
+        assert!(sink.sync_on_frame_end());
+        let rec = Recorder::with_sink(Box::new(sink));
+        rec.begin_frame(0);
+        rec.add("sim.frames", 1);
+        rec.end_frame().unwrap();
+        let text = buf.contents();
+        assert!(
+            text.ends_with('\n') && text.contains("frame_end"),
+            "frame boundary flushed without an explicit flush call: {text:?}"
+        );
+        rec.begin_frame(1);
+        // Mid-frame events may stay buffered until the next boundary.
+        rec.end_frame().unwrap();
+        assert!(buf.contents().matches("frame_end").count() == 2);
     }
 
     #[test]

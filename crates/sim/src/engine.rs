@@ -85,11 +85,147 @@ impl SimConfig {
     }
 }
 
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TaxiState {
+    pub(crate) template: Taxi,
+    pub(crate) location: Point,
+    pub(crate) free_at: u64,
+}
+
+/// Everything the engine carries across a frame boundary.
+///
+/// This is the complete resume surface: a run restored from a serialized
+/// `EngineState` (see [`crate::ckpt`]) continues bit-identically to one
+/// that never stopped, because every other per-frame structure is either
+/// scratch (rebuilt from scratch each frame — see [`Scratch`]) or policy
+/// warm state (deterministically rebuilt by the warm==cold invariant the
+/// policies guarantee). Wall-clock fields inside the report are the only
+/// exception, and the determinism digest excludes them.
 #[derive(Debug, Clone)]
-struct TaxiState {
-    template: Taxi,
-    location: Point,
-    free_at: u64,
+pub(crate) struct EngineState {
+    pub(crate) taxis: Vec<TaxiState>,
+    /// `(request, admission frame)` queue, arrival order.
+    pub(crate) pending: VecDeque<(Request, u64)>,
+    /// Next index into `trace.requests` to admit.
+    pub(crate) next_request: usize,
+    pub(crate) report: SimReport,
+    /// Injected-fault counter watermark: the `sim.faults_injected`
+    /// counter is advanced by the per-frame delta of the cumulative
+    /// fault tally (faults land on dispatched and skipped frames
+    /// alike; skipped-frame injections attribute to the next
+    /// dispatched frame, with any tail flushed after the loop).
+    pub(crate) faults_seen: u64,
+    pub(crate) fault_state: Option<FaultState>,
+    /// Every request id ever admitted, kept only on fault runs: the
+    /// admission screen rejects injected duplicates against it.
+    pub(crate) admitted_ids: HashSet<RequestId>,
+    /// Policy-visible sets of the previous dispatched frame, for
+    /// [`FrameDelta`] construction.
+    pub(crate) prev_idle_ids: HashSet<TaxiId>,
+    pub(crate) prev_batch_ids: HashSet<RequestId>,
+    /// The next frame to execute (frames `0..frame` are done).
+    pub(crate) frame: u64,
+}
+
+impl EngineState {
+    pub(crate) fn new(trace: &Trace, policy_name: &str, faults: Option<FaultPlan>) -> Self {
+        let taxis: Vec<TaxiState> = trace
+            .taxis
+            .iter()
+            .map(|t| TaxiState {
+                template: *t,
+                location: t.location,
+                free_at: 0,
+            })
+            .collect();
+        let fleet = taxis.len();
+        EngineState {
+            taxis,
+            pending: VecDeque::new(),
+            next_request: 0,
+            report: SimReport {
+                policy: policy_name.to_string(),
+                trace: trace.name.clone(),
+                served: 0,
+                unserved_at_end: 0,
+                frames: 0,
+                delays_min: Vec::new(),
+                passenger_dissatisfaction: Vec::new(),
+                taxi_dissatisfaction: Vec::new(),
+                shared_requests: 0,
+                total_drive_km: 0.0,
+                queue_by_frame: Vec::new(),
+                idle_by_frame: Vec::new(),
+                dispatch_ms_by_frame: Vec::new(),
+                stage_breakdown: o2o_obs::StageBreakdown::new(),
+                faults: FaultCounters::default(),
+                dispatch_errors: Vec::new(),
+                degradations: Vec::new(),
+                delay_by_hour: [HourBucket::default(); 24],
+                passenger_by_hour: [HourBucket::default(); 24],
+                taxi_by_hour: [HourBucket::default(); 24],
+            },
+            faults_seen: 0,
+            fault_state: faults.map(|plan| FaultState::new(plan, fleet)),
+            admitted_ids: HashSet::new(),
+            prev_idle_ids: HashSet::new(),
+            prev_batch_ids: HashSet::new(),
+            frame: 0,
+        }
+    }
+}
+
+/// Reusable per-frame scratch, hoisted so a long run does not
+/// re-allocate (and re-free) the same buffers every tick. Nothing here
+/// survives a frame as *state*: everything is recomputed before use (the
+/// incremental grid is delta-synced to exactly the fresh-build result),
+/// so resume after a crash rebuilds it all from the trace without loss.
+pub(crate) struct Scratch {
+    idle: Vec<Taxi>,
+    idle_fleet: Vec<usize>,
+    pending_vec: Vec<Request>,
+    arrivals: Vec<Request>,
+    member_reqs: Vec<Request>,
+    cancelled_members: HashSet<RequestId>,
+    used_taxis: HashSet<TaxiId>,
+    served_ids: HashSet<RequestId>,
+    cur_idle_ids: HashSet<TaxiId>,
+    cur_batch_ids: HashSet<RequestId>,
+    /// Delta-maintained idle-taxi grid: keyed by fleet index across
+    /// frames (taxi state transitions patch it in place), remapped to
+    /// idle-slice ranks for the policy each frame. Query results are
+    /// exactly those of a fresh `build_taxi_grid(&idle)` — asserted in
+    /// debug builds.
+    inc_grid: IncrementalGrid<usize>,
+    desired: Vec<(usize, Point)>,
+    fleet_rank: Vec<usize>,
+    taxi_index: HashMap<TaxiId, usize>,
+}
+
+impl Scratch {
+    pub(crate) fn new(trace: &Trace) -> Self {
+        Scratch {
+            idle: Vec::new(),
+            idle_fleet: Vec::new(),
+            pending_vec: Vec::new(),
+            arrivals: Vec::new(),
+            member_reqs: Vec::new(),
+            cancelled_members: HashSet::new(),
+            used_taxis: HashSet::new(),
+            served_ids: HashSet::new(),
+            cur_idle_ids: HashSet::new(),
+            cur_batch_ids: HashSet::new(),
+            inc_grid: IncrementalGrid::new(GRID_REBUILD_THRESHOLD),
+            desired: Vec::new(),
+            fleet_rank: vec![0; trace.taxis.len()],
+            taxi_index: trace
+                .taxis
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.id, i))
+                .collect(),
+        }
+    }
 }
 
 /// The discrete-frame simulator; see the [crate docs](crate) for the
@@ -227,99 +363,70 @@ impl Simulator {
         trace: &Trace,
         policy: &mut P,
     ) -> SimReport {
+        let mut state = EngineState::new(trace, policy.name(), self.faults);
+        let mut scratch = Scratch::new(trace);
+        while self.step_frame(metric, trace, policy, &mut state, &mut scratch) {}
+        self.finish(state)
+    }
+
+    /// Executes exactly one frame (admission, expiry, dispatch, drive,
+    /// bookkeeping), advances `st.frame`, and reports whether the run
+    /// continues. The split from [`run_with_metric`](Self::run_with_metric)
+    /// exists for the checkpoint layer: a resumed run re-enters here at an
+    /// arbitrary frame boundary and proceeds bit-identically.
+    pub(crate) fn step_frame<M: Metric, P: DispatchPolicy>(
+        &self,
+        metric: &M,
+        trace: &Trace,
+        policy: &mut P,
+        st: &mut EngineState,
+        sc: &mut Scratch,
+    ) -> bool {
         let frame_s = self.config.frame_seconds;
         let speed_km_per_s = self.config.taxi_speed_kmh / 3600.0;
-
-        let mut taxis: Vec<TaxiState> = trace
-            .taxis
-            .iter()
-            .map(|t| TaxiState {
-                template: *t,
-                location: t.location,
-                free_at: 0,
-            })
-            .collect();
-        let taxi_index: HashMap<TaxiId, usize> = trace
-            .taxis
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (t.id, i))
-            .collect();
-
-        // (request, admission frame)
-        let mut pending: VecDeque<(Request, u64)> = VecDeque::new();
-        let mut next_request = 0usize;
         let last_arrival_frame = trace.requests.last().map_or(0, |r| r.time / frame_s);
-
-        let mut report = SimReport {
-            policy: policy.name().to_string(),
-            trace: trace.name.clone(),
-            served: 0,
-            unserved_at_end: 0,
-            frames: 0,
-            delays_min: Vec::new(),
-            passenger_dissatisfaction: Vec::new(),
-            taxi_dissatisfaction: Vec::new(),
-            shared_requests: 0,
-            total_drive_km: 0.0,
-            queue_by_frame: Vec::new(),
-            idle_by_frame: Vec::new(),
-            dispatch_ms_by_frame: Vec::new(),
-            stage_breakdown: o2o_obs::StageBreakdown::new(),
-            faults: FaultCounters::default(),
-            dispatch_errors: Vec::new(),
-            degradations: Vec::new(),
-            delay_by_hour: [HourBucket::default(); 24],
-            passenger_by_hour: [HourBucket::default(); 24],
-            taxi_by_hour: [HourBucket::default(); 24],
-        };
-
         let recorder = &self.recorder;
-        // Injected-fault counter watermark: the `sim.faults_injected`
-        // counter is advanced by the per-frame delta of the cumulative
-        // fault tally (faults land on dispatched and skipped frames
-        // alike; skipped-frame injections attribute to the next
-        // dispatched frame, with any tail flushed after the loop).
-        let mut faults_seen = 0u64;
-        let mut fault_state = self.faults.map(|plan| FaultState::new(plan, taxis.len()));
-        // Every request id ever admitted, kept only on fault runs: the
-        // admission screen rejects injected duplicates against it.
-        let mut admitted_ids: HashSet<RequestId> = HashSet::new();
 
-        // Reusable per-frame scratch, hoisted so a long run does not
-        // re-allocate (and re-free) the same buffers every tick.
-        let mut idle: Vec<Taxi> = Vec::new();
-        let mut idle_fleet: Vec<usize> = Vec::new();
-        let mut pending_vec: Vec<Request> = Vec::new();
-        let mut arrivals: Vec<Request> = Vec::new();
-        let mut member_reqs: Vec<Request> = Vec::new();
-        let mut cancelled_members: HashSet<RequestId> = HashSet::new();
-        let mut used_taxis: HashSet<TaxiId> = HashSet::new();
-        let mut served_ids: HashSet<RequestId> = HashSet::new();
-        let mut prev_idle_ids: HashSet<TaxiId> = HashSet::new();
-        let mut prev_batch_ids: HashSet<RequestId> = HashSet::new();
-        let mut cur_idle_ids: HashSet<TaxiId> = HashSet::new();
-        let mut cur_batch_ids: HashSet<RequestId> = HashSet::new();
-        // Delta-maintained idle-taxi grid: keyed by fleet index across
-        // frames (taxi state transitions patch it in place), remapped to
-        // idle-slice ranks for the policy each frame. Query results are
-        // exactly those of a fresh `build_taxi_grid(&idle)` — asserted in
-        // debug builds below.
-        let mut inc_grid: IncrementalGrid<usize> = IncrementalGrid::new(GRID_REBUILD_THRESHOLD);
-        let mut desired: Vec<(usize, Point)> = Vec::new();
-        let mut fleet_rank: Vec<usize> = vec![0; taxis.len()];
+        let EngineState {
+            taxis,
+            pending,
+            next_request,
+            report,
+            faults_seen,
+            fault_state,
+            admitted_ids,
+            prev_idle_ids,
+            prev_batch_ids,
+            frame: frame_slot,
+        } = st;
+        let Scratch {
+            idle,
+            idle_fleet,
+            pending_vec,
+            arrivals,
+            member_reqs,
+            cancelled_members,
+            used_taxis,
+            served_ids,
+            cur_idle_ids,
+            cur_batch_ids,
+            inc_grid,
+            desired,
+            fleet_rank,
+            taxi_index,
+        } = sc;
 
-        let mut frame = 0u64;
-        loop {
+        let frame = *frame_slot;
+        {
             let time_end = (frame + 1) * frame_s;
             // Admit arrivals.
             match fault_state.as_mut() {
                 None => {
-                    while next_request < trace.requests.len()
-                        && trace.requests[next_request].time < time_end
+                    while *next_request < trace.requests.len()
+                        && trace.requests[*next_request].time < time_end
                     {
-                        pending.push_back((trace.requests[next_request], frame));
-                        next_request += 1;
+                        pending.push_back((trace.requests[*next_request], frame));
+                        *next_request += 1;
                     }
                 }
                 Some(fs) => {
@@ -330,13 +437,13 @@ impl Simulator {
                     // admitted exactly as on the clean path.
                     let recovery_started = Instant::now();
                     arrivals.clear();
-                    while next_request < trace.requests.len()
-                        && trace.requests[next_request].time < time_end
+                    while *next_request < trace.requests.len()
+                        && trace.requests[*next_request].time < time_end
                     {
-                        arrivals.push(trace.requests[next_request]);
-                        next_request += 1;
+                        arrivals.push(trace.requests[*next_request]);
+                        *next_request += 1;
                     }
-                    fs.corrupt_arrivals(&mut arrivals, &mut report.faults);
+                    fs.corrupt_arrivals(arrivals, &mut report.faults);
                     for r in arrivals.drain(..) {
                         let finite = r.pickup.x.is_finite()
                             && r.pickup.y.is_finite()
@@ -427,8 +534,8 @@ impl Simulator {
                     .removed_requests
                     .extend(prev_batch_ids.difference(&cur_batch_ids).copied());
                 delta.removed_requests.sort_unstable();
-                std::mem::swap(&mut prev_idle_ids, &mut cur_idle_ids);
-                std::mem::swap(&mut prev_batch_ids, &mut cur_batch_ids);
+                std::mem::swap(prev_idle_ids, cur_idle_ids);
+                std::mem::swap(prev_batch_ids, cur_batch_ids);
 
                 // Open the frame's telemetry window and install the
                 // recorder as this thread's current one, so pipeline
@@ -647,9 +754,9 @@ impl Simulator {
                 recorder.gauge("sim.queue_len", pending.len() as f64);
                 recorder.gauge("sim.idle_taxis", idle.len() as f64);
                 let faults_total = report.faults.total_injected();
-                if faults_total > faults_seen {
-                    recorder.add("sim.faults_injected", faults_total - faults_seen);
-                    faults_seen = faults_total;
+                if faults_total > *faults_seen {
+                    recorder.add("sim.faults_injected", faults_total - *faults_seen);
+                    *faults_seen = faults_total;
                 }
                 if let Some(fs) = recorder.end_frame() {
                     report.stage_breakdown.push(fs);
@@ -661,23 +768,27 @@ impl Simulator {
             report
                 .idle_by_frame
                 .push(taxis.iter().filter(|t| t.free_at <= time_end).count() as u32);
+        }
 
-            frame += 1;
-            let arrivals_done = next_request >= trace.requests.len();
-            if arrivals_done
-                && (pending.is_empty() || frame > last_arrival_frame + self.config.drain_frames)
-            {
-                break;
-            }
+        *frame_slot = frame + 1;
+        let arrivals_done = *next_request >= trace.requests.len();
+        !(arrivals_done
+            && (pending.is_empty()
+                || *frame_slot > last_arrival_frame + self.config.drain_frames))
+    }
+
+    /// Flushes the tail counters and seals the report after the last
+    /// frame.
+    pub(crate) fn finish(&self, mut st: EngineState) -> SimReport {
+        let faults_total = st.report.faults.total_injected();
+        if faults_total > st.faults_seen {
+            self.recorder
+                .add("sim.faults_injected", faults_total - st.faults_seen);
         }
-        let faults_total = report.faults.total_injected();
-        if faults_total > faults_seen {
-            recorder.add("sim.faults_injected", faults_total - faults_seen);
-        }
-        recorder.flush();
-        report.frames = frame;
-        report.unserved_at_end += pending.len();
-        report
+        self.recorder.flush();
+        st.report.frames = st.frame;
+        st.report.unserved_at_end += st.pending.len();
+        st.report
     }
 }
 

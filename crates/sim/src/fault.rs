@@ -367,6 +367,23 @@ impl FaultState {
     pub(crate) fn force_offline(&mut self, fleet_index: usize, frame: u64) {
         self.offline_until[fleet_index] = frame + self.plan.dropout_frames;
     }
+
+    /// The checkpointable view of the fault machinery: the plan, the
+    /// generator's exact internal state, and the per-taxi offline clocks.
+    /// [`restore`](Self::restore) round-trips it so a resumed run draws
+    /// the identical fault stream from the first replayed frame on.
+    pub(crate) fn snapshot(&self) -> (FaultPlan, [u64; 4], &[u64]) {
+        (self.plan, self.rng.state(), &self.offline_until)
+    }
+
+    /// Rebuilds the state captured by [`snapshot`](Self::snapshot).
+    pub(crate) fn restore(plan: FaultPlan, rng_state: [u64; 4], offline_until: Vec<u64>) -> Self {
+        FaultState {
+            plan,
+            rng: StdRng::from_state(rng_state),
+            offline_until,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -466,6 +483,33 @@ mod tests {
             assert_eq!(a.mid_dispatch_fate(), b.mid_dispatch_fate());
         }
         assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_the_identical_fault_stream() {
+        let plan = FaultPlan::uniform(77, 0.25);
+        let mut a = FaultState::new(plan, 3);
+        let mut scrap = FaultCounters::default();
+        for frame in 0..40 {
+            let _ = a.taxi_offline(0, frame, &mut scrap);
+            let _ = a.mid_dispatch_fate();
+        }
+        let (p, rng_state, off) = a.snapshot();
+        let mut b = FaultState::restore(p, rng_state, off.to_vec());
+        let (mut ca, mut cb) = (FaultCounters::default(), FaultCounters::default());
+        for frame in 40..200 {
+            assert_eq!(
+                a.taxi_offline(1, frame, &mut ca),
+                b.taxi_offline(1, frame, &mut cb)
+            );
+            assert_eq!(a.cancels_request(&mut ca), b.cancels_request(&mut cb));
+            assert_eq!(
+                a.report_position(Point::ORIGIN, &mut ca),
+                b.report_position(Point::ORIGIN, &mut cb)
+            );
+            assert_eq!(a.mid_dispatch_fate(), b.mid_dispatch_fate());
+        }
+        assert_eq!(ca, cb, "post-restore streams must stay in lockstep");
     }
 
     #[test]

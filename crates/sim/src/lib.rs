@@ -53,12 +53,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod ckpt;
 mod engine;
 mod fault;
 mod metrics;
 pub mod policy;
 mod report;
 
+pub use ckpt::{
+    checkpoint_files, latest_valid_checkpoint, load_checkpoint, wal_frames, Checkpoint,
+    CheckpointSpec, CkptError, RunOutcome,
+};
 pub use engine::{SimConfig, Simulator};
 pub use fault::{DegradationEvent, DispatchError, FaultCounters, FaultPlan};
 pub use metrics::Cdf;

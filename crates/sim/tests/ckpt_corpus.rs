@@ -1,0 +1,187 @@
+//! Golden corpus of corrupted checkpoints.
+//!
+//! Every corruption mode a crash or bit rot can produce — truncation at
+//! any byte, a flipped bit anywhere, a stale format version, an empty
+//! file, foreign bytes — must surface as a typed [`CkptError`], never a
+//! panic, and must never be loaded as state. When a valid older
+//! checkpoint sits next to a corrupt newer one, fallback must find it.
+
+use o2o_core::PreferenceParams;
+use o2o_geo::Euclidean;
+use o2o_sim::{
+    checkpoint_files, latest_valid_checkpoint, load_checkpoint, policy, CheckpointSpec,
+    CkptError, RunOutcome, SimConfig, Simulator,
+};
+use o2o_trace::boston_september_2012;
+use std::fs;
+use std::path::PathBuf;
+
+/// The checkpoint format's word-chunked FNV-1a (mirrors the loader's —
+/// needed to re-seal a deliberately doctored file).
+fn fnv1a64_words(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut word = |w: u64| h = (h ^ w).wrapping_mul(0x0000_0100_0000_01b3);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        word(u64::from_le_bytes(c.try_into().unwrap()));
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rest.len()].copy_from_slice(rest);
+        tail[7] = rest.len() as u8;
+        word(u64::from_le_bytes(tail));
+    }
+    h
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("o2o-corpus-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Produces a directory holding at least two valid checkpoints, and
+/// returns the raw bytes of the newest — the seed for every corruption.
+fn golden(tag: &str) -> (PathBuf, PathBuf, Vec<u8>) {
+    let dir = tmp_dir(tag);
+    let trace = boston_september_2012(0.002).generate(19);
+    let sim = Simulator::new(SimConfig::default());
+    let mut p = policy::nstd_p(Euclidean, PreferenceParams::default());
+    let spec = CheckpointSpec::new(&dir)
+        .with_interval(8)
+        .with_keep(4)
+        .with_stop_after_frames(30);
+    let out = sim.run_checkpointed(&trace, &mut p, &spec).unwrap();
+    assert!(matches!(out, RunOutcome::Stopped { .. }));
+    let files = checkpoint_files(&dir).unwrap();
+    assert!(files.len() >= 2, "need a fallback candidate");
+    let newest = files[0].clone();
+    let bytes = fs::read(&newest).unwrap();
+    (dir, newest, bytes)
+}
+
+#[test]
+fn truncation_at_every_interesting_length_is_a_typed_error() {
+    let (dir, newest, bytes) = golden("trunc");
+    // A spread of cut points: empty, inside the magic, inside the
+    // header, inside a section, one byte short of complete.
+    let cuts = [
+        0,
+        2,
+        7,
+        16,
+        bytes.len() / 4,
+        bytes.len() / 2,
+        bytes.len() - 9,
+        bytes.len() - 1,
+    ];
+    for cut in cuts {
+        fs::write(&newest, &bytes[..cut]).unwrap();
+        let err = load_checkpoint(&newest).expect_err("corrupt file must not load");
+        assert!(
+            matches!(
+                err,
+                CkptError::Truncated | CkptError::ChecksumMismatch | CkptError::BadMagic
+            ),
+            "cut at {cut}: unexpected error {err}"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn any_flipped_bit_is_caught_by_the_checksum() {
+    let (dir, newest, bytes) = golden("bitflip");
+    // Flip one bit at a spread of offsets covering header, both
+    // sections and the checksum footer itself.
+    let n = bytes.len();
+    for offset in [4, 9, 13, 21, n / 3, n / 2, 2 * n / 3, n - 20, n - 4] {
+        let mut mutated = bytes.clone();
+        mutated[offset] ^= 0x10;
+        fs::write(&newest, &mutated).unwrap();
+        let err = load_checkpoint(&newest).expect_err("bit flip must not load");
+        assert!(
+            matches!(
+                err,
+                CkptError::ChecksumMismatch
+                    | CkptError::BadMagic
+                    | CkptError::Truncated
+                    | CkptError::UnsupportedVersion(_)
+                    | CkptError::Malformed(_)
+            ),
+            "flip at {offset}: unexpected error {err}"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_format_version_is_reported_as_unsupported() {
+    let (dir, newest, bytes) = golden("version");
+    // Patch the version field and re-seal the checksum so the version
+    // check itself (not the checksum) is what fires.
+    let mut mutated = bytes[..bytes.len() - 8].to_vec();
+    mutated[4..8].copy_from_slice(&99u32.to_le_bytes());
+    mutated.extend_from_slice(&fnv1a64_words(&mutated).to_le_bytes());
+    fs::write(&newest, &mutated).unwrap();
+    let err = load_checkpoint(&newest).expect_err("future version must not load");
+    assert!(matches!(err, CkptError::UnsupportedVersion(99)), "got {err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_and_foreign_files_are_rejected() {
+    let (dir, newest, _bytes) = golden("foreign");
+    fs::write(&newest, b"").unwrap();
+    assert!(matches!(
+        load_checkpoint(&newest).unwrap_err(),
+        CkptError::Truncated
+    ));
+    fs::write(&newest, b"not a checkpoint at all, just prose\n").unwrap();
+    assert!(matches!(
+        load_checkpoint(&newest).unwrap_err(),
+        CkptError::BadMagic
+    ));
+    fs::write(&newest, vec![0u8; 4096]).unwrap();
+    assert!(matches!(
+        load_checkpoint(&newest).unwrap_err(),
+        CkptError::BadMagic
+    ));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fallback_skips_every_corrupt_file_to_the_newest_valid_one() {
+    let (dir, newest, bytes) = golden("fallback");
+    let files = checkpoint_files(&dir).unwrap();
+    let second = files[1].clone();
+    let second_ckpt = load_checkpoint(&second).unwrap();
+
+    // Corrupt the newest file: fallback lands on the second.
+    fs::write(&newest, &bytes[..bytes.len() / 3]).unwrap();
+    let (path, ckpt) = latest_valid_checkpoint(&dir).unwrap().expect("fallback");
+    assert_eq!(path, second);
+    assert_eq!(ckpt.frame(), second_ckpt.frame());
+
+    // Corrupt every checkpoint: no valid candidate remains, and that is
+    // an orderly `None`, not a panic.
+    for f in checkpoint_files(&dir).unwrap() {
+        fs::write(&f, b"O2OCgarbage").unwrap();
+    }
+    assert!(latest_valid_checkpoint(&dir).unwrap().is_none());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_stray_tmp_file_is_invisible_to_the_loader() {
+    let (dir, _newest, bytes) = golden("tmp");
+    // A crash between `File::create` and `rename` leaves a .tmp around;
+    // it must never be considered a checkpoint candidate.
+    let stray = dir.join("ckpt-999999999999.o2oc.tmp");
+    fs::write(&stray, &bytes[..bytes.len() / 2]).unwrap();
+    let files = checkpoint_files(&dir).unwrap();
+    assert!(files.iter().all(|f| f != &stray));
+    assert!(latest_valid_checkpoint(&dir).unwrap().is_some());
+    let _ = fs::remove_dir_all(&dir);
+}

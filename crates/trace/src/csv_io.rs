@@ -174,8 +174,47 @@ fn parse_row(line_no: usize, trimmed: &str) -> Result<Request, CsvError> {
 }
 
 /// True for rows the readers skip without parsing.
-fn skip_row(idx: usize, trimmed: &str) -> bool {
-    trimmed.is_empty() || (idx == 0 && trimmed.starts_with("id,"))
+fn skip_row(line_no: usize, trimmed: &str) -> bool {
+    trimmed.is_empty() || (line_no == 1 && trimmed.starts_with("id,"))
+}
+
+/// Reads `r` and invokes `f` once per logical line with its exact
+/// 1-based line number.
+///
+/// Line terminators are `\n`, `\r\n`, and a bare `\r` (classic-Mac or
+/// mixed-ending exports); a final line with no terminator at all is
+/// still delivered with its own number, so quarantine line numbers stay
+/// exact for every ending convention. Invalid UTF-8 is replaced
+/// per-line (lossy) rather than aborting the read — a byte-corrupt row
+/// becomes a parse failure on that line instead of an I/O error that
+/// kills the whole import.
+fn for_each_logical_line<R: Read>(
+    r: R,
+    mut f: impl FnMut(usize, &str) -> Result<(), CsvError>,
+) -> Result<(), CsvError> {
+    let mut reader = BufReader::new(r);
+    let mut chunk: Vec<u8> = Vec::new();
+    let mut line_no = 0usize;
+    loop {
+        chunk.clear();
+        if reader.read_until(b'\n', &mut chunk)? == 0 {
+            return Ok(());
+        }
+        // Strip the `\n` terminator and, for CRLF endings, the `\r`
+        // preceding it. Anything left may still contain bare `\r`
+        // separators; each piece between them is its own logical line.
+        if chunk.last() == Some(&b'\n') {
+            chunk.pop();
+            if chunk.last() == Some(&b'\r') {
+                chunk.pop();
+            }
+        }
+        let text = String::from_utf8_lossy(&chunk);
+        for piece in text.split('\r') {
+            line_no += 1;
+            f(line_no, piece)?;
+        }
+    }
 }
 
 /// Writes `requests` in the trace CSV format.
@@ -206,15 +245,12 @@ pub fn write_requests<W: Write>(mut w: W, requests: &[Request]) -> std::io::Resu
 /// Returns [`CsvError::Parse`] on a malformed or duplicate-id row and
 /// [`CsvError::Io`] on read failure.
 pub fn read_requests<R: Read>(r: R) -> Result<Vec<Request>, CsvError> {
-    let reader = BufReader::new(r);
     let mut out = Vec::new();
     let mut seen = std::collections::HashSet::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line_no = idx + 1;
+    for_each_logical_line(r, |line_no, line| {
         let trimmed = line.trim();
-        if skip_row(idx, trimmed) {
-            continue;
+        if skip_row(line_no, trimmed) {
+            return Ok(());
         }
         let req = parse_row(line_no, trimmed)?;
         if !seen.insert(req.id) {
@@ -224,7 +260,8 @@ pub fn read_requests<R: Read>(r: R) -> Result<Vec<Request>, CsvError> {
             });
         }
         out.push(req);
-    }
+        Ok(())
+    })?;
     out.sort_by_key(|r| (r.time, r.id));
     Ok(out)
 }
@@ -245,16 +282,13 @@ pub fn read_requests<R: Read>(r: R) -> Result<Vec<Request>, CsvError> {
 pub fn read_requests_quarantined<R: Read>(
     r: R,
 ) -> Result<(Vec<Request>, QuarantineReport), CsvError> {
-    let reader = BufReader::new(r);
     let mut out = Vec::new();
     let mut report = QuarantineReport::default();
     let mut seen = std::collections::HashSet::new();
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let line_no = idx + 1;
+    for_each_logical_line(r, |line_no, line| {
         let trimmed = line.trim();
-        if skip_row(idx, trimmed) {
-            continue;
+        if skip_row(line_no, trimmed) {
+            return Ok(());
         }
         match parse_row(line_no, trimmed) {
             Ok(req) if !seen.insert(req.id) => report.rows.push(QuarantinedRow {
@@ -270,7 +304,8 @@ pub fn read_requests_quarantined<R: Read>(
             }
             Err(e @ CsvError::Io(_)) => return Err(e),
         }
-    }
+        Ok(())
+    })?;
     out.sort_by_key(|r| (r.time, r.id));
     Ok((out, report))
 }
@@ -382,6 +417,69 @@ mod tests {
         let shown = report.to_string();
         assert!(shown.contains("4 row(s) quarantined"), "{shown}");
         assert!(shown.contains("line 3"), "{shown}");
+    }
+
+    #[test]
+    fn crlf_input_parses_with_exact_line_numbers() {
+        let csv = format!("{HEADER}\r\n0,100,0,0,1,1,1\r\n1,200,zzz,0,1,1,1\r\n2,300,0,0,1,1,1\r\n");
+        let (reqs, report) = read_requests_quarantined(csv.as_bytes()).unwrap();
+        assert_eq!(
+            reqs.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![RequestId(0), RequestId(2)]
+        );
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.rows[0].line, 3, "CRLF must not shift line numbers");
+        assert!(report.rows[0].reason.contains("pickup_x"));
+
+        // The strict reader agrees on both the header skip and the line.
+        let err = read_requests(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn final_unterminated_line_is_read() {
+        let csv = format!("{HEADER}\n0,100,0,0,1,1,1\n1,200,0,0,1,1,2");
+        let reqs = read_requests(csv.as_bytes()).unwrap();
+        assert_eq!(reqs.len(), 2, "last row without a newline must not be dropped");
+        assert_eq!(reqs[1].id, RequestId(1));
+        assert_eq!(reqs[1].passengers, 2);
+    }
+
+    #[test]
+    fn final_unterminated_bad_line_quarantines_with_exact_number() {
+        let csv = format!("{HEADER}\r\n0,100,0,0,1,1,1\r\n1,200,zzz");
+        let (reqs, report) = read_requests_quarantined(csv.as_bytes()).unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.rows[0].line, 3);
+        assert!(report.rows[0].reason.contains("expected 7 fields"));
+    }
+
+    #[test]
+    fn bare_carriage_returns_split_lines() {
+        // Classic-Mac style endings, plus a trailing CR before EOF.
+        let csv = "0,100,0,0,1,1,1\r1,200,0,0,1,1,1\r";
+        let reqs = read_requests(csv.as_bytes()).unwrap();
+        assert_eq!(
+            reqs.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![RequestId(0), RequestId(1)]
+        );
+
+        let bad = "0,100,0,0,1,1,1\rnope\r2,300,0,0,1,1,1";
+        let (reqs, report) = read_requests_quarantined(bad.as_bytes()).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(report.rows[0].line, 2);
+    }
+
+    #[test]
+    fn invalid_utf8_row_is_quarantined_not_fatal() {
+        let mut bytes = b"0,100,0,0,1,1,1\n".to_vec();
+        bytes.extend_from_slice(b"1,200,\xff\xfe,0,1,1,1\n");
+        bytes.extend_from_slice(b"2,300,0,0,1,1,1\n");
+        let (reqs, report) = read_requests_quarantined(bytes.as_slice()).unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.rows[0].line, 2);
     }
 
     #[test]
