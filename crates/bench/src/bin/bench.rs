@@ -1,0 +1,110 @@
+//! Perf-regression gate driver.
+//!
+//! ```text
+//! bench baseline   # snapshot results/BENCH_*.json into results/baselines/
+//! bench compare    # compare current results against the baselines
+//! ```
+//!
+//! `compare` exits 0 with a warning when no baselines exist (the first
+//! run of a fresh checkout has nothing to compare against — CI treats
+//! that as advisory), and exits 1 when any directional metric regressed
+//! beyond the noise-aware thresholds (see `o2o_bench::regress`). The
+//! relative threshold defaults to 25% and is overridable with
+//! `O2O_REGRESS_MAX_PCT` (see `o2o_bench::gates`).
+
+use o2o_bench::regress::{self, CompareOptions};
+use o2o_bench::{results_dir, REGRESS_MAX_PCT};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("baseline") => baseline(),
+        Some("compare") => compare(),
+        other => {
+            eprintln!(
+                "usage: bench <baseline|compare>\n\
+                 \n\
+                 baseline  snapshot results/BENCH_*.json into results/baselines/\n\
+                 compare   compare current results against the snapshot\n\
+                 {}",
+                other.map_or(String::new(), |o| format!("\nunknown subcommand: {o}"))
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn baseline() {
+    let dir = results_dir();
+    match regress::snapshot_baselines(&dir) {
+        Ok(copied) => {
+            println!(
+                "snapshotted {} file(s) into {}:",
+                copied.len(),
+                regress::baselines_dir(&dir).display()
+            );
+            for name in copied {
+                println!("  {name}");
+            }
+        }
+        Err(e) => {
+            eprintln!("bench baseline: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn compare() {
+    let dir = results_dir();
+    let opts = CompareOptions {
+        max_pct: REGRESS_MAX_PCT.value(),
+        ..CompareOptions::default()
+    };
+    let comparisons = match regress::compare_results(&dir, &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench compare: {e}");
+            std::process::exit(1);
+        }
+    };
+    if comparisons.is_empty() {
+        eprintln!(
+            "bench compare: no baselines in {} — run `bench baseline` after a trusted run \
+             to arm the gate (exiting 0)",
+            regress::baselines_dir(&dir).display()
+        );
+        return;
+    }
+    let mut regressed = 0usize;
+    for cmp in &comparisons {
+        if cmp.missing_current {
+            eprintln!(
+                "  {}: baseline exists but the current run produced no file — skipped",
+                cmp.file
+            );
+            continue;
+        }
+        let bad = regress::regressions(&cmp.deltas);
+        println!(
+            "  {}: {} metric(s) compared, {} regression(s)",
+            cmp.file,
+            cmp.deltas.len(),
+            bad.len()
+        );
+        for d in bad {
+            println!(
+                "    REGRESSED {}: {:.3} -> {:.3} ({:+.1}% worse, limit {:.1}%)",
+                d.path, d.baseline, d.current, d.worse_pct, opts.max_pct
+            );
+            regressed += 1;
+        }
+    }
+    if regressed > 0 {
+        eprintln!(
+            "bench compare: {regressed} regression(s) beyond {:.1}% (override with {})",
+            opts.max_pct, REGRESS_MAX_PCT.var
+        );
+        std::process::exit(1);
+    }
+    println!("bench compare: no regressions");
+}

@@ -1,6 +1,6 @@
 //! Observability overhead: instrumented vs disabled recorder.
 //!
-//! Runs the same trace through the NSTD-P pipeline under three recorder
+//! Runs the same trace through the NSTD-P pipeline under four recorder
 //! configurations:
 //!
 //! * **disabled** — [`Recorder::disabled`], the no-op handle; every
@@ -8,27 +8,34 @@
 //! * **memory** — the engine's default collecting recorder (in-memory
 //!   `StageBreakdown`, no sinks);
 //! * **jsonl** — a recorder streaming every event to
-//!   `results/obs_events.jsonl` through a buffered [`JsonlSink`].
+//!   `results/obs_events.jsonl` through a buffered [`JsonlSink`];
+//! * **fleet** — the full fleet-telemetry stack: a manifest-stamped
+//!   JSONL stream ([`FleetMeta`] header) plus live SLO monitoring
+//!   ([`SloSpec`]s on frame latency and served ratio).
 //!
 //! The arms are first asserted **bit-identical** on every
 //! dispatch-facing report field — telemetry may never change results —
 //! and the enabled arms' per-frame stage self-times are checked against
-//! the frame wall-clock. Then the disabled and jsonl arms are timed
-//! interleaved (best-of-`REPS`) and the relative overhead of full
-//! instrumentation *with the event log enabled* is compared against a
-//! budget: `O2O_OBS_MAX_OVERHEAD_PCT` (default 3%), with a small
-//! absolute floor so reduced-scale CI runs, whose per-run wall-clock is
-//! a few milliseconds, do not flake on timer noise.
+//! the frame wall-clock. Then the arms are timed interleaved
+//! (best-of-`REPS`) and the relative overhead of the jsonl arm *and* the
+//! fleet arm is compared against a budget: `O2O_OBS_MAX_OVERHEAD_PCT`
+//! (default 3%, see `o2o_bench::gates`), with a small absolute floor so
+//! reduced-scale CI runs, whose per-run wall-clock is a few
+//! milliseconds, do not flake on timer noise.
 //!
 //! Output: `results/BENCH_obs_overhead.json`.
 
-use o2o_bench::{bench_envelope, emit_bench_json, ExperimentOpts};
+use o2o_bench::{
+    bench_envelope, emit_bench_json, results_dir, ExperimentOpts, OBS_MAX_OVERHEAD_PCT,
+};
 use o2o_core::PreferenceParams;
 use o2o_geo::Euclidean;
 use o2o_par::Parallelism;
-use o2o_sim::{policy, JsonlSink, Recorder, SimConfig, SimReport, Simulator};
+use o2o_sim::{
+    policy, FleetMeta, JsonlSink, Recorder, SimConfig, SimReport, Simulator, SloMetric, SloSpec,
+};
 use o2o_trace::Trace;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Interleaved timing repetitions per arm; best-of is reported. The
@@ -40,19 +47,20 @@ const REPS: usize = 9;
 /// a 3% relative budget would be far below timer resolution.
 const ABS_SLACK_MS: f64 = 5.0;
 
-/// The default relative overhead budget, in percent. Override with the
-/// `O2O_OBS_MAX_OVERHEAD_PCT` environment variable.
-const DEFAULT_MAX_OVERHEAD_PCT: f64 = 3.0;
-
 fn results_path(file: &str) -> PathBuf {
-    // crates/bench/ -> workspace root, as in `write_bench_json`.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("manifest dir has a workspace root");
-    let dir = root.join("results");
+    let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results directory");
     dir.join(file)
+}
+
+/// The fleet arm's SLO specs: a latency ceiling that is guaranteed to
+/// breach (so the monitor's transition path is exercised, not just its
+/// bookkeeping) and a served-ratio floor that stays green.
+fn slo_specs() -> Vec<SloSpec> {
+    vec![
+        SloSpec::max("p50-zero", SloMetric::FrameP50Ms, 0.0, 8),
+        SloSpec::min("served", SloMetric::ServedRatio, 0.01, 8),
+    ]
 }
 
 fn run_arm(trace: &Trace, params: PreferenceParams, recorder: Recorder) -> SimReport {
@@ -60,6 +68,19 @@ fn run_arm(trace: &Trace, params: PreferenceParams, recorder: Recorder) -> SimRe
     Simulator::new(SimConfig::default())
         .with_parallelism(Parallelism::sequential())
         .with_recorder(recorder)
+        .run(trace, &mut policy)
+}
+
+/// The fully loaded configuration: manifest-stamped stream + SLO specs.
+fn run_fleet_arm(trace: &Trace, params: PreferenceParams, events_path: &PathBuf) -> SimReport {
+    let sink = JsonlSink::create(events_path)
+        .expect("create fleet event log")
+        .with_meta(FleetMeta::new("obs-overhead", 0, 42));
+    let mut policy = policy::nstd_p(Euclidean, params);
+    Simulator::new(SimConfig::default())
+        .with_parallelism(Parallelism::sequential())
+        .with_recorder(Recorder::with_sink(Box::new(sink)))
+        .with_slo(slo_specs())
         .run(trace, &mut policy)
 }
 
@@ -84,19 +105,26 @@ fn main() {
     let trace = o2o_trace::boston_september_2012(opts.scale).generate(opts.seed);
     let params = opts.params;
     let events_path = results_path("obs_events.jsonl");
+    let fleet_path = results_path("obs_fleet_events.jsonl");
 
-    // Correctness before timing: all three configurations must agree on
+    // Correctness before timing: all four configurations must agree on
     // every dispatch-facing field, and the enabled arms' telemetry must
     // be internally consistent.
     let disabled = run_arm(&trace, params, Recorder::disabled());
     let memory = run_arm(&trace, params, Recorder::new());
     let sink = JsonlSink::create(&events_path).expect("create JSONL event log");
     let jsonl = run_arm(&trace, params, Recorder::with_sink(Box::new(sink)));
+    let fleet = run_fleet_arm(&trace, params, &fleet_path);
 
     assert_dispatch_identical("memory", &disabled, &memory);
     assert_dispatch_identical("jsonl", &disabled, &jsonl);
+    assert_dispatch_identical("fleet", &disabled, &fleet);
     assert!(disabled.stage_breakdown.is_empty());
     assert!(!jsonl.stage_breakdown.is_empty());
+    assert!(
+        fleet.slo_events.iter().any(o2o_sim::SloEvent::is_breach),
+        "the 0 ms p50 ceiling must breach"
+    );
     for fs in &jsonl.stage_breakdown.frames {
         let total = fs.total_stage_ms();
         assert!(
@@ -107,13 +135,14 @@ fn main() {
         );
     }
 
-    // Timing: disabled vs in-memory collection vs the fully
-    // instrumented arm (JSONL streaming), interleaved so machine noise
-    // hits all arms alike. Each rep rewrites the event log, so the file
-    // on disk stays a single run's worth.
+    // Timing: disabled vs in-memory collection vs JSONL streaming vs
+    // the full fleet stack, interleaved so machine noise hits all arms
+    // alike. Each rep rewrites the event logs, so the files on disk
+    // stay a single run's worth.
     let mut dis_ms = Vec::with_capacity(REPS);
     let mut mem_ms = Vec::with_capacity(REPS);
     let mut jsonl_ms = Vec::with_capacity(REPS);
+    let mut fleet_ms = Vec::with_capacity(REPS);
     for _ in 0..REPS {
         let t = Instant::now();
         std::hint::black_box(run_arm(&trace, params, Recorder::disabled()));
@@ -127,32 +156,50 @@ fn main() {
         let t = Instant::now();
         std::hint::black_box(run_arm(&trace, params, Recorder::with_sink(Box::new(sink))));
         jsonl_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+        let t = Instant::now();
+        std::hint::black_box(run_fleet_arm(&trace, params, &fleet_path));
+        fleet_ms.push(t.elapsed().as_secs_f64() * 1e3);
     }
     let best = |s: &[f64]| s.iter().copied().fold(f64::INFINITY, f64::min);
-    let (dis_best, mem_best, jsonl_best) = (best(&dis_ms), best(&mem_ms), best(&jsonl_ms));
+    let (dis_best, mem_best) = (best(&dis_ms), best(&mem_ms));
+    let (jsonl_best, fleet_best) = (best(&jsonl_ms), best(&fleet_ms));
     let overhead_ms = jsonl_best - dis_best;
     let overhead_pct = overhead_ms / dis_best * 100.0;
     let mem_overhead_pct = (mem_best - dis_best) / dis_best * 100.0;
+    let fleet_overhead_ms = fleet_best - dis_best;
+    let fleet_overhead_pct = fleet_overhead_ms / dis_best * 100.0;
 
-    let threshold_pct = std::env::var("O2O_OBS_MAX_OVERHEAD_PCT")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(DEFAULT_MAX_OVERHEAD_PCT);
+    let threshold_pct = OBS_MAX_OVERHEAD_PCT.value();
     let within_budget = overhead_pct <= threshold_pct || overhead_ms <= ABS_SLACK_MS;
     assert!(
         within_budget,
         "observability overhead {overhead_pct:.2}% ({overhead_ms:.2} ms) exceeds \
          budget {threshold_pct}% and absolute slack {ABS_SLACK_MS} ms"
     );
+    let fleet_within_budget =
+        fleet_overhead_pct <= threshold_pct || fleet_overhead_ms <= ABS_SLACK_MS;
+    assert!(
+        fleet_within_budget,
+        "fleet+SLO overhead {fleet_overhead_pct:.2}% ({fleet_overhead_ms:.2} ms) exceeds \
+         budget {threshold_pct}% and absolute slack {ABS_SLACK_MS} ms"
+    );
 
     let frames_recorded = jsonl.stage_breakdown.frames.len();
     println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>10} {:>8}",
-        "frames", "disabled_ms", "memory_ms", "jsonl_ms", "overhead", "budget"
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>8}",
+        "frames",
+        "disabled_ms",
+        "memory_ms",
+        "jsonl_ms",
+        "fleet_ms",
+        "overhead",
+        "fleet_ovh",
+        "budget"
     );
     println!(
         "{frames_recorded:>10} {dis_best:>12.2} {mem_best:>12.2} {jsonl_best:>12.2} \
-         {overhead_pct:>9.2}% {threshold_pct:>7}%",
+         {fleet_best:>12.2} {overhead_pct:>9.2}% {fleet_overhead_pct:>9.2}% {threshold_pct:>7}%",
     );
     println!("event log: {}", events_path.display());
 
@@ -167,18 +214,27 @@ fn main() {
                 ("best_disabled_ms", dis_best.into()),
                 ("best_memory_ms", mem_best.into()),
                 ("best_jsonl_ms", jsonl_best.into()),
+                ("best_fleet_ms", fleet_best.into()),
                 ("overhead_ms", overhead_ms.into()),
                 ("overhead_pct", overhead_pct.into()),
                 ("memory_overhead_pct", mem_overhead_pct.into()),
+                ("fleet_overhead_ms", fleet_overhead_ms.into()),
+                ("fleet_overhead_pct", fleet_overhead_pct.into()),
+                ("fleet_slo_events", fleet.slo_events.len().into()),
                 ("threshold_pct", threshold_pct.into()),
                 ("abs_slack_ms", ABS_SLACK_MS.into()),
                 ("within_budget", within_budget.into()),
+                ("fleet_within_budget", fleet_within_budget.into()),
                 ("dispatch_identical", true.into()),
                 (
                     "stage_breakdown",
                     o2o_bench::stage_breakdown_json(&jsonl.stage_breakdown),
                 ),
                 ("events_jsonl", events_path.display().to_string().into()),
+                (
+                    "fleet_events_jsonl",
+                    fleet_path.display().to_string().into(),
+                ),
             ],
         ),
     );

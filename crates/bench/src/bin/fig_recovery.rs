@@ -22,15 +22,15 @@
 //! Output: `results/BENCH_fig_recovery.json`.
 
 use o2o_bench::{
-    bench_envelope, emit_bench_json, merge_shard_files, supervise, ChildSpec, ExperimentOpts,
-    Json, SupervisorPolicy,
+    bench_envelope, emit_bench_json, merge_shard_files, supervise, ChildSpec, ExperimentOpts, Json,
+    SupervisorPolicy,
 };
 use o2o_core::PreferenceParams;
 use o2o_geo::Euclidean;
 use o2o_obs::Recorder;
 use o2o_sim::{
-    latest_valid_checkpoint, policy, wal_frames, CheckpointSpec, RunOutcome, SimConfig,
-    SimReport, Simulator,
+    latest_valid_checkpoint, policy, wal_frames, CheckpointSpec, RunOutcome, SimConfig, SimReport,
+    Simulator,
 };
 use o2o_trace::{boston_september_2012, Trace};
 use std::path::PathBuf;
@@ -176,10 +176,7 @@ fn overhead_arm(opts: &ExperimentOpts, baseline: &SimReport) -> Vec<Json> {
             ("digest_match", true.into()),
         ]));
         if interval == DEFAULT_INTERVAL {
-            let cap: f64 = std::env::var("O2O_RECOVERY_OVERHEAD_MAX")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(3.0);
+            let cap = o2o_bench::RECOVERY_OVERHEAD_MAX.value();
             assert!(
                 overhead_pct <= cap,
                 "checkpoint overhead {overhead_pct:.2}% exceeds {cap}% at the default \
@@ -279,12 +276,15 @@ fn supervisor_arm(opts: &ExperimentOpts, baseline: &SimReport) -> (Vec<Json>, Ve
         // (cold) attempt; the retry resumes from its checkpoint dir.
         common("flaky", &["--kill-after".to_string(), "12".to_string()]),
     ];
-    let statuses = supervise(&specs, &SupervisorPolicy {
-        timeout: Duration::from_secs(600),
-        max_attempts: 3,
-        backoff_base: Duration::from_millis(50),
-        backoff_cap: Duration::from_secs(1),
-    });
+    let statuses = supervise(
+        &specs,
+        &SupervisorPolicy {
+            timeout: Duration::from_secs(600),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+        },
+    );
     for s in &statuses {
         println!("  {s}");
         assert!(s.succeeded(), "supervised scenario failed: {s}");
@@ -292,8 +292,8 @@ fn supervisor_arm(opts: &ExperimentOpts, baseline: &SimReport) -> (Vec<Json>, Ve
     let flaky_retried = statuses.iter().any(|s| s.attempts > 1);
     assert!(flaky_retried, "the flaky child should have needed a retry");
 
-    let merged = merge_shard_files(&[shard("clean"), shard("flaky")])
-        .expect("shards parse and merge");
+    let merged =
+        merge_shard_files(&[shard("clean"), shard("flaky")]).expect("shards parse and merge");
     let rows = merged.get("rows").and_then(Json::as_arr).expect("rows");
     assert_eq!(rows.len(), 2, "one row per child");
     let digest = |row: &Json| {
@@ -362,10 +362,7 @@ fn run_one(args: &[String]) -> i32 {
     };
     let (trace, sim) = scenario(&opts);
     let mut spec = CheckpointSpec::new(&ckpt_dir).with_interval(DEFAULT_INTERVAL);
-    let cold = latest_valid_checkpoint(&ckpt_dir)
-        .ok()
-        .flatten()
-        .is_none()
+    let cold = latest_valid_checkpoint(&ckpt_dir).ok().flatten().is_none()
         && wal_frames(&ckpt_dir).map_or(true, |w| w.is_empty());
     if cold {
         if let Some(k) = kill_after {

@@ -1,0 +1,424 @@
+//! Live SLO monitoring: calibrated deadline sweep + supervised fleet
+//! aggregation.
+//!
+//! Two arms over the synthetic Boston trace (NSTD-P):
+//!
+//! * **sweep** — calibrates the workload's p95 frame latency from an
+//!   unmonitored run, then re-runs the same trace under
+//!   [`SloMonitor`](o2o_obs::SloMonitor) specs at a sweep of deadlines
+//!   around that p95. Tight deadlines breach, generous ones stay green,
+//!   and every monitored run must be bit-identical to the unmonitored
+//!   one ([`SimReport::deterministic_digest`]) — the monitor observes,
+//!   never steers.
+//! * **fleet** — the same scenario as real child processes (this binary
+//!   re-invoked with `--run-one`), each writing a manifest-stamped
+//!   JSONL telemetry stream ([`FleetMeta`]) plus a partial
+//!   `BENCH_*.json` shard. The parent merges the streams into one
+//!   `results/FLEET_fig_slo.json` and asserts the fleet summary's
+//!   per-shard frame counts and span totals reconcile exactly with the
+//!   children's own streams and result rows.
+//!
+//! Output: `results/BENCH_fig_slo.json` and `results/FLEET_fig_slo.json`.
+
+use o2o_bench::{
+    bench_envelope, emit_bench_json, merge_shard_files, supervise, write_fleet_json, ChildSpec,
+    ExperimentOpts, Json, SupervisorPolicy,
+};
+use o2o_core::PreferenceParams;
+use o2o_geo::Euclidean;
+use o2o_obs::{FleetMeta, FleetOptions, JsonlSink, Recorder, SloEvent, SloMetric, SloSpec};
+use o2o_sim::{policy, SimConfig, SimReport, Simulator};
+use o2o_trace::{boston_september_2012, Trace};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Rolling-window length (frames) for every spec in this figure.
+const WINDOW: usize = 16;
+/// Child processes in the fleet arm.
+const SHARDS: u32 = 3;
+/// Deadline sweep, as multiples of the calibrated p95.
+const DEADLINE_MULTIPLIERS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+fn scenario(scale: f64, seed: u64) -> Trace {
+    boston_september_2012(scale).generate(seed)
+}
+
+fn make_policy(params: PreferenceParams) -> impl o2o_sim::DispatchPolicy {
+    policy::nstd_p(Euclidean, params)
+}
+
+/// The figure's spec set for one frame-latency deadline: a p95 ceiling
+/// at the deadline, a p50 ceiling at half of it, a served-ratio floor,
+/// and a no-degradation watch that names the ladder rung on breach.
+fn slo_specs(deadline_ms: f64) -> Vec<SloSpec> {
+    vec![
+        SloSpec::max("frame-p95", SloMetric::FrameP95Ms, deadline_ms, WINDOW),
+        SloSpec::max(
+            "frame-p50",
+            SloMetric::FrameP50Ms,
+            deadline_ms * 0.5,
+            WINDOW,
+        ),
+        SloSpec::min("served-ratio", SloMetric::ServedRatio, 0.05, WINDOW),
+        SloSpec::max("no-degradation", SloMetric::DegradationRate, 0.0, WINDOW),
+    ]
+}
+
+fn slo_event_json(e: &SloEvent) -> Json {
+    let (kind, spec, metric, value, threshold, frame, rung) = match e {
+        SloEvent::Breach {
+            spec,
+            metric,
+            value,
+            threshold,
+            frame,
+            rung,
+        } => ("breach", spec, metric, value, threshold, frame, *rung),
+        SloEvent::Recover {
+            spec,
+            metric,
+            value,
+            threshold,
+            frame,
+        } => ("recover", spec, metric, value, threshold, frame, None),
+    };
+    Json::obj(vec![
+        ("frame", (*frame).into()),
+        ("kind", kind.into()),
+        ("spec", spec.as_str().into()),
+        ("metric", metric.as_str().into()),
+        ("value", (*value).into()),
+        ("threshold", (*threshold).into()),
+        ("rung", rung.map_or(Json::Null, Json::from)),
+    ])
+}
+
+/// p95 of the positive entries of a latency series (1 ms when the
+/// series is degenerate, so the sweep always has a usable anchor).
+fn p95_ms(xs: &[f64]) -> f64 {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| *x > 0.0).collect();
+    if v.is_empty() {
+        return 1.0;
+    }
+    v.sort_by(f64::total_cmp);
+    v[((v.len() - 1) as f64 * 0.95).round() as usize]
+}
+
+fn sweep_arm(opts: &ExperimentOpts, baseline: &SimReport, p95: f64) -> Vec<Json> {
+    let trace = scenario(opts.scale, opts.seed);
+    let sim = Simulator::new(SimConfig::default());
+    let mut rows = Vec::new();
+    println!(
+        "{:>12} {:>9} {:>11} {:>13}",
+        "deadline_ms", "breaches", "recoveries", "first_breach"
+    );
+    for mult in DEADLINE_MULTIPLIERS {
+        let deadline = p95 * mult;
+        let mut p = make_policy(opts.params);
+        let report = sim
+            .clone()
+            .with_slo(slo_specs(deadline))
+            .run(&trace, &mut p);
+        assert_eq!(
+            report.deterministic_digest(),
+            baseline.deterministic_digest(),
+            "monitored run (deadline {deadline:.3} ms) must be bit-identical"
+        );
+        let breaches = report.slo_events.iter().filter(|e| e.is_breach()).count();
+        let recoveries = report.slo_events.len() - breaches;
+        let first_breach = report
+            .slo_events
+            .iter()
+            .find(|e| e.is_breach())
+            .map(SloEvent::frame);
+        println!(
+            "{:>12.3} {:>9} {:>11} {:>13}",
+            deadline,
+            breaches,
+            recoveries,
+            first_breach.map_or("-".into(), |f| f.to_string())
+        );
+        rows.push(Json::obj(vec![
+            ("deadline_ms", deadline.into()),
+            ("p95_multiplier", mult.into()),
+            ("breaches", breaches.into()),
+            ("recoveries", recoveries.into()),
+            (
+                "first_breach_frame",
+                first_breach.map_or(Json::Null, Json::from),
+            ),
+            (
+                "events",
+                Json::Arr(report.slo_events.iter().map(slo_event_json).collect()),
+            ),
+            ("digest_match", true.into()),
+        ]));
+    }
+    // A deadline far below the floor must breach; one far above must not.
+    let tight = rows
+        .first()
+        .and_then(|r| r.get("breaches"))
+        .and_then(Json::as_f64);
+    assert!(
+        tight.is_some_and(|b| b > 0.0),
+        "the tightest deadline (p95 x {}) should breach",
+        DEADLINE_MULTIPLIERS[0]
+    );
+    rows
+}
+
+fn fleet_arm(opts: &ExperimentOpts, baseline: &SimReport, deadline: f64) -> (PathBuf, Vec<Json>) {
+    let exe = std::env::current_exe().expect("own path");
+    let work = std::env::temp_dir().join(format!("o2o-fig-slo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).expect("workdir");
+    let run_id = format!("fig-slo-{}", opts.seed);
+    let log = |shard: u32| work.join(format!("fleet-shard-{shard}.jsonl"));
+    let part = |shard: u32| work.join(format!("BENCH_fig_slo.part-{shard}.json"));
+    let specs: Vec<ChildSpec> = (0..SHARDS)
+        .map(|shard| ChildSpec {
+            name: format!("shard-{shard}"),
+            program: exe.clone(),
+            args: vec![
+                "--run-one".into(),
+                "--shard".into(),
+                shard.to_string(),
+                "--run-id".into(),
+                run_id.clone(),
+                "--log".into(),
+                log(shard).display().to_string(),
+                "--out".into(),
+                part(shard).display().to_string(),
+                "--scale".into(),
+                opts.scale.to_string(),
+                "--seed".into(),
+                opts.seed.to_string(),
+                "--deadline-ms".into(),
+                deadline.to_string(),
+            ],
+        })
+        .collect();
+    let statuses = supervise(
+        &specs,
+        &SupervisorPolicy {
+            timeout: Duration::from_secs(600),
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(1),
+        },
+    );
+    for s in &statuses {
+        println!("  {s}");
+        assert!(s.succeeded(), "fleet child failed: {s}");
+    }
+
+    // One fleet-wide summary from the children's telemetry streams.
+    let logs: Vec<PathBuf> = (0..SHARDS).map(log).collect();
+    let fleet_opts = FleetOptions::default();
+    let (fleet_path, fleet) =
+        write_fleet_json("fig_slo", &logs, &fleet_opts).expect("fleet streams parse and merge");
+    assert_eq!(fleet.run_id, run_id);
+    assert_eq!(fleet.shards.len(), SHARDS as usize, "one summary per child");
+
+    // Reconciliation against the streams themselves: the merged summary
+    // must restate each stream exactly — frame counts, span self-time
+    // totals, balanced span events — and fleet totals must be the sums.
+    let mut frames_sum = 0u64;
+    let mut self_ms_sum = 0.0f64;
+    for shard_log in &logs {
+        let text = std::fs::read_to_string(shard_log).expect("stream readable");
+        let telemetry = o2o_obs::fleet::parse_shard_str(&text, &fleet_opts).expect("stream parses");
+        assert_eq!(telemetry.span_starts, telemetry.span_ends, "spans balance");
+        let summary = fleet
+            .shards
+            .iter()
+            .find(|s| s.meta.shard_id == telemetry.meta.shard_id)
+            .expect("shard present in fleet summary");
+        assert_eq!(summary.frames, telemetry.frames(), "frame counts reconcile");
+        assert_eq!(
+            summary.total_self_ms,
+            telemetry.breakdown.total_self_ms(),
+            "span totals reconcile"
+        );
+        frames_sum += summary.frames;
+        self_ms_sum += summary.total_self_ms;
+    }
+    assert_eq!(fleet.frames, frames_sum, "fleet frames are the shard sum");
+    assert!(
+        (fleet.total_self_ms - self_ms_sum).abs() < 1e-9,
+        "fleet span totals are the shard sum"
+    );
+
+    // And against the children's own result rows: each child reported
+    // its dispatched-frame count and breach tally in its BENCH shard.
+    let parts: Vec<PathBuf> = (0..SHARDS).map(part).collect();
+    let merged = merge_shard_files(&parts).expect("result shards merge");
+    let rows = merged.get("rows").and_then(Json::as_arr).expect("rows");
+    assert_eq!(rows.len(), SHARDS as usize);
+    for row in rows {
+        let shard_id = row.get("shard_id").and_then(Json::as_f64).expect("id") as u32;
+        let summary = fleet
+            .shards
+            .iter()
+            .find(|s| s.meta.shard_id == shard_id)
+            .expect("row has a fleet shard");
+        let frames = row.get("frames_recorded").and_then(Json::as_f64).unwrap();
+        assert_eq!(summary.frames, frames as u64, "child-reported frames");
+        let breaches = row.get("slo_breaches").and_then(Json::as_f64).unwrap();
+        assert_eq!(summary.breaches, breaches as u64, "child-reported breaches");
+        if shard_id == 0 {
+            // Shard 0 runs the parent's exact workload: cross-process
+            // determinism with telemetry and SLO monitoring enabled.
+            assert_eq!(
+                row.get("deterministic_digest").and_then(Json::as_str),
+                Some(format!("{:016x}", baseline.deterministic_digest()).as_str()),
+                "child result must match the in-process baseline"
+            );
+        }
+    }
+
+    println!("\n  per-shard SLO breach timelines:");
+    let mut shard_rows = Vec::new();
+    for s in &fleet.shards {
+        let timeline: Vec<String> = s
+            .slo_events
+            .iter()
+            .map(|e| format!("{}@{} {}", e.kind, e.frame, e.spec))
+            .collect();
+        println!(
+            "    shard {}: {} frames, {} breach(es) [{}]",
+            s.meta.shard_id,
+            s.frames,
+            s.breaches,
+            timeline.join(", ")
+        );
+        shard_rows.push(Json::obj(vec![
+            ("shard_id", s.meta.shard_id.into()),
+            ("frames", s.frames.into()),
+            ("total_self_ms", s.total_self_ms.into()),
+            ("slo_breaches", s.breaches.into()),
+            ("slo_recoveries", s.recoveries.into()),
+        ]));
+    }
+    let _ = std::fs::remove_dir_all(&work);
+    (fleet_path, shard_rows)
+}
+
+/// Child mode: run one shard's workload with a manifest-stamped JSONL
+/// stream and the figure's SLO specs, then write a partial result shard.
+fn run_one(args: &[String]) -> i32 {
+    let mut shard = 0u32;
+    let mut run_id = String::new();
+    let mut log = None;
+    let mut out = None;
+    let mut scale = 1.0f64;
+    let mut seed = 42u64;
+    let mut deadline_ms = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        let value = || {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--shard" => shard = value().parse().expect("--shard <n>"),
+            "--run-id" => run_id = value().clone(),
+            "--log" => log = Some(PathBuf::from(value())),
+            "--out" => out = Some(PathBuf::from(value())),
+            "--scale" => scale = value().parse().expect("--scale <f>"),
+            "--seed" => seed = value().parse().expect("--seed <n>"),
+            "--deadline-ms" => deadline_ms = value().parse().expect("--deadline-ms <f>"),
+            other => panic!("unknown --run-one argument {other}"),
+        }
+        i += 2;
+    }
+    let log = log.expect("--log is required");
+    let out = out.expect("--out is required");
+    let shard_seed = seed + u64::from(shard);
+    let trace = scenario(scale, shard_seed);
+    let sink = JsonlSink::create(&log)
+        .expect("create telemetry stream")
+        .with_meta(FleetMeta::new(run_id, shard, shard_seed));
+    let recorder = Recorder::with_sink(Box::new(sink));
+    let mut p = make_policy(PreferenceParams::default());
+    let report = Simulator::new(SimConfig::default())
+        .with_recorder(recorder.clone())
+        .with_slo(slo_specs(deadline_ms))
+        .run(&trace, &mut p);
+    let breaches = report.slo_events.iter().filter(|e| e.is_breach()).count();
+    let shard_doc = Json::obj(vec![
+        ("bench", "fig_slo".into()),
+        ("scale", scale.into()),
+        ("seed", seed.into()),
+        ("deadline_ms", deadline_ms.into()),
+        (
+            "rows",
+            Json::Arr(vec![Json::obj(vec![
+                ("shard_id", shard.into()),
+                ("shard_seed", shard_seed.into()),
+                ("frames", report.frames.into()),
+                (
+                    "frames_recorded",
+                    report.stage_breakdown.frames.len().into(),
+                ),
+                ("served", report.served.into()),
+                ("slo_breaches", breaches.into()),
+                (
+                    "slo_recoveries",
+                    (report.slo_events.len() - breaches).into(),
+                ),
+                (
+                    "deterministic_digest",
+                    format!("{:016x}", report.deterministic_digest()).into(),
+                ),
+            ])]),
+        ),
+    ]);
+    // Drop the recorder's last reference so the stream flushes before
+    // the parent reads it (process exit would too; this is explicit).
+    drop(recorder);
+    std::fs::write(&out, format!("{shard_doc}\n")).expect("write result shard");
+    0
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().is_some_and(|a| a == "--run-one") {
+        std::process::exit(run_one(&raw[1..]));
+    }
+    let opts = ExperimentOpts::from_args(1.0);
+    let trace = scenario(opts.scale, opts.seed);
+    println!(
+        "fig_slo: {} requests, {} taxis",
+        trace.requests.len(),
+        trace.taxis.len()
+    );
+
+    let mut p = make_policy(opts.params);
+    let baseline = Simulator::new(SimConfig::default()).run(&trace, &mut p);
+    let p95 = p95_ms(&baseline.dispatch_ms_by_frame);
+    println!("calibrated p95 frame latency: {p95:.3} ms");
+
+    println!("\n=== SLO breach sweep vs deadline ===");
+    let sweep_rows = sweep_arm(&opts, &baseline, p95);
+
+    println!("\n=== supervised fleet aggregation ===");
+    // Half the calibrated p95: tight enough that shards see breaches.
+    let fleet_deadline = p95 * 0.5;
+    let (fleet_path, shard_rows) = fleet_arm(&opts, &baseline, fleet_deadline);
+    println!("  fleet summary: {}", fleet_path.display());
+
+    let body = vec![
+        ("calibrated_p95_ms", p95.into()),
+        ("slo_window_frames", WINDOW.into()),
+        ("sweep", Json::Arr(sweep_rows)),
+        ("fleet_deadline_ms", fleet_deadline.into()),
+        ("fleet_shards", Json::Arr(shard_rows)),
+        (
+            "baseline_digest",
+            format!("{:016x}", baseline.deterministic_digest()).into(),
+        ),
+    ];
+    emit_bench_json("fig_slo", &bench_envelope("fig_slo", &opts, body));
+    println!("\nfig_slo: monitored == unmonitored on every run; fleet reconciled exactly");
+}

@@ -1,0 +1,122 @@
+//! Environment-variable acceptance gates, consolidated.
+//!
+//! Several benchmarks enforce a numeric threshold that CI machines
+//! sometimes need to loosen (noisy neighbours, slow disks). Each gate is
+//! one documented environment variable with a default; this module is
+//! the single place they are declared and parsed, so every binary
+//! resolves them identically — same precedence, same error behaviour
+//! (malformed values are a loud panic, never a silent fallback that
+//! would let a regression slip through as "the variable was set wrong").
+//!
+//! | Variable | Default | Used by |
+//! |---|---|---|
+//! | `O2O_OBS_MAX_OVERHEAD_PCT` | 3.0 | `fig_obs_overhead` — max telemetry overhead, percent |
+//! | `O2O_RECOVERY_OVERHEAD_MAX` | 3.0 | `fig_recovery` — max checkpoint overhead, percent |
+//! | `O2O_REGRESS_MAX_PCT` | 25.0 | `bench compare` — max per-metric perf regression, percent |
+
+/// One numeric env-var gate: a variable name and its default.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gate {
+    /// Environment variable consulted.
+    pub var: &'static str,
+    /// Value used when the variable is unset.
+    pub default: f64,
+}
+
+/// Maximum telemetry overhead (percent) accepted by `fig_obs_overhead`.
+pub const OBS_MAX_OVERHEAD_PCT: Gate = Gate {
+    var: "O2O_OBS_MAX_OVERHEAD_PCT",
+    default: 3.0,
+};
+
+/// Maximum checkpoint-machinery overhead (percent) accepted by
+/// `fig_recovery` at the default checkpoint interval.
+pub const RECOVERY_OVERHEAD_MAX: Gate = Gate {
+    var: "O2O_RECOVERY_OVERHEAD_MAX",
+    default: 3.0,
+};
+
+/// Maximum per-metric slowdown (percent) the regression comparator
+/// (`bench compare`) accepts before failing the run.
+pub const REGRESS_MAX_PCT: Gate = Gate {
+    var: "O2O_REGRESS_MAX_PCT",
+    default: 25.0,
+};
+
+impl Gate {
+    /// Resolves the gate against a raw value (the variable's content, or
+    /// `None` when unset). Split from [`value`](Self::value) so tests
+    /// can cover the parse behaviour without mutating process-global
+    /// environment state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value is set but not a finite non-negative number
+    /// — a misconfigured gate must fail the run, not silently revert to
+    /// the default.
+    #[must_use]
+    pub fn resolve(&self, raw: Option<&str>) -> f64 {
+        match raw {
+            None => self.default,
+            Some(s) => {
+                let parsed: f64 = s.trim().parse().unwrap_or_else(|_| {
+                    panic!("{}={s:?} is not a number (expected e.g. 3.0)", self.var)
+                });
+                assert!(
+                    parsed.is_finite() && parsed >= 0.0,
+                    "{}={s:?} must be a finite non-negative percentage",
+                    self.var
+                );
+                parsed
+            }
+        }
+    }
+
+    /// The gate's effective value: the environment variable when set,
+    /// the default otherwise.
+    ///
+    /// # Panics
+    ///
+    /// See [`resolve`](Self::resolve).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.resolve(std::env::var(self.var).ok().as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_gates_use_their_documented_defaults() {
+        assert_eq!(OBS_MAX_OVERHEAD_PCT.resolve(None), 3.0);
+        assert_eq!(RECOVERY_OVERHEAD_MAX.resolve(None), 3.0);
+        assert_eq!(REGRESS_MAX_PCT.resolve(None), 25.0);
+    }
+
+    #[test]
+    fn set_values_override_and_whitespace_is_tolerated() {
+        assert_eq!(REGRESS_MAX_PCT.resolve(Some("40")), 40.0);
+        assert_eq!(OBS_MAX_OVERHEAD_PCT.resolve(Some(" 7.5 ")), 7.5);
+        assert_eq!(RECOVERY_OVERHEAD_MAX.resolve(Some("0")), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a number")]
+    fn malformed_values_panic_instead_of_falling_back() {
+        let _ = REGRESS_MAX_PCT.resolve(Some("three percent"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_values_are_rejected() {
+        let _ = OBS_MAX_OVERHEAD_PCT.resolve(Some("-1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn non_finite_values_are_rejected() {
+        let _ = RECOVERY_OVERHEAD_MAX.resolve(Some("inf"));
+    }
+}

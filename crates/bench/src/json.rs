@@ -153,9 +153,11 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|b| {
-            matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        }) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
             self.pos += 1;
         }
         std::str::from_utf8(&self.bytes[start..self.pos])
@@ -508,25 +510,133 @@ pub fn bench_envelope(name: &str, opts: &ExperimentOpts, body: Vec<(&str, Json)>
     Json::obj(fields)
 }
 
-/// Writes `value` to `results/BENCH_<name>.json` at the workspace root
-/// (anchored via `CARGO_MANIFEST_DIR` so binaries and `cargo bench`
-/// targets — which run with different working directories — agree on the
-/// location) and returns the path.
-///
-/// # Errors
-///
-/// Propagates filesystem errors.
-pub fn write_bench_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+/// The workspace-root `results/` directory (anchored via
+/// `CARGO_MANIFEST_DIR` so binaries and `cargo bench` targets — which
+/// run with different working directories — agree on the location).
+#[must_use]
+pub fn results_dir() -> PathBuf {
     // crates/bench/ -> workspace root.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("manifest dir has a workspace root");
-    let dir = root.join("results");
+    root.join("results")
+}
+
+/// Writes `value` to `results/BENCH_<name>.json` (see [`results_dir`])
+/// and returns the path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("BENCH_{name}.json"));
     std::fs::write(&path, format!("{value}\n"))?;
     Ok(path)
+}
+
+/// One fleet shard's summary block inside [`fleet_json`].
+fn shard_summary_json(s: &o2o_obs::ShardSummary) -> Json {
+    Json::obj(vec![
+        ("shard_id", s.meta.shard_id.into()),
+        ("pid", s.meta.pid.into()),
+        ("seed", s.meta.seed.into()),
+        ("git", s.meta.git.as_deref().map_or(Json::Null, Json::from)),
+        ("frames", s.frames.into()),
+        ("wall_ms", s.wall_ms.into()),
+        ("total_self_ms", s.total_self_ms.into()),
+        (
+            "stage_totals_ms",
+            Json::Obj(
+                s.stage_totals
+                    .iter()
+                    .map(|(name, ms)| (name.clone(), Json::from(*ms)))
+                    .collect(),
+            ),
+        ),
+        (
+            "counter_totals",
+            Json::Obj(
+                s.counter_totals
+                    .iter()
+                    .map(|(name, v)| (name.clone(), Json::from(*v)))
+                    .collect(),
+            ),
+        ),
+        ("slo_breaches", s.breaches.into()),
+        ("slo_recoveries", s.recoveries.into()),
+        (
+            "slo_events",
+            Json::Arr(
+                s.slo_events
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("frame", e.frame.into()),
+                            ("kind", e.kind.as_str().into()),
+                            ("spec", e.spec.as_str().into()),
+                            ("metric", e.metric.as_str().into()),
+                            ("value", e.value.into()),
+                            ("threshold", e.threshold.into()),
+                            ("rung", e.rung.as_deref().map_or(Json::Null, Json::from)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// A merged [`FleetSummary`](o2o_obs::FleetSummary) as the
+/// `results/FLEET_<name>.json` document: fleet-wide totals, the pooled
+/// frame-latency histogram, and one per-shard attribution block
+/// (including each shard's SLO breach timeline). See `DESIGN.md` §8 for
+/// the schema.
+#[must_use]
+pub fn fleet_json(fleet: &o2o_obs::FleetSummary) -> Json {
+    Json::obj(vec![
+        ("run_id", fleet.run_id.as_str().into()),
+        ("schema_version", fleet.schema_version.into()),
+        ("shard_count", fleet.shards.len().into()),
+        ("frames", fleet.frames.into()),
+        ("wall_ms", fleet.wall_ms.into()),
+        ("total_self_ms", fleet.total_self_ms.into()),
+        (
+            "stage_totals_ms",
+            Json::Obj(
+                fleet
+                    .stage_totals
+                    .iter()
+                    .map(|(name, ms)| (name.clone(), Json::from(*ms)))
+                    .collect(),
+            ),
+        ),
+        (
+            "counter_totals",
+            Json::Obj(
+                fleet
+                    .counter_totals
+                    .iter()
+                    .map(|(name, v)| (name.clone(), Json::from(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "frame_latency_hist",
+            Json::obj(vec![
+                ("edges_ms", Json::arr(fleet.latency.edges.iter().copied())),
+                ("counts", Json::arr(fleet.latency.counts.iter().copied())),
+                ("count", fleet.latency.count.into()),
+                ("sum_ms", fleet.latency.sum.into()),
+            ]),
+        ),
+        (
+            "shards",
+            Json::Arr(fleet.shards.iter().map(shard_summary_json).collect()),
+        ),
+    ])
 }
 
 /// Writes the JSON and prints the path to stderr (the figure binaries'

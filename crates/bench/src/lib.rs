@@ -18,15 +18,21 @@ use o2o_par::{par_run, Parallelism};
 use o2o_sim::{policy, Cdf, DispatchPolicy, SimConfig, SimReport, Simulator};
 use o2o_trace::Trace;
 
+pub mod gates;
 pub mod json;
+pub mod regress;
 pub mod supervisor;
+pub use gates::{Gate, OBS_MAX_OVERHEAD_PCT, RECOVERY_OVERHEAD_MAX, REGRESS_MAX_PCT};
 pub use json::{
-    bench_envelope, emit_bench_json, emit_policies_json, policy_json, stage_breakdown_json,
-    write_bench_json, Json,
+    bench_envelope, emit_bench_json, emit_policies_json, fleet_json, policy_json, results_dir,
+    stage_breakdown_json, write_bench_json, Json,
+};
+pub use regress::{
+    compare_docs, compare_results, snapshot_baselines, CompareOptions, Delta, Direction,
 };
 pub use supervisor::{
-    merge_shard_files, merge_shards, supervise, supervise_one, ChildSpec, RunStatus, RunVerdict,
-    SupervisorPolicy,
+    merge_shard_files, merge_shards, supervise, supervise_one, write_fleet_json, ChildSpec,
+    RunStatus, RunVerdict, SupervisorPolicy,
 };
 
 /// Common command-line options of the figure binaries.

@@ -1,0 +1,510 @@
+//! Perf-regression gate: baseline snapshots and a noise-aware comparator.
+//!
+//! The figure binaries already measure defensively (interleaved runs,
+//! best-of-K minima, on-CPU timers), so their `BENCH_*.json` files are
+//! as stable as a shared machine allows. This module turns those files
+//! into a regression gate:
+//!
+//! * [`snapshot_baselines`] copies the current `results/BENCH_*.json`
+//!   set into `results/baselines/`, stamped with an environment
+//!   fingerprint (`BASELINE_ENV.json`) so a comparison across different
+//!   hardware is at least diagnosable.
+//! * [`compare_docs`] walks a baseline and a current document together
+//!   and compares every *directional* metric leaf — keys ending in
+//!   `_ms` or `overhead_pct` are lower-is-better, keys containing
+//!   `speedup` are higher-is-better; everything else (counts, digests,
+//!   raw per-frame series) is identity data, not a timing, and is
+//!   ignored. Array rows pair by their identifying field (`policy`,
+//!   `interval`, `deadline_ms`, …) so reordered rows do not
+//!   misattribute deltas.
+//!
+//! A delta only *fails* the gate when it is worse by more than
+//! [`CompareOptions::max_pct`] percent **and** by more than
+//! [`CompareOptions::abs_floor`] in the metric's own units — the
+//! relative threshold catches real slowdowns, the absolute floor keeps
+//! micro-benchmarks measured in fractions of a millisecond from tripping
+//! the gate on scheduler noise. The percentage is overridable with
+//! `O2O_REGRESS_MAX_PCT` (see [`crate::gates`]).
+
+use crate::json::Json;
+use std::path::{Path, PathBuf};
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller values are better (`*_ms`, `*overhead_pct`).
+    LowerIsBetter,
+    /// Larger values are better (`*speedup*`).
+    HigherIsBetter,
+}
+
+/// The comparison direction of a metric key, or `None` for
+/// non-directional data (counts, parameters, digests).
+#[must_use]
+pub fn metric_direction(key: &str) -> Option<Direction> {
+    if key.contains("speedup") {
+        Some(Direction::HigherIsBetter)
+    } else if key.ends_with("_ms") || key.ends_with("overhead_pct") {
+        Some(Direction::LowerIsBetter)
+    } else {
+        None
+    }
+}
+
+/// Thresholds for [`compare_docs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareOptions {
+    /// Relative change (percent, in the worse direction) beyond which a
+    /// delta is a regression.
+    pub max_pct: f64,
+    /// Absolute change (metric units) a delta must also exceed — the
+    /// noise floor for sub-millisecond metrics.
+    pub abs_floor: f64,
+}
+
+impl Default for CompareOptions {
+    fn default() -> Self {
+        CompareOptions {
+            max_pct: crate::gates::REGRESS_MAX_PCT.default,
+            abs_floor: 0.5,
+        }
+    }
+}
+
+/// One compared metric leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Dotted path to the leaf, with array rows labelled by their
+    /// identifying field (e.g. `policies[policy=NSTD-P].total_dispatch_ms`).
+    pub path: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Signed change in the *worse* direction, percent — positive means
+    /// the current value is worse than the baseline.
+    pub worse_pct: f64,
+    /// Whether this delta fails the gate under the options used.
+    pub regressed: bool,
+}
+
+/// Compares every directional metric of `current` against `baseline`.
+/// Keys present on only one side are skipped (benches evolve); the
+/// caller decides whether an empty result is suspicious.
+#[must_use]
+pub fn compare_docs(baseline: &Json, current: &Json, opts: &CompareOptions) -> Vec<Delta> {
+    let mut out = Vec::new();
+    walk("", baseline, current, opts, &mut out);
+    out
+}
+
+/// The deltas that regressed, ready for a gate decision.
+#[must_use]
+pub fn regressions(deltas: &[Delta]) -> Vec<&Delta> {
+    deltas.iter().filter(|d| d.regressed).collect()
+}
+
+fn walk(path: &str, base: &Json, cur: &Json, opts: &CompareOptions, out: &mut Vec<Delta>) {
+    match (base, cur) {
+        (Json::Obj(fields), Json::Obj(_)) => {
+            for (key, bv) in fields {
+                let Some(cv) = cur.get(key) else { continue };
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                if let (Json::Num(b), Json::Num(c)) = (bv, cv) {
+                    if let Some(dir) = metric_direction(key) {
+                        out.push(leaf_delta(child, *b, *c, dir, opts));
+                    }
+                } else {
+                    walk(&child, bv, cv, opts, out);
+                }
+            }
+        }
+        (Json::Arr(brows), Json::Arr(crows)) => {
+            // Object rows pair by identity; arrays of raw numbers (the
+            // per-frame series) carry no stable identity and are skipped.
+            for (i, brow) in brows.iter().enumerate() {
+                if !matches!(brow, Json::Obj(_)) {
+                    continue;
+                }
+                let label = row_label(brow);
+                let crow = match &label {
+                    Some(l) => crows.iter().find(|r| row_label(r).as_deref() == Some(l)),
+                    None => crows.get(i),
+                };
+                if let Some(crow) = crow {
+                    let tag = label.unwrap_or_else(|| i.to_string());
+                    walk(&format!("{path}[{tag}]"), brow, crow, opts, out);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn leaf_delta(
+    path: String,
+    baseline: f64,
+    current: f64,
+    dir: Direction,
+    opts: &CompareOptions,
+) -> Delta {
+    let worse = match dir {
+        Direction::LowerIsBetter => current - baseline,
+        Direction::HigherIsBetter => baseline - current,
+    };
+    let denom = baseline.abs().max(f64::MIN_POSITIVE);
+    let worse_pct = 100.0 * worse / denom;
+    let regressed = baseline.is_finite()
+        && current.is_finite()
+        && worse_pct > opts.max_pct
+        && worse.abs() > opts.abs_floor;
+    Delta {
+        path,
+        baseline,
+        current,
+        worse_pct,
+        regressed,
+    }
+}
+
+/// Fields that identify an array row across reorderings, by priority.
+const ROW_KEYS: [&str; 8] = [
+    "policy",
+    "name",
+    "bench",
+    "deadline_ms",
+    "interval",
+    "kill_after_frames",
+    "shard_id",
+    "threads",
+];
+
+fn row_label(row: &Json) -> Option<String> {
+    for key in ROW_KEYS {
+        match row.get(key) {
+            Some(Json::Str(s)) => return Some(format!("{key}={s}")),
+            Some(Json::Num(n)) => return Some(format!("{key}={n}")),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Where baselines live relative to a results directory.
+#[must_use]
+pub fn baselines_dir(results_dir: &Path) -> PathBuf {
+    results_dir.join("baselines")
+}
+
+/// A fingerprint of the measuring environment, written next to the
+/// baselines so a cross-machine comparison is diagnosable rather than
+/// mysterious. Best-effort: fields the platform cannot answer are null.
+#[must_use]
+pub fn env_fingerprint() -> Json {
+    let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map(|s| Json::from(s.trim().to_string()))
+        .unwrap_or(Json::Null);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| Json::from(n.get()))
+        .unwrap_or(Json::Null);
+    Json::obj(vec![
+        ("os", std::env::consts::OS.into()),
+        ("arch", std::env::consts::ARCH.into()),
+        ("cpus", cpus),
+        ("kernel", kernel),
+    ])
+}
+
+/// Copies every `BENCH_*.json` in `results_dir` into
+/// `results_dir/baselines/`, stamping the set with `BASELINE_ENV.json`.
+/// Returns the copied file names.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; reports an empty results set (a
+/// baseline of nothing would make every future comparison vacuous).
+pub fn snapshot_baselines(results_dir: &Path) -> Result<Vec<String>, String> {
+    let bench_files = list_bench_files(results_dir)?;
+    if bench_files.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json files in {} — run the figure binaries first",
+            results_dir.display()
+        ));
+    }
+    let dir = baselines_dir(results_dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut copied = Vec::new();
+    for name in bench_files {
+        let from = results_dir.join(&name);
+        let to = dir.join(&name);
+        std::fs::copy(&from, &to).map_err(|e| format!("{}: {e}", from.display()))?;
+        copied.push(name);
+    }
+    let env_path = dir.join("BASELINE_ENV.json");
+    std::fs::write(&env_path, format!("{}\n", env_fingerprint()))
+        .map_err(|e| format!("{}: {e}", env_path.display()))?;
+    Ok(copied)
+}
+
+/// The `BENCH_*.json` file names in a directory, sorted.
+///
+/// # Errors
+///
+/// Propagates directory-read failures; a missing directory is an empty
+/// set, not an error.
+pub fn list_bench_files(dir: &Path) -> Result<Vec<String>, String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("{}: {e}", dir.display())),
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+/// One baseline file's comparison outcome.
+#[derive(Debug, Clone)]
+pub struct FileComparison {
+    /// The `BENCH_*.json` file name.
+    pub file: String,
+    /// All directional deltas found (empty when the current results
+    /// lack the file).
+    pub deltas: Vec<Delta>,
+    /// `None` when the current run produced no matching file.
+    pub missing_current: bool,
+}
+
+/// Compares every baseline file against the current results directory.
+///
+/// # Errors
+///
+/// Propagates read/parse failures. An absent or empty baselines
+/// directory returns `Ok(vec![])` — the caller treats that as
+/// "warn-only first run", not an error.
+pub fn compare_results(
+    results_dir: &Path,
+    opts: &CompareOptions,
+) -> Result<Vec<FileComparison>, String> {
+    let dir = baselines_dir(results_dir);
+    let mut out = Vec::new();
+    for name in list_bench_files(&dir)? {
+        let base_text =
+            std::fs::read_to_string(dir.join(&name)).map_err(|e| format!("{name}: {e}"))?;
+        let baseline = Json::parse(&base_text).map_err(|e| format!("{name}: {e}"))?;
+        let current_path = results_dir.join(&name);
+        match std::fs::read_to_string(&current_path) {
+            Ok(text) => {
+                let current = Json::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+                out.push(FileComparison {
+                    file: name,
+                    deltas: compare_docs(&baseline, &current, opts),
+                    missing_current: false,
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                out.push(FileComparison {
+                    file: name,
+                    deltas: Vec::new(),
+                    missing_current: true,
+                });
+            }
+            Err(e) => return Err(format!("{}: {e}", current_path.display())),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(total_ms: f64, speedup: f64, overhead: f64) -> Json {
+        Json::obj(vec![
+            ("bench", "demo".into()),
+            ("seed", 42.0.into()),
+            (
+                "policies",
+                Json::Arr(vec![
+                    Json::obj(vec![
+                        ("policy", "NSTD-P".into()),
+                        ("served", 100.0.into()),
+                        ("total_dispatch_ms", total_ms.into()),
+                        (
+                            "dispatch_ms_by_frame",
+                            Json::arr([total_ms / 2.0, total_ms / 2.0]),
+                        ),
+                    ]),
+                    Json::obj(vec![
+                        ("policy", "Near".into()),
+                        ("total_dispatch_ms", (total_ms / 3.0).into()),
+                    ]),
+                ]),
+            ),
+            ("parallel_speedup", speedup.into()),
+            ("overhead_pct", overhead.into()),
+        ])
+    }
+
+    #[test]
+    fn synthetic_slowdown_fires_the_gate() {
+        // Current run is 2x slower than the (synthetically fast)
+        // baseline: the ms metric and the speedup metric must both flag.
+        let baseline = doc(100.0, 3.0, 1.0);
+        let current = doc(200.0, 1.4, 1.0);
+        let deltas = compare_docs(&baseline, &current, &CompareOptions::default());
+        let bad = regressions(&deltas);
+        let paths: Vec<&str> = bad.iter().map(|d| d.path.as_str()).collect();
+        assert!(
+            paths.contains(&"policies[policy=NSTD-P].total_dispatch_ms"),
+            "{paths:?}"
+        );
+        assert!(paths.contains(&"parallel_speedup"), "{paths:?}");
+        let ms = bad
+            .iter()
+            .find(|d| d.path.ends_with("NSTD-P].total_dispatch_ms"))
+            .unwrap();
+        assert!((ms.worse_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn honest_noise_passes_the_gate() {
+        let baseline = doc(100.0, 3.0, 1.0);
+        let current = doc(104.0, 2.9, 1.1); // a few percent of drift
+        let deltas = compare_docs(&baseline, &current, &CompareOptions::default());
+        assert!(!deltas.is_empty());
+        assert!(regressions(&deltas).is_empty(), "{deltas:?}");
+    }
+
+    #[test]
+    fn absolute_floor_suppresses_micro_noise() {
+        // 0.1 ms -> 0.3 ms is a 200% relative change but far below the
+        // absolute floor: scheduler noise, not a regression.
+        let baseline = Json::obj(vec![("tiny_ms", 0.1.into())]);
+        let current = Json::obj(vec![("tiny_ms", 0.3.into())]);
+        let deltas = compare_docs(&baseline, &current, &CompareOptions::default());
+        assert_eq!(deltas.len(), 1);
+        assert!(!deltas[0].regressed);
+        // The same relative change above the floor does regress.
+        let baseline = Json::obj(vec![("big_ms", 100.0.into())]);
+        let current = Json::obj(vec![("big_ms", 300.0.into())]);
+        let deltas = compare_docs(&baseline, &current, &CompareOptions::default());
+        assert!(deltas[0].regressed);
+    }
+
+    #[test]
+    fn improvements_and_non_directional_fields_never_flag() {
+        let baseline = doc(100.0, 3.0, 2.0);
+        let current = {
+            // Faster, higher speedup, lower overhead, different served
+            // count (identity data — must not be compared at all).
+            let mut j = doc(50.0, 6.0, 0.5);
+            if let Json::Obj(fields) = &mut j {
+                fields.push(("served".into(), Json::from(999.0)));
+            }
+            j
+        };
+        let deltas = compare_docs(&baseline, &current, &CompareOptions::default());
+        assert!(regressions(&deltas).is_empty());
+        assert!(deltas.iter().all(|d| !d.path.contains("served")));
+        assert!(deltas.iter().all(|d| !d.path.contains("seed")));
+    }
+
+    #[test]
+    fn rows_pair_by_identity_across_reordering() {
+        let baseline = doc(100.0, 3.0, 1.0);
+        // Reverse the policy rows and slow only Near: the delta must
+        // attach to Near, not NSTD-P.
+        let current = Json::obj(vec![(
+            "policies",
+            Json::Arr(vec![
+                Json::obj(vec![
+                    ("policy", "Near".into()),
+                    ("total_dispatch_ms", 500.0.into()),
+                ]),
+                Json::obj(vec![
+                    ("policy", "NSTD-P".into()),
+                    ("total_dispatch_ms", 100.0.into()),
+                ]),
+            ]),
+        )]);
+        let deltas = compare_docs(&baseline, &current, &CompareOptions::default());
+        let near = deltas
+            .iter()
+            .find(|d| d.path == "policies[policy=Near].total_dispatch_ms")
+            .expect("Near compared");
+        assert!(near.regressed);
+        let nstd = deltas
+            .iter()
+            .find(|d| d.path == "policies[policy=NSTD-P].total_dispatch_ms")
+            .expect("NSTD-P compared");
+        assert!(!nstd.regressed);
+    }
+
+    #[test]
+    fn direction_table_matches_the_docs() {
+        assert_eq!(
+            metric_direction("total_dispatch_ms"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            metric_direction("overhead_pct"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            metric_direction("end_to_end_overhead_pct"),
+            Some(Direction::LowerIsBetter)
+        );
+        assert_eq!(
+            metric_direction("parallel_speedup"),
+            Some(Direction::HigherIsBetter)
+        );
+        assert_eq!(metric_direction("served"), None);
+        assert_eq!(metric_direction("seed"), None);
+    }
+
+    #[test]
+    fn snapshot_and_compare_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("o2o-regress-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_demo.json"),
+            format!("{}\n", doc(100.0, 3.0, 1.0)),
+        )
+        .unwrap();
+        // Empty baselines: warn-only, not an error.
+        assert!(compare_results(&dir, &CompareOptions::default())
+            .unwrap()
+            .is_empty());
+        let copied = snapshot_baselines(&dir).unwrap();
+        assert_eq!(copied, vec!["BENCH_demo.json".to_string()]);
+        assert!(baselines_dir(&dir).join("BASELINE_ENV.json").exists());
+        // Unchanged results: compared, no regressions.
+        let cmp = compare_results(&dir, &CompareOptions::default()).unwrap();
+        assert_eq!(cmp.len(), 1);
+        assert!(!cmp[0].missing_current);
+        assert!(regressions(&cmp[0].deltas).is_empty());
+        // Slowed results: the gate fires.
+        std::fs::write(
+            dir.join("BENCH_demo.json"),
+            format!("{}\n", doc(250.0, 3.0, 1.0)),
+        )
+        .unwrap();
+        let cmp = compare_results(&dir, &CompareOptions::default()).unwrap();
+        assert!(!regressions(&cmp[0].deltas).is_empty());
+        // A baseline whose current file vanished is reported as missing.
+        std::fs::remove_file(dir.join("BENCH_demo.json")).unwrap();
+        let cmp = compare_results(&dir, &CompareOptions::default()).unwrap();
+        assert!(cmp[0].missing_current);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -207,37 +207,119 @@ pub fn supervise(specs: &[ChildSpec], policy: &SupervisorPolicy) -> Vec<RunStatu
 
 /// Merges partial result shards into one document.
 ///
-/// Shards are objects. A key seen in one shard is copied; a key seen in
-/// several must either carry equal values (kept once — the envelope
-/// fields) or arrays (concatenated in shard order — the row fields).
+/// Shards are objects, merged recursively: objects deep-merge key by
+/// key, arrays concatenate in shard order (the row fields), and any
+/// other pair must carry equal values (kept once — the envelope
+/// fields). The rules apply at every nesting level, so two shards whose
+/// `params` objects agree merge cleanly while a disagreement inside one
+/// is still caught.
 ///
 /// # Errors
 ///
-/// Reports the first key whose values conflict without both being
-/// arrays.
+/// Reports the first conflicting value with its full dotted path (e.g.
+/// `params.alpha`) and the index of the shard that disagreed.
 pub fn merge_shards(shards: Vec<Json>) -> Result<Json, String> {
-    let mut out: Vec<(String, Json)> = Vec::new();
-    for (i, shard) in shards.into_iter().enumerate() {
-        let Json::Obj(fields) = shard else {
+    let mut iter = shards.into_iter().enumerate();
+    let Some((_, first)) = iter.next() else {
+        return Err("no shards to merge".into());
+    };
+    if !matches!(first, Json::Obj(_)) {
+        return Err("shard 0 is not an object".into());
+    }
+    let mut out = first;
+    for (i, shard) in iter {
+        if !matches!(shard, Json::Obj(_)) {
             return Err(format!("shard {i} is not an object"));
-        };
-        for (key, value) in fields {
-            match out.iter_mut().find(|(k, _)| *k == key) {
-                None => out.push((key, value)),
-                Some((_, existing)) => match (existing, value) {
-                    (Json::Arr(acc), Json::Arr(more)) => acc.extend(more),
-                    (existing, value) => {
-                        if *existing != value {
-                            return Err(format!(
-                                "shard {i}: conflicting values for key \"{key}\""
-                            ));
-                        }
-                    }
-                },
+        }
+        merge_value(&mut out, shard, i, "")?;
+    }
+    Ok(out)
+}
+
+/// Recursive merge step: `incoming` (from shard index `shard`) folds
+/// into `existing`; `path` is the dotted location for error messages.
+fn merge_value(
+    existing: &mut Json,
+    incoming: Json,
+    shard: usize,
+    path: &str,
+) -> Result<(), String> {
+    match (&mut *existing, incoming) {
+        (Json::Obj(have), Json::Obj(more)) => {
+            for (key, value) in more {
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                match have.iter_mut().find(|(k, _)| *k == key) {
+                    None => have.push((key, value)),
+                    Some((_, slot)) => merge_value(slot, value, shard, &child)?,
+                }
+            }
+            Ok(())
+        }
+        (Json::Arr(have), Json::Arr(more)) => {
+            have.extend(more);
+            Ok(())
+        }
+        (have, value) => {
+            if *have == value {
+                Ok(())
+            } else {
+                let at = if path.is_empty() { "<root>" } else { path };
+                Err(format!(
+                    "shard {shard}: conflicting values at \"{at}\" ({have} vs {value})"
+                ))
             }
         }
     }
-    Ok(Json::Obj(out))
+}
+
+/// Merges supervised children's JSONL telemetry streams into one
+/// fleet-wide summary and writes it to `results/FLEET_<name>.json`.
+///
+/// Each path is one child's manifest-stamped JSONL stream (a
+/// [`JsonlSink`](o2o_obs::JsonlSink) with
+/// [`FleetMeta`](o2o_obs::FleetMeta)). Missing files are skipped — a
+/// quarantined child contributes no telemetry — but at least one stream
+/// must exist. Parsing validates each stream's schema version and span
+/// balance; merging validates run-id agreement and shard-id uniqueness
+/// (see `o2o_obs::fleet`).
+///
+/// Returns the written path and the merged summary so callers can
+/// reconcile it against the children's own numbers.
+///
+/// # Errors
+///
+/// Propagates read, parse, and merge failures, and reports an empty
+/// stream set.
+pub fn write_fleet_json(
+    name: &str,
+    shard_logs: &[PathBuf],
+    opts: &o2o_obs::FleetOptions,
+) -> Result<(PathBuf, o2o_obs::FleetSummary), String> {
+    let mut shards = Vec::new();
+    for p in shard_logs {
+        match std::fs::read_to_string(p) {
+            Ok(text) => shards.push(
+                o2o_obs::fleet::parse_shard_str(&text, opts)
+                    .map_err(|e| format!("{}: {e}", p.display()))?,
+            ),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(format!("{}: {e}", p.display())),
+        }
+    }
+    if shards.is_empty() {
+        return Err("no fleet telemetry streams found".into());
+    }
+    let summary = o2o_obs::fleet::merge(shards).map_err(|e| format!("fleet merge: {e}"))?;
+    let dir = crate::json::results_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let path = dir.join(format!("FLEET_{name}.json"));
+    std::fs::write(&path, format!("{}\n", crate::json::fleet_json(&summary)))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok((path, summary))
 }
 
 /// Reads and merges shard files (see [`merge_shards`]). Missing files
@@ -251,9 +333,9 @@ pub fn merge_shard_files(paths: &[PathBuf]) -> Result<Json, String> {
     let mut shards = Vec::new();
     for p in paths {
         match std::fs::read_to_string(p) {
-            Ok(text) => shards.push(
-                Json::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?,
-            ),
+            Ok(text) => {
+                shards.push(Json::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?)
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
             Err(e) => return Err(format!("{}: {e}", p.display())),
         }
@@ -298,10 +380,8 @@ mod tests {
         // Fails on the first attempt (marker absent), succeeds on the
         // second — the file is the "checkpoint" carrying progress across
         // process deaths.
-        let marker = std::env::temp_dir().join(format!(
-            "o2o-supervisor-flaky-{}",
-            std::process::id()
-        ));
+        let marker =
+            std::env::temp_dir().join(format!("o2o-supervisor-flaky-{}", std::process::id()));
         let _ = std::fs::remove_file(&marker);
         let script = format!(
             "if [ -f {m} ]; then exit 0; else touch {m}; exit 1; fi",
@@ -360,7 +440,79 @@ mod tests {
         let a = Json::obj(vec![("seed", 1.0.into())]);
         let b = Json::obj(vec![("seed", 2.0.into())]);
         let err = merge_shards(vec![a, b]).unwrap_err();
-        assert!(err.contains("seed"), "{err}");
+        assert!(err.contains("\"seed\""), "{err}");
+        assert!(err.contains("shard 1"), "{err}");
+    }
+
+    #[test]
+    fn nested_objects_deep_merge() {
+        // Envelope objects that agree on shared keys merge key-by-key,
+        // and keys present in only one shard are kept — two children
+        // each contributing half of a nested summary compose cleanly.
+        let a = Json::obj(vec![
+            ("params", Json::obj(vec![("alpha", 0.5.into())])),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("shard_a_ms", 10.0.into()),
+                    ("rows", Json::Arr(vec![Json::from(1.0)])),
+                ]),
+            ),
+        ]);
+        let b = Json::obj(vec![
+            (
+                "params",
+                Json::obj(vec![("alpha", 0.5.into()), ("beta", 0.4.into())]),
+            ),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("shard_b_ms", 20.0.into()),
+                    ("rows", Json::Arr(vec![Json::from(2.0)])),
+                ]),
+            ),
+        ]);
+        let merged = merge_shards(vec![a, b]).unwrap();
+        let params = merged.get("params").unwrap();
+        assert_eq!(params.get("alpha").and_then(Json::as_f64), Some(0.5));
+        assert_eq!(params.get("beta").and_then(Json::as_f64), Some(0.4));
+        let summary = merged.get("summary").unwrap();
+        assert_eq!(summary.get("shard_a_ms").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(summary.get("shard_b_ms").and_then(Json::as_f64), Some(20.0));
+        // Nested arrays concatenate in shard order.
+        assert_eq!(
+            summary.get("rows").and_then(Json::as_arr).unwrap(),
+            &[Json::from(1.0), Json::from(2.0)]
+        );
+    }
+
+    #[test]
+    fn nested_conflicts_name_the_dotted_path_and_shard() {
+        let a = Json::obj(vec![(
+            "params",
+            Json::obj(vec![("thresholds", Json::obj(vec![("taxi", 1.0.into())]))]),
+        )]);
+        let ok = Json::obj(vec![(
+            "params",
+            Json::obj(vec![("thresholds", Json::obj(vec![("taxi", 1.0.into())]))]),
+        )]);
+        let bad = Json::obj(vec![(
+            "params",
+            Json::obj(vec![("thresholds", Json::obj(vec![("taxi", 2.0.into())]))]),
+        )]);
+        let err = merge_shards(vec![a, ok, bad]).unwrap_err();
+        assert!(err.contains("\"params.thresholds.taxi\""), "{err}");
+        assert!(err.contains("shard 2"), "{err}");
+        assert!(err.contains("1 vs 2"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatches_are_conflicts_not_silent_overwrites() {
+        let a = Json::obj(vec![("rows", Json::Arr(vec![Json::from(1.0)]))]);
+        let b = Json::obj(vec![("rows", 7.0.into())]);
+        let err = merge_shards(vec![a, b]).unwrap_err();
+        assert!(err.contains("\"rows\""), "{err}");
+        assert!(merge_shards(vec![]).is_err());
     }
 
     #[test]

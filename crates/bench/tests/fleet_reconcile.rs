@@ -1,0 +1,189 @@
+//! Fleet aggregation reconciles exactly with its source streams.
+//!
+//! Several simulator runs — one per shard, each with a manifest-stamped
+//! JSONL telemetry stream and live SLO specs — are merged by
+//! [`write_fleet_json`] into one `FLEET_*.json`. The merged summary must
+//! restate the children's numbers exactly: per-shard frame counts, span
+//! self-time totals, SLO breach tallies, and counter totals, with fleet
+//! totals equal to the shard sums. No tolerance, no sampling.
+
+use o2o_bench::{write_fleet_json, Json};
+use o2o_core::PreferenceParams;
+use o2o_geo::Euclidean;
+use o2o_obs::{FleetMeta, FleetOptions, JsonlSink, Recorder, SloMetric, SloSpec};
+use o2o_sim::{policy, SimConfig, SimReport, Simulator};
+use std::path::PathBuf;
+
+const SHARDS: u32 = 3;
+
+fn run_shard(run_id: &str, shard: u32, log: &PathBuf) -> SimReport {
+    let seed = 100 + u64::from(shard);
+    let trace = o2o_trace::boston_september_2012(0.002).generate(seed);
+    let sink = JsonlSink::create(log)
+        .expect("create stream")
+        .with_meta(FleetMeta::new(run_id, shard, seed));
+    let mut p = policy::nstd_p(Euclidean, PreferenceParams::default());
+    Simulator::new(SimConfig::default())
+        .with_recorder(Recorder::with_sink(Box::new(sink)))
+        .with_slo(vec![
+            // A 0 ms p50 ceiling breaches as soon as the window fills,
+            // so every shard carries a non-trivial SLO timeline.
+            SloSpec::max("p50-zero", SloMetric::FrameP50Ms, 0.0, 4),
+            SloSpec::min("served", SloMetric::ServedRatio, 0.05, 8),
+        ])
+        .run(&trace, &mut p)
+}
+
+#[test]
+fn fleet_summary_reconciles_exactly_with_child_streams() {
+    let work = std::env::temp_dir().join(format!("o2o-fleet-reconcile-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).expect("workdir");
+    let run_id = "reconcile-run";
+    let name = format!("fleet_reconcile_test_{}", std::process::id());
+
+    let logs: Vec<PathBuf> = (0..SHARDS)
+        .map(|s| work.join(format!("shard-{s}.jsonl")))
+        .collect();
+    let reports: Vec<SimReport> = (0..SHARDS)
+        .map(|s| run_shard(run_id, s, &logs[s as usize]))
+        .collect();
+
+    let opts = FleetOptions::default();
+    let (path, fleet) = write_fleet_json(&name, &logs, &opts).expect("streams parse and merge");
+    assert_eq!(fleet.run_id, run_id);
+    assert_eq!(fleet.shards.len(), SHARDS as usize);
+
+    // Per-shard reconciliation against both the in-process reports and
+    // an independent re-parse of each stream.
+    let mut frames_sum = 0u64;
+    let mut self_ms_sum = 0.0f64;
+    for (shard, report) in reports.iter().enumerate() {
+        let summary = fleet
+            .shards
+            .iter()
+            .find(|s| s.meta.shard_id == shard as u32)
+            .expect("shard in summary");
+        // Frame counts: the stream records one frame window per
+        // dispatched frame; the summary must agree with the report.
+        assert_eq!(
+            summary.frames,
+            report.stage_breakdown.frames.len() as u64,
+            "shard {shard} frame count"
+        );
+        // SLO tallies: breach/recover counts match the report's events.
+        let breaches = report.slo_events.iter().filter(|e| e.is_breach()).count() as u64;
+        assert_eq!(summary.breaches, breaches, "shard {shard} breaches");
+        assert_eq!(
+            summary.recoveries,
+            report.slo_events.len() as u64 - breaches,
+            "shard {shard} recoveries"
+        );
+        assert!(summary.breaches > 0, "the 0 ms ceiling must breach");
+        // Counter totals are integers end to end: exact equality with
+        // the report's derived totals.
+        for (counter, total) in &summary.counter_totals {
+            assert_eq!(
+                *total,
+                report.stage_breakdown.counter_total(counter),
+                "shard {shard} counter {counter}"
+            );
+        }
+        // Span totals: the summary restates the parsed stream exactly.
+        let text = std::fs::read_to_string(&logs[shard]).expect("stream readable");
+        let telemetry = o2o_obs::fleet::parse_shard_str(&text, &opts).expect("stream parses");
+        assert_eq!(telemetry.span_starts, telemetry.span_ends, "spans balance");
+        assert_eq!(summary.frames, telemetry.frames());
+        assert_eq!(
+            summary.total_self_ms,
+            telemetry.breakdown.total_self_ms(),
+            "shard {shard} span totals"
+        );
+        frames_sum += summary.frames;
+        self_ms_sum += summary.total_self_ms;
+    }
+
+    // Fleet totals are the shard sums.
+    assert_eq!(fleet.frames, frames_sum);
+    assert!((fleet.total_self_ms - self_ms_sum).abs() < 1e-9);
+    let latency_count: u64 = fleet.latency.counts.iter().sum();
+    assert_eq!(
+        fleet.latency.count, latency_count,
+        "pooled histogram is self-consistent"
+    );
+    assert_eq!(
+        fleet.latency.count, frames_sum,
+        "one latency sample per dispatched frame"
+    );
+
+    // The written document round-trips and restates the same numbers.
+    let doc = Json::parse(&std::fs::read_to_string(&path).expect("fleet file"))
+        .expect("fleet file parses");
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_f64),
+        Some(f64::from(o2o_obs::SCHEMA_VERSION))
+    );
+    assert_eq!(
+        doc.get("frames").and_then(Json::as_f64),
+        Some(frames_sum as f64)
+    );
+    let shards_json = doc.get("shards").and_then(Json::as_arr).expect("shards");
+    assert_eq!(shards_json.len(), SHARDS as usize);
+    for sj in shards_json {
+        let id = sj.get("shard_id").and_then(Json::as_f64).expect("id") as u32;
+        let summary = fleet.shards.iter().find(|s| s.meta.shard_id == id).unwrap();
+        assert_eq!(
+            sj.get("frames").and_then(Json::as_f64),
+            Some(summary.frames as f64)
+        );
+        assert_eq!(
+            sj.get("slo_breaches").and_then(Json::as_f64),
+            Some(summary.breaches as f64)
+        );
+        assert!(
+            !sj.get("slo_events")
+                .and_then(Json::as_arr)
+                .expect("timeline")
+                .is_empty(),
+            "per-shard breach timeline rides along"
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&work);
+}
+
+#[test]
+fn fleet_merge_rejects_mixed_runs_and_missing_streams() {
+    let work = std::env::temp_dir().join(format!("o2o-fleet-reject-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    std::fs::create_dir_all(&work).expect("workdir");
+    let name = format!("fleet_reject_test_{}", std::process::id());
+
+    // No streams at all: an explicit error, not an empty summary.
+    assert!(write_fleet_json(
+        &name,
+        &[work.join("absent.jsonl")],
+        &FleetOptions::default()
+    )
+    .is_err());
+
+    // Two shards from *different* runs must refuse to merge.
+    let a = work.join("a.jsonl");
+    let b = work.join("b.jsonl");
+    run_shard("run-a", 0, &a);
+    run_shard("run-b", 1, &b);
+    let err = write_fleet_json(&name, &[a.clone(), b], &FleetOptions::default()).unwrap_err();
+    assert!(err.contains("run"), "{err}");
+
+    // A missing stream among valid ones is skipped (quarantined child).
+    let (path, fleet) = write_fleet_json(
+        &name,
+        &[a, work.join("still-absent.jsonl")],
+        &FleetOptions::default(),
+    )
+    .expect("one valid stream suffices");
+    assert_eq!(fleet.shards.len(), 1);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&work);
+}

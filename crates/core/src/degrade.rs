@@ -40,16 +40,25 @@ pub enum DispatchTier {
     PartialEnumeration,
 }
 
-impl fmt::Display for DispatchTier {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+impl DispatchTier {
+    /// The tier's stable display name as a static string — the same
+    /// text [`fmt::Display`] writes, usable where an allocation-free
+    /// name is needed (SLO breach rung attribution, event streams).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
             DispatchTier::NstdT => "NSTD-T",
             DispatchTier::NstdP => "NSTD-P",
             DispatchTier::GreedyNearest => "greedy-nearest",
             DispatchTier::FullEnumeration => "full enumeration",
             DispatchTier::PartialEnumeration => "partial enumeration",
-        };
-        f.write_str(name)
+        }
+    }
+}
+
+impl fmt::Display for DispatchTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

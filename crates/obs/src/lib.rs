@@ -42,11 +42,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 mod sink;
+mod slo;
 mod stats;
 
-pub use sink::{EventSink, JsonlSink, MemorySink, SummarySink};
-pub use stats::{FrameStats, Histogram, HistogramSnapshot, StageBreakdown, Summary};
+pub use fleet::{FleetMeta, FleetOptions, FleetSummary, ShardSummary, ShardTelemetry};
+pub use sink::{EventSink, JsonlSink, MemorySink, SharedBuffer, SummarySink};
+pub use slo::{FrameObservation, SloBound, SloEvent, SloMetric, SloMonitor, SloSpec};
+pub use stats::{FrameStats, Histogram, HistogramSnapshot, RollingWindow, StageBreakdown, Summary};
+
+/// Version stamp carried by the first record (`"type":"meta"`) of every
+/// [`JsonlSink`] stream. Readers ([`fleet::parse_shard`], the CI
+/// re-parse step) reject streams whose version they do not understand
+/// instead of guessing at field meanings.
+///
+/// History: v1 — the headerless PR 5 format; v2 — adds the meta header
+/// itself, the optional [`FleetMeta`] identity fields and the `slo`
+/// record type.
+pub const SCHEMA_VERSION: u32 = 2;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -129,6 +143,10 @@ pub enum Event {
         /// Frame open at the time, if any.
         frame: Option<u64>,
     },
+    /// An SLO threshold transition ([`SloEvent::Breach`] /
+    /// [`SloEvent::Recover`]), recorded via [`Recorder::slo_event`].
+    /// Rare by construction — one event per crossing, not per frame.
+    Slo(SloEvent),
 }
 
 impl Event {
@@ -142,6 +160,7 @@ impl Event {
             | Event::Counter { frame, .. }
             | Event::Gauge { frame, .. }
             | Event::Histogram { frame, .. } => *frame,
+            Event::Slo(ev) => Some(ev.frame()),
         }
     }
 }
@@ -465,6 +484,38 @@ impl Recorder {
             bucket,
             frame,
         };
+        g.emit(&ev);
+    }
+
+    /// Records an SLO transition into the event stream and bumps the
+    /// `slo.breaches` / `slo.recoveries` counter, so breach counts show
+    /// up in frame deltas and stage breakdowns alongside the typed
+    /// [`Event::Slo`] record.
+    pub fn slo_event(&self, event: SloEvent) {
+        let Some(inner) = &self.inner else { return };
+        let name: &'static str = if event.is_breach() {
+            "slo.breaches"
+        } else {
+            "slo.recoveries"
+        };
+        let mut g = Self::lock(inner);
+        let total = {
+            let c = g.counters.entry(name).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if let Some(frame) = g.frame.as_mut() {
+            *frame.counter_deltas.entry(name).or_insert(0) += 1;
+        }
+        let frame = g.current_frame();
+        let counter_ev = Event::Counter {
+            name,
+            delta: 1,
+            total,
+            frame,
+        };
+        g.emit(&counter_ev);
+        let ev = Event::Slo(event);
         g.emit(&ev);
     }
 

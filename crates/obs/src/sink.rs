@@ -4,7 +4,8 @@
 //! sinks. Sinks must never panic the pipeline: I/O errors are swallowed
 //! (telemetry degrades, dispatch does not).
 
-use crate::Event;
+use crate::fleet::FleetMeta;
+use crate::{Event, SloEvent, SCHEMA_VERSION};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -118,6 +119,17 @@ impl Write for SharedBuffer {
 /// §8 for the schema). The stream is valid line-delimited JSON that
 /// `python3 -c "import json; …"` or `jq` parse directly.
 ///
+/// # The schema header
+///
+/// The first record of every stream is a `meta` line carrying
+/// [`SCHEMA_VERSION`] — the schema is self-describing, and readers
+/// (the fleet aggregator, the CI re-parse step) reject versions they
+/// do not understand. Fleet children extend the header with their
+/// [`FleetMeta`] identity via [`with_meta`](Self::with_meta). The
+/// header is written lazily, immediately before the first event (or on
+/// flush/drop for an eventless stream), so `with_meta` can be chained
+/// after construction.
+///
 /// # Crash durability
 ///
 /// Each line is rendered completely before any byte reaches the writer,
@@ -132,6 +144,8 @@ pub struct JsonlSink {
     out: BufWriter<Box<dyn Write + Send>>,
     line: String,
     sync_on_frame_end: bool,
+    meta: Option<FleetMeta>,
+    header_written: bool,
 }
 
 impl JsonlSink {
@@ -147,7 +161,54 @@ impl JsonlSink {
             out: BufWriter::with_capacity(Self::BUF_CAPACITY, out),
             line: String::new(),
             sync_on_frame_end: false,
+            meta: None,
+            header_written: false,
         }
+    }
+
+    /// Stamps the stream's `meta` header with a fleet child identity
+    /// (run id, shard id, pid, seed, git-describe), turning the log
+    /// into a fleet telemetry manifest that
+    /// [`fleet::parse_shard`](crate::fleet::parse_shard) can attribute.
+    /// Must be called before the first event is recorded; afterwards
+    /// the header has already been written and the call is ignored.
+    #[must_use]
+    pub fn with_meta(mut self, meta: FleetMeta) -> Self {
+        if !self.header_written {
+            self.meta = Some(meta);
+        }
+        self
+    }
+
+    /// Renders and writes the schema header if it has not gone out yet.
+    fn write_header(&mut self) {
+        if self.header_written {
+            return;
+        }
+        self.header_written = true;
+        let mut line = std::mem::take(&mut self.line);
+        line.clear();
+        let _ = write!(
+            line,
+            "{{\"type\":\"meta\",\"schema_version\":{SCHEMA_VERSION}"
+        );
+        if let Some(meta) = &self.meta {
+            line.push_str(",\"run_id\":");
+            push_str(&mut line, &meta.run_id);
+            let _ = write!(
+                line,
+                ",\"shard_id\":{},\"pid\":{},\"seed\":{}",
+                meta.shard_id, meta.pid, meta.seed
+            );
+            line.push_str(",\"git\":");
+            match &meta.git {
+                Some(git) => push_str(&mut line, git),
+                None => line.push_str("null"),
+            }
+        }
+        line.push_str("}\n");
+        let _ = self.out.write_all(line.as_bytes());
+        self.line = line;
     }
 
     /// Flushes the write buffer to the underlying writer after every
@@ -265,6 +326,37 @@ impl JsonlSink {
                 push_opt_u64(line, *frame);
                 line.push('}');
             }
+            Event::Slo(ev) => {
+                let (kind, spec, metric, value, threshold, frame, rung) = match ev {
+                    SloEvent::Breach {
+                        spec,
+                        metric,
+                        value,
+                        threshold,
+                        frame,
+                        rung,
+                    } => ("breach", spec, metric, value, threshold, frame, *rung),
+                    SloEvent::Recover {
+                        spec,
+                        metric,
+                        value,
+                        threshold,
+                        frame,
+                    } => ("recover", spec, metric, value, threshold, frame, None),
+                };
+                let _ = write!(line, "{{\"type\":\"slo\",\"kind\":\"{kind}\",\"spec\":");
+                push_str(line, spec);
+                let _ = write!(line, ",\"metric\":\"{}\",\"value\":", metric.as_str());
+                push_f64(line, *value);
+                line.push_str(",\"threshold\":");
+                push_f64(line, *threshold);
+                line.push_str(",\"rung\":");
+                match rung {
+                    Some(r) => push_str(line, r),
+                    None => line.push_str("null"),
+                }
+                let _ = write!(line, ",\"frame\":{frame}}}");
+            }
         }
         line.push('\n');
     }
@@ -272,6 +364,7 @@ impl JsonlSink {
 
 impl EventSink for JsonlSink {
     fn record(&mut self, event: &Event) {
+        self.write_header();
         let mut line = std::mem::take(&mut self.line);
         Self::render(&mut line, event);
         let _ = self.out.write_all(line.as_bytes());
@@ -282,6 +375,7 @@ impl EventSink for JsonlSink {
     }
 
     fn flush(&mut self) {
+        self.write_header();
         let _ = self.out.flush();
     }
 }
@@ -293,6 +387,7 @@ impl Drop for JsonlSink {
     /// impl makes the guarantee part of the sink's contract rather than
     /// an implementation detail of its buffer.)
     fn drop(&mut self) {
+        self.write_header();
         let _ = self.out.flush();
     }
 }
@@ -473,24 +568,107 @@ mod tests {
         rec.flush();
         let text = buf.contents();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 7);
-        assert_eq!(lines[0], "{\"type\":\"frame_start\",\"frame\":0}");
+        assert_eq!(lines.len(), 8);
+        assert_eq!(lines[0], "{\"type\":\"meta\",\"schema_version\":2}");
+        assert_eq!(lines[1], "{\"type\":\"frame_start\",\"frame\":0}");
         assert_eq!(
-            lines[1],
+            lines[2],
             "{\"type\":\"counter\",\"name\":\"cache.hits\",\"delta\":2,\"total\":2,\"frame\":0}"
         );
-        assert!(lines[2].starts_with(
+        assert!(lines[3].starts_with(
             "{\"type\":\"span_start\",\"id\":0,\"parent\":null,\"name\":\"stage\",\"frame\":0}"
         ));
-        assert!(lines[3]
+        assert!(lines[4]
             .starts_with("{\"type\":\"span_end\",\"id\":0,\"name\":\"stage\",\"total_ms\":"));
         assert_eq!(
-            lines[4],
+            lines[5],
             "{\"type\":\"gauge\",\"name\":\"queue\",\"value\":3.0,\"frame\":0}"
         );
-        assert!(lines[5]
+        assert!(lines[6]
             .starts_with("{\"type\":\"histogram\",\"name\":\"ms\",\"value\":0.5,\"bucket\":5,"));
-        assert!(lines[6].starts_with("{\"type\":\"frame_end\",\"frame\":0,\"wall_ms\":"));
+        assert!(lines[7].starts_with("{\"type\":\"frame_end\",\"frame\":0,\"wall_ms\":"));
+    }
+
+    #[test]
+    fn schema_header_is_first_record_even_for_eventless_streams() {
+        // With events: the header precedes everything.
+        let (sink, buf) = JsonlSink::shared();
+        let rec = Recorder::with_sink(Box::new(sink));
+        rec.add("c", 1);
+        rec.flush();
+        let text = buf.contents();
+        assert!(
+            text.starts_with("{\"type\":\"meta\",\"schema_version\":2}\n"),
+            "header first, got {text:?}"
+        );
+        // Without events: flush (and drop) still stamp the stream.
+        let (sink, buf) = JsonlSink::shared();
+        let rec = Recorder::with_sink(Box::new(sink));
+        rec.flush();
+        assert_eq!(buf.contents(), "{\"type\":\"meta\",\"schema_version\":2}\n");
+    }
+
+    #[test]
+    fn fleet_meta_extends_the_header_with_identity_fields() {
+        use crate::fleet::FleetMeta;
+        let (sink, buf) = JsonlSink::shared();
+        let sink = sink.with_meta(FleetMeta {
+            run_id: "run-1".to_string(),
+            shard_id: 2,
+            pid: 777,
+            seed: 42,
+            git: Some("v0-9-gabc".to_string()),
+        });
+        let rec = Recorder::with_sink(Box::new(sink));
+        rec.begin_frame(0);
+        rec.end_frame().unwrap();
+        rec.flush();
+        let text = buf.contents();
+        let first = text.lines().next().unwrap();
+        assert_eq!(
+            first,
+            "{\"type\":\"meta\",\"schema_version\":2,\"run_id\":\"run-1\",\
+             \"shard_id\":2,\"pid\":777,\"seed\":42,\"git\":\"v0-9-gabc\"}"
+        );
+    }
+
+    #[test]
+    fn slo_events_render_with_fixed_field_order() {
+        use crate::{SloEvent, SloMetric};
+        let (sink, buf) = JsonlSink::shared();
+        let rec = Recorder::with_sink(Box::new(sink));
+        rec.begin_frame(9);
+        rec.slo_event(SloEvent::Breach {
+            spec: "p95<=deadline".to_string(),
+            metric: SloMetric::FrameP95Ms,
+            value: 25.0,
+            threshold: 5.0,
+            frame: 9,
+            rung: Some("greedy-nearest"),
+        });
+        rec.slo_event(SloEvent::Recover {
+            spec: "p95<=deadline".to_string(),
+            metric: SloMetric::FrameP95Ms,
+            value: 2.5,
+            threshold: 5.0,
+            frame: 9,
+        });
+        rec.end_frame().unwrap();
+        rec.flush();
+        let text = buf.contents();
+        assert!(text.contains(
+            "{\"type\":\"slo\",\"kind\":\"breach\",\"spec\":\"p95<=deadline\",\
+             \"metric\":\"frame_p95_ms\",\"value\":25.0,\"threshold\":5.0,\
+             \"rung\":\"greedy-nearest\",\"frame\":9}"
+        ));
+        assert!(text.contains(
+            "{\"type\":\"slo\",\"kind\":\"recover\",\"spec\":\"p95<=deadline\",\
+             \"metric\":\"frame_p95_ms\",\"value\":2.5,\"threshold\":5.0,\
+             \"rung\":null,\"frame\":9}"
+        ));
+        // The paired counters landed too, attributed to the frame.
+        assert!(text.contains("\"name\":\"slo.breaches\",\"delta\":1,\"total\":1,\"frame\":9"));
+        assert!(text.contains("\"name\":\"slo.recoveries\",\"delta\":1,\"total\":1,\"frame\":9"));
     }
 
     #[test]

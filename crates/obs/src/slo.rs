@@ -1,0 +1,555 @@
+//! Live SLO monitoring: declarative thresholds evaluated per frame.
+//!
+//! A [`SloMonitor`] is a streaming evaluator: the simulator feeds it one
+//! [`FrameObservation`] per dispatched frame, and it checks every
+//! declared [`SloSpec`] against metrics computed over a rolling window
+//! of recent frames (latency percentiles via the fixed-bucket
+//! [`RollingWindow`], served-ratio, degradation-rate, checkpoint
+//! overhead). Crossing a threshold emits a typed
+//! [`SloEvent::Breach`]; returning within bounds emits a matching
+//! [`SloEvent::Recover`] — one transition per crossing, not one event
+//! per violating frame.
+//!
+//! The monitor is read-only telemetry: it observes the frame loop and
+//! never feeds back into dispatch, preserving the enabled==disabled
+//! bit-identity contract (`obs_equivalence.rs`). Because a breach often
+//! coincides with the engine's deadline degradation ladder stepping
+//! down, each breach names the most recent ladder rung active inside
+//! its window (when any), tying "the SLO broke" to "because dispatch
+//! degraded to X".
+
+use crate::stats::RollingWindow;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Which windowed metric an [`SloSpec`] constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloMetric {
+    /// Median per-frame dispatch latency (ms) over the window.
+    FrameP50Ms,
+    /// 95th-percentile per-frame dispatch latency (ms) over the window.
+    FrameP95Ms,
+    /// 99th-percentile per-frame dispatch latency (ms) over the window.
+    FrameP99Ms,
+    /// Served requests divided by arrivals over the window (evaluated
+    /// only on windows with at least one arrival).
+    ServedRatio,
+    /// Fraction of frames in the window on which the degradation ladder
+    /// stepped down.
+    DegradationRate,
+    /// Checkpoint machinery time as a percentage of dispatch time over
+    /// the window (evaluated only when dispatch time is positive).
+    CheckpointOverheadPct,
+}
+
+impl SloMetric {
+    /// Stable snake_case identifier used in JSONL records and fleet
+    /// summaries.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloMetric::FrameP50Ms => "frame_p50_ms",
+            SloMetric::FrameP95Ms => "frame_p95_ms",
+            SloMetric::FrameP99Ms => "frame_p99_ms",
+            SloMetric::ServedRatio => "served_ratio",
+            SloMetric::DegradationRate => "degradation_rate",
+            SloMetric::CheckpointOverheadPct => "checkpoint_overhead_pct",
+        }
+    }
+}
+
+impl fmt::Display for SloMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The direction of an [`SloSpec`] threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloBound {
+    /// The metric must stay `<=` the threshold (latency, rates,
+    /// overhead).
+    Max(f64),
+    /// The metric must stay `>=` the threshold (served ratio).
+    Min(f64),
+}
+
+impl SloBound {
+    /// The threshold value, direction-agnostic.
+    #[must_use]
+    pub fn threshold(self) -> f64 {
+        match self {
+            SloBound::Max(t) | SloBound::Min(t) => t,
+        }
+    }
+
+    fn violated_by(self, value: f64) -> bool {
+        match self {
+            SloBound::Max(t) => value > t,
+            SloBound::Min(t) => value < t,
+        }
+    }
+}
+
+/// One declarative SLO: a named threshold on a windowed metric.
+///
+/// The window is a frame count; metrics are recomputed after every
+/// frame over the last `window` observations, so a spec with
+/// `window == 64` answers "over the last 64 dispatched frames, did the
+/// p95 stay under the deadline?".
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Spec name as it appears in events and fleet summaries.
+    pub name: String,
+    /// The windowed metric being constrained.
+    pub metric: SloMetric,
+    /// Threshold and direction.
+    pub bound: SloBound,
+    /// Rolling window length in frames (≥ 1).
+    pub window: usize,
+}
+
+impl SloSpec {
+    /// An upper-bound spec: `metric <= threshold` over `window` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    #[must_use]
+    pub fn max(name: impl Into<String>, metric: SloMetric, threshold: f64, window: usize) -> Self {
+        assert!(window > 0, "SLO window must be >= 1 frame");
+        SloSpec {
+            name: name.into(),
+            metric,
+            bound: SloBound::Max(threshold),
+            window,
+        }
+    }
+
+    /// A lower-bound spec: `metric >= threshold` over `window` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    #[must_use]
+    pub fn min(name: impl Into<String>, metric: SloMetric, threshold: f64, window: usize) -> Self {
+        assert!(window > 0, "SLO window must be >= 1 frame");
+        SloSpec {
+            name: name.into(),
+            metric,
+            bound: SloBound::Min(threshold),
+            window,
+        }
+    }
+}
+
+/// What one simulator frame tells the monitor. All fields are outputs
+/// of the frame that just closed; none of them flow back into dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrameObservation {
+    /// Frame index.
+    pub frame: u64,
+    /// Wall-clock of the frame's dispatch window, milliseconds.
+    pub dispatch_ms: f64,
+    /// Requests served (picked up) during this frame.
+    pub served: u64,
+    /// Requests that arrived during this frame.
+    pub arrivals: u64,
+    /// Ladder rung the dispatcher degraded **to** this frame, if the
+    /// degradation ladder fired (e.g. `"NSTD-P"`, `"greedy-nearest"`).
+    pub rung: Option<&'static str>,
+    /// Checkpoint machinery time attributed to this frame, milliseconds
+    /// (0 on frames without a checkpoint write).
+    pub ckpt_ms: f64,
+}
+
+/// An SLO threshold transition: emitted once when a spec first goes out
+/// of bounds ([`SloEvent::Breach`]) and once when it comes back
+/// ([`SloEvent::Recover`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SloEvent {
+    /// The spec's metric left its bound.
+    Breach {
+        /// Name of the breached [`SloSpec`].
+        spec: String,
+        /// Metric that crossed.
+        metric: SloMetric,
+        /// The metric's windowed value at the crossing.
+        value: f64,
+        /// The spec's threshold.
+        threshold: f64,
+        /// Frame on which the breach was detected.
+        frame: u64,
+        /// Most recent degradation-ladder rung inside the window, when
+        /// the breach coincides with ladder activity — names the
+        /// degradation that accompanied (and usually caused) the
+        /// breach.
+        rung: Option<&'static str>,
+    },
+    /// The spec's metric returned within its bound.
+    Recover {
+        /// Name of the recovered [`SloSpec`].
+        spec: String,
+        /// Metric that recovered.
+        metric: SloMetric,
+        /// The metric's windowed value at recovery.
+        value: f64,
+        /// The spec's threshold.
+        threshold: f64,
+        /// Frame on which the recovery was detected.
+        frame: u64,
+    },
+}
+
+impl SloEvent {
+    /// The spec name the event belongs to.
+    #[must_use]
+    pub fn spec(&self) -> &str {
+        match self {
+            SloEvent::Breach { spec, .. } | SloEvent::Recover { spec, .. } => spec,
+        }
+    }
+
+    /// The frame the transition was detected on.
+    #[must_use]
+    pub fn frame(&self) -> u64 {
+        match self {
+            SloEvent::Breach { frame, .. } | SloEvent::Recover { frame, .. } => *frame,
+        }
+    }
+
+    /// The constrained metric.
+    #[must_use]
+    pub fn metric(&self) -> SloMetric {
+        match self {
+            SloEvent::Breach { metric, .. } | SloEvent::Recover { metric, .. } => *metric,
+        }
+    }
+
+    /// Whether this is a breach (as opposed to a recovery).
+    #[must_use]
+    pub fn is_breach(&self) -> bool {
+        matches!(self, SloEvent::Breach { .. })
+    }
+}
+
+/// Rolling per-spec evaluation state.
+#[derive(Debug, Clone)]
+struct SpecState {
+    in_breach: bool,
+    /// Dispatch-latency samples for the quantile metrics.
+    latency: RollingWindow,
+    /// The last `window` frames' non-latency facts, oldest first.
+    frames: VecDeque<FrameObservation>,
+    served: u64,
+    arrivals: u64,
+    degraded_frames: u64,
+    ckpt_ms: f64,
+    dispatch_ms: f64,
+}
+
+impl SpecState {
+    fn new(window: usize) -> Self {
+        SpecState {
+            in_breach: false,
+            latency: RollingWindow::new(window),
+            frames: VecDeque::with_capacity(window + 1),
+            served: 0,
+            arrivals: 0,
+            degraded_frames: 0,
+            ckpt_ms: 0.0,
+            dispatch_ms: 0.0,
+        }
+    }
+
+    fn push(&mut self, obs: &FrameObservation, window: usize) {
+        self.latency.push(obs.dispatch_ms);
+        self.frames.push_back(*obs);
+        self.served += obs.served;
+        self.arrivals += obs.arrivals;
+        self.degraded_frames += u64::from(obs.rung.is_some());
+        self.ckpt_ms += obs.ckpt_ms;
+        self.dispatch_ms += obs.dispatch_ms;
+        if self.frames.len() > window {
+            let old = self.frames.pop_front().expect("len > window >= 1");
+            self.served -= old.served;
+            self.arrivals -= old.arrivals;
+            self.degraded_frames -= u64::from(old.rung.is_some());
+            self.ckpt_ms -= old.ckpt_ms;
+            self.dispatch_ms -= old.dispatch_ms;
+        }
+    }
+
+    /// The windowed metric value, or `None` when the window cannot
+    /// evaluate it yet (empty, or a ratio with a zero denominator).
+    fn value(&self, metric: SloMetric) -> Option<f64> {
+        match metric {
+            SloMetric::FrameP50Ms => self.latency.quantile(0.50),
+            SloMetric::FrameP95Ms => self.latency.quantile(0.95),
+            SloMetric::FrameP99Ms => self.latency.quantile(0.99),
+            SloMetric::ServedRatio => {
+                (self.arrivals > 0).then(|| self.served as f64 / self.arrivals as f64)
+            }
+            SloMetric::DegradationRate => {
+                let n = self.frames.len();
+                (n > 0).then(|| self.degraded_frames as f64 / n as f64)
+            }
+            SloMetric::CheckpointOverheadPct => {
+                (self.dispatch_ms > 0.0).then(|| 100.0 * self.ckpt_ms / self.dispatch_ms)
+            }
+        }
+    }
+
+    /// Most recent ladder rung inside the window, if any.
+    fn latest_rung(&self) -> Option<&'static str> {
+        self.frames.iter().rev().find_map(|o| o.rung)
+    }
+}
+
+/// Streaming SLO evaluator over a set of [`SloSpec`]s.
+///
+/// Feed it one [`FrameObservation`] per frame via
+/// [`SloMonitor::on_frame`]; it returns the transitions that frame
+/// caused (usually none) and keeps the full transition history in
+/// [`SloMonitor::events`].
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    specs: Vec<SloSpec>,
+    states: Vec<SpecState>,
+    events: Vec<SloEvent>,
+}
+
+impl SloMonitor {
+    /// A monitor evaluating `specs`.
+    #[must_use]
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        let states = specs.iter().map(|s| SpecState::new(s.window)).collect();
+        SloMonitor {
+            specs,
+            states,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether the monitor has no specs (and will never emit events).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The declared specs, in evaluation order.
+    #[must_use]
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Records one frame's observation and evaluates every spec.
+    /// Returns the transitions this frame caused, in spec order (empty
+    /// for the overwhelming majority of frames).
+    pub fn on_frame(&mut self, obs: &FrameObservation) -> Vec<SloEvent> {
+        let mut fired = Vec::new();
+        for (spec, state) in self.specs.iter().zip(self.states.iter_mut()) {
+            state.push(obs, spec.window);
+            let Some(value) = state.value(spec.metric) else {
+                continue;
+            };
+            let violated = spec.bound.violated_by(value);
+            if violated && !state.in_breach {
+                state.in_breach = true;
+                fired.push(SloEvent::Breach {
+                    spec: spec.name.clone(),
+                    metric: spec.metric,
+                    value,
+                    threshold: spec.bound.threshold(),
+                    frame: obs.frame,
+                    rung: state.latest_rung(),
+                });
+            } else if !violated && state.in_breach {
+                state.in_breach = false;
+                fired.push(SloEvent::Recover {
+                    spec: spec.name.clone(),
+                    metric: spec.metric,
+                    value,
+                    threshold: spec.bound.threshold(),
+                    frame: obs.frame,
+                });
+            }
+        }
+        self.events.extend(fired.iter().cloned());
+        fired
+    }
+
+    /// Every transition emitted so far, in detection order.
+    #[must_use]
+    pub fn events(&self) -> &[SloEvent] {
+        &self.events
+    }
+
+    /// Number of breaches emitted so far.
+    #[must_use]
+    pub fn breaches(&self) -> usize {
+        self.events.iter().filter(|e| e.is_breach()).count()
+    }
+
+    /// Spec names currently out of bounds.
+    #[must_use]
+    pub fn active_breaches(&self) -> Vec<&str> {
+        self.specs
+            .iter()
+            .zip(&self.states)
+            .filter(|(_, st)| st.in_breach)
+            .map(|(sp, _)| sp.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(frame: u64, dispatch_ms: f64) -> FrameObservation {
+        FrameObservation {
+            frame,
+            dispatch_ms,
+            served: 1,
+            arrivals: 1,
+            rung: None,
+            ckpt_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn breach_and_recover_fire_once_per_crossing() {
+        let mut mon = SloMonitor::new(vec![SloSpec::max(
+            "p95<=1ms",
+            SloMetric::FrameP95Ms,
+            1.0,
+            4,
+        )]);
+        for f in 0..4 {
+            assert!(mon.on_frame(&frame(f, 0.3)).is_empty());
+        }
+        // Window fills with slow frames; exactly one breach fires.
+        let mut fired = Vec::new();
+        for f in 4..8 {
+            fired.extend(mon.on_frame(&frame(f, 20.0)));
+        }
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].is_breach());
+        assert_eq!(fired[0].spec(), "p95<=1ms");
+        assert_eq!(mon.active_breaches(), vec!["p95<=1ms"]);
+        // Fast frames flush the window; exactly one recovery fires.
+        let mut fired = Vec::new();
+        for f in 8..16 {
+            fired.extend(mon.on_frame(&frame(f, 0.3)));
+        }
+        assert_eq!(fired.len(), 1);
+        assert!(!fired[0].is_breach());
+        assert!(mon.active_breaches().is_empty());
+        assert_eq!(mon.breaches(), 1);
+        assert_eq!(mon.events().len(), 2);
+    }
+
+    #[test]
+    fn breach_names_the_ladder_rung_in_window() {
+        let mut mon = SloMonitor::new(vec![SloSpec::max(
+            "no-degradation",
+            SloMetric::DegradationRate,
+            0.0,
+            8,
+        )]);
+        assert!(mon.on_frame(&frame(0, 0.3)).is_empty());
+        let mut obs = frame(1, 0.3);
+        obs.rung = Some("greedy-nearest");
+        let fired = mon.on_frame(&obs);
+        assert_eq!(fired.len(), 1);
+        match &fired[0] {
+            SloEvent::Breach { rung, value, .. } => {
+                assert_eq!(*rung, Some("greedy-nearest"));
+                assert!((value - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected breach, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn served_ratio_is_min_bound_and_skips_empty_windows() {
+        let mut mon = SloMonitor::new(vec![SloSpec::min(
+            "served>=50%",
+            SloMetric::ServedRatio,
+            0.5,
+            4,
+        )]);
+        // No arrivals: the ratio is unevaluable, no breach.
+        let quiet = FrameObservation {
+            frame: 0,
+            dispatch_ms: 0.1,
+            served: 0,
+            arrivals: 0,
+            rung: None,
+            ckpt_ms: 0.0,
+        };
+        assert!(mon.on_frame(&quiet).is_empty());
+        // 1 served of 4 arrivals: breach.
+        let busy = FrameObservation {
+            frame: 1,
+            dispatch_ms: 0.1,
+            served: 1,
+            arrivals: 4,
+            rung: None,
+            ckpt_ms: 0.0,
+        };
+        let fired = mon.on_frame(&busy);
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].is_breach());
+    }
+
+    #[test]
+    fn checkpoint_overhead_uses_windowed_percentage() {
+        let mut mon = SloMonitor::new(vec![SloSpec::max(
+            "ckpt<=3%",
+            SloMetric::CheckpointOverheadPct,
+            3.0,
+            2,
+        )]);
+        let mut cheap = frame(0, 10.0);
+        cheap.ckpt_ms = 0.1; // 1%
+        assert!(mon.on_frame(&cheap).is_empty());
+        let mut pricey = frame(1, 10.0);
+        pricey.ckpt_ms = 1.0; // window: 1.1 / 20 = 5.5%
+        let fired = mon.on_frame(&pricey);
+        assert_eq!(fired.len(), 1);
+        match &fired[0] {
+            SloEvent::Breach {
+                metric,
+                value,
+                threshold,
+                ..
+            } => {
+                assert_eq!(*metric, SloMetric::CheckpointOverheadPct);
+                assert!((value - 5.5).abs() < 1e-9);
+                assert!((threshold - 3.0).abs() < 1e-12);
+            }
+            other => panic!("expected breach, got {other:?}"),
+        }
+        // Eviction: two cheap frames later the window is clean again.
+        let mut fired = Vec::new();
+        for f in 2..4 {
+            let mut c = frame(f, 10.0);
+            c.ckpt_ms = 0.1;
+            fired.extend(mon.on_frame(&c));
+        }
+        assert_eq!(fired.len(), 1);
+        assert!(!fired[0].is_breach());
+    }
+
+    #[test]
+    fn monitor_without_specs_is_inert() {
+        let mut mon = SloMonitor::new(Vec::new());
+        assert!(mon.is_empty());
+        for f in 0..100 {
+            assert!(mon.on_frame(&frame(f, 1e6)).is_empty());
+        }
+        assert!(mon.events().is_empty());
+    }
+}

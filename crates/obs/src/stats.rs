@@ -85,6 +85,126 @@ impl Histogram {
             sum: self.sum,
         }
     }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) as the upper edge of
+    /// the bucket holding the sample of rank `ceil(q·count)` — the
+    /// standard fixed-bucket estimate: exact bucket membership, value
+    /// resolved to the bucket's edge. Deterministic for identical
+    /// observation sequences.
+    ///
+    /// Returns `None` when the histogram is empty (no sample has a
+    /// rank). Samples in the overflow bucket have no upper edge and
+    /// resolve to `f64::INFINITY`, which compares correctly against any
+    /// finite threshold.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (bucket, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(
+                    Self::DEFAULT_EDGES
+                        .get(bucket)
+                        .copied()
+                        .unwrap_or(f64::INFINITY),
+                );
+            }
+        }
+        // Unreachable: cumulative equals `count` after the loop and
+        // `rank <= count`; kept total rather than panicking in telemetry.
+        None
+    }
+
+    /// Removes one previously observed sample, given the bucket index
+    /// [`Histogram::observe`] returned for it and the original value.
+    /// Used by [`RollingWindow`] to evict expired samples; callers must
+    /// pass back exactly what they observed or counts go negative-ish
+    /// (saturating, but meaningless).
+    fn forget(&mut self, bucket: usize, value: f64) {
+        self.counts[bucket] = self.counts[bucket].saturating_sub(1);
+        self.count = self.count.saturating_sub(1);
+        if value.is_finite() {
+            self.sum -= value;
+        }
+    }
+}
+
+/// A fixed-capacity sliding window of samples with histogram-backed
+/// quantiles: pushing beyond capacity evicts the oldest sample, so
+/// quantiles always describe the last `capacity` observations. Built for
+/// the SLO monitor's rolling per-frame latency percentiles; deterministic
+/// like [`Histogram`] itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingWindow {
+    capacity: usize,
+    hist: Histogram,
+    entries: std::collections::VecDeque<(usize, f64)>,
+}
+
+impl RollingWindow {
+    /// An empty window holding at most `capacity` samples.
+    /// `capacity` must be at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0` — a zero-sample window has no
+    /// quantiles and indicates a misconfigured `SloSpec`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "rolling window capacity must be >= 1");
+        RollingWindow {
+            capacity,
+            hist: Histogram::new(),
+            entries: std::collections::VecDeque::with_capacity(capacity + 1),
+        }
+    }
+
+    /// Records `value`, evicting the oldest sample when full.
+    pub fn push(&mut self, value: f64) {
+        let bucket = self.hist.observe(value);
+        self.entries.push_back((bucket, value));
+        if self.entries.len() > self.capacity {
+            let (old_bucket, old_value) = self.entries.pop_front().expect("len > capacity >= 1");
+            self.hist.forget(old_bucket, old_value);
+        }
+    }
+
+    /// The `q`-quantile over the samples currently in the window
+    /// (`None` when empty). See [`Histogram::quantile`].
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.hist.quantile(q)
+    }
+
+    /// Number of samples currently in the window (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the window holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The window's maximum sample count.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mean of the finite samples currently in the window (0 when
+    /// empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.hist.mean()
+    }
 }
 
 impl Default for Histogram {
@@ -279,6 +399,102 @@ mod tests {
         assert_eq!(h.observe(f64::NAN), Histogram::DEFAULT_EDGES.len());
         assert_eq!(h.count(), 6);
         assert!((h.sum() - 20001.0035).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_of_empty_window_is_none() {
+        // Empty histogram and empty rolling window: no sample has a
+        // rank, so every quantile is undefined rather than 0.
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+        let w = RollingWindow::new(8);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.quantile(0.5), None);
+        assert_eq!(w.quantile(0.99), None);
+    }
+
+    #[test]
+    fn quantile_all_zero_counts_after_full_eviction_is_none() {
+        // A window that once held samples but has evicted every one of
+        // them down to all-zero bucket counts must report None again,
+        // not a stale edge.
+        let mut w = RollingWindow::new(2);
+        w.push(0.3);
+        w.push(0.4);
+        w.push(100.0);
+        w.push(100.0); // the two 0.3/0.4 samples are fully evicted
+        assert_eq!(w.quantile(0.5), Some(100.0));
+        assert_eq!(w.quantile(0.0), Some(100.0));
+        // Drain to empty via the internal forget path.
+        let mut h = Histogram::new();
+        let b = h.observe(1.0);
+        h.forget(b, 1.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.counts().iter().sum::<u64>(), 0, "all-zero counts");
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_single_bucket_saturation_returns_that_edge() {
+        // Every sample in one bucket: all quantiles, including the
+        // extremes, resolve to that bucket's upper edge.
+        let mut w = RollingWindow::new(4);
+        for _ in 0..16 {
+            w.push(0.3); // bucket edge 0.5
+        }
+        assert_eq!(w.len(), 4, "window clamps at capacity");
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(w.quantile(q), Some(0.5));
+        }
+        // Saturating the overflow bucket resolves to +inf (no edge).
+        let mut o = RollingWindow::new(4);
+        for _ in 0..4 {
+            o.push(1e9);
+        }
+        assert_eq!(o.quantile(0.5), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn rolling_window_evicts_oldest_and_quantiles_follow() {
+        let mut w = RollingWindow::new(3);
+        w.push(0.2); // bucket edge 0.25
+        w.push(0.2);
+        w.push(0.2);
+        assert_eq!(w.quantile(0.95), Some(0.25));
+        // Three large samples push the small ones out entirely.
+        w.push(20.0); // bucket edge 25.0
+        w.push(20.0);
+        assert_eq!(w.quantile(0.5), Some(25.0), "median crosses after 2/3");
+        w.push(20.0);
+        assert_eq!(w.quantile(0.0), Some(25.0), "old samples fully evicted");
+        assert!((w.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(w.capacity(), 3);
+    }
+
+    #[test]
+    fn quantile_ranks_are_exact_at_bucket_boundaries() {
+        // 10 samples: 9 in the 0.25 bucket, 1 in the 25.0 bucket. The
+        // p90 sample (rank 9) is still in the low bucket; p91+ crosses.
+        let mut h = Histogram::new();
+        for _ in 0..9 {
+            h.observe(0.2);
+        }
+        h.observe(20.0);
+        assert_eq!(h.quantile(0.90), Some(0.25));
+        assert_eq!(h.quantile(0.91), Some(25.0));
+        assert_eq!(h.quantile(1.0), Some(25.0));
+        // Out-of-range q is clamped, not panicking.
+        assert_eq!(h.quantile(-1.0), Some(0.25));
+        assert_eq!(h.quantile(2.0), Some(25.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn rolling_window_rejects_zero_capacity() {
+        let _ = RollingWindow::new(0);
     }
 
     #[test]

@@ -146,10 +146,20 @@ fn recorded_lines() -> Vec<Json> {
 #[test]
 fn every_line_parses_with_documented_fields() {
     let lines = recorded_lines();
-    assert_eq!(lines.len(), 13);
+    assert_eq!(lines.len(), 14);
+    assert_eq!(
+        lines[0].get("type").str(),
+        "meta",
+        "schema header stamps the stream first"
+    );
+    assert_eq!(
+        lines[0].get("schema_version").num() as u32,
+        o2o_obs::SCHEMA_VERSION
+    );
     for line in &lines {
         let ty = line.get("type").str().to_string();
         let expected: &[&str] = match ty.as_str() {
+            "meta" => &["schema_version", "type"],
             "frame_start" => &["frame", "type"],
             "frame_end" => &["frame", "type", "wall_ms"],
             "span_start" => &["frame", "id", "name", "parent", "type"],
@@ -243,7 +253,9 @@ fn escaping_round_trips_through_parse() {
     let rec = Recorder::with_sink(Box::new(sink));
     rec.add("weird \"name\"\twith\\escapes", 1);
     rec.flush();
-    let line = parse_line(buf.contents().lines().next().unwrap());
+    let text = buf.contents();
+    // Line 0 is the schema header; the counter follows it.
+    let line = parse_line(text.lines().nth(1).unwrap());
     assert_eq!(line.get("name").str(), "weird \"name\"\twith\\escapes");
 }
 

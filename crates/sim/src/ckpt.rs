@@ -33,7 +33,7 @@
 //!    timings are machine noise — which is exactly the set of fields
 //!    [`SimReport::deterministic_digest`] excludes.
 
-use crate::engine::{EngineState, Scratch, Simulator, TaxiState};
+use crate::engine::{EngineState, Simulator, TaxiState};
 use crate::fault::{DegradationEvent, DispatchError, FaultCounters, FaultPlan, FaultState};
 use crate::metrics::HourBucket;
 use crate::policy::DispatchPolicy;
@@ -358,11 +358,9 @@ fn decode_state(d: &mut Dec<'_>) -> Result<EngineState, CkptError> {
         pending.push_back((r, admitted));
     }
 
-    let admitted_ids: HashSet<RequestId> =
-        decode_id_set(d)?.into_iter().map(RequestId).collect();
+    let admitted_ids: HashSet<RequestId> = decode_id_set(d)?.into_iter().map(RequestId).collect();
     let prev_idle_ids: HashSet<TaxiId> = decode_id_set(d)?.into_iter().map(TaxiId).collect();
-    let prev_batch_ids: HashSet<RequestId> =
-        decode_id_set(d)?.into_iter().map(RequestId).collect();
+    let prev_batch_ids: HashSet<RequestId> = decode_id_set(d)?.into_iter().map(RequestId).collect();
 
     let fault_state = match d.u8()? {
         0 => None,
@@ -379,11 +377,7 @@ fn decode_state(d: &mut Dec<'_>) -> Result<EngineState, CkptError> {
             }
             Some(FaultState::restore(plan, rng, offline))
         }
-        t => {
-            return Err(CkptError::Malformed(format!(
-                "unknown fault-state tag {t}"
-            )))
-        }
+        t => return Err(CkptError::Malformed(format!("unknown fault-state tag {t}"))),
     };
 
     let report = decode_report(d)?;
@@ -491,12 +485,12 @@ fn encode_report(e: &mut Enc, r: &SimReport) {
     for &q in &r.idle_by_frame {
         e.u32(q);
     }
-    // Wall-clock telemetry (`dispatch_ms_by_frame`, `stage_breakdown`)
-    // is deliberately NOT persisted: it is process-local, excluded from
-    // `deterministic_digest`, and at full scale it is the bulk of the
-    // report's bytes — omitting it keeps checkpoint cost flat as the
-    // run progresses. A resumed run's telemetry covers resumed frames
-    // only.
+    // Wall-clock telemetry (`dispatch_ms_by_frame`, `stage_breakdown`,
+    // `slo_events`) is deliberately NOT persisted: it is process-local,
+    // excluded from `deterministic_digest`, and at full scale it is the
+    // bulk of the report's bytes — omitting it keeps checkpoint cost
+    // flat as the run progresses. A resumed run's telemetry covers
+    // resumed frames only (SLO windows restart cold).
     encode_fault_counters(e, &r.faults);
 
     e.u64(r.dispatch_errors.len() as u64);
@@ -569,6 +563,7 @@ fn decode_report(d: &mut Dec<'_>) -> Result<SimReport, CkptError> {
     // Telemetry restarts empty on resume (see `encode_report`).
     let dispatch_ms_by_frame = Vec::new();
     let stage_breakdown = StageBreakdown::new();
+    let slo_events = Vec::new();
 
     let faults = decode_fault_counters(d)?;
 
@@ -646,6 +641,7 @@ fn decode_report(d: &mut Dec<'_>) -> Result<SimReport, CkptError> {
         faults,
         dispatch_errors,
         degradations,
+        slo_events,
         delay_by_hour,
         passenger_by_hour,
         taxi_by_hour,
@@ -748,7 +744,9 @@ impl SimReport {
     /// [`stage_breakdown`](SimReport::stage_breakdown) telemetry, whose
     /// cache counters legitimately differ after a resume (the policy
     /// restarts cold; the warm==cold invariant fixes its *results*, not
-    /// its cache hit pattern).
+    /// its cache hit pattern). [`slo_events`](SimReport::slo_events) is
+    /// excluded for the same reason: breaches are wall-clock-derived and
+    /// a resume restarts the monitor's windows.
     #[must_use]
     pub fn deterministic_digest(&self) -> u64 {
         let mut h = Fnv::new();
@@ -1038,9 +1036,7 @@ pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CkptError> {
 ///
 /// Propagates only directory-listing I/O failures; per-file read or
 /// validation failures trigger fallback instead.
-pub fn latest_valid_checkpoint(
-    dir: &Path,
-) -> Result<Option<(PathBuf, Checkpoint)>, CkptError> {
+pub fn latest_valid_checkpoint(dir: &Path) -> Result<Option<(PathBuf, Checkpoint)>, CkptError> {
     if !dir.exists() {
         return Ok(None);
     }
@@ -1065,7 +1061,7 @@ fn write_checkpoint(
     let tmp_path = dir.join(format!("{}.tmp", ckpt_file_name(st.frame)));
     {
         let mut f = File::create(&tmp_path)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         if sync {
             f.sync_all()?;
         }
@@ -1349,7 +1345,7 @@ impl Simulator {
             }
             None => EngineState::new(trace, policy.name(), self.fault_plan().copied()),
         };
-        let mut scratch = Scratch::new(trace);
+        let mut scratch = self.new_scratch(trace);
 
         let mut steps_this_process = 0u64;
         let stopped = |steps: u64| spec.stop_after_frames.is_some_and(|cap| steps >= cap);
@@ -1436,7 +1432,12 @@ impl Simulator {
                 }
                 wal = reset_wal(&spec.dir, spec.sync)?;
             }
-            machinery += t0.elapsed();
+            let spent = t0.elapsed();
+            machinery += spent;
+            // Surface checkpoint cost to the live SLO monitor: the next
+            // dispatched frame's observation drains this accumulator into
+            // its `ckpt_ms` (the checkpoint-overhead metric's numerator).
+            scratch.slo_ckpt_ms += spent.as_secs_f64() * 1e3;
             if stopped(steps_this_process) && running {
                 wal.write_all(&wal_buf)?;
                 self.recorder()
@@ -1460,10 +1461,7 @@ mod tests {
     use o2o_trace::boston_september_2012;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "o2o-ckpt-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("o2o-ckpt-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -1472,12 +1470,11 @@ mod tests {
     #[test]
     fn engine_state_round_trips_through_bytes() {
         let trace = boston_september_2012(0.002).generate(5);
-        let sim = Simulator::new(SimConfig::default())
-            .with_fault_plan(FaultPlan::uniform(3, 0.05));
+        let sim = Simulator::new(SimConfig::default()).with_fault_plan(FaultPlan::uniform(3, 0.05));
         let mut p = policy::nstd_p(o2o_geo::Euclidean, PreferenceParams::default());
         // Drive the engine a few frames to populate every state field.
         let mut st = EngineState::new(&trace, p.name(), sim.fault_plan().copied());
-        let mut sc = Scratch::new(&trace);
+        let mut sc = sim.new_scratch(&trace);
         for _ in 0..30 {
             if !sim.step_frame(&o2o_geo::Euclidean, &trace, &mut p, &mut st, &mut sc) {
                 break;

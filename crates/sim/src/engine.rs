@@ -8,7 +8,7 @@ use crate::policy::{DispatchPolicy, FrameContext, FrameDelta};
 use crate::report::SimReport;
 use o2o_core::{PickupDistances, TimeBudgetSpec};
 use o2o_geo::{heuristic_cell_size, BBox, Euclidean, IncrementalGrid, Metric, Point};
-use o2o_obs::{self as obs, Recorder};
+use o2o_obs::{self as obs, FrameObservation, Recorder, SloMonitor, SloSpec};
 use o2o_par::Parallelism;
 use o2o_trace::{Request, RequestId, Taxi, TaxiId, Trace};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -161,6 +161,7 @@ impl EngineState {
                 faults: FaultCounters::default(),
                 dispatch_errors: Vec::new(),
                 degradations: Vec::new(),
+                slo_events: Vec::new(),
                 delay_by_hour: [HourBucket::default(); 24],
                 passenger_by_hour: [HourBucket::default(); 24],
                 taxi_by_hour: [HourBucket::default(); 24],
@@ -200,6 +201,19 @@ pub(crate) struct Scratch {
     desired: Vec<(usize, Point)>,
     fleet_rank: Vec<usize>,
     taxi_index: HashMap<TaxiId, usize>,
+    /// Live SLO monitor, fed once per dispatched frame; `None` when the
+    /// simulator has no [`SloSpec`]s configured. Scratch (not state): a
+    /// resumed run restarts its rolling windows cold, mirroring the
+    /// telemetry exclusion in the checkpoint format.
+    pub(crate) slo: Option<SloMonitor>,
+    /// Arrivals admitted since the monitor was last fed — dispatch-less
+    /// frames accumulate here so the served-ratio denominator never
+    /// drops admissions that happened between dispatches.
+    pub(crate) slo_arrivals: u64,
+    /// Checkpoint-machinery milliseconds accumulated since the monitor
+    /// was last fed (the checkpoint layer adds after each step, the next
+    /// observation drains).
+    pub(crate) slo_ckpt_ms: f64,
 }
 
 impl Scratch {
@@ -224,6 +238,9 @@ impl Scratch {
                 .enumerate()
                 .map(|(i, t)| (t.id, i))
                 .collect(),
+            slo: None,
+            slo_arrivals: 0,
+            slo_ckpt_ms: 0.0,
         }
     }
 }
@@ -236,6 +253,7 @@ pub struct Simulator {
     par: Parallelism,
     faults: Option<FaultPlan>,
     recorder: Recorder,
+    slo: Vec<SloSpec>,
 }
 
 impl Simulator {
@@ -255,6 +273,7 @@ impl Simulator {
             par: Parallelism::auto(),
             faults: None,
             recorder: Recorder::new(),
+            slo: Vec::new(),
         }
     }
 
@@ -304,6 +323,38 @@ impl Simulator {
     #[must_use]
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Installs live SLO specs. Each dispatched frame feeds one
+    /// [`FrameObservation`] to a [`SloMonitor`] built from `specs`;
+    /// breach/recover transitions land on [`SimReport::slo_events`] and
+    /// (when the recorder has a sink) in the event stream as `slo`
+    /// records. The monitor only *reads* engine outputs — dispatch
+    /// results are bit-identical with or without specs, enabled or
+    /// disabled recorder.
+    #[must_use]
+    pub fn with_slo(mut self, specs: Vec<SloSpec>) -> Self {
+        self.slo = specs;
+        self
+    }
+
+    /// The configured SLO specs (empty unless
+    /// [`with_slo`](Self::with_slo) was called).
+    #[must_use]
+    pub fn slo_specs(&self) -> &[SloSpec] {
+        &self.slo
+    }
+
+    /// Builds the per-run scratch space, attaching an [`SloMonitor`]
+    /// when specs are configured. The checkpoint layer's resume paths
+    /// call this too, so a resumed run monitors the same SLOs (with
+    /// windows restarted cold).
+    pub(crate) fn new_scratch(&self, trace: &Trace) -> Scratch {
+        let mut sc = Scratch::new(trace);
+        if !self.slo.is_empty() {
+            sc.slo = Some(SloMonitor::new(self.slo.clone()));
+        }
+        sc
     }
 
     /// The configuration in use.
@@ -364,7 +415,7 @@ impl Simulator {
         policy: &mut P,
     ) -> SimReport {
         let mut state = EngineState::new(trace, policy.name(), self.faults);
-        let mut scratch = Scratch::new(trace);
+        let mut scratch = self.new_scratch(trace);
         while self.step_frame(metric, trace, policy, &mut state, &mut scratch) {}
         self.finish(state)
     }
@@ -414,6 +465,9 @@ impl Simulator {
             desired,
             fleet_rank,
             taxi_index,
+            slo,
+            slo_arrivals,
+            slo_ckpt_ms,
         } = sc;
 
         let frame = *frame_slot;
@@ -426,6 +480,7 @@ impl Simulator {
                         && trace.requests[*next_request].time < time_end
                     {
                         pending.push_back((trace.requests[*next_request], frame));
+                        *slo_arrivals += 1;
                         *next_request += 1;
                     }
                 }
@@ -453,6 +508,7 @@ impl Simulator {
                             report.faults.quarantined_arrivals += 1;
                         } else {
                             pending.push_back((r, frame));
+                            *slo_arrivals += 1;
                         }
                     }
                     // Pending passengers may abandon between frames; the
@@ -498,6 +554,7 @@ impl Simulator {
 
             let mut dispatch_ms = 0.0;
             if !idle.is_empty() && !pending.is_empty() {
+                let served_before = report.served;
                 let batch_cap = self
                     .config
                     .max_batch_per_idle
@@ -522,7 +579,7 @@ impl Simulator {
                 );
                 delta
                     .left_idle
-                    .extend(prev_idle_ids.difference(&cur_idle_ids).copied());
+                    .extend(prev_idle_ids.difference(cur_idle_ids).copied());
                 delta.left_idle.sort_unstable();
                 delta.new_requests.extend(
                     pending_vec
@@ -532,7 +589,7 @@ impl Simulator {
                 );
                 delta
                     .removed_requests
-                    .extend(prev_batch_ids.difference(&cur_batch_ids).copied());
+                    .extend(prev_batch_ids.difference(cur_batch_ids).copied());
                 delta.removed_requests.sort_unstable();
                 std::mem::swap(prev_idle_ids, cur_idle_ids);
                 std::mem::swap(prev_batch_ids, cur_batch_ids);
@@ -563,7 +620,7 @@ impl Simulator {
                 let mut precompute_failed = false;
                 let pickup = if policy.wants_pickup_distances() {
                     let _span = obs::span("pickup_matrix");
-                    match PickupDistances::try_compute(metric, &idle, &pending_vec, self.par) {
+                    match PickupDistances::try_compute(metric, idle, pending_vec, self.par) {
                         Ok(p) => Some(p),
                         Err(e) => {
                             report
@@ -596,7 +653,7 @@ impl Simulator {
                     );
                     let bbox = BBox::from_points(idle.iter().map(|t| t.location))
                         .unwrap_or_else(|| BBox::square(Point::ORIGIN, 1.0));
-                    inc_grid.sync(bbox, heuristic_cell_size(bbox), &desired);
+                    inc_grid.sync(bbox, heuristic_cell_size(bbox), desired);
                     for (rank, &fi) in idle_fleet.iter().enumerate() {
                         fleet_rank[fi] = rank;
                     }
@@ -606,12 +663,12 @@ impl Simulator {
                         .map_payloads(|&fi| fleet_rank[fi]);
                     debug_assert_eq!(
                         g,
-                        o2o_core::build_taxi_grid(&idle),
+                        o2o_core::build_taxi_grid(idle),
                         "incremental grid must equal a fresh bulk build"
                     );
                     g
                 });
-                let mut ctx = FrameContext::new(frame, time_end, &idle, &pending_vec);
+                let mut ctx = FrameContext::new(frame, time_end, idle, pending_vec);
                 ctx.pickup_distances = pickup.as_ref();
                 ctx.taxi_grid = grid.as_ref();
                 ctx.delta = Some(&delta);
@@ -624,7 +681,9 @@ impl Simulator {
                     policy.dispatch(&ctx)
                 };
                 dispatch_ms = started.elapsed().as_secs_f64() * 1e3;
+                let mut rung = None;
                 if let Some(d) = policy.take_degradation() {
+                    rung = Some(d.to.as_str());
                     recorder.add("sim.degradations", 1);
                     report
                         .degradations
@@ -758,6 +817,25 @@ impl Simulator {
                     recorder.add("sim.faults_injected", faults_total - *faults_seen);
                     *faults_seen = faults_total;
                 }
+                // Feed the live SLO monitor once per dispatched frame,
+                // inside the open telemetry window so breach counters
+                // attribute to this frame. The monitor only reads the
+                // report — it never touches dispatch state — so runs with
+                // and without specs stay bit-identical.
+                if let Some(mon) = slo.as_mut() {
+                    let observation = FrameObservation {
+                        frame,
+                        dispatch_ms,
+                        served: (report.served - served_before) as u64,
+                        arrivals: std::mem::take(slo_arrivals),
+                        rung,
+                        ckpt_ms: std::mem::take(slo_ckpt_ms),
+                    };
+                    for ev in mon.on_frame(&observation) {
+                        recorder.slo_event(ev.clone());
+                        report.slo_events.push(ev);
+                    }
+                }
                 if let Some(fs) = recorder.end_frame() {
                     report.stage_breakdown.push(fs);
                 }
@@ -773,8 +851,7 @@ impl Simulator {
         *frame_slot = frame + 1;
         let arrivals_done = *next_request >= trace.requests.len();
         !(arrivals_done
-            && (pending.is_empty()
-                || *frame_slot > last_arrival_frame + self.config.drain_frames))
+            && (pending.is_empty() || *frame_slot > last_arrival_frame + self.config.drain_frames))
     }
 
     /// Flushes the tail counters and seals the report after the last

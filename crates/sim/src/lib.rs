@@ -67,7 +67,10 @@ pub use ckpt::{
 pub use engine::{SimConfig, Simulator};
 pub use fault::{DegradationEvent, DispatchError, FaultCounters, FaultPlan};
 pub use metrics::Cdf;
-pub use o2o_obs::{FrameStats, JsonlSink, MemorySink, Recorder, StageBreakdown, SummarySink};
+pub use o2o_obs::{
+    FleetMeta, FrameStats, JsonlSink, MemorySink, Recorder, SloBound, SloEvent, SloMetric,
+    SloMonitor, SloSpec, StageBreakdown, SummarySink,
+};
 pub use policy::{
     cached, cached_persistent, CacheLifetime, CachedPolicy, DispatchPolicy, FrameAssignment,
     FrameContext, FrameDelta,

@@ -99,6 +99,13 @@ pub struct SimReport {
     /// Frames whose dispatch stepped down the degradation ladder under
     /// the configured [`frame_budget`](crate::SimConfig::frame_budget).
     pub degradations: Vec<DegradationEvent>,
+    /// SLO breach/recover transitions observed by the live monitor
+    /// ([`Simulator::with_slo`](crate::Simulator::with_slo)), in frame
+    /// order. Empty when no SLO specs were configured. Process-local
+    /// telemetry like [`stage_breakdown`](Self::stage_breakdown): it is
+    /// excluded from checkpoints and from the deterministic digest, and
+    /// a resumed run restarts its SLO windows cold.
+    pub slo_events: Vec<o2o_obs::SloEvent>,
     pub(crate) delay_by_hour: [HourBucket; 24],
     pub(crate) passenger_by_hour: [HourBucket; 24],
     pub(crate) taxi_by_hour: [HourBucket; 24],
@@ -403,6 +410,7 @@ mod tests {
             faults: FaultCounters::default(),
             dispatch_errors: Vec::new(),
             degradations: Vec::new(),
+            slo_events: Vec::new(),
             delay_by_hour,
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],
@@ -528,6 +536,7 @@ mod tests {
             faults: FaultCounters::default(),
             dispatch_errors: Vec::new(),
             degradations: Vec::new(),
+            slo_events: Vec::new(),
             delay_by_hour: [HourBucket::default(); 24],
             passenger_by_hour: [HourBucket::default(); 24],
             taxi_by_hour: [HourBucket::default(); 24],

@@ -9,8 +9,8 @@
 use o2o_core::PreferenceParams;
 use o2o_geo::Euclidean;
 use o2o_sim::{
-    checkpoint_files, latest_valid_checkpoint, load_checkpoint, policy, CheckpointSpec,
-    CkptError, RunOutcome, SimConfig, Simulator,
+    checkpoint_files, latest_valid_checkpoint, load_checkpoint, policy, CheckpointSpec, CkptError,
+    RunOutcome, SimConfig, Simulator,
 };
 use o2o_trace::boston_september_2012;
 use std::fs;
@@ -126,7 +126,10 @@ fn stale_format_version_is_reported_as_unsupported() {
     mutated.extend_from_slice(&fnv1a64_words(&mutated).to_le_bytes());
     fs::write(&newest, &mutated).unwrap();
     let err = load_checkpoint(&newest).expect_err("future version must not load");
-    assert!(matches!(err, CkptError::UnsupportedVersion(99)), "got {err}");
+    assert!(
+        matches!(err, CkptError::UnsupportedVersion(99)),
+        "got {err}"
+    );
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -78,7 +78,10 @@ fn assert_result_identical(uninterrupted: &SimReport, resumed: &SimReport) {
     assert_eq!(uninterrupted.total_drive_km, resumed.total_drive_km);
     assert_eq!(uninterrupted.queue_by_frame, resumed.queue_by_frame);
     assert_eq!(uninterrupted.idle_by_frame, resumed.idle_by_frame);
-    assert_eq!(uninterrupted.faults.taxi_dropouts, resumed.faults.taxi_dropouts);
+    assert_eq!(
+        uninterrupted.faults.taxi_dropouts,
+        resumed.faults.taxi_dropouts
+    );
     assert_eq!(
         uninterrupted.faults.request_cancellations,
         resumed.faults.request_cancellations
@@ -111,8 +114,7 @@ fn single_kill_and_resume_is_bit_identical() {
 fn repeated_kills_every_few_frames_still_converge() {
     let trace = boston_september_2012(0.002).generate(23);
     let params = PreferenceParams::default();
-    let sim = Simulator::new(SimConfig::default())
-        .with_fault_plan(FaultPlan::uniform(5, 0.08));
+    let sim = Simulator::new(SimConfig::default()).with_fault_plan(FaultPlan::uniform(5, 0.08));
     let mut plain = policy::nstd_p(Euclidean, params);
     let baseline = sim.run(&trace, &mut plain);
 
@@ -173,8 +175,7 @@ fn torn_checkpoint_write_falls_back_to_previous_valid() {
 fn torn_wal_tail_resumes_identically() {
     let trace = boston_september_2012(0.002).generate(37);
     let params = PreferenceParams::default();
-    let sim = Simulator::new(SimConfig::default())
-        .with_fault_plan(FaultPlan::uniform(2, 0.05));
+    let sim = Simulator::new(SimConfig::default()).with_fault_plan(FaultPlan::uniform(2, 0.05));
     let mut plain = policy::nstd_p(Euclidean, params);
     let baseline = sim.run(&trace, &mut plain);
 

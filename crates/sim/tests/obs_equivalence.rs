@@ -10,7 +10,7 @@
 use o2o_core::PreferenceParams;
 use o2o_geo::Euclidean;
 use o2o_obs::Event;
-use o2o_sim::{policy, MemorySink, Recorder, SimConfig, SimReport, Simulator};
+use o2o_sim::{policy, MemorySink, Recorder, SimConfig, SimReport, Simulator, SloMetric, SloSpec};
 use o2o_trace::boston_september_2012;
 
 /// Asserts every dispatch-facing field matches exactly. Telemetry
@@ -70,6 +70,55 @@ fn recorder_configurations_are_bit_identical_across_policies() {
             "{name}"
         );
         assert!(!handle.is_empty(), "{name}: sink saw events");
+    }
+}
+
+#[test]
+fn slo_monitoring_never_changes_dispatch_results() {
+    // Specs chosen to actually fire on this workload: a p50 latency
+    // ceiling of 0 ms breaches on the first window, and a served-ratio
+    // floor of 1.0 breaches whenever any window leaves a request
+    // waiting. The monitor must observe, never steer.
+    let specs = || {
+        vec![
+            SloSpec::max("frame-p50", SloMetric::FrameP50Ms, 0.0, 8),
+            SloSpec::min("served", SloMetric::ServedRatio, 1.0, 8),
+            SloSpec::max("degrade", SloMetric::DegradationRate, 0.0, 8),
+        ]
+    };
+    let trace = boston_september_2012(0.002).generate(29);
+    let params = PreferenceParams::default();
+    let mut p_plain = policy::nstd_p(Euclidean, params);
+    let mut p_slo = policy::nstd_p(Euclidean, params);
+    let mut p_slo_disabled = policy::nstd_p(Euclidean, params);
+
+    let plain = Simulator::new(SimConfig::default()).run(&trace, &mut p_plain);
+    let monitored = Simulator::new(SimConfig::default())
+        .with_slo(specs())
+        .run(&trace, &mut p_slo);
+    // SLO specs with a *disabled* recorder still populate the report's
+    // event list (the monitor is engine-side, not recorder-side).
+    let monitored_dark = Simulator::new(SimConfig::default())
+        .with_slo(specs())
+        .with_recorder(Recorder::disabled())
+        .run(&trace, &mut p_slo_disabled);
+
+    assert_dispatch_identical(&plain, &monitored);
+    assert_dispatch_identical(&plain, &monitored_dark);
+    assert!(plain.slo_events.is_empty(), "no specs, no events");
+    assert!(
+        !monitored.slo_events.is_empty(),
+        "a 0 ms p50 ceiling must breach"
+    );
+    assert_eq!(
+        monitored.slo_events.len(),
+        monitored_dark.slo_events.len(),
+        "recorder enablement must not change what the monitor sees"
+    );
+    for (a, b) in monitored.slo_events.iter().zip(&monitored_dark.slo_events) {
+        assert_eq!(a.spec(), b.spec());
+        assert_eq!(a.frame(), b.frame());
+        assert_eq!(a.is_breach(), b.is_breach());
     }
 }
 

@@ -421,7 +421,8 @@ mod tests {
 
     #[test]
     fn crlf_input_parses_with_exact_line_numbers() {
-        let csv = format!("{HEADER}\r\n0,100,0,0,1,1,1\r\n1,200,zzz,0,1,1,1\r\n2,300,0,0,1,1,1\r\n");
+        let csv =
+            format!("{HEADER}\r\n0,100,0,0,1,1,1\r\n1,200,zzz,0,1,1,1\r\n2,300,0,0,1,1,1\r\n");
         let (reqs, report) = read_requests_quarantined(csv.as_bytes()).unwrap();
         assert_eq!(
             reqs.iter().map(|r| r.id).collect::<Vec<_>>(),
@@ -440,7 +441,11 @@ mod tests {
     fn final_unterminated_line_is_read() {
         let csv = format!("{HEADER}\n0,100,0,0,1,1,1\n1,200,0,0,1,1,2");
         let reqs = read_requests(csv.as_bytes()).unwrap();
-        assert_eq!(reqs.len(), 2, "last row without a newline must not be dropped");
+        assert_eq!(
+            reqs.len(),
+            2,
+            "last row without a newline must not be dropped"
+        );
         assert_eq!(reqs[1].id, RequestId(1));
         assert_eq!(reqs[1].passengers, 2);
     }
